@@ -1,0 +1,339 @@
+//! The recirculation feedback-queue bandwidth model (paper §4).
+//!
+//! When Ethernet ports are put in loopback mode to provide recirculation
+//! bandwidth, packets that must recirculate *k* times pass through the
+//! loopback egress port *k* times, competing with themselves: first-pass
+//! traffic competes with second-pass traffic and so on ("the switch buffer
+//! will form a feedback queue"). The paper works the k = 2 case by hand —
+//! `y + x = T`, `y = x·T/(T+x)` → `x = 0.62T`, exit throughput `0.38T` —
+//! and states `0.16T` for k = 3.
+//!
+//! Generalizing: with delivery ratio ρ at the saturated loopback port, pass
+//! j arrives at rate `T·ρ^j`, so the offered load is `T·Σ_{j=0}^{k-1} ρ^j`
+//! and the fixed point satisfies
+//!
+//! ```text
+//! ρ · (1 − ρᵏ) / (1 − ρ) = 1,      exit throughput = T · ρᵏ.
+//! ```
+//!
+//! For k = 2 this is the golden-ratio equation (ρ = 0.618, exit = 0.382 T);
+//! for k = 3, exit = 0.161 T — both matching §4. This module provides the
+//! analytic solver, a generalized multi-class fixed point for traffic mixes,
+//! and two simulators (deterministic fluid, randomized packet-level) whose
+//! steady states converge to the analytic values — the cross-check behind
+//! Fig. 8(a).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Solves the single-class delivery ratio ρ for `k` required recirculations:
+/// the root of `ρ·(1−ρᵏ)/(1−ρ) = 1` in `(0, 1]`. For k ≤ 1 the loopback
+/// port is not oversubscribed and ρ = 1.
+pub fn delivery_ratio(k: usize) -> f64 {
+    if k <= 1 {
+        return 1.0;
+    }
+    // offered(ρ) = Σ_{j=0}^{k-1} ρ^j is increasing in ρ, so
+    // f(ρ) = ρ·offered(ρ) − 1 is strictly increasing: bisect.
+    let f = |rho: f64| -> f64 {
+        let mut offered = 0.0;
+        let mut p = 1.0;
+        for _ in 0..k {
+            offered += p;
+            p *= rho;
+        }
+        rho * offered - 1.0
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Effective exit throughput for traffic injected at `t_gbps` (also the
+/// loopback-port capacity) that must recirculate `k` times: `T·ρᵏ`.
+pub fn effective_throughput_gbps(t_gbps: f64, k: usize) -> f64 {
+    t_gbps * delivery_ratio(k).powi(k as i32)
+}
+
+/// One traffic class of the generalized model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficClass {
+    /// Fresh injection rate in Gbps.
+    pub rate_gbps: f64,
+    /// Required recirculations per packet.
+    pub recirculations: usize,
+}
+
+/// Result of solving a traffic mix over a shared loopback capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixSolution {
+    /// Converged delivery ratio at the loopback port.
+    pub delivery_ratio: f64,
+    /// Exit throughput per class, same order as the input.
+    pub class_throughput_gbps: Vec<f64>,
+    /// Total offered load at the loopback port at the fixed point.
+    pub loopback_offered_gbps: f64,
+}
+
+impl MixSolution {
+    /// Total exit throughput across classes.
+    pub fn total_gbps(&self) -> f64 {
+        self.class_throughput_gbps.iter().sum()
+    }
+}
+
+/// Solves the multi-class feedback fixed point: classes share
+/// `loopback_gbps` of recirculation capacity; class *i* offers
+/// `F_i·Σ_{j=0}^{k_i−1} ρ^j` and exits at `F_i·ρ^{k_i}`.
+pub fn solve_mix(classes: &[TrafficClass], loopback_gbps: f64) -> MixSolution {
+    assert!(loopback_gbps > 0.0, "loopback capacity must be positive");
+    let offered_at = |rho: f64| -> f64 {
+        classes
+            .iter()
+            .map(|c| {
+                let mut sum = 0.0;
+                let mut p = 1.0;
+                for _ in 0..c.recirculations {
+                    sum += p;
+                    p *= rho;
+                }
+                c.rate_gbps * sum
+            })
+            .sum()
+    };
+    // Fixed-point iteration: ρ ← min(1, C / offered(ρ)). The map is
+    // monotone and bounded; damping guarantees convergence.
+    let mut rho = 1.0f64;
+    for _ in 0..10_000 {
+        let offered = offered_at(rho);
+        let next = if offered <= loopback_gbps { 1.0 } else { loopback_gbps / offered };
+        let damped = 0.5 * rho + 0.5 * next;
+        if (damped - rho).abs() < 1e-13 {
+            rho = damped;
+            break;
+        }
+        rho = damped;
+    }
+    MixSolution {
+        delivery_ratio: rho,
+        class_throughput_gbps: classes
+            .iter()
+            .map(|c| c.rate_gbps * rho.powi(c.recirculations as i32))
+            .collect(),
+        loopback_offered_gbps: offered_at(rho),
+    }
+}
+
+/// Deterministic fluid simulation of the single-class feedback queue.
+///
+/// Each time slot, `t_gbps` of fresh traffic needing `k` recirculations
+/// arrives; the loopback port delivers at most `t_gbps` per slot, dropping
+/// the excess proportionally across passes; delivered pass-j traffic becomes
+/// pass-j+1 arrivals in the next slot. Returns the exit rate averaged over
+/// the final quarter of the run.
+pub fn simulate_fluid(t_gbps: f64, k: usize, slots: usize) -> f64 {
+    if k == 0 {
+        return t_gbps;
+    }
+    let mut in_flight = vec![0.0f64; k]; // arrivals at the loopback port per pass
+    let mut exits = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        in_flight[0] += t_gbps;
+        let offered: f64 = in_flight.iter().sum();
+        let ratio = if offered <= t_gbps { 1.0 } else { t_gbps / offered };
+        let mut next = vec![0.0f64; k];
+        let mut exit = 0.0;
+        for j in 0..k {
+            let delivered = in_flight[j] * ratio;
+            if j + 1 < k {
+                next[j + 1] = delivered;
+            } else {
+                exit = delivered;
+            }
+        }
+        in_flight = next;
+        exits.push(exit);
+    }
+    let tail = &exits[slots - slots / 4..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Randomized packet-level simulation of the same system.
+///
+/// `packets_per_slot` packets of fresh traffic arrive each slot, each
+/// needing `k` recirculations; the loopback port serves at most
+/// `packets_per_slot` per slot, selected uniformly at random from the
+/// offered set (excess is dropped — tail drop under fan-in congestion).
+/// Returns the exit rate as a fraction of the injection rate.
+pub fn simulate_packet_level(k: usize, packets_per_slot: usize, slots: usize, seed: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // offered[j] = number of packets arriving at the loopback port on pass j.
+    let mut offered = vec![0usize; k];
+    let mut exited_tail = 0usize;
+    let mut injected_tail = 0usize;
+    let warmup = slots / 2;
+    for slot in 0..slots {
+        offered[0] += packets_per_slot;
+        let total: usize = offered.iter().sum();
+        let capacity = packets_per_slot;
+        let mut next = vec![0usize; k];
+        let mut exit = 0usize;
+        if total <= capacity {
+            for j in 0..k {
+                if j + 1 < k {
+                    next[j + 1] = offered[j];
+                } else {
+                    exit = offered[j];
+                }
+            }
+        } else {
+            // Serve `capacity` of `total`, hypergeometric across passes via
+            // sequential sampling.
+            let mut remaining_total = total;
+            let mut remaining_cap = capacity;
+            for j in 0..k {
+                // Sample how many of this pass's packets are served.
+                let mut served = 0usize;
+                for _ in 0..offered[j] {
+                    if remaining_cap > 0 && rng.gen_ratio(remaining_cap as u32, remaining_total as u32)
+                    {
+                        served += 1;
+                        remaining_cap -= 1;
+                    }
+                    remaining_total -= 1;
+                }
+                if j + 1 < k {
+                    next[j + 1] = served;
+                } else {
+                    exit = served;
+                }
+            }
+        }
+        offered = next;
+        if slot >= warmup {
+            exited_tail += exit;
+            injected_tail += packets_per_slot;
+        }
+    }
+    exited_tail as f64 / injected_tail as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_k2() {
+        // §4: x = 0.62T at the fixed point, exit = 0.38T.
+        let rho = delivery_ratio(2);
+        assert!((rho - 0.618).abs() < 1e-3, "rho = {rho}");
+        let thr = effective_throughput_gbps(100.0, 2);
+        assert!((thr - 38.2).abs() < 0.1, "thr = {thr}");
+    }
+
+    #[test]
+    fn paper_constants_k3() {
+        // §4: "the effective throughput of the traffic with 3-recirculation
+        // as 0.16T".
+        let thr = effective_throughput_gbps(100.0, 3);
+        assert!((thr - 16.1).abs() < 0.2, "thr = {thr}");
+    }
+
+    #[test]
+    fn no_and_single_recirculation_are_full_rate() {
+        assert_eq!(effective_throughput_gbps(100.0, 0), 100.0);
+        assert_eq!(effective_throughput_gbps(100.0, 1), 100.0);
+    }
+
+    #[test]
+    fn throughput_degrades_superlinearly() {
+        // Fig. 8(a): each extra recirculation cuts throughput by more than
+        // the previous linear share.
+        let t: Vec<f64> = (1..=5).map(|k| effective_throughput_gbps(100.0, k)).collect();
+        for w in t.windows(2) {
+            assert!(w[1] < w[0]);
+            // ratio decreases: super-linear decay
+            assert!(w[1] / w[0] < 0.75);
+        }
+        assert!(t[4] < 5.0, "5 recircs should be below 5 Gbps, got {}", t[4]);
+    }
+
+    #[test]
+    fn mix_reduces_to_single_class() {
+        let m = solve_mix(
+            &[TrafficClass { rate_gbps: 100.0, recirculations: 2 }],
+            100.0,
+        );
+        assert!((m.delivery_ratio - delivery_ratio(2)).abs() < 1e-6);
+        assert!((m.class_throughput_gbps[0] - 38.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn mix_undersubscribed_is_lossless() {
+        let m = solve_mix(
+            &[
+                TrafficClass { rate_gbps: 20.0, recirculations: 1 },
+                TrafficClass { rate_gbps: 30.0, recirculations: 2 },
+            ],
+            100.0,
+        );
+        // Offered = 20 + 30·2 = 80 < 100 → ρ = 1, everything exits.
+        assert_eq!(m.delivery_ratio, 1.0);
+        assert_eq!(m.class_throughput_gbps, vec![20.0, 30.0]);
+        assert!((m.loopback_offered_gbps - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_oversubscribed_is_fair_by_ratio() {
+        let m = solve_mix(
+            &[
+                TrafficClass { rate_gbps: 100.0, recirculations: 1 },
+                TrafficClass { rate_gbps: 100.0, recirculations: 1 },
+            ],
+            100.0,
+        );
+        // Offered 200 over 100 → ρ = 0.5, each class exits at 50.
+        assert!((m.delivery_ratio - 0.5).abs() < 1e-6);
+        assert!((m.class_throughput_gbps[0] - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fluid_simulation_matches_analytic() {
+        for k in 1..=4 {
+            let sim = simulate_fluid(100.0, k, 4000);
+            let analytic = effective_throughput_gbps(100.0, k);
+            assert!(
+                (sim - analytic).abs() < 0.5,
+                "k={k}: fluid {sim} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn packet_level_simulation_matches_analytic() {
+        for k in [2usize, 3] {
+            let frac = simulate_packet_level(k, 500, 400, 42);
+            let analytic = delivery_ratio(k).powi(k as i32);
+            assert!(
+                (frac - analytic).abs() < 0.05,
+                "k={k}: sim {frac} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fluid_k0_passthrough() {
+        assert_eq!(simulate_fluid(100.0, 0, 10), 100.0);
+        assert_eq!(simulate_packet_level(0, 10, 10, 1), 1.0);
+    }
+}

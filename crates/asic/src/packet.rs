@@ -1,0 +1,309 @@
+//! Packet representation: raw bytes ↔ parsed header view.
+//!
+//! A packet enters a pipelet as raw bytes, is parsed into a [`ParsedPacket`]
+//! (ordered header instances with all field values extracted, plus the
+//! unparsed payload), is manipulated by match-action processing, and is
+//! *deparsed* back to bytes at the end of the pipelet — exactly the
+//! parse/deparse cycle of the PSA architecture in the paper's Fig. 1.
+//!
+//! Crucially, **user metadata does not survive deparsing**: when a packet
+//! crosses the traffic manager, is resubmitted, or is recirculated, only the
+//! bytes (and a small set of platform-carried intrinsic fields) persist.
+//! This is the hardware reality that motivates Dejavu's SFC header carrying
+//! chain state in-band.
+
+use dejavu_p4ir::{deposit_bits, extract_bits, FieldRef, HeaderType, ParserDag, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// One parsed header instance: a header type plus its extracted fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderInstance {
+    /// Header type name.
+    pub header_type: String,
+    /// Field values keyed by field name.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl HeaderInstance {
+    /// A zero-initialized instance of the given type.
+    pub fn zeroed(ht: &HeaderType) -> Self {
+        HeaderInstance {
+            header_type: ht.name.clone(),
+            fields: ht.fields.iter().map(|f| (f.name.clone(), Value::new(0, f.bits))).collect(),
+        }
+    }
+
+    /// Serializes this instance using its type definition.
+    pub fn serialize(&self, ht: &HeaderType) -> Vec<u8> {
+        let mut bytes = vec![0u8; ht.total_bytes() as usize];
+        let mut bit_off = 0u64;
+        for f in &ht.fields {
+            let v = self.fields.get(&f.name).copied().unwrap_or(Value::new(0, f.bits));
+            deposit_bits(&mut bytes, bit_off, v.resize(f.bits));
+            bit_off += u64::from(f.bits);
+        }
+        bytes
+    }
+}
+
+/// The parsed view of a packet inside a pipelet.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedPacket {
+    /// Header instances in wire order.
+    pub headers: Vec<HeaderInstance>,
+    /// Bytes following the last parsed header.
+    pub payload: Vec<u8>,
+}
+
+impl ParsedPacket {
+    /// Parses `bytes` with the given parser DAG and header catalog.
+    ///
+    /// Extraction walks the DAG (validating select transitions against the
+    /// actual bytes) and pulls every field of every accepted header out of
+    /// the byte stream. Gaps between consecutive headers are disallowed by
+    /// the DAG's offset discipline in practice; any bytes between the end of
+    /// one header and the start of the next would indicate a skipping parser
+    /// and are folded into the next header's position (we require contiguous
+    /// layouts, which all programs in this workspace use).
+    pub fn parse(
+        bytes: &[u8],
+        dag: &ParserDag,
+        headers: &HashMap<String, HeaderType>,
+    ) -> Result<Self, dejavu_p4ir::IrError> {
+        let path = dag.parse(headers, bytes)?;
+        let mut out = ParsedPacket::default();
+        let mut consumed = 0usize;
+        for (type_name, offset) in path {
+            let ht = &headers[&type_name];
+            let mut inst = HeaderInstance { header_type: type_name.clone(), fields: BTreeMap::new() };
+            let mut bit_off = u64::from(offset) * 8;
+            for f in &ht.fields {
+                inst.fields.insert(f.name.clone(), extract_bits(bytes, bit_off, f.bits));
+                bit_off += u64::from(f.bits);
+            }
+            consumed = offset as usize + ht.total_bytes() as usize;
+            out.headers.push(inst);
+        }
+        out.payload = bytes[consumed..].to_vec();
+        Ok(out)
+    }
+
+    /// Serializes headers in order followed by the payload.
+    pub fn deparse(&self, headers: &HashMap<String, HeaderType>) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for inst in &self.headers {
+            let ht = headers
+                .get(&inst.header_type)
+                .unwrap_or_else(|| panic!("deparse: unknown header type {}", inst.header_type));
+            bytes.extend_from_slice(&inst.serialize(ht));
+        }
+        bytes.extend_from_slice(&self.payload);
+        bytes
+    }
+
+    /// Index of the first instance of `header_type`, if present.
+    pub fn find(&self, header_type: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h.header_type == header_type)
+    }
+
+    /// True if an instance of `header_type` is present (P4 `isValid()`).
+    pub fn is_valid(&self, header_type: &str) -> bool {
+        self.find(header_type).is_some()
+    }
+
+    /// Reads `header.field`, or `None` when the header is absent or the
+    /// field unknown.
+    pub fn get(&self, fr: &FieldRef) -> Option<Value> {
+        let idx = self.find(&fr.header)?;
+        self.headers[idx].fields.get(&fr.field).copied()
+    }
+
+    /// Writes `header.field`. Returns false when the header is absent (the
+    /// write is dropped, matching hardware semantics of writing an invalid
+    /// header).
+    pub fn set(&mut self, fr: &FieldRef, value: Value) -> bool {
+        let Some(idx) = self.find(&fr.header) else { return false };
+        match self.headers[idx].fields.get_mut(&fr.field) {
+            Some(slot) => {
+                *slot = value.resize(slot.bits());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a zeroed instance of `ht` immediately before the first
+    /// instance of `before` (or appends after all headers when `before` is
+    /// `None` or absent).
+    pub fn add_header(&mut self, ht: &HeaderType, before: Option<&str>) {
+        let inst = HeaderInstance::zeroed(ht);
+        let pos = before.and_then(|b| self.find(b)).unwrap_or(self.headers.len());
+        self.headers.insert(pos, inst);
+    }
+
+    /// Removes the first instance of `header_type`; true if one was removed.
+    pub fn remove_header(&mut self, header_type: &str) -> bool {
+        self.remove_header_nth(header_type, 0)
+    }
+
+    /// Removes the `occurrence`-th instance (0-based, outermost first) of
+    /// `header_type`; true if one was removed.
+    pub fn remove_header_nth(&mut self, header_type: &str, occurrence: usize) -> bool {
+        let idx = self
+            .headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.header_type == header_type)
+            .map(|(i, _)| i)
+            .nth(occurrence);
+        if let Some(idx) = idx {
+            self.headers.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A packet travelling through the switch: wire bytes plus platform
+/// metadata. The parsed view exists only while a pipelet processes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Wire bytes.
+    pub bytes: Vec<u8>,
+    /// Platform ("standard") metadata: ingress port, egress spec, flags.
+    /// Reset/updated by the switch at defined points, not preserved across
+    /// the traffic manager except where hardware carries it.
+    pub meta: BTreeMap<String, Value>,
+}
+
+impl Packet {
+    /// A packet from raw bytes with empty metadata.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Packet { bytes, meta: BTreeMap::new() }
+    }
+
+    /// Reads a metadata field (0 of width 1 if unset — flags default clear).
+    pub fn meta_get(&self, name: &str) -> Value {
+        self.meta.get(name).copied().unwrap_or(Value::new(0, 1))
+    }
+
+    /// Sets a metadata field.
+    pub fn meta_set(&mut self, name: &str, value: Value) {
+        self.meta.insert(name.to_string(), value);
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the packet has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::well_known;
+    use dejavu_p4ir::fref;
+
+    fn catalog() -> HashMap<String, HeaderType> {
+        [well_known::ethernet(), well_known::ipv4(), well_known::tcp(), well_known::udp()]
+            .into_iter()
+            .map(|h| (h.name.clone(), h))
+            .collect()
+    }
+
+    fn tcp_packet() -> Vec<u8> {
+        let mut p = vec![0u8; 60];
+        p[12] = 0x08; // IPv4
+        p[14] = 0x45;
+        p[22] = 64; // ttl
+        p[23] = 6; // TCP
+        p[26..30].copy_from_slice(&[10, 0, 0, 1]);
+        p[30..34].copy_from_slice(&[192, 168, 0, 9]);
+        p[34] = 0x30; // src port 12345 = 0x3039
+        p[35] = 0x39;
+        p[36] = 0x00; // dst port 80
+        p[37] = 0x50;
+        p[54..60].copy_from_slice(b"hello!");
+        p
+    }
+
+    #[test]
+    fn parse_extracts_fields_and_payload() {
+        let pp = ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &catalog())
+            .unwrap();
+        assert_eq!(pp.headers.len(), 3);
+        assert_eq!(pp.get(&fref("ipv4", "ttl")).unwrap().raw(), 64);
+        assert_eq!(pp.get(&fref("ipv4", "src_addr")).unwrap().raw(), 0x0a000001);
+        assert_eq!(pp.get(&fref("tcp", "dst_port")).unwrap().raw(), 80);
+        assert_eq!(pp.payload, b"hello!");
+    }
+
+    #[test]
+    fn deparse_is_inverse_of_parse() {
+        let bytes = tcp_packet();
+        let cat = catalog();
+        let pp = ParsedPacket::parse(&bytes, &well_known::eth_ip_l4_parser(), &cat).unwrap();
+        assert_eq!(pp.deparse(&cat), bytes);
+    }
+
+    #[test]
+    fn set_then_deparse_changes_wire_bytes() {
+        let cat = catalog();
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &cat).unwrap();
+        assert!(pp.set(&fref("ipv4", "dst_addr"), Value::new(0x01020304, 32)));
+        let bytes = pp.deparse(&cat);
+        assert_eq!(&bytes[30..34], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn set_absent_header_is_noop() {
+        let cat = catalog();
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &cat).unwrap();
+        assert!(!pp.set(&fref("vxlan", "vni"), Value::new(7, 24)));
+    }
+
+    #[test]
+    fn add_and_remove_header() {
+        let mut cat = catalog();
+        let sfc = HeaderType::new("sfc", vec![("path_id", 16u16), ("index", 8), ("pad", 8)]).unwrap();
+        cat.insert("sfc".into(), sfc.clone());
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &cat).unwrap();
+        let before_len = pp.deparse(&cat).len();
+        pp.add_header(&sfc, Some("ipv4"));
+        assert!(pp.is_valid("sfc"));
+        assert_eq!(pp.find("sfc"), Some(1)); // between ethernet and ipv4
+        assert!(pp.set(&fref("sfc", "path_id"), Value::new(0xbeef, 16)));
+        let bytes = pp.deparse(&cat);
+        assert_eq!(bytes.len(), before_len + 4);
+        assert_eq!(&bytes[14..16], &[0xbe, 0xef]);
+        assert!(pp.remove_header("sfc"));
+        assert_eq!(pp.deparse(&cat).len(), before_len);
+        assert!(!pp.remove_header("sfc"));
+    }
+
+    #[test]
+    fn zeroed_instance_serializes_to_zeros() {
+        let ht = well_known::udp();
+        let inst = HeaderInstance::zeroed(&ht);
+        assert_eq!(inst.serialize(&ht), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn packet_meta_defaults() {
+        let mut p = Packet::from_bytes(vec![1, 2, 3]);
+        assert_eq!(p.meta_get("drop_flag").raw(), 0);
+        p.meta_set("egress_spec", Value::new(7, 16));
+        assert_eq!(p.meta_get("egress_spec").raw(), 7);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+}

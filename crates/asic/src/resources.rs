@@ -1,0 +1,249 @@
+//! Hardware resource vectors.
+//!
+//! Each MAU stage owns a fixed amount of every resource class (§2: "Each MAU
+//! has a fixed amount of hardware resources (e.g., TCAM, SRAM, Crossbars,
+//! Gateways)"). The compiler's allocator charges table placements against
+//! per-stage vectors; Table 1 of the paper reports usage as a percentage of
+//! the pipeline's totals. [`ResourceVector`] is the common currency for both.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Amounts of each per-stage resource class.
+///
+/// Units:
+/// * `table_ids` — logical table slots per stage,
+/// * `sram_blocks` — SRAM blocks (each models 1024 entries × 128 bits),
+/// * `tcam_blocks` — TCAM blocks (each models 512 entries × 44 bits),
+/// * `crossbar_bytes` — match-key crossbar input bytes,
+/// * `gateways` — predicate gateways,
+/// * `vliw_slots` — VLIW action instruction slots,
+/// * `hash_bits` — hash distribution bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ResourceVector {
+    /// Logical table IDs.
+    pub table_ids: u32,
+    /// SRAM blocks.
+    pub sram_blocks: u32,
+    /// TCAM blocks.
+    pub tcam_blocks: u32,
+    /// Match crossbar bytes.
+    pub crossbar_bytes: u32,
+    /// Gateways.
+    pub gateways: u32,
+    /// VLIW action slots.
+    pub vliw_slots: u32,
+    /// Hash distribution bits.
+    pub hash_bits: u32,
+}
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector = ResourceVector {
+        table_ids: 0,
+        sram_blocks: 0,
+        tcam_blocks: 0,
+        crossbar_bytes: 0,
+        gateways: 0,
+        vliw_slots: 0,
+        hash_bits: 0,
+    };
+
+    /// Component-wise `self + other <= cap` check: true when adding `other`
+    /// to `self` still fits within `cap`.
+    pub fn fits_after(&self, other: &ResourceVector, cap: &ResourceVector) -> bool {
+        self.table_ids + other.table_ids <= cap.table_ids
+            && self.sram_blocks + other.sram_blocks <= cap.sram_blocks
+            && self.tcam_blocks + other.tcam_blocks <= cap.tcam_blocks
+            && self.crossbar_bytes + other.crossbar_bytes <= cap.crossbar_bytes
+            && self.gateways + other.gateways <= cap.gateways
+            && self.vliw_slots + other.vliw_slots <= cap.vliw_slots
+            && self.hash_bits + other.hash_bits <= cap.hash_bits
+    }
+
+    /// Component-wise `self <= cap`.
+    pub fn within(&self, cap: &ResourceVector) -> bool {
+        ResourceVector::ZERO.fits_after(self, cap)
+    }
+
+    /// Scales every component by an integer factor (used by the Hyper4-style
+    /// emulation overhead model).
+    pub fn scaled(&self, factor: u32) -> ResourceVector {
+        ResourceVector {
+            table_ids: self.table_ids * factor,
+            sram_blocks: self.sram_blocks * factor,
+            tcam_blocks: self.tcam_blocks * factor,
+            crossbar_bytes: self.crossbar_bytes * factor,
+            gateways: self.gateways * factor,
+            vliw_slots: self.vliw_slots * factor,
+            hash_bits: self.hash_bits * factor,
+        }
+    }
+
+    /// Usage of `self` against `total`, per component, as fractions in
+    /// `[0, 1]` (components with zero capacity report 0).
+    pub fn fraction_of(&self, total: &ResourceVector) -> ResourceFractions {
+        let frac = |used: u32, cap: u32| if cap == 0 { 0.0 } else { f64::from(used) / f64::from(cap) };
+        ResourceFractions {
+            table_ids: frac(self.table_ids, total.table_ids),
+            sram_blocks: frac(self.sram_blocks, total.sram_blocks),
+            tcam_blocks: frac(self.tcam_blocks, total.tcam_blocks),
+            crossbar_bytes: frac(self.crossbar_bytes, total.crossbar_bytes),
+            gateways: frac(self.gateways, total.gateways),
+            vliw_slots: frac(self.vliw_slots, total.vliw_slots),
+            hash_bits: frac(self.hash_bits, total.hash_bits),
+        }
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            table_ids: self.table_ids + rhs.table_ids,
+            sram_blocks: self.sram_blocks + rhs.sram_blocks,
+            tcam_blocks: self.tcam_blocks + rhs.tcam_blocks,
+            crossbar_bytes: self.crossbar_bytes + rhs.crossbar_bytes,
+            gateways: self.gateways + rhs.gateways,
+            vliw_slots: self.vliw_slots + rhs.vliw_slots,
+            hash_bits: self.hash_bits + rhs.hash_bits,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tables={} sram={} tcam={} xbar={}B gw={} vliw={} hash={}b",
+            self.table_ids,
+            self.sram_blocks,
+            self.tcam_blocks,
+            self.crossbar_bytes,
+            self.gateways,
+            self.vliw_slots,
+            self.hash_bits
+        )
+    }
+}
+
+/// Per-component usage fractions (for Table-1-style percentage reports).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceFractions {
+    /// Logical table IDs.
+    pub table_ids: f64,
+    /// SRAM blocks.
+    pub sram_blocks: f64,
+    /// TCAM blocks.
+    pub tcam_blocks: f64,
+    /// Match crossbar bytes.
+    pub crossbar_bytes: f64,
+    /// Gateways.
+    pub gateways: f64,
+    /// VLIW action slots.
+    pub vliw_slots: f64,
+    /// Hash distribution bits.
+    pub hash_bits: f64,
+}
+
+/// Free and used resources of one MAU stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageResources {
+    /// Capacity of the stage.
+    pub capacity: ResourceVector,
+    /// Amount currently allocated.
+    pub used: ResourceVector,
+}
+
+impl StageResources {
+    /// A fresh stage with the given capacity.
+    pub fn new(capacity: ResourceVector) -> Self {
+        StageResources { capacity, used: ResourceVector::ZERO }
+    }
+
+    /// Whether `demand` still fits in this stage.
+    pub fn fits(&self, demand: &ResourceVector) -> bool {
+        self.used.fits_after(demand, &self.capacity)
+    }
+
+    /// Charges `demand` against the stage. Panics if it does not fit —
+    /// callers must check [`fits`](Self::fits) first.
+    pub fn charge(&mut self, demand: &ResourceVector) {
+        assert!(self.fits(demand), "resource overflow in stage: {demand} over {}", self.capacity);
+        self.used += *demand;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> ResourceVector {
+        ResourceVector {
+            table_ids: 16,
+            sram_blocks: 80,
+            tcam_blocks: 24,
+            crossbar_bytes: 128,
+            gateways: 16,
+            vliw_slots: 32,
+            hash_bits: 416,
+        }
+    }
+
+    #[test]
+    fn add_and_fits() {
+        let a = ResourceVector { table_ids: 8, ..ResourceVector::ZERO };
+        let b = ResourceVector { table_ids: 8, ..ResourceVector::ZERO };
+        assert_eq!((a + b).table_ids, 16);
+        assert!(a.fits_after(&b, &cap()));
+        let c = ResourceVector { table_ids: 9, ..ResourceVector::ZERO };
+        assert!(!a.fits_after(&c, &cap()));
+    }
+
+    #[test]
+    fn stage_charge_and_overflow() {
+        let mut s = StageResources::new(cap());
+        let d = ResourceVector { sram_blocks: 40, ..ResourceVector::ZERO };
+        assert!(s.fits(&d));
+        s.charge(&d);
+        s.charge(&d);
+        assert!(!s.fits(&ResourceVector { sram_blocks: 1, ..ResourceVector::ZERO }));
+    }
+
+    #[test]
+    #[should_panic(expected = "resource overflow")]
+    fn overcharge_panics() {
+        let mut s = StageResources::new(cap());
+        s.charge(&ResourceVector { tcam_blocks: 25, ..ResourceVector::ZERO });
+    }
+
+    #[test]
+    fn fractions() {
+        let used = ResourceVector { table_ids: 4, gateways: 8, ..ResourceVector::ZERO };
+        let f = used.fraction_of(&cap());
+        assert!((f.table_ids - 0.25).abs() < 1e-12);
+        assert!((f.gateways - 0.5).abs() < 1e-12);
+        assert_eq!(f.sram_blocks, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_fraction_is_zero() {
+        let used = ResourceVector { tcam_blocks: 5, ..ResourceVector::ZERO };
+        let f = used.fraction_of(&ResourceVector::ZERO);
+        assert_eq!(f.tcam_blocks, 0.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let v = ResourceVector { sram_blocks: 3, vliw_slots: 2, ..ResourceVector::ZERO };
+        let s = v.scaled(4);
+        assert_eq!(s.sram_blocks, 12);
+        assert_eq!(s.vliw_slots, 8);
+    }
+}

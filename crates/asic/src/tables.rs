@@ -1,0 +1,325 @@
+//! Runtime table state — the entries the control plane installs.
+//!
+//! The P4 program fixes each table's *shape* (`dejavu_p4ir::TableDef`); the
+//! control plane populates it at run time (the paper's §3.1: "the control
+//! plane will simply install a new session in the lb_session upon packet
+//! reception"). [`TableState`] owns the entries of every table of one
+//! pipelet program and implements hardware match semantics:
+//!
+//! * exact tables: at most one matching entry,
+//! * LPM keys: the longest matching prefix wins,
+//! * ternary/range keys: the highest-priority matching entry wins.
+
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::{IrError, MatchKind, TableDef, Value};
+use std::collections::BTreeMap;
+
+/// Runtime state of one pipelet: table entries, hit counters, and stateful
+/// register arrays.
+#[derive(Debug, Clone, Default)]
+pub struct TableState {
+    entries: BTreeMap<String, Vec<TableEntry>>,
+    /// Hit/miss counters per table (diagnostics and tests).
+    counters: BTreeMap<String, TableCounters>,
+    /// Register arrays, lazily zero-initialized on first access.
+    registers: BTreeMap<String, Vec<u128>>,
+}
+
+/// Hit/miss counters of one table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCounters {
+    /// Lookups that matched an installed entry.
+    pub hits: u64,
+    /// Lookups that fell through to the default action.
+    pub misses: u64,
+}
+
+impl TableState {
+    /// Empty state.
+    pub fn new() -> Self {
+        TableState::default()
+    }
+
+    /// Installs an entry after validating it against the table definition:
+    /// the per-key match specs must agree in arity and kind with the table's
+    /// keys, and the declared capacity must not be exceeded.
+    pub fn install(&mut self, def: &TableDef, entry: TableEntry) -> Result<(), IrError> {
+        if entry.matches.len() != def.keys.len() {
+            return Err(IrError::Invalid(format!(
+                "table {}: entry has {} key matches, table has {} keys",
+                def.name,
+                entry.matches.len(),
+                def.keys.len()
+            )));
+        }
+        for (km, key) in entry.matches.iter().zip(&def.keys) {
+            let ok = matches!(
+                (km, key.kind),
+                (KeyMatch::Exact(_), MatchKind::Exact)
+                    | (KeyMatch::Ternary(..), MatchKind::Ternary)
+                    | (KeyMatch::Lpm(..), MatchKind::Lpm)
+                    | (KeyMatch::Range(..), MatchKind::Range)
+                    | (KeyMatch::Any, _)
+            );
+            if !ok {
+                return Err(IrError::Invalid(format!(
+                    "table {}: match kind mismatch on key {}",
+                    def.name, key.field
+                )));
+            }
+        }
+        if !def.actions.contains(&entry.action) {
+            return Err(IrError::Undefined { kind: "entry action", name: entry.action.clone() });
+        }
+        let slot = self.entries.entry(def.name.clone()).or_default();
+        if slot.len() as u32 >= def.size {
+            return Err(IrError::Invalid(format!(
+                "table {} full ({} entries)",
+                def.name, def.size
+            )));
+        }
+        slot.push(entry);
+        Ok(())
+    }
+
+    /// Removes all entries of a table.
+    pub fn clear(&mut self, table: &str) {
+        self.entries.remove(table);
+    }
+
+    /// Number of installed entries in a table.
+    pub fn len(&self, table: &str) -> usize {
+        self.entries.get(table).map_or(0, Vec::len)
+    }
+
+    /// True when the named table has no entries.
+    pub fn is_empty(&self, table: &str) -> bool {
+        self.len(table) == 0
+    }
+
+    /// Looks up the key values against a table, returning the winning entry.
+    /// `None` means a miss (run the default action). Updates counters.
+    pub fn lookup(&mut self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
+        let result = self.lookup_readonly(def, keys);
+        let c = self.counters.entry(def.name.clone()).or_default();
+        if result.is_some() {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+        result
+    }
+
+    /// Lookup without counter updates.
+    pub fn lookup_readonly(&self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
+        let entries = self.entries.get(&def.name)?;
+        let mut best: Option<(&TableEntry, (i32, u32))> = None;
+        for e in entries {
+            if e.matches.iter().zip(keys).all(|(m, v)| m.matches(*v)) {
+                // Rank: priority first, then total LPM prefix length (longest
+                // prefix wins among equal priorities).
+                let lpm_total: u32 =
+                    e.matches.iter().filter_map(|m| m.lpm_len().map(u32::from)).sum();
+                let rank = (e.priority, lpm_total);
+                if best.as_ref().is_none_or(|(_, r)| rank > *r) {
+                    best = Some((e, rank));
+                }
+            }
+        }
+        best.map(|(e, _)| e.clone())
+    }
+
+    /// Counters of a table (zero if never looked up).
+    pub fn counters(&self, table: &str) -> TableCounters {
+        self.counters.get(table).copied().unwrap_or_default()
+    }
+
+    /// Total installed entries across all tables.
+    pub fn total_entries(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Reads a register cell (index wrapped modulo the array size, as the
+    /// stateful ALU does). Lazily zero-initializes the array.
+    pub fn register_read(&mut self, def: &dejavu_p4ir::table::RegisterDef, index: u32) -> u128 {
+        let arr = self
+            .registers
+            .entry(def.name.clone())
+            .or_insert_with(|| vec![0u128; def.size as usize]);
+        arr[(index % def.size) as usize]
+    }
+
+    /// Writes a register cell (value truncated to the cell width, index
+    /// wrapped).
+    pub fn register_write(
+        &mut self,
+        def: &dejavu_p4ir::table::RegisterDef,
+        index: u32,
+        value: u128,
+    ) {
+        let arr = self
+            .registers
+            .entry(def.name.clone())
+            .or_insert_with(|| vec![0u128; def.size as usize]);
+        arr[(index % def.size) as usize] = value & dejavu_p4ir::mask_for(def.width_bits);
+    }
+
+    /// Control-plane view of a register cell without initializing it
+    /// (`None` when never touched).
+    pub fn register_peek(&self, name: &str, index: u32) -> Option<u128> {
+        self.registers.get(name).and_then(|a| a.get(index as usize)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::fref;
+    use dejavu_p4ir::table::TableKey;
+
+    fn lpm_table() -> TableDef {
+        TableDef {
+            name: "routes".into(),
+            keys: vec![TableKey { field: fref("ipv4", "dst_addr"), kind: MatchKind::Lpm }],
+            actions: vec!["fwd".into(), "drop".into()],
+            default_action: "drop".into(),
+            default_action_args: vec![],
+            size: 4,
+        }
+    }
+
+    fn lpm_entry(prefix: u128, len: u16, port: u128) -> TableEntry {
+        TableEntry {
+            matches: vec![KeyMatch::Lpm(Value::new(prefix, 32), len)],
+            action: "fwd".into(),
+            action_args: vec![Value::new(port, 16)],
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let def = lpm_table();
+        let mut st = TableState::new();
+        st.install(&def, lpm_entry(0x0a000000, 8, 1)).unwrap();
+        st.install(&def, lpm_entry(0x0a010000, 16, 2)).unwrap();
+        let hit = st.lookup(&def, &[Value::new(0x0a010203, 32)]).unwrap();
+        assert_eq!(hit.action_args[0].raw(), 2);
+        let hit = st.lookup(&def, &[Value::new(0x0a990203, 32)]).unwrap();
+        assert_eq!(hit.action_args[0].raw(), 1);
+        assert!(st.lookup(&def, &[Value::new(0x0b000001, 32)]).is_none());
+        assert_eq!(st.counters("routes"), TableCounters { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn ternary_priority_wins() {
+        let def = TableDef {
+            name: "acl".into(),
+            keys: vec![TableKey { field: fref("ipv4", "src_addr"), kind: MatchKind::Ternary }],
+            actions: vec!["permit".into(), "deny".into()],
+            default_action: "permit".into(),
+            default_action_args: vec![],
+            size: 8,
+        };
+        let mut st = TableState::new();
+        st.install(
+            &def,
+            TableEntry {
+                matches: vec![KeyMatch::Ternary(Value::new(0, 32), Value::new(0, 32))], // any
+                action: "permit".into(),
+                action_args: vec![],
+                priority: 1,
+            },
+        )
+        .unwrap();
+        st.install(
+            &def,
+            TableEntry {
+                matches: vec![KeyMatch::Ternary(
+                    Value::new(0x0a000000, 32),
+                    Value::new(0xff000000, 32),
+                )],
+                action: "deny".into(),
+                action_args: vec![],
+                priority: 10,
+            },
+        )
+        .unwrap();
+        let hit = st.lookup(&def, &[Value::new(0x0a123456, 32)]).unwrap();
+        assert_eq!(hit.action, "deny");
+        let hit = st.lookup(&def, &[Value::new(0x0b123456, 32)]).unwrap();
+        assert_eq!(hit.action, "permit");
+    }
+
+    #[test]
+    fn install_validates_arity_kind_action_capacity() {
+        let def = lpm_table();
+        let mut st = TableState::new();
+        // wrong arity
+        assert!(st
+            .install(
+                &def,
+                TableEntry { matches: vec![], action: "fwd".into(), action_args: vec![], priority: 0 }
+            )
+            .is_err());
+        // wrong kind
+        assert!(st
+            .install(
+                &def,
+                TableEntry {
+                    matches: vec![KeyMatch::Exact(Value::new(1, 32))],
+                    action: "fwd".into(),
+                    action_args: vec![],
+                    priority: 0
+                }
+            )
+            .is_err());
+        // unknown action
+        assert!(st
+            .install(
+                &def,
+                TableEntry {
+                    matches: vec![KeyMatch::Lpm(Value::new(0, 32), 0)],
+                    action: "ghost".into(),
+                    action_args: vec![],
+                    priority: 0
+                }
+            )
+            .is_err());
+        // capacity
+        for i in 0..4u128 {
+            st.install(&def, lpm_entry(i << 24, 8, 1)).unwrap();
+        }
+        assert!(st.install(&def, lpm_entry(0xff000000, 8, 1)).is_err());
+        assert_eq!(st.total_entries(), 4);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let def = lpm_table();
+        let mut st = TableState::new();
+        st.install(&def, lpm_entry(0, 0, 9)).unwrap();
+        assert_eq!(st.len("routes"), 1);
+        assert!(!st.is_empty("routes"));
+        st.clear("routes");
+        assert!(st.is_empty("routes"));
+    }
+
+    #[test]
+    fn wildcard_any_match_allowed_on_any_kind() {
+        let def = lpm_table();
+        let mut st = TableState::new();
+        st.install(
+            &def,
+            TableEntry {
+                matches: vec![KeyMatch::Any],
+                action: "fwd".into(),
+                action_args: vec![Value::new(3, 16)],
+                priority: -1,
+            },
+        )
+        .unwrap();
+        let hit = st.lookup(&def, &[Value::new(0xdeadbeef, 32)]).unwrap();
+        assert_eq!(hit.action_args[0].raw(), 3);
+    }
+}

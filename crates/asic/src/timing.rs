@@ -1,0 +1,112 @@
+//! Latency model, calibrated to the paper's §4 measurements.
+//!
+//! The paper measures on an idle Tofino:
+//!
+//! * port-to-port latency ≈ **650 ns** (MAC in, ingress pipe, traffic
+//!   manager, egress pipe, MAC out),
+//! * on-chip recirculation adds ≈ **75 ns** ("via dedicated circuitry on the
+//!   chip without serialization/de-serialization", ≈11.5 % of port-to-port),
+//! * off-chip recirculation via a 1 m direct-attach cable adds ≈ **145 ns**
+//!   (≈70 ns more than on-chip: SerDes + propagation).
+//!
+//! The decomposition below reproduces those aggregates while exposing the
+//! per-component constants the switch simulator accumulates event by event.
+
+/// Latency constants in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// MAC + SerDes on packet reception.
+    pub mac_rx_ns: f64,
+    /// MAC + SerDes on packet transmission.
+    pub mac_tx_ns: f64,
+    /// Parser latency per pipelet entry.
+    pub parser_ns: f64,
+    /// Latency of one MAU stage.
+    pub stage_ns: f64,
+    /// Deparser latency per pipelet exit.
+    pub deparser_ns: f64,
+    /// Traffic-manager transit (idle buffers).
+    pub tm_ns: f64,
+    /// Extra latency of one on-chip recirculation hop (egress deparser →
+    /// ingress parser via dedicated circuitry; no SerDes).
+    pub recirc_on_chip_ns: f64,
+    /// Extra latency of one off-chip hop through a 1 m direct-attach cable
+    /// (SerDes both ways + propagation).
+    pub recirc_off_chip_ns: f64,
+    /// Extra latency of a resubmission (ingress deparser → same ingress
+    /// parser; the cheapest loop path).
+    pub resubmit_ns: f64,
+}
+
+impl TimingModel {
+    /// The calibrated Tofino model. With 12 stages per pipelet this yields
+    /// exactly 650 ns port-to-port.
+    pub fn tofino() -> Self {
+        TimingModel {
+            mac_rx_ns: 40.0,
+            mac_tx_ns: 40.0,
+            parser_ns: 60.0,
+            stage_ns: 15.0,
+            deparser_ns: 25.0,
+            tm_ns: 40.0,
+            recirc_on_chip_ns: 75.0,
+            recirc_off_chip_ns: 145.0,
+            resubmit_ns: 50.0,
+        }
+    }
+
+    /// Latency of traversing one pipelet (parse, `stages` MAUs, deparse).
+    pub fn pipelet_ns(&self, stages: usize) -> f64 {
+        self.parser_ns + self.stage_ns * stages as f64 + self.deparser_ns
+    }
+
+    /// Port-to-port latency of the normal path (no recirculation): MAC in,
+    /// ingress pipelet, TM, egress pipelet, MAC out.
+    pub fn port_to_port_ns(&self, stages: usize) -> f64 {
+        self.mac_rx_ns + self.pipelet_ns(stages) + self.tm_ns + self.pipelet_ns(stages) + self.mac_tx_ns
+    }
+
+    /// End-to-end latency of a path with `k` on-chip recirculations: each
+    /// adds one recirculation hop plus a fresh ingress-pipe + TM + egress-
+    /// pipe traversal.
+    pub fn path_with_recircs_ns(&self, stages: usize, k: usize) -> f64 {
+        self.port_to_port_ns(stages)
+            + k as f64 * (self.recirc_on_chip_ns + self.pipelet_ns(stages) * 2.0 + self.tm_ns)
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::tofino()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_to_port_is_650ns() {
+        let t = TimingModel::tofino();
+        assert!((t.port_to_port_ns(12) - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recirc_constants_match_paper() {
+        let t = TimingModel::tofino();
+        // On-chip ≈ 75 ns ≈ 11.5% of port-to-port (paper: "about 11.5%").
+        assert!((t.recirc_on_chip_ns / t.port_to_port_ns(12) - 0.115).abs() < 0.002);
+        // Off-chip ≈ 70 ns slower than on-chip.
+        assert!((t.recirc_off_chip_ns - t.recirc_on_chip_ns - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_recirculation_adds_constant_latency() {
+        let t = TimingModel::tofino();
+        let base = t.path_with_recircs_ns(12, 0);
+        let one = t.path_with_recircs_ns(12, 1);
+        let two = t.path_with_recircs_ns(12, 2);
+        assert!(one > base);
+        assert!((two - one - (one - base)).abs() < 1e-9);
+    }
+}

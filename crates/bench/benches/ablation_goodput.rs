@@ -1,0 +1,105 @@
+//! Ablation A6 — workload goodput under different placements.
+//!
+//! Joins the two halves of the paper: the placement model (§3.3) decides
+//! how many recirculations each chain takes, and the feedback-queue model
+//! (§4) prices those recirculations in delivered bandwidth. For the Fig. 2
+//! workload on the §5 switch configuration (16 loopback ports → 1.6 Tbps
+//! external, 1.8 Tbps loopback pool), we compare end-to-end goodput across
+//! placement strategies.
+
+use dejavu_asic::feedback::{solve_mix, TrafficClass};
+use dejavu_asic::TofinoProfile;
+use dejavu_bench::{banner, row, write_json};
+use dejavu_core::placement::{traverse, Placement, PlacementProblem};
+use dejavu_core::ChainSet;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Strategy {
+    name: String,
+    per_chain_recirculations: Vec<(u16, u32)>,
+    goodput_gbps: f64,
+    goodput_fraction: f64,
+}
+
+fn problem() -> PlacementProblem {
+    let chains = ChainSet::edge_cloud_example();
+    let stages: BTreeMap<String, u32> = [
+        ("classifier", 2u32),
+        ("firewall", 3),
+        ("vgw", 2),
+        ("lb", 3),
+        ("router", 3),
+    ]
+    .into_iter()
+    .map(|(n, s)| (n.to_string(), s))
+    .collect();
+    PlacementProblem::new(chains, stages)
+}
+
+fn goodput(p: &PlacementProblem, placement: &Placement, external: f64, loopback: f64) -> (Vec<(u16, u32)>, f64) {
+    let total_w: f64 = p.chains.total_weight();
+    let mut classes = Vec::new();
+    let mut per_chain = Vec::new();
+    for chain in &p.chains.chains {
+        let c = traverse(chain, placement, p.entry_pipeline, p.exit_pipeline, false).unwrap();
+        per_chain.push((chain.path_id, c.recirculations));
+        classes.push(TrafficClass {
+            rate_gbps: external * chain.weight / total_w,
+            recirculations: c.recirculations as usize,
+        });
+    }
+    let mix = solve_mix(&classes, loopback);
+    (per_chain, mix.total_gbps())
+}
+
+fn main() {
+    banner("Ablation A6", "Fig. 2 workload goodput vs placement strategy (§3.3 × §4)");
+    let p = problem();
+    let profile = TofinoProfile::wedge_100b_32x();
+    let external = profile.external_capacity_gbps(16); // 1.6 Tbps
+    let loopback = 16.0 * profile.port_gbps
+        + profile.dedicated_recirc_gbps * profile.pipelines as f64; // 1.8 Tbps
+
+    let strategies: Vec<(&str, Placement)> = vec![
+        ("naive alternating", p.naive().unwrap()),
+        ("greedy", p.greedy().unwrap()),
+        ("simulated annealing", p.anneal(3, 4000).unwrap()),
+        ("exhaustive optimum", p.exhaustive(1 << 22).unwrap()),
+    ];
+
+    let mut records = Vec::new();
+    for (name, placement) in &strategies {
+        let (per_chain, delivered) = goodput(&p, placement, external, loopback);
+        let recircs: Vec<String> =
+            per_chain.iter().map(|(id, k)| format!("path{id}:{k}")).collect();
+        row(
+            name,
+            "—",
+            &format!("{:.0} Gbps of {external:.0} ({})", delivered, recircs.join(" ")),
+        );
+        records.push(Strategy {
+            name: name.to_string(),
+            per_chain_recirculations: per_chain,
+            goodput_gbps: delivered,
+            goodput_fraction: delivered / external,
+        });
+    }
+
+    let naive = records[0].goodput_gbps;
+    let best = records.iter().map(|r| r.goodput_gbps).fold(0.0f64, f64::max);
+    println!(
+        "\n  optimized placement delivers {:.2}x the naive goodput ({:.0} vs {:.0} Gbps)",
+        best / naive,
+        best,
+        naive
+    );
+    assert!(best >= naive);
+    // With §5 provisioning (all chains ≤1 recirc under a good placement),
+    // the optimum should deliver (nearly) the full external capacity.
+    assert!(best >= 0.95 * external, "best {best} of {external}");
+
+    write_json("ablation_goodput", &records);
+    println!("\n  SHAPE CHECK: placement quality translates directly into workload goodput through the §4 recirculation tax — the paper's core systems argument, end to end.");
+}

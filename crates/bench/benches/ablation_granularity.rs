@@ -1,0 +1,93 @@
+//! Ablation A2 — per-port vs per-packet recirculation granularity.
+//!
+//! §7 ("Implications for hardware/compiler designers"): "If recirculation
+//! decision can be done at per-packet granularity … we would not only have
+//! fine-grained control over the traffic that needs recirculation, but also
+//! more flexible function placement and potentially fewer recirculations."
+//!
+//! We quantify that prediction: across random chains and placements, count
+//! recirculations under today's per-port model and under the hypothetical
+//! per-packet model, and convert the savings into effective throughput via
+//! the §4 feedback model.
+
+use dejavu_asic::feedback::effective_throughput_gbps;
+use dejavu_asic::PipeletId;
+use dejavu_bench::{banner, write_json};
+use dejavu_core::placement::{traverse_with, Placement, RecircGranularity};
+use dejavu_core::{ChainPolicy, ChainSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    samples: usize,
+    per_port_mean_recircs: f64,
+    per_packet_mean_recircs: f64,
+    savings_pct: f64,
+    per_port_mean_throughput_gbps: f64,
+    per_packet_mean_throughput_gbps: f64,
+}
+
+fn main() {
+    banner("Ablation A2", "per-port vs per-packet recirculation granularity (§7 what-if)");
+    let mut rng = StdRng::seed_from_u64(2024);
+    let pipelets =
+        [PipeletId::ingress(0), PipeletId::egress(0), PipeletId::ingress(1), PipeletId::egress(1)];
+
+    let mut sum_port = 0u64;
+    let mut sum_packet = 0u64;
+    let mut thr_port = 0f64;
+    let mut thr_packet = 0f64;
+    let mut samples = 0usize;
+    for _ in 0..500 {
+        let n = rng.gen_range(2..=6);
+        let nfs: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let chain = ChainPolicy {
+            path_id: 1,
+            name: "r".into(),
+            nfs: nfs.clone(),
+            weight: 1.0,
+        };
+        let _chains = ChainSet::new(vec![chain.clone()]).unwrap();
+        let mut placement = Placement::default();
+        for nf in &nfs {
+            let p = pipelets[rng.gen_range(0..4)];
+            placement.pipelets.entry(p).or_default().push(nf.clone());
+        }
+        let port =
+            traverse_with(&chain, &placement, 0, 0, false, RecircGranularity::PerPort).unwrap();
+        let packet =
+            traverse_with(&chain, &placement, 0, 0, false, RecircGranularity::PerPacket).unwrap();
+        assert!(
+            packet.recirculations <= port.recirculations,
+            "per-packet must never cost more"
+        );
+        sum_port += u64::from(port.recirculations);
+        sum_packet += u64::from(packet.recirculations);
+        thr_port += effective_throughput_gbps(100.0, port.recirculations as usize);
+        thr_packet += effective_throughput_gbps(100.0, packet.recirculations as usize);
+        samples += 1;
+    }
+
+    let s = Summary {
+        samples,
+        per_port_mean_recircs: sum_port as f64 / samples as f64,
+        per_packet_mean_recircs: sum_packet as f64 / samples as f64,
+        savings_pct: 100.0 * (1.0 - sum_packet as f64 / sum_port as f64),
+        per_port_mean_throughput_gbps: thr_port / samples as f64,
+        per_packet_mean_throughput_gbps: thr_packet / samples as f64,
+    };
+
+    println!("  random chains/placements sampled: {}", s.samples);
+    println!("  mean recirculations: per-port {:.2}, per-packet {:.2}  (−{:.0}%)",
+        s.per_port_mean_recircs, s.per_packet_mean_recircs, s.savings_pct);
+    println!("  mean effective throughput (100G port, §4 model): per-port {:.1} G, per-packet {:.1} G",
+        s.per_port_mean_throughput_gbps, s.per_packet_mean_throughput_gbps);
+
+    assert!(s.per_packet_mean_recircs < s.per_port_mean_recircs);
+    assert!(s.savings_pct > 10.0, "expected double-digit savings, got {:.1}%", s.savings_pct);
+
+    write_json("ablation_granularity", &s);
+    println!("\n  SHAPE CHECK: per-packet granularity cuts recirculations substantially — §7's hardware prediction quantified.");
+}

@@ -1,0 +1,123 @@
+//! Ablation A1 — placement strategies on random multi-chain workloads.
+//!
+//! §3.3 sketches the optimization model ("minimize the weighted sum of the
+//! number of recirculations for all service chains"; "in practice, there
+//! could be multiple chains … which adds another layer of complexity").
+//! This ablation quantifies the strategies the core library ships: the
+//! naive alternating baseline, greedy, simulated annealing, and the exact
+//! exhaustive optimum, across random instances.
+
+use dejavu_bench::{banner, write_json};
+use dejavu_core::placement::PlacementProblem;
+use dejavu_core::{ChainPolicy, ChainSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+#[derive(Serialize, Default)]
+struct Summary {
+    instances: usize,
+    naive_mean_cost: f64,
+    greedy_mean_cost: f64,
+    anneal_mean_cost: f64,
+    exact_mean_cost: f64,
+    greedy_optimal_rate: f64,
+    anneal_optimal_rate: f64,
+    naive_vs_exact_mean_ratio: f64,
+    exact_mean_ms: f64,
+    anneal_mean_ms: f64,
+}
+
+fn random_instance(seed: u64) -> PlacementProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nfs = rng.gen_range(4..=7);
+    let n_chains = rng.gen_range(1..=4);
+    let nfs: Vec<String> = (0..n_nfs).map(|i| format!("N{i}")).collect();
+    let mut chains = Vec::new();
+    for c in 0..n_chains {
+        let mut seq: Vec<String> = nfs.iter().filter(|_| rng.gen_bool(0.75)).cloned().collect();
+        if seq.len() < 2 {
+            seq = nfs[..2].to_vec();
+        }
+        chains.push(ChainPolicy {
+            path_id: (c + 1) as u16,
+            name: format!("c{c}"),
+            nfs: seq,
+            weight: rng.gen_range(0.1..1.0),
+        });
+    }
+    let stages: BTreeMap<String, u32> =
+        nfs.iter().map(|n| (n.clone(), rng.gen_range(1..5))).collect();
+    PlacementProblem::new(ChainSet { chains }, stages)
+}
+
+fn main() {
+    banner("Ablation A1", "placement strategies over random multi-chain workloads");
+    const INSTANCES: u64 = 40;
+
+    let mut s = Summary::default();
+    let (mut greedy_opt, mut anneal_opt) = (0usize, 0usize);
+    let mut solved = 0usize;
+    for seed in 0..INSTANCES {
+        let p = random_instance(seed);
+        let t0 = Instant::now();
+        let Ok(exact) = p.exhaustive(1 << 24) else { continue };
+        let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let Ok(naive) = p.naive() else { continue };
+        let Ok(greedy) = p.greedy() else { continue };
+        let t0 = Instant::now();
+        let Ok(anneal) = p.anneal(seed ^ 0xABCD, 2000) else { continue };
+        let anneal_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let (ce, cn, cg, ca) = (
+            p.cost(&exact).unwrap(),
+            p.cost(&naive).unwrap(),
+            p.cost(&greedy).unwrap(),
+            p.cost(&anneal).unwrap(),
+        );
+        solved += 1;
+        s.exact_mean_cost += ce;
+        s.naive_mean_cost += cn;
+        s.greedy_mean_cost += cg;
+        s.anneal_mean_cost += ca;
+        s.exact_mean_ms += exact_ms;
+        s.anneal_mean_ms += anneal_ms;
+        if (cg - ce).abs() < 1e-9 {
+            greedy_opt += 1;
+        }
+        if (ca - ce).abs() < 1e-9 {
+            anneal_opt += 1;
+        }
+        s.naive_vs_exact_mean_ratio += if ce > 0.0 { cn / ce } else { 1.0 };
+        assert!(ce <= cn + 1e-9 && ce <= cg + 1e-9 && ce <= ca + 1e-9);
+    }
+    let n = solved as f64;
+    s.instances = solved;
+    s.exact_mean_cost /= n;
+    s.naive_mean_cost /= n;
+    s.greedy_mean_cost /= n;
+    s.anneal_mean_cost /= n;
+    s.exact_mean_ms /= n;
+    s.anneal_mean_ms /= n;
+    s.naive_vs_exact_mean_ratio /= n;
+    s.greedy_optimal_rate = greedy_opt as f64 / n;
+    s.anneal_optimal_rate = anneal_opt as f64 / n;
+
+    println!("  instances solved: {}", s.instances);
+    println!("  mean weighted recirculation cost:");
+    println!("    naive     {:.3}", s.naive_mean_cost);
+    println!("    greedy    {:.3}  (optimal on {:.0}% of instances)", s.greedy_mean_cost, 100.0 * s.greedy_optimal_rate);
+    println!("    annealing {:.3}  (optimal on {:.0}% of instances)", s.anneal_mean_cost, 100.0 * s.anneal_optimal_rate);
+    println!("    exact     {:.3}", s.exact_mean_cost);
+    println!("  naive/exact mean ratio: {:.2}x", s.naive_vs_exact_mean_ratio);
+    println!("  mean solver time: exhaustive {:.1} ms, annealing {:.1} ms", s.exact_mean_ms, s.anneal_mean_ms);
+
+    assert!(s.instances >= 30);
+    assert!(s.exact_mean_cost <= s.greedy_mean_cost + 1e-9);
+    assert!(s.greedy_mean_cost <= s.naive_mean_cost + 1e-9);
+
+    write_json("ablation_placement", &s);
+    println!("\n  SHAPE CHECK: naive alternating placement leaves a sizable recirculation gap; greedy recovers most of it; annealing ≈ exact.");
+}

@@ -1,0 +1,109 @@
+//! Fig. 9 / §5 — the prototype: 5 production NFs on a 2-pipeline Tofino.
+//!
+//! The paper's initial validation: the Fig. 2 service chains deployed on a
+//! Wedge-100B 32X with the 16 Ethernet ports of pipeline 1 in loopback
+//! mode — the switch then offers 1.6 Tbps externally and lets all traffic
+//! recirculate once — and the Packet Test Framework verifying input/output
+//! packets of multiple SFC paths.
+//!
+//! We regenerate all of it: the deployment, the capacity arithmetic, and a
+//! PTF suite over every path (including failure paths).
+
+use dejavu_asic::TofinoProfile;
+use dejavu_bench::{banner, row, write_json};
+use dejavu_core::placement::traverse;
+use dejavu_integration::{chain_packet, fig9_testbed, EXIT_PORT, IN_PORT};
+use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
+use dejavu_ptf::{run_suite, TestCase};
+use serde::Serialize;
+
+const VIP: u32 = 0xc633_6450;
+const BACKEND: u32 = 0x0a63_0001;
+
+#[derive(Serialize)]
+struct Record {
+    external_capacity_gbps: f64,
+    single_recirc_fraction: f64,
+    ptf_passed: usize,
+    ptf_failed: usize,
+    per_chain_recirculations: Vec<(u16, u32)>,
+}
+
+fn main() {
+    banner("Fig. 9 / §5", "prototype: 5-NF SFC on 2 pipelines / 4 pipelets");
+
+    // Capacity arithmetic of the §5 loopback configuration.
+    let profile = TofinoProfile::wedge_100b_32x();
+    let ext = profile.external_capacity_gbps(16);
+    let frac = profile.single_recirc_fraction(16);
+    row("external capacity (16 ports loopback)", "1.6 Tbps", &format!("{:.1} Tbps", ext / 1000.0));
+    row("traffic that can recirculate once", "all (100 %)", &format!("{:.0} %", frac * 100.0));
+    assert_eq!(ext, 1600.0);
+    assert_eq!(frac, 1.0);
+
+    // Deploy and pre-install the LB session for the test flow.
+    let (mut switch, dep) = fig9_testbed();
+    let pkt1 = chain_packet(1, VIP, 80);
+    let tuple = five_tuple_of(&pkt1).unwrap();
+    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, BACKEND)).unwrap();
+
+    // Per-chain recirculation counts, model-side.
+    let mut per_chain = Vec::new();
+    for chain in &dep.chains.chains {
+        let c = traverse(chain, &dep.placement, 0, 0, false).unwrap();
+        row(
+            &format!("chain {} ({}) recirculations", chain.path_id, chain.name),
+            "≤1 (§5 provisioning)",
+            &c.recirculations.to_string(),
+        );
+        assert!(c.recirculations <= 1);
+        per_chain.push((chain.path_id, c.recirculations));
+    }
+
+    // PTF suite over every path, as §5 does.
+    let decapped = |b: &[u8]| {
+        let et = u16::from_be_bytes([b[12], b[13]]);
+        if et == 0x0800 { Ok(()) } else { Err(format!("ether_type {et:#06x}")) }
+    };
+    let suite = vec![
+        TestCase::expect_port("path1 full chain", IN_PORT, pkt1, EXIT_PORT)
+            .expect_recirculations(1)
+            .expect_table_hit("lb__lb_session")
+            .expect_table_hit("router__routes")
+            .check_packet(decapped)
+            .check_packet(move |b| {
+                let dst = u32::from_be_bytes([b[30], b[31], b[32], b[33]]);
+                if dst == BACKEND { Ok(()) } else { Err(format!("dst {dst:#010x}")) }
+            }),
+        TestCase::expect_port("path2 vgw chain", IN_PORT, chain_packet(2, VIP, 80), EXIT_PORT)
+            .expect_recirculations(1)
+            .expect_table_hit("vgw__vni_map")
+            .check_packet(decapped),
+        TestCase::expect_port("path3 direct chain", IN_PORT, chain_packet(3, VIP, 80), EXIT_PORT)
+            .expect_recirculations(1)
+            .check_packet(decapped),
+        TestCase::expect_drop("firewall deny (tcp/22)", IN_PORT, chain_packet(1, VIP, 22)),
+        TestCase::expect_cpu(
+            "unclassified punts",
+            IN_PORT,
+            dejavu_traffic::PacketBuilder::tcp().src_ip(0xac10_0001).dst_ip(VIP).build(),
+        ),
+    ];
+    let n_cases = suite.len();
+    let report = run_suite(&mut switch, suite);
+    println!("\n{report}");
+    row("PTF validation", "all paths verified", &format!("{}/{} passed", report.passed(), n_cases));
+    assert!(report.all_passed());
+
+    write_json(
+        "fig9_prototype",
+        &Record {
+            external_capacity_gbps: ext,
+            single_recirc_fraction: frac,
+            ptf_passed: report.passed(),
+            ptf_failed: report.failed(),
+            per_chain_recirculations: per_chain,
+        },
+    );
+    println!("\n  SHAPE CHECK: 1.6 Tbps / one-recirculation provisioning reproduced; all SFC paths verified end-to-end, as §5 reports.");
+}

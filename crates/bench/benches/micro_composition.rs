@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: program merging and pipelet composition cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dejavu_asic::{PipeletId, TofinoProfile};
+use dejavu_compiler::StageAllocator;
+use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
+use dejavu_core::merge::merge_programs;
+use dejavu_nf::edge_cloud_suite;
+
+fn bench_composition(c: &mut Criterion) {
+    let suite = edge_cloud_suite();
+    let refs: Vec<_> = suite.iter().collect();
+    let mut group = c.benchmark_group("composition");
+    group.bench_function("merge_5_nfs", |b| {
+        b.iter(|| merge_programs("bench", &refs).unwrap())
+    });
+
+    let merged = merge_programs("bench", &refs).unwrap();
+    let plan = PipeletPlan {
+        pipelet: PipeletId::ingress(0),
+        nfs: vec![PlannedNf::entry("classifier"), PlannedNf::indexed("firewall")],
+        mode: CompositionMode::Sequential,
+    };
+    group.bench_function("compose_pipelet", |b| {
+        b.iter(|| compose_pipelet(&merged, &plan).unwrap())
+    });
+
+    let program = compose_pipelet(&merged, &plan).unwrap();
+    let allocator = StageAllocator::new(TofinoProfile::wedge_100b_32x());
+    group.bench_function("compile_pipelet", |b| b.iter(|| allocator.compile(&program).unwrap()));
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_composition
+}
+criterion_main!(benches);

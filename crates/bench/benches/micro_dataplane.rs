@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: simulated data-plane packet rate through the
+//! deployed 5-NF prototype (full parse → chain → deparse per pipelet pass).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dejavu_integration::{chain_packet, fig9_testbed, IN_PORT};
+use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
+
+fn bench_dataplane(c: &mut Criterion) {
+    let (mut switch, dep) = fig9_testbed();
+    let pkt1 = chain_packet(1, 0xc633_6450, 80);
+    let tuple = five_tuple_of(&pkt1).unwrap();
+    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, 0x0a63_0001))
+        .unwrap();
+
+    let mut group = c.benchmark_group("dataplane");
+    group.throughput(Throughput::Elements(1));
+    let pkt3 = chain_packet(3, 0xc633_6450, 80);
+    group.bench_function("path3_classifier_router", |b| {
+        b.iter(|| switch.inject(pkt3.clone(), IN_PORT).unwrap())
+    });
+    group.bench_function("path1_full_5nf_chain", |b| {
+        b.iter(|| switch.inject(pkt1.clone(), IN_PORT).unwrap())
+    });
+    let deny = chain_packet(1, 0xc633_6450, 22);
+    group.bench_function("firewall_drop_path", |b| {
+        b.iter(|| switch.inject(deny.clone(), IN_PORT).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dataplane
+}
+criterion_main!(benches);

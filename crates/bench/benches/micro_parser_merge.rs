@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark: generic-parser construction cost vs NF count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dejavu_core::merge::{generic_parser, merge_parsers};
+use dejavu_nf::{edge_cloud_suite, null_nf};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser_merge");
+    for n in [2usize, 5, 10, 20] {
+        let nfs: Vec<_> = (0..n).map(|i| null_nf(&format!("nf{i}"))).collect();
+        let refs: Vec<_> = nfs.iter().collect();
+        group.bench_with_input(BenchmarkId::new("generic_parser", n), &refs, |b, refs| {
+            b.iter(|| generic_parser(refs).unwrap())
+        });
+    }
+    // The real 5-NF suite (richer parsers: eth/ip/tcp/udp).
+    let suite = edge_cloud_suite();
+    let refs: Vec<_> = suite.iter().collect();
+    group.bench_function("edge_cloud_suite", |b| b.iter(|| generic_parser(&refs).unwrap()));
+    // Raw DAG merge without encapsulation.
+    let dags: Vec<(&str, &dejavu_p4ir::ParserDag)> =
+        suite.iter().map(|nf| (nf.name(), &nf.program().parser)).collect();
+    group.bench_function("raw_dag_merge_5", |b| b.iter(|| merge_parsers(&dags).unwrap()));
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark: placement optimizer scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dejavu_core::placement::PlacementProblem;
+use dejavu_core::{ChainPolicy, ChainSet};
+use std::collections::BTreeMap;
+
+fn problem(n_nfs: usize) -> PlacementProblem {
+    let nfs: Vec<String> = (0..n_nfs).map(|i| format!("N{i}")).collect();
+    let chains = ChainSet::new(vec![ChainPolicy {
+        path_id: 1,
+        name: "c".into(),
+        nfs: nfs.clone(),
+        weight: 1.0,
+    }])
+    .unwrap();
+    let stages: BTreeMap<String, u32> = nfs.iter().map(|n| (n.clone(), 2u32)).collect();
+    PlacementProblem::new(chains, stages)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    for n in [4usize, 6, 8] {
+        let p = problem(n);
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &p, |b, p| {
+            b.iter(|| p.exhaustive(1 << 24).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
+            b.iter(|| p.greedy().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("anneal_1k", n), &p, |b, p| {
+            b.iter(|| p.anneal(7, 1000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_placement
+}
+criterion_main!(benches);

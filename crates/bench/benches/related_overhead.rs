@@ -1,0 +1,104 @@
+//! §6 — related-work comparison: code-level merging (Dejavu) vs data-plane
+//! hypervisors (Hyper4 / HyperV).
+//!
+//! The paper: hypervisor approaches "require significantly more hardware
+//! resources (3-7×) compared to the native programs", while code-level
+//! merging is near-native. We compile the five production NFs natively,
+//! price the Dejavu framework's additive overhead, and price the same NFs
+//! under the Hyper4/HyperV emulation cost models.
+
+use dejavu_asic::{PipeletId, ResourceVector, TofinoProfile};
+use dejavu_bench::{banner, row, write_json};
+use dejavu_compiler::demand::program_demand;
+use dejavu_compiler::{EmulationModel, StageAllocator};
+use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
+use dejavu_core::merge::merge_programs;
+use dejavu_nf::edge_cloud_suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    nf: String,
+    native_sram: u32,
+    native_tcam: u32,
+    dejavu_overhead_ratio: f64,
+    hyper4_ratio: f64,
+    hyperv_ratio: f64,
+}
+
+fn aggregate(v: &ResourceVector) -> f64 {
+    // Scalar proxy for table comparison: SRAM + TCAM + crossbar bytes +
+    // table IDs (the classes §6's 3-7× claim concerns).
+    f64::from(v.sram_blocks + v.tcam_blocks + v.crossbar_bytes + v.table_ids)
+}
+
+fn main() {
+    banner("§6 comparison", "Dejavu merging vs Hyper4/HyperV emulation (5 production NFs)");
+    let nfs = edge_cloud_suite();
+    let nf_refs: Vec<_> = nfs.iter().collect();
+
+    // Dejavu overhead: framework tables added per hosted NF, measured by
+    // composing each NF alone onto a pipelet and comparing with native.
+    let allocator = StageAllocator::new(TofinoProfile::wedge_100b_32x());
+    let mut records = Vec::new();
+    println!(
+        "  {:<12} {:>12} {:>12} {:>12} {:>12}",
+        "NF", "native", "dejavu", "hyperv", "hyper4"
+    );
+    for nf in &nf_refs {
+        let native = program_demand(nf.program());
+        // Dejavu: the NF composed with its framework wrapper.
+        let merged = merge_programs("one", &[nf]).unwrap();
+        let plan = PipeletPlan {
+            pipelet: PipeletId::ingress(0),
+            nfs: vec![PlannedNf::indexed(nf.name())],
+            mode: CompositionMode::Sequential,
+        };
+        let program = compose_pipelet(&merged, &plan).unwrap();
+        let alloc = allocator.compile(&program).unwrap();
+        let dejavu_total = alloc.total_used();
+        let hyper4 = EmulationModel::hyper4();
+        let hyperv = EmulationModel::hyperv();
+        let dejavu_ratio = aggregate(&dejavu_total) / aggregate(&native);
+        let h4_ratio = hyper4.overhead_ratio(nf.program());
+        let hv_ratio = hyperv.overhead_ratio(nf.program());
+        println!(
+            "  {:<12} {:>12.1} {:>11.1}x {:>11.1}x {:>11.1}x",
+            nf.name(),
+            aggregate(&native),
+            dejavu_ratio,
+            hv_ratio,
+            h4_ratio
+        );
+        records.push(Record {
+            nf: nf.name().to_string(),
+            native_sram: native.sram_blocks,
+            native_tcam: native.tcam_blocks,
+            dejavu_overhead_ratio: dejavu_ratio,
+            hyper4_ratio: h4_ratio,
+            hyperv_ratio: hv_ratio,
+        });
+    }
+
+    let avg = |f: &dyn Fn(&Record) -> f64| {
+        records.iter().map(f).sum::<f64>() / records.len() as f64
+    };
+    let dejavu_avg = avg(&|r: &Record| r.dejavu_overhead_ratio);
+    let h4_avg = avg(&|r: &Record| r.hyper4_ratio);
+    let hv_avg = avg(&|r: &Record| r.hyperv_ratio);
+
+    println!();
+    row("Dejavu overhead vs native (avg)", "near-native", &format!("{dejavu_avg:.2}x"));
+    row("HyperV-style emulation (avg)", "3-7x", &format!("{hv_avg:.2}x"));
+    row("Hyper4-style emulation (avg)", "3-7x", &format!("{h4_avg:.2}x"));
+
+    // Shape assertions: Dejavu well below the hypervisors; hypervisors in
+    // the published 3-7× band.
+    assert!(dejavu_avg < hv_avg && dejavu_avg < h4_avg);
+    assert!((3.0..=7.0).contains(&hv_avg), "hyperv avg {hv_avg}");
+    assert!((3.0..=7.0).contains(&h4_avg), "hyper4 avg {h4_avg}");
+    assert!(dejavu_avg < 2.5, "dejavu overhead should be near-native, got {dejavu_avg}");
+
+    write_json("related_overhead", &records);
+    println!("\n  SHAPE CHECK: hypervisor emulation sits in the 3-7x band; Dejavu's merge stays near-native — §6's comparison reproduced.");
+}

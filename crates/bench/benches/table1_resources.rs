@@ -1,0 +1,119 @@
+//! Table 1 — resource overhead of the Dejavu framework on the ASIC.
+//!
+//! The paper reports the framework's own tables (branching,
+//! check_next_nf, check_sfcFlags) consuming 20.8 % of MAU stages, 4.2 % of
+//! table IDs, 2 % of gateways, 0.4 % of crossbars, 1.5 % of VLIWs, 0.2 % of
+//! SRAM, and 0 % TCAM — "due to the simple logic and bare-minimum table
+//! sizes, we observe negligible overheads".
+//!
+//! We deploy the §5 prototype shape with *null* NFs (empty control blocks),
+//! so every compiled table is a framework table, and report the same seven
+//! columns as percentages of the busiest pipeline's totals.
+
+use dejavu_asic::{Gress, PipeletId, ResourceVector, TofinoProfile};
+use dejavu_bench::{banner, row, write_json};
+use dejavu_compiler::{ResourceReport, StageAllocator};
+use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
+use dejavu_core::merge::merge_programs;
+use dejavu_nf::null_nf;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+#[derive(Serialize)]
+struct Row {
+    stages_pct: f64,
+    table_ids_pct: f64,
+    gateways_pct: f64,
+    crossbars_pct: f64,
+    vliws_pct: f64,
+    sram_pct: f64,
+    tcam_pct: f64,
+}
+
+fn main() {
+    banner("Table 1", "Dejavu framework resource overhead (null-NF prototype)");
+    let profile = TofinoProfile::wedge_100b_32x();
+    let nfs: Vec<_> =
+        ["classifier", "firewall", "vgw", "lb", "router"].iter().map(|n| null_nf(n)).collect();
+    let nf_refs: Vec<_> = nfs.iter().collect();
+    let merged = merge_programs("table1", &nf_refs).unwrap();
+    let allocator = StageAllocator::new(profile.clone());
+
+    // The §5 prototype shape: classifier+firewall on ingress 0, vgw+lb on
+    // egress 1, router on ingress 1 — pipeline 1 is the busiest (3 NFs).
+    let plans = [
+        (PipeletId::ingress(0), vec!["classifier", "firewall"]),
+        (PipeletId::egress(0), vec![]),
+        (PipeletId::ingress(1), vec!["router"]),
+        (PipeletId::egress(1), vec!["vgw", "lb"]),
+    ];
+
+    // Aggregate framework usage per pipeline.
+    let mut per_pipeline_used = vec![ResourceVector::ZERO; profile.pipelines];
+    let mut per_pipeline_stages: Vec<BTreeSet<(Gress, usize)>> =
+        vec![BTreeSet::new(); profile.pipelines];
+    for (pipelet, nf_names) in &plans {
+        let plan = PipeletPlan {
+            pipelet: *pipelet,
+            nfs: nf_names.iter().map(|n| PlannedNf::indexed(*n)).collect(),
+            mode: CompositionMode::Sequential,
+        };
+        let program = compose_pipelet(&merged, &plan).unwrap();
+        let alloc = allocator.compile(&program).unwrap();
+        for (table, demand) in &alloc.demand_of {
+            if table.starts_with("dv_") {
+                per_pipeline_used[pipelet.pipeline] += *demand;
+                let first = alloc.stage_of[table];
+                let last = alloc.last_stage_of[table];
+                for s in first..=last {
+                    per_pipeline_stages[pipelet.pipeline].insert((pipelet.gress, s));
+                }
+            }
+        }
+    }
+
+    // Report the busiest pipeline (the paper reports the aggregate of its
+    // prototype's single loaded program).
+    let busiest = (0..profile.pipelines)
+        .max_by_key(|&p| per_pipeline_stages[p].len())
+        .unwrap();
+    let report = ResourceReport::from_usage(
+        per_pipeline_stages[busiest].len(),
+        per_pipeline_used[busiest],
+        &profile,
+    );
+
+    println!("\n  column        {:^14} {:^14}", "paper", "measured");
+    row("Stages", "20.8 %", &format!("{:.1} %", report.stages_pct));
+    row("Table IDs", "4.2 %", &format!("{:.1} %", report.table_ids_pct));
+    row("Gateways", "2 %", &format!("{:.1} %", report.gateways_pct));
+    row("Crossbars", "0.4 %", &format!("{:.1} %", report.crossbars_pct));
+    row("VLIWs", "1.5 %", &format!("{:.1} %", report.vliws_pct));
+    row("SRAM", "0.2 %", &format!("{:.1} %", report.sram_pct));
+    row("TCAM", "0 %", &format!("{:.1} %", report.tcam_pct));
+
+    // Shape assertions: stages are the dominant cost (tens of percent),
+    // everything else is single-digit or below.
+    assert!(report.stages_pct >= 10.0 && report.stages_pct <= 35.0, "stages {}", report.stages_pct);
+    assert!(report.table_ids_pct < 10.0);
+    assert!(report.sram_pct < 5.0);
+    assert!(report.vliws_pct < 10.0);
+    // Note: the framework's flag-translation entries are ternary, so unlike
+    // the paper's encoding our model charges a small TCAM share; the
+    // "negligible" conclusion is unchanged.
+    assert!(report.tcam_pct < 10.0);
+
+    write_json(
+        "table1_resources",
+        &Row {
+            stages_pct: report.stages_pct,
+            table_ids_pct: report.table_ids_pct,
+            gateways_pct: report.gateways_pct,
+            crossbars_pct: report.crossbars_pct,
+            vliws_pct: report.vliws_pct,
+            sram_pct: report.sram_pct,
+            tcam_pct: report.tcam_pct,
+        },
+    );
+    println!("\n  SHAPE CHECK: stages dominate (tens of %) because Dejavu tables chain on the service index; all memory/compute overheads are negligible — matching Table 1's conclusion.");
+}

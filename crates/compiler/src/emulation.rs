@@ -1,0 +1,181 @@
+//! Virtualization (Hyper4/HyperV-style) cost baseline.
+//!
+//! §6 of the paper contrasts Dejavu's code-level merging with data-plane
+//! *hypervisors* — Hyper4 (CoNEXT'16) and HyperV (ICCCN'17) — which run a
+//! general-purpose P4 program configured at runtime to emulate the behaviour
+//! of the hosted programs. Emulation is flexible but expensive: "these
+//! approaches require significantly more hardware resources (3-7×) compared
+//! to the native programs".
+//!
+//! [`EmulationModel`] reproduces that cost structure so the related-work
+//! comparison bench can regenerate the 3-7× gap: each native table becomes a
+//! set of generic match stages (parse-emulation, match-emulation, action-
+//! emulation), inflating table IDs, stages, crossbars and VLIW usage by the
+//! published multipliers.
+
+use crate::demand::program_demand;
+use dejavu_asic::ResourceVector;
+use dejavu_p4ir::Program;
+
+/// Multipliers applied by hypervisor-style emulation, relative to native.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmulationModel {
+    /// Each native table needs this many emulation tables (match-stage,
+    /// action-stage, and control-transfer bookkeeping).
+    pub table_multiplier: u32,
+    /// Stage inflation: emulated tables cannot share stages as freely
+    /// because the generic program serializes its dispatch logic.
+    pub stage_multiplier: u32,
+    /// Match keys widen (the generic program matches on program-id +
+    /// virtual header windows as well as the original key).
+    pub crossbar_multiplier: u32,
+    /// Actions are interpreted by generic VLIW sequences.
+    pub vliw_multiplier: u32,
+    /// Generic match storage is wider than native storage.
+    pub memory_multiplier: u32,
+}
+
+impl EmulationModel {
+    /// Hyper4-like configuration (the aggressive end of the 3-7× range).
+    pub fn hyper4() -> Self {
+        EmulationModel {
+            table_multiplier: 6,
+            stage_multiplier: 4,
+            crossbar_multiplier: 3,
+            vliw_multiplier: 7,
+            memory_multiplier: 4,
+        }
+    }
+
+    /// HyperV-like configuration (the cheaper end of the range).
+    pub fn hyperv() -> Self {
+        EmulationModel {
+            table_multiplier: 4,
+            stage_multiplier: 3,
+            crossbar_multiplier: 2,
+            vliw_multiplier: 4,
+            memory_multiplier: 3,
+        }
+    }
+
+    /// Resource demand of emulating `program` instead of running it
+    /// natively.
+    pub fn emulated_demand(&self, program: &Program) -> ResourceVector {
+        let native = program_demand(program);
+        ResourceVector {
+            table_ids: native.table_ids * self.table_multiplier,
+            sram_blocks: native.sram_blocks * self.memory_multiplier,
+            tcam_blocks: native.tcam_blocks * self.memory_multiplier,
+            crossbar_bytes: native.crossbar_bytes * self.crossbar_multiplier,
+            gateways: native.gateways * self.table_multiplier,
+            vliw_slots: native.vliw_slots * self.vliw_multiplier,
+            hash_bits: native.hash_bits * self.memory_multiplier,
+        }
+    }
+
+    /// Stage span under emulation, from the native span.
+    pub fn emulated_stage_span(&self, native_span: usize) -> usize {
+        native_span * self.stage_multiplier as usize
+    }
+
+    /// Aggregate overhead ratio across resource classes (geometric mean of
+    /// the nonzero per-class ratios), e.g. ≈ 3-7× per §6.
+    pub fn overhead_ratio(&self, program: &Program) -> f64 {
+        let native = program_demand(program);
+        let emu = self.emulated_demand(program);
+        let pairs = [
+            (native.table_ids, emu.table_ids),
+            (native.sram_blocks, emu.sram_blocks),
+            (native.tcam_blocks, emu.tcam_blocks),
+            (native.crossbar_bytes, emu.crossbar_bytes),
+            (native.vliw_slots, emu.vliw_slots),
+        ];
+        let mut product = 1.0f64;
+        let mut count = 0u32;
+        for (n, e) in pairs {
+            if n > 0 {
+                product *= f64::from(e) / f64::from(n);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            product.powf(1.0 / f64::from(count))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::builder::*;
+    use dejavu_p4ir::well_known;
+    use dejavu_p4ir::{fref, Expr, FieldRef};
+
+    fn sample_program() -> Program {
+        ProgramBuilder::new("p")
+            .header(well_known::ethernet())
+            .header(well_known::ipv4())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .node("ip", "ipv4", 14)
+                    .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                    .accept("ip")
+                    .start("eth"),
+            )
+            .action(
+                ActionBuilder::new("fwd")
+                    .param("port", 16)
+                    .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                    .build(),
+            )
+            .action(ActionBuilder::new("nop").build())
+            .table(
+                TableBuilder::new("routes")
+                    .key_lpm(fref("ipv4", "dst_addr"))
+                    .action("fwd")
+                    .default_action("nop")
+                    .size(2048)
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("routes").build())
+            .entry("ingress")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn emulation_costs_3_to_7x() {
+        let p = sample_program();
+        for model in [EmulationModel::hyper4(), EmulationModel::hyperv()] {
+            let r = model.overhead_ratio(&p);
+            assert!((3.0..=7.0).contains(&r), "overhead ratio {r} outside 3-7x");
+        }
+    }
+
+    #[test]
+    fn hyper4_costs_more_than_hyperv() {
+        let p = sample_program();
+        assert!(
+            EmulationModel::hyper4().overhead_ratio(&p)
+                > EmulationModel::hyperv().overhead_ratio(&p)
+        );
+    }
+
+    #[test]
+    fn emulated_demand_dominates_native() {
+        let p = sample_program();
+        let native = program_demand(&p);
+        let emu = EmulationModel::hyper4().emulated_demand(&p);
+        assert!(emu.table_ids > native.table_ids);
+        assert!(emu.sram_blocks > native.sram_blocks);
+        assert!(emu.crossbar_bytes > native.crossbar_bytes);
+    }
+
+    #[test]
+    fn stage_span_inflates() {
+        assert_eq!(EmulationModel::hyper4().emulated_stage_span(3), 12);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dejavu-compiler — stage allocation and resource reporting
+//!
+//! This crate plays the role the proprietary P4 compiler plays in the Dejavu
+//! paper: it is the oracle that answers *"how many MAU stages / SRAM blocks
+//! / TCAM blocks / crossbar bytes does this program need, and does it fit a
+//! pipelet?"* (§3.2: "This information is usually available from the P4
+//! compiler, which typically reports the exact amount of resource usage").
+//!
+//! It consists of:
+//!
+//! * [`demand`] — a per-table resource cost model (SRAM/TCAM sizing from
+//!   declared capacity and key widths, crossbar bytes from match keys, VLIW
+//!   slots from action bodies, gateways from control-flow nesting),
+//! * [`alloc`] — an ASAP stage allocator that respects match/action/
+//!   successor dependencies (Jose et al., NSDI'15) and per-stage capacity,
+//! * [`report`] — Table-1-style usage reports (percent of pipeline totals),
+//! * [`emulation`] — the Hyper4/HyperV-style *virtualization* cost model
+//!   used as the related-work baseline (§6: such approaches "require
+//!   significantly more hardware resources (3-7×) compared to the native
+//!   programs").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod demand;
+pub mod emulation;
+pub mod report;
+
+pub use alloc::{Allocation, CompileError, StageAllocator};
+pub use demand::{program_demand, table_demand, DemandModel};
+pub use emulation::EmulationModel;
+pub use report::ResourceReport;

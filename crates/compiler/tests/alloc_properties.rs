@@ -1,0 +1,127 @@
+//! Property tests over the stage allocator's invariants: for any random
+//! program it accepts,
+//!
+//! * no stage exceeds its resource capacity,
+//! * every match/action dependency is honored (the dependent table's first
+//!   chunk sits strictly after the predecessor's last chunk),
+//! * successor dependencies preserve order (same stage allowed),
+//! * the charged totals equal the sum of per-table demands.
+
+use dejavu_asic::TofinoProfile;
+use dejavu_compiler::StageAllocator;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::{fref, DependencyGraph, DependencyKind, Expr, FieldRef, Program};
+use proptest::prelude::*;
+
+/// Builds a random program of `n` tables. Table `i` matches either on a
+/// fresh ipv4 field (independent) or on the metadata field written by table
+/// `i-1` (forcing a match dependency), per the `chained` bits; table sizes
+/// vary.
+fn random_program(chained: Vec<bool>, sizes: Vec<u16>) -> Program {
+    let n = chained.len();
+    let mut b = ProgramBuilder::new("prop")
+        .header(dejavu_p4ir::well_known::ethernet())
+        .header(dejavu_p4ir::well_known::ipv4())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .node("ip", "ipv4", 14)
+                .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                .accept("ip")
+                .start("eth"),
+        )
+        .action(ActionBuilder::new("nop").build());
+    let mut control = ControlBuilder::new("ingress");
+    for i in 0..n {
+        b = b
+            .meta_field(format!("f{i}"), 16)
+            .action(
+                ActionBuilder::new(format!("w{i}"))
+                    .set(FieldRef::meta(format!("f{i}")), Expr::val(1, 16))
+                    .build(),
+            )
+            .table(
+                TableBuilder::new(format!("t{i}"))
+                    .key_exact(if i > 0 && chained[i] {
+                        FieldRef::meta(format!("f{}", i - 1))
+                    } else {
+                        fref("ipv4", "src_addr")
+                    })
+                    .action(format!("w{i}"))
+                    .default_action("nop")
+                    .size(u32::from(sizes[i]).max(1))
+                    .build(),
+            );
+        control = control.apply(&format!("t{i}"));
+    }
+    b.control(control.build()).entry("ingress").build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn allocation_invariants(
+        chained in proptest::collection::vec(any::<bool>(), 1..8),
+        sizes in proptest::collection::vec(1u16..2048, 8),
+    ) {
+        let n = chained.len();
+        let program = random_program(chained, sizes[..n].to_vec());
+        let profile = TofinoProfile::wedge_100b_32x();
+        let allocator = StageAllocator::new(profile.clone());
+        let Ok(alloc) = allocator.compile(&program) else {
+            // Programs the allocator rejects are out of scope here.
+            return Ok(());
+        };
+
+        // (a) capacity respected in every stage.
+        for stage in &alloc.stages {
+            prop_assert!(stage.used.within(&profile.stage_capacity));
+        }
+
+        // (b)/(c) dependency ordering.
+        let graph = DependencyGraph::build(&program);
+        for e in &graph.edges {
+            let from_last = alloc.last_stage_of[&e.from];
+            let to_first = alloc.stage_of[&e.to];
+            match e.kind {
+                DependencyKind::Match | DependencyKind::Action => {
+                    prop_assert!(
+                        to_first > from_last,
+                        "{} -> {} ({:?}) placed {} !> {}",
+                        e.from, e.to, e.kind, to_first, from_last
+                    );
+                }
+                DependencyKind::Successor => {
+                    prop_assert!(to_first >= from_last);
+                }
+            }
+        }
+
+        // (d) charged totals equal the sum of demands.
+        let sum = alloc
+            .demand_of
+            .values()
+            .fold(dejavu_asic::ResourceVector::ZERO, |acc, d| acc + *d);
+        prop_assert_eq!(alloc.total_used(), sum);
+
+        // (e) split tables span forward only.
+        for (t, &first) in &alloc.stage_of {
+            prop_assert!(alloc.last_stage_of[t] >= first);
+        }
+    }
+
+    #[test]
+    fn fits_together_is_monotone(
+        a_tables in 1usize..6,
+        b_tables in 1usize..6,
+    ) {
+        // If A+B fit together, then A alone and B alone fit.
+        let a = random_program(vec![false; a_tables], vec![64; a_tables]);
+        let b = random_program(vec![false; b_tables], vec![64; b_tables]);
+        let allocator = StageAllocator::new(TofinoProfile::tiny());
+        if allocator.fits_together(&a, &b) {
+            prop_assert!(allocator.fits(&a));
+            prop_assert!(allocator.fits(&b));
+        }
+    }
+}

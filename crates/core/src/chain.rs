@@ -1,0 +1,163 @@
+//! Service chain policies.
+//!
+//! An SFC policy is an ordered sequence of NF names identified by a service
+//! path ID, with a weight reflecting the share of traffic following it
+//! (§3.3: "each SFC policy may carry a weight reflecting the percentage of
+//! traffic following that chaining policy"). Fig. 2's production example has
+//! three paths over five NFs:
+//!
+//! * `1`: Classifier → Firewall → VGW → Load balancer → Router (red)
+//! * `2`: Classifier → VGW → Router (orange)
+//! * `3`: Classifier → Router (green)
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One service chain policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPolicy {
+    /// Service path ID carried in the SFC header.
+    pub path_id: u16,
+    /// Human-readable name.
+    pub name: String,
+    /// NF names, in traversal order.
+    pub nfs: Vec<String>,
+    /// Fraction of traffic on this chain (used as the optimization weight).
+    pub weight: f64,
+}
+
+impl ChainPolicy {
+    /// Creates a policy.
+    pub fn new(path_id: u16, name: impl Into<String>, nfs: Vec<&str>, weight: f64) -> Self {
+        ChainPolicy {
+            path_id,
+            name: name.into(),
+            nfs: nfs.into_iter().map(str::to_string).collect(),
+            weight,
+        }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True when the chain has no NFs.
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+}
+
+impl fmt::Display for ChainPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path {} ({}): {}", self.path_id, self.name, self.nfs.join(" → "))
+    }
+}
+
+/// A set of chain policies sharing one switch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChainSet {
+    /// The policies.
+    pub chains: Vec<ChainPolicy>,
+}
+
+impl ChainSet {
+    /// Creates a chain set, validating path-ID uniqueness and normalizable
+    /// weights.
+    pub fn new(chains: Vec<ChainPolicy>) -> Result<Self, String> {
+        let mut ids = BTreeSet::new();
+        for c in &chains {
+            if !ids.insert(c.path_id) {
+                return Err(format!("duplicate path_id {}", c.path_id));
+            }
+            if c.is_empty() {
+                return Err(format!("chain {} has no NFs", c.path_id));
+            }
+            if c.weight <= 0.0 || c.weight.is_nan() {
+                return Err(format!("chain {} has non-positive weight", c.path_id));
+            }
+        }
+        Ok(ChainSet { chains })
+    }
+
+    /// All distinct NF names across chains, in first-appearance order.
+    pub fn all_nfs(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.chains {
+            for nf in &c.nfs {
+                if !out.contains(nf) {
+                    out.push(nf.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Looks up a chain by path ID.
+    pub fn chain(&self, path_id: u16) -> Option<&ChainPolicy> {
+        self.chains.iter().find(|c| c.path_id == path_id)
+    }
+
+    /// Total weight (for normalization).
+    pub fn total_weight(&self) -> f64 {
+        self.chains.iter().map(|c| c.weight).sum()
+    }
+
+    /// The paper's Fig. 2 edge-cloud example: three paths over five NFs.
+    pub fn edge_cloud_example() -> Self {
+        ChainSet::new(vec![
+            ChainPolicy::new(
+                1,
+                "full",
+                vec!["classifier", "firewall", "vgw", "lb", "router"],
+                0.5,
+            ),
+            ChainPolicy::new(2, "vgw-only", vec!["classifier", "vgw", "router"], 0.3),
+            ChainPolicy::new(3, "direct", vec!["classifier", "router"], 0.2),
+        ])
+        .expect("example chain set is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_cloud_example_shape() {
+        let cs = ChainSet::edge_cloud_example();
+        assert_eq!(cs.chains.len(), 3);
+        assert_eq!(cs.all_nfs(), vec!["classifier", "firewall", "vgw", "lb", "router"]);
+        assert_eq!(cs.chain(1).unwrap().len(), 5);
+        assert_eq!(cs.chain(3).unwrap().nfs, vec!["classifier", "router"]);
+        assert!((cs.total_weight() - 1.0).abs() < 1e-12);
+        assert!(cs.chain(4).is_none());
+    }
+
+    #[test]
+    fn duplicate_path_id_rejected() {
+        let err = ChainSet::new(vec![
+            ChainPolicy::new(1, "a", vec!["x"], 1.0),
+            ChainPolicy::new(1, "b", vec!["y"], 1.0),
+        ])
+        .unwrap_err();
+        assert!(err.contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(ChainSet::new(vec![ChainPolicy::new(1, "a", vec![], 1.0)]).is_err());
+    }
+
+    #[test]
+    fn bad_weight_rejected() {
+        assert!(ChainSet::new(vec![ChainPolicy::new(1, "a", vec!["x"], 0.0)]).is_err());
+        assert!(ChainSet::new(vec![ChainPolicy::new(1, "a", vec!["x"], -1.0)]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = ChainPolicy::new(2, "vgw-only", vec!["classifier", "vgw"], 0.3);
+        assert_eq!(c.to_string(), "path 2 (vgw-only): classifier → vgw");
+    }
+}

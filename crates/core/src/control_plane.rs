@@ -1,0 +1,240 @@
+//! Merged control plane (paper §7, "Control plane merge").
+//!
+//! After Dejavu merges N data-plane programs into one, the NFs' control
+//! planes still speak their *original* API — "install an entry into my
+//! `lb_session` table". The paper proposes a translation layer mapping the
+//! original control-plane APIs onto the merged SFC program. [`ControlPlane`]
+//! is that layer:
+//!
+//! * [`ControlPlane::install`] — translate `(nf, table, entry)` to the
+//!   merged table name on the pipelet hosting the NF, and install it,
+//! * [`ControlPlane::process_punts`] — the to-CPU loop: packets an NF sent
+//!   to the control plane (e.g. the Fig. 4 load balancer's session misses)
+//!   are handed to a registered per-NF handler, which may install entries
+//!   and ask for reinjection ("the control plane will simply install a new
+//!   session … and reinject the packet into the data plane").
+
+use crate::deploy::Deployment;
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::{PortId, Switch, Traversal};
+use dejavu_p4ir::table::TableEntry;
+use dejavu_p4ir::IrError;
+use std::collections::BTreeMap;
+
+/// What a punt handler asks the control plane to do.
+#[derive(Debug, Clone, Default)]
+pub struct PuntResponse {
+    /// Entries to install, as `(nf, table, entry)` in the NF's own naming.
+    pub install: Vec<(String, String, TableEntry)>,
+    /// Reinject the punted packet afterwards.
+    pub reinject: bool,
+    /// Bytes to reinject instead of the punted ones. Handlers typically use
+    /// [`rewind_and_clear`] so the NF that punted re-executes against the
+    /// freshly installed entry; when `None`, the control plane reinjects
+    /// the punted bytes with the SFC platform flags cleared (the stale
+    /// to-CPU flag would otherwise punt the packet forever).
+    pub reinject_bytes: Option<Vec<u8>>,
+}
+
+/// Clears the SFC header's platform flags in wire bytes (no-op when the
+/// packet carries no SFC header).
+pub fn clear_sfc_flags(bytes: &mut [u8]) {
+    let Some(mut h) = read_wire_sfc(bytes) else { return };
+    h.resub_flag = false;
+    h.recirc_flag = false;
+    h.drop_flag = false;
+    h.mirror_flag = false;
+    h.to_cpu_flag = false;
+    write_wire_sfc(bytes, &h);
+}
+
+/// Prepares a punted packet for reinjection after the remedy was installed:
+/// clears the platform flags and rewinds the service index by one, so the
+/// NF that punted (whose dispatch advanced the index before the flag check
+/// caught the punt) runs again — this time hitting the new entry. Returns
+/// `None` when the packet has no SFC header or the index is already 0.
+pub fn rewind_and_clear(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut out = bytes.to_vec();
+    let mut h = read_wire_sfc(&out)?;
+    if h.service_index == 0 {
+        return None;
+    }
+    h.service_index -= 1;
+    h.resub_flag = false;
+    h.recirc_flag = false;
+    h.drop_flag = false;
+    h.mirror_flag = false;
+    h.to_cpu_flag = false;
+    write_wire_sfc(&mut out, &h);
+    Some(out)
+}
+
+fn read_wire_sfc(bytes: &[u8]) -> Option<crate::sfc::SfcHeader> {
+    if bytes.len() < 34 {
+        return None;
+    }
+    let ether_type = u16::from_be_bytes([bytes[12], bytes[13]]);
+    if ether_type != crate::sfc::SFC_ETHERTYPE {
+        return None;
+    }
+    let hdr: [u8; 20] = bytes[14..34].try_into().ok()?;
+    Some(crate::sfc::SfcHeader::from_bytes(&hdr))
+}
+
+fn write_wire_sfc(bytes: &mut [u8], h: &crate::sfc::SfcHeader) {
+    bytes[14..34].copy_from_slice(&h.to_bytes());
+}
+
+/// Handler invoked for packets an NF punted to the CPU. Receives the punted
+/// wire bytes; returns what to do.
+pub type PuntHandler = Box<dyn FnMut(&[u8]) -> PuntResponse>;
+
+/// The merged control plane.
+pub struct ControlPlane {
+    handlers: BTreeMap<String, PuntHandler>,
+    /// Packets punted to the CPU, with the port they were injected on.
+    punt_queue: Vec<(Vec<u8>, PortId)>,
+    /// Statistics.
+    pub stats: ControlPlaneStats,
+}
+
+/// Counters of control-plane activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlPlaneStats {
+    /// Punted packets seen.
+    pub punts: u64,
+    /// Entries installed through the translation layer.
+    pub installs: u64,
+    /// Packets reinjected.
+    pub reinjections: u64,
+}
+
+impl Default for ControlPlane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlPlane {
+    /// An empty control plane.
+    pub fn new() -> Self {
+        ControlPlane {
+            handlers: BTreeMap::new(),
+            punt_queue: Vec::new(),
+            stats: ControlPlaneStats::default(),
+        }
+    }
+
+    /// Registers the punt handler of an NF.
+    pub fn register_handler(&mut self, nf: &str, handler: PuntHandler) {
+        self.handlers.insert(nf.to_string(), handler);
+    }
+
+    /// Translates and installs an entry through the NF's original API view:
+    /// `(nf, table)` resolves to the merged `<nf>__<table>` on the pipelet
+    /// hosting the NF.
+    pub fn install(
+        &mut self,
+        switch: &mut Switch,
+        deployment: &Deployment,
+        nf: &str,
+        table: &str,
+        entry: TableEntry,
+    ) -> Result<(), IrError> {
+        deployment.install(switch, nf, table, entry)?;
+        self.stats.installs += 1;
+        Ok(())
+    }
+
+    /// Records a punted packet for later processing.
+    pub fn enqueue_punt(&mut self, bytes: Vec<u8>, in_port: PortId) {
+        self.stats.punts += 1;
+        self.punt_queue.push((bytes, in_port));
+    }
+
+    /// Convenience: inject a packet and, if it lands at the CPU, queue it.
+    pub fn inject_tracking_punts(
+        &mut self,
+        switch: &mut Switch,
+        bytes: Vec<u8>,
+        port: PortId,
+    ) -> Result<Traversal, IrError> {
+        let t = switch.inject(bytes, port)?;
+        if t.disposition == Disposition::ToCpu {
+            self.enqueue_punt(t.final_bytes.clone(), port);
+        }
+        Ok(t)
+    }
+
+    /// Drains the punt queue: every punted packet goes to every registered
+    /// handler (an NF handler that does not recognize the packet returns an
+    /// empty response). Installs requested entries and reinjects packets,
+    /// returning the traversals of reinjected packets.
+    pub fn process_punts(
+        &mut self,
+        switch: &mut Switch,
+        deployment: &Deployment,
+    ) -> Result<Vec<Traversal>, IrError> {
+        let queue = std::mem::take(&mut self.punt_queue);
+        let mut traversals = Vec::new();
+        for (bytes, in_port) in queue {
+            let mut reinject = false;
+            let mut installs = Vec::new();
+            let mut override_bytes = None;
+            for handler in self.handlers.values_mut() {
+                let resp = handler(&bytes);
+                installs.extend(resp.install);
+                reinject |= resp.reinject;
+                if resp.reinject_bytes.is_some() {
+                    override_bytes = resp.reinject_bytes;
+                }
+            }
+            for (nf, table, entry) in installs {
+                self.install(switch, deployment, &nf, &table, entry)?;
+            }
+            if reinject {
+                self.stats.reinjections += 1;
+                let bytes = override_bytes.unwrap_or_else(|| {
+                    let mut b = bytes;
+                    clear_sfc_flags(&mut b);
+                    b
+                });
+                let t = switch.inject(bytes, in_port)?;
+                if t.disposition == Disposition::ToCpu {
+                    // Still punting: requeue (handler may converge next round).
+                    self.enqueue_punt(t.final_bytes.clone(), in_port);
+                }
+                traversals.push(t);
+            }
+        }
+        Ok(traversals)
+    }
+
+    /// Number of packets waiting in the punt queue.
+    pub fn pending_punts(&self) -> usize {
+        self.punt_queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punt_queue_and_stats() {
+        let mut cp = ControlPlane::new();
+        cp.enqueue_punt(vec![1, 2, 3], 0);
+        cp.enqueue_punt(vec![4], 1);
+        assert_eq!(cp.pending_punts(), 2);
+        assert_eq!(cp.stats.punts, 2);
+    }
+
+    #[test]
+    fn handler_registration() {
+        let mut cp = ControlPlane::new();
+        cp.register_handler("lb", Box::new(|_| PuntResponse::default()));
+        assert_eq!(cp.handlers.len(), 1);
+    }
+    // Full punt → install → reinject round-trips are exercised by the
+    // cross-crate integration tests, where a real LB NF is deployed.
+}

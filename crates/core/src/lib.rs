@@ -1,0 +1,59 @@
+//! # dejavu-core — the Dejavu service-chaining framework
+//!
+//! The primary contribution of *Accelerated Service Chaining on a Single
+//! Switch ASIC* (HotNets 2019): a framework that composes multiple network
+//! functions into one multi-pipelet data-plane program, places them on a
+//! programmable switch ASIC, and routes packets through their service chains
+//! on-chip.
+//!
+//! Module map, following the paper's §3:
+//!
+//! * [`sfc`] — the customized NSH-based SFC header (Fig. 3): service path
+//!   ID, service index, mirrored platform metadata, 12 bytes of key-value
+//!   context, next-protocol byte; inserted between Ethernet and IP under a
+//!   dedicated EtherType.
+//! * [`chain`] — SFC policies: weighted NF sequences per path ID (Fig. 2).
+//! * [`nfmodule`] — the control-block programming interface (§3.1): an NF is
+//!   a program whose entry control touches only packet headers (including
+//!   `sfc.*`) and NF-local metadata — platform metadata is framework
+//!   territory and API compliance is checked.
+//! * [`merge`] — the generic parser (§3): DAG merging over
+//!   `(header_type, offset)` vertex identities with a global-ID table, plus
+//!   namespacing of NF-local actions/tables/metadata.
+//! * [`compose`] — sequential and parallel NF composition (Fig. 5),
+//!   generating the per-pipelet programs with the framework's
+//!   `check_nextNF`/`check_sfcFlags`/branching tables.
+//! * [`placement`] — NF placement optimization (§3.3): the traversal cost
+//!   model (reproducing Fig. 6 exactly), the naive baseline, greedy,
+//!   exhaustive, and simulated-annealing optimizers minimizing weighted
+//!   recirculations.
+//! * [`routing`] — on-chip packet routing (§3.4): synthesis of branching-
+//!   table entries after placement.
+//! * [`deploy`] — end-to-end deployment: compose → compile → load → route a
+//!   chain set onto a `dejavu_asic::Switch`.
+//! * [`control_plane`] — the merged control plane (§7): per-NF API views
+//!   translated onto the merged program, and the to-CPU reinjection loop.
+//! * [`multiswitch`] — the multi-switch extension (§7): placement across a
+//!   cluster of back-to-back ASICs with off-chip transition costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod compose;
+pub mod control_plane;
+pub mod deploy;
+pub mod merge;
+pub mod multiswitch;
+pub mod nfmodule;
+pub mod placement;
+pub mod routing;
+pub mod sfc;
+
+pub use chain::{ChainPolicy, ChainSet};
+pub use compose::{compose_pipelet, CompositionMode, PipeletPlan};
+pub use merge::{merge_parsers, MergeError};
+pub use nfmodule::{ApiViolation, NfModule};
+pub use placement::{Location, Placement, PlacementProblem, RecircGranularity, TraversalCost};
+pub use routing::RoutingSynthesis;
+pub use sfc::SfcHeader;

@@ -1,0 +1,845 @@
+//! The generic parser and program merging (paper §3).
+//!
+//! > "To enable the co-location of multiple NFs, we merge the parsers of
+//! > individual NFs and generate a generic parser. … we consider
+//! > representing vertices in the DAG as (header_type, offset) tuples so
+//! > that two vertices are equivalent only when their headers have the same
+//! > type and appear at the same location offset. We create a lookup table
+//! > that maps each such tuple to a global ID."
+//!
+//! This module implements exactly that:
+//!
+//! * [`GlobalIdTable`] — the `(header_type, offset) → global ID` lookup
+//!   table,
+//! * [`merge_parsers`] — DAG union over tuple identities, with conflict
+//!   detection (same vertex selecting on different fields, same select case
+//!   leading to different vertices, contradictory defaults),
+//! * [`encapsulate_for_sfc`] — rewrites an NF parser into its SFC-
+//!   encapsulated twin: the 20-byte SFC header sits between Ethernet and
+//!   the rest, so every non-Ethernet vertex shifts by 20 bytes and the
+//!   Ethernet select gains the SFC EtherType case. Merging the raw and
+//!   encapsulated twins of every NF parser yields the *generic parser* that
+//!   accepts both pre-classification and in-chain packets,
+//! * [`merge_programs`] — whole-program merging: unified header catalog
+//!   (same name ⇒ identical layout), per-NF namespacing of actions, tables,
+//!   controls, and local metadata (`<nf>__<name>`), producing the base
+//!   program that [`crate::compose`] wraps with framework logic.
+
+use crate::nfmodule::NfModule;
+use crate::sfc::{sfc_header_type, NEXT_PROTO_IPV4, SFC_ETHERTYPE, SFC_HEADER};
+use dejavu_p4ir::action::{ActionDef, Expr, PrimitiveOp};
+use dejavu_p4ir::control::{BoolExpr, ControlBlock, Stmt};
+use dejavu_p4ir::parser::{ParseNode, ParserDag, Target, Transition};
+use dejavu_p4ir::{FieldDef, FieldRef, HeaderType, Program, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Merge failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Two NFs define the same header type with different layouts.
+    HeaderLayoutConflict {
+        /// The conflicting type name.
+        header: String,
+    },
+    /// The same parser vertex selects on different fields in different NFs.
+    SelectFieldConflict {
+        /// Vertex `(header_type, offset)`.
+        vertex: (String, u32),
+        /// The two fields.
+        fields: (String, String),
+    },
+    /// The same select case leads to different vertices.
+    CaseConflict {
+        /// Vertex where the case lives.
+        vertex: (String, u32),
+        /// The conflicting case value.
+        case: Value,
+    },
+    /// Contradictory defaults / unconditional continuations at a vertex.
+    DefaultConflict {
+        /// Vertex `(header_type, offset)`.
+        vertex: (String, u32),
+    },
+    /// Parsers begin at different vertices.
+    StartConflict,
+    /// A vertex mixes an unconditional continuation to another header with
+    /// a select — the continuation would be silently lost.
+    MixedTransitionConflict {
+        /// Vertex `(header_type, offset)`.
+        vertex: (String, u32),
+    },
+    /// An EtherType with no next-protocol code for SFC encapsulation.
+    UnsupportedEtherType {
+        /// The EtherType value.
+        ether_type: u128,
+    },
+    /// Underlying IR error.
+    Ir(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::HeaderLayoutConflict { header } => {
+                write!(f, "header type {header} has conflicting layouts across NFs")
+            }
+            MergeError::SelectFieldConflict { vertex, fields } => write!(
+                f,
+                "vertex ({}, {}) selects on both {} and {}",
+                vertex.0, vertex.1, fields.0, fields.1
+            ),
+            MergeError::CaseConflict { vertex, case } => {
+                write!(f, "vertex ({}, {}) maps case {case} to different targets", vertex.0, vertex.1)
+            }
+            MergeError::DefaultConflict { vertex } => {
+                write!(f, "vertex ({}, {}) has contradictory defaults", vertex.0, vertex.1)
+            }
+            MergeError::StartConflict => write!(f, "parsers start at different vertices"),
+            MergeError::MixedTransitionConflict { vertex } => write!(
+                f,
+                "vertex ({}, {}) mixes unconditional continuation with a select",
+                vertex.0, vertex.1
+            ),
+            MergeError::UnsupportedEtherType { ether_type } => {
+                write!(f, "no SFC next-protocol code for EtherType {ether_type:#x}")
+            }
+            MergeError::Ir(m) => write!(f, "IR error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Vertex identity: `(header_type, byte offset)`.
+pub type VertexKey = (String, u32);
+
+/// The paper's tuple → global ID lookup table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GlobalIdTable {
+    ids: BTreeMap<VertexKey, u32>,
+}
+
+impl GlobalIdTable {
+    /// Assigns (or returns) the global ID of a vertex.
+    pub fn intern(&mut self, key: VertexKey) -> u32 {
+        let next = self.ids.len() as u32;
+        *self.ids.entry(key).or_insert(next)
+    }
+
+    /// Looks up a vertex's global ID.
+    pub fn get(&self, header_type: &str, offset: u32) -> Option<u32> {
+        self.ids.get(&(header_type.to_string(), offset)).copied()
+    }
+
+    /// Number of interned vertices.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no vertices have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates `(vertex, id)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VertexKey, &u32)> {
+        self.ids.iter()
+    }
+}
+
+/// Key-space target used while merging.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum KTarget {
+    Key(VertexKey),
+    Accept,
+    Reject,
+}
+
+/// Default-merging precedence: continuing to a vertex beats accepting,
+/// accepting beats rejecting; two different vertices conflict.
+fn merge_default(a: KTarget, b: KTarget, vertex: &VertexKey) -> Result<KTarget, MergeError> {
+    use KTarget::*;
+    Ok(match (a, b) {
+        (Key(x), Key(y)) => {
+            if x == y {
+                Key(x)
+            } else {
+                return Err(MergeError::DefaultConflict { vertex: vertex.clone() });
+            }
+        }
+        (Key(x), _) | (_, Key(x)) => Key(x),
+        (Accept, _) | (_, Accept) => Accept,
+        (Reject, Reject) => Reject,
+    })
+}
+
+/// Merged transition in key space.
+#[derive(Debug, Clone, PartialEq)]
+enum KTransition {
+    Unconditional(KTarget),
+    Select { field: String, cases: BTreeMap<Value, KTarget>, default: KTarget },
+}
+
+fn to_key_target(t: Target, dag: &ParserDag) -> KTarget {
+    match t {
+        Target::Accept => KTarget::Accept,
+        Target::Reject => KTarget::Reject,
+        Target::Node(i) => {
+            let n = &dag.nodes[i];
+            KTarget::Key((n.header_type.clone(), n.offset))
+        }
+    }
+}
+
+/// Merges several parser DAGs into one generic parser, returning the merged
+/// DAG and the global-ID table. Inputs are `(nf_name, dag)` pairs — the name
+/// is only used for deterministic ordering and error messages.
+pub fn merge_parsers(
+    inputs: &[(&str, &ParserDag)],
+) -> Result<(ParserDag, GlobalIdTable), MergeError> {
+    let mut vertices: BTreeMap<VertexKey, (String, Option<KTransition>)> = BTreeMap::new();
+    let mut start: Option<KTarget> = None;
+
+    for (_, dag) in inputs {
+        // Start target.
+        if let Some(s) = dag.start {
+            let ks = to_key_target(s, dag);
+            match &start {
+                None => start = Some(ks),
+                Some(existing) => {
+                    if *existing != ks {
+                        return Err(MergeError::StartConflict);
+                    }
+                }
+            }
+        }
+        for node in &dag.nodes {
+            let key = (node.header_type.clone(), node.offset);
+            let kt = match &node.transition {
+                Transition::Unconditional(t) => KTransition::Unconditional(to_key_target(*t, dag)),
+                Transition::Select { field, cases, default } => KTransition::Select {
+                    field: field.clone(),
+                    cases: cases
+                        .iter()
+                        .map(|(v, t)| (*v, to_key_target(*t, dag)))
+                        .collect(),
+                    default: to_key_target(*default, dag),
+                },
+            };
+            let entry = vertices
+                .entry(key.clone())
+                .or_insert_with(|| (node.header_type.clone(), None));
+            entry.1 = Some(match entry.1.take() {
+                None => kt,
+                Some(existing) => merge_transitions(existing, kt, &key)?,
+            });
+        }
+    }
+
+    // Materialize: deterministic node order = sorted keys; intern global IDs
+    // in the same order.
+    let mut ids = GlobalIdTable::default();
+    let keys: Vec<VertexKey> = vertices.keys().cloned().collect();
+    for k in &keys {
+        ids.intern(k.clone());
+    }
+    let index_of = |kt: &KTarget| -> Target {
+        match kt {
+            KTarget::Accept => Target::Accept,
+            KTarget::Reject => Target::Reject,
+            KTarget::Key(k) => Target::Node(
+                keys.iter().position(|x| x == k).expect("merged target key exists"),
+            ),
+        }
+    };
+    let mut dag = ParserDag::new();
+    for k in &keys {
+        let (header_type, transition) = &vertices[k];
+        let transition = match transition.as_ref().expect("every vertex got a transition") {
+            KTransition::Unconditional(t) => Transition::Unconditional(index_of(t)),
+            KTransition::Select { field, cases, default } => Transition::Select {
+                field: field.clone(),
+                cases: cases.iter().map(|(v, t)| (*v, index_of(t))).collect(),
+                default: index_of(default),
+            },
+        };
+        dag.add_node(ParseNode { header_type: header_type.clone(), offset: k.1, transition });
+    }
+    dag.start = start.as_ref().map(index_of);
+    Ok((dag, ids))
+}
+
+fn merge_transitions(
+    a: KTransition,
+    b: KTransition,
+    vertex: &VertexKey,
+) -> Result<KTransition, MergeError> {
+    use KTransition::*;
+    Ok(match (a, b) {
+        (Unconditional(x), Unconditional(y)) => {
+            Unconditional(merge_default(x, y, vertex)?)
+        }
+        (Select { field, cases, default }, Unconditional(u))
+        | (Unconditional(u), Select { field, cases, default }) => {
+            // An unconditional continuation to another header cannot be
+            // reconciled with a select — packets matching a case would skip
+            // it. Unconditional Accept/Reject folds into the default.
+            if matches!(u, KTarget::Key(_)) {
+                return Err(MergeError::MixedTransitionConflict { vertex: vertex.clone() });
+            }
+            let default = merge_default(default, u, vertex)?;
+            Select { field, cases, default }
+        }
+        (
+            Select { field: fa, cases: ca, default: da },
+            Select { field: fb, cases: cb, default: db },
+        ) => {
+            if fa != fb {
+                return Err(MergeError::SelectFieldConflict {
+                    vertex: vertex.clone(),
+                    fields: (fa, fb),
+                });
+            }
+            let mut cases = ca;
+            for (v, t) in cb {
+                match cases.get(&v) {
+                    None => {
+                        cases.insert(v, t);
+                    }
+                    Some(existing) if *existing == t => {}
+                    Some(_) => {
+                        return Err(MergeError::CaseConflict { vertex: vertex.clone(), case: v })
+                    }
+                }
+            }
+            Select { field: fa, cases, default: merge_default(da, db, vertex)? }
+        }
+    })
+}
+
+/// Next-protocol code carried in the SFC header for a given EtherType.
+pub fn next_proto_for_ethertype(ether_type: u128) -> Result<u8, MergeError> {
+    match ether_type {
+        0x0800 => Ok(NEXT_PROTO_IPV4),
+        0x0806 => Ok(0x02), // ARP
+        0x86dd => Ok(0x03), // IPv6
+        other => Err(MergeError::UnsupportedEtherType { ether_type: other }),
+    }
+}
+
+/// Rewrites an NF parser into its SFC-encapsulated twin.
+///
+/// The SFC header occupies bytes 14..34 (between Ethernet and what
+/// followed), so every non-Ethernet vertex shifts 20 bytes right; the
+/// Ethernet select is replaced by the single SFC EtherType case leading to
+/// the `sfc` vertex, which selects on `next_protocol` to reach the shifted
+/// continuations of the original Ethernet cases.
+pub fn encapsulate_for_sfc(dag: &ParserDag) -> Result<ParserDag, MergeError> {
+    const SFC_LEN: u32 = 20;
+    let eth_idx = dag
+        .find("ethernet", 0)
+        .ok_or_else(|| MergeError::Ir("NF parser does not start with ethernet@0".into()))?;
+
+    let mut out = ParserDag::new();
+    // Copy non-ethernet nodes, shifted; remember old-index → new-index.
+    let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, node) in dag.nodes.iter().enumerate() {
+        if i == eth_idx {
+            continue;
+        }
+        let idx = out.add_node(ParseNode {
+            header_type: node.header_type.clone(),
+            offset: node.offset + SFC_LEN,
+            transition: Transition::Unconditional(Target::Accept), // patched below
+        });
+        remap.insert(i, idx);
+    }
+    let patch = |t: Target| -> Target {
+        match t {
+            Target::Node(i) => Target::Node(remap[&i]),
+            other => other,
+        }
+    };
+    for (i, node) in dag.nodes.iter().enumerate() {
+        if i == eth_idx {
+            continue;
+        }
+        let new_t = match &node.transition {
+            Transition::Unconditional(t) => Transition::Unconditional(patch(*t)),
+            Transition::Select { field, cases, default } => Transition::Select {
+                field: field.clone(),
+                cases: cases.iter().map(|(v, t)| (*v, patch(*t))).collect(),
+                default: patch(*default),
+            },
+        };
+        out.nodes[remap[&i]].transition = new_t;
+    }
+
+    // The sfc vertex: select on next_protocol → shifted continuations of the
+    // original ethernet cases.
+    let sfc_cases: Vec<(Value, Target)> = match &dag.nodes[eth_idx].transition {
+        Transition::Unconditional(_) => Vec::new(),
+        Transition::Select { cases, .. } => cases
+            .iter()
+            .map(|(v, t)| {
+                let code = next_proto_for_ethertype(v.raw())?;
+                Ok((Value::new(u128::from(code), 8), patch(*t)))
+            })
+            .collect::<Result<_, MergeError>>()?,
+    };
+    let sfc_default = match &dag.nodes[eth_idx].transition {
+        Transition::Unconditional(t) => patch(*t),
+        Transition::Select { default, .. } => patch(*default),
+    };
+    let sfc_idx = out.add_node(ParseNode {
+        header_type: SFC_HEADER.to_string(),
+        offset: 14,
+        transition: if sfc_cases.is_empty() {
+            Transition::Unconditional(sfc_default)
+        } else {
+            Transition::Select {
+                field: "next_protocol".into(),
+                cases: sfc_cases,
+                default: sfc_default,
+            }
+        },
+    });
+
+    // New ethernet vertex: only the SFC EtherType case (the raw twin covers
+    // everything else after merging).
+    let eth_new = out.add_node(ParseNode {
+        header_type: "ethernet".into(),
+        offset: 0,
+        transition: Transition::Select {
+            field: "ether_type".into(),
+            cases: vec![(Value::new(u128::from(SFC_ETHERTYPE), 16), Target::Node(sfc_idx))],
+            default: Target::Accept,
+        },
+    });
+    out.start = Some(Target::Node(eth_new));
+    Ok(out)
+}
+
+/// Builds the generic parser for a set of NFs: the merge of every NF's raw
+/// parser and its SFC-encapsulated twin.
+pub fn generic_parser(nfs: &[&NfModule]) -> Result<(ParserDag, GlobalIdTable), MergeError> {
+    let mut encapsulated: Vec<(String, ParserDag)> = Vec::new();
+    for nf in nfs {
+        encapsulated.push((
+            format!("{}+sfc", nf.name()),
+            encapsulate_for_sfc(&nf.program().parser)?,
+        ));
+    }
+    let mut inputs: Vec<(&str, &ParserDag)> = Vec::new();
+    for nf in nfs {
+        inputs.push((nf.name(), &nf.program().parser));
+    }
+    for (name, dag) in &encapsulated {
+        inputs.push((name.as_str(), dag));
+    }
+    merge_parsers(&inputs)
+}
+
+/// Result of merging NF programs into one namespace.
+#[derive(Debug, Clone)]
+pub struct MergedProgram {
+    /// The merged program: generic parser, unified headers, namespaced
+    /// actions/tables/controls. Has **no entry control yet** — composition
+    /// adds the framework wrapper per pipelet.
+    pub program: Program,
+    /// Entry control of each NF in the merged namespace.
+    pub nf_entries: BTreeMap<String, String>,
+    /// The paper's global-ID lookup table for parser vertices.
+    pub global_ids: GlobalIdTable,
+}
+
+/// Namespaces a name under its NF: `<nf>__<name>`.
+pub fn scoped(nf: &str, name: &str) -> String {
+    format!("{nf}__{name}")
+}
+
+/// Merges NF programs: header catalog union (layout conflicts rejected),
+/// generic parser construction, and per-NF namespacing.
+pub fn merge_programs(name: &str, nfs: &[&NfModule]) -> Result<MergedProgram, MergeError> {
+    let mut program = Program::new(name);
+
+    // Header catalog: union with layout-conflict detection, plus the SFC
+    // header (the framework always needs it).
+    let mut add_header = |ht: &HeaderType| -> Result<(), MergeError> {
+        match program.header_types.get(&ht.name) {
+            None => {
+                program.header_types.insert(ht.name.clone(), ht.clone());
+                Ok(())
+            }
+            Some(existing) if existing == ht => Ok(()),
+            Some(_) => Err(MergeError::HeaderLayoutConflict { header: ht.name.clone() }),
+        }
+    };
+    add_header(&sfc_header_type())?;
+    for nf in nfs {
+        for ht in nf.program().header_types.values() {
+            add_header(ht)?;
+        }
+    }
+
+    // Generic parser.
+    let (parser, global_ids) = generic_parser(nfs)?;
+    program.parser = parser;
+
+    // Namespaced metadata, actions, tables, controls.
+    let mut nf_entries = BTreeMap::new();
+    for nf in nfs {
+        let p = nf.program();
+        let local_meta: Vec<&FieldDef> = p.meta_fields.iter().collect();
+        let rename_meta = |fr: &FieldRef| -> FieldRef {
+            if fr.is_meta() && local_meta.iter().any(|f| f.name == fr.field) {
+                FieldRef::meta(scoped(nf.name(), &fr.field))
+            } else {
+                fr.clone()
+            }
+        };
+        for f in &p.meta_fields {
+            program
+                .meta_fields
+                .push(FieldDef { name: scoped(nf.name(), &f.name), bits: f.bits });
+        }
+        for act in p.actions.values() {
+            program.actions.insert(
+                scoped(nf.name(), &act.name),
+                rename_action(act, nf.name(), &rename_meta),
+            );
+        }
+        for r in p.registers.values() {
+            let mut r2 = r.clone();
+            r2.name = scoped(nf.name(), &r.name);
+            program.registers.insert(r2.name.clone(), r2);
+        }
+        for t in p.tables.values() {
+            let mut t2 = t.clone();
+            t2.name = scoped(nf.name(), &t.name);
+            for k in &mut t2.keys {
+                k.field = rename_meta(&k.field);
+            }
+            t2.actions = t2.actions.iter().map(|a| scoped(nf.name(), a)).collect();
+            t2.default_action = scoped(nf.name(), &t2.default_action);
+            program.tables.insert(t2.name.clone(), t2);
+        }
+        for cb in p.controls.values() {
+            let body = cb
+                .body
+                .iter()
+                .map(|s| rename_stmt(s, nf.name(), &rename_meta))
+                .collect();
+            let new_name = scoped(nf.name(), &cb.name);
+            program.controls.insert(new_name.clone(), ControlBlock::new(new_name, body));
+        }
+        nf_entries.insert(nf.name().to_string(), scoped(nf.name(), &p.entry));
+    }
+
+    Ok(MergedProgram { program, nf_entries, global_ids })
+}
+
+fn rename_action(
+    act: &ActionDef,
+    nf: &str,
+    rename_meta: &dyn Fn(&FieldRef) -> FieldRef,
+) -> ActionDef {
+    ActionDef {
+        name: scoped(nf, &act.name),
+        params: act.params.clone(),
+        ops: act
+            .ops
+            .iter()
+            .map(|op| match op {
+                PrimitiveOp::Set { dst, value } => PrimitiveOp::Set {
+                    dst: rename_meta(dst),
+                    value: rename_expr(value, rename_meta),
+                },
+                PrimitiveOp::Hash { dst, algo, inputs } => PrimitiveOp::Hash {
+                    dst: rename_meta(dst),
+                    algo: *algo,
+                    inputs: inputs.iter().map(|e| rename_expr(e, rename_meta)).collect(),
+                },
+                PrimitiveOp::RegisterRead { dst, register, index } => {
+                    PrimitiveOp::RegisterRead {
+                        dst: rename_meta(dst),
+                        register: scoped(nf, register),
+                        index: rename_expr(index, rename_meta),
+                    }
+                }
+                PrimitiveOp::RegisterWrite { register, index, value } => {
+                    PrimitiveOp::RegisterWrite {
+                        register: scoped(nf, register),
+                        index: rename_expr(index, rename_meta),
+                        value: rename_expr(value, rename_meta),
+                    }
+                }
+                other => other.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn rename_expr(e: &Expr, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> Expr {
+    match e {
+        Expr::Field(fr) => Expr::Field(rename_meta(fr)),
+        Expr::Const(_) | Expr::Param(_) => e.clone(),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(rename_expr(a, rename_meta)),
+            Box::new(rename_expr(b, rename_meta)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(rename_expr(a, rename_meta)),
+            Box::new(rename_expr(b, rename_meta)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(rename_expr(a, rename_meta)),
+            Box::new(rename_expr(b, rename_meta)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(rename_expr(a, rename_meta)),
+            Box::new(rename_expr(b, rename_meta)),
+        ),
+        Expr::Xor(a, b) => Expr::Xor(
+            Box::new(rename_expr(a, rename_meta)),
+            Box::new(rename_expr(b, rename_meta)),
+        ),
+        Expr::Shl(a, n) => Expr::Shl(Box::new(rename_expr(a, rename_meta)), *n),
+        Expr::Shr(a, n) => Expr::Shr(Box::new(rename_expr(a, rename_meta)), *n),
+    }
+}
+
+fn rename_bool(b: &BoolExpr, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> BoolExpr {
+    match b {
+        BoolExpr::Cmp(a, op, c) => {
+            BoolExpr::Cmp(rename_expr(a, rename_meta), *op, rename_expr(c, rename_meta))
+        }
+        BoolExpr::And(x, y) => BoolExpr::And(
+            Box::new(rename_bool(x, rename_meta)),
+            Box::new(rename_bool(y, rename_meta)),
+        ),
+        BoolExpr::Or(x, y) => BoolExpr::Or(
+            Box::new(rename_bool(x, rename_meta)),
+            Box::new(rename_bool(y, rename_meta)),
+        ),
+        BoolExpr::Not(x) => BoolExpr::Not(Box::new(rename_bool(x, rename_meta))),
+        BoolExpr::Valid(h) => BoolExpr::Valid(h.clone()),
+    }
+}
+
+fn rename_stmt(s: &Stmt, nf: &str, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> Stmt {
+    match s {
+        Stmt::Apply(t) => Stmt::Apply(scoped(nf, t)),
+        Stmt::ApplySelect { table, arms, default } => Stmt::ApplySelect {
+            table: scoped(nf, table),
+            arms: arms
+                .iter()
+                .map(|(a, b)| {
+                    (
+                        scoped(nf, a),
+                        b.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
+                    )
+                })
+                .collect(),
+            default: default.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
+        },
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: rename_bool(cond, rename_meta),
+            then_branch: then_branch.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
+            else_branch: else_branch.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
+        },
+        Stmt::Do(a) => Stmt::Do(scoped(nf, a)),
+        Stmt::Call(c) => Stmt::Call(scoped(nf, c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::builder::*;
+    use dejavu_p4ir::well_known;
+    use std::collections::HashMap;
+
+    fn headers_map(program_less: bool) -> HashMap<String, HeaderType> {
+        let mut m: HashMap<String, HeaderType> =
+            [well_known::ethernet(), well_known::ipv4(), well_known::tcp(), well_known::udp()]
+                .into_iter()
+                .map(|h| (h.name.clone(), h))
+                .collect();
+        if !program_less {
+            m.insert(SFC_HEADER.into(), sfc_header_type());
+        }
+        m
+    }
+
+    /// eth → ipv4 parser.
+    fn ip_parser() -> ParserDag {
+        ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .node("ip", "ipv4", 14)
+            .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+            .accept("ip")
+            .start("eth")
+            .build()
+    }
+
+    /// eth → ipv4 → tcp parser.
+    fn tcp_parser() -> ParserDag {
+        ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .node("ip", "ipv4", 14)
+            .node("tcp", "tcp", 34)
+            .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+            .select("ip", "protocol", 8, vec![(6, "tcp")])
+            .accept("tcp")
+            .start("eth")
+            .build()
+    }
+
+    #[test]
+    fn merge_is_union_of_vertices() {
+        let a = ip_parser();
+        let b = tcp_parser();
+        let (merged, ids) = merge_parsers(&[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(merged.nodes.len(), 3); // eth@0, ipv4@14, tcp@34
+        assert_eq!(ids.len(), 3);
+        assert!(ids.get("ethernet", 0).is_some());
+        assert!(ids.get("tcp", 34).is_some());
+        merged.validate(&headers_map(true)).unwrap();
+    }
+
+    #[test]
+    fn merged_parser_accepts_all_input_paths() {
+        let a = ip_parser();
+        let b = tcp_parser();
+        let (merged, _) = merge_parsers(&[("a", &a), ("b", &b)]).unwrap();
+        let cat = headers_map(true);
+        // TCP packet: full three-header path.
+        let mut tcp_pkt = vec![0u8; 54];
+        tcp_pkt[12] = 0x08;
+        tcp_pkt[23] = 6;
+        let path = merged.parse(&cat, &tcp_pkt).unwrap();
+        assert_eq!(path.len(), 3);
+        // UDP packet: parser a accepted at ipv4; merged must too (default
+        // accept at the ip select).
+        let mut udp_pkt = vec![0u8; 42];
+        udp_pkt[12] = 0x08;
+        udp_pkt[23] = 17;
+        let path = merged.parse(&cat, &udp_pkt).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn same_case_same_target_ok_conflict_detected() {
+        let a = ip_parser();
+        // A parser mapping 0x0800 to a *different* vertex (ipv4 at offset 18).
+        let b = ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .node("ip", "ipv4", 18)
+            .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+            .accept("ip")
+            .start("eth")
+            .build();
+        let err = merge_parsers(&[("a", &a), ("b", &b)]).unwrap_err();
+        assert!(matches!(err, MergeError::CaseConflict { .. }));
+    }
+
+    #[test]
+    fn select_field_conflict_detected() {
+        let a = ip_parser();
+        let b = ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .node("ip", "ipv4", 14)
+            .select("eth", "src_mac", 48, vec![(1, "ip")])
+            .accept("ip")
+            .start("eth")
+            .build();
+        let err = merge_parsers(&[("a", &a), ("b", &b)]).unwrap_err();
+        assert!(matches!(err, MergeError::SelectFieldConflict { .. }));
+    }
+
+    #[test]
+    fn mixed_transition_conflict_detected() {
+        let a = ip_parser();
+        // Unconditionally continue into ipv4 (no select).
+        let b = ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .node("ip", "ipv4", 14)
+            .goto("eth", "ip")
+            .accept("ip")
+            .start("eth")
+            .build();
+        let err = merge_parsers(&[("a", &a), ("b", &b)]).unwrap_err();
+        assert!(matches!(err, MergeError::MixedTransitionConflict { .. }));
+    }
+
+    #[test]
+    fn encapsulated_parser_shifts_and_splices() {
+        let enc = encapsulate_for_sfc(&tcp_parser()).unwrap();
+        let cat = headers_map(false);
+        enc.validate(&cat).unwrap();
+        // Build an SFC-encapsulated TCP packet: eth(SFC ethertype) + sfc(20,
+        // next_proto=ipv4) + ipv4 + tcp.
+        let mut pkt = vec![0u8; 74];
+        pkt[12] = 0x88;
+        pkt[13] = 0xb5;
+        pkt[33] = NEXT_PROTO_IPV4; // sfc.next_protocol is the 20th byte of sfc
+        pkt[43] = 6; // ipv4.protocol at 34+9
+        let path = enc.parse(&cat, &pkt).unwrap();
+        assert_eq!(
+            path,
+            vec![
+                ("ethernet".to_string(), 0),
+                (SFC_HEADER.to_string(), 14),
+                ("ipv4".to_string(), 34),
+                ("tcp".to_string(), 54),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_parser_accepts_raw_and_encapsulated() {
+        let raw = tcp_parser();
+        let enc = encapsulate_for_sfc(&raw).unwrap();
+        let (merged, ids) = merge_parsers(&[("raw", &raw), ("enc", &enc)]).unwrap();
+        let cat = headers_map(false);
+        merged.validate(&cat).unwrap();
+        // Raw TCP.
+        let mut tcp_pkt = vec![0u8; 54];
+        tcp_pkt[12] = 0x08;
+        tcp_pkt[23] = 6;
+        assert_eq!(merged.parse(&cat, &tcp_pkt).unwrap().len(), 3);
+        // Encapsulated TCP.
+        let mut pkt = vec![0u8; 74];
+        pkt[12] = 0x88;
+        pkt[13] = 0xb5;
+        pkt[33] = NEXT_PROTO_IPV4;
+        pkt[43] = 6;
+        assert_eq!(merged.parse(&cat, &pkt).unwrap().len(), 4);
+        // Both ipv4@14 (raw) and ipv4@34 (encapsulated) exist as distinct
+        // vertices — the tuple identity at work.
+        assert!(ids.get("ipv4", 14).is_some());
+        assert!(ids.get("ipv4", 34).is_some());
+    }
+
+    #[test]
+    fn unsupported_ethertype_encapsulation_rejected() {
+        let dag = ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .node("ip", "ipv4", 14)
+            .select("eth", "ether_type", 16, vec![(0x9999, "ip")])
+            .accept("ip")
+            .start("eth")
+            .build();
+        assert!(matches!(
+            encapsulate_for_sfc(&dag).unwrap_err(),
+            MergeError::UnsupportedEtherType { .. }
+        ));
+    }
+
+    #[test]
+    fn scoped_names() {
+        assert_eq!(scoped("lb", "lb_session"), "lb__lb_session");
+    }
+}

@@ -1,0 +1,303 @@
+//! The NF programming interface (paper §3.1).
+//!
+//! Dejavu lets developers write NFs as modular control blocks with one
+//! argument:
+//!
+//! ```text
+//! control XX_control(inout all_headers_t hdr);
+//! ```
+//!
+//! The `hdr` argument carries protocol headers *and* the SFC header — NFs
+//! express platform effects (drop, to-CPU, mirror, resubmit) by setting
+//! `hdr.sfc.*` flags, never by touching platform metadata directly. The
+//! framework's `check_sfcFlags` stage translates those flags afterwards.
+//!
+//! [`NfModule`] wraps a validated program and enforces that contract:
+//! programs that read or write standard metadata are rejected with an
+//! [`ApiViolation`]. NF-local scratch metadata (declared via
+//! `meta_fields`) is allowed — the merge step namespaces it per NF.
+
+use crate::sfc::{sfc_header_type, SFC_HEADER};
+use dejavu_p4ir::program::STANDARD_METADATA;
+use dejavu_p4ir::{FieldRef, IrError, Program};
+use std::fmt;
+
+/// Why a program does not conform to the Dejavu NF API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiViolation {
+    /// The program failed base IR validation.
+    InvalidProgram(String),
+    /// The program reads or writes platform (standard) metadata directly.
+    TouchesPlatformMetadata {
+        /// Offending field.
+        field: String,
+        /// Where it was found.
+        context: String,
+    },
+    /// The program declares an `sfc` header type that differs from the
+    /// canonical Dejavu layout.
+    SfcLayoutMismatch,
+    /// An NF-local metadata field shadows a standard metadata name.
+    ShadowsStandardMetadata {
+        /// The shadowing field name.
+        field: String,
+    },
+}
+
+impl fmt::Display for ApiViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiViolation::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            ApiViolation::TouchesPlatformMetadata { field, context } => {
+                write!(f, "NF touches platform metadata {field} in {context} — use hdr.sfc.* instead")
+            }
+            ApiViolation::SfcLayoutMismatch => {
+                write!(f, "NF declares an sfc header that differs from the canonical layout")
+            }
+            ApiViolation::ShadowsStandardMetadata { field } => {
+                write!(f, "NF metadata field {field} shadows standard metadata")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiViolation {}
+
+/// A network function: a program validated against the Dejavu NF API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NfModule {
+    program: Program,
+}
+
+impl NfModule {
+    /// Wraps a *framework-supplied* NF that is allowed to touch platform
+    /// metadata directly (the paper's Classifier and Router are "supplied
+    /// by the Dejavu framework for all SFC paths" — the Classifier must
+    /// copy the physical ingress port into `sfc.in_port`, for example).
+    /// Base validation and the SFC-layout check still apply.
+    pub fn new_privileged(program: Program) -> Result<Self, ApiViolation> {
+        program.validate().map_err(|e: IrError| ApiViolation::InvalidProgram(e.to_string()))?;
+        if let Some(ht) = program.header_types.get(SFC_HEADER) {
+            if *ht != sfc_header_type() {
+                return Err(ApiViolation::SfcLayoutMismatch);
+            }
+        }
+        for f in &program.meta_fields {
+            if STANDARD_METADATA.iter().any(|(n, _)| *n == f.name) {
+                return Err(ApiViolation::ShadowsStandardMetadata { field: f.name.clone() });
+            }
+        }
+        Ok(NfModule { program })
+    }
+
+    /// Wraps and validates an NF program.
+    pub fn new(program: Program) -> Result<Self, ApiViolation> {
+        program.validate().map_err(|e: IrError| ApiViolation::InvalidProgram(e.to_string()))?;
+
+        // NF-local metadata must not shadow standard names.
+        for f in &program.meta_fields {
+            if STANDARD_METADATA.iter().any(|(n, _)| *n == f.name) {
+                return Err(ApiViolation::ShadowsStandardMetadata { field: f.name.clone() });
+            }
+        }
+
+        // If the NF references the sfc header it must use the canonical
+        // layout (merging relies on identical definitions).
+        if let Some(ht) = program.header_types.get(SFC_HEADER) {
+            if *ht != sfc_header_type() {
+                return Err(ApiViolation::SfcLayoutMismatch);
+            }
+        }
+
+        // No direct platform-metadata access from actions, keys, or
+        // conditions.
+        let check = |fr: &FieldRef, context: String| -> Result<(), ApiViolation> {
+            if fr.is_meta() && STANDARD_METADATA.iter().any(|(n, _)| *n == fr.field) {
+                return Err(ApiViolation::TouchesPlatformMetadata {
+                    field: fr.to_string(),
+                    context,
+                });
+            }
+            Ok(())
+        };
+        for act in program.actions.values() {
+            for fr in act.reads().iter().chain(act.writes().iter()) {
+                check(fr, format!("action {}", act.name))?;
+            }
+        }
+        for t in program.tables.values() {
+            for k in &t.keys {
+                check(&k.field, format!("table {}", t.name))?;
+            }
+        }
+        for cb in program.controls.values() {
+            for stmt in &cb.body {
+                for fr in collect_cond_reads(stmt) {
+                    check(&fr, format!("control {}", cb.name))?;
+                }
+            }
+        }
+        Ok(NfModule { program })
+    }
+
+    /// The NF's name (the program name).
+    pub fn name(&self) -> &str {
+        &self.program.name
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The entry control's name.
+    pub fn entry_control(&self) -> &str {
+        &self.program.entry
+    }
+}
+
+fn collect_cond_reads(stmt: &dejavu_p4ir::Stmt) -> Vec<FieldRef> {
+    use dejavu_p4ir::Stmt;
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::If { cond, then_branch, else_branch } => {
+            out.extend(cond.reads());
+            for s in then_branch.iter().chain(else_branch.iter()) {
+                out.extend(collect_cond_reads(s));
+            }
+        }
+        Stmt::ApplySelect { arms, default, .. } => {
+            for (_, b) in arms {
+                for s in b {
+                    out.extend(collect_cond_reads(s));
+                }
+            }
+            for s in default {
+                out.extend(collect_cond_reads(s));
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::builder::*;
+    use dejavu_p4ir::well_known;
+    use dejavu_p4ir::{fref, Expr, FieldRef};
+
+    fn base_builder(name: &str) -> ProgramBuilder {
+        ProgramBuilder::new(name)
+            .header(well_known::ethernet())
+            .header(sfc_header_type())
+            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+    }
+
+    #[test]
+    fn compliant_nf_accepted() {
+        let p = base_builder("fw")
+            .meta_field("verdict", 8)
+            .action(
+                ActionBuilder::new("deny")
+                    .set(crate::sfc::sfc_field("drop_flag"), Expr::val(1, 1))
+                    .build(),
+            )
+            .action(ActionBuilder::new("permit").build())
+            .table(
+                TableBuilder::new("acl")
+                    .key_ternary(fref("ethernet", "src_mac"))
+                    .action("deny")
+                    .default_action("permit")
+                    .build(),
+            )
+            .control(ControlBuilder::new("fw_ctrl").apply("acl").build())
+            .entry("fw_ctrl")
+            .build()
+            .unwrap();
+        let nf = NfModule::new(p).unwrap();
+        assert_eq!(nf.name(), "fw");
+        assert_eq!(nf.entry_control(), "fw_ctrl");
+    }
+
+    #[test]
+    fn platform_metadata_write_rejected() {
+        let p = base_builder("bad")
+            .action(
+                ActionBuilder::new("cheat")
+                    .set(FieldRef::meta("egress_spec"), Expr::val(3, 16))
+                    .build(),
+            )
+            .control(ControlBuilder::new("c").invoke("cheat").build())
+            .entry("c")
+            .build()
+            .unwrap();
+        let err = NfModule::new(p).unwrap_err();
+        assert!(matches!(err, ApiViolation::TouchesPlatformMetadata { .. }));
+    }
+
+    #[test]
+    fn platform_metadata_read_rejected() {
+        let p = base_builder("bad")
+            .meta_field("copy", 16)
+            .action(
+                ActionBuilder::new("peek")
+                    .set(FieldRef::meta("copy"), Expr::meta("ingress_port"))
+                    .build(),
+            )
+            .control(ControlBuilder::new("c").invoke("peek").build())
+            .entry("c")
+            .build()
+            .unwrap();
+        let err = NfModule::new(p).unwrap_err();
+        assert!(matches!(err, ApiViolation::TouchesPlatformMetadata { .. }));
+    }
+
+    #[test]
+    fn platform_metadata_key_rejected() {
+        let p = base_builder("bad")
+            .action(ActionBuilder::new("nop").build())
+            .table(
+                TableBuilder::new("t")
+                    .key_exact(FieldRef::meta("ingress_port"))
+                    .default_action("nop")
+                    .build(),
+            )
+            .control(ControlBuilder::new("c").apply("t").build())
+            .entry("c")
+            .build()
+            .unwrap();
+        let err = NfModule::new(p).unwrap_err();
+        assert!(matches!(err, ApiViolation::TouchesPlatformMetadata { .. }));
+    }
+
+    #[test]
+    fn shadowing_standard_metadata_rejected() {
+        let p = base_builder("bad")
+            .meta_field("drop_flag", 1)
+            .action(ActionBuilder::new("nop").build())
+            .control(ControlBuilder::new("c").invoke("nop").build())
+            .entry("c")
+            .build()
+            .unwrap();
+        let err = NfModule::new(p).unwrap_err();
+        assert!(matches!(err, ApiViolation::ShadowsStandardMetadata { .. }));
+    }
+
+    #[test]
+    fn wrong_sfc_layout_rejected() {
+        let bogus_sfc =
+            dejavu_p4ir::HeaderType::new(SFC_HEADER, vec![("path_id", 16u16)]).unwrap();
+        let p = ProgramBuilder::new("bad")
+            .header(well_known::ethernet())
+            .header(bogus_sfc)
+            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .action(ActionBuilder::new("nop").build())
+            .control(ControlBuilder::new("c").invoke("nop").build())
+            .entry("c")
+            .build()
+            .unwrap();
+        assert_eq!(NfModule::new(p).unwrap_err(), ApiViolation::SfcLayoutMismatch);
+    }
+}

@@ -1,0 +1,333 @@
+//! The Dejavu SFC header (paper Fig. 3).
+//!
+//! A 20-byte header based on the IETF NSH proposal (RFC 8300), embedded
+//! *between the Ethernet and IP headers* and announced by a dedicated
+//! EtherType. Layout:
+//!
+//! ```text
+//! ┌───────────────┬──────────────┬───────────────────┬──────────────┬──────────────┐
+//! │ service path  │ service      │ platform metadata │ context data │ next         │
+//! │ ID (2 B)      │ index (1 B)  │ (4 B)             │ (12 B)       │ protocol(1 B)│
+//! └───────────────┴──────────────┴───────────────────┴──────────────┴──────────────┘
+//! ```
+//!
+//! * `(path_id, service_index)` uniquely identify the next NF for a packet;
+//!   the index advances after each NF.
+//! * The platform-metadata bytes mirror the switch intrinsic state the NF
+//!   API shields: `in_port` (13 bits), `out_port` (13 bits), and the
+//!   resubmission / recirculation / drop / mirror / to-CPU flags (1 bit
+//!   each, 1 bit pad). The paper lists these exact fields.
+//! * Context data is four key-value pairs (1-byte key, 2-byte value)
+//!   carrying tenant ID, application ID, debugging info, … along the path.
+//! * `next_protocol` records what followed the SFC header so the Router can
+//!   restore the Ethernet EtherType on removal.
+
+use dejavu_p4ir::{fref, FieldRef, HeaderType, Value};
+use dejavu_asic::ParsedPacket;
+
+/// EtherType announcing the SFC header (experimental range).
+pub const SFC_ETHERTYPE: u16 = 0x88B5;
+/// Name of the SFC header type in programs.
+pub const SFC_HEADER: &str = "sfc";
+/// `out_port` value meaning "not yet set" (13 bits, all ones).
+pub const SFC_PORT_UNSET: u16 = 0x1fff;
+/// `next_protocol` value for IPv4.
+pub const NEXT_PROTO_IPV4: u8 = 0x01;
+/// `next_protocol` value for "none/unknown".
+pub const NEXT_PROTO_NONE: u8 = 0x00;
+/// Number of context key-value pairs.
+pub const CTX_SLOTS: usize = 4;
+
+/// Well-known context keys used by the example NFs.
+pub mod ctx_keys {
+    /// Tenant identifier.
+    pub const TENANT_ID: u8 = 0x01;
+    /// Application identifier.
+    pub const APP_ID: u8 = 0x02;
+    /// Debugging breadcrumb.
+    pub const DEBUG: u8 = 0x03;
+    /// VXLAN virtual network identifier (set by the virtualization gateway).
+    pub const VNI: u8 = 0x04;
+}
+
+/// The IR header type of the SFC header — 160 bits, byte-aligned.
+pub fn sfc_header_type() -> HeaderType {
+    HeaderType::new(
+        SFC_HEADER,
+        vec![
+            ("path_id", 16u16),
+            ("service_index", 8),
+            // platform metadata: 4 bytes
+            ("in_port", 13),
+            ("out_port", 13),
+            ("resub_flag", 1),
+            ("recirc_flag", 1),
+            ("drop_flag", 1),
+            ("mirror_flag", 1),
+            ("to_cpu_flag", 1),
+            ("pad", 1),
+            // context data: 4 × (key 8, value 16)
+            ("ctx_key0", 8),
+            ("ctx_val0", 16),
+            ("ctx_key1", 8),
+            ("ctx_val1", 16),
+            ("ctx_key2", 8),
+            ("ctx_val2", 16),
+            ("ctx_key3", 8),
+            ("ctx_val3", 16),
+            ("next_protocol", 8),
+        ],
+    )
+    .expect("sfc header is well-formed")
+}
+
+/// Field reference into the SFC header, e.g. `sfc_field("path_id")`.
+pub fn sfc_field(field: &str) -> FieldRef {
+    fref(SFC_HEADER, field)
+}
+
+/// A decoded SFC header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SfcHeader {
+    /// Service path identifier.
+    pub path_id: u16,
+    /// Index of the next NF on the path.
+    pub service_index: u8,
+    /// Physical ingress port recorded at classification.
+    pub in_port: u16,
+    /// Physical egress port, [`SFC_PORT_UNSET`] until routed.
+    pub out_port: u16,
+    /// Request resubmission.
+    pub resub_flag: bool,
+    /// Request recirculation.
+    pub recirc_flag: bool,
+    /// Request drop.
+    pub drop_flag: bool,
+    /// Request mirroring.
+    pub mirror_flag: bool,
+    /// Request punt to CPU.
+    pub to_cpu_flag: bool,
+    /// Context key-value pairs.
+    pub context: [(u8, u16); CTX_SLOTS],
+    /// Protocol following the SFC header.
+    pub next_protocol: u8,
+}
+
+impl SfcHeader {
+    /// A fresh header for a path, index 0, ports unset.
+    pub fn for_path(path_id: u16) -> Self {
+        SfcHeader {
+            path_id,
+            out_port: SFC_PORT_UNSET,
+            next_protocol: NEXT_PROTO_IPV4,
+            ..Default::default()
+        }
+    }
+
+    /// Reads the SFC header out of a parsed packet, if present.
+    pub fn read(pp: &ParsedPacket) -> Option<SfcHeader> {
+        let g = |f: &str| pp.get(&sfc_field(f)).map(|v| v.raw());
+        Some(SfcHeader {
+            path_id: g("path_id")? as u16,
+            service_index: g("service_index")? as u8,
+            in_port: g("in_port")? as u16,
+            out_port: g("out_port")? as u16,
+            resub_flag: g("resub_flag")? != 0,
+            recirc_flag: g("recirc_flag")? != 0,
+            drop_flag: g("drop_flag")? != 0,
+            mirror_flag: g("mirror_flag")? != 0,
+            to_cpu_flag: g("to_cpu_flag")? != 0,
+            context: [
+                (g("ctx_key0")? as u8, g("ctx_val0")? as u16),
+                (g("ctx_key1")? as u8, g("ctx_val1")? as u16),
+                (g("ctx_key2")? as u8, g("ctx_val2")? as u16),
+                (g("ctx_key3")? as u8, g("ctx_val3")? as u16),
+            ],
+            next_protocol: g("next_protocol")? as u8,
+        })
+    }
+
+    /// Writes this header's fields into a parsed packet (the `sfc` instance
+    /// must already be present). Returns false when it is absent.
+    pub fn write(&self, pp: &mut ParsedPacket) -> bool {
+        if !pp.is_valid(SFC_HEADER) {
+            return false;
+        }
+        let mut s = |f: &str, v: u128, bits: u16| {
+            pp.set(&sfc_field(f), Value::new(v, bits));
+        };
+        s("path_id", u128::from(self.path_id), 16);
+        s("service_index", u128::from(self.service_index), 8);
+        s("in_port", u128::from(self.in_port), 13);
+        s("out_port", u128::from(self.out_port), 13);
+        s("resub_flag", u128::from(self.resub_flag), 1);
+        s("recirc_flag", u128::from(self.recirc_flag), 1);
+        s("drop_flag", u128::from(self.drop_flag), 1);
+        s("mirror_flag", u128::from(self.mirror_flag), 1);
+        s("to_cpu_flag", u128::from(self.to_cpu_flag), 1);
+        for (i, (k, v)) in self.context.iter().enumerate() {
+            s(&format!("ctx_key{i}"), u128::from(*k), 8);
+            s(&format!("ctx_val{i}"), u128::from(*v), 16);
+        }
+        s("next_protocol", u128::from(self.next_protocol), 8);
+        true
+    }
+
+    /// Looks up a context value by key (first matching slot).
+    pub fn context_get(&self, key: u8) -> Option<u16> {
+        self.context.iter().find(|(k, _)| *k == key && key != 0).map(|(_, v)| *v)
+    }
+
+    /// Sets a context value, reusing the key's slot or claiming the first
+    /// empty (key 0) slot. Returns false when all slots are taken by other
+    /// keys.
+    pub fn context_set(&mut self, key: u8, value: u16) -> bool {
+        assert_ne!(key, 0, "context key 0 is the empty marker");
+        if let Some(slot) = self.context.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+            return true;
+        }
+        if let Some(slot) = self.context.iter_mut().find(|(k, _)| *k == 0) {
+            *slot = (key, value);
+            return true;
+        }
+        false
+    }
+
+    /// Serializes to the 20-byte wire format (used by traffic generators
+    /// building pre-classified packets).
+    pub fn to_bytes(&self) -> [u8; 20] {
+        let ht = sfc_header_type();
+        let mut inst = dejavu_asic::HeaderInstance::zeroed(&ht);
+        let mut set = |f: &str, v: u128, bits: u16| {
+            inst.fields.insert(f.to_string(), Value::new(v, bits));
+        };
+        set("path_id", u128::from(self.path_id), 16);
+        set("service_index", u128::from(self.service_index), 8);
+        set("in_port", u128::from(self.in_port), 13);
+        set("out_port", u128::from(self.out_port), 13);
+        set("resub_flag", u128::from(self.resub_flag), 1);
+        set("recirc_flag", u128::from(self.recirc_flag), 1);
+        set("drop_flag", u128::from(self.drop_flag), 1);
+        set("mirror_flag", u128::from(self.mirror_flag), 1);
+        set("to_cpu_flag", u128::from(self.to_cpu_flag), 1);
+        for (i, (k, v)) in self.context.iter().enumerate() {
+            set(&format!("ctx_key{i}"), u128::from(*k), 8);
+            set(&format!("ctx_val{i}"), u128::from(*v), 16);
+        }
+        set("next_protocol", u128::from(self.next_protocol), 8);
+        let bytes = inst.serialize(&ht);
+        bytes.try_into().expect("sfc header is 20 bytes")
+    }
+
+    /// Parses the 20-byte wire format.
+    pub fn from_bytes(bytes: &[u8; 20]) -> Self {
+        use dejavu_p4ir::extract_bits;
+        let ht = sfc_header_type();
+        let mut fields = std::collections::BTreeMap::new();
+        let mut off = 0u64;
+        for f in &ht.fields {
+            fields.insert(f.name.clone(), extract_bits(bytes, off, f.bits));
+            off += u64::from(f.bits);
+        }
+        let g = |f: &str| fields[f].raw();
+        SfcHeader {
+            path_id: g("path_id") as u16,
+            service_index: g("service_index") as u8,
+            in_port: g("in_port") as u16,
+            out_port: g("out_port") as u16,
+            resub_flag: g("resub_flag") != 0,
+            recirc_flag: g("recirc_flag") != 0,
+            drop_flag: g("drop_flag") != 0,
+            mirror_flag: g("mirror_flag") != 0,
+            to_cpu_flag: g("to_cpu_flag") != 0,
+            context: [
+                (g("ctx_key0") as u8, g("ctx_val0") as u16),
+                (g("ctx_key1") as u8, g("ctx_val1") as u16),
+                (g("ctx_key2") as u8, g("ctx_val2") as u16),
+                (g("ctx_key3") as u8, g("ctx_val3") as u16),
+            ],
+            next_protocol: g("next_protocol") as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_type_is_20_bytes() {
+        assert_eq!(sfc_header_type().total_bytes(), 20);
+        assert_eq!(sfc_header_type().total_bits(), 160);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut h = SfcHeader::for_path(0x0203);
+        h.service_index = 4;
+        h.in_port = 17;
+        h.out_port = 0x1fff;
+        h.to_cpu_flag = true;
+        h.context_set(ctx_keys::TENANT_ID, 0xbeef);
+        h.next_protocol = NEXT_PROTO_IPV4;
+        let bytes = h.to_bytes();
+        assert_eq!(SfcHeader::from_bytes(&bytes), h);
+    }
+
+    #[test]
+    fn fresh_header_defaults() {
+        let h = SfcHeader::for_path(9);
+        assert_eq!(h.path_id, 9);
+        assert_eq!(h.service_index, 0);
+        assert_eq!(h.out_port, SFC_PORT_UNSET);
+        assert!(!h.drop_flag);
+        assert_eq!(h.next_protocol, NEXT_PROTO_IPV4);
+    }
+
+    #[test]
+    fn context_slots() {
+        let mut h = SfcHeader::for_path(1);
+        assert!(h.context_set(ctx_keys::TENANT_ID, 100));
+        assert!(h.context_set(ctx_keys::APP_ID, 200));
+        assert_eq!(h.context_get(ctx_keys::TENANT_ID), Some(100));
+        assert_eq!(h.context_get(ctx_keys::APP_ID), Some(200));
+        assert_eq!(h.context_get(ctx_keys::DEBUG), None);
+        // Updating an existing key reuses its slot.
+        assert!(h.context_set(ctx_keys::TENANT_ID, 101));
+        assert_eq!(h.context_get(ctx_keys::TENANT_ID), Some(101));
+        // Fill remaining slots, then overflow.
+        assert!(h.context_set(0x10, 1));
+        assert!(h.context_set(0x11, 2));
+        assert!(!h.context_set(0x12, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "context key 0")]
+    fn context_key_zero_rejected() {
+        SfcHeader::for_path(1).context_set(0, 1);
+    }
+
+    #[test]
+    fn parsed_packet_read_write() {
+        use dejavu_p4ir::well_known;
+        let cat: std::collections::HashMap<_, _> =
+            [well_known::ethernet(), sfc_header_type()]
+                .into_iter()
+                .map(|h| (h.name.clone(), h))
+                .collect();
+        let mut pp = ParsedPacket::default();
+        pp.add_header(&cat["ethernet"], None);
+        assert_eq!(SfcHeader::read(&pp), None);
+        pp.add_header(&cat[SFC_HEADER], None);
+        let mut h = SfcHeader::for_path(7);
+        h.service_index = 2;
+        h.drop_flag = true;
+        assert!(h.write(&mut pp));
+        let back = SfcHeader::read(&pp).unwrap();
+        assert_eq!(back, h);
+        // Round-trip through bytes too.
+        let bytes = pp.deparse(&cat);
+        assert_eq!(bytes.len(), 34);
+    }
+}

@@ -1,0 +1,157 @@
+//! The traffic classifier — the chain entry point (framework-supplied).
+//!
+//! "It [the SFC header] is added by the Classifier module" (§3). The
+//! classifier matches incoming raw traffic against tenant policy (source
+//! prefix, destination prefix, protocol) and, on a hit, inserts the SFC
+//! header between Ethernet and IP, records the physical ingress port and a
+//! tenant ID in the header, assigns the service path, and sets the service
+//! index to 1 (hop 0 — the classifier itself — is done). Unclassified
+//! traffic goes to the control plane.
+//!
+//! The classifier is privileged ([`dejavu_core::NfModule::new_privileged`]):
+//! it reads `meta.ingress_port` to populate `sfc.in_port`, which ordinary
+//! NFs may not.
+
+use dejavu_core::sfc::{ctx_keys, sfc_field, sfc_header_type, SFC_ETHERTYPE, SFC_PORT_UNSET};
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, FieldRef, Value};
+
+/// The classifier's table name (NF-local; the control plane translates).
+pub const CLASSIFY_TABLE: &str = "classify";
+
+/// Builds the classifier NF.
+pub fn classifier() -> NfModule {
+    let program = ProgramBuilder::new("classifier")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("set_path")
+                .param("path_id", 16)
+                .param("tenant", 16)
+                .add_header("sfc", Some("ipv4"))
+                .set(fref("ethernet", "ether_type"), Expr::val(u128::from(SFC_ETHERTYPE), 16))
+                .set(sfc_field("path_id"), Expr::Param("path_id".into()))
+                .set(sfc_field("service_index"), Expr::val(1, 8))
+                .set(sfc_field("in_port"), Expr::meta("ingress_port"))
+                .set(sfc_field("out_port"), Expr::val(u128::from(SFC_PORT_UNSET), 13))
+                .set(sfc_field("ctx_key0"), Expr::val(u128::from(ctx_keys::TENANT_ID), 8))
+                .set(sfc_field("ctx_val0"), Expr::Param("tenant".into()))
+                .set(
+                    sfc_field("next_protocol"),
+                    Expr::val(u128::from(dejavu_core::sfc::NEXT_PROTO_IPV4), 8),
+                )
+                .build(),
+        )
+        .action(
+            // Unclassified traffic: punt (privileged direct flag write — no
+            // SFC header exists yet to carry the request).
+            ActionBuilder::new("punt")
+                .set(FieldRef::meta("to_cpu_flag"), Expr::val(1, 1))
+                .build(),
+        )
+        .table(
+            TableBuilder::new(CLASSIFY_TABLE)
+                .key_lpm(fref("ipv4", "src_addr"))
+                .key_lpm(fref("ipv4", "dst_addr"))
+                .key_ternary(fref("ipv4", "protocol"))
+                .action("set_path")
+                .default_action("punt")
+                .size(4096)
+                .build(),
+        )
+        .control(ControlBuilder::new("classifier_ctrl").apply(CLASSIFY_TABLE).build())
+        .entry("classifier_ctrl")
+        .build()
+        .expect("classifier program is well-formed");
+    NfModule::new_privileged(program).expect("classifier conforms to the privileged API")
+}
+
+/// Builds a classification entry: traffic from `src_prefix` to `dst_prefix`
+/// (any protocol) joins `path_id` as `tenant`.
+pub fn classify_entry(
+    src_prefix: (u32, u16),
+    dst_prefix: (u32, u16),
+    path_id: u16,
+    tenant: u16,
+) -> TableEntry {
+    TableEntry {
+        matches: vec![
+            KeyMatch::Lpm(Value::new(u128::from(src_prefix.0), 32), src_prefix.1),
+            KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1),
+            KeyMatch::Any,
+        ],
+        action: "set_path".into(),
+        action_args: vec![Value::new(u128::from(path_id), 16), Value::new(u128::from(tenant), 16)],
+        priority: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use dejavu_core::sfc::SfcHeader;
+    use std::collections::BTreeMap;
+
+    fn tcp_packet() -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[14] = 0x45;
+        p[22] = 64;
+        p[23] = 6;
+        p[26..30].copy_from_slice(&[10, 0, 0, 1]);
+        p[30..34].copy_from_slice(&[203, 0, 113, 80]);
+        p
+    }
+
+    #[test]
+    fn classifies_and_encapsulates() {
+        let nf = classifier();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(CLASSIFY_TABLE).unwrap(),
+                classify_entry((0x0a000000, 8), (0, 0), 7, 42),
+            )
+            .unwrap();
+        let mut pp = ParsedPacket::parse(&tcp_packet(), &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        meta.insert("ingress_port".to_string(), Value::new(5, 16));
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        let sfc = SfcHeader::read(&pp).expect("sfc header inserted");
+        assert_eq!(sfc.path_id, 7);
+        assert_eq!(sfc.service_index, 1);
+        assert_eq!(sfc.in_port, 5);
+        assert_eq!(sfc.out_port, SFC_PORT_UNSET);
+        assert_eq!(sfc.context_get(ctx_keys::TENANT_ID), Some(42));
+        // EtherType switched to the SFC value.
+        assert_eq!(
+            pp.get(&fref("ethernet", "ether_type")).unwrap().raw(),
+            u128::from(SFC_ETHERTYPE)
+        );
+        // Wire grows by exactly the 20-byte header.
+        assert_eq!(pp.deparse(interp.headers()).len(), 54 + 20);
+    }
+
+    #[test]
+    fn unclassified_traffic_punts() {
+        let nf = classifier();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let mut pp = ParsedPacket::parse(&tcp_packet(), &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(meta["to_cpu_flag"].raw(), 1);
+        assert!(!pp.is_valid("sfc"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The L4 load balancer — the paper's Fig. 4, line for line.
+//!
+//! ```text
+//! control LB_control(inout all_header_t hdr){
+//!   bit<32> sessionHash;
+//!   Hash<bit<32>>(HashAlgorithm_t.CRC32) hasher;
+//!   action computeFiveTupleHash(){ sessionHash = hasher.get({...5-tuple...}); }
+//!   action modify_dstIp(bit<32> dip){ hdr.ipv4.dst_addr = dip; }
+//!   action toCpu(){ hdr.sfc.toCpuFlag = true; }
+//!   table lb_session{ key = {sessionHash:exact;}
+//!                     actions = {modify_dstIp; toCpu;}
+//!                     const default_action = toCpu(); }
+//!   apply{ computeFiveTupleHash(); lb_session.apply(); }
+//! }
+//! ```
+//!
+//! On a session-table hit the destination VIP is rewritten to the selected
+//! backend; on a miss the packet goes to the control plane, which installs
+//! the session and reinjects (§3.1). [`session_entry_for`] computes the
+//! same CRC32 the data plane computes, so the control plane can install
+//! entries from punted packets.
+
+use dejavu_core::sfc::{sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::action::{run_hash, HashAlgorithm};
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, FieldRef, Value};
+
+/// The session table name.
+pub const SESSION_TABLE: &str = "lb_session";
+/// Name of the NF-local hash metadata field.
+pub const SESSION_HASH_META: &str = "session_hash";
+
+/// The 5-tuple hashed by the load balancer, in hash input order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiveTuple {
+    /// IPv4 source.
+    pub src_addr: u32,
+    /// IPv4 destination (the VIP on first sight).
+    pub dst_addr: u32,
+    /// IP protocol.
+    pub protocol: u8,
+    /// L4 source port.
+    pub src_port: u16,
+    /// L4 destination port.
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// The CRC32 session hash — bit-identical to the data plane's
+    /// `computeFiveTupleHash`.
+    pub fn session_hash(&self) -> u32 {
+        run_hash(
+            HashAlgorithm::Crc32,
+            &[
+                Value::new(u128::from(self.src_addr), 32),
+                Value::new(u128::from(self.dst_addr), 32),
+                Value::new(u128::from(self.protocol), 8),
+                Value::new(u128::from(self.src_port), 16),
+                Value::new(u128::from(self.dst_port), 16),
+            ],
+        ) as u32
+    }
+}
+
+/// Builds the load balancer NF.
+pub fn load_balancer() -> NfModule {
+    let program = ProgramBuilder::new("lb")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .meta_field(SESSION_HASH_META, 32)
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("compute_five_tuple_hash")
+                .hash(
+                    FieldRef::meta(SESSION_HASH_META),
+                    HashAlgorithm::Crc32,
+                    vec![
+                        Expr::field("ipv4", "src_addr"),
+                        Expr::field("ipv4", "dst_addr"),
+                        Expr::field("ipv4", "protocol"),
+                        Expr::field("tcp", "src_port"),
+                        Expr::field("tcp", "dst_port"),
+                    ],
+                )
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("modify_dst_ip")
+                .param("dip", 32)
+                .set(fref("ipv4", "dst_addr"), Expr::Param("dip".into()))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("to_cpu")
+                .set(sfc_field("to_cpu_flag"), Expr::val(1, 1))
+                .build(),
+        )
+        .table(
+            TableBuilder::new(SESSION_TABLE)
+                .key_exact(FieldRef::meta(SESSION_HASH_META))
+                .action("modify_dst_ip")
+                .default_action("to_cpu")
+                .size(65536)
+                .build(),
+        )
+        .control(
+            ControlBuilder::new("lb_ctrl")
+                .invoke("compute_five_tuple_hash")
+                .apply(SESSION_TABLE)
+                .build(),
+        )
+        .entry("lb_ctrl")
+        .build()
+        .expect("lb program is well-formed");
+    NfModule::new(program).expect("lb conforms to the NF API")
+}
+
+/// Builds a session entry mapping a 5-tuple's hash to a backend IP.
+pub fn session_entry_for(tuple: &FiveTuple, backend_ip: u32) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Exact(Value::new(u128::from(tuple.session_hash()), 32))],
+        action: "modify_dst_ip".into(),
+        action_args: vec![Value::new(u128::from(backend_ip), 32)],
+        priority: 0,
+    }
+}
+
+/// Extracts the 5-tuple from raw wire bytes (raw or SFC-encapsulated
+/// eth/ipv4/tcp framing) — the parsing step the control plane performs on a
+/// punted packet before installing a session.
+pub fn five_tuple_of(bytes: &[u8]) -> Option<FiveTuple> {
+    if bytes.len() < 14 {
+        return None;
+    }
+    let ether_type = u16::from_be_bytes([bytes[12], bytes[13]]);
+    let ip_off = match ether_type {
+        0x0800 => 14,
+        t if t == dejavu_core::sfc::SFC_ETHERTYPE => 34,
+        _ => return None,
+    };
+    if bytes.len() < ip_off + 24 {
+        return None;
+    }
+    let b = &bytes[ip_off..];
+    Some(FiveTuple {
+        src_addr: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+        dst_addr: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+        protocol: b[9],
+        src_port: u16::from_be_bytes([b[20], b[21]]),
+        dst_port: u16::from_be_bytes([b[22], b[23]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use std::collections::BTreeMap;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple {
+            src_addr: 0x0a000001,
+            dst_addr: 0xcb007150, // 203.0.113.80 (VIP)
+            protocol: 6,
+            src_port: 12345,
+            dst_port: 80,
+        }
+    }
+
+    fn tcp_packet(t: &FiveTuple) -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[14] = 0x45;
+        p[22] = 64;
+        p[23] = t.protocol;
+        p[26..30].copy_from_slice(&t.src_addr.to_be_bytes());
+        p[30..34].copy_from_slice(&t.dst_addr.to_be_bytes());
+        p[34..36].copy_from_slice(&t.src_port.to_be_bytes());
+        p[36..38].copy_from_slice(&t.dst_port.to_be_bytes());
+        p
+    }
+
+    #[test]
+    fn control_plane_hash_matches_data_plane() {
+        let nf = load_balancer();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(&tuple()), &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(meta[SESSION_HASH_META].raw() as u32, tuple().session_hash());
+    }
+
+    #[test]
+    fn hit_rewrites_miss_punts() {
+        let nf = load_balancer();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        // Miss: sfc.to_cpu_flag requested (via header when present).
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(&tuple()), &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp.get(&sfc_field("to_cpu_flag")).unwrap().raw(), 1);
+        // Install the session; the same flow now hits and rewrites.
+        tables
+            .install(
+                program.tables.get(SESSION_TABLE).unwrap(),
+                session_entry_for(&tuple(), 0x0a000063),
+            )
+            .unwrap();
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(&tuple()), &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp.get(&fref("ipv4", "dst_addr")).unwrap().raw(), 0x0a000063);
+    }
+
+    #[test]
+    fn five_tuple_extraction_raw_and_encapsulated() {
+        let t = tuple();
+        let raw = tcp_packet(&t);
+        assert_eq!(five_tuple_of(&raw), Some(t));
+        // Encapsulated: splice a 20-byte SFC header after ethernet.
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&raw[..12]);
+        enc.extend_from_slice(&dejavu_core::sfc::SFC_ETHERTYPE.to_be_bytes());
+        enc.extend_from_slice(&dejavu_core::SfcHeader::for_path(1).to_bytes());
+        enc.extend_from_slice(&raw[14..]);
+        assert_eq!(five_tuple_of(&enc), Some(t));
+        // Garbage.
+        assert_eq!(five_tuple_of(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn distinct_tuples_distinct_hashes() {
+        let a = tuple();
+        let mut b = tuple();
+        b.src_port = 12346;
+        assert_ne!(a.session_hash(), b.session_hash());
+    }
+}

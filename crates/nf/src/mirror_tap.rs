@@ -1,0 +1,97 @@
+//! Mirror tap (extension NF).
+//!
+//! Flags matched flows for mirroring via `sfc.mirror_flag` — the SFC header
+//! carries the request to the framework's flag-translation stage, which
+//! sets the platform mirror metadata. Used for the "debugging info along a
+//! service path" scenario the paper's context header motivates.
+
+use dejavu_core::sfc::{ctx_keys, sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, Value};
+
+/// The tap-selection table name.
+pub const TAP_TABLE: &str = "tap_select";
+
+/// Builds the mirror-tap NF.
+pub fn mirror_tap() -> NfModule {
+    let program = ProgramBuilder::new("mirror_tap")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("tap")
+                .param("debug_tag", 16)
+                .set(sfc_field("mirror_flag"), Expr::val(1, 1))
+                .set(sfc_field("ctx_key2"), Expr::val(u128::from(ctx_keys::DEBUG), 8))
+                .set(sfc_field("ctx_val2"), Expr::Param("debug_tag".into()))
+                .build(),
+        )
+        .action(ActionBuilder::new("pass").build())
+        .table(
+            TableBuilder::new(TAP_TABLE)
+                .key_ternary(fref("ipv4", "src_addr"))
+                .key_ternary(fref("ipv4", "dst_addr"))
+                .action("tap")
+                .default_action("pass")
+                .size(1024)
+                .build(),
+        )
+        .control(ControlBuilder::new("tap_ctrl").apply(TAP_TABLE).build())
+        .entry("tap_ctrl")
+        .build()
+        .expect("mirror_tap program is well-formed");
+    NfModule::new(program).expect("mirror_tap conforms to the NF API")
+}
+
+/// Entry: mirror traffic between the two hosts, tagging it `debug_tag`.
+pub fn tap_entry(src: u32, dst: u32, debug_tag: u16) -> TableEntry {
+    TableEntry {
+        matches: vec![
+            KeyMatch::Ternary(Value::new(u128::from(src), 32), Value::new(0xffff_ffff, 32)),
+            KeyMatch::Ternary(Value::new(u128::from(dst), 32), Value::new(0xffff_ffff, 32)),
+        ],
+        action: "tap".into(),
+        action_args: vec![Value::new(u128::from(debug_tag), 16)],
+        priority: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use dejavu_core::sfc::SfcHeader;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn tap_flags_and_tags() {
+        let nf = mirror_tap();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(TAP_TABLE).unwrap(),
+                tap_entry(0x0a000001, 0x0a000002, 0xbeef),
+            )
+            .unwrap();
+        let mut pkt = vec![0u8; 54];
+        pkt[12] = 0x08;
+        pkt[23] = 6;
+        pkt[26..30].copy_from_slice(&[10, 0, 0, 1]);
+        pkt[30..34].copy_from_slice(&[10, 0, 0, 2]);
+        let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        let sfc = SfcHeader::read(&pp).unwrap();
+        assert!(sfc.mirror_flag);
+        assert_eq!(sfc.context_get(ctx_keys::DEBUG), Some(0xbeef));
+    }
+}

@@ -1,0 +1,117 @@
+//! Source NAT (extension NF).
+//!
+//! Stateless 1:1 source translation: traffic from an internal prefix gets
+//! its source address (and optionally source port) rewritten to a public
+//! address. Used by the ablation benches to grow chains beyond the paper's
+//! five NFs.
+
+use dejavu_core::sfc::sfc_header_type;
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, Value};
+
+/// The NAT table name.
+pub const NAT_TABLE: &str = "snat";
+
+/// Builds the source-NAT NF.
+pub fn nat() -> NfModule {
+    let program = ProgramBuilder::new("nat")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("rewrite_src")
+                .param("public_ip", 32)
+                .set(fref("ipv4", "src_addr"), Expr::Param("public_ip".into()))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("rewrite_src_and_port")
+                .param("public_ip", 32)
+                .param("public_port", 16)
+                .set(fref("ipv4", "src_addr"), Expr::Param("public_ip".into()))
+                .set(fref("tcp", "src_port"), Expr::Param("public_port".into()))
+                .build(),
+        )
+        .action(ActionBuilder::new("pass").build())
+        .table(
+            TableBuilder::new(NAT_TABLE)
+                .key_lpm(fref("ipv4", "src_addr"))
+                .action("rewrite_src")
+                .action("rewrite_src_and_port")
+                .default_action("pass")
+                .size(8192)
+                .build(),
+        )
+        .control(ControlBuilder::new("nat_ctrl").apply(NAT_TABLE).build())
+        .entry("nat_ctrl")
+        .build()
+        .expect("nat program is well-formed");
+    NfModule::new(program).expect("nat conforms to the NF API")
+}
+
+/// Entry: sources under `src_prefix` are rewritten to `public_ip`.
+pub fn snat_entry(src_prefix: (u32, u16), public_ip: u32) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Lpm(Value::new(u128::from(src_prefix.0), 32), src_prefix.1)],
+        action: "rewrite_src".into(),
+        action_args: vec![Value::new(u128::from(public_ip), 32)],
+        priority: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn source_rewritten() {
+        let nf = nat();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(NAT_TABLE).unwrap(),
+                snat_entry((0x0a000000, 8), 0xc0a80001),
+            )
+            .unwrap();
+        let mut pkt = vec![0u8; 54];
+        pkt[12] = 0x08;
+        pkt[23] = 6;
+        pkt[26..30].copy_from_slice(&[10, 9, 9, 9]);
+        let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp.get(&fref("ipv4", "src_addr")).unwrap().raw(), 0xc0a80001);
+    }
+
+    #[test]
+    fn non_matching_source_passes() {
+        let nf = nat();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(NAT_TABLE).unwrap(),
+                snat_entry((0x0a000000, 8), 0xc0a80001),
+            )
+            .unwrap();
+        let mut pkt = vec![0u8; 54];
+        pkt[12] = 0x08;
+        pkt[23] = 6;
+        pkt[26..30].copy_from_slice(&[172, 16, 0, 1]);
+        let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp.get(&fref("ipv4", "src_addr")).unwrap().raw(), 0xac100001);
+    }
+}

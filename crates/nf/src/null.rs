@@ -1,0 +1,46 @@
+//! The null NF: framework-overhead measurement probe.
+//!
+//! An NF whose control block does nothing. Deploying N null NFs isolates
+//! the Dejavu framework's own resource consumption — exactly what the
+//! paper's Table 1 reports ("due to the simple logic and bare-minimum
+//! table sizes, we observe negligible overheads for other types of
+//! resources").
+
+use dejavu_core::sfc::sfc_header_type;
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::well_known;
+
+/// Builds a do-nothing NF with the given name.
+pub fn null_nf(name: &str) -> NfModule {
+    let program = ProgramBuilder::new(name)
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(sfc_header_type())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .node("ip", "ipv4", 14)
+                .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                .accept("ip")
+                .start("eth"),
+        )
+        .action(ActionBuilder::new("noop").build())
+        .control(ControlBuilder::new("null_ctrl").invoke("noop").build())
+        .entry("null_ctrl")
+        .build()
+        .expect("null NF is well-formed");
+    NfModule::new(program).expect("null NF conforms to the NF API")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn null_nf_builds_with_any_name() {
+        for name in ["A", "B", "probe_1"] {
+            let nf = super::null_nf(name);
+            assert_eq!(nf.name(), name);
+            assert!(nf.program().tables.is_empty());
+        }
+    }
+}

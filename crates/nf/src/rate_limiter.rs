@@ -1,0 +1,191 @@
+//! Rate limiter (extension NF, stateful).
+//!
+//! A per-class packet budget enforced with a stateful register array — the
+//! kind of NF that motivates the paper's note that "optimizations that can
+//! best leverage the on-chip hardware resource to implement more advanced
+//! NFs … are still active research directions". Each class (selected by
+//! source prefix) owns a counter cell; a packet increments its class's cell
+//! and is dropped once the count exceeds the configured budget. The control
+//! plane resets the cells every epoch (`Switch::register_store`), turning
+//! the counter into a classic fixed-window rate limit.
+
+use dejavu_core::sfc::{sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::control::{BoolExpr, CmpOp, Stmt};
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, FieldRef, Value};
+
+/// The class-selection table name.
+pub const CLASSES_TABLE: &str = "limit_classes";
+/// The counter register name.
+pub const BUCKET_REGISTER: &str = "bucket";
+/// Number of rate classes.
+pub const NUM_CLASSES: u32 = 1024;
+
+/// Builds the rate-limiter NF.
+pub fn rate_limiter() -> NfModule {
+    let program = ProgramBuilder::new("rate_limiter")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .meta_field("rl_count", 32)
+        .meta_field("rl_limit", 32)
+        .meta_field("rl_enforced", 1)
+        .register(BUCKET_REGISTER, 32, NUM_CLASSES)
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("enforce")
+                .param("class_idx", 32)
+                .param("limit", 32)
+                // Read-modify-write the class counter.
+                .reg_read(FieldRef::meta("rl_count"), BUCKET_REGISTER, Expr::Param("class_idx".into()))
+                .reg_write(
+                    BUCKET_REGISTER,
+                    Expr::Param("class_idx".into()),
+                    Expr::Add(Box::new(Expr::meta("rl_count")), Box::new(Expr::val(1, 32))),
+                )
+                .set(FieldRef::meta("rl_limit"), Expr::Param("limit".into()))
+                .set(FieldRef::meta("rl_enforced"), Expr::val(1, 1))
+                .build(),
+        )
+        .action(ActionBuilder::new("no_limit").build())
+        .action(
+            ActionBuilder::new("over_limit")
+                .set(sfc_field("drop_flag"), Expr::val(1, 1))
+                .build(),
+        )
+        .table(
+            TableBuilder::new(CLASSES_TABLE)
+                .key_lpm(fref("ipv4", "src_addr"))
+                .action("enforce")
+                .default_action("no_limit")
+                .size(NUM_CLASSES)
+                .build(),
+        )
+        .control(
+            ControlBuilder::new("rl_ctrl")
+                .apply(CLASSES_TABLE)
+                .stmt(Stmt::If {
+                    cond: BoolExpr::And(
+                        Box::new(BoolExpr::meta_eq("rl_enforced", 1, 1)),
+                        Box::new(BoolExpr::Cmp(
+                            Expr::meta("rl_count"),
+                            CmpOp::Ge,
+                            Expr::meta("rl_limit"),
+                        )),
+                    ),
+                    then_branch: vec![Stmt::Do("over_limit".into())],
+                    else_branch: vec![],
+                })
+                .build(),
+        )
+        .entry("rl_ctrl")
+        .build()
+        .expect("rate limiter program is well-formed");
+    NfModule::new(program).expect("rate limiter conforms to the NF API")
+}
+
+/// Entry: sources under `src_prefix` map to counter cell `class_idx` with a
+/// per-epoch budget of `limit` packets.
+pub fn class_entry(src_prefix: (u32, u16), class_idx: u32, limit: u32) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Lpm(Value::new(u128::from(src_prefix.0), 32), src_prefix.1)],
+        action: "enforce".into(),
+        action_args: vec![
+            Value::new(u128::from(class_idx), 32),
+            Value::new(u128::from(limit), 32),
+        ],
+        priority: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use std::collections::BTreeMap;
+
+    fn packet() -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[23] = 6;
+        p[26..30].copy_from_slice(&[10, 0, 0, 1]);
+        p
+    }
+
+    #[test]
+    fn drops_after_budget_exhausted() {
+        let nf = rate_limiter();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(CLASSES_TABLE).unwrap(),
+                class_entry((0x0a000000, 8), 7, 3),
+            )
+            .unwrap();
+        // Budget 3: packets 1-3 pass (count before increment = 0,1,2),
+        // packet 4 onward dropped (count 3 ≥ limit 3).
+        for i in 0..6 {
+            let mut pp =
+                ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+            pp.add_header(&sfc_header_type(), Some("ipv4"));
+            let mut meta = BTreeMap::new();
+            interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+            let dropped = pp.get(&sfc_field("drop_flag")).unwrap().raw() == 1;
+            assert_eq!(dropped, i >= 3, "packet {i}");
+        }
+        // The counter kept counting past the budget.
+        let def = program.registers.get(BUCKET_REGISTER).unwrap();
+        assert_eq!(tables.register_read(def, 7), 6);
+    }
+
+    #[test]
+    fn unlimited_class_passes() {
+        let nf = rate_limiter();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        for _ in 0..10 {
+            let mut pp =
+                ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+            pp.add_header(&sfc_header_type(), Some("ipv4"));
+            let mut meta = BTreeMap::new();
+            interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+            assert_eq!(pp.get(&sfc_field("drop_flag")).unwrap().raw(), 0);
+        }
+    }
+
+    #[test]
+    fn control_plane_reset_restores_budget() {
+        let nf = rate_limiter();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(CLASSES_TABLE).unwrap(),
+                class_entry((0x0a000000, 8), 1, 1),
+            )
+            .unwrap();
+        let run_one = |tables: &mut TableState| {
+            let mut pp =
+                ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+            pp.add_header(&sfc_header_type(), Some("ipv4"));
+            let mut meta = BTreeMap::new();
+            interp.execute(&mut pp, &mut meta, tables).unwrap();
+            pp.get(&sfc_field("drop_flag")).unwrap().raw() == 1
+        };
+        assert!(!run_one(&mut tables)); // first packet passes
+        assert!(run_one(&mut tables)); // second dropped
+        // Epoch reset, as the control plane would do.
+        let def = program.registers.get(BUCKET_REGISTER).unwrap();
+        tables.register_write(def, 1, 0);
+        assert!(!run_one(&mut tables)); // budget restored
+    }
+}

@@ -1,0 +1,150 @@
+//! The IP router — the chain exit point.
+//!
+//! Longest-prefix routes decide the physical output port and next-hop MAC.
+//! Per the Dejavu API the router never touches `meta.egress_spec` directly:
+//! it writes the port into `sfc.out_port`, and the framework's branching
+//! table forwards to it once the chain completes ("If the outPort of a
+//! packet is already set, the branching table will directly forward the
+//! packet to the port"). TTL is decremented and MACs rewritten as a real
+//! router would. Unroutable packets are dropped via `sfc.drop_flag`.
+
+use dejavu_core::sfc::{sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, Value};
+
+/// The routing table name.
+pub const ROUTES_TABLE: &str = "routes";
+
+/// Builds the router NF.
+pub fn router() -> NfModule {
+    let program = ProgramBuilder::new("router")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("route")
+                .param("port", 13)
+                .param("dmac", 48)
+                .param("smac", 48)
+                .set(sfc_field("out_port"), Expr::Param("port".into()))
+                .set(fref("ethernet", "dst_mac"), Expr::Param("dmac".into()))
+                .set(fref("ethernet", "src_mac"), Expr::Param("smac".into()))
+                .set(
+                    fref("ipv4", "ttl"),
+                    Expr::Sub(Box::new(Expr::field("ipv4", "ttl")), Box::new(Expr::val(1, 8))),
+                )
+                .update_checksum("ipv4")
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("unroutable")
+                .set(sfc_field("drop_flag"), Expr::val(1, 1))
+                .build(),
+        )
+        .table(
+            TableBuilder::new(ROUTES_TABLE)
+                .key_lpm(fref("ipv4", "dst_addr"))
+                .action("route")
+                .default_action("unroutable")
+                .size(32768)
+                .build(),
+        )
+        .control(ControlBuilder::new("router_ctrl").apply(ROUTES_TABLE).build())
+        .entry("router_ctrl")
+        .build()
+        .expect("router program is well-formed");
+    NfModule::new(program).expect("router conforms to the NF API")
+}
+
+/// Entry: route `dst_prefix` out `port` with the given next-hop MACs.
+pub fn route_entry(dst_prefix: (u32, u16), port: u16, dmac: u64, smac: u64) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1)],
+        action: "route".into(),
+        action_args: vec![
+            Value::new(u128::from(port), 13),
+            Value::new(u128::from(dmac), 48),
+            Value::new(u128::from(smac), 48),
+        ],
+        priority: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use dejavu_core::sfc::SfcHeader;
+    use std::collections::BTreeMap;
+
+    fn packet() -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[14] = 0x45;
+        p[22] = 64;
+        p[23] = 6;
+        p[30..34].copy_from_slice(&[10, 1, 2, 3]);
+        p
+    }
+
+    fn run(entry: Option<TableEntry>) -> ParsedPacket {
+        let nf = router();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        if let Some(e) = entry {
+            tables.install(program.tables.get(ROUTES_TABLE).unwrap(), e).unwrap();
+        }
+        let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        pp
+    }
+
+    #[test]
+    fn route_sets_out_port_macs_ttl() {
+        let pp = run(Some(route_entry((0x0a000000, 8), 17, 0xaabbccddeeff, 0x102030405060)));
+        let sfc = SfcHeader::read(&pp).unwrap();
+        assert_eq!(sfc.out_port, 17);
+        assert!(!sfc.drop_flag);
+        assert_eq!(pp.get(&fref("ethernet", "dst_mac")).unwrap().raw(), 0xaabbccddeeff);
+        assert_eq!(pp.get(&fref("ethernet", "src_mac")).unwrap().raw(), 0x102030405060);
+        assert_eq!(pp.get(&fref("ipv4", "ttl")).unwrap().raw(), 63);
+        // The checksum extern left a valid header behind.
+        let bytes = pp.deparse(Interpreter::new(router().program()).headers());
+        let ip_off = 34; // eth(14) + sfc(20)
+        let ip = &bytes[ip_off..ip_off + 20];
+        assert_eq!(dejavu_asic::interp::ones_complement_checksum(ip), 0);
+    }
+
+    #[test]
+    fn unroutable_drops() {
+        let pp = run(None);
+        let sfc = SfcHeader::read(&pp).unwrap();
+        assert!(sfc.drop_flag);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let nf = router();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let def = program.tables.get(ROUTES_TABLE).unwrap();
+        tables.install(def, route_entry((0x0a000000, 8), 1, 0, 0)).unwrap();
+        tables.install(def, route_entry((0x0a010000, 16), 2, 0, 0)).unwrap();
+        let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        pp.set(&fref("ipv4", "dst_addr"), Value::new(0x0a010203, 32));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(SfcHeader::read(&pp).unwrap().out_port, 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! SYN guard (extension NF, stateful): a minimal in-network DDoS shield.
+//!
+//! Counts TCP SYNs per source-address hash in a register sketch; once a
+//! bucket exceeds the configured threshold, further SYNs from sources
+//! hashing there are dropped until the control plane sweeps the sketch.
+//! This is the in-network security pattern the paper cites (Morrison et
+//! al., HotCloud'18) as an NF class programmable ASICs enable.
+
+use dejavu_core::sfc::{sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::action::HashAlgorithm;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::control::{BoolExpr, CmpOp, Stmt};
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, FieldRef, Value};
+
+/// The threshold-configuration table name.
+pub const CONFIG_TABLE: &str = "guard_config";
+/// The SYN-count sketch register.
+pub const SKETCH_REGISTER: &str = "syn_sketch";
+/// Sketch buckets.
+pub const SKETCH_SIZE: u32 = 4096;
+/// TCP SYN flag bit.
+const TCP_SYN: u128 = 0x02;
+
+/// Builds the SYN-guard NF.
+pub fn syn_guard() -> NfModule {
+    let program = ProgramBuilder::new("syn_guard")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .meta_field("sg_idx", 32)
+        .meta_field("sg_count", 32)
+        .meta_field("sg_threshold", 32)
+        .meta_field("sg_armed", 1)
+        .register(SKETCH_REGISTER, 32, SKETCH_SIZE)
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("arm")
+                .param("threshold", 32)
+                .set(FieldRef::meta("sg_threshold"), Expr::Param("threshold".into()))
+                .set(FieldRef::meta("sg_armed"), Expr::val(1, 1))
+                .build(),
+        )
+        .action(ActionBuilder::new("disarmed").build())
+        .action(
+            ActionBuilder::new("count_syn")
+                .hash(
+                    FieldRef::meta("sg_idx"),
+                    HashAlgorithm::Crc32,
+                    vec![Expr::field("ipv4", "src_addr")],
+                )
+                .reg_read(FieldRef::meta("sg_count"), SKETCH_REGISTER, Expr::meta("sg_idx"))
+                .reg_write(
+                    SKETCH_REGISTER,
+                    Expr::meta("sg_idx"),
+                    Expr::Add(Box::new(Expr::meta("sg_count")), Box::new(Expr::val(1, 32))),
+                )
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("shield")
+                .set(sfc_field("drop_flag"), Expr::val(1, 1))
+                .build(),
+        )
+        .table(
+            TableBuilder::new(CONFIG_TABLE)
+                .key_ternary(fref("ipv4", "dst_addr"))
+                .action("arm")
+                .default_action("disarmed")
+                .size(64)
+                .build(),
+        )
+        .control(
+            ControlBuilder::new("sg_ctrl")
+                .apply(CONFIG_TABLE)
+                .stmt(Stmt::If {
+                    // Armed, TCP, SYN set?
+                    cond: BoolExpr::And(
+                        Box::new(BoolExpr::meta_eq("sg_armed", 1, 1)),
+                        Box::new(BoolExpr::And(
+                            Box::new(BoolExpr::Valid("tcp".into())),
+                            Box::new(BoolExpr::Cmp(
+                                Expr::And(
+                                    Box::new(Expr::field("tcp", "flags")),
+                                    Box::new(Expr::val(TCP_SYN, 8)),
+                                ),
+                                CmpOp::Ne,
+                                Expr::val(0, 8),
+                            )),
+                        )),
+                    ),
+                    then_branch: vec![
+                        Stmt::Do("count_syn".into()),
+                        Stmt::If {
+                            cond: BoolExpr::Cmp(
+                                Expr::meta("sg_count"),
+                                CmpOp::Ge,
+                                Expr::meta("sg_threshold"),
+                            ),
+                            then_branch: vec![Stmt::Do("shield".into())],
+                            else_branch: vec![],
+                        },
+                    ],
+                    else_branch: vec![],
+                })
+                .build(),
+        )
+        .entry("sg_ctrl")
+        .build()
+        .expect("syn guard program is well-formed");
+    NfModule::new(program).expect("syn guard conforms to the NF API")
+}
+
+/// Entry: arm the guard for destinations matching `dst/mask` with the given
+/// SYN threshold. Higher `priority` wins among overlapping ternary rules.
+pub fn arm_entry_prio(dst: u32, mask: u32, threshold: u32, priority: i32) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Ternary(
+            Value::new(u128::from(dst), 32),
+            Value::new(u128::from(mask), 32),
+        )],
+        action: "arm".into(),
+        action_args: vec![Value::new(u128::from(threshold), 32)],
+        priority,
+    }
+}
+
+/// [`arm_entry_prio`] at priority 0.
+pub fn arm_entry(dst: u32, mask: u32, threshold: u32) -> TableEntry {
+    arm_entry_prio(dst, mask, threshold, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use std::collections::BTreeMap;
+
+    fn syn_packet(src: u32) -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[23] = 6;
+        p[26..30].copy_from_slice(&src.to_be_bytes());
+        p[30..34].copy_from_slice(&[198, 51, 100, 80]);
+        p[47] = 0x02; // SYN
+        p
+    }
+
+    fn run(tables: &mut TableState, pkt: &[u8]) -> bool {
+        let nf = syn_guard();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut pp = ParsedPacket::parse(pkt, &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, tables).unwrap();
+        pp.get(&sfc_field("drop_flag")).unwrap().raw() == 1
+    }
+
+    fn armed_tables(threshold: u32) -> TableState {
+        let nf = syn_guard();
+        let program = nf.program();
+        let mut tables = TableState::new();
+        tables
+            .install(
+                program.tables.get(CONFIG_TABLE).unwrap(),
+                arm_entry(0xc6336450, 0xffffffff, threshold),
+            )
+            .unwrap();
+        tables
+    }
+
+    #[test]
+    fn floods_are_shielded_after_threshold() {
+        let mut tables = armed_tables(3);
+        for i in 0..6 {
+            let dropped = run(&mut tables, &syn_packet(0x0a000001));
+            assert_eq!(dropped, i >= 3, "syn {i}");
+        }
+    }
+
+    #[test]
+    fn non_syn_traffic_unaffected() {
+        let mut tables = armed_tables(1);
+        let mut pkt = syn_packet(0x0a000001);
+        pkt[47] = 0x10; // ACK only
+        for _ in 0..5 {
+            assert!(!run(&mut tables, &pkt));
+        }
+    }
+
+    #[test]
+    fn disarmed_destinations_pass() {
+        let nf = syn_guard();
+        let program = nf.program();
+        let mut tables = TableState::new();
+        // Arm a different destination.
+        tables
+            .install(
+                program.tables.get(CONFIG_TABLE).unwrap(),
+                arm_entry(0x01020304, 0xffffffff, 1),
+            )
+            .unwrap();
+        for _ in 0..5 {
+            assert!(!run(&mut tables, &syn_packet(0x0a000001)));
+        }
+    }
+
+    #[test]
+    fn distinct_sources_use_distinct_buckets() {
+        let mut tables = armed_tables(2);
+        // Two sources, threshold 2 each: neither trips with one SYN each,
+        // then each trips independently on its own third.
+        assert!(!run(&mut tables, &syn_packet(1)));
+        assert!(!run(&mut tables, &syn_packet(2)));
+        assert!(!run(&mut tables, &syn_packet(1)));
+        assert!(!run(&mut tables, &syn_packet(2)));
+        assert!(run(&mut tables, &syn_packet(1)));
+        assert!(run(&mut tables, &syn_packet(2)));
+    }
+}

@@ -1,0 +1,146 @@
+//! The virtualization gateway.
+//!
+//! Maps tenant traffic to its virtual network: a destination-prefix lookup
+//! yields the virtual network identifier (VNI), which the gateway records
+//! in the SFC context (key [`dejavu_core::sfc::ctx_keys::VNI`]) so
+//! downstream NFs and the eventual off-chain VTEP can act on it; the
+//! gateway can also rewrite the destination to the tenant's internal
+//! address space (a one-to-one static mapping — the common edge-cloud
+//! "elastic IP" translation).
+
+use dejavu_core::sfc::{ctx_keys, sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, Value};
+
+/// The VNI-mapping table name.
+pub const VNI_TABLE: &str = "vni_map";
+
+/// Builds the virtualization gateway NF.
+pub fn vgw() -> NfModule {
+    let program = ProgramBuilder::new("vgw")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("set_vni")
+                .param("vni", 16)
+                .set(sfc_field("ctx_key1"), Expr::val(u128::from(ctx_keys::VNI), 8))
+                .set(sfc_field("ctx_val1"), Expr::Param("vni".into()))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("set_vni_and_translate")
+                .param("vni", 16)
+                .param("internal_ip", 32)
+                .set(sfc_field("ctx_key1"), Expr::val(u128::from(ctx_keys::VNI), 8))
+                .set(sfc_field("ctx_val1"), Expr::Param("vni".into()))
+                .set(fref("ipv4", "dst_addr"), Expr::Param("internal_ip".into()))
+                .build(),
+        )
+        .action(ActionBuilder::new("pass").build())
+        .table(
+            TableBuilder::new(VNI_TABLE)
+                .key_lpm(fref("ipv4", "dst_addr"))
+                .action("set_vni")
+                .action("set_vni_and_translate")
+                .default_action("pass")
+                .size(16384)
+                .build(),
+        )
+        .control(ControlBuilder::new("vgw_ctrl").apply(VNI_TABLE).build())
+        .entry("vgw_ctrl")
+        .build()
+        .expect("vgw program is well-formed");
+    NfModule::new(program).expect("vgw conforms to the NF API")
+}
+
+/// Entry: destinations under `dst_prefix` belong to `vni`.
+pub fn vni_entry(dst_prefix: (u32, u16), vni: u16) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1)],
+        action: "set_vni".into(),
+        action_args: vec![Value::new(u128::from(vni), 16)],
+        priority: 0,
+    }
+}
+
+/// Entry: destinations under `dst_prefix` belong to `vni` and translate to
+/// `internal_ip`.
+pub fn vni_translate_entry(dst_prefix: (u32, u16), vni: u16, internal_ip: u32) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1)],
+        action: "set_vni_and_translate".into(),
+        action_args: vec![
+            Value::new(u128::from(vni), 16),
+            Value::new(u128::from(internal_ip), 32),
+        ],
+        priority: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use dejavu_core::sfc::SfcHeader;
+    use std::collections::BTreeMap;
+
+    fn packet() -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[14] = 0x45;
+        p[23] = 6;
+        p[30..34].copy_from_slice(&[198, 51, 100, 7]);
+        p
+    }
+
+    fn run_with(entry: TableEntry) -> ParsedPacket {
+        let nf = vgw();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables.install(program.tables.get(VNI_TABLE).unwrap(), entry).unwrap();
+        let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        pp
+    }
+
+    #[test]
+    fn vni_recorded_in_sfc_context() {
+        let pp = run_with(vni_entry((0xc6336400, 24), 77));
+        let sfc = SfcHeader::read(&pp).unwrap();
+        assert_eq!(sfc.context_get(ctx_keys::VNI), Some(77));
+        // Destination untouched.
+        assert_eq!(pp.get(&fref("ipv4", "dst_addr")).unwrap().raw(), 0xc6336407);
+    }
+
+    #[test]
+    fn translation_rewrites_destination() {
+        let pp = run_with(vni_translate_entry((0xc6336400, 24), 77, 0x0a640001));
+        let sfc = SfcHeader::read(&pp).unwrap();
+        assert_eq!(sfc.context_get(ctx_keys::VNI), Some(77));
+        assert_eq!(pp.get(&fref("ipv4", "dst_addr")).unwrap().raw(), 0x0a640001);
+    }
+
+    #[test]
+    fn default_passes() {
+        let nf = vgw();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let before = pp.clone();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp, before);
+    }
+}

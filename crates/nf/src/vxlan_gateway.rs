@@ -1,0 +1,266 @@
+//! VXLAN gateway (extension NF): real tunnel decapsulation.
+//!
+//! Inbound tenant traffic arrives VXLAN-encapsulated
+//! (`eth / ipv4 / udp:4789 / vxlan / inner-eth / inner-ipv4 / …`). The
+//! gateway matches the VNI, records it in the SFC context, and strips the
+//! outer headers so downstream NFs see the inner packet.
+//!
+//! This NF exists partly as a parser-merge stress test: its parser walks
+//! *two* instances of `ethernet`/`ipv4` at different offsets — exactly the
+//! situation the paper's `(header_type, offset)` vertex identity exists to
+//! disambiguate ("the same header types appearing in different packet
+//! locations are represented by different vertices").
+
+use dejavu_core::sfc::{ctx_keys, sfc_field, sfc_header_type};
+use dejavu_core::NfModule;
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::well_known;
+use dejavu_p4ir::{fref, Expr, Value};
+
+/// The VNI termination table.
+pub const VNI_TERM_TABLE: &str = "vni_term";
+
+/// Outer-header sizes: eth(14) + ipv4(20) + udp(8) + vxlan(8) = 50 bytes of
+/// encapsulation before the inner Ethernet.
+pub const OUTER_BYTES: u32 = 50;
+
+/// Builds the VXLAN gateway NF.
+///
+/// Parser: outer eth@0 → outer ipv4@14 → udp@34 (dst 4789) → vxlan@42 →
+/// inner eth@50 → inner ipv4@64. Non-VXLAN traffic is accepted untouched at
+/// the UDP level.
+pub fn vxlan_gateway() -> NfModule {
+    let program = ProgramBuilder::new("vxlan_gw")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(well_known::vxlan())
+        .header(sfc_header_type())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .node("ip", "ipv4", 14)
+                .node("tcp", "tcp", 34)
+                .node("udp", "udp", 34)
+                .node("vxlan", "vxlan", 42)
+                // Inner headers: same types, different offsets — distinct
+                // parser vertices per the paper's tuple identity.
+                .node("inner_eth", "ethernet", 50)
+                .node("inner_ip", "ipv4", 64)
+                .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                .select("ip", "protocol", 8, vec![(6, "tcp"), (17, "udp")])
+                .accept("tcp")
+                .select("udp", "dst_port", 16, vec![(4789, "vxlan")])
+                .goto("vxlan", "inner_eth")
+                .select("inner_eth", "ether_type", 16, vec![(0x0800, "inner_ip")])
+                .accept("inner_ip")
+                .start("eth"),
+        )
+        .action(
+            ActionBuilder::new("terminate")
+                .param("tenant", 16)
+                // Record the VNI (low 16 bits) + tenant in the SFC context.
+                .set(sfc_field("ctx_key1"), Expr::val(u128::from(ctx_keys::VNI), 8))
+                .set(sfc_field("ctx_val1"), Expr::field("vxlan", "vni"))
+                .set(sfc_field("ctx_key2"), Expr::val(u128::from(ctx_keys::TENANT_ID), 8))
+                .set(sfc_field("ctx_val2"), Expr::Param("tenant".into()))
+                // Strip the tunnel: the outer IPv4/UDP/VXLAN go (first
+                // instances), plus the *inner* Ethernet (occurrence 1 once
+                // the outers are gone) — the gateway keeps its own outer
+                // MAC framing, so the wire stays a valid eth/[sfc]/ipv4
+                // frame and the SFC header survives the decap.
+                .remove_header("ipv4")
+                .remove_header("udp")
+                .remove_header("vxlan")
+                .remove_header_nth("ethernet", 1)
+                .build(),
+        )
+        .action(ActionBuilder::new("pass").build())
+        .table(
+            TableBuilder::new(VNI_TERM_TABLE)
+                .key_exact(fref("vxlan", "vni"))
+                .action("terminate")
+                .default_action("pass")
+                .size(16384)
+                .build(),
+        )
+        .control(
+            ControlBuilder::new("vxlan_ctrl")
+                .stmt(dejavu_p4ir::Stmt::If {
+                    cond: dejavu_p4ir::BoolExpr::Valid("vxlan".into()),
+                    then_branch: vec![dejavu_p4ir::Stmt::Apply(VNI_TERM_TABLE.into())],
+                    else_branch: vec![],
+                })
+                .build(),
+        )
+        .entry("vxlan_ctrl")
+        .build()
+        .expect("vxlan gateway program is well-formed");
+    NfModule::new(program).expect("vxlan gateway conforms to the NF API")
+}
+
+/// Entry: terminate `vni` for `tenant`.
+pub fn terminate_entry(vni: u32, tenant: u16) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Exact(Value::new(u128::from(vni), 24))],
+        action: "terminate".into(),
+        action_args: vec![Value::new(u128::from(tenant), 16)],
+        priority: 0,
+    }
+}
+
+/// Builds a VXLAN-encapsulated packet: outer eth/ipv4/udp(4789)/vxlan
+/// around `inner` (which must start with an Ethernet header).
+pub fn encapsulate(inner: &[u8], vni: u32, outer_src: u32, outer_dst: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(OUTER_BYTES as usize + inner.len());
+    // Outer Ethernet.
+    p.extend_from_slice(&[0x02, 0, 0, 0, 0, 0xA0]);
+    p.extend_from_slice(&[0x02, 0, 0, 0, 0, 0xA1]);
+    p.extend_from_slice(&0x0800u16.to_be_bytes());
+    // Outer IPv4 (proto UDP).
+    let total = 20 + 8 + 8 + inner.len();
+    p.push(0x45);
+    p.push(0);
+    p.extend_from_slice(&(total as u16).to_be_bytes());
+    p.extend_from_slice(&[0, 0, 0, 0]);
+    p.push(64);
+    p.push(17);
+    p.extend_from_slice(&[0, 0]);
+    p.extend_from_slice(&outer_src.to_be_bytes());
+    p.extend_from_slice(&outer_dst.to_be_bytes());
+    // UDP to 4789.
+    p.extend_from_slice(&54321u16.to_be_bytes());
+    p.extend_from_slice(&4789u16.to_be_bytes());
+    p.extend_from_slice(&((8 + 8 + inner.len()) as u16).to_be_bytes());
+    p.extend_from_slice(&[0, 0]);
+    // VXLAN (I flag set, VNI).
+    p.push(0x08);
+    p.extend_from_slice(&[0, 0, 0]);
+    p.extend_from_slice(&vni.to_be_bytes()[1..]);
+    p.push(0);
+    p.extend_from_slice(inner);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{Interpreter, ParsedPacket, TableState};
+    use dejavu_core::sfc::SfcHeader;
+    use std::collections::BTreeMap;
+
+    fn inner_packet() -> Vec<u8> {
+        let mut p = vec![0u8; 34];
+        p[12] = 0x08; // inner eth → ipv4
+        p[14] = 0x45;
+        p[23] = 6;
+        p[26..30].copy_from_slice(&[192, 168, 7, 7]);
+        p[30..34].copy_from_slice(&[192, 168, 7, 8]);
+        p
+    }
+
+    #[test]
+    fn parser_walks_both_header_instances() {
+        let nf = vxlan_gateway();
+        let program = nf.program();
+        let pkt = encapsulate(&inner_packet(), 700, 0x0a000001, 0x0a000002);
+        let path = program.parser.parse(&program.header_map(), &pkt).unwrap();
+        let names: Vec<(String, u32)> = path;
+        assert_eq!(
+            names,
+            vec![
+                ("ethernet".to_string(), 0),
+                ("ipv4".to_string(), 14),
+                ("udp".to_string(), 34),
+                ("vxlan".to_string(), 42),
+                ("ethernet".to_string(), 50),
+                ("ipv4".to_string(), 64),
+            ]
+        );
+    }
+
+    #[test]
+    fn decap_strips_outer_stack_and_records_vni() {
+        let nf = vxlan_gateway();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        tables
+            .install(program.tables.get(VNI_TERM_TABLE).unwrap(), terminate_entry(700, 42))
+            .unwrap();
+        let pkt = encapsulate(&inner_packet(), 700, 0x0a000001, 0x0a000002);
+        let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();
+        // Pre-insert an SFC header after the *outer* eth (as the classifier
+        // would have); decap must keep it.
+        pp.add_header(&sfc_header_type(), Some("ipv4"));
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        let sfc = SfcHeader::read(&pp).unwrap();
+        assert_eq!(sfc.context_get(ctx_keys::VNI), Some(700));
+        assert_eq!(sfc.context_get(ctx_keys::TENANT_ID), Some(42));
+        // Wire-valid result: outer Ethernet framing kept, tunnel gone,
+        // inner IPv4 exposed right after the SFC header.
+        let types: Vec<&str> = pp.headers.iter().map(|h| h.header_type.as_str()).collect();
+        assert_eq!(types, vec!["ethernet", "sfc", "ipv4"]);
+        assert_eq!(pp.get(&fref("ipv4", "src_addr")).unwrap().raw(), 0xc0a80707);
+    }
+
+    #[test]
+    fn unknown_vni_passes_encapsulated() {
+        let nf = vxlan_gateway();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let pkt = encapsulate(&inner_packet(), 999, 1, 2);
+        let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();
+        let before = pp.headers.len();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp.headers.len(), before, "no decap without a VNI entry");
+    }
+
+    #[test]
+    fn non_vxlan_traffic_untouched() {
+        let nf = vxlan_gateway();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        // A plain TCP packet.
+        let pkt = dejavu_traffic_free_tcp();
+        let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();
+        let before = pp.clone();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp, before);
+    }
+
+    /// Local TCP packet builder (nf crate has no dev-dep on dejavu-traffic).
+    fn dejavu_traffic_free_tcp() -> Vec<u8> {
+        let mut p = vec![0u8; 54];
+        p[12] = 0x08;
+        p[14] = 0x45;
+        p[23] = 6;
+        p
+    }
+
+    #[test]
+    fn merges_with_the_standard_suite() {
+        // The two-instance parser merges cleanly with the five production
+        // NFs' parsers — the tuple-identity stress test.
+        let suite = crate::edge_cloud_suite();
+        let mut nfs: Vec<&NfModule> = suite.iter().collect();
+        let gw = vxlan_gateway();
+        nfs.push(&gw);
+        let merged = dejavu_core::merge::merge_programs("with_vxlan", &nfs).unwrap();
+        // Vertices exist for both ethernet instances (offsets 0 and 50) and
+        // their SFC-shifted twins (offset 70 inner eth).
+        assert!(merged.global_ids.get("ethernet", 0).is_some());
+        assert!(merged.global_ids.get("ethernet", 50).is_some());
+        assert!(merged.global_ids.get("ethernet", 70).is_some());
+        assert!(merged.global_ids.get("ipv4", 14).is_some());
+        assert!(merged.global_ids.get("ipv4", 34).is_some()); // sfc-shifted outer
+        assert!(merged.global_ids.get("vxlan", 42).is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! Control blocks: the imperative skeleton applying tables and actions.
+//!
+//! This mirrors the P4-16 `control` construct the paper builds its
+//! programming interface on (§3.1): an NF is a control block with the single
+//! signature `control XX_control(inout all_headers_t hdr)`. Statements apply
+//! tables, branch on which action a table ran (the paper's
+//! `if (check_nextNF.apply().LB)` idiom), branch on field predicates
+//! (gateways), invoke named actions directly, or call other control blocks
+//! (the modularity hook used by Dejavu's sequential/parallel composition).
+
+use crate::action::Expr;
+use crate::error::{IrError, Result};
+use crate::header::FieldRef;
+
+/// Comparison operators for gateway conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (unsigned).
+    Lt,
+    /// Less than or equal (unsigned).
+    Le,
+    /// Greater than (unsigned).
+    Gt,
+    /// Greater than or equal (unsigned).
+    Ge,
+}
+
+/// A boolean predicate evaluated by a gateway.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// Comparison of two expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// Logical AND.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical OR.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// True when the named header was parsed (or added) and not removed —
+    /// P4's `hdr.x.isValid()`.
+    Valid(String),
+}
+
+impl BoolExpr {
+    /// Convenience: `field == const`.
+    pub fn field_eq(header: &str, field: &str, raw: u128, bits: u16) -> BoolExpr {
+        BoolExpr::Cmp(Expr::field(header, field), CmpOp::Eq, Expr::val(raw, bits))
+    }
+
+    /// Convenience: `meta.field == const`.
+    pub fn meta_eq(field: &str, raw: u128, bits: u16) -> BoolExpr {
+        BoolExpr::Cmp(Expr::meta(field), CmpOp::Eq, Expr::val(raw, bits))
+    }
+
+    /// All field references read by the predicate.
+    pub fn reads(&self) -> Vec<FieldRef> {
+        match self {
+            BoolExpr::Cmp(a, _, b) => {
+                let mut r = a.reads();
+                r.extend(b.reads());
+                r
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                let mut r = a.reads();
+                r.extend(b.reads());
+                r
+            }
+            BoolExpr::Not(a) => a.reads(),
+            BoolExpr::Valid(h) => vec![FieldRef::new(h.clone(), "*")],
+        }
+    }
+}
+
+/// One statement of a control block body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Apply a table; run whichever action its entry (or default) selects.
+    Apply(String),
+    /// Apply a table, then branch on *which action ran* — the P4
+    /// `switch (t.apply().action_run)` construct.
+    ApplySelect {
+        /// Table to apply.
+        table: String,
+        /// `(action name, branch)` arms.
+        arms: Vec<(String, Vec<Stmt>)>,
+        /// Branch when the action run has no arm.
+        default: Vec<Stmt>,
+    },
+    /// Gateway branch.
+    If {
+        /// Predicate.
+        cond: BoolExpr,
+        /// Taken when true.
+        then_branch: Vec<Stmt>,
+        /// Taken when false.
+        else_branch: Vec<Stmt>,
+    },
+    /// Invoke a named action directly (no table lookup), with constant args.
+    Do(String),
+    /// Invoke another control block (composition / modularity).
+    Call(String),
+}
+
+impl Stmt {
+    /// Names of tables applied anywhere under this statement, in program
+    /// order (depth-first, then-before-else).
+    pub fn tables_applied(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Apply(t) => out.push(t.clone()),
+            Stmt::ApplySelect { table, arms, default } => {
+                out.push(table.clone());
+                for (_, branch) in arms {
+                    for s in branch {
+                        s.collect_tables(out);
+                    }
+                }
+                for s in default {
+                    s.collect_tables(out);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                for s in then_branch {
+                    s.collect_tables(out);
+                }
+                for s in else_branch {
+                    s.collect_tables(out);
+                }
+            }
+            Stmt::Do(_) | Stmt::Call(_) => {}
+        }
+    }
+
+    /// Names of control blocks called anywhere under this statement.
+    pub fn controls_called(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_calls(&mut out);
+        out
+    }
+
+    fn collect_calls(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Call(c) => out.push(c.clone()),
+            Stmt::ApplySelect { arms, default, .. } => {
+                for (_, branch) in arms {
+                    for s in branch {
+                        s.collect_calls(out);
+                    }
+                }
+                for s in default {
+                    s.collect_calls(out);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                for s in then_branch {
+                    s.collect_calls(out);
+                }
+                for s in else_branch {
+                    s.collect_calls(out);
+                }
+            }
+            Stmt::Apply(_) | Stmt::Do(_) => {}
+        }
+    }
+
+    /// Number of gateway predicates under this statement (each `If` and each
+    /// `ApplySelect` arm dispatch consumes one gateway in the resource
+    /// model).
+    pub fn gateway_count(&self) -> u32 {
+        match self {
+            Stmt::Apply(_) | Stmt::Do(_) | Stmt::Call(_) => 0,
+            Stmt::ApplySelect { arms, default, .. } => {
+                let inner: u32 = arms
+                    .iter()
+                    .flat_map(|(_, b)| b.iter())
+                    .chain(default.iter())
+                    .map(Stmt::gateway_count)
+                    .sum();
+                1 + inner
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                let inner: u32 = then_branch
+                    .iter()
+                    .chain(else_branch.iter())
+                    .map(Stmt::gateway_count)
+                    .sum();
+                1 + inner
+            }
+        }
+    }
+}
+
+/// A named control block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlBlock {
+    /// Control name (the `XX_control` of the paper's API).
+    pub name: String,
+    /// Body statements, executed in order.
+    pub body: Vec<Stmt>,
+}
+
+impl ControlBlock {
+    /// Creates a control block.
+    pub fn new(name: impl Into<String>, body: Vec<Stmt>) -> Self {
+        ControlBlock { name: name.into(), body }
+    }
+
+    /// Tables applied anywhere in the body, in program order.
+    pub fn tables_applied(&self) -> Vec<String> {
+        self.body.iter().flat_map(Stmt::tables_applied).collect()
+    }
+
+    /// Controls called anywhere in the body.
+    pub fn controls_called(&self) -> Vec<String> {
+        self.body.iter().flat_map(Stmt::controls_called).collect()
+    }
+
+    /// Total gateway predicates in the body.
+    pub fn gateway_count(&self) -> u32 {
+        self.body.iter().map(Stmt::gateway_count).sum()
+    }
+
+    /// Validates that callees exist and there is no recursive call chain.
+    pub fn validate_calls(
+        &self,
+        lookup: &dyn Fn(&str) -> Option<ControlBlock>,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > 64 {
+            return Err(IrError::Invalid(format!(
+                "control call chain too deep (cycle?) at {}",
+                self.name
+            )));
+        }
+        for callee in self.controls_called() {
+            let cb = lookup(&callee).ok_or(IrError::Undefined {
+                kind: "control block",
+                name: callee.clone(),
+            })?;
+            cb.validate_calls(lookup, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested() -> ControlBlock {
+        ControlBlock::new(
+            "ingress",
+            vec![
+                Stmt::Apply("classify".into()),
+                Stmt::If {
+                    cond: BoolExpr::meta_eq("next_nf", 2, 8),
+                    then_branch: vec![
+                        Stmt::ApplySelect {
+                            table: "lb_session".into(),
+                            arms: vec![("to_cpu".into(), vec![Stmt::Apply("punt".into())])],
+                            default: vec![],
+                        },
+                        Stmt::Call("FW_control".into()),
+                    ],
+                    else_branch: vec![Stmt::Apply("route".into())],
+                },
+                Stmt::Do("decrement_ttl".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn tables_in_program_order() {
+        assert_eq!(
+            nested().tables_applied(),
+            vec!["classify", "lb_session", "punt", "route"]
+        );
+    }
+
+    #[test]
+    fn controls_called() {
+        assert_eq!(nested().controls_called(), vec!["FW_control"]);
+    }
+
+    #[test]
+    fn gateway_counting() {
+        // one If + one ApplySelect = 2 gateways
+        assert_eq!(nested().gateway_count(), 2);
+    }
+
+    #[test]
+    fn call_validation_detects_missing() {
+        let cb = nested();
+        let err = cb.validate_calls(&|_| None, 0).unwrap_err();
+        assert!(matches!(err, IrError::Undefined { .. }));
+    }
+
+    #[test]
+    fn call_validation_detects_cycle() {
+        let a = ControlBlock::new("a", vec![Stmt::Call("b".into())]);
+        let lookup = |name: &str| -> Option<ControlBlock> {
+            match name {
+                "a" => Some(ControlBlock::new("a", vec![Stmt::Call("b".into())])),
+                "b" => Some(ControlBlock::new("b", vec![Stmt::Call("a".into())])),
+                _ => None,
+            }
+        };
+        assert!(a.validate_calls(&lookup, 0).is_err());
+    }
+
+    #[test]
+    fn bool_expr_reads() {
+        let e = BoolExpr::And(
+            Box::new(BoolExpr::field_eq("ipv4", "protocol", 6, 8)),
+            Box::new(BoolExpr::Valid("sfc".into())),
+        );
+        let reads = e.reads();
+        assert_eq!(reads.len(), 2);
+    }
+}

@@ -1,0 +1,495 @@
+//! Table dependency analysis.
+//!
+//! The Dejavu paper (footnote 2, citing Jose et al., NSDI'15 *Compiling
+//! Packet Programs to Reconfigurable Switches*) notes that NFs sharing data
+//! fields incur *match*, *action*, or *successor* dependencies, which force
+//! the compiler to place tables in separate MAU stages. This module builds
+//! that dependency graph for a [`Program`]:
+//!
+//! * **Match dependency** — a later table's match key reads a field written
+//!   by an earlier table's actions. The later table cannot start matching
+//!   until the earlier action completes: strictly later stage.
+//! * **Action dependency** — a later table's actions read or re-write a field
+//!   written by an earlier table's actions: strictly later stage (action
+//!   units within one stage execute concurrently).
+//! * **Successor dependency** — a later table executes under a control-flow
+//!   branch decided by an earlier table or gateway. Order must be preserved
+//!   but both can share a stage via predication.
+//! * **None** — independent tables, freely placed (this is what lets NF
+//!   tables "comfortably share the same stages with Dejavu" in §5).
+//!
+//! The longest chain of match/action edges gives the minimum number of MAU
+//! stages a program needs — the quantity `dejavu-compiler` allocates against
+//! and Table 1 of the paper reports.
+
+use crate::header::FieldRef;
+use crate::program::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The kind of dependency from an earlier table to a later one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DependencyKind {
+    /// Later table matches on a field the earlier table writes.
+    Match,
+    /// Later table's actions touch a field the earlier table writes.
+    Action,
+    /// Later table is control-flow dependent on the earlier table.
+    Successor,
+}
+
+impl DependencyKind {
+    /// Minimum stage gap this dependency forces between the two tables
+    /// (1 = strictly later stage, 0 = may share a stage with predication).
+    pub fn min_stage_gap(self) -> u32 {
+        match self {
+            DependencyKind::Match | DependencyKind::Action => 1,
+            DependencyKind::Successor => 0,
+        }
+    }
+}
+
+/// One edge of the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyEdge {
+    /// Earlier table (apply order).
+    pub from: String,
+    /// Later table.
+    pub to: String,
+    /// Dependency kind.
+    pub kind: DependencyKind,
+}
+
+/// Dependency graph over the tables of one program, in apply order.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyGraph {
+    /// Tables in program apply order (deduplicated, first occurrence).
+    pub order: Vec<String>,
+    /// Dependency edges (only between distinct tables, from earlier to
+    /// later).
+    pub edges: Vec<DependencyEdge>,
+}
+
+/// Do two field references overlap? A `"*"` field is a whole-header
+/// wildcard (used by header add/remove and validity checks).
+fn overlaps(a: &FieldRef, b: &FieldRef) -> bool {
+    a.header == b.header && (a.field == b.field || a.field == "*" || b.field == "*")
+}
+
+fn any_overlap(xs: &BTreeSet<FieldRef>, ys: &BTreeSet<FieldRef>) -> bool {
+    xs.iter().any(|x| ys.iter().any(|y| overlaps(x, y)))
+}
+
+impl DependencyGraph {
+    /// Builds the graph for a program's entry control.
+    pub fn build(program: &Program) -> DependencyGraph {
+        let applied = program.tables_in_order();
+        let mut order: Vec<String> = Vec::new();
+        for t in &applied {
+            if !order.contains(t) {
+                order.push(t.clone());
+            }
+        }
+
+        // Per-table read/write footprints.
+        let mut match_reads: BTreeMap<&str, BTreeSet<FieldRef>> = BTreeMap::new();
+        let mut action_reads: BTreeMap<&str, BTreeSet<FieldRef>> = BTreeMap::new();
+        let mut writes: BTreeMap<&str, BTreeSet<FieldRef>> = BTreeMap::new();
+        for name in &order {
+            let Some(t) = program.tables.get(name) else { continue };
+            match_reads.insert(name, t.match_reads().into_iter().collect());
+            let mut ar = BTreeSet::new();
+            let mut w = BTreeSet::new();
+            for a in &t.actions {
+                if let Some(act) = program.actions.get(a) {
+                    ar.extend(act.reads());
+                    w.extend(act.writes());
+                }
+            }
+            action_reads.insert(name, ar);
+            writes.insert(name, w);
+        }
+
+        // Control-flow (successor) pairs: B nested under A's branch.
+        let successor_pairs = control_flow_pairs(program);
+        // Mutually exclusive pairs: tables in *sibling* branches of the same
+        // ApplySelect / If never both execute on one packet, so they carry
+        // no data dependency and may share stages — the stage-sharing
+        // behind the paper's parallel composition ("Parallel composition
+        // allows multiple NFs to share the same MAUs").
+        let exclusive_pairs = mutually_exclusive_pairs(program);
+
+        let empty = BTreeSet::new();
+        let mut edges = Vec::new();
+        for (i, a) in order.iter().enumerate() {
+            let wa = writes.get(a.as_str()).unwrap_or(&empty);
+            for b in order.iter().skip(i + 1) {
+                if exclusive_pairs.contains(&(a.clone(), b.clone()))
+                    || exclusive_pairs.contains(&(b.clone(), a.clone()))
+                {
+                    continue;
+                }
+                let mrb = match_reads.get(b.as_str()).unwrap_or(&empty);
+                let arb = action_reads.get(b.as_str()).unwrap_or(&empty);
+                let wb = writes.get(b.as_str()).unwrap_or(&empty);
+                let kind = if any_overlap(wa, mrb) {
+                    Some(DependencyKind::Match)
+                } else if any_overlap(wa, arb) || any_overlap(wa, wb) {
+                    Some(DependencyKind::Action)
+                } else if successor_pairs.contains(&(a.clone(), b.clone())) {
+                    Some(DependencyKind::Successor)
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    edges.push(DependencyEdge { from: a.clone(), to: b.clone(), kind });
+                }
+            }
+        }
+        DependencyGraph { order, edges }
+    }
+
+    /// Minimum number of MAU stages needed: 1 + the longest path measured in
+    /// stage gaps over the dependency DAG. Independent tables need 1 stage.
+    pub fn min_stages(&self) -> u32 {
+        if self.order.is_empty() {
+            return 0;
+        }
+        // Longest-path DP over tables in apply order (edges always go
+        // forward in that order, so a single pass suffices).
+        let mut level: BTreeMap<&str, u32> = self.order.iter().map(|t| (t.as_str(), 0)).collect();
+        for e in &self.edges {
+            let from_level = *level.get(e.from.as_str()).unwrap_or(&0);
+            let need = from_level + e.kind.min_stage_gap();
+            let entry = level.entry(e.to.as_str()).or_insert(0);
+            if *entry < need {
+                *entry = need;
+            }
+        }
+        level.values().copied().max().unwrap_or(0) + 1
+    }
+
+    /// The stage level (0-based) of each table under the ASAP schedule used
+    /// by [`Self::min_stages`].
+    pub fn stage_levels(&self) -> BTreeMap<String, u32> {
+        let mut level: BTreeMap<String, u32> =
+            self.order.iter().map(|t| (t.clone(), 0)).collect();
+        for e in &self.edges {
+            let from_level = *level.get(&e.from).unwrap_or(&0);
+            let need = from_level + e.kind.min_stage_gap();
+            let entry = level.entry(e.to.clone()).or_insert(0);
+            if *entry < need {
+                *entry = need;
+            }
+        }
+        level
+    }
+
+    /// Edge lookup.
+    pub fn edge(&self, from: &str, to: &str) -> Option<DependencyKind> {
+        self.edges.iter().find(|e| e.from == from && e.to == to).map(|e| e.kind)
+    }
+}
+
+/// Pairs of tables applied in *sibling* branches of the same `ApplySelect`
+/// or `If` — at most one of the pair executes per packet.
+fn mutually_exclusive_pairs(program: &Program) -> BTreeSet<(String, String)> {
+    use crate::control::Stmt;
+    let mut pairs = BTreeSet::new();
+
+    /// Tables applied anywhere under a statement list (following Calls).
+    fn tables_under(program: &Program, stmts: &[Stmt], out: &mut Vec<String>, depth: usize) {
+        if depth > 64 {
+            return;
+        }
+        for stmt in stmts {
+            match stmt {
+                Stmt::Apply(t) => out.push(t.clone()),
+                Stmt::ApplySelect { table, arms, default } => {
+                    out.push(table.clone());
+                    for (_, b) in arms {
+                        tables_under(program, b, out, depth);
+                    }
+                    tables_under(program, default, out, depth);
+                }
+                Stmt::If { then_branch, else_branch, .. } => {
+                    tables_under(program, then_branch, out, depth);
+                    tables_under(program, else_branch, out, depth);
+                }
+                Stmt::Do(_) => {}
+                Stmt::Call(c) => {
+                    if let Some(cb) = program.controls.get(c) {
+                        tables_under(program, &cb.body, out, depth + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn walk(program: &Program, stmts: &[Stmt], pairs: &mut BTreeSet<(String, String)>, depth: usize) {
+        if depth > 64 {
+            return;
+        }
+        for stmt in stmts {
+            let branches: Vec<&Vec<Stmt>> = match stmt {
+                Stmt::ApplySelect { arms, default, .. } => {
+                    let mut v: Vec<&Vec<Stmt>> = arms.iter().map(|(_, b)| b).collect();
+                    v.push(default);
+                    v
+                }
+                Stmt::If { then_branch, else_branch, .. } => vec![then_branch, else_branch],
+                Stmt::Call(c) => {
+                    if let Some(cb) = program.controls.get(c) {
+                        walk(program, &cb.body, pairs, depth + 1);
+                    }
+                    continue;
+                }
+                _ => continue,
+            };
+            // Cross-branch pairs are exclusive.
+            let branch_tables: Vec<Vec<String>> = branches
+                .iter()
+                .map(|b| {
+                    let mut out = Vec::new();
+                    tables_under(program, b, &mut out, depth);
+                    out
+                })
+                .collect();
+            for (i, ts_a) in branch_tables.iter().enumerate() {
+                for ts_b in branch_tables.iter().skip(i + 1) {
+                    for a in ts_a {
+                        for b in ts_b {
+                            pairs.insert((a.clone(), b.clone()));
+                        }
+                    }
+                }
+            }
+            // Recurse into each branch for nested exclusivity.
+            for b in branches {
+                walk(program, b, pairs, depth);
+            }
+        }
+    }
+    if let Some(entry) = program.entry_control() {
+        walk(program, &entry.body, &mut pairs, 0);
+    }
+    pairs
+}
+
+/// Pairs `(a, b)` such that table `b` is applied inside a control-flow
+/// branch opened by table `a`'s `ApplySelect` (or inside an `If` directly
+/// following it — the gateway reads `a`'s outcome implicitly).
+fn control_flow_pairs(program: &Program) -> BTreeSet<(String, String)> {
+    use crate::control::Stmt;
+    let mut pairs = BTreeSet::new();
+    // Walk every control; context = stack of tables whose branches enclose us.
+    fn walk(
+        program: &Program,
+        stmts: &[Stmt],
+        enclosing: &mut Vec<String>,
+        pairs: &mut BTreeSet<(String, String)>,
+        depth: usize,
+    ) {
+        if depth > 64 {
+            return;
+        }
+        for stmt in stmts {
+            match stmt {
+                Stmt::Apply(t) => {
+                    for a in enclosing.iter() {
+                        pairs.insert((a.clone(), t.clone()));
+                    }
+                }
+                Stmt::ApplySelect { table, arms, default } => {
+                    for a in enclosing.iter() {
+                        pairs.insert((a.clone(), table.clone()));
+                    }
+                    enclosing.push(table.clone());
+                    for (_, b) in arms {
+                        walk(program, b, enclosing, pairs, depth);
+                    }
+                    walk(program, default, enclosing, pairs, depth);
+                    enclosing.pop();
+                }
+                Stmt::If { then_branch, else_branch, .. } => {
+                    walk(program, then_branch, enclosing, pairs, depth);
+                    walk(program, else_branch, enclosing, pairs, depth);
+                }
+                Stmt::Do(_) => {}
+                Stmt::Call(c) => {
+                    if let Some(cb) = program.controls.get(c) {
+                        walk(program, &cb.body, enclosing, pairs, depth + 1);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(entry) = program.entry_control() {
+        let mut enclosing = Vec::new();
+        walk(program, &entry.body, &mut enclosing, &mut pairs, 0);
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, Expr, PrimitiveOp};
+    use crate::control::{ControlBlock, Stmt};
+    use crate::header::{fref, FieldRef, HeaderType};
+    use crate::parser::{ParseNode, Target, Transition};
+    use crate::table::{MatchKind, TableDef, TableKey};
+
+    /// Program with three tables:
+    ///   t1 writes ipv4.dst_addr
+    ///   t2 matches on ipv4.dst_addr          (match dep on t1)
+    ///   t3 writes meta.egress_spec, reads nothing of t1/t2
+    fn program() -> Program {
+        let mut p = Program::new("deps");
+        p.header_types.insert(
+            "ipv4".into(),
+            HeaderType::new("ipv4", vec![("src_addr", 32u16), ("dst_addr", 32), ("ttl", 8), ("pad", 24)])
+                .unwrap(),
+        );
+        let n = p.parser.add_node(ParseNode {
+            header_type: "ipv4".into(),
+            offset: 0,
+            transition: Transition::Unconditional(Target::Accept),
+        });
+        p.parser.start = Some(Target::Node(n));
+
+        p.actions.insert(
+            "set_dst".into(),
+            ActionDef {
+                name: "set_dst".into(),
+                params: vec![("d".into(), 32)],
+                ops: vec![PrimitiveOp::Set {
+                    dst: fref("ipv4", "dst_addr"),
+                    value: Expr::Param("d".into()),
+                }],
+            },
+        );
+        p.actions.insert(
+            "set_port".into(),
+            ActionDef {
+                name: "set_port".into(),
+                params: vec![("pt".into(), 16)],
+                ops: vec![PrimitiveOp::Set {
+                    dst: FieldRef::meta("egress_spec"),
+                    value: Expr::Param("pt".into()),
+                }],
+            },
+        );
+        p.actions.insert("nop".into(), ActionDef::simple("nop", vec![PrimitiveOp::NoOp]));
+
+        let mk = |name: &str, key: FieldRef, actions: Vec<&str>| TableDef {
+            name: name.into(),
+            keys: vec![TableKey { field: key, kind: MatchKind::Exact }],
+            actions: actions.iter().map(|s| s.to_string()).collect(),
+            default_action: "nop".into(),
+            default_action_args: vec![],
+            size: 16,
+        };
+        p.tables.insert("t1".into(), mk("t1", fref("ipv4", "src_addr"), vec!["set_dst", "nop"]));
+        p.tables.insert("t2".into(), mk("t2", fref("ipv4", "dst_addr"), vec!["set_port", "nop"]));
+        p.tables.insert("t3".into(), mk("t3", fref("ipv4", "ttl"), vec!["set_port", "nop"]));
+        p.controls.insert(
+            "ingress".into(),
+            ControlBlock::new(
+                "ingress",
+                vec![Stmt::Apply("t1".into()), Stmt::Apply("t2".into()), Stmt::Apply("t3".into())],
+            ),
+        );
+        p.entry = "ingress".into();
+        p
+    }
+
+    #[test]
+    fn match_dependency_detected() {
+        let g = DependencyGraph::build(&program());
+        assert_eq!(g.edge("t1", "t2"), Some(DependencyKind::Match));
+    }
+
+    #[test]
+    fn action_dependency_detected() {
+        // t2 and t3 both write meta.egress_spec → action dependency.
+        let g = DependencyGraph::build(&program());
+        assert_eq!(g.edge("t2", "t3"), Some(DependencyKind::Action));
+    }
+
+    #[test]
+    fn independent_tables_have_no_edge() {
+        let g = DependencyGraph::build(&program());
+        assert_eq!(g.edge("t1", "t3"), None);
+    }
+
+    #[test]
+    fn min_stages_follows_critical_path() {
+        // t1 -(match,+1)-> t2 -(action,+1)-> t3  ⇒ 3 stages.
+        let g = DependencyGraph::build(&program());
+        assert_eq!(g.min_stages(), 3);
+        let lv = g.stage_levels();
+        assert_eq!(lv["t1"], 0);
+        assert_eq!(lv["t2"], 1);
+        assert_eq!(lv["t3"], 2);
+    }
+
+    #[test]
+    fn successor_dependency_from_apply_select() {
+        let mut p = program();
+        // Make t3 independent of t2 (different action) but nested under t1's arm.
+        p.tables.get_mut("t3").unwrap().actions = vec!["nop".into()];
+        p.controls.insert(
+            "ingress".into(),
+            ControlBlock::new(
+                "ingress",
+                vec![Stmt::ApplySelect {
+                    table: "t1".into(),
+                    arms: vec![("set_dst".into(), vec![Stmt::Apply("t3".into())])],
+                    default: vec![],
+                }],
+            ),
+        );
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.edge("t1", "t3"), Some(DependencyKind::Successor));
+        // Successor allows sharing a stage: both at level 0 → 1 stage.
+        assert_eq!(g.min_stages(), 1);
+    }
+
+    #[test]
+    fn sibling_branches_are_mutually_exclusive() {
+        // t2 and t3 both write meta.egress_spec (action dependency when
+        // sequential), but placed in sibling arms of t1's ApplySelect they
+        // are mutually exclusive → no edge, shared stage allowed.
+        let mut p = program();
+        p.controls.insert(
+            "ingress".into(),
+            ControlBlock::new(
+                "ingress",
+                vec![Stmt::ApplySelect {
+                    table: "t1".into(),
+                    arms: vec![("set_dst".into(), vec![Stmt::Apply("t2".into())])],
+                    default: vec![Stmt::Apply("t3".into())],
+                }],
+            ),
+        );
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.edge("t2", "t3"), None, "exclusive siblings must not depend");
+        // t1 → t2 is still a match dependency (t1 writes what t2 matches).
+        assert_eq!(g.edge("t1", "t2"), Some(DependencyKind::Match));
+    }
+
+    #[test]
+    fn empty_program_zero_stages() {
+        let p = Program::new("empty");
+        let g = DependencyGraph::build(&p);
+        assert_eq!(g.min_stages(), 0);
+    }
+
+    #[test]
+    fn wildcard_overlap() {
+        use super::overlaps;
+        assert!(overlaps(&fref("sfc", "*"), &fref("sfc", "path_id")));
+        assert!(overlaps(&fref("sfc", "path_id"), &fref("sfc", "*")));
+        assert!(!overlaps(&fref("sfc", "*"), &fref("ipv4", "ttl")));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by IR construction and validation.
+
+use std::fmt;
+
+/// Result alias used throughout the IR crate.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors raised while building or validating IR entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A named entity (header type, table, action, control …) was referenced
+    /// but never defined.
+    Undefined {
+        /// Entity kind, e.g. `"header type"`.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A named entity was defined twice in the same scope.
+    Duplicate {
+        /// Entity kind, e.g. `"table"`.
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// A field width is zero or exceeds the 128-bit value limit.
+    BadFieldWidth {
+        /// Header type owning the field.
+        header: String,
+        /// Offending field.
+        field: String,
+        /// The rejected width.
+        bits: u16,
+    },
+    /// A value does not fit in the declared field width.
+    ValueOverflow {
+        /// Textual location of the overflow.
+        context: String,
+        /// The value that did not fit.
+        value: u128,
+        /// The field width in bits.
+        bits: u16,
+    },
+    /// Structural validation failed (cycles, unreachable accept, …).
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Undefined { kind, name } => write!(f, "undefined {kind}: {name}"),
+            IrError::Duplicate { kind, name } => write!(f, "duplicate {kind}: {name}"),
+            IrError::BadFieldWidth { header, field, bits } => {
+                write!(f, "bad width {bits} for field {header}.{field} (must be 1..=128)")
+            }
+            IrError::ValueOverflow { context, value, bits } => {
+                write!(f, "value {value:#x} does not fit in {bits} bits ({context})")
+            }
+            IrError::Invalid(msg) => write!(f, "invalid IR: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

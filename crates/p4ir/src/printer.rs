@@ -1,0 +1,309 @@
+//! Pseudo-P4 pretty-printer.
+//!
+//! Renders a [`Program`] as P4-16-flavoured source text — the inverse of the
+//! builder frontend. The output is for humans (inspecting what Dejavu's
+//! merge/composition generated, diffing programs, documentation); it is not
+//! fed back into a parser.
+
+use crate::action::{Expr, HashAlgorithm, PrimitiveOp};
+use crate::control::{BoolExpr, CmpOp, Stmt};
+use crate::parser::{Target, Transition};
+use crate::program::Program;
+use crate::table::MatchKind;
+use std::fmt::Write;
+
+/// Renders a whole program as pseudo-P4 source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program: {}", p.name);
+
+    for ht in p.header_types.values() {
+        let _ = writeln!(out, "header {} {{", ht.name);
+        for f in &ht.fields {
+            let _ = writeln!(out, "    bit<{}> {};", f.bits, f.name);
+        }
+        let _ = writeln!(out, "}}");
+    }
+
+    if !p.meta_fields.is_empty() {
+        let _ = writeln!(out, "struct metadata {{");
+        for f in &p.meta_fields {
+            let _ = writeln!(out, "    bit<{}> {};", f.bits, f.name);
+        }
+        let _ = writeln!(out, "}}");
+    }
+
+    for r in p.registers.values() {
+        let _ = writeln!(out, "Register<bit<{}>>({}) {};", r.width_bits, r.size, r.name);
+    }
+
+    // Parser.
+    let _ = writeln!(out, "parser prs(packet_in pkt, out headers hdr) {{");
+    for (i, node) in p.parser.nodes.iter().enumerate() {
+        let state = format!("parse_{}_{}", node.header_type, node.offset);
+        let _ = writeln!(out, "    state {state} {{ // node {i}");
+        let _ = writeln!(out, "        pkt.extract(hdr.{});", node.header_type);
+        match &node.transition {
+            Transition::Unconditional(t) => {
+                let _ = writeln!(out, "        transition {};", target_name(p, *t));
+            }
+            Transition::Select { field, cases, default } => {
+                let _ = writeln!(out, "        transition select(hdr.{}.{field}) {{", node.header_type);
+                for (v, t) in cases {
+                    let _ = writeln!(out, "            {:#x}: {};", v.raw(), target_name(p, *t));
+                }
+                let _ = writeln!(out, "            default: {};", target_name(p, *default));
+                let _ = writeln!(out, "        }}");
+            }
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+
+    for a in p.actions.values() {
+        let _ = write!(out, "action {}(", a.name);
+        let params: Vec<String> =
+            a.params.iter().map(|(n, b)| format!("bit<{b}> {n}")).collect();
+        let _ = writeln!(out, "{}) {{", params.join(", "));
+        for op in &a.ops {
+            let _ = writeln!(out, "    {}", print_op(op));
+        }
+        let _ = writeln!(out, "}}");
+    }
+
+    for t in p.tables.values() {
+        let _ = writeln!(out, "table {} {{", t.name);
+        let _ = writeln!(out, "    key = {{");
+        for k in &t.keys {
+            let _ = writeln!(out, "        {}: {};", k.field, match_kind(k.kind));
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "    actions = {{ {} }};", t.actions.join("; "));
+        let _ = writeln!(out, "    default_action = {}();", t.default_action);
+        let _ = writeln!(out, "    size = {};", t.size);
+        let _ = writeln!(out, "}}");
+    }
+
+    for c in p.controls.values() {
+        let marker = if c.name == p.entry { " // entry" } else { "" };
+        let _ = writeln!(out, "control {}(inout all_headers_t hdr) {{{marker}", c.name);
+        let _ = writeln!(out, "    apply {{");
+        for s in &c.body {
+            print_stmt(&mut out, s, 2);
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn target_name(p: &Program, t: Target) -> String {
+    match t {
+        Target::Accept => "accept".into(),
+        Target::Reject => "reject".into(),
+        Target::Node(i) => {
+            let n = &p.parser.nodes[i];
+            format!("parse_{}_{}", n.header_type, n.offset)
+        }
+    }
+}
+
+fn match_kind(k: MatchKind) -> &'static str {
+    match k {
+        MatchKind::Exact => "exact",
+        MatchKind::Ternary => "ternary",
+        MatchKind::Lpm => "lpm",
+        MatchKind::Range => "range",
+    }
+}
+
+fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("{:#x}", v.raw()),
+        Expr::Field(fr) => fr.to_string(),
+        Expr::Param(p) => p.clone(),
+        Expr::Add(a, b) => format!("({} + {})", print_expr(a), print_expr(b)),
+        Expr::Sub(a, b) => format!("({} - {})", print_expr(a), print_expr(b)),
+        Expr::And(a, b) => format!("({} & {})", print_expr(a), print_expr(b)),
+        Expr::Or(a, b) => format!("({} | {})", print_expr(a), print_expr(b)),
+        Expr::Xor(a, b) => format!("({} ^ {})", print_expr(a), print_expr(b)),
+        Expr::Shl(a, n) => format!("({} << {n})", print_expr(a)),
+        Expr::Shr(a, n) => format!("({} >> {n})", print_expr(a)),
+    }
+}
+
+fn print_op(op: &PrimitiveOp) -> String {
+    match op {
+        PrimitiveOp::Set { dst, value } => format!("{dst} = {};", print_expr(value)),
+        PrimitiveOp::Hash { dst, algo, inputs } => {
+            let algo = match algo {
+                HashAlgorithm::Crc32 => "crc32",
+                HashAlgorithm::Crc16 => "crc16",
+                HashAlgorithm::XorFold => "xor_fold",
+                HashAlgorithm::Identity => "identity",
+            };
+            let inputs: Vec<String> = inputs.iter().map(print_expr).collect();
+            format!("{dst} = hash_{algo}({{{}}});", inputs.join(", "))
+        }
+        PrimitiveOp::AddHeader { header, before } => match before {
+            Some(b) => format!("hdr.{header}.setValid(); // inserted before {b}"),
+            None => format!("hdr.{header}.setValid();"),
+        },
+        PrimitiveOp::RemoveHeader { header } => format!("hdr.{header}.setInvalid();"),
+        PrimitiveOp::RemoveHeaderNth { header, occurrence } => {
+            format!("hdr.{header}[{occurrence}].setInvalid();")
+        }
+        PrimitiveOp::RegisterRead { dst, register, index } => {
+            format!("{register}.read({dst}, {});", print_expr(index))
+        }
+        PrimitiveOp::RegisterWrite { register, index, value } => {
+            format!("{register}.write({}, {});", print_expr(index), print_expr(value))
+        }
+        PrimitiveOp::Ipv4ChecksumUpdate { header } => {
+            format!("update_checksum(hdr.{header});")
+        }
+        PrimitiveOp::Drop => "mark_to_drop();".into(),
+        PrimitiveOp::NoOp => "/* no-op */".into(),
+    }
+}
+
+fn print_bool(b: &BoolExpr) -> String {
+    match b {
+        BoolExpr::Cmp(a, op, c) => {
+            let op = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {op} {}", print_expr(a), print_expr(c))
+        }
+        BoolExpr::And(a, b) => format!("({} && {})", print_bool(a), print_bool(b)),
+        BoolExpr::Or(a, b) => format!("({} || {})", print_bool(a), print_bool(b)),
+        BoolExpr::Not(a) => format!("!({})", print_bool(a)),
+        BoolExpr::Valid(h) => format!("hdr.{h}.isValid()"),
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Apply(t) => {
+            let _ = writeln!(out, "{pad}{t}.apply();");
+        }
+        Stmt::ApplySelect { table, arms, default } => {
+            let _ = writeln!(out, "{pad}switch ({table}.apply().action_run) {{");
+            for (a, b) in arms {
+                let _ = writeln!(out, "{pad}    {a}: {{");
+                for s in b {
+                    print_stmt(out, s, indent + 2);
+                }
+                let _ = writeln!(out, "{pad}    }}");
+            }
+            if !default.is_empty() {
+                let _ = writeln!(out, "{pad}    default: {{");
+                for s in default {
+                    print_stmt(out, s, indent + 2);
+                }
+                let _ = writeln!(out, "{pad}    }}");
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", print_bool(cond));
+            for s in then_branch {
+                print_stmt(out, s, indent + 1);
+            }
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_branch {
+                    print_stmt(out, s, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::Do(a) => {
+            let _ = writeln!(out, "{pad}{a}();");
+        }
+        Stmt::Call(c) => {
+            let _ = writeln!(out, "{pad}{c}.apply(hdr);");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::header::fref;
+    use crate::well_known;
+    use crate::FieldRef;
+
+    fn sample() -> Program {
+        ProgramBuilder::new("printme")
+            .header(well_known::ethernet())
+            .header(well_known::ipv4())
+            .meta_field("mark", 8)
+            .register("counter", 32, 64)
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .node("ip", "ipv4", 14)
+                    .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                    .accept("ip")
+                    .start("eth"),
+            )
+            .action(
+                ActionBuilder::new("count_and_mark")
+                    .reg_read(FieldRef::meta("mark"), "counter", Expr::val(0, 32))
+                    .reg_write("counter", Expr::val(0, 32), Expr::val(1, 32))
+                    .set(fref("ipv4", "dscp"), Expr::val(7, 6))
+                    .build(),
+            )
+            .action(ActionBuilder::new("nop").build())
+            .table(
+                TableBuilder::new("t")
+                    .key_lpm(fref("ipv4", "dst_addr"))
+                    .action("count_and_mark")
+                    .default_action("nop")
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("t").build())
+            .entry("ingress")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn printer_covers_all_constructs() {
+        let text = print_program(&sample());
+        for needle in [
+            "header ethernet {",
+            "bit<48> dst_mac;",
+            "struct metadata {",
+            "Register<bit<32>>(64) counter;",
+            "state parse_ethernet_0",
+            "transition select(hdr.ethernet.ether_type)",
+            "0x800: parse_ipv4_14;",
+            "action count_and_mark(",
+            "counter.read(meta.mark, 0x0);",
+            "counter.write(0x0, 0x1);",
+            "table t {",
+            "ipv4.dst_addr: lpm;",
+            "default_action = nop();",
+            "control ingress(inout all_headers_t hdr) { // entry",
+            "t.apply();",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn printer_is_deterministic() {
+        assert_eq!(print_program(&sample()), print_program(&sample()));
+    }
+}

@@ -1,0 +1,368 @@
+//! Programs: the unit Dejavu composes.
+//!
+//! One network function is one [`Program`]: a parser DAG, a catalog of header
+//! types, user metadata declarations, actions, tables, and control blocks
+//! with a designated entry control. `dejavu-core` merges several programs
+//! into a single multi-pipelet program; `dejavu-compiler` allocates a program
+//! onto pipelet stages; `dejavu-asic` interprets it over packets.
+//!
+//! All collections are `BTreeMap`s so iteration order — and therefore
+//! compilation, placement, and simulation — is deterministic.
+
+use crate::action::ActionDef;
+use crate::table::RegisterDef;
+use crate::control::ControlBlock;
+use crate::error::{IrError, Result};
+use crate::header::{FieldDef, FieldRef, HeaderType};
+use crate::parser::ParserDag;
+use crate::table::TableDef;
+use std::collections::BTreeMap;
+
+/// Standard (platform) metadata fields available to every program without
+/// declaration: physical ports, drop/resubmit/recirculate/mirror/to-CPU
+/// flags. These are the fields Dejavu's SFC header mirrors in its
+/// platform-metadata bytes (paper Fig. 3).
+pub const STANDARD_METADATA: &[(&str, u16)] = &[
+    ("ingress_port", 16),
+    ("egress_spec", 16),
+    ("drop_flag", 1),
+    ("resubmit_flag", 1),
+    ("recirc_flag", 1),
+    ("mirror_flag", 1),
+    ("to_cpu_flag", 1),
+];
+
+/// A complete data-plane program (one NF, or a merged SFC program).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Header type catalog.
+    pub header_types: BTreeMap<String, HeaderType>,
+    /// User metadata fields (beyond [`STANDARD_METADATA`]).
+    pub meta_fields: Vec<FieldDef>,
+    /// Parser DAG.
+    pub parser: ParserDag,
+    /// Action catalog.
+    pub actions: BTreeMap<String, ActionDef>,
+    /// Table catalog.
+    pub tables: BTreeMap<String, TableDef>,
+    /// Stateful register arrays.
+    pub registers: BTreeMap<String, RegisterDef>,
+    /// Control blocks.
+    pub controls: BTreeMap<String, ControlBlock>,
+    /// Name of the entry control block.
+    pub entry: String,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), ..Default::default() }
+    }
+
+    /// Width of a field reference, searching header types then user metadata
+    /// then standard metadata. `None` if unknown.
+    pub fn field_width(&self, fr: &FieldRef) -> Option<u16> {
+        if fr.is_meta() {
+            if let Some(fd) = self.meta_fields.iter().find(|f| f.name == fr.field) {
+                return Some(fd.bits);
+            }
+            return STANDARD_METADATA
+                .iter()
+                .find(|(n, _)| *n == fr.field)
+                .map(|(_, w)| *w);
+        }
+        self.header_types.get(&fr.header)?.field(&fr.field).map(|f| f.bits)
+    }
+
+    /// True if the field reference resolves (header add/remove writes use a
+    /// `"*"` wildcard field, which resolves if the header type exists;
+    /// `reg::<name>` pseudo-references resolve against the register
+    /// catalog).
+    pub fn field_exists(&self, fr: &FieldRef) -> bool {
+        if let Some(reg) = fr.header.strip_prefix("reg::") {
+            return self.registers.contains_key(reg);
+        }
+        if fr.field == "*" {
+            return fr.is_meta() || self.header_types.contains_key(&fr.header);
+        }
+        self.field_width(fr).is_some()
+    }
+
+    /// The entry control block, if present.
+    pub fn entry_control(&self) -> Option<&ControlBlock> {
+        self.controls.get(&self.entry)
+    }
+
+    /// Tables applied by the entry control, transitively flattening `Call`s,
+    /// in program order. Duplicate applications are kept (they matter for
+    /// dependency analysis).
+    pub fn tables_in_order(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(entry) = self.entry_control() {
+            self.flatten_control(entry, &mut out, 0);
+        }
+        out
+    }
+
+    fn flatten_control(&self, cb: &ControlBlock, out: &mut Vec<String>, depth: usize) {
+        if depth > 64 {
+            return; // cycle guard; validate() reports the error properly
+        }
+        for stmt in &cb.body {
+            self.flatten_stmt(stmt, out, depth);
+        }
+    }
+
+    fn flatten_stmt(&self, stmt: &crate::control::Stmt, out: &mut Vec<String>, depth: usize) {
+        use crate::control::Stmt;
+        match stmt {
+            Stmt::Apply(t) => out.push(t.clone()),
+            Stmt::ApplySelect { table, arms, default } => {
+                out.push(table.clone());
+                for (_, b) in arms {
+                    for s in b {
+                        self.flatten_stmt(s, out, depth);
+                    }
+                }
+                for s in default {
+                    self.flatten_stmt(s, out, depth);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                for s in then_branch {
+                    self.flatten_stmt(s, out, depth);
+                }
+                for s in else_branch {
+                    self.flatten_stmt(s, out, depth);
+                }
+            }
+            Stmt::Do(_) => {}
+            Stmt::Call(c) => {
+                if let Some(cb) = self.controls.get(c) {
+                    self.flatten_control(cb, out, depth + 1);
+                }
+            }
+        }
+    }
+
+    /// Full structural validation:
+    /// * every header type, parser vertex, table, and action is well-formed,
+    /// * tables reference existing actions and key fields,
+    /// * actions read/write existing fields,
+    /// * controls call existing controls acyclically and apply existing
+    ///   tables,
+    /// * the entry control exists.
+    pub fn validate(&self) -> Result<()> {
+        for ht in self.header_types.values() {
+            ht.validate()?;
+        }
+        {
+            // HashMap view for the parser validator.
+            let hm: std::collections::HashMap<String, HeaderType> =
+                self.header_types.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            self.parser.validate(&hm)?;
+        }
+        for t in self.tables.values() {
+            t.validate()?;
+            for a in &t.actions {
+                if !self.actions.contains_key(a) {
+                    return Err(IrError::Undefined {
+                        kind: "action",
+                        name: format!("{a} (table {})", t.name),
+                    });
+                }
+            }
+            for k in &t.keys {
+                if !self.field_exists(&k.field) {
+                    return Err(IrError::Undefined {
+                        kind: "table key field",
+                        name: format!("{} (table {})", k.field, t.name),
+                    });
+                }
+            }
+        }
+        for a in self.actions.values() {
+            for fr in a.reads().iter().chain(a.writes().iter()) {
+                if !self.field_exists(fr) {
+                    return Err(IrError::Undefined {
+                        kind: "action field",
+                        name: format!("{fr} (action {})", a.name),
+                    });
+                }
+            }
+        }
+        for r in self.registers.values() {
+            r.validate()?;
+        }
+        let entry = self.entry_control().ok_or_else(|| IrError::Undefined {
+            kind: "entry control",
+            name: self.entry.clone(),
+        })?;
+        entry.validate_calls(&|n| self.controls.get(n).cloned(), 0)?;
+        for cb in self.controls.values() {
+            for t in cb.tables_applied() {
+                if !self.tables.contains_key(&t) {
+                    return Err(IrError::Undefined {
+                        kind: "table",
+                        name: format!("{t} (control {})", cb.name),
+                    });
+                }
+            }
+            for cond_reads in cb.body.iter().map(stmt_cond_reads) {
+                for fr in cond_reads {
+                    if !self.field_exists(&fr) {
+                        return Err(IrError::Undefined {
+                            kind: "condition field",
+                            name: format!("{fr} (control {})", cb.name),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Header catalog as a `HashMap` (the form the parser walker takes).
+    pub fn header_map(&self) -> std::collections::HashMap<String, HeaderType> {
+        self.header_types.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+/// Field references read by conditions anywhere under a statement.
+fn stmt_cond_reads(stmt: &crate::control::Stmt) -> Vec<FieldRef> {
+    use crate::control::Stmt;
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::If { cond, then_branch, else_branch } => {
+            out.extend(cond.reads());
+            for s in then_branch.iter().chain(else_branch.iter()) {
+                out.extend(stmt_cond_reads(s));
+            }
+        }
+        Stmt::ApplySelect { arms, default, .. } => {
+            for (_, b) in arms {
+                for s in b {
+                    out.extend(stmt_cond_reads(s));
+                }
+            }
+            for s in default {
+                out.extend(stmt_cond_reads(s));
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, Expr, PrimitiveOp};
+    use crate::control::{ControlBlock, Stmt};
+    use crate::header::fref;
+    use crate::parser::{ParseNode, Target, Transition};
+    use crate::table::{MatchKind, TableDef, TableKey};
+
+    fn tiny_program() -> Program {
+        let mut p = Program::new("tiny");
+        p.header_types.insert(
+            "ethernet".into(),
+            HeaderType::new("ethernet", vec![("dst", 48u16), ("src", 48), ("ether_type", 16)])
+                .unwrap(),
+        );
+        let n = p.parser.add_node(ParseNode {
+            header_type: "ethernet".into(),
+            offset: 0,
+            transition: Transition::Unconditional(Target::Accept),
+        });
+        p.parser.start = Some(Target::Node(n));
+        p.actions.insert(
+            "fwd".into(),
+            ActionDef {
+                name: "fwd".into(),
+                params: vec![("port".into(), 16)],
+                ops: vec![PrimitiveOp::Set {
+                    dst: FieldRef::meta("egress_spec"),
+                    value: Expr::Param("port".into()),
+                }],
+            },
+        );
+        p.actions.insert("nop".into(), ActionDef::simple("nop", vec![PrimitiveOp::NoOp]));
+        p.tables.insert(
+            "l2".into(),
+            TableDef {
+                name: "l2".into(),
+                keys: vec![TableKey { field: fref("ethernet", "dst"), kind: MatchKind::Exact }],
+                actions: vec!["fwd".into(), "nop".into()],
+                default_action: "nop".into(),
+                default_action_args: vec![],
+                size: 4096,
+            },
+        );
+        p.controls
+            .insert("ingress".into(), ControlBlock::new("ingress", vec![Stmt::Apply("l2".into())]));
+        p.entry = "ingress".into();
+        p
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        tiny_program().validate().unwrap();
+    }
+
+    #[test]
+    fn field_width_resolution() {
+        let p = tiny_program();
+        assert_eq!(p.field_width(&fref("ethernet", "dst")), Some(48));
+        assert_eq!(p.field_width(&FieldRef::meta("egress_spec")), Some(16));
+        assert_eq!(p.field_width(&fref("ipv4", "ttl")), None);
+    }
+
+    #[test]
+    fn missing_action_caught() {
+        let mut p = tiny_program();
+        p.tables.get_mut("l2").unwrap().actions.push("ghost".into());
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn missing_table_caught() {
+        let mut p = tiny_program();
+        p.controls
+            .insert("ingress".into(), ControlBlock::new("ingress", vec![Stmt::Apply("ghost".into())]));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn missing_entry_caught() {
+        let mut p = tiny_program();
+        p.entry = "nope".into();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_key_field_caught() {
+        let mut p = tiny_program();
+        p.tables.get_mut("l2").unwrap().keys[0].field = fref("ipv4", "dst_addr");
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn tables_in_order_flattens_calls() {
+        let mut p = tiny_program();
+        p.controls.insert(
+            "sub".into(),
+            ControlBlock::new("sub", vec![Stmt::Apply("l2".into())]),
+        );
+        p.controls.insert(
+            "ingress".into(),
+            ControlBlock::new(
+                "ingress",
+                vec![Stmt::Call("sub".into()), Stmt::Apply("l2".into())],
+            ),
+        );
+        assert_eq!(p.tables_in_order(), vec!["l2", "l2"]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Fixed-width values.
+//!
+//! Switch ASIC pipelines operate on bit fields of bounded width. We cap field
+//! width at 128 bits (enough for IPv6 addresses) and represent every runtime
+//! value as a [`Value`]: a `u128` paired with its width. Arithmetic wraps
+//! modulo 2^width, mirroring P4 bit-vector semantics.
+
+use std::fmt;
+
+/// Returns the bit mask covering the low `bits` bits.
+///
+/// `bits` must be in `1..=128`; passing `128` returns all-ones.
+///
+/// ```
+/// assert_eq!(dejavu_p4ir::mask_for(8), 0xff);
+/// assert_eq!(dejavu_p4ir::mask_for(128), u128::MAX);
+/// ```
+pub fn mask_for(bits: u16) -> u128 {
+    debug_assert!((1..=128).contains(&bits), "width out of range: {bits}");
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+/// A bit-vector value: an unsigned integer of a declared width.
+///
+/// All constructors and operations truncate to the declared width, so a
+/// `Value` is always in canonical form (`raw <= mask_for(bits)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value {
+    raw: u128,
+    bits: u16,
+}
+
+impl Value {
+    /// Creates a value of the given width, truncating `raw` to fit.
+    pub fn new(raw: u128, bits: u16) -> Self {
+        assert!((1..=128).contains(&bits), "value width out of range: {bits}");
+        Value { raw: raw & mask_for(bits), bits }
+    }
+
+    /// The raw unsigned integer.
+    pub fn raw(self) -> u128 {
+        self.raw
+    }
+
+    /// The declared width in bits.
+    pub fn bits(self) -> u16 {
+        self.bits
+    }
+
+    /// Returns a copy reinterpreted at a new width, truncating if narrower.
+    pub fn resize(self, bits: u16) -> Self {
+        Value::new(self.raw, bits)
+    }
+
+    /// Wrapping addition modulo 2^width (width taken from `self`).
+    pub fn wrapping_add(self, rhs: Value) -> Self {
+        Value::new(self.raw.wrapping_add(rhs.raw), self.bits)
+    }
+
+    /// Wrapping subtraction modulo 2^width (width taken from `self`).
+    pub fn wrapping_sub(self, rhs: Value) -> Self {
+        Value::new(self.raw.wrapping_sub(rhs.raw), self.bits)
+    }
+
+    /// Bitwise AND; width taken from `self`.
+    pub fn and(self, rhs: Value) -> Self {
+        Value::new(self.raw & rhs.raw, self.bits)
+    }
+
+    /// Bitwise OR; width taken from `self`.
+    pub fn or(self, rhs: Value) -> Self {
+        Value::new(self.raw | rhs.raw, self.bits)
+    }
+
+    /// Bitwise XOR; width taken from `self`.
+    pub fn xor(self, rhs: Value) -> Self {
+        Value::new(self.raw ^ rhs.raw, self.bits)
+    }
+
+    /// Logical shift left; width taken from `self`.
+    #[allow(clippy::should_implement_trait)] // P4 semantics, not Rust's Shl
+    pub fn shl(self, amount: u32) -> Self {
+        if amount >= 128 {
+            Value::new(0, self.bits)
+        } else {
+            Value::new(self.raw << amount, self.bits)
+        }
+    }
+
+    /// Logical shift right.
+    #[allow(clippy::should_implement_trait)] // P4 semantics, not Rust's Shr
+    pub fn shr(self, amount: u32) -> Self {
+        if amount >= 128 {
+            Value::new(0, self.bits)
+        } else {
+            Value::new(self.raw >> amount, self.bits)
+        }
+    }
+
+    /// True if the value is non-zero (P4 boolean coercion).
+    pub fn as_bool(self) -> bool {
+        self.raw != 0
+    }
+
+    /// Serializes the value into big-endian bytes covering exactly
+    /// `ceil(bits/8)` bytes, left-padded with zero bits.
+    pub fn to_be_bytes(self) -> Vec<u8> {
+        let nbytes = self.byte_len();
+        let all = self.raw.to_be_bytes();
+        all[16 - nbytes..].to_vec()
+    }
+
+    /// Number of whole bytes needed to hold this value's width.
+    pub fn byte_len(self) -> usize {
+        usize::from(self.bits).div_ceil(8)
+    }
+
+    /// Parses a big-endian byte slice into a value of width `bits`.
+    ///
+    /// The slice must be exactly `ceil(bits/8)` long.
+    pub fn from_be_bytes(bytes: &[u8], bits: u16) -> Self {
+        let nbytes = usize::from(bits).div_ceil(8);
+        assert_eq!(bytes.len(), nbytes, "byte slice length mismatch for {bits}-bit value");
+        let mut raw: u128 = 0;
+        for &b in bytes {
+            raw = (raw << 8) | u128::from(b);
+        }
+        Value::new(raw, bits)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}w{}", self.raw, self.bits)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}w{}", self.raw, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_bounds() {
+        assert_eq!(mask_for(1), 1);
+        assert_eq!(mask_for(16), 0xffff);
+        assert_eq!(mask_for(127), u128::MAX >> 1);
+        assert_eq!(mask_for(128), u128::MAX);
+    }
+
+    #[test]
+    fn construction_truncates() {
+        let v = Value::new(0x1ff, 8);
+        assert_eq!(v.raw(), 0xff);
+        assert_eq!(v.bits(), 8);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let a = Value::new(0xff, 8);
+        let b = Value::new(2, 8);
+        assert_eq!(a.wrapping_add(b).raw(), 1);
+        assert_eq!(b.wrapping_sub(a).raw(), 3);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Value::new(0b1100, 4);
+        let b = Value::new(0b1010, 4);
+        assert_eq!(a.and(b).raw(), 0b1000);
+        assert_eq!(a.or(b).raw(), 0b1110);
+        assert_eq!(a.xor(b).raw(), 0b0110);
+        assert_eq!(a.shl(1).raw(), 0b1000);
+        assert_eq!(a.shr(2).raw(), 0b0011);
+    }
+
+    #[test]
+    fn shift_overflow_is_zero() {
+        let a = Value::new(0xffff, 16);
+        assert_eq!(a.shl(128).raw(), 0);
+        assert_eq!(a.shr(200).raw(), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for bits in [1u16, 7, 8, 9, 16, 24, 32, 48, 64, 128] {
+            let v = Value::new(0xdead_beef_dead_beef_dead_beef, bits);
+            let bytes = v.to_be_bytes();
+            assert_eq!(bytes.len(), usize::from(bits).div_ceil(8));
+            assert_eq!(Value::from_be_bytes(&bytes, bits), v);
+        }
+    }
+
+    #[test]
+    fn resize_truncates() {
+        let v = Value::new(0x1234, 16);
+        assert_eq!(v.resize(8).raw(), 0x34);
+        assert_eq!(v.resize(32).raw(), 0x1234);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let _ = Value::new(1, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Well-known protocol header types shared across the workspace.
+//!
+//! NF programs, the traffic generator, and the packet test framework all
+//! need consistent definitions of the standard protocol headers. Field names
+//! follow P4 community conventions (`switch.p4` / `tna` idioms).
+
+use crate::builder::ParserBuilder;
+use crate::header::HeaderType;
+use crate::parser::ParserDag;
+
+/// EtherType of IPv4.
+pub const ETHERTYPE_IPV4: u128 = 0x0800;
+/// EtherType of ARP.
+pub const ETHERTYPE_ARP: u128 = 0x0806;
+/// EtherType Dejavu assigns to its SFC header (paper §3: "a special
+/// EtherType to signify its existence"). Value from the experimental range.
+pub const ETHERTYPE_SFC: u128 = 0x88B5;
+/// IPv4 protocol number for TCP.
+pub const IPPROTO_TCP: u128 = 6;
+/// IPv4 protocol number for UDP.
+pub const IPPROTO_UDP: u128 = 17;
+/// UDP destination port for VXLAN.
+pub const VXLAN_PORT: u128 = 4789;
+
+/// Ethernet II header (14 bytes).
+pub fn ethernet() -> HeaderType {
+    HeaderType::new(
+        "ethernet",
+        vec![("dst_mac", 48u16), ("src_mac", 48), ("ether_type", 16)],
+    )
+    .expect("ethernet header is well-formed")
+}
+
+/// IPv4 header without options (20 bytes).
+pub fn ipv4() -> HeaderType {
+    HeaderType::new(
+        "ipv4",
+        vec![
+            ("version", 4u16),
+            ("ihl", 4),
+            ("dscp", 6),
+            ("ecn", 2),
+            ("total_len", 16),
+            ("identification", 16),
+            ("flags", 3),
+            ("frag_offset", 13),
+            ("ttl", 8),
+            ("protocol", 8),
+            ("hdr_checksum", 16),
+            ("src_addr", 32),
+            ("dst_addr", 32),
+        ],
+    )
+    .expect("ipv4 header is well-formed")
+}
+
+/// TCP header without options (20 bytes).
+pub fn tcp() -> HeaderType {
+    HeaderType::new(
+        "tcp",
+        vec![
+            ("src_port", 16u16),
+            ("dst_port", 16),
+            ("seq_no", 32),
+            ("ack_no", 32),
+            ("data_offset", 4),
+            ("reserved", 4),
+            ("flags", 8),
+            ("window", 16),
+            ("checksum", 16),
+            ("urgent_ptr", 16),
+        ],
+    )
+    .expect("tcp header is well-formed")
+}
+
+/// UDP header (8 bytes).
+pub fn udp() -> HeaderType {
+    HeaderType::new(
+        "udp",
+        vec![("src_port", 16u16), ("dst_port", 16), ("length", 16), ("checksum", 16)],
+    )
+    .expect("udp header is well-formed")
+}
+
+/// VXLAN header (8 bytes).
+pub fn vxlan() -> HeaderType {
+    HeaderType::new(
+        "vxlan",
+        vec![("flags", 8u16), ("reserved1", 24), ("vni", 24), ("reserved2", 8)],
+    )
+    .expect("vxlan header is well-formed")
+}
+
+/// ARP header for IPv4 over Ethernet (28 bytes).
+pub fn arp() -> HeaderType {
+    HeaderType::new(
+        "arp",
+        vec![
+            ("hw_type", 16u16),
+            ("proto_type", 16),
+            ("hw_len", 8),
+            ("proto_len", 8),
+            ("opcode", 16),
+            ("sender_mac", 48),
+            ("sender_ip", 32),
+            ("target_mac", 48),
+            ("target_ip", 32),
+        ],
+    )
+    .expect("arp header is well-formed")
+}
+
+/// A conventional `ethernet → ipv4 → {tcp | udp}` parser starting at byte 0.
+///
+/// Byte offsets: ethernet 0, ipv4 14, L4 at 34.
+pub fn eth_ip_l4_parser() -> ParserDag {
+    ParserBuilder::new()
+        .node("eth", "ethernet", 0)
+        .node("ip", "ipv4", 14)
+        .node("tcp", "tcp", 34)
+        .node("udp", "udp", 34)
+        .select("eth", "ether_type", 16, vec![(ETHERTYPE_IPV4, "ip")])
+        .select("ip", "protocol", 8, vec![(IPPROTO_TCP, "tcp"), (IPPROTO_UDP, "udp")])
+        .accept("tcp")
+        .accept("udp")
+        .start("eth")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_sizes() {
+        assert_eq!(ethernet().total_bytes(), 14);
+        assert_eq!(ipv4().total_bytes(), 20);
+        assert_eq!(tcp().total_bytes(), 20);
+        assert_eq!(udp().total_bytes(), 8);
+        assert_eq!(vxlan().total_bytes(), 8);
+        assert_eq!(arp().total_bytes(), 28);
+    }
+
+    #[test]
+    fn standard_parser_parses_tcp_and_udp() {
+        let headers: std::collections::HashMap<_, _> = [ethernet(), ipv4(), tcp(), udp()]
+            .into_iter()
+            .map(|h| (h.name.clone(), h))
+            .collect();
+        let dag = eth_ip_l4_parser();
+        let mut pkt = vec![0u8; 54];
+        pkt[12] = 0x08; // IPv4
+        pkt[23] = 6; // TCP
+        let path = dag.parse(&headers, &pkt).unwrap();
+        assert_eq!(path.last().unwrap().0, "tcp");
+        pkt[23] = 17; // UDP
+        let path = dag.parse(&headers, &pkt[..42]).unwrap();
+        assert_eq!(path.last().unwrap().0, "udp");
+    }
+
+    #[test]
+    fn non_ip_accepted_after_ethernet() {
+        let headers: std::collections::HashMap<_, _> = [ethernet(), ipv4(), tcp(), udp()]
+            .into_iter()
+            .map(|h| (h.name.clone(), h))
+            .collect();
+        let dag = eth_ip_l4_parser();
+        let mut pkt = vec![0u8; 14];
+        pkt[12] = 0x08;
+        pkt[13] = 0x06; // ARP
+        let path = dag.parse(&headers, &pkt).unwrap();
+        assert_eq!(path, vec![("ethernet".to_string(), 0)]);
+    }
+}

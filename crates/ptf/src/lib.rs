@@ -1,0 +1,359 @@
+//! # dejavu-ptf — a Packet Test Framework analogue
+//!
+//! The paper validates its prototype with the P4 community's Packet Test
+//! Framework: *"We test the input and output packets of multiple SFC paths
+//! using the Packet Test Framework and have verified that the placement and
+//! routing logic in our example successfully achieve the original
+//! functionalities"* (§5).
+//!
+//! This crate provides the same workflow over the simulated switch:
+//! declare test cases (inject a packet on a port, expect it on a port /
+//! dropped / punted, optionally verify the bytes and the traversal), run
+//! the suite, and collect a pass/fail report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::{PortId, Switch, Traversal};
+use std::fmt;
+
+/// Byte-level check applied to the emitted/punted packet.
+pub type PacketCheck = Box<dyn Fn(&[u8]) -> Result<(), String>>;
+/// Trace-level check applied to the whole traversal.
+pub type TraversalCheck = Box<dyn Fn(&Traversal) -> Result<(), String>>;
+
+/// What a test case expects to happen.
+pub enum Expect {
+    /// Emitted on the given port.
+    Emitted {
+        /// Expected output port.
+        port: PortId,
+    },
+    /// Dropped inside the switch.
+    Dropped,
+    /// Punted to the control plane.
+    ToCpu,
+}
+
+/// One PTF test case.
+pub struct TestCase {
+    /// Human-readable name.
+    pub name: String,
+    /// Ingress port for injection.
+    pub in_port: PortId,
+    /// The packet to inject.
+    pub packet: Vec<u8>,
+    /// Expected disposition.
+    pub expect: Expect,
+    /// Optional byte checks on the final packet.
+    pub packet_checks: Vec<PacketCheck>,
+    /// Optional checks on the traversal (recirculation counts, tables hit…).
+    pub traversal_checks: Vec<TraversalCheck>,
+}
+
+impl TestCase {
+    /// A case expecting emission on `port`.
+    pub fn expect_port(name: &str, in_port: PortId, packet: Vec<u8>, port: PortId) -> Self {
+        TestCase {
+            name: name.to_string(),
+            in_port,
+            packet,
+            expect: Expect::Emitted { port },
+            packet_checks: Vec::new(),
+            traversal_checks: Vec::new(),
+        }
+    }
+
+    /// A case expecting a drop.
+    pub fn expect_drop(name: &str, in_port: PortId, packet: Vec<u8>) -> Self {
+        TestCase {
+            name: name.to_string(),
+            in_port,
+            packet,
+            expect: Expect::Dropped,
+            packet_checks: Vec::new(),
+            traversal_checks: Vec::new(),
+        }
+    }
+
+    /// A case expecting a CPU punt.
+    pub fn expect_cpu(name: &str, in_port: PortId, packet: Vec<u8>) -> Self {
+        TestCase {
+            name: name.to_string(),
+            in_port,
+            packet,
+            expect: Expect::ToCpu,
+            packet_checks: Vec::new(),
+            traversal_checks: Vec::new(),
+        }
+    }
+
+    /// Adds a byte-level check.
+    pub fn check_packet(mut self, check: impl Fn(&[u8]) -> Result<(), String> + 'static) -> Self {
+        self.packet_checks.push(Box::new(check));
+        self
+    }
+
+    /// Adds a traversal check.
+    pub fn check_traversal(
+        mut self,
+        check: impl Fn(&Traversal) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.traversal_checks.push(Box::new(check));
+        self
+    }
+
+    /// Shortcut: assert an exact recirculation count.
+    pub fn expect_recirculations(self, n: usize) -> Self {
+        self.check_traversal(move |t| {
+            if t.recirculations == n {
+                Ok(())
+            } else {
+                Err(format!("expected {n} recirculations, took {}", t.recirculations))
+            }
+        })
+    }
+
+    /// Shortcut: assert that a table was applied (hit or miss) somewhere
+    /// along the way.
+    pub fn expect_table_applied(self, table: &str) -> Self {
+        let table = table.to_string();
+        self.check_traversal(move |t| {
+            if t.tables_applied().contains(&table.as_str()) {
+                Ok(())
+            } else {
+                Err(format!("table {table} was not applied (applied: {:?})", t.tables_applied()))
+            }
+        })
+    }
+
+    /// Shortcut: assert that a table was hit somewhere along the way.
+    pub fn expect_table_hit(self, table: &str) -> Self {
+        let table = table.to_string();
+        self.check_traversal(move |t| {
+            if t.tables_hit().contains(&table.as_str()) {
+                Ok(())
+            } else {
+                Err(format!("table {table} was not hit (hits: {:?})", t.tables_hit()))
+            }
+        })
+    }
+}
+
+/// Result of one case.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: String,
+    /// Failure reason, `None` on pass.
+    pub failure: Option<String>,
+    /// The traversal (for diagnostics), if injection succeeded.
+    pub traversal: Option<Traversal>,
+}
+
+/// Suite-level report.
+#[derive(Debug, Default)]
+pub struct PtfReport {
+    /// Per-case results.
+    pub results: Vec<CaseResult>,
+}
+
+impl PtfReport {
+    /// Number of passing cases.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.failure.is_none()).count()
+    }
+
+    /// Number of failing cases.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.passed()
+    }
+
+    /// True when all cases passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Panics with a readable summary if any case failed (test helper).
+    pub fn assert_all_passed(&self) {
+        if !self.all_passed() {
+            panic!("{self}");
+        }
+    }
+}
+
+impl fmt::Display for PtfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PTF: {} passed, {} failed", self.passed(), self.failed())?;
+        for r in &self.results {
+            match &r.failure {
+                None => writeln!(f, "  PASS {}", r.name)?,
+                Some(reason) => writeln!(f, "  FAIL {}: {}", r.name, reason)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs a suite of cases against a switch.
+pub fn run_suite(switch: &mut Switch, cases: Vec<TestCase>) -> PtfReport {
+    let mut report = PtfReport::default();
+    for case in cases {
+        let result = run_case(switch, &case);
+        report.results.push(result);
+    }
+    report
+}
+
+fn run_case(switch: &mut Switch, case: &TestCase) -> CaseResult {
+    let traversal = match switch.inject(case.packet.clone(), case.in_port) {
+        Ok(t) => t,
+        Err(e) => {
+            return CaseResult {
+                name: case.name.clone(),
+                failure: Some(format!("injection failed: {e}")),
+                traversal: None,
+            }
+        }
+    };
+    let mut failure = None;
+    let disposition_ok = match (&case.expect, &traversal.disposition) {
+        (Expect::Emitted { port }, Disposition::Emitted { port: got }) => {
+            if port == got {
+                true
+            } else {
+                failure = Some(format!("expected port {port}, emitted on {got}"));
+                false
+            }
+        }
+        (Expect::Dropped, Disposition::Dropped) => true,
+        (Expect::ToCpu, Disposition::ToCpu) => true,
+        (expect, got) => {
+            let want = match expect {
+                Expect::Emitted { port } => format!("emitted on {port}"),
+                Expect::Dropped => "dropped".into(),
+                Expect::ToCpu => "punted to CPU".into(),
+            };
+            failure = Some(format!("expected {want}, got {got:?}"));
+            false
+        }
+    };
+    if disposition_ok {
+        for check in &case.packet_checks {
+            if let Err(e) = check(&traversal.final_bytes) {
+                failure = Some(format!("packet check: {e}"));
+                break;
+            }
+        }
+    }
+    if failure.is_none() {
+        for check in &case.traversal_checks {
+            if let Err(e) = check(&traversal) {
+                failure = Some(format!("traversal check: {e}"));
+                break;
+            }
+        }
+    }
+    CaseResult { name: case.name.clone(), failure, traversal: Some(traversal) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_asic::{PipeletId, TofinoProfile};
+    use dejavu_p4ir::builder::*;
+    use dejavu_p4ir::table::{KeyMatch, TableEntry};
+    use dejavu_p4ir::well_known;
+    use dejavu_p4ir::{fref, Expr, FieldRef, Value};
+
+    fn l2_switch() -> Switch {
+        let program = ProgramBuilder::new("l2")
+            .header(well_known::ethernet())
+            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .action(
+                ActionBuilder::new("fwd")
+                    .param("port", 16)
+                    .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                    .build(),
+            )
+            .action(ActionBuilder::new("deny").drop_packet().build())
+            .table(
+                TableBuilder::new("l2")
+                    .key_exact(fref("ethernet", "dst_mac"))
+                    .action("fwd")
+                    .default_action("deny")
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("l2").build())
+            .entry("ingress")
+            .build()
+            .unwrap();
+        let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
+        sw.load_program(PipeletId::ingress(0), program).unwrap();
+        sw.install_entry(
+            PipeletId::ingress(0),
+            "l2",
+            TableEntry {
+                matches: vec![KeyMatch::Exact(Value::new(0xaabb, 48))],
+                action: "fwd".into(),
+                action_args: vec![Value::new(9, 16)],
+                priority: 0,
+            },
+        )
+        .unwrap();
+        sw
+    }
+
+    fn eth_packet(dst: u64) -> Vec<u8> {
+        let mut p = vec![0u8; 14];
+        p[..6].copy_from_slice(&dst.to_be_bytes()[2..]);
+        p
+    }
+
+    #[test]
+    fn suite_passes_and_fails_correctly() {
+        let mut sw = l2_switch();
+        let report = run_suite(
+            &mut sw,
+            vec![
+                TestCase::expect_port("known dst", 0, eth_packet(0xaabb), 9)
+                    .expect_table_hit("l2")
+                    .expect_recirculations(0),
+                TestCase::expect_drop("unknown dst", 0, eth_packet(0xdead)),
+                // Deliberate failure: wrong port.
+                TestCase::expect_port("wrong port", 0, eth_packet(0xaabb), 7),
+            ],
+        );
+        assert_eq!(report.passed(), 2);
+        assert_eq!(report.failed(), 1);
+        assert!(!report.all_passed());
+        assert!(report.to_string().contains("FAIL wrong port"));
+    }
+
+    #[test]
+    fn packet_check_runs_on_final_bytes() {
+        let mut sw = l2_switch();
+        let report = run_suite(
+            &mut sw,
+            vec![TestCase::expect_port("bytes preserved", 0, eth_packet(0xaabb), 9)
+                .check_packet(|b| {
+                    if b.len() == 14 {
+                        Ok(())
+                    } else {
+                        Err(format!("len {}", b.len()))
+                    }
+                })],
+        );
+        report.assert_all_passed();
+    }
+
+    #[test]
+    #[should_panic(expected = "PTF")]
+    fn assert_all_passed_panics_with_summary() {
+        let mut sw = l2_switch();
+        let report =
+            run_suite(&mut sw, vec![TestCase::expect_drop("will fail", 0, eth_packet(0xaabb))]);
+        report.assert_all_passed();
+    }
+}

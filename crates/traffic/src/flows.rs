@@ -1,0 +1,216 @@
+//! Flow and workload generation.
+//!
+//! [`FlowGen`] produces deterministic pseudo-random 5-tuple flows, with a
+//! Zipf-like popularity skew (heavy hitters dominate, as in real edge
+//! traffic). [`WorkloadMix`] assigns flows to service chains by weight —
+//! the "each SFC policy may carry a weight reflecting the percentage of
+//! traffic following that chaining policy" of §3.3 — by giving each chain
+//! its own source prefix so the classifier can steer it.
+
+use crate::packet::PacketBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One flow's invariant fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowSpec {
+    /// IPv4 source.
+    pub src_ip: u32,
+    /// IPv4 destination.
+    pub dst_ip: u32,
+    /// IP protocol (6 or 17).
+    pub protocol: u8,
+    /// L4 source port.
+    pub src_port: u16,
+    /// L4 destination port.
+    pub dst_port: u16,
+}
+
+impl FlowSpec {
+    /// Builds a packet of this flow with the given payload size.
+    pub fn packet(&self, payload_len: usize) -> Vec<u8> {
+        let base = if self.protocol == 6 { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+        base.src_ip(self.src_ip)
+            .dst_ip(self.dst_ip)
+            .src_port(self.src_port)
+            .dst_port(self.dst_port)
+            .payload(&vec![0u8; payload_len])
+            .build()
+    }
+}
+
+/// Deterministic flow generator.
+#[derive(Debug)]
+pub struct FlowGen {
+    rng: StdRng,
+    /// Source prefix (value, bits) all generated flows fall under.
+    pub src_prefix: (u32, u16),
+    /// Destination prefix.
+    pub dst_prefix: (u32, u16),
+}
+
+impl FlowGen {
+    /// New generator over the given prefixes.
+    pub fn new(seed: u64, src_prefix: (u32, u16), dst_prefix: (u32, u16)) -> Self {
+        FlowGen { rng: StdRng::seed_from_u64(seed), src_prefix, dst_prefix }
+    }
+
+    fn addr_in(rng: &mut StdRng, prefix: (u32, u16)) -> u32 {
+        let host_bits = 32 - u32::from(prefix.1);
+        let mask = if host_bits >= 32 { u32::MAX } else { (1u32 << host_bits) - 1 };
+        (prefix.0 & !mask) | (rng.gen::<u32>() & mask)
+    }
+
+    /// Next uniformly random flow.
+    pub fn next_flow(&mut self) -> FlowSpec {
+        FlowSpec {
+            src_ip: Self::addr_in(&mut self.rng, self.src_prefix),
+            dst_ip: Self::addr_in(&mut self.rng, self.dst_prefix),
+            protocol: if self.rng.gen_bool(0.8) { 6 } else { 17 },
+            src_port: self.rng.gen_range(1024..=u16::MAX),
+            dst_port: *[80u16, 443, 8080, 53].get(self.rng.gen_range(0..4)).unwrap(),
+        }
+    }
+
+    /// Generates `n` distinct flows.
+    pub fn flows(&mut self, n: usize) -> Vec<FlowSpec> {
+        let mut out = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        while out.len() < n {
+            let f = self.next_flow();
+            if seen.insert(f) {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    /// Draws `count` packet-flow indices over `flows.len()` flows with a
+    /// Zipf(s) popularity skew (s = 0 → uniform).
+    pub fn zipf_schedule(&mut self, num_flows: usize, count: usize, s: f64) -> Vec<usize> {
+        assert!(num_flows > 0);
+        // Precompute cumulative Zipf weights.
+        let weights: Vec<f64> = (1..=num_flows).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(num_flows);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        (0..count)
+            .map(|_| {
+                let x: f64 = self.rng.gen();
+                cumulative.iter().position(|&c| x <= c).unwrap_or(num_flows - 1)
+            })
+            .collect()
+    }
+}
+
+/// A multi-chain traffic mix: each chain gets a share of flows under its
+/// own source prefix (so the classifier can map prefix → path).
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    /// `(path_id, weight, src_prefix)` per chain.
+    pub chains: Vec<(u16, f64, (u32, u16))>,
+}
+
+impl WorkloadMix {
+    /// A mix giving chain `i` (1-based path IDs) the prefix `10.i.0.0/16`.
+    pub fn from_weights(weights: &[(u16, f64)]) -> Self {
+        WorkloadMix {
+            chains: weights
+                .iter()
+                .map(|&(path, w)| (path, w, (0x0a00_0000 | (u32::from(path) << 16), 16u16)))
+                .collect(),
+        }
+    }
+
+    /// Source prefix of a chain.
+    pub fn prefix_of(&self, path_id: u16) -> Option<(u32, u16)> {
+        self.chains.iter().find(|(p, ..)| *p == path_id).map(|(_, _, pre)| *pre)
+    }
+
+    /// Generates `n` `(path_id, flow)` pairs distributed by weight.
+    pub fn flows(&self, seed: u64, n: usize) -> Vec<(u16, FlowSpec)> {
+        let total: f64 = self.chains.iter().map(|(_, w, _)| w).sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let x: f64 = rng.gen::<f64>() * total;
+            let mut acc = 0.0;
+            let mut chosen = self.chains.last().expect("non-empty mix");
+            for c in &self.chains {
+                acc += c.1;
+                if x <= acc {
+                    chosen = c;
+                    break;
+                }
+            }
+            let mut gen = FlowGen::new(seed.wrapping_add(i as u64), chosen.2, (0xc000_0200, 24));
+            out.push((chosen.0, gen.next_flow()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_respect_prefixes() {
+        let mut gen = FlowGen::new(1, (0x0a010000, 16), (0xc6336400, 24));
+        for f in gen.flows(100) {
+            assert_eq!(f.src_ip >> 16, 0x0a01);
+            assert_eq!(f.dst_ip >> 8, 0xc63364);
+            assert!(f.src_port >= 1024);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FlowGen::new(7, (0, 0), (0, 0)).flows(10);
+        let b = FlowGen::new(7, (0, 0), (0, 0)).flows(10);
+        assert_eq!(a, b);
+        let c = FlowGen::new(8, (0, 0), (0, 0)).flows(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut gen = FlowGen::new(3, (0, 0), (0, 0));
+        let schedule = gen.zipf_schedule(100, 10_000, 1.2);
+        let head = schedule.iter().filter(|&&i| i < 10).count();
+        // With s=1.2, the top-10 of 100 flows should carry well over half
+        // the packets.
+        assert!(head > 5_000, "head count {head}");
+        // Uniform by contrast.
+        let uniform = gen.zipf_schedule(100, 10_000, 0.0);
+        let head_u = uniform.iter().filter(|&&i| i < 10).count();
+        assert!((500..2_000).contains(&head_u), "uniform head {head_u}");
+    }
+
+    #[test]
+    fn mix_distributes_by_weight() {
+        let mix = WorkloadMix::from_weights(&[(1, 0.5), (2, 0.3), (3, 0.2)]);
+        let flows = mix.flows(42, 5_000);
+        let count1 = flows.iter().filter(|(p, _)| *p == 1).count();
+        let count3 = flows.iter().filter(|(p, _)| *p == 3).count();
+        assert!((2_200..2_800).contains(&count1), "path1 {count1}");
+        assert!((800..1_200).contains(&count3), "path3 {count3}");
+        // Flows fall under their chain's prefix.
+        for (path, f) in &flows {
+            let prefix = mix.prefix_of(*path).unwrap();
+            assert_eq!(f.src_ip >> 16, prefix.0 >> 16, "path {path}");
+        }
+    }
+
+    #[test]
+    fn flow_packet_roundtrip() {
+        let f = FlowSpec { src_ip: 1, dst_ip: 2, protocol: 17, src_port: 9999, dst_port: 53 };
+        let pkt = f.packet(32);
+        assert_eq!(pkt.len(), 14 + 20 + 8 + 32);
+        assert_eq!(pkt[23], 17);
+    }
+}

@@ -1,0 +1,193 @@
+//! Packet construction.
+//!
+//! [`PacketBuilder`] assembles valid eth/ipv4/{tcp,udp} wire bytes field by
+//! field, matching the header layouts in `dejavu_p4ir::well_known`. The
+//! builder fills sensible defaults (version/IHL, TTL 64) so tests only
+//! state what they care about.
+
+/// Builds eth/ipv4/tcp-or-udp packets.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    dst_mac: u64,
+    src_mac: u64,
+    src_ip: u32,
+    dst_ip: u32,
+    protocol: u8,
+    ttl: u8,
+    dscp: u8,
+    src_port: u16,
+    dst_port: u16,
+    payload: Vec<u8>,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        PacketBuilder {
+            dst_mac: 0x02_00_00_00_00_02,
+            src_mac: 0x02_00_00_00_00_01,
+            src_ip: 0x0a00_0001,
+            dst_ip: 0x0a00_0002,
+            protocol: 6,
+            ttl: 64,
+            dscp: 0,
+            src_port: 40000,
+            dst_port: 80,
+            payload: Vec::new(),
+        }
+    }
+}
+
+impl PacketBuilder {
+    /// A TCP packet builder with defaults.
+    pub fn tcp() -> Self {
+        PacketBuilder::default()
+    }
+
+    /// A UDP packet builder with defaults.
+    pub fn udp() -> Self {
+        PacketBuilder { protocol: 17, ..Default::default() }
+    }
+
+    /// Sets the destination MAC.
+    pub fn dst_mac(mut self, mac: u64) -> Self {
+        self.dst_mac = mac;
+        self
+    }
+
+    /// Sets the source MAC.
+    pub fn src_mac(mut self, mac: u64) -> Self {
+        self.src_mac = mac;
+        self
+    }
+
+    /// Sets the source IPv4 address.
+    pub fn src_ip(mut self, ip: u32) -> Self {
+        self.src_ip = ip;
+        self
+    }
+
+    /// Sets the destination IPv4 address.
+    pub fn dst_ip(mut self, ip: u32) -> Self {
+        self.dst_ip = ip;
+        self
+    }
+
+    /// Sets the TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the DSCP code point.
+    pub fn dscp(mut self, dscp: u8) -> Self {
+        self.dscp = dscp;
+        self
+    }
+
+    /// Sets the L4 source port.
+    pub fn src_port(mut self, port: u16) -> Self {
+        self.src_port = port;
+        self
+    }
+
+    /// Sets the L4 destination port.
+    pub fn dst_port(mut self, port: u16) -> Self {
+        self.dst_port = port;
+        self
+    }
+
+    /// Appends payload bytes.
+    pub fn payload(mut self, bytes: &[u8]) -> Self {
+        self.payload = bytes.to_vec();
+        self
+    }
+
+    /// Serializes to wire bytes.
+    pub fn build(&self) -> Vec<u8> {
+        let l4_len: usize = if self.protocol == 6 { 20 } else { 8 };
+        let total_ip_len = 20 + l4_len + self.payload.len();
+        let mut p = Vec::with_capacity(14 + total_ip_len);
+        // Ethernet.
+        p.extend_from_slice(&self.dst_mac.to_be_bytes()[2..]);
+        p.extend_from_slice(&self.src_mac.to_be_bytes()[2..]);
+        p.extend_from_slice(&0x0800u16.to_be_bytes());
+        // IPv4.
+        p.push(0x45);
+        p.push(self.dscp << 2);
+        p.extend_from_slice(&(total_ip_len as u16).to_be_bytes());
+        p.extend_from_slice(&[0, 0]); // identification
+        p.extend_from_slice(&[0, 0]); // flags/frag
+        p.push(self.ttl);
+        p.push(self.protocol);
+        p.extend_from_slice(&[0, 0]); // checksum (not modelled)
+        p.extend_from_slice(&self.src_ip.to_be_bytes());
+        p.extend_from_slice(&self.dst_ip.to_be_bytes());
+        // L4.
+        if self.protocol == 6 {
+            p.extend_from_slice(&self.src_port.to_be_bytes());
+            p.extend_from_slice(&self.dst_port.to_be_bytes());
+            p.extend_from_slice(&[0u8; 8]); // seq/ack
+            p.push(0x50); // data offset + reserved
+            p.push(0x10); // ACK flag
+            p.extend_from_slice(&[0xff, 0xff]); // window
+            p.extend_from_slice(&[0, 0, 0, 0]); // checksum/urgent
+        } else {
+            p.extend_from_slice(&self.src_port.to_be_bytes());
+            p.extend_from_slice(&self.dst_port.to_be_bytes());
+            p.extend_from_slice(&((l4_len + self.payload.len()) as u16).to_be_bytes());
+            p.extend_from_slice(&[0, 0]);
+        }
+        p.extend_from_slice(&self.payload);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::well_known;
+    use std::collections::HashMap;
+
+    fn catalog() -> HashMap<String, dejavu_p4ir::HeaderType> {
+        [well_known::ethernet(), well_known::ipv4(), well_known::tcp(), well_known::udp()]
+            .into_iter()
+            .map(|h| (h.name.clone(), h))
+            .collect()
+    }
+
+    #[test]
+    fn tcp_packet_parses() {
+        let pkt = PacketBuilder::tcp()
+            .src_ip(0x0a010203)
+            .dst_ip(0xc0a80001)
+            .src_port(1234)
+            .dst_port(443)
+            .payload(b"hi")
+            .build();
+        let path = well_known::eth_ip_l4_parser().parse(&catalog(), &pkt).unwrap();
+        assert_eq!(
+            path.iter().map(|(h, _)| h.as_str()).collect::<Vec<_>>(),
+            vec!["ethernet", "ipv4", "tcp"]
+        );
+        assert_eq!(pkt.len(), 14 + 20 + 20 + 2);
+        // Field spot checks.
+        assert_eq!(&pkt[26..30], &[0x0a, 0x01, 0x02, 0x03]);
+        assert_eq!(u16::from_be_bytes([pkt[36], pkt[37]]), 443);
+        assert_eq!(&pkt[54..], b"hi");
+    }
+
+    #[test]
+    fn udp_packet_parses() {
+        let pkt = PacketBuilder::udp().dst_port(53).build();
+        let path = well_known::eth_ip_l4_parser().parse(&catalog(), &pkt).unwrap();
+        assert_eq!(path.last().unwrap().0, "udp");
+        assert_eq!(pkt.len(), 14 + 20 + 8);
+    }
+
+    #[test]
+    fn ip_total_length_consistent() {
+        let pkt = PacketBuilder::tcp().payload(&[0u8; 100]).build();
+        let total = u16::from_be_bytes([pkt[16], pkt[17]]);
+        assert_eq!(usize::from(total), pkt.len() - 14);
+    }
+}

@@ -1,0 +1,62 @@
+//! Recirculation study: interactive exploration of the §4 models.
+//!
+//! ```text
+//! cargo run -p dejavu-examples --bin recirculation_study -- [loopback_ports]
+//! ```
+//!
+//! For a given number of loopback ports (default 16, the §5 configuration)
+//! prints the capacity split, the per-k throughput table, and latency
+//! figures from the calibrated timing model.
+
+use dejavu_asic::feedback::{effective_throughput_gbps, simulate_fluid, solve_mix, TrafficClass};
+use dejavu_asic::{TimingModel, TofinoProfile};
+
+fn main() {
+    let m: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let profile = TofinoProfile::wedge_100b_32x();
+    assert!(m <= profile.total_ports(), "at most {} ports", profile.total_ports());
+
+    println!("switch: {} ports × {:.0}G, {} pipelines", profile.total_ports(), profile.port_gbps, profile.pipelines);
+    println!("loopback ports: {m}");
+    println!("external capacity: {:.0} Gbps", profile.external_capacity_gbps(m));
+    println!(
+        "fraction of external traffic that can recirculate once: {:.0} %",
+        profile.single_recirc_fraction(m) * 100.0
+    );
+
+    println!("\nthroughput vs recirculations (one 100G port + its loopback peer):");
+    println!("  {:>3} {:>12} {:>12}", "k", "analytic", "fluid sim");
+    for k in 0..=5 {
+        println!(
+            "  {k:>3} {:>10.2} G {:>10.2} G",
+            effective_throughput_gbps(100.0, k),
+            simulate_fluid(100.0, k, 4000)
+        );
+    }
+
+    // A mixed workload over the pooled loopback capacity.
+    let loop_cap =
+        m as f64 * profile.port_gbps + profile.dedicated_recirc_gbps * profile.pipelines as f64;
+    let external = profile.external_capacity_gbps(m);
+    let mix = solve_mix(
+        &[
+            TrafficClass { rate_gbps: external * 0.5, recirculations: 0 },
+            TrafficClass { rate_gbps: external * 0.3, recirculations: 1 },
+            TrafficClass { rate_gbps: external * 0.2, recirculations: 2 },
+        ],
+        loop_cap.max(1.0),
+    );
+    println!("\nmixed workload (50% k=0 / 30% k=1 / 20% k=2) over {loop_cap:.0}G loopback:");
+    println!("  delivery ratio at the loopback ports: {:.3}", mix.delivery_ratio);
+    for (i, thr) in mix.class_throughput_gbps.iter().enumerate() {
+        println!("  class {i}: {thr:.1} Gbps delivered");
+    }
+    println!("  total goodput: {:.1} Gbps of {external:.0} offered", mix.total_gbps());
+
+    let t = TimingModel::tofino();
+    println!("\nlatency (calibrated to the paper's measurements):");
+    for k in 0..=3 {
+        println!("  {k} recirculations: {:.0} ns", t.path_with_recircs_ns(12, k));
+    }
+    println!("  off-chip hop penalty (1 m DAC): {:.0} ns", t.recirc_off_chip_ns);
+}

@@ -1,0 +1,172 @@
+//! §7 multi-switch chaining, physically executed: a chain too large for one
+//! ASIC deployed across wired back-to-back switches, driven packet by
+//! packet through the whole cluster.
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::PipeletId;
+use dejavu_core::deploy::{DeployError, DeployOptions};
+use dejavu_core::multiswitch::{deploy_cluster, ClusterPlacement, ClusterWiring};
+use dejavu_core::placement::Placement;
+use dejavu_core::{ChainPolicy, ChainSet};
+use dejavu_integration::{encapsulated_packet, marker_nf, IN_PORT};
+
+const EXIT_PORT: u16 = 2;
+
+fn six_nf_setup() -> (Vec<dejavu_core::NfModule>, ChainSet, ClusterPlacement) {
+    let names: Vec<String> = (0..6).map(|i| format!("n{i}")).collect();
+    let nfs: Vec<_> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| marker_nf(n, i as u32))
+        .collect();
+    let chains = ChainSet::new(vec![ChainPolicy {
+        path_id: 1,
+        name: "long".into(),
+        nfs: names,
+        weight: 1.0,
+    }])
+    .unwrap();
+    // Three NFs per switch, spread across pipelets.
+    let placement = ClusterPlacement {
+        switches: vec![
+            Placement::sequential(vec![
+                (PipeletId::ingress(0), vec!["n0", "n1"]),
+                (PipeletId::egress(0), vec!["n2"]),
+            ]),
+            Placement::sequential(vec![
+                (PipeletId::ingress(0), vec!["n3", "n4"]),
+                (PipeletId::egress(0), vec!["n5"]),
+            ]),
+        ],
+    };
+    (nfs, chains, placement)
+}
+
+#[test]
+fn chain_executes_across_two_switches() {
+    let (nfs, chains, placement) = six_nf_setup();
+    let refs: Vec<_> = nfs.iter().collect();
+    let mut net = deploy_cluster(
+        &refs,
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        [(1u16, EXIT_PORT)].into_iter().collect(),
+        &ClusterWiring::default(),
+        &DeployOptions::default(),
+    )
+    .unwrap();
+
+    let t = net.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(t.inter_switch_hops, 1, "one forward wire hop");
+    assert_eq!(t.hops.len(), 2, "visited both switches");
+    // All six NFs ran, three per switch.
+    for (i, (sw, hop)) in t.hops.iter().enumerate() {
+        assert_eq!(*sw, i);
+        for nf in 0..3 {
+            let table = format!("n{}__work", i * 3 + nf);
+            assert!(
+                hop.tables_applied().contains(&table.as_str()),
+                "switch {i} missing {table}: {:?}",
+                hop.tables_applied()
+            );
+        }
+    }
+    // Decapsulated only at the final exit.
+    let out = &t.final_bytes;
+    assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800);
+    // The intermediate wire carried the packet still encapsulated.
+    let mid = &t.hops[0].1.final_bytes;
+    assert_eq!(
+        u16::from_be_bytes([mid[12], mid[13]]),
+        dejavu_core::sfc::SFC_ETHERTYPE,
+        "packet crosses the wire SFC-encapsulated"
+    );
+    // Latency: two port-to-port traversals + cable + any recirculations.
+    assert!(t.latency_ns > 1300.0, "latency {}", t.latency_ns);
+}
+
+#[test]
+fn mid_chain_entry_on_second_switch_only_runs_remaining_nfs() {
+    // A packet arriving at switch 0 with service index 3 skips switch 0's
+    // NFs (the branching table forwards it straight over the link).
+    let (nfs, chains, placement) = six_nf_setup();
+    let refs: Vec<_> = nfs.iter().collect();
+    let mut net = deploy_cluster(
+        &refs,
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        [(1u16, EXIT_PORT)].into_iter().collect(),
+        &ClusterWiring::default(),
+        &DeployOptions::default(),
+    )
+    .unwrap();
+    let t = net.inject(encapsulated_packet(1, 3), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    // Switch 0 applied no NF work tables.
+    assert!(!t.hops[0].1.tables_applied().iter().any(|x| x.ends_with("__work")));
+    // Switch 1 ran n3..n5.
+    for nf in ["n3", "n4", "n5"] {
+        let table = format!("{nf}__work");
+        assert!(t.hops[1].1.tables_applied().contains(&table.as_str()));
+    }
+}
+
+#[test]
+fn backward_chains_are_rejected_at_deploy() {
+    let (nfs, _chains, placement) = six_nf_setup();
+    let refs: Vec<_> = nfs.iter().collect();
+    // A chain that needs switch 1 then switch 0: forward-only wiring can't.
+    let chains = ChainSet::new(vec![ChainPolicy::new(1, "back", vec!["n3", "n0"], 1.0)]).unwrap();
+    let err = deploy_cluster(
+        &refs,
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        [(1u16, EXIT_PORT)].into_iter().collect(),
+        &ClusterWiring::default(),
+        &DeployOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, DeployError::Cluster(_)), "got {err}");
+}
+
+#[test]
+fn cluster_install_routes_rules_to_owning_switch() {
+    let (nfs, chains, placement) = six_nf_setup();
+    let refs: Vec<_> = nfs.iter().collect();
+    let mut net = deploy_cluster(
+        &refs,
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        [(1u16, EXIT_PORT)].into_iter().collect(),
+        &ClusterWiring::default(),
+        &DeployOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(net.switch_of("n0"), Some(0));
+    assert_eq!(net.switch_of("n5"), Some(1));
+    assert_eq!(net.switch_of("ghost"), None);
+    // Installing through the cluster API lands on the right switch: make
+    // n5's marker pass instead of mark for TCP.
+    use dejavu_p4ir::table::{KeyMatch, TableEntry};
+    net.install(
+        "n5",
+        "work",
+        TableEntry {
+            matches: vec![KeyMatch::Exact(dejavu_p4ir::Value::new(6, 8))],
+            action: "pass".into(),
+            action_args: vec![],
+            priority: 0,
+        },
+    )
+    .unwrap();
+    let t = net.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    // n5's table hit the pass entry this time.
+    assert!(t.hops[1].1.tables_hit().contains(&"n5__work"));
+    drop(chains);
+}

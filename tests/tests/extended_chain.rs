@@ -1,0 +1,238 @@
+//! Extended-chain integration: the paper's five NFs plus the stateful and
+//! mirroring extension NFs, on one switch — exercising registers,
+//! the checksum extern, mirroring, and an eight-NF chain end to end.
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::{PipeletId, TofinoProfile, TraceEvent};
+use dejavu_core::deploy::{deploy, DeployOptions};
+use dejavu_core::placement::Placement;
+use dejavu_core::routing::RoutingConfig;
+use dejavu_core::{ChainPolicy, ChainSet, NfModule};
+use dejavu_integration::{src_prefix, EXIT_PORT, IN_PORT, LOOPBACK_PORT_P0, LOOPBACK_PORT_P1};
+use dejavu_nf::{
+    classifier, firewall, load_balancer, mirror_tap, rate_limiter, router, syn_guard, vgw,
+};
+
+const VIP: u32 = 0xc633_6450;
+const BACKEND: u32 = 0x0a63_0001;
+const MIRROR_PORT: u16 = 5;
+
+fn testbed() -> (dejavu_asic::Switch, dejavu_core::deploy::Deployment) {
+    let nfs: Vec<NfModule> = vec![
+        classifier::classifier(),
+        firewall::firewall(),
+        rate_limiter::rate_limiter(),
+        vgw::vgw(),
+        load_balancer::load_balancer(),
+        syn_guard::syn_guard(),
+        mirror_tap::mirror_tap(),
+        router::router(),
+    ];
+    let nf_refs: Vec<&NfModule> = nfs.iter().collect();
+    let chains = ChainSet::new(vec![
+        ChainPolicy::new(
+            1,
+            "everything",
+            vec![
+                "classifier",
+                "firewall",
+                "rate_limiter",
+                "vgw",
+                "lb",
+                "syn_guard",
+                "mirror_tap",
+                "router",
+            ],
+            0.7,
+        ),
+        ChainPolicy::new(2, "guarded", vec!["classifier", "syn_guard", "router"], 0.3),
+    ])
+    .unwrap();
+    // Eight NFs across all four pipelets.
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["classifier", "firewall", "rate_limiter"]),
+        (PipeletId::egress(1), vec!["vgw", "lb"]),
+        (PipeletId::ingress(1), vec!["syn_guard", "mirror_tap"]),
+        (PipeletId::egress(0), vec!["router"]),
+    ]);
+    let config = RoutingConfig {
+        loopback_port: [(0usize, LOOPBACK_PORT_P0), (1usize, LOOPBACK_PORT_P1)]
+            .into_iter()
+            .collect(),
+        exit_ports: chains.chains.iter().map(|c| (c.path_id, EXIT_PORT)).collect(),
+        honor_out_port: false,
+    };
+    let options = DeployOptions { entry_nf: Some("classifier".into()), ..Default::default() };
+    let (mut switch, dep) = deploy(
+        &nf_refs,
+        &chains,
+        &placement,
+        &TofinoProfile::wedge_100b_32x(),
+        &config,
+        &options,
+    )
+    .expect("extended chain deploys");
+    switch.set_mirror_port(Some(MIRROR_PORT));
+
+    // Policy: classify both paths, arm the SYN guard, budget a rate class,
+    // tap one flow, install an LB session and a default route.
+    for path in [1u16, 2] {
+        dep.install(
+            &mut switch,
+            "classifier",
+            classifier::CLASSIFY_TABLE,
+            classifier::classify_entry(src_prefix(path), (0, 0), path, path),
+        )
+        .unwrap();
+    }
+    dep.install(
+        &mut switch,
+        "rate_limiter",
+        rate_limiter::CLASSES_TABLE,
+        rate_limiter::class_entry(src_prefix(1), 9, 4),
+    )
+    .unwrap();
+    dep.install(
+        &mut switch,
+        "syn_guard",
+        syn_guard::CONFIG_TABLE,
+        syn_guard::arm_entry(VIP, 0xffff_ffff, 100),
+    )
+    .unwrap();
+    // The LB rewrites VIP → backend *before* the tap runs (the tap sits
+    // later in the chain), so the tap matches the backend address.
+    dep.install(
+        &mut switch,
+        "mirror_tap",
+        mirror_tap::TAP_TABLE,
+        mirror_tap::tap_entry(src_prefix(1).0 | 0x0101, BACKEND, 0xd1a6),
+    )
+    .unwrap();
+    dep.install(
+        &mut switch,
+        "router",
+        router::ROUTES_TABLE,
+        router::route_entry((0, 0), EXIT_PORT, 0x0200_0000_0099, 0x0200_0000_0001),
+    )
+    .unwrap();
+    (switch, dep)
+}
+
+fn packet(path: u16) -> Vec<u8> {
+    dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(src_prefix(path).0 | 0x0101)
+        .dst_ip(VIP)
+        .dst_port(80)
+        .build()
+}
+
+#[test]
+fn eight_nf_chain_completes_with_all_features() {
+    let (mut switch, dep) = testbed();
+    // LB session for the flow.
+    let tuple = dejavu_nf::load_balancer::five_tuple_of(&packet(1)).unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        dejavu_nf::load_balancer::SESSION_TABLE,
+        dejavu_nf::load_balancer::session_entry_for(&tuple, BACKEND),
+    )
+    .unwrap();
+
+    let t = switch.inject(packet(1), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{:?}", t.events);
+    // Every NF's table ran.
+    for table in [
+        "classifier__classify",
+        "firewall__acl",
+        "rate_limiter__limit_classes",
+        "vgw__vni_map",
+        "lb__lb_session",
+        "syn_guard__guard_config",
+        "mirror_tap__tap_select",
+        "router__routes",
+    ] {
+        assert!(t.tables_applied().contains(&table), "{table} not applied");
+    }
+    // The tap produced a mirrored copy.
+    assert_eq!(t.mirrored.len(), 1);
+    assert_eq!(t.mirrored[0].0, MIRROR_PORT);
+    assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Mirror { .. })));
+    // The emitted packet is decapsulated with a valid IPv4 checksum.
+    let out = &t.final_bytes;
+    assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800);
+    assert_eq!(dejavu_asic::interp::ones_complement_checksum(&out[14..34]), 0);
+}
+
+#[test]
+fn rate_limiter_trips_mid_chain() {
+    let (mut switch, dep) = testbed();
+    let tuple = dejavu_nf::load_balancer::five_tuple_of(&packet(1)).unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        dejavu_nf::load_balancer::SESSION_TABLE,
+        dejavu_nf::load_balancer::session_entry_for(&tuple, BACKEND),
+    )
+    .unwrap();
+    // Budget is 4 packets; the fifth is dropped in the ingress pipe.
+    for i in 0..6 {
+        let t = switch.inject(packet(1), IN_PORT).unwrap();
+        let expect_drop = i >= 4;
+        assert_eq!(
+            t.disposition == Disposition::Dropped,
+            expect_drop,
+            "packet {i}: {:?}",
+            t.disposition
+        );
+    }
+    // The register kept the full count, visible to the control plane.
+    let cell = switch
+        .register_peek(
+            dep.nf_location("rate_limiter").unwrap(),
+            "rate_limiter__bucket",
+            9,
+        )
+        .unwrap();
+    assert_eq!(cell, 6);
+    // Control-plane epoch reset restores service.
+    switch
+        .register_store(dep.nf_location("rate_limiter").unwrap(), "rate_limiter__bucket", 9, 0)
+        .unwrap();
+    let t = switch.inject(packet(1), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+}
+
+#[test]
+fn syn_guard_on_second_chain() {
+    let (mut switch, dep) = testbed();
+    // Rearm with a tight threshold at higher priority (ternary rules
+    // arbitrate by priority).
+    dep.install(
+        &mut switch,
+        "syn_guard",
+        syn_guard::CONFIG_TABLE,
+        syn_guard::arm_entry_prio(VIP, 0xffff_ffff, 2, 50),
+    )
+    .unwrap();
+    // path-2 packets are SYNs? PacketBuilder sets ACK; craft SYN packets.
+    let mut syn = packet(2);
+    syn[47] = 0x02;
+    let mut outcomes = Vec::new();
+    for _ in 0..4 {
+        let t = switch.inject(syn.clone(), IN_PORT).unwrap();
+        outcomes.push(t.disposition == Disposition::Dropped);
+    }
+    // Threshold 2 (the looser 100-threshold entry coexists; ternary priority
+    // equal → the higher-count rule wins deterministically by install
+    // order). At least the tail must be shielded.
+    assert!(!outcomes[0], "first SYN passes");
+    assert!(outcomes[3], "flood eventually shielded: {outcomes:?}");
+}
+
+#[test]
+fn untapped_flows_are_not_mirrored() {
+    let (mut switch, _dep) = testbed();
+    let t = switch.inject(packet(2), IN_PORT).unwrap();
+    assert!(t.mirrored.is_empty());
+}

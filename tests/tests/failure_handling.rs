@@ -1,0 +1,80 @@
+//! §7 "failure handling": link failures on loopback and exit ports, and the
+//! control plane's rerouting response.
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::TraceEvent;
+use dejavu_integration::*;
+use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
+
+const VIP: u32 = 0xc633_6450;
+const BACKEND: u32 = 0x0a63_0001;
+const REPLACEMENT_EXIT: u16 = 3;
+
+#[test]
+fn loopback_port_failure_blackholes_until_rerouted() {
+    let (mut switch, mut dep) = fig9_testbed();
+    // Healthy: path 3 flows via pipeline 1's loopback port.
+    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Recirculate { port } if *port == LOOPBACK_PORT_P1)));
+
+    // The loopback port's link fails: traffic pointed at it blackholes.
+    switch.set_port_down(LOOPBACK_PORT_P1, true);
+    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Dropped);
+    assert!(t.events.iter().any(|e| matches!(e, TraceEvent::LinkDown { .. })));
+
+    // Control plane reroutes: recirculation falls back to the dedicated
+    // recirculation port, chains flow again.
+    dep.handle_port_failure(&mut switch, LOOPBACK_PORT_P1, None).unwrap();
+    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{}", t.describe());
+    let recirc_port = dejavu_asic::switch::RECIRC_PORT_BASE + 1;
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Recirculate { port } if *port == recirc_port)));
+}
+
+#[test]
+fn exit_port_failure_moves_chains_to_replacement() {
+    let (mut switch, mut dep) = fig9_testbed();
+    let pkt = chain_packet(1, VIP, 80);
+    let tuple = five_tuple_of(&pkt).unwrap();
+    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, BACKEND)).unwrap();
+
+    // Exit port dies; without rerouting, completed chains blackhole.
+    switch.set_port_down(EXIT_PORT, true);
+    let t = switch.inject(pkt.clone(), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Dropped);
+
+    // Reroute every chain to the replacement uplink (decap entries are
+    // re-synthesized for the new port too).
+    dep.handle_port_failure(&mut switch, EXIT_PORT, Some(REPLACEMENT_EXIT)).unwrap();
+    let t = switch.inject(pkt, IN_PORT).unwrap();
+    assert_eq!(
+        t.disposition,
+        Disposition::Emitted { port: REPLACEMENT_EXIT },
+        "{}",
+        t.describe()
+    );
+    // Still decapsulated on the new exit.
+    let out = &t.final_bytes;
+    assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800);
+}
+
+#[test]
+fn exit_failure_without_replacement_is_refused() {
+    let (mut switch, mut dep) = fig9_testbed();
+    let err = dep.handle_port_failure(&mut switch, EXIT_PORT, None).unwrap_err();
+    assert!(matches!(err, dejavu_core::deploy::DeployError::Routing(_)));
+}
+
+#[test]
+fn injecting_on_a_down_port_fails() {
+    let (mut switch, _dep) = fig9_testbed();
+    switch.set_port_down(IN_PORT, true);
+    assert!(switch.inject(chain_packet(3, VIP, 80), IN_PORT).is_err());
+    switch.set_port_down(IN_PORT, false);
+    assert!(switch.inject(chain_packet(3, VIP, 80), IN_PORT).is_ok());
+}

@@ -1,0 +1,179 @@
+//! Consistency sweep: the placement cost model (which the optimizers
+//! minimize) must agree with the simulated hardware on recirculation and
+//! resubmission counts, for every placement of a 3-NF chain across all
+//! pipelets — including the paper's Fig. 6 shapes.
+//!
+//! This is the load-bearing property of the whole system: if the model and
+//! the synthesized routing ever disagreed, the optimizer would be
+//! optimizing fiction.
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::PipeletId;
+use dejavu_core::placement::{traverse, Placement};
+use dejavu_core::{ChainPolicy, ChainSet};
+use dejavu_integration::*;
+
+/// All ways to assign 3 NFs to the 4 pipelets of a 2-pipeline switch.
+fn all_assignments() -> Vec<Placement> {
+    let pipelets =
+        [PipeletId::ingress(0), PipeletId::egress(0), PipeletId::ingress(1), PipeletId::egress(1)];
+    let names = ["n0", "n1", "n2"];
+    let mut out = Vec::new();
+    for a in 0..4 {
+        for b in 0..4 {
+            for c in 0..4 {
+                let mut p = Placement::default();
+                for (nf, &pi) in names.iter().zip([a, b, c].iter()) {
+                    p.pipelets.entry(pipelets[pi]).or_default().push(nf.to_string());
+                }
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn model_matches_switch_for_all_3nf_placements() {
+    let chains =
+        ChainSet::new(vec![ChainPolicy::new(1, "seq", vec!["n0", "n1", "n2"], 1.0)]).unwrap();
+    let mut checked = 0;
+    for placement in all_assignments() {
+        let (mut switch, _dep) = deploy_markers(&chains, &placement)
+            .unwrap_or_else(|e| panic!("deploy failed for {placement}: {e}"));
+        let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
+        let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+        assert_eq!(
+            t.disposition,
+            Disposition::Emitted { port: EXIT_PORT },
+            "placement {placement} did not complete"
+        );
+        assert_eq!(
+            t.recirculations as u32, predicted.recirculations,
+            "recirculations diverge for placement {placement}"
+        );
+        assert_eq!(
+            t.resubmissions as u32, predicted.resubmissions,
+            "resubmissions diverge for placement {placement}"
+        );
+        // Every NF ran exactly once (marker tables applied once each).
+        for nf in ["n0", "n1", "n2"] {
+            let table = format!("{nf}__work");
+            let applied =
+                t.tables_applied().iter().filter(|t| **t == table.as_str()).count();
+            assert_eq!(applied, 1, "{table} applied {applied}× for {placement}");
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 64);
+}
+
+#[test]
+fn fig6_shapes_on_real_switch() {
+    // The Fig. 6 chain A-B-C-D-E-F on the actual simulated switch: the
+    // naive shape takes 3 recirculations, the optimized shape 1 — measured,
+    // not just modelled.
+    let chains = ChainSet::new(vec![ChainPolicy::new(
+        1,
+        "abcdef",
+        vec!["A", "B", "C", "D", "E", "F"],
+        1.0,
+    )])
+    .unwrap();
+    let naive = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["A", "B"]),
+        (PipeletId::egress(0), vec!["C"]),
+        (PipeletId::ingress(1), vec!["D"]),
+        (PipeletId::egress(1), vec!["E", "F"]),
+    ]);
+    let optimized = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["A", "B"]),
+        (PipeletId::egress(1), vec!["C"]),
+        (PipeletId::ingress(1), vec!["D"]),
+        (PipeletId::egress(0), vec!["E", "F"]),
+    ]);
+    for (placement, expected_recircs) in [(naive, 3usize), (optimized, 1usize)] {
+        let (mut switch, _dep) = deploy_markers(&chains, &placement).unwrap();
+        let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+        assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+        assert_eq!(t.recirculations, expected_recircs, "placement {placement}");
+    }
+}
+
+#[test]
+fn multiple_chains_share_one_deployment() {
+    // Two chains with different orders over the same NFs, on one switch.
+    let chains = ChainSet::new(vec![
+        ChainPolicy::new(1, "fwd", vec!["n0", "n1"], 0.6),
+        ChainPolicy::new(2, "rev", vec!["n1", "n0"], 0.4),
+    ])
+    .unwrap();
+    let placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0", "n1"])]);
+    let (mut switch, _dep) = deploy_markers(&chains, &placement).unwrap();
+    // Chain 1 runs both in one pass.
+    let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(t.resubmissions, 0);
+    // Chain 2 needs one resubmission (n1 before n0 in slot order).
+    let t = switch.inject(encapsulated_packet(2, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(t.resubmissions, 1);
+}
+
+#[test]
+fn unroutable_path_punts_to_cpu() {
+    // A packet with a path ID nobody configured: the branching default is
+    // to-CPU (failure handling §7).
+    let chains = ChainSet::new(vec![ChainPolicy::new(1, "x", vec!["n0"], 1.0)]).unwrap();
+    let placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0"])]);
+    let (mut switch, _dep) = deploy_markers(&chains, &placement).unwrap();
+    let t = switch.inject(encapsulated_packet(99, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::ToCpu);
+}
+
+#[test]
+fn parallel_composition_on_real_switch() {
+    // Fig. 5's parallel operator deployed for real: two NFs side-by-side on
+    // one ingress pipelet. One pass runs at most one branch, so the
+    // two-NF chain needs exactly one resubmission — on the model AND on
+    // the simulated hardware.
+    use dejavu_core::compose::CompositionMode;
+    let chains = ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["n0", "n1"], 1.0)]).unwrap();
+    let mut placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0", "n1"])]);
+    placement.modes.insert(PipeletId::ingress(0), CompositionMode::Parallel);
+    let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
+    assert_eq!(predicted.resubmissions, 1);
+
+    let (mut switch, _dep) =
+        deploy_markers_with(&chains, &placement, Default::default()).unwrap();
+    let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(t.resubmissions, 1, "{}", t.describe());
+    assert_eq!(t.recirculations, 0);
+    // Both NFs ran exactly once despite the single-branch-per-pass rule.
+    for nf in ["n0", "n1"] {
+        let table = format!("{nf}__work");
+        assert_eq!(
+            t.tables_applied().iter().filter(|x| **x == table.as_str()).count(),
+            1
+        );
+    }
+}
+
+#[test]
+fn parallel_egress_branch_transition_recirculates() {
+    // The egress counterpart of Fig. 5's trade-off: crossing branches on an
+    // egress pipelet costs a recirculation.
+    use dejavu_core::compose::CompositionMode;
+    let chains = ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["n0", "n1"], 1.0)]).unwrap();
+    let mut placement = Placement::sequential(vec![(PipeletId::egress(1), vec!["n0", "n1"])]);
+    placement.modes.insert(PipeletId::egress(1), CompositionMode::Parallel);
+    let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
+
+    let (mut switch, _dep) =
+        deploy_markers_with(&chains, &placement, Default::default()).unwrap();
+    let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(t.recirculations as u32, predicted.recirculations, "{}", t.describe());
+    assert!(t.recirculations >= 2, "branch transition + exit positioning");
+}

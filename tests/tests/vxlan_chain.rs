@@ -1,0 +1,202 @@
+//! End-to-end tunnel termination: a VXLAN-encapsulated tenant packet rides
+//! an SFC chain (vxlan gateway → router) through the switch. Exercises the
+//! deepest generic-parser path in the workspace — seven headers including
+//! two instances each of `ethernet` and `ipv4` plus their SFC-shifted
+//! twins.
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::PipeletId;
+use dejavu_core::deploy::{deploy, DeployOptions};
+use dejavu_core::placement::Placement;
+use dejavu_core::routing::RoutingConfig;
+use dejavu_core::sfc::ctx_keys;
+use dejavu_core::{ChainPolicy, ChainSet, SfcHeader};
+use dejavu_integration::{EXIT_PORT, IN_PORT, LOOPBACK_PORT_P0, LOOPBACK_PORT_P1};
+use dejavu_nf::router::{route_entry, ROUTES_TABLE};
+use dejavu_nf::vxlan_gateway::{encapsulate, terminate_entry, vxlan_gateway, VNI_TERM_TABLE};
+
+fn inner_packet(dst: u32) -> Vec<u8> {
+    dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(0xc0a8_0707)
+        .dst_ip(dst)
+        .dst_port(443)
+        .build()
+}
+
+/// SFC-encapsulates wire bytes (header between eth and the rest) for `path`.
+fn with_sfc(bytes: &[u8], path: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() + 20);
+    out.extend_from_slice(&bytes[..12]);
+    out.extend_from_slice(&dejavu_core::sfc::SFC_ETHERTYPE.to_be_bytes());
+    out.extend_from_slice(&SfcHeader::for_path(path).to_bytes());
+    out.extend_from_slice(&bytes[14..]);
+    out
+}
+
+#[test]
+fn vxlan_terminate_then_route() {
+    let gw = vxlan_gateway();
+    let rt = dejavu_nf::router::router();
+    let chains =
+        ChainSet::new(vec![ChainPolicy::new(1, "terminate", vec!["vxlan_gw", "router"], 1.0)])
+            .unwrap();
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["vxlan_gw"]),
+        (PipeletId::egress(0), vec!["router"]),
+    ]);
+    let config = RoutingConfig {
+        loopback_port: [(0usize, LOOPBACK_PORT_P0), (1usize, LOOPBACK_PORT_P1)]
+            .into_iter()
+            .collect(),
+        exit_ports: [(1u16, EXIT_PORT)].into_iter().collect(),
+        honor_out_port: false,
+    };
+    let (mut switch, dep) = deploy(
+        &[&gw, &rt],
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        &config,
+        &DeployOptions::default(),
+    )
+    .expect("vxlan chain deploys");
+    dep.install(&mut switch, "vxlan_gw", VNI_TERM_TABLE, terminate_entry(700, 42)).unwrap();
+    dep.install(
+        &mut switch,
+        "router",
+        ROUTES_TABLE,
+        route_entry((0xc0a8_0800, 24), EXIT_PORT, 0xdd, 0xee),
+    )
+    .unwrap();
+
+    // The tenant packet: VXLAN VNI 700 around an inner TCP flow, already
+    // SFC-classified for path 1.
+    let inner_dst = 0xc0a8_0809;
+    let tunneled = encapsulate(&inner_packet(inner_dst), 700, 0x0a00_0001, 0x0a00_0002);
+    let pkt = with_sfc(&tunneled, 1);
+
+    let t = switch.inject(pkt, IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{}", t.describe());
+    assert!(t.tables_hit().contains(&"vxlan_gw__vni_term"));
+    assert!(t.tables_hit().contains(&"router__routes"));
+
+    // The emitted frame: decapsulated twice (tunnel by the gateway, SFC by
+    // the framework) — plain eth/ipv4, routed to the inner destination.
+    let out = &t.final_bytes;
+    assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800, "sfc stripped");
+    let dst = u32::from_be_bytes([out[30], out[31], out[32], out[33]]);
+    assert_eq!(dst, inner_dst, "inner destination routed");
+    assert_eq!(out[22], 63, "inner TTL decremented by the router");
+    // Tunnel really gone: no UDP/4789 at the L4 offset.
+    assert_ne!(u16::from_be_bytes([out[36], out[37]]), 4789);
+    // The router checksummed the (inner) IPv4 header it rewrote.
+    assert_eq!(dejavu_asic::interp::ones_complement_checksum(&out[14..34]), 0);
+}
+
+#[test]
+fn unknown_vni_rides_encapsulated_to_router() {
+    // No termination entry: the tunnel passes through intact and the router
+    // routes on the *outer* destination.
+    let gw = vxlan_gateway();
+    let rt = dejavu_nf::router::router();
+    let chains =
+        ChainSet::new(vec![ChainPolicy::new(1, "through", vec!["vxlan_gw", "router"], 1.0)])
+            .unwrap();
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["vxlan_gw"]),
+        (PipeletId::egress(0), vec!["router"]),
+    ]);
+    let config = RoutingConfig {
+        exit_ports: [(1u16, EXIT_PORT)].into_iter().collect(),
+        ..Default::default()
+    };
+    let (mut switch, dep) = deploy(
+        &[&gw, &rt],
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        &config,
+        &DeployOptions::default(),
+    )
+    .unwrap();
+    dep.install(
+        &mut switch,
+        "router",
+        ROUTES_TABLE,
+        route_entry((0x0a00_0000, 8), EXIT_PORT, 0xdd, 0xee),
+    )
+    .unwrap();
+
+    let tunneled = encapsulate(&inner_packet(0xc0a8_0809), 999, 0x0a00_0001, 0x0a00_0002);
+    let t = switch.inject(with_sfc(&tunneled, 1), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{}", t.describe());
+    let out = &t.final_bytes;
+    // Outer destination intact, tunnel preserved (UDP/4789 at the L4
+    // offset after decap of the SFC header only).
+    let dst = u32::from_be_bytes([out[30], out[31], out[32], out[33]]);
+    assert_eq!(dst, 0x0a00_0002, "outer destination kept");
+    assert_eq!(u16::from_be_bytes([out[36], out[37]]), 4789, "tunnel intact");
+}
+
+#[test]
+fn vni_recorded_in_context_mid_chain() {
+    // Probe the SFC context *between* the NFs: place the gateway on
+    // ingress 0 and read the context from the packet crossing the wire by
+    // making the router the terminal hop on another pipeline (forcing a
+    // loopback crossing whose bytes we can inspect via the trace).
+    let gw = vxlan_gateway();
+    let rt = dejavu_nf::router::router();
+    let chains =
+        ChainSet::new(vec![ChainPolicy::new(1, "ctx", vec!["vxlan_gw", "router"], 1.0)]).unwrap();
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["vxlan_gw"]),
+        (PipeletId::ingress(1), vec!["router"]), // forces a recirculation
+    ]);
+    let config = RoutingConfig {
+        loopback_port: [(1usize, LOOPBACK_PORT_P1)].into_iter().collect(),
+        exit_ports: [(1u16, EXIT_PORT)].into_iter().collect(),
+        honor_out_port: false,
+    };
+    let (mut switch, dep) = deploy(
+        &[&gw, &rt],
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        &config,
+        &DeployOptions::default(),
+    )
+    .unwrap();
+    dep.install(&mut switch, "vxlan_gw", VNI_TERM_TABLE, terminate_entry(700, 42)).unwrap();
+    dep.install(&mut switch, "router", ROUTES_TABLE, route_entry((0, 0), EXIT_PORT, 1, 2))
+        .unwrap();
+
+    let tunneled = encapsulate(&inner_packet(0xc0a8_0809), 700, 1, 2);
+    let t = switch.inject(with_sfc(&tunneled, 1), IN_PORT).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{}", t.describe());
+    assert_eq!(t.recirculations, 1);
+    // Read the context back out of the final SFC header? It was stripped at
+    // exit — instead verify through a mid-chain punt: reinject variant is
+    // covered elsewhere; here assert the emitted packet reflects the decap.
+    let out = &t.final_bytes;
+    assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800);
+    // And the context write really happened: run the gateway standalone on
+    // the same bytes and read the header.
+    let program = gw.program();
+    let interp = dejavu_asic::Interpreter::new(program);
+    let mut tables = dejavu_asic::TableState::new();
+    tables
+        .install(program.tables.get(VNI_TERM_TABLE).unwrap(), terminate_entry(700, 42))
+        .unwrap();
+    let mut pp = dejavu_asic::ParsedPacket::parse(
+        &encapsulate(&inner_packet(0xc0a8_0809), 700, 1, 2),
+        &program.parser,
+        interp.headers(),
+    )
+    .unwrap();
+    pp.add_header(&dejavu_core::sfc::sfc_header_type(), Some("ipv4"));
+    let mut meta = std::collections::BTreeMap::new();
+    interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+    let sfc = SfcHeader::read(&pp).unwrap();
+    assert_eq!(sfc.context_get(ctx_keys::VNI), Some(700));
+    assert_eq!(sfc.context_get(ctx_keys::TENANT_ID), Some(42));
+}
