@@ -113,7 +113,11 @@ pub fn solve_mix(classes: &[TrafficClass], loopback_gbps: f64) -> MixSolution {
     let mut rho = 1.0f64;
     for _ in 0..10_000 {
         let offered = offered_at(rho);
-        let next = if offered <= loopback_gbps { 1.0 } else { loopback_gbps / offered };
+        let next = if offered <= loopback_gbps {
+            1.0
+        } else {
+            loopback_gbps / offered
+        };
         let damped = 0.5 * rho + 0.5 * next;
         if (damped - rho).abs() < 1e-13 {
             rho = damped;
@@ -147,7 +151,11 @@ pub fn simulate_fluid(t_gbps: f64, k: usize, slots: usize) -> f64 {
     for _ in 0..slots {
         in_flight[0] += t_gbps;
         let offered: f64 = in_flight.iter().sum();
-        let ratio = if offered <= t_gbps { 1.0 } else { t_gbps / offered };
+        let ratio = if offered <= t_gbps {
+            1.0
+        } else {
+            t_gbps / offered
+        };
         let mut next = vec![0.0f64; k];
         let mut exit = 0.0;
         for j in 0..k {
@@ -205,7 +213,8 @@ pub fn simulate_packet_level(k: usize, packets_per_slot: usize, slots: usize, se
                 // Sample how many of this pass's packets are served.
                 let mut served = 0usize;
                 for _ in 0..offered[j] {
-                    if remaining_cap > 0 && rng.gen_ratio(remaining_cap as u32, remaining_total as u32)
+                    if remaining_cap > 0
+                        && rng.gen_ratio(remaining_cap as u32, remaining_total as u32)
                     {
                         served += 1;
                         remaining_cap -= 1;
@@ -259,7 +268,9 @@ mod tests {
     fn throughput_degrades_superlinearly() {
         // Fig. 8(a): each extra recirculation cuts throughput by more than
         // the previous linear share.
-        let t: Vec<f64> = (1..=5).map(|k| effective_throughput_gbps(100.0, k)).collect();
+        let t: Vec<f64> = (1..=5)
+            .map(|k| effective_throughput_gbps(100.0, k))
+            .collect();
         for w in t.windows(2) {
             assert!(w[1] < w[0]);
             // ratio decreases: super-linear decay
@@ -271,7 +282,10 @@ mod tests {
     #[test]
     fn mix_reduces_to_single_class() {
         let m = solve_mix(
-            &[TrafficClass { rate_gbps: 100.0, recirculations: 2 }],
+            &[TrafficClass {
+                rate_gbps: 100.0,
+                recirculations: 2,
+            }],
             100.0,
         );
         assert!((m.delivery_ratio - delivery_ratio(2)).abs() < 1e-6);
@@ -282,8 +296,14 @@ mod tests {
     fn mix_undersubscribed_is_lossless() {
         let m = solve_mix(
             &[
-                TrafficClass { rate_gbps: 20.0, recirculations: 1 },
-                TrafficClass { rate_gbps: 30.0, recirculations: 2 },
+                TrafficClass {
+                    rate_gbps: 20.0,
+                    recirculations: 1,
+                },
+                TrafficClass {
+                    rate_gbps: 30.0,
+                    recirculations: 2,
+                },
             ],
             100.0,
         );
@@ -297,8 +317,14 @@ mod tests {
     fn mix_oversubscribed_is_fair_by_ratio() {
         let m = solve_mix(
             &[
-                TrafficClass { rate_gbps: 100.0, recirculations: 1 },
-                TrafficClass { rate_gbps: 100.0, recirculations: 1 },
+                TrafficClass {
+                    rate_gbps: 100.0,
+                    recirculations: 1,
+                },
+                TrafficClass {
+                    rate_gbps: 100.0,
+                    recirculations: 1,
+                },
             ],
             100.0,
         );

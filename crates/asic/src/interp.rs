@@ -53,7 +53,10 @@ impl<'a> Interpreter<'a> {
     /// Creates an interpreter for a program. The program should already be
     /// validated; execution errors on dangling references regardless.
     pub fn new(program: &'a Program) -> Self {
-        Interpreter { program, headers: program.header_map() }
+        Interpreter {
+            program,
+            headers: program.header_map(),
+        }
     }
 
     /// The header catalog in `HashMap` form (shared with parse/deparse).
@@ -68,10 +71,13 @@ impl<'a> Interpreter<'a> {
         meta: &mut BTreeMap<String, Value>,
         tables: &mut TableState,
     ) -> Result<PipeletOutcome, IrError> {
-        let entry = self.program.entry_control().ok_or_else(|| IrError::Undefined {
-            kind: "entry control",
-            name: self.program.entry.clone(),
-        })?;
+        let entry = self
+            .program
+            .entry_control()
+            .ok_or_else(|| IrError::Undefined {
+                kind: "entry control",
+                name: self.program.entry.clone(),
+            })?;
         let mut outcome = PipeletOutcome::default();
         self.exec_stmts(&entry.body, pp, meta, tables, &mut outcome, 0)?;
         Ok(outcome)
@@ -94,7 +100,11 @@ impl<'a> Interpreter<'a> {
                 Stmt::Apply(t) => {
                     self.apply_table(t, pp, meta, tables, outcome)?;
                 }
-                Stmt::ApplySelect { table, arms, default } => {
+                Stmt::ApplySelect {
+                    table,
+                    arms,
+                    default,
+                } => {
                     let ran = self.apply_table(table, pp, meta, tables, outcome)?;
                     let branch = arms
                         .iter()
@@ -103,7 +113,11 @@ impl<'a> Interpreter<'a> {
                         .unwrap_or(default.as_slice());
                     self.exec_stmts(branch, pp, meta, tables, outcome, depth)?;
                 }
-                Stmt::If { cond, then_branch, else_branch } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     let taken = if self.eval_bool(cond, pp, meta, &Bindings::new())? {
                         then_branch
                     } else {
@@ -152,11 +166,19 @@ impl<'a> Interpreter<'a> {
             .collect::<Result<_, _>>()?;
         let (action_name, args, hit) = match tables.lookup(def, &keys) {
             Some(entry) => (entry.action, entry.action_args, true),
-            None => (def.default_action.clone(), def.default_action_args.clone(), false),
+            None => (
+                def.default_action.clone(),
+                def.default_action_args.clone(),
+                false,
+            ),
         };
         let act = self.action(&action_name)?;
         self.run_action(act, &args, pp, meta, tables)?;
-        outcome.events.push(TableEvent { table: name.to_string(), hit, action: action_name.clone() });
+        outcome.events.push(TableEvent {
+            table: name.to_string(),
+            hit,
+            action: action_name.clone(),
+        });
         Ok(action_name)
     }
 
@@ -217,13 +239,21 @@ impl<'a> Interpreter<'a> {
                 PrimitiveOp::RemoveHeaderNth { header, occurrence } => {
                     pp.remove_header_nth(header, *occurrence);
                 }
-                PrimitiveOp::RegisterRead { dst, register, index } => {
+                PrimitiveOp::RegisterRead {
+                    dst,
+                    register,
+                    index,
+                } => {
                     let def = self.register_def(register)?;
                     let idx = self.eval(index, pp, meta, &bindings)?.raw() as u32;
                     let val = tables.register_read(def, idx);
                     self.write_field(dst, Value::new(val, def.width_bits), pp, meta)?;
                 }
-                PrimitiveOp::RegisterWrite { register, index, value } => {
+                PrimitiveOp::RegisterWrite {
+                    register,
+                    index,
+                    value,
+                } => {
                     let def = self.register_def(register)?;
                     let idx = self.eval(index, pp, meta, &bindings)?.raw() as u32;
                     let val = self.eval(value, pp, meta, &bindings)?.raw();
@@ -261,7 +291,9 @@ impl<'a> Interpreter<'a> {
                 "header {header} has no hdr_checksum field"
             )));
         }
-        let Some(idx) = pp.find(header) else { return Ok(()) };
+        let Some(idx) = pp.find(header) else {
+            return Ok(());
+        };
         pp.headers[idx]
             .fields
             .insert("hdr_checksum".into(), Value::new(0, 16));
@@ -293,7 +325,10 @@ impl<'a> Interpreter<'a> {
     ) -> Result<Value, IrError> {
         let width = self.field_width(fr)?;
         if fr.is_meta() {
-            return Ok(meta.get(&fr.field).map(|v| v.resize(width)).unwrap_or(Value::new(0, width)));
+            return Ok(meta
+                .get(&fr.field)
+                .map(|v| v.resize(width))
+                .unwrap_or(Value::new(0, width)));
         }
         Ok(pp.get(fr).unwrap_or(Value::new(0, width)))
     }
@@ -330,23 +365,38 @@ impl<'a> Interpreter<'a> {
                 name: p.clone(),
             })?,
             Expr::Add(a, b) => {
-                let (a, b) = (self.eval(a, pp, meta, bindings)?, self.eval(b, pp, meta, bindings)?);
+                let (a, b) = (
+                    self.eval(a, pp, meta, bindings)?,
+                    self.eval(b, pp, meta, bindings)?,
+                );
                 a.wrapping_add(b)
             }
             Expr::Sub(a, b) => {
-                let (a, b) = (self.eval(a, pp, meta, bindings)?, self.eval(b, pp, meta, bindings)?);
+                let (a, b) = (
+                    self.eval(a, pp, meta, bindings)?,
+                    self.eval(b, pp, meta, bindings)?,
+                );
                 a.wrapping_sub(b)
             }
             Expr::And(a, b) => {
-                let (a, b) = (self.eval(a, pp, meta, bindings)?, self.eval(b, pp, meta, bindings)?);
+                let (a, b) = (
+                    self.eval(a, pp, meta, bindings)?,
+                    self.eval(b, pp, meta, bindings)?,
+                );
                 a.and(b)
             }
             Expr::Or(a, b) => {
-                let (a, b) = (self.eval(a, pp, meta, bindings)?, self.eval(b, pp, meta, bindings)?);
+                let (a, b) = (
+                    self.eval(a, pp, meta, bindings)?,
+                    self.eval(b, pp, meta, bindings)?,
+                );
                 a.or(b)
             }
             Expr::Xor(a, b) => {
-                let (a, b) = (self.eval(a, pp, meta, bindings)?, self.eval(b, pp, meta, bindings)?);
+                let (a, b) = (
+                    self.eval(a, pp, meta, bindings)?,
+                    self.eval(b, pp, meta, bindings)?,
+                );
                 a.xor(b)
             }
             Expr::Shl(a, amount) => self.eval(a, pp, meta, bindings)?.shl(*amount),
@@ -363,7 +413,10 @@ impl<'a> Interpreter<'a> {
     ) -> Result<bool, IrError> {
         Ok(match cond {
             BoolExpr::Cmp(a, op, b) => {
-                let (a, b) = (self.eval(a, pp, meta, bindings)?, self.eval(b, pp, meta, bindings)?);
+                let (a, b) = (
+                    self.eval(a, pp, meta, bindings)?,
+                    self.eval(b, pp, meta, bindings)?,
+                );
                 match op {
                     CmpOp::Eq => a.raw() == b.raw(),
                     CmpOp::Ne => a.raw() != b.raw(),
@@ -407,9 +460,9 @@ mod tests {
     use super::*;
     use dejavu_p4ir::action::HashAlgorithm;
     use dejavu_p4ir::builder::*;
+    use dejavu_p4ir::fref;
     use dejavu_p4ir::table::{KeyMatch, TableEntry};
     use dejavu_p4ir::well_known;
-    use dejavu_p4ir::fref;
 
     /// A miniature L4 load balancer modelled on the paper's Fig. 4:
     /// hash the 5-tuple, look it up in `lb_session`, rewrite dst IP on hit,
@@ -457,7 +510,10 @@ mod tests {
                     .build(),
             )
             .control(
-                ControlBuilder::new("ingress").invoke("compute_hash").apply("lb_session").build(),
+                ControlBuilder::new("ingress")
+                    .invoke("compute_hash")
+                    .apply("lb_session")
+                    .build(),
             )
             .entry("ingress")
             .build()
@@ -477,7 +533,11 @@ mod tests {
         p
     }
 
-    fn run(program: &Program, tables: &mut TableState, bytes: &[u8]) -> (ParsedPacket, BTreeMap<String, Value>, PipeletOutcome) {
+    fn run(
+        program: &Program,
+        tables: &mut TableState,
+        bytes: &[u8],
+    ) -> (ParsedPacket, BTreeMap<String, Value>, PipeletOutcome) {
         let interp = Interpreter::new(program);
         let mut pp = ParsedPacket::parse(bytes, &program.parser, interp.headers()).unwrap();
         let mut meta = BTreeMap::new();
@@ -530,7 +590,10 @@ mod tests {
             .header(well_known::ethernet())
             .meta_field("mark", 8)
             .parser(
-                ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"),
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
             )
             .action(ActionBuilder::new("a1").build())
             .action(ActionBuilder::new("a2").build())
@@ -612,7 +675,9 @@ mod tests {
                     .start("eth"),
             )
             .action(
-                ActionBuilder::new("mark_ip").set(FieldRef::meta("seen_ip"), Expr::val(1, 8)).build(),
+                ActionBuilder::new("mark_ip")
+                    .set(FieldRef::meta("seen_ip"), Expr::val(1, 8))
+                    .build(),
             )
             .control(
                 ControlBuilder::new("ingress")
@@ -640,7 +705,12 @@ mod tests {
     fn drop_primitive_sets_flag() {
         let program = ProgramBuilder::new("dropper")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(ActionBuilder::new("deny").drop_packet().build())
             .table(
                 TableBuilder::new("acl")
@@ -662,8 +732,7 @@ mod tests {
         let program = lb_program();
         let interp = Interpreter::new(&program);
         // "modify_dst_ip" has a parameter; invoking it directly must fail.
-        let mut pp =
-            ParsedPacket::parse(&tcp_packet(), &program.parser, interp.headers()).unwrap();
+        let mut pp = ParsedPacket::parse(&tcp_packet(), &program.parser, interp.headers()).unwrap();
         let mut meta = BTreeMap::new();
         let bad = dejavu_p4ir::ControlBlock::new("x", vec![Stmt::Do("modify_dst_ip".into())]);
         let mut program2 = program.clone();
@@ -692,7 +761,11 @@ mod tests {
             )
             .action(
                 ActionBuilder::new("count")
-                    .reg_read(FieldRef::meta("cnt"), "pkt_count", Expr::field("ipv4", "protocol"))
+                    .reg_read(
+                        FieldRef::meta("cnt"),
+                        "pkt_count",
+                        Expr::field("ipv4", "protocol"),
+                    )
                     .reg_write(
                         "pkt_count",
                         Expr::field("ipv4", "protocol"),
@@ -749,7 +822,7 @@ mod tests {
         pkt[26..30].copy_from_slice(&[10, 0, 0, 1]);
         pkt[30..34].copy_from_slice(&[10, 0, 0, 2]);
         let (pp, _, _) = run(&program, &mut tables, &pkt);
-        let bytes = pp.deparse(Interpreter::new(&program).headers());
+        let bytes = pp.deparse(Interpreter::new(&program).headers()).unwrap();
         let ip = &bytes[14..34];
         // Validity check: checksum over the full header must be zero.
         assert_eq!(ones_complement_checksum(ip), 0, "header checksums to zero");
@@ -761,8 +834,8 @@ mod tests {
     fn checksum_known_vector() {
         // Wikipedia's canonical IPv4 header example: checksum 0xB861.
         let hdr: [u8; 20] = [
-            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0,
-            0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
         ];
         assert_eq!(ones_complement_checksum(&hdr), 0xb861);
     }
@@ -801,7 +874,7 @@ mod tests {
         assert!(pp.is_valid("sfc"));
         assert_eq!(pp.find("sfc"), Some(1));
         assert_eq!(pp.get(&fref("sfc", "path_id")).unwrap().raw(), 3);
-        let bytes = pp.deparse(Interpreter::new(&program).headers());
+        let bytes = pp.deparse(Interpreter::new(&program).headers()).unwrap();
         assert_eq!(bytes.len(), 38);
         assert_eq!(&bytes[12..14], &[0x88, 0xb5]);
     }

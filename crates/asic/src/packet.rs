@@ -29,7 +29,11 @@ impl HeaderInstance {
     pub fn zeroed(ht: &HeaderType) -> Self {
         HeaderInstance {
             header_type: ht.name.clone(),
-            fields: ht.fields.iter().map(|f| (f.name.clone(), Value::new(0, f.bits))).collect(),
+            fields: ht
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), Value::new(0, f.bits)))
+                .collect(),
         }
     }
 
@@ -38,7 +42,11 @@ impl HeaderInstance {
         let mut bytes = vec![0u8; ht.total_bytes() as usize];
         let mut bit_off = 0u64;
         for f in &ht.fields {
-            let v = self.fields.get(&f.name).copied().unwrap_or(Value::new(0, f.bits));
+            let v = self
+                .fields
+                .get(&f.name)
+                .copied()
+                .unwrap_or(Value::new(0, f.bits));
             deposit_bits(&mut bytes, bit_off, v.resize(f.bits));
             bit_off += u64::from(f.bits);
         }
@@ -75,10 +83,14 @@ impl ParsedPacket {
         let mut consumed = 0usize;
         for (type_name, offset) in path {
             let ht = &headers[&type_name];
-            let mut inst = HeaderInstance { header_type: type_name.clone(), fields: BTreeMap::new() };
+            let mut inst = HeaderInstance {
+                header_type: type_name.clone(),
+                fields: BTreeMap::new(),
+            };
             let mut bit_off = u64::from(offset) * 8;
             for f in &ht.fields {
-                inst.fields.insert(f.name.clone(), extract_bits(bytes, bit_off, f.bits));
+                inst.fields
+                    .insert(f.name.clone(), extract_bits(bytes, bit_off, f.bits));
                 bit_off += u64::from(f.bits);
             }
             consumed = offset as usize + ht.total_bytes() as usize;
@@ -88,22 +100,34 @@ impl ParsedPacket {
         Ok(out)
     }
 
-    /// Serializes headers in order followed by the payload.
-    pub fn deparse(&self, headers: &HashMap<String, HeaderType>) -> Vec<u8> {
+    /// Serializes headers in order followed by the payload. A header
+    /// instance whose type is missing from the catalog (e.g. added by a
+    /// buggy action) is an [`IrError::Undefined`](dejavu_p4ir::IrError),
+    /// not a panic — the switch model surfaces it as a processing error.
+    pub fn deparse(
+        &self,
+        headers: &HashMap<String, HeaderType>,
+    ) -> Result<Vec<u8>, dejavu_p4ir::IrError> {
         let mut bytes = Vec::new();
         for inst in &self.headers {
-            let ht = headers
-                .get(&inst.header_type)
-                .unwrap_or_else(|| panic!("deparse: unknown header type {}", inst.header_type));
+            let ht =
+                headers
+                    .get(&inst.header_type)
+                    .ok_or_else(|| dejavu_p4ir::IrError::Undefined {
+                        kind: "header type",
+                        name: inst.header_type.clone(),
+                    })?;
             bytes.extend_from_slice(&inst.serialize(ht));
         }
         bytes.extend_from_slice(&self.payload);
-        bytes
+        Ok(bytes)
     }
 
     /// Index of the first instance of `header_type`, if present.
     pub fn find(&self, header_type: &str) -> Option<usize> {
-        self.headers.iter().position(|h| h.header_type == header_type)
+        self.headers
+            .iter()
+            .position(|h| h.header_type == header_type)
     }
 
     /// True if an instance of `header_type` is present (P4 `isValid()`).
@@ -122,7 +146,9 @@ impl ParsedPacket {
     /// write is dropped, matching hardware semantics of writing an invalid
     /// header).
     pub fn set(&mut self, fr: &FieldRef, value: Value) -> bool {
-        let Some(idx) = self.find(&fr.header) else { return false };
+        let Some(idx) = self.find(&fr.header) else {
+            return false;
+        };
         match self.headers[idx].fields.get_mut(&fr.field) {
             Some(slot) => {
                 *slot = value.resize(slot.bits());
@@ -137,7 +163,9 @@ impl ParsedPacket {
     /// `None` or absent).
     pub fn add_header(&mut self, ht: &HeaderType, before: Option<&str>) {
         let inst = HeaderInstance::zeroed(ht);
-        let pos = before.and_then(|b| self.find(b)).unwrap_or(self.headers.len());
+        let pos = before
+            .and_then(|b| self.find(b))
+            .unwrap_or(self.headers.len());
         self.headers.insert(pos, inst);
     }
 
@@ -180,7 +208,10 @@ pub struct Packet {
 impl Packet {
     /// A packet from raw bytes with empty metadata.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        Packet { bytes, meta: BTreeMap::new() }
+        Packet {
+            bytes,
+            meta: BTreeMap::new(),
+        }
     }
 
     /// Reads a metadata field (0 of width 1 if unset — flags default clear).
@@ -207,14 +238,19 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dejavu_p4ir::well_known;
     use dejavu_p4ir::fref;
+    use dejavu_p4ir::well_known;
 
     fn catalog() -> HashMap<String, HeaderType> {
-        [well_known::ethernet(), well_known::ipv4(), well_known::tcp(), well_known::udp()]
-            .into_iter()
-            .map(|h| (h.name.clone(), h))
-            .collect()
+        [
+            well_known::ethernet(),
+            well_known::ipv4(),
+            well_known::tcp(),
+            well_known::udp(),
+        ]
+        .into_iter()
+        .map(|h| (h.name.clone(), h))
+        .collect()
     }
 
     fn tcp_packet() -> Vec<u8> {
@@ -249,7 +285,7 @@ mod tests {
         let bytes = tcp_packet();
         let cat = catalog();
         let pp = ParsedPacket::parse(&bytes, &well_known::eth_ip_l4_parser(), &cat).unwrap();
-        assert_eq!(pp.deparse(&cat), bytes);
+        assert_eq!(pp.deparse(&cat).unwrap(), bytes);
     }
 
     #[test]
@@ -258,7 +294,7 @@ mod tests {
         let mut pp =
             ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &cat).unwrap();
         assert!(pp.set(&fref("ipv4", "dst_addr"), Value::new(0x01020304, 32)));
-        let bytes = pp.deparse(&cat);
+        let bytes = pp.deparse(&cat).unwrap();
         assert_eq!(&bytes[30..34], &[1, 2, 3, 4]);
     }
 
@@ -273,21 +309,38 @@ mod tests {
     #[test]
     fn add_and_remove_header() {
         let mut cat = catalog();
-        let sfc = HeaderType::new("sfc", vec![("path_id", 16u16), ("index", 8), ("pad", 8)]).unwrap();
+        let sfc =
+            HeaderType::new("sfc", vec![("path_id", 16u16), ("index", 8), ("pad", 8)]).unwrap();
         cat.insert("sfc".into(), sfc.clone());
         let mut pp =
             ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &cat).unwrap();
-        let before_len = pp.deparse(&cat).len();
+        let before_len = pp.deparse(&cat).unwrap().len();
         pp.add_header(&sfc, Some("ipv4"));
         assert!(pp.is_valid("sfc"));
         assert_eq!(pp.find("sfc"), Some(1)); // between ethernet and ipv4
         assert!(pp.set(&fref("sfc", "path_id"), Value::new(0xbeef, 16)));
-        let bytes = pp.deparse(&cat);
+        let bytes = pp.deparse(&cat).unwrap();
         assert_eq!(bytes.len(), before_len + 4);
         assert_eq!(&bytes[14..16], &[0xbe, 0xef]);
         assert!(pp.remove_header("sfc"));
-        assert_eq!(pp.deparse(&cat).len(), before_len);
+        assert_eq!(pp.deparse(&cat).unwrap().len(), before_len);
         assert!(!pp.remove_header("sfc"));
+    }
+
+    #[test]
+    fn deparse_unknown_header_type_is_an_error() {
+        let cat = catalog();
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(), &well_known::eth_ip_l4_parser(), &cat).unwrap();
+        pp.headers[0].header_type = "ghost".into();
+        let err = pp.deparse(&cat).unwrap_err();
+        assert_eq!(
+            err,
+            dejavu_p4ir::IrError::Undefined {
+                kind: "header type",
+                name: "ghost".into()
+            }
+        );
     }
 
     #[test]

@@ -83,7 +83,13 @@ impl ResourceVector {
     /// Usage of `self` against `total`, per component, as fractions in
     /// `[0, 1]` (components with zero capacity report 0).
     pub fn fraction_of(&self, total: &ResourceVector) -> ResourceFractions {
-        let frac = |used: u32, cap: u32| if cap == 0 { 0.0 } else { f64::from(used) / f64::from(cap) };
+        let frac = |used: u32, cap: u32| {
+            if cap == 0 {
+                0.0
+            } else {
+                f64::from(used) / f64::from(cap)
+            }
+        };
         ResourceFractions {
             table_ids: frac(self.table_ids, total.table_ids),
             sram_blocks: frac(self.sram_blocks, total.sram_blocks),
@@ -164,7 +170,10 @@ pub struct StageResources {
 impl StageResources {
     /// A fresh stage with the given capacity.
     pub fn new(capacity: ResourceVector) -> Self {
-        StageResources { capacity, used: ResourceVector::ZERO }
+        StageResources {
+            capacity,
+            used: ResourceVector::ZERO,
+        }
     }
 
     /// Whether `demand` still fits in this stage.
@@ -175,7 +184,11 @@ impl StageResources {
     /// Charges `demand` against the stage. Panics if it does not fit —
     /// callers must check [`fits`](Self::fits) first.
     pub fn charge(&mut self, demand: &ResourceVector) {
-        assert!(self.fits(demand), "resource overflow in stage: {demand} over {}", self.capacity);
+        assert!(
+            self.fits(demand),
+            "resource overflow in stage: {demand} over {}",
+            self.capacity
+        );
         self.used += *demand;
     }
 }
@@ -198,34 +211,56 @@ mod tests {
 
     #[test]
     fn add_and_fits() {
-        let a = ResourceVector { table_ids: 8, ..ResourceVector::ZERO };
-        let b = ResourceVector { table_ids: 8, ..ResourceVector::ZERO };
+        let a = ResourceVector {
+            table_ids: 8,
+            ..ResourceVector::ZERO
+        };
+        let b = ResourceVector {
+            table_ids: 8,
+            ..ResourceVector::ZERO
+        };
         assert_eq!((a + b).table_ids, 16);
         assert!(a.fits_after(&b, &cap()));
-        let c = ResourceVector { table_ids: 9, ..ResourceVector::ZERO };
+        let c = ResourceVector {
+            table_ids: 9,
+            ..ResourceVector::ZERO
+        };
         assert!(!a.fits_after(&c, &cap()));
     }
 
     #[test]
     fn stage_charge_and_overflow() {
         let mut s = StageResources::new(cap());
-        let d = ResourceVector { sram_blocks: 40, ..ResourceVector::ZERO };
+        let d = ResourceVector {
+            sram_blocks: 40,
+            ..ResourceVector::ZERO
+        };
         assert!(s.fits(&d));
         s.charge(&d);
         s.charge(&d);
-        assert!(!s.fits(&ResourceVector { sram_blocks: 1, ..ResourceVector::ZERO }));
+        assert!(!s.fits(&ResourceVector {
+            sram_blocks: 1,
+            ..ResourceVector::ZERO
+        }));
     }
 
     #[test]
     #[should_panic(expected = "resource overflow")]
     fn overcharge_panics() {
         let mut s = StageResources::new(cap());
-        s.charge(&ResourceVector { tcam_blocks: 25, ..ResourceVector::ZERO });
+        s.charge(&ResourceVector {
+            tcam_blocks: 25,
+            ..ResourceVector::ZERO
+        });
     }
 
     #[test]
     fn fractions() {
-        let used = ResourceVector { table_ids: 4, gateways: 8, ..ResourceVector::ZERO };
+        let used = ResourceVector {
+            table_ids: 4,
+            gateways: 8,
+            ..ResourceVector::ZERO
+        };
         let f = used.fraction_of(&cap());
         assert!((f.table_ids - 0.25).abs() < 1e-12);
         assert!((f.gateways - 0.5).abs() < 1e-12);
@@ -234,14 +269,21 @@ mod tests {
 
     #[test]
     fn zero_capacity_fraction_is_zero() {
-        let used = ResourceVector { tcam_blocks: 5, ..ResourceVector::ZERO };
+        let used = ResourceVector {
+            tcam_blocks: 5,
+            ..ResourceVector::ZERO
+        };
         let f = used.fraction_of(&ResourceVector::ZERO);
         assert_eq!(f.tcam_blocks, 0.0);
     }
 
     #[test]
     fn scaling() {
-        let v = ResourceVector { sram_blocks: 3, vliw_slots: 2, ..ResourceVector::ZERO };
+        let v = ResourceVector {
+            sram_blocks: 3,
+            vliw_slots: 2,
+            ..ResourceVector::ZERO
+        };
         let s = v.scaled(4);
         assert_eq!(s.sram_blocks, 12);
         assert_eq!(s.vliw_slots, 8);

@@ -66,12 +66,18 @@ pub struct PipeletId {
 impl PipeletId {
     /// Ingress pipelet of pipeline `p`.
     pub fn ingress(p: usize) -> Self {
-        PipeletId { pipeline: p, gress: Gress::Ingress }
+        PipeletId {
+            pipeline: p,
+            gress: Gress::Ingress,
+        }
     }
 
     /// Egress pipelet of pipeline `p`.
     pub fn egress(p: usize) -> Self {
-        PipeletId { pipeline: p, gress: Gress::Egress }
+        PipeletId {
+            pipeline: p,
+            gress: Gress::Egress,
+        }
     }
 }
 
@@ -199,7 +205,9 @@ impl Traversal {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Table { table, hit: true, .. } => Some(table.as_str()),
+                TraceEvent::Table {
+                    table, hit: true, ..
+                } => Some(table.as_str()),
                 _ => None,
             })
             .collect()
@@ -226,7 +234,9 @@ impl Traversal {
         for e in &self.events {
             let line = match e {
                 TraceEvent::EnterPipelet(p) => format!("-> {p}"),
-                TraceEvent::Table { table, hit, action, .. } => format!(
+                TraceEvent::Table {
+                    table, hit, action, ..
+                } => format!(
                     "     {table}: {} -> {action}",
                     if *hit { "hit " } else { "miss" }
                 ),
@@ -406,9 +416,10 @@ impl Switch {
         table: &str,
         entry: TableEntry,
     ) -> Result<(), IrError> {
-        let program = self.programs.get(&pipelet).ok_or_else(|| IrError::Invalid(format!(
-            "no program loaded on {pipelet}"
-        )))?;
+        let program = self
+            .programs
+            .get(&pipelet)
+            .ok_or_else(|| IrError::Invalid(format!("no program loaded on {pipelet}")))?;
         let def = program.tables.get(table).ok_or(IrError::Undefined {
             kind: "table",
             name: table.to_string(),
@@ -446,7 +457,10 @@ impl Switch {
             .get(&pipelet)
             .and_then(|p| p.registers.get(register))
             .cloned()
-            .ok_or(IrError::Undefined { kind: "register", name: register.to_string() })?;
+            .ok_or(IrError::Undefined {
+                kind: "register",
+                name: register.to_string(),
+            })?;
         self.tables
             .get_mut(&pipelet)
             .expect("state exists for loaded program")
@@ -462,9 +476,7 @@ impl Switch {
     /// Which pipeline handles traffic arriving on `port` (Ethernet or
     /// dedicated recirculation port).
     fn pipeline_of(&self, port: PortId) -> Option<usize> {
-        if (RECIRC_PORT_BASE..RECIRC_PORT_BASE + self.profile.pipelines as PortId)
-            .contains(&port)
-        {
+        if (RECIRC_PORT_BASE..RECIRC_PORT_BASE + self.profile.pipelines as PortId).contains(&port) {
             return Some(usize::from(port - RECIRC_PORT_BASE));
         }
         self.profile.pipeline_of_port(usize::from(port))
@@ -482,9 +494,9 @@ impl Switch {
         if self.is_port_down(port) {
             return Err(IrError::Invalid(format!("port {port} link is down")));
         }
-        let pipeline = self.pipeline_of(port).ok_or_else(|| {
-            IrError::Invalid(format!("port {port} out of range"))
-        })?;
+        let pipeline = self
+            .pipeline_of(port)
+            .ok_or_else(|| IrError::Invalid(format!("port {port} out of range")))?;
         self.run_to_completion(bytes, port, pipeline)
     }
 
@@ -508,23 +520,53 @@ impl Switch {
             latency += self.timing.pipelet_ns(stages);
 
             let mut meta = BTreeMap::new();
-            meta.insert("ingress_port".to_string(), Value::new(u128::from(ingress_port), 16));
-            meta.insert("egress_spec".to_string(), Value::new(u128::from(PORT_UNSET), 16));
+            meta.insert(
+                "ingress_port".to_string(),
+                Value::new(u128::from(ingress_port), 16),
+            );
+            meta.insert(
+                "egress_spec".to_string(),
+                Value::new(u128::from(PORT_UNSET), 16),
+            );
 
             let step = self.run_pipelet(ing, &bytes, &mut meta, &mut events)?;
             let Some(new_bytes) = step else {
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             };
             bytes = new_bytes;
             self.maybe_mirror(&meta, &bytes, &mut events, &mut mirrored);
 
             if meta.get("drop_flag").is_some_and(|v| v.as_bool()) {
                 events.push(TraceEvent::Drop { pipelet: ing });
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
             if meta.get("to_cpu_flag").is_some_and(|v| v.as_bool()) {
                 events.push(TraceEvent::ToCpu { pipelet: ing });
-                return Ok(self.finish(events, Disposition::ToCpu, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::ToCpu,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
             if meta.get("resubmit_flag").is_some_and(|v| v.as_bool()) {
                 events.push(TraceEvent::Resubmit { pipeline });
@@ -539,25 +581,60 @@ impl Switch {
                 .unwrap_or(PORT_UNSET);
             if egress_spec == CPU_PORT {
                 events.push(TraceEvent::ToCpu { pipelet: ing });
-                return Ok(self.finish(events, Disposition::ToCpu, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::ToCpu,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
             if egress_spec == PORT_UNSET {
                 // No forwarding decision was made: hardware drops.
                 events.push(TraceEvent::Drop { pipelet: ing });
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
             let Some(dest_pipeline) = self.pipeline_of(egress_spec) else {
                 events.push(TraceEvent::Drop { pipelet: ing });
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             };
             if self.is_port_down(egress_spec) {
                 events.push(TraceEvent::LinkDown { port: egress_spec });
                 events.push(TraceEvent::Drop { pipelet: ing });
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
 
             // ---- traffic manager ----
-            events.push(TraceEvent::TmTransit { from: pipeline, to: dest_pipeline });
+            events.push(TraceEvent::TmTransit {
+                from: pipeline,
+                to: dest_pipeline,
+            });
             latency += self.timing.tm_ns;
 
             // ---- egress pipelet ----
@@ -566,23 +643,53 @@ impl Switch {
             latency += self.timing.pipelet_ns(stages);
 
             let mut emeta = BTreeMap::new();
-            emeta.insert("ingress_port".to_string(), Value::new(u128::from(ingress_port), 16));
-            emeta.insert("egress_spec".to_string(), Value::new(u128::from(egress_spec), 16));
+            emeta.insert(
+                "ingress_port".to_string(),
+                Value::new(u128::from(ingress_port), 16),
+            );
+            emeta.insert(
+                "egress_spec".to_string(),
+                Value::new(u128::from(egress_spec), 16),
+            );
 
             let step = self.run_pipelet(eg, &bytes, &mut emeta, &mut events)?;
             let Some(new_bytes) = step else {
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             };
             bytes = new_bytes;
             self.maybe_mirror(&emeta, &bytes, &mut events, &mut mirrored);
 
             if emeta.get("drop_flag").is_some_and(|v| v.as_bool()) {
                 events.push(TraceEvent::Drop { pipelet: eg });
-                return Ok(self.finish(events, Disposition::Dropped, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::Dropped,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
             if emeta.get("to_cpu_flag").is_some_and(|v| v.as_bool()) {
                 events.push(TraceEvent::ToCpu { pipelet: eg });
-                return Ok(self.finish(events, Disposition::ToCpu, bytes, latency, recirculations, resubmissions, mirrored));
+                return Ok(self.finish(
+                    events,
+                    Disposition::ToCpu,
+                    bytes,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                    mirrored,
+                ));
             }
 
             // ---- port: out, or loop back ----
@@ -601,12 +708,15 @@ impl Switch {
 
             events.push(TraceEvent::Emit { port: egress_spec });
             latency += self.timing.mac_tx_ns;
-            return Ok(self.finish(events,
+            return Ok(self.finish(
+                events,
                 Disposition::Emitted { port: egress_spec },
                 bytes,
                 latency,
                 recirculations,
-                resubmissions, mirrored));
+                resubmissions,
+                mirrored,
+            ));
         }
         Err(IrError::Invalid(format!(
             "packet did not leave the switch after {} pipeline loops (forwarding loop?)",
@@ -653,7 +763,10 @@ impl Switch {
                 return Ok(None);
             }
         };
-        let tables = self.tables.get_mut(&pipelet).expect("state exists for loaded program");
+        let tables = self
+            .tables
+            .get_mut(&pipelet)
+            .expect("state exists for loaded program");
         let outcome = interp.execute(&mut pp, meta, tables)?;
         for ev in outcome.events {
             events.push(TraceEvent::Table {
@@ -663,7 +776,7 @@ impl Switch {
                 action: ev.action,
             });
         }
-        Ok(Some(pp.deparse(interp.headers())))
+        Ok(Some(pp.deparse(interp.headers())?))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -701,7 +814,12 @@ mod tests {
     fn l2_program() -> Program {
         ProgramBuilder::new("l2")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(
                 ActionBuilder::new("fwd")
                     .param("port", 16)
@@ -739,15 +857,18 @@ mod tests {
 
     fn basic_switch() -> Switch {
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
-        sw.load_program(PipeletId::ingress(0), l2_program()).unwrap();
-        sw.load_program(PipeletId::ingress(1), l2_program()).unwrap();
+        sw.load_program(PipeletId::ingress(0), l2_program())
+            .unwrap();
+        sw.load_program(PipeletId::ingress(1), l2_program())
+            .unwrap();
         sw
     }
 
     #[test]
     fn forward_across_traffic_manager() {
         let mut sw = basic_switch();
-        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20)).unwrap();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+            .unwrap();
         let t = sw.inject(eth_packet(0xaabb), 0).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
         // ingress pipeline 0 → TM → egress pipeline 1 (port 20)
@@ -765,7 +886,10 @@ mod tests {
         let mut sw = basic_switch();
         let t = sw.inject(eth_packet(0xdead), 0).unwrap();
         assert_eq!(t.disposition, Disposition::Dropped);
-        assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Drop { .. })));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Drop { .. })));
     }
 
     #[test]
@@ -774,8 +898,10 @@ mod tests {
         // Send to port 16 (pipeline 1) which is in loopback; pipeline 1's
         // ingress then forwards to port 1 (pipeline 0).
         sw.set_loopback(16, true).unwrap();
-        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 16)).unwrap();
-        sw.install_entry(PipeletId::ingress(1), "l2", fwd_entry(0xaabb, 1)).unwrap();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 16))
+            .unwrap();
+        sw.install_entry(PipeletId::ingress(1), "l2", fwd_entry(0xaabb, 1))
+            .unwrap();
         let t = sw.inject(eth_packet(0xaabb), 0).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 1 });
         assert_eq!(t.recirculations, 1);
@@ -783,9 +909,9 @@ mod tests {
             t.pipelets_visited(),
             vec![
                 PipeletId::ingress(0),
-                PipeletId::egress(1), // to loopback port 16
+                PipeletId::egress(1),  // to loopback port 16
                 PipeletId::ingress(1), // constraint (d): re-enters pipeline 1
-                PipeletId::egress(0), // out port 1
+                PipeletId::egress(0),  // out port 1
             ]
         );
         // One recirculation adds recirc_on_chip + ingress+TM+egress again.
@@ -797,7 +923,8 @@ mod tests {
     fn dedicated_recirc_port_works() {
         let mut sw = basic_switch();
         let rp = sw.recirc_port(0);
-        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, rp)).unwrap();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, rp))
+            .unwrap();
         // After recirculating into pipeline 0's ingress again, the same table
         // matches again — rewrite the entry to avoid an infinite loop by
         // using a different switch: install on pipeline 0 only once; second
@@ -826,7 +953,12 @@ mod tests {
         // Program with a pass action that never sets egress_spec.
         let program = ProgramBuilder::new("noop")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(ActionBuilder::new("pass").build())
             .table(
                 TableBuilder::new("t")
@@ -848,7 +980,12 @@ mod tests {
     fn cpu_punt_via_flag() {
         let program = ProgramBuilder::new("punt")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(
                 ActionBuilder::new("to_cpu")
                     .set(FieldRef::meta("to_cpu_flag"), Expr::val(1, 1))
@@ -876,7 +1013,12 @@ mod tests {
         // and rewrites ether_type so the second pass forwards.
         let program = ProgramBuilder::new("resub")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(
                 ActionBuilder::new("resubmit")
                     .set(FieldRef::meta("resubmit_flag"), Expr::val(1, 1))
@@ -900,36 +1042,48 @@ mod tests {
             .build()
             .unwrap();
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
-        sw.load_program(PipeletId::ingress(0), program.clone()).unwrap();
+        sw.load_program(PipeletId::ingress(0), program.clone())
+            .unwrap();
         let def = program.tables.get("decide").unwrap().clone();
-        sw.tables.get_mut(&PipeletId::ingress(0)).unwrap().install(
-            &def,
-            TableEntry {
-                matches: vec![KeyMatch::Exact(Value::new(0, 16))],
-                action: "resubmit".into(),
-                action_args: vec![],
-                priority: 0,
-            },
-        ).unwrap();
+        sw.tables
+            .get_mut(&PipeletId::ingress(0))
+            .unwrap()
+            .install(
+                &def,
+                TableEntry {
+                    matches: vec![KeyMatch::Exact(Value::new(0, 16))],
+                    action: "resubmit".into(),
+                    action_args: vec![],
+                    priority: 0,
+                },
+            )
+            .unwrap();
         let t = sw.inject(eth_packet(9), 0).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 5 });
         assert_eq!(t.resubmissions, 1);
         assert_eq!(
             t.pipelets_visited(),
-            vec![PipeletId::ingress(0), PipeletId::ingress(0), PipeletId::egress(0)]
+            vec![
+                PipeletId::ingress(0),
+                PipeletId::ingress(0),
+                PipeletId::egress(0)
+            ]
         );
     }
 
     #[test]
     fn load_program_validates_pipeline_range() {
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
-        assert!(sw.load_program(PipeletId::ingress(5), l2_program()).is_err());
+        assert!(sw
+            .load_program(PipeletId::ingress(5), l2_program())
+            .is_err());
     }
 
     #[test]
     fn table_counters_accumulate() {
         let mut sw = basic_switch();
-        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 2)).unwrap();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 2))
+            .unwrap();
         sw.inject(eth_packet(0xaabb), 0).unwrap();
         sw.inject(eth_packet(0xffff), 0).unwrap();
         let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");

@@ -69,7 +69,10 @@ impl TableState {
             }
         }
         if !def.actions.contains(&entry.action) {
-            return Err(IrError::Undefined { kind: "entry action", name: entry.action.clone() });
+            return Err(IrError::Undefined {
+                kind: "entry action",
+                name: entry.action.clone(),
+            });
         }
         let slot = self.entries.entry(def.name.clone()).or_default();
         if slot.len() as u32 >= def.size {
@@ -118,8 +121,11 @@ impl TableState {
             if e.matches.iter().zip(keys).all(|(m, v)| m.matches(*v)) {
                 // Rank: priority first, then total LPM prefix length (longest
                 // prefix wins among equal priorities).
-                let lpm_total: u32 =
-                    e.matches.iter().filter_map(|m| m.lpm_len().map(u32::from)).sum();
+                let lpm_total: u32 = e
+                    .matches
+                    .iter()
+                    .filter_map(|m| m.lpm_len().map(u32::from))
+                    .sum();
                 let rank = (e.priority, lpm_total);
                 if best.as_ref().is_none_or(|(_, r)| rank > *r) {
                     best = Some((e, rank));
@@ -167,7 +173,10 @@ impl TableState {
     /// Control-plane view of a register cell without initializing it
     /// (`None` when never touched).
     pub fn register_peek(&self, name: &str, index: u32) -> Option<u128> {
-        self.registers.get(name).and_then(|a| a.get(index as usize)).copied()
+        self.registers
+            .get(name)
+            .and_then(|a| a.get(index as usize))
+            .copied()
     }
 }
 
@@ -180,7 +189,10 @@ mod tests {
     fn lpm_table() -> TableDef {
         TableDef {
             name: "routes".into(),
-            keys: vec![TableKey { field: fref("ipv4", "dst_addr"), kind: MatchKind::Lpm }],
+            keys: vec![TableKey {
+                field: fref("ipv4", "dst_addr"),
+                kind: MatchKind::Lpm,
+            }],
             actions: vec!["fwd".into(), "drop".into()],
             default_action: "drop".into(),
             default_action_args: vec![],
@@ -215,7 +227,10 @@ mod tests {
     fn ternary_priority_wins() {
         let def = TableDef {
             name: "acl".into(),
-            keys: vec![TableKey { field: fref("ipv4", "src_addr"), kind: MatchKind::Ternary }],
+            keys: vec![TableKey {
+                field: fref("ipv4", "src_addr"),
+                kind: MatchKind::Ternary,
+            }],
             actions: vec!["permit".into(), "deny".into()],
             default_action: "permit".into(),
             default_action_args: vec![],
@@ -259,7 +274,12 @@ mod tests {
         assert!(st
             .install(
                 &def,
-                TableEntry { matches: vec![], action: "fwd".into(), action_args: vec![], priority: 0 }
+                TableEntry {
+                    matches: vec![],
+                    action: "fwd".into(),
+                    action_args: vec![],
+                    priority: 0
+                }
             )
             .is_err());
         // wrong kind

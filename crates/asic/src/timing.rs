@@ -63,7 +63,11 @@ impl TimingModel {
     /// Port-to-port latency of the normal path (no recirculation): MAC in,
     /// ingress pipelet, TM, egress pipelet, MAC out.
     pub fn port_to_port_ns(&self, stages: usize) -> f64 {
-        self.mac_rx_ns + self.pipelet_ns(stages) + self.tm_ns + self.pipelet_ns(stages) + self.mac_tx_ns
+        self.mac_rx_ns
+            + self.pipelet_ns(stages)
+            + self.tm_ns
+            + self.pipelet_ns(stages)
+            + self.mac_tx_ns
     }
 
     /// End-to-end latency of a path with `k` on-chip recirculations: each

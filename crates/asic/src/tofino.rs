@@ -56,7 +56,10 @@ impl TofinoProfile {
 
     /// A 4-pipeline variant (Tofino 64Q-class), used by placement ablations.
     pub fn four_pipeline() -> Self {
-        TofinoProfile { pipelines: 4, ..Self::wedge_100b_32x() }
+        TofinoProfile {
+            pipelines: 4,
+            ..Self::wedge_100b_32x()
+        }
     }
 
     /// A deliberately tiny profile for unit tests (2 pipelines, 4 stages).

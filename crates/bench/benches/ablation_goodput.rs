@@ -38,7 +38,12 @@ fn problem() -> PlacementProblem {
     PlacementProblem::new(chains, stages)
 }
 
-fn goodput(p: &PlacementProblem, placement: &Placement, external: f64, loopback: f64) -> (Vec<(u16, u32)>, f64) {
+fn goodput(
+    p: &PlacementProblem,
+    placement: &Placement,
+    external: f64,
+    loopback: f64,
+) -> (Vec<(u16, u32)>, f64) {
     let total_w: f64 = p.chains.total_weight();
     let mut classes = Vec::new();
     let mut per_chain = Vec::new();
@@ -55,12 +60,15 @@ fn goodput(p: &PlacementProblem, placement: &Placement, external: f64, loopback:
 }
 
 fn main() {
-    banner("Ablation A6", "Fig. 2 workload goodput vs placement strategy (§3.3 × §4)");
+    banner(
+        "Ablation A6",
+        "Fig. 2 workload goodput vs placement strategy (§3.3 × §4)",
+    );
     let p = problem();
     let profile = TofinoProfile::wedge_100b_32x();
     let external = profile.external_capacity_gbps(16); // 1.6 Tbps
-    let loopback = 16.0 * profile.port_gbps
-        + profile.dedicated_recirc_gbps * profile.pipelines as f64; // 1.8 Tbps
+    let loopback =
+        16.0 * profile.port_gbps + profile.dedicated_recirc_gbps * profile.pipelines as f64; // 1.8 Tbps
 
     let strategies: Vec<(&str, Placement)> = vec![
         ("naive alternating", p.naive().unwrap()),
@@ -72,12 +80,18 @@ fn main() {
     let mut records = Vec::new();
     for (name, placement) in &strategies {
         let (per_chain, delivered) = goodput(&p, placement, external, loopback);
-        let recircs: Vec<String> =
-            per_chain.iter().map(|(id, k)| format!("path{id}:{k}")).collect();
+        let recircs: Vec<String> = per_chain
+            .iter()
+            .map(|(id, k)| format!("path{id}:{k}"))
+            .collect();
         row(
             name,
             "—",
-            &format!("{:.0} Gbps of {external:.0} ({})", delivered, recircs.join(" ")),
+            &format!(
+                "{:.0} Gbps of {external:.0} ({})",
+                delivered,
+                recircs.join(" ")
+            ),
         );
         records.push(Strategy {
             name: name.to_string(),
@@ -88,7 +102,10 @@ fn main() {
     }
 
     let naive = records[0].goodput_gbps;
-    let best = records.iter().map(|r| r.goodput_gbps).fold(0.0f64, f64::max);
+    let best = records
+        .iter()
+        .map(|r| r.goodput_gbps)
+        .fold(0.0f64, f64::max);
     println!(
         "\n  optimized placement delivers {:.2}x the naive goodput ({:.0} vs {:.0} Gbps)",
         best / naive,

@@ -30,10 +30,17 @@ struct Summary {
 }
 
 fn main() {
-    banner("Ablation A2", "per-port vs per-packet recirculation granularity (§7 what-if)");
+    banner(
+        "Ablation A2",
+        "per-port vs per-packet recirculation granularity (§7 what-if)",
+    );
     let mut rng = StdRng::seed_from_u64(2024);
-    let pipelets =
-        [PipeletId::ingress(0), PipeletId::egress(0), PipeletId::ingress(1), PipeletId::egress(1)];
+    let pipelets = [
+        PipeletId::ingress(0),
+        PipeletId::egress(0),
+        PipeletId::ingress(1),
+        PipeletId::egress(1),
+    ];
 
     let mut sum_port = 0u64;
     let mut sum_packet = 0u64;
@@ -52,13 +59,20 @@ fn main() {
         let _chains = ChainSet::new(vec![chain.clone()]).unwrap();
         let mut placement = Placement::default();
         for nf in &nfs {
-            let p = pipelets[rng.gen_range(0..4)];
+            let p = pipelets[rng.gen_range(0usize..4)];
             placement.pipelets.entry(p).or_default().push(nf.clone());
         }
         let port =
             traverse_with(&chain, &placement, 0, 0, false, RecircGranularity::PerPort).unwrap();
-        let packet =
-            traverse_with(&chain, &placement, 0, 0, false, RecircGranularity::PerPacket).unwrap();
+        let packet = traverse_with(
+            &chain,
+            &placement,
+            0,
+            0,
+            false,
+            RecircGranularity::PerPacket,
+        )
+        .unwrap();
         assert!(
             packet.recirculations <= port.recirculations,
             "per-packet must never cost more"
@@ -80,13 +94,21 @@ fn main() {
     };
 
     println!("  random chains/placements sampled: {}", s.samples);
-    println!("  mean recirculations: per-port {:.2}, per-packet {:.2}  (−{:.0}%)",
-        s.per_port_mean_recircs, s.per_packet_mean_recircs, s.savings_pct);
-    println!("  mean effective throughput (100G port, §4 model): per-port {:.1} G, per-packet {:.1} G",
-        s.per_port_mean_throughput_gbps, s.per_packet_mean_throughput_gbps);
+    println!(
+        "  mean recirculations: per-port {:.2}, per-packet {:.2}  (−{:.0}%)",
+        s.per_port_mean_recircs, s.per_packet_mean_recircs, s.savings_pct
+    );
+    println!(
+        "  mean effective throughput (100G port, §4 model): per-port {:.1} G, per-packet {:.1} G",
+        s.per_port_mean_throughput_gbps, s.per_packet_mean_throughput_gbps
+    );
 
     assert!(s.per_packet_mean_recircs < s.per_port_mean_recircs);
-    assert!(s.savings_pct > 10.0, "expected double-digit savings, got {:.1}%", s.savings_pct);
+    assert!(
+        s.savings_pct > 10.0,
+        "expected double-digit savings, got {:.1}%",
+        s.savings_pct
+    );
 
     write_json("ablation_granularity", &s);
     println!("\n  SHAPE CHECK: per-packet granularity cuts recirculations substantially — §7's hardware prediction quantified.");

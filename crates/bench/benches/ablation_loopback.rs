@@ -35,19 +35,28 @@ fn main() {
         let external = profile.external_capacity_gbps(m);
         let frac = profile.single_recirc_fraction(m);
         // Loopback capacity: m ports plus the two dedicated recirc ports.
-        let loop_cap = m as f64 * profile.port_gbps
-            + profile.dedicated_recirc_gbps * profile.pipelines as f64;
+        let loop_cap =
+            m as f64 * profile.port_gbps + profile.dedicated_recirc_gbps * profile.pipelines as f64;
 
         // Workload A: all external traffic needs 1 recirculation.
         let a = solve_mix(
-            &[TrafficClass { rate_gbps: external, recirculations: 1 }],
+            &[TrafficClass {
+                rate_gbps: external,
+                recirculations: 1,
+            }],
             loop_cap.max(1.0),
         );
         // Workload B: half needs 2 recirculations, half none.
         let b = solve_mix(
             &[
-                TrafficClass { rate_gbps: external / 2.0, recirculations: 2 },
-                TrafficClass { rate_gbps: external / 2.0, recirculations: 0 },
+                TrafficClass {
+                    rate_gbps: external / 2.0,
+                    recirculations: 2,
+                },
+                TrafficClass {
+                    rate_gbps: external / 2.0,
+                    recirculations: 0,
+                },
             ],
             loop_cap.max(1.0),
         );
@@ -68,21 +77,36 @@ fn main() {
 
     // The §5 design point.
     let m16 = points.iter().find(|p| p.loopback_ports == 16).unwrap();
-    row("m = 16 external capacity", "1.6 Tbps", &format!("{:.1} Tbps", m16.external_gbps / 1000.0));
-    row("m = 16 single-recirc coverage", "100 %", &format!("{:.0} %", m16.single_recirc_fraction * 100.0));
+    row(
+        "m = 16 external capacity",
+        "1.6 Tbps",
+        &format!("{:.1} Tbps", m16.external_gbps / 1000.0),
+    );
+    row(
+        "m = 16 single-recirc coverage",
+        "100 %",
+        &format!("{:.0} %", m16.single_recirc_fraction * 100.0),
+    );
 
     // Crossover shape: goodput for the all-1-recirc workload peaks where
     // loopback capacity first covers external demand (m ≈ n/2 − dedicated).
     let best = points
         .iter()
-        .max_by(|a, b| a.delivered_all_1recirc_gbps.total_cmp(&b.delivered_all_1recirc_gbps))
+        .max_by(|a, b| {
+            a.delivered_all_1recirc_gbps
+                .total_cmp(&b.delivered_all_1recirc_gbps)
+        })
         .unwrap();
     println!(
         "\n  goodput optimum for all-1-recirc workload: m = {} ({:.0} Gbps delivered)",
         best.loopback_ports, best.delivered_all_1recirc_gbps
     );
     assert_eq!(m16.single_recirc_fraction, 1.0);
-    assert!((8..=16).contains(&best.loopback_ports), "optimum at m={}", best.loopback_ports);
+    assert!(
+        (8..=16).contains(&best.loopback_ports),
+        "optimum at m={}",
+        best.loopback_ports
+    );
     assert_eq!(n, 32);
 
     write_json("ablation_loopback", &points);

@@ -53,17 +53,17 @@ fn main() {
             let cp = ClusterProblem::new(problem(chain_len), cluster_size);
             match cp.greedy_spill() {
                 Ok(placement) => {
-                    let cost =
-                        cp.chain_cost(&cp.template.chains.chains[0], &placement).unwrap();
+                    let cost = cp
+                        .chain_cost(&cp.template.chains.chains[0], &placement)
+                        .unwrap();
                     let used = placement
                         .switches
                         .iter()
                         .filter(|p| p.pipelets.values().any(|v| !v.is_empty()))
                         .count();
                     // Pipelet passes ≈ 2 per switch visited + 2 per loop.
-                    let passes = (2 * used) as u32
-                        + 2 * cost.recirculations
-                        + 2 * cost.inter_switch_hops;
+                    let passes =
+                        (2 * used) as u32 + 2 * cost.recirculations + 2 * cost.inter_switch_hops;
                     let latency = chain_latency_ns(&cost, passes, 12, &timing);
                     println!(
                         "  {chain_len:>6} {cluster_size:>8} {:>9} {used:>6} {:>8} {:>8} {:>10.0} ns",
@@ -101,15 +101,22 @@ fn main() {
     // Shape assertions: short chains fit one switch; the longest needs >1;
     // hops grow with chain length; latencies stay in the microsecond range
     // ("low enough to be practical").
-    assert!(points.iter().any(|p| p.chain_length == 4 && p.cluster_size == 1 && p.feasible));
-    assert!(points.iter().any(|p| p.chain_length == 24 && p.cluster_size == 1 && !p.feasible));
+    assert!(points
+        .iter()
+        .any(|p| p.chain_length == 4 && p.cluster_size == 1 && p.feasible));
+    assert!(points
+        .iter()
+        .any(|p| p.chain_length == 24 && p.cluster_size == 1 && !p.feasible));
     assert!(points.iter().any(|p| p.chain_length == 24 && p.feasible));
     let feasible_max = points
         .iter()
         .filter(|p| p.feasible)
         .map(|p| p.latency_estimate_ns)
         .fold(0.0f64, f64::max);
-    assert!(feasible_max < 20_000.0, "latency {feasible_max} ns should stay practical");
+    assert!(
+        feasible_max < 20_000.0,
+        "latency {feasible_max} ns should stay practical"
+    );
 
     // Live validation: deploy the 12-NF / 2-switch configuration for real
     // and drive a packet across the wired cluster; the executed hop count
@@ -117,7 +124,9 @@ fn main() {
     let chain_len = 12usize;
     let cp = ClusterProblem::new(problem(chain_len), 2);
     let placement = cp.greedy_spill().unwrap();
-    let model_cost = cp.chain_cost(&cp.template.chains.chains[0], &placement).unwrap();
+    let model_cost = cp
+        .chain_cost(&cp.template.chains.chains[0], &placement)
+        .unwrap();
     let nf_names: Vec<String> = (0..chain_len).map(|i| format!("N{i}")).collect();
     let nfs: Vec<_> = nf_names
         .iter()
@@ -142,7 +151,10 @@ fn main() {
         "\n  live 12-NF / 2-switch run: {:?}, wire hops {} (model {}), recirculations {}",
         t.disposition, t.inter_switch_hops, model_cost.inter_switch_hops, t.recirculations
     );
-    assert!(matches!(t.disposition, dejavu_asic::switch::Disposition::Emitted { .. }));
+    assert!(matches!(
+        t.disposition,
+        dejavu_asic::switch::Disposition::Emitted { .. }
+    ));
     assert_eq!(t.inter_switch_hops as u32, model_cost.inter_switch_hops);
 
     write_json("ablation_multiswitch", &points);

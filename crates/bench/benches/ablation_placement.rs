@@ -48,13 +48,18 @@ fn random_instance(seed: u64) -> PlacementProblem {
             weight: rng.gen_range(0.1..1.0),
         });
     }
-    let stages: BTreeMap<String, u32> =
-        nfs.iter().map(|n| (n.clone(), rng.gen_range(1..5))).collect();
+    let stages: BTreeMap<String, u32> = nfs
+        .iter()
+        .map(|n| (n.clone(), rng.gen_range(1..5)))
+        .collect();
     PlacementProblem::new(ChainSet { chains }, stages)
 }
 
 fn main() {
-    banner("Ablation A1", "placement strategies over random multi-chain workloads");
+    banner(
+        "Ablation A1",
+        "placement strategies over random multi-chain workloads",
+    );
     const INSTANCES: u64 = 40;
 
     let mut s = Summary::default();
@@ -63,12 +68,16 @@ fn main() {
     for seed in 0..INSTANCES {
         let p = random_instance(seed);
         let t0 = Instant::now();
-        let Ok(exact) = p.exhaustive(1 << 24) else { continue };
+        let Ok(exact) = p.exhaustive(1 << 24) else {
+            continue;
+        };
         let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
         let Ok(naive) = p.naive() else { continue };
         let Ok(greedy) = p.greedy() else { continue };
         let t0 = Instant::now();
-        let Ok(anneal) = p.anneal(seed ^ 0xABCD, 2000) else { continue };
+        let Ok(anneal) = p.anneal(seed ^ 0xABCD, 2000) else {
+            continue;
+        };
         let anneal_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let (ce, cn, cg, ca) = (
@@ -108,11 +117,25 @@ fn main() {
     println!("  instances solved: {}", s.instances);
     println!("  mean weighted recirculation cost:");
     println!("    naive     {:.3}", s.naive_mean_cost);
-    println!("    greedy    {:.3}  (optimal on {:.0}% of instances)", s.greedy_mean_cost, 100.0 * s.greedy_optimal_rate);
-    println!("    annealing {:.3}  (optimal on {:.0}% of instances)", s.anneal_mean_cost, 100.0 * s.anneal_optimal_rate);
+    println!(
+        "    greedy    {:.3}  (optimal on {:.0}% of instances)",
+        s.greedy_mean_cost,
+        100.0 * s.greedy_optimal_rate
+    );
+    println!(
+        "    annealing {:.3}  (optimal on {:.0}% of instances)",
+        s.anneal_mean_cost,
+        100.0 * s.anneal_optimal_rate
+    );
     println!("    exact     {:.3}", s.exact_mean_cost);
-    println!("  naive/exact mean ratio: {:.2}x", s.naive_vs_exact_mean_ratio);
-    println!("  mean solver time: exhaustive {:.1} ms, annealing {:.1} ms", s.exact_mean_ms, s.anneal_mean_ms);
+    println!(
+        "  naive/exact mean ratio: {:.2}x",
+        s.naive_vs_exact_mean_ratio
+    );
+    println!(
+        "  mean solver time: exhaustive {:.1} ms, annealing {:.1} ms",
+        s.exact_mean_ms, s.anneal_mean_ms
+    );
 
     assert!(s.instances >= 30);
     assert!(s.exact_mean_cost <= s.greedy_mean_cost + 1e-9);

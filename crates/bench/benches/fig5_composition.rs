@@ -9,11 +9,11 @@
 
 use dejavu_asic::{PipeletId, TofinoProfile};
 use dejavu_bench::{banner, row, write_json};
+use dejavu_compiler::StageAllocator;
 use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
 use dejavu_core::merge::merge_programs;
 use dejavu_core::placement::{traverse, Placement};
 use dejavu_core::{ChainPolicy, ChainSet};
-use dejavu_compiler::StageAllocator;
 use dejavu_nf::{firewall, load_balancer};
 use serde::Serialize;
 
@@ -26,7 +26,10 @@ struct Record {
 }
 
 fn main() {
-    banner("Fig. 5", "sequential vs parallel composition (LB + FW, one ingress pipelet)");
+    banner(
+        "Fig. 5",
+        "sequential vs parallel composition (LB + FW, one ingress pipelet)",
+    );
     let lb = load_balancer::load_balancer();
     let fw = firewall::firewall();
     let merged = merge_programs("fig5", &[&lb, &fw]).unwrap();
@@ -40,18 +43,24 @@ fn main() {
             mode,
         };
         let program = compose_pipelet(&merged, &plan).unwrap();
-        let alloc = allocator.compile(&program).unwrap();
+        let alloc = allocator
+            .clone()
+            .with_lint_config(dejavu_core::lint::pipelet_lint_config(&program, &plan))
+            .compile(&program)
+            .unwrap();
         let deps = dejavu_p4ir::DependencyGraph::build(&program);
 
         // Branch-transition cost: a chain that runs FW then LB (against the
         // slot order), on this pipelet, under this mode.
-        let chains =
-            ChainSet::new(vec![ChainPolicy::new(1, "fw-then-lb", vec!["firewall", "lb"], 1.0)])
-                .unwrap();
-        let mut placement = Placement::sequential(vec![(
-            PipeletId::ingress(0),
-            vec!["lb", "firewall"],
-        )]);
+        let chains = ChainSet::new(vec![ChainPolicy::new(
+            1,
+            "fw-then-lb",
+            vec!["firewall", "lb"],
+            1.0,
+        )])
+        .unwrap();
+        let mut placement =
+            Placement::sequential(vec![(PipeletId::ingress(0), vec!["lb", "firewall"])]);
         placement.modes.insert(PipeletId::ingress(0), mode);
         let cost = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
 
@@ -59,7 +68,11 @@ fn main() {
         row(
             &format!("{mode_name}: stage span"),
             "seq > par (trade-off)",
-            &format!("{} stages (dep floor {})", alloc.stage_span(), deps.min_stages()),
+            &format!(
+                "{} stages (dep floor {})",
+                alloc.stage_span(),
+                deps.min_stages()
+            ),
         );
         row(
             &format!("{mode_name}: cross-branch transition"),

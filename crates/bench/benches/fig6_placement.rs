@@ -68,12 +68,12 @@ fn main() {
     ]);
 
     let mut records = Vec::new();
-    for (name, placement, paper) in
-        [("Fig 6(a) naive", &fig6a, 3u32), ("Fig 6(b) optimized", &fig6b, 1u32)]
-    {
+    for (name, placement, paper) in [
+        ("Fig 6(a) naive", &fig6a, 3u32),
+        ("Fig 6(b) optimized", &fig6b, 1u32),
+    ] {
         let (model, switch) = measure(&p.chains, placement);
-        let throughput =
-            dejavu_asic::feedback::effective_throughput_gbps(100.0, model as usize);
+        let throughput = dejavu_asic::feedback::effective_throughput_gbps(100.0, model as usize);
         row(
             &format!("{name} recirculations"),
             &paper.to_string(),
@@ -94,10 +94,26 @@ fn main() {
     let exact = p.exhaustive(1 << 22).unwrap();
     let greedy = p.greedy().unwrap();
     let annealed = p.anneal(11, 5000).unwrap();
-    row("naive baseline cost", "3 recirc", &format!("{:.1}", p.cost(&naive).unwrap()));
-    row("exhaustive optimum cost", "1 recirc", &format!("{:.1}", p.cost(&exact).unwrap()));
-    row("greedy cost", "—", &format!("{:.1}", p.cost(&greedy).unwrap()));
-    row("simulated annealing cost", "—", &format!("{:.1}", p.cost(&annealed).unwrap()));
+    row(
+        "naive baseline cost",
+        "3 recirc",
+        &format!("{:.1}", p.cost(&naive).unwrap()),
+    );
+    row(
+        "exhaustive optimum cost",
+        "1 recirc",
+        &format!("{:.1}", p.cost(&exact).unwrap()),
+    );
+    row(
+        "greedy cost",
+        "—",
+        &format!("{:.1}", p.cost(&greedy).unwrap()),
+    );
+    row(
+        "simulated annealing cost",
+        "—",
+        &format!("{:.1}", p.cost(&annealed).unwrap()),
+    );
     assert!(p.cost(&exact).unwrap() <= 1.0);
 
     // Price the difference: throughput per §4 with the needed recirculations.

@@ -29,14 +29,29 @@ fn main() {
 
     // The paper's three headline constants.
     let x = T * delivery_ratio(2); // first-pass throughput at the fixed point
-    row("x (first-pass throughput, k = 2)", "0.62 T", &format!("{:.3} T", x / T));
+    row(
+        "x (first-pass throughput, k = 2)",
+        "0.62 T",
+        &format!("{:.3} T", x / T),
+    );
     let t2 = effective_throughput_gbps(T, 2);
-    row("exit throughput, k = 2", "0.38 T", &format!("{:.3} T", t2 / T));
+    row(
+        "exit throughput, k = 2",
+        "0.38 T",
+        &format!("{:.3} T", t2 / T),
+    );
     let t3 = effective_throughput_gbps(T, 3);
-    row("exit throughput, k = 3", "0.16 T", &format!("{:.3} T", t3 / T));
+    row(
+        "exit throughput, k = 3",
+        "0.16 T",
+        &format!("{:.3} T", t3 / T),
+    );
 
     println!("\n  general fixed point, T = {T} Gbps:");
-    println!("  {:>3} {:>10} {:>12} {:>12} {:>14}", "k", "ρ", "analytic", "fluid sim", "pkt-level frac");
+    println!(
+        "  {:>3} {:>10} {:>12} {:>12} {:>14}",
+        "k", "ρ", "analytic", "fluid sim", "pkt-level frac"
+    );
     let mut records = Vec::new();
     for k in 0..=5 {
         let rho = delivery_ratio(k);
@@ -59,7 +74,13 @@ fn main() {
 
     // Mixed traffic sanity: §4's capacity split — 50% of ports in loopback
     // lets all external traffic recirculate once at full rate.
-    let mix = solve_mix(&[TrafficClass { rate_gbps: 1600.0, recirculations: 1 }], 1600.0);
+    let mix = solve_mix(
+        &[TrafficClass {
+            rate_gbps: 1600.0,
+            recirculations: 1,
+        }],
+        1600.0,
+    );
     println!(
         "\n  §5 configuration (16 loopback ports): 1.6 Tbps external, all 1-recirc → {:.0} Gbps out (lossless: {})",
         mix.total_gbps(),

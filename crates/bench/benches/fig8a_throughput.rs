@@ -22,11 +22,17 @@ struct Point {
 }
 
 fn main() {
-    banner("Fig. 8(a)", "throughput vs #recirculations (100 Gbps injected)");
+    banner(
+        "Fig. 8(a)",
+        "throughput vs #recirculations (100 Gbps injected)",
+    );
     const T: f64 = 100.0;
 
     let mut series = Vec::new();
-    println!("  {:>6} {:>12} {:>12} {:>12}", "k", "analytic", "fluid", "pkt-level");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12}",
+        "k", "analytic", "fluid", "pkt-level"
+    );
     for k in 1..=5 {
         let analytic = effective_throughput_gbps(T, k);
         let fluid = simulate_fluid(T, k, 4000);
@@ -41,10 +47,24 @@ fn main() {
     }
 
     // Shape assertions (what the paper's figure shows).
-    row("k = 1", "~100 Gbps", &format!("{:.1} Gbps", series[0].analytic_gbps));
-    row("k = 2", "~38 Gbps", &format!("{:.1} Gbps", series[1].analytic_gbps));
-    row("k = 3", "~16 Gbps", &format!("{:.1} Gbps", series[2].analytic_gbps));
-    assert!(series.windows(2).all(|w| w[1].analytic_gbps < w[0].analytic_gbps));
+    row(
+        "k = 1",
+        "~100 Gbps",
+        &format!("{:.1} Gbps", series[0].analytic_gbps),
+    );
+    row(
+        "k = 2",
+        "~38 Gbps",
+        &format!("{:.1} Gbps", series[1].analytic_gbps),
+    );
+    row(
+        "k = 3",
+        "~16 Gbps",
+        &format!("{:.1} Gbps", series[2].analytic_gbps),
+    );
+    assert!(series
+        .windows(2)
+        .all(|w| w[1].analytic_gbps < w[0].analytic_gbps));
     // Super-linear: each additional recirculation keeps < 1/2 of throughput
     // beyond k = 1.
     assert!(series[1].analytic_gbps / series[0].analytic_gbps < 0.5);

@@ -26,17 +26,18 @@ struct Record {
 fn measured_recirc_latency() -> (f64, f64) {
     // Baseline: one NF on ingress 0, exit on pipe 0 → 0 recirculations.
     let chains = ChainSet::new(vec![ChainPolicy::new(1, "x", vec!["n0"], 1.0)]).unwrap();
-    let base_placement =
-        Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0"])]);
+    let base_placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0"])]);
     let (mut sw, _) = deploy_markers(&chains, &base_placement).unwrap();
     let t0 = sw.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
     assert_eq!(t0.recirculations, 0);
-    assert_eq!(t0.disposition, dejavu_asic::switch::Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(
+        t0.disposition,
+        dejavu_asic::switch::Disposition::Emitted { port: EXIT_PORT }
+    );
 
     // One recirculation: the NF on ingress 1 (reached via pipeline 1's
     // loopback port).
-    let loop_placement =
-        Placement::sequential(vec![(PipeletId::ingress(1), vec!["n0"])]);
+    let loop_placement = Placement::sequential(vec![(PipeletId::ingress(1), vec!["n0"])]);
     let (mut sw, _) = deploy_markers(&chains, &loop_placement).unwrap();
     let t1 = sw.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
     assert_eq!(t1.recirculations, 1);
@@ -59,9 +60,21 @@ fn main() {
     let (port_to_port, on_chip) = measured_recirc_latency();
     let off_chip = timing.recirc_off_chip_ns;
 
-    row("port-to-port latency (idle)", "~650 ns", &format!("{port_to_port:.0} ns"));
-    row("on-chip recirculation", "~75 ns", &format!("{on_chip:.0} ns"));
-    row("off-chip recirculation (1 m DAC)", "~145 ns", &format!("{off_chip:.0} ns"));
+    row(
+        "port-to-port latency (idle)",
+        "~650 ns",
+        &format!("{port_to_port:.0} ns"),
+    );
+    row(
+        "on-chip recirculation",
+        "~75 ns",
+        &format!("{on_chip:.0} ns"),
+    );
+    row(
+        "off-chip recirculation (1 m DAC)",
+        "~145 ns",
+        &format!("{off_chip:.0} ns"),
+    );
     row(
         "on-chip / port-to-port",
         "~11.5 %",

@@ -30,14 +30,25 @@ struct Record {
 }
 
 fn main() {
-    banner("Fig. 9 / §5", "prototype: 5-NF SFC on 2 pipelines / 4 pipelets");
+    banner(
+        "Fig. 9 / §5",
+        "prototype: 5-NF SFC on 2 pipelines / 4 pipelets",
+    );
 
     // Capacity arithmetic of the §5 loopback configuration.
     let profile = TofinoProfile::wedge_100b_32x();
     let ext = profile.external_capacity_gbps(16);
     let frac = profile.single_recirc_fraction(16);
-    row("external capacity (16 ports loopback)", "1.6 Tbps", &format!("{:.1} Tbps", ext / 1000.0));
-    row("traffic that can recirculate once", "all (100 %)", &format!("{:.0} %", frac * 100.0));
+    row(
+        "external capacity (16 ports loopback)",
+        "1.6 Tbps",
+        &format!("{:.1} Tbps", ext / 1000.0),
+    );
+    row(
+        "traffic that can recirculate once",
+        "all (100 %)",
+        &format!("{:.0} %", frac * 100.0),
+    );
     assert_eq!(ext, 1600.0);
     assert_eq!(frac, 1.0);
 
@@ -45,7 +56,13 @@ fn main() {
     let (mut switch, dep) = fig9_testbed();
     let pkt1 = chain_packet(1, VIP, 80);
     let tuple = five_tuple_of(&pkt1).unwrap();
-    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, BACKEND)).unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        SESSION_TABLE,
+        session_entry_for(&tuple, BACKEND),
+    )
+    .unwrap();
 
     // Per-chain recirculation counts, model-side.
     let mut per_chain = Vec::new();
@@ -63,7 +80,11 @@ fn main() {
     // PTF suite over every path, as §5 does.
     let decapped = |b: &[u8]| {
         let et = u16::from_be_bytes([b[12], b[13]]);
-        if et == 0x0800 { Ok(()) } else { Err(format!("ether_type {et:#06x}")) }
+        if et == 0x0800 {
+            Ok(())
+        } else {
+            Err(format!("ether_type {et:#06x}"))
+        }
     };
     let suite = vec![
         TestCase::expect_port("path1 full chain", IN_PORT, pkt1, EXIT_PORT)
@@ -73,26 +94,47 @@ fn main() {
             .check_packet(decapped)
             .check_packet(move |b| {
                 let dst = u32::from_be_bytes([b[30], b[31], b[32], b[33]]);
-                if dst == BACKEND { Ok(()) } else { Err(format!("dst {dst:#010x}")) }
+                if dst == BACKEND {
+                    Ok(())
+                } else {
+                    Err(format!("dst {dst:#010x}"))
+                }
             }),
-        TestCase::expect_port("path2 vgw chain", IN_PORT, chain_packet(2, VIP, 80), EXIT_PORT)
-            .expect_recirculations(1)
-            .expect_table_hit("vgw__vni_map")
-            .check_packet(decapped),
-        TestCase::expect_port("path3 direct chain", IN_PORT, chain_packet(3, VIP, 80), EXIT_PORT)
-            .expect_recirculations(1)
-            .check_packet(decapped),
+        TestCase::expect_port(
+            "path2 vgw chain",
+            IN_PORT,
+            chain_packet(2, VIP, 80),
+            EXIT_PORT,
+        )
+        .expect_recirculations(1)
+        .expect_table_hit("vgw__vni_map")
+        .check_packet(decapped),
+        TestCase::expect_port(
+            "path3 direct chain",
+            IN_PORT,
+            chain_packet(3, VIP, 80),
+            EXIT_PORT,
+        )
+        .expect_recirculations(1)
+        .check_packet(decapped),
         TestCase::expect_drop("firewall deny (tcp/22)", IN_PORT, chain_packet(1, VIP, 22)),
         TestCase::expect_cpu(
             "unclassified punts",
             IN_PORT,
-            dejavu_traffic::PacketBuilder::tcp().src_ip(0xac10_0001).dst_ip(VIP).build(),
+            dejavu_traffic::PacketBuilder::tcp()
+                .src_ip(0xac10_0001)
+                .dst_ip(VIP)
+                .build(),
         ),
     ];
     let n_cases = suite.len();
     let report = run_suite(&mut switch, suite);
     println!("\n{report}");
-    row("PTF validation", "all paths verified", &format!("{}/{} passed", report.passed(), n_cases));
+    row(
+        "PTF validation",
+        "all paths verified",
+        &format!("{}/{} passed", report.passed(), n_cases),
+    );
     assert!(report.all_passed());
 
     write_json(

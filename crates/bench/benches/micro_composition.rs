@@ -18,7 +18,10 @@ fn bench_composition(c: &mut Criterion) {
     let merged = merge_programs("bench", &refs).unwrap();
     let plan = PipeletPlan {
         pipelet: PipeletId::ingress(0),
-        nfs: vec![PlannedNf::entry("classifier"), PlannedNf::indexed("firewall")],
+        nfs: vec![
+            PlannedNf::entry("classifier"),
+            PlannedNf::indexed("firewall"),
+        ],
         mode: CompositionMode::Sequential,
     };
     group.bench_function("compose_pipelet", |b| {
@@ -27,11 +30,15 @@ fn bench_composition(c: &mut Criterion) {
 
     let program = compose_pipelet(&merged, &plan).unwrap();
     let allocator = StageAllocator::new(TofinoProfile::wedge_100b_32x());
-    group.bench_function("compile_pipelet", |b| b.iter(|| allocator.compile(&program).unwrap()));
+    let allocator =
+        allocator.with_lint_config(dejavu_core::lint::pipelet_lint_config(&program, &plan));
+    group.bench_function("compile_pipelet", |b| {
+        b.iter(|| allocator.compile(&program).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_composition

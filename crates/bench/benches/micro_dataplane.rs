@@ -9,8 +9,13 @@ fn bench_dataplane(c: &mut Criterion) {
     let (mut switch, dep) = fig9_testbed();
     let pkt1 = chain_packet(1, 0xc633_6450, 80);
     let tuple = five_tuple_of(&pkt1).unwrap();
-    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, 0x0a63_0001))
-        .unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        SESSION_TABLE,
+        session_entry_for(&tuple, 0x0a63_0001),
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("dataplane");
     group.throughput(Throughput::Elements(1));
@@ -28,7 +33,7 @@ fn bench_dataplane(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_dataplane

@@ -16,15 +16,21 @@ fn bench_merge(c: &mut Criterion) {
     // The real 5-NF suite (richer parsers: eth/ip/tcp/udp).
     let suite = edge_cloud_suite();
     let refs: Vec<_> = suite.iter().collect();
-    group.bench_function("edge_cloud_suite", |b| b.iter(|| generic_parser(&refs).unwrap()));
+    group.bench_function("edge_cloud_suite", |b| {
+        b.iter(|| generic_parser(&refs).unwrap())
+    });
     // Raw DAG merge without encapsulation.
-    let dags: Vec<(&str, &dejavu_p4ir::ParserDag)> =
-        suite.iter().map(|nf| (nf.name(), &nf.program().parser)).collect();
-    group.bench_function("raw_dag_merge_5", |b| b.iter(|| merge_parsers(&dags).unwrap()));
+    let dags: Vec<(&str, &dejavu_p4ir::ParserDag)> = suite
+        .iter()
+        .map(|nf| (nf.name(), &nf.program().parser))
+        .collect();
+    group.bench_function("raw_dag_merge_5", |b| {
+        b.iter(|| merge_parsers(&dags).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_merge

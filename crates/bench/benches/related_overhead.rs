@@ -33,7 +33,10 @@ fn aggregate(v: &ResourceVector) -> f64 {
 }
 
 fn main() {
-    banner("§6 comparison", "Dejavu merging vs Hyper4/HyperV emulation (5 production NFs)");
+    banner(
+        "§6 comparison",
+        "Dejavu merging vs Hyper4/HyperV emulation (5 production NFs)",
+    );
     let nfs = edge_cloud_suite();
     let nf_refs: Vec<_> = nfs.iter().collect();
 
@@ -55,7 +58,11 @@ fn main() {
             mode: CompositionMode::Sequential,
         };
         let program = compose_pipelet(&merged, &plan).unwrap();
-        let alloc = allocator.compile(&program).unwrap();
+        let alloc = allocator
+            .clone()
+            .with_lint_config(dejavu_core::lint::pipelet_lint_config(&program, &plan))
+            .compile(&program)
+            .unwrap();
         let dejavu_total = alloc.total_used();
         let hyper4 = EmulationModel::hyper4();
         let hyperv = EmulationModel::hyperv();
@@ -80,24 +87,38 @@ fn main() {
         });
     }
 
-    let avg = |f: &dyn Fn(&Record) -> f64| {
-        records.iter().map(f).sum::<f64>() / records.len() as f64
-    };
+    let avg =
+        |f: &dyn Fn(&Record) -> f64| records.iter().map(f).sum::<f64>() / records.len() as f64;
     let dejavu_avg = avg(&|r: &Record| r.dejavu_overhead_ratio);
     let h4_avg = avg(&|r: &Record| r.hyper4_ratio);
     let hv_avg = avg(&|r: &Record| r.hyperv_ratio);
 
     println!();
-    row("Dejavu overhead vs native (avg)", "near-native", &format!("{dejavu_avg:.2}x"));
-    row("HyperV-style emulation (avg)", "3-7x", &format!("{hv_avg:.2}x"));
-    row("Hyper4-style emulation (avg)", "3-7x", &format!("{h4_avg:.2}x"));
+    row(
+        "Dejavu overhead vs native (avg)",
+        "near-native",
+        &format!("{dejavu_avg:.2}x"),
+    );
+    row(
+        "HyperV-style emulation (avg)",
+        "3-7x",
+        &format!("{hv_avg:.2}x"),
+    );
+    row(
+        "Hyper4-style emulation (avg)",
+        "3-7x",
+        &format!("{h4_avg:.2}x"),
+    );
 
     // Shape assertions: Dejavu well below the hypervisors; hypervisors in
     // the published 3-7× band.
     assert!(dejavu_avg < hv_avg && dejavu_avg < h4_avg);
     assert!((3.0..=7.0).contains(&hv_avg), "hyperv avg {hv_avg}");
     assert!((3.0..=7.0).contains(&h4_avg), "hyper4 avg {h4_avg}");
-    assert!(dejavu_avg < 2.5, "dejavu overhead should be near-native, got {dejavu_avg}");
+    assert!(
+        dejavu_avg < 2.5,
+        "dejavu overhead should be near-native, got {dejavu_avg}"
+    );
 
     write_json("related_overhead", &records);
     println!("\n  SHAPE CHECK: hypervisor emulation sits in the 3-7x band; Dejavu's merge stays near-native — §6's comparison reproduced.");

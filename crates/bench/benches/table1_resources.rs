@@ -31,10 +31,15 @@ struct Row {
 }
 
 fn main() {
-    banner("Table 1", "Dejavu framework resource overhead (null-NF prototype)");
+    banner(
+        "Table 1",
+        "Dejavu framework resource overhead (null-NF prototype)",
+    );
     let profile = TofinoProfile::wedge_100b_32x();
-    let nfs: Vec<_> =
-        ["classifier", "firewall", "vgw", "lb", "router"].iter().map(|n| null_nf(n)).collect();
+    let nfs: Vec<_> = ["classifier", "firewall", "vgw", "lb", "router"]
+        .iter()
+        .map(|n| null_nf(n))
+        .collect();
     let nf_refs: Vec<_> = nfs.iter().collect();
     let merged = merge_programs("table1", &nf_refs).unwrap();
     let allocator = StageAllocator::new(profile.clone());
@@ -59,7 +64,11 @@ fn main() {
             mode: CompositionMode::Sequential,
         };
         let program = compose_pipelet(&merged, &plan).unwrap();
-        let alloc = allocator.compile(&program).unwrap();
+        let alloc = allocator
+            .clone()
+            .with_lint_config(dejavu_core::lint::pipelet_lint_config(&program, &plan))
+            .compile(&program)
+            .unwrap();
         for (table, demand) in &alloc.demand_of {
             if table.starts_with("dv_") {
                 per_pipeline_used[pipelet.pipeline] += *demand;
@@ -85,16 +94,28 @@ fn main() {
 
     println!("\n  column        {:^14} {:^14}", "paper", "measured");
     row("Stages", "20.8 %", &format!("{:.1} %", report.stages_pct));
-    row("Table IDs", "4.2 %", &format!("{:.1} %", report.table_ids_pct));
+    row(
+        "Table IDs",
+        "4.2 %",
+        &format!("{:.1} %", report.table_ids_pct),
+    );
     row("Gateways", "2 %", &format!("{:.1} %", report.gateways_pct));
-    row("Crossbars", "0.4 %", &format!("{:.1} %", report.crossbars_pct));
+    row(
+        "Crossbars",
+        "0.4 %",
+        &format!("{:.1} %", report.crossbars_pct),
+    );
     row("VLIWs", "1.5 %", &format!("{:.1} %", report.vliws_pct));
     row("SRAM", "0.2 %", &format!("{:.1} %", report.sram_pct));
     row("TCAM", "0 %", &format!("{:.1} %", report.tcam_pct));
 
     // Shape assertions: stages are the dominant cost (tens of percent),
     // everything else is single-digit or below.
-    assert!(report.stages_pct >= 10.0 && report.stages_pct <= 35.0, "stages {}", report.stages_pct);
+    assert!(
+        report.stages_pct >= 10.0 && report.stages_pct <= 35.0,
+        "stages {}",
+        report.stages_pct
+    );
     assert!(report.table_ids_pct < 10.0);
     assert!(report.sram_pct < 5.0);
     assert!(report.vliws_pct < 10.0);

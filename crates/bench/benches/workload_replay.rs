@@ -34,7 +34,10 @@ struct Report {
 }
 
 fn main() {
-    banner("Workload replay", "Fig. 2 mix through the live §5 prototype");
+    banner(
+        "Workload replay",
+        "Fig. 2 mix through the live §5 prototype",
+    );
     let (mut switch, dep) = fig9_testbed();
 
     // Control plane: learn LB sessions, sticky per 5-tuple hash.
@@ -43,8 +46,7 @@ fn main() {
         "lb",
         Box::new(move |bytes| match five_tuple_of(bytes) {
             Some(t) if t.dst_addr == VIP => {
-                let backend =
-                    BACKEND_POOL[(t.session_hash() as usize) % BACKEND_POOL.len()];
+                let backend = BACKEND_POOL[(t.session_hash() as usize) % BACKEND_POOL.len()];
                 PuntResponse {
                     install: vec![(
                         "lb".into(),
@@ -65,7 +67,11 @@ fn main() {
     let mut gen = FlowGen::new(7, (0, 0), (0, 0));
     let schedule = gen.zipf_schedule(FLOWS, PACKETS, 1.1);
 
-    let mut report = Report { packets: PACKETS, flows: FLOWS, ..Default::default() };
+    let mut report = Report {
+        packets: PACKETS,
+        flows: FLOWS,
+        ..Default::default()
+    };
     let mut latencies = Vec::with_capacity(PACKETS);
     for &flow_idx in &schedule {
         let (_path, flow) = &flows[flow_idx];
@@ -103,9 +109,21 @@ fn main() {
     report.latency_p99_ns = latencies[latencies.len() * 99 / 100];
 
     row("packets replayed", "—", &PACKETS.to_string());
-    row("emitted end-to-end", "all service paths work", &report.emitted.to_string());
-    row("LB sessions learned via punts", "one per flow", &report.sessions_installed.to_string());
-    row("dropped", "0 (no deny rules hit)", &report.dropped.to_string());
+    row(
+        "emitted end-to-end",
+        "all service paths work",
+        &report.emitted.to_string(),
+    );
+    row(
+        "LB sessions learned via punts",
+        "one per flow",
+        &report.sessions_installed.to_string(),
+    );
+    row(
+        "dropped",
+        "0 (no deny rules hit)",
+        &report.dropped.to_string(),
+    );
     println!("  recirculation histogram: {:?}", report.recirc_histogram);
     println!(
         "  latency p50 {:.0} ns, p99 {:.0} ns",
@@ -116,7 +134,10 @@ fn main() {
     // traverses with exactly one recirculation under this placement.
     assert_eq!(report.emitted, PACKETS);
     assert_eq!(report.dropped, 0);
-    assert_eq!(report.recirc_histogram.keys().copied().collect::<Vec<_>>(), vec![1]);
+    assert_eq!(
+        report.recirc_histogram.keys().copied().collect::<Vec<_>>(),
+        vec![1]
+    );
     // Sessions: one per distinct flow (path-1 flows punt once each).
     assert!(report.sessions_installed <= FLOWS as u64);
     assert!(report.punted_then_learned == report.sessions_installed);

@@ -15,6 +15,7 @@
 
 use crate::demand::{gateway_scopes, DemandModel};
 use dejavu_asic::{ResourceVector, StageResources, TofinoProfile};
+use dejavu_p4ir::lint::{self, LintConfig};
 use dejavu_p4ir::{DependencyGraph, Program};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,18 +39,37 @@ pub enum CompileError {
     },
     /// Program failed validation.
     InvalidProgram(String),
+    /// The static verifier found error-level defects (`dejavu-lint`).
+    LintRejected {
+        /// One summary line per error-level diagnostic.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::TableTooLarge { table, demand } => {
-                write!(f, "table {table} exceeds single-stage capacity (needs {demand})")
+                write!(
+                    f,
+                    "table {table} exceeds single-stage capacity (needs {demand})"
+                )
             }
             CompileError::OutOfStages { table, stages } => {
                 write!(f, "no stage left for table {table} within {stages} stages")
             }
             CompileError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            CompileError::LintRejected { diagnostics } => {
+                write!(
+                    f,
+                    "program rejected by dejavu-lint ({} error(s))",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -73,7 +93,10 @@ pub struct Allocation {
 impl Allocation {
     /// Number of stages with any usage.
     pub fn stages_used(&self) -> usize {
-        self.stages.iter().filter(|s| s.used != ResourceVector::ZERO).count()
+        self.stages
+            .iter()
+            .filter(|s| s.used != ResourceVector::ZERO)
+            .count()
     }
 
     /// Highest stage index used, plus one (the program's stage span).
@@ -83,7 +106,9 @@ impl Allocation {
 
     /// Total resources used across stages.
     pub fn total_used(&self) -> ResourceVector {
-        self.stages.iter().fold(ResourceVector::ZERO, |acc, s| acc + s.used)
+        self.stages
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, s| acc + s.used)
     }
 }
 
@@ -92,12 +117,17 @@ impl Allocation {
 pub struct StageAllocator {
     profile: TofinoProfile,
     model: DemandModel,
+    lint_config: LintConfig,
 }
 
 impl StageAllocator {
     /// Allocator for a switch profile with the default demand model.
     pub fn new(profile: TofinoProfile) -> Self {
-        StageAllocator { profile, model: DemandModel::default() }
+        StageAllocator {
+            profile,
+            model: DemandModel::default(),
+            lint_config: LintConfig::new(),
+        }
     }
 
     /// The demand model in use.
@@ -105,9 +135,23 @@ impl StageAllocator {
         &self.model
     }
 
+    /// Replaces the lint configuration programs are vetted under before
+    /// allocation. The framework layers (dejavu-core) use this to encode
+    /// their documented invariants (e.g. the consume-once flag tables).
+    pub fn with_lint_config(mut self, config: LintConfig) -> Self {
+        self.lint_config = config;
+        self
+    }
+
+    /// The lint configuration in use.
+    pub fn lint_config(&self) -> &LintConfig {
+        &self.lint_config
+    }
+
     /// Compiles a program onto one pipelet (fresh stages).
     pub fn compile(&self, program: &Program) -> Result<Allocation, CompileError> {
-        let stages = vec![StageResources::new(self.profile.stage_capacity); self.profile.stages_per_pipelet];
+        let stages =
+            vec![StageResources::new(self.profile.stage_capacity); self.profile.stages_per_pipelet];
         self.compile_onto(program, stages)
     }
 
@@ -121,6 +165,16 @@ impl StageAllocator {
         program
             .validate()
             .map_err(|e| CompileError::InvalidProgram(e.to_string()))?;
+        // The static-verifier gate: error-level findings (invalid header
+        // accesses, read-before-write metadata, dependency cycles, ...)
+        // never reach stage allocation — they would compile onto the ASIC
+        // and misbehave silently at line rate.
+        let lint = lint::check_with_config(program, &self.lint_config);
+        if lint.has_errors() {
+            return Err(CompileError::LintRejected {
+                diagnostics: lint.error_summaries(),
+            });
+        }
         let graph = DependencyGraph::build(program);
         let levels = graph.stage_levels();
         let scopes = gateway_scopes(program);
@@ -133,7 +187,12 @@ impl StageAllocator {
         // Tables sorted by dependency level then apply order keeps the ASAP
         // schedule feasible.
         let mut order: Vec<&String> = graph.order.iter().collect();
-        order.sort_by_key(|t| (levels.get(*t).copied().unwrap_or(0), position(&graph.order, t)));
+        order.sort_by_key(|t| {
+            (
+                levels.get(*t).copied().unwrap_or(0),
+                position(&graph.order, t),
+            )
+        });
 
         let mut last_stage_of: BTreeMap<String, usize> = BTreeMap::new();
         for table_name in order {
@@ -188,7 +247,12 @@ impl StageAllocator {
             stage_of.insert(table_name.clone(), first_stage.expect("at least one chunk"));
             demand_of.insert(table_name.clone(), total);
         }
-        Ok(Allocation { stage_of, last_stage_of, stages, demand_of })
+        Ok(Allocation {
+            stage_of,
+            last_stage_of,
+            stages,
+            demand_of,
+        })
     }
 
     /// Splits a table's demand into per-stage chunks. A table whose full
@@ -303,7 +367,12 @@ mod tests {
     fn independent_program(n: usize) -> Program {
         let mut b = ProgramBuilder::new("indep")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"));
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            );
         let mut control = ControlBuilder::new("ingress");
         for i in 0..n {
             b = b
@@ -324,6 +393,66 @@ mod tests {
             control = control.apply(&format!("t{i}"));
         }
         b.control(control.build()).entry("ingress").build().unwrap()
+    }
+
+    /// A program whose table matches on a header the parser never extracts
+    /// — structurally valid, semantically broken (DJV001).
+    fn unparsed_header_program() -> Program {
+        ProgramBuilder::new("broken")
+            .header(well_known::ethernet())
+            .header(well_known::ipv4())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
+            .action(ActionBuilder::new("nop").build())
+            .table(
+                TableBuilder::new("routes")
+                    .key_exact(fref("ipv4", "dst_addr"))
+                    .action("nop")
+                    .default_action("nop")
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("routes").build())
+            .entry("ingress")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lint_errors_block_allocation() {
+        let program = unparsed_header_program();
+        assert!(
+            program.validate().is_ok(),
+            "fixture must pass structural validation"
+        );
+        let err = StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .compile(&program)
+            .unwrap_err();
+        match err {
+            CompileError::LintRejected { diagnostics } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.contains("DJV001")),
+                    "expected a DJV001 summary, got {diagnostics:?}"
+                );
+            }
+            other => panic!("expected LintRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_config_can_waive_a_finding() {
+        let program = unparsed_header_program();
+        let cfg = LintConfig::new().set_severity(
+            dejavu_p4ir::LintCode::InvalidHeaderAccess,
+            dejavu_p4ir::Severity::Allow,
+        );
+        StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .with_lint_config(cfg)
+            .compile(&program)
+            .expect("waived finding must not block allocation");
     }
 
     #[test]
@@ -350,7 +479,9 @@ mod tests {
     #[test]
     fn out_of_stages_detected() {
         let profile = TofinoProfile::tiny(); // 4 stages
-        let err = StageAllocator::new(profile).compile(&chained_program(5)).unwrap_err();
+        let err = StageAllocator::new(profile)
+            .compile(&chained_program(5))
+            .unwrap_err();
         assert!(matches!(err, CompileError::OutOfStages { .. }));
     }
 
@@ -369,8 +500,13 @@ mod tests {
         // 100M entries split into more chunks than the pipelet has stages.
         let mut p = independent_program(1);
         p.tables.get_mut("t0").unwrap().size = 100_000_000;
-        let err = StageAllocator::new(TofinoProfile::wedge_100b_32x()).compile(&p).unwrap_err();
-        assert!(matches!(err, CompileError::OutOfStages { .. }), "got {err:?}");
+        let err = StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .compile(&p)
+            .unwrap_err();
+        assert!(
+            matches!(err, CompileError::OutOfStages { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -384,7 +520,9 @@ mod tests {
             t.keys[0].kind = dejavu_p4ir::MatchKind::Lpm;
             t.size = 512 * 30; // 30 depth blocks > 24 per stage
         }
-        let alloc = StageAllocator::new(TofinoProfile::wedge_100b_32x()).compile(&p).unwrap();
+        let alloc = StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .compile(&p)
+            .unwrap();
         let first = alloc.stage_of["t0"];
         let last = alloc.last_stage_of["t0"];
         assert!(last >= first, "chunks go forward");
@@ -408,7 +546,9 @@ mod tests {
     #[test]
     fn total_used_matches_demands() {
         let p = independent_program(3);
-        let alloc = StageAllocator::new(TofinoProfile::wedge_100b_32x()).compile(&p).unwrap();
+        let alloc = StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .compile(&p)
+            .unwrap();
         let sum = alloc
             .demand_of
             .values()

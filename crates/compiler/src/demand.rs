@@ -67,26 +67,26 @@ impl DemandModel {
         table: &TableDef,
         gateway_scopes: u32,
     ) -> ResourceVector {
-        let key_bits = table
-            .key_bits(&|fr| program.field_width(fr))
-            .unwrap_or(0);
+        let key_bits = table.key_bits(&|fr| program.field_width(fr)).unwrap_or(0);
         let key_bytes = key_bits.div_ceil(8);
 
         // 64-bit arithmetic: declared sizes can be large enough to overflow
         // u32 when multiplied by entry widths.
-        let sram_block_bits = u64::from(self.sram_entries_per_block) * u64::from(self.sram_bits_per_entry);
+        let sram_block_bits =
+            u64::from(self.sram_entries_per_block) * u64::from(self.sram_bits_per_entry);
         let (sram, tcam) = if table.needs_tcam() {
             // Match storage in TCAM; action data still lives in SRAM.
             let width_blocks = u64::from(key_bits.div_ceil(self.tcam_bits_per_block).max(1));
-            let depth_blocks =
-                u64::from(table.size.div_ceil(self.tcam_entries_per_block).max(1));
+            let depth_blocks = u64::from(table.size.div_ceil(self.tcam_entries_per_block).max(1));
             let sram = (u64::from(table.size) * u64::from(self.action_data_bits))
                 .div_ceil(sram_block_bits)
                 .max(1);
             (sram, width_blocks * depth_blocks)
         } else {
             let entry_bits = u64::from(key_bits + self.action_data_bits);
-            let sram = (u64::from(table.size) * entry_bits).div_ceil(sram_block_bits).max(1);
+            let sram = (u64::from(table.size) * entry_bits)
+                .div_ceil(sram_block_bits)
+                .max(1);
             (sram, 0)
         };
         let clamp = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
@@ -99,7 +99,11 @@ impl DemandModel {
         for a in &table.actions {
             if let Some(act) = program.actions.get(a) {
                 vliw += act.vliw_slots();
-                if act.ops.iter().any(|op| matches!(op, PrimitiveOp::Hash { .. })) {
+                if act
+                    .ops
+                    .iter()
+                    .any(|op| matches!(op, PrimitiveOp::Hash { .. }))
+                {
                     hash_bits += self.hash_bits_extern;
                 }
                 // Register arrays live in SRAM next to the stage that
@@ -120,7 +124,8 @@ impl DemandModel {
                 }
             }
         }
-        let sram = sram + u32::try_from(register_sram.div_ceil(sram_block_bits)).unwrap_or(u32::MAX);
+        let sram =
+            sram + u32::try_from(register_sram.div_ceil(sram_block_bits)).unwrap_or(u32::MAX);
         if !table.needs_tcam() {
             hash_bits += self.hash_bits_exact;
         }
@@ -157,7 +162,11 @@ pub fn gateway_scopes(program: &Program) -> BTreeMap<String, u32> {
                     let e = out.entry(t.clone()).or_insert(depth_cond);
                     *e = (*e).max(depth_cond);
                 }
-                Stmt::ApplySelect { table, arms, default } => {
+                Stmt::ApplySelect {
+                    table,
+                    arms,
+                    default,
+                } => {
                     let e = out.entry(table.clone()).or_insert(depth_cond);
                     *e = (*e).max(depth_cond);
                     for (_, b) in arms {
@@ -165,7 +174,11 @@ pub fn gateway_scopes(program: &Program) -> BTreeMap<String, u32> {
                     }
                     walk(program, default, depth_cond + 1, out, depth);
                 }
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(program, then_branch, depth_cond + 1, out, depth);
                     walk(program, else_branch, depth_cond + 1, out, depth);
                 }

@@ -89,7 +89,11 @@ mod tests {
         };
         let r = ResourceReport::from_usage(5, used, &profile);
         assert!((r.stages_pct - 20.8).abs() < 0.1, "stages {}", r.stages_pct);
-        assert!((r.table_ids_pct - 4.2).abs() < 0.1, "ids {}", r.table_ids_pct);
+        assert!(
+            (r.table_ids_pct - 4.2).abs() < 0.1,
+            "ids {}",
+            r.table_ids_pct
+        );
         assert!((r.gateways_pct - 2.1).abs() < 0.1, "gw {}", r.gateways_pct);
         assert_eq!(r.tcam_pct, 0.0);
     }

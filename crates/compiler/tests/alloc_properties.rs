@@ -125,3 +125,45 @@ proptest! {
         }
     }
 }
+
+/// Like `random_program`, but one table keys on a header that is declared
+/// and never parsed — the canonical DJV001 defect. The lint gate must turn
+/// every such program into a clean `LintRejected` error, never a panic and
+/// never a successful allocation.
+fn program_with_unparsed_key(chained: Vec<bool>, sizes: Vec<u16>, bad_slot: usize) -> Program {
+    let mut program = random_program(chained, sizes);
+    let bad_slot = bad_slot % program.tables.len().max(1);
+    let name = format!("t{bad_slot}");
+    if let Some(table) = program.tables.get_mut(&name) {
+        table.keys = vec![dejavu_p4ir::table::TableKey {
+            field: fref("tcp", "dst_port"),
+            kind: dejavu_p4ir::table::MatchKind::Exact,
+        }];
+    }
+    program
+        .header_types
+        .insert("tcp".into(), dejavu_p4ir::well_known::tcp());
+    program
+}
+
+proptest! {
+    #[test]
+    fn lint_gate_rejects_unparsed_header_keys(
+        chained in proptest::collection::vec(any::<bool>(), 1..6),
+        seed in any::<u16>(),
+        bad_slot in any::<usize>(),
+    ) {
+        let sizes = vec![seed % 512 + 1; chained.len()];
+        let program = program_with_unparsed_key(chained, sizes, bad_slot);
+        let allocator = StageAllocator::new(TofinoProfile::wedge_100b_32x());
+        match allocator.compile(&program) {
+            Err(dejavu_compiler::CompileError::LintRejected { diagnostics }) => {
+                prop_assert!(
+                    diagnostics.iter().any(|d| d.contains("DJV001")),
+                    "expected a DJV001 diagnostic, got {diagnostics:?}"
+                );
+            }
+            other => prop_assert!(false, "expected LintRejected, got {other:?}"),
+        }
+    }
+}

@@ -50,7 +50,13 @@ impl ChainPolicy {
 
 impl fmt::Display for ChainPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "path {} ({}): {}", self.path_id, self.name, self.nfs.join(" → "))
+        write!(
+            f,
+            "path {} ({}): {}",
+            self.path_id,
+            self.name,
+            self.nfs.join(" → ")
+        )
     }
 }
 
@@ -127,7 +133,10 @@ mod tests {
     fn edge_cloud_example_shape() {
         let cs = ChainSet::edge_cloud_example();
         assert_eq!(cs.chains.len(), 3);
-        assert_eq!(cs.all_nfs(), vec!["classifier", "firewall", "vgw", "lb", "router"]);
+        assert_eq!(
+            cs.all_nfs(),
+            vec!["classifier", "firewall", "vgw", "lb", "router"]
+        );
         assert_eq!(cs.chain(1).unwrap().len(), 5);
         assert_eq!(cs.chain(3).unwrap().nfs, vec!["classifier", "router"]);
         assert!((cs.total_weight() - 1.0).abs() < 1e-12);

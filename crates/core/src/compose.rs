@@ -67,12 +67,18 @@ pub struct PlannedNf {
 impl PlannedNf {
     /// An index-gated NF.
     pub fn indexed(name: impl Into<String>) -> Self {
-        PlannedNf { name: name.into(), gate: NfGate::Indexed }
+        PlannedNf {
+            name: name.into(),
+            gate: NfGate::Indexed,
+        }
     }
 
     /// A chain-entry NF (classifier).
     pub fn entry(name: impl Into<String>) -> Self {
-        PlannedNf { name: name.into(), gate: NfGate::NoSfcHeader }
+        PlannedNf {
+            name: name.into(),
+            gate: NfGate::NoSfcHeader,
+        }
     }
 }
 
@@ -143,11 +149,17 @@ pub fn compose_pipelet(merged: &MergedProgram, plan: &PipeletPlan) -> Result<Pro
 
     // Per-slot framework tables.
     for k in 0..plan.nfs.len() {
-        program.tables.insert(names::check_next_nf(k), check_next_nf_table(k));
-        program.tables.insert(names::check_sfc_flags(k), check_sfc_flags_table(k));
+        program
+            .tables
+            .insert(names::check_next_nf(k), check_next_nf_table(k));
+        program
+            .tables
+            .insert(names::check_sfc_flags(k), check_sfc_flags_table(k));
     }
     if plan.pipelet.gress == Gress::Ingress {
-        program.tables.insert(names::BRANCHING.into(), branching_table());
+        program
+            .tables
+            .insert(names::BRANCHING.into(), branching_table());
     } else {
         program.tables.insert(names::DECAP.into(), decap_table());
     }
@@ -178,7 +190,10 @@ pub fn compose_pipelet(merged: &MergedProgram, plan: &PipeletPlan) -> Result<Pro
     }
 
     let entry_name = "dv_pipelet_main".to_string();
-    program.controls.insert(entry_name.clone(), ControlBlock::new(entry_name.clone(), body));
+    program.controls.insert(
+        entry_name.clone(),
+        ControlBlock::new(entry_name.clone(), body),
+    );
     program.entry = entry_name;
     program.validate()?;
     Ok(program)
@@ -248,7 +263,10 @@ fn nf_entry(merged: &MergedProgram, nf: &str) -> Result<String, IrError> {
         .nf_entries
         .get(nf)
         .cloned()
-        .ok_or(IrError::Undefined { kind: "NF", name: nf.to_string() })
+        .ok_or(IrError::Undefined {
+            kind: "NF",
+            name: nf.to_string(),
+        })
 }
 
 fn add_framework_actions(program: &mut Program) {
@@ -273,17 +291,37 @@ fn add_framework_actions(program: &mut Program) {
     // translation *consumes* the in-band flag (clears it) so a request is
     // honored exactly once — otherwise every later pipelet would re-apply
     // it (e.g. mirroring the packet once per pipe).
-    let flag_action = |name: &str, meta_flag: &str, sfc_flag: &str| ActionDef::simple(
-        name,
-        vec![
-            PrimitiveOp::Set { dst: FieldRef::meta(meta_flag), value: Expr::val(1, 1) },
-            PrimitiveOp::Set { dst: sfc_field(sfc_flag), value: Expr::val(0, 1) },
-        ],
-    );
+    let flag_action = |name: &str, meta_flag: &str, sfc_flag: &str| {
+        ActionDef::simple(
+            name,
+            vec![
+                PrimitiveOp::Set {
+                    dst: FieldRef::meta(meta_flag),
+                    value: Expr::val(1, 1),
+                },
+                PrimitiveOp::Set {
+                    dst: sfc_field(sfc_flag),
+                    value: Expr::val(0, 1),
+                },
+            ],
+        )
+    };
     add(flag_action(names::FLAG_DROP, "drop_flag", "drop_flag"));
-    add(flag_action(names::FLAG_TO_CPU, "to_cpu_flag", "to_cpu_flag"));
-    add(flag_action(names::FLAG_RESUBMIT, "resubmit_flag", "resub_flag"));
-    add(flag_action(names::FLAG_MIRROR, "mirror_flag", "mirror_flag"));
+    add(flag_action(
+        names::FLAG_TO_CPU,
+        "to_cpu_flag",
+        "to_cpu_flag",
+    ));
+    add(flag_action(
+        names::FLAG_RESUBMIT,
+        "resubmit_flag",
+        "resub_flag",
+    ));
+    add(flag_action(
+        names::FLAG_MIRROR,
+        "mirror_flag",
+        "mirror_flag",
+    ));
     add(ActionDef::simple(names::FLAG_NONE, vec![PrimitiveOp::NoOp]));
     // Branching actions.
     add(ActionDef {
@@ -310,7 +348,10 @@ fn add_framework_actions(program: &mut Program) {
     ));
     add(ActionDef::simple(
         names::TO_CPU,
-        vec![PrimitiveOp::Set { dst: FieldRef::meta("to_cpu_flag"), value: Expr::val(1, 1) }],
+        vec![PrimitiveOp::Set {
+            dst: FieldRef::meta("to_cpu_flag"),
+            value: Expr::val(1, 1),
+        }],
     ));
     // Decap.
     add(ActionDef {
@@ -321,7 +362,9 @@ fn add_framework_actions(program: &mut Program) {
                 dst: dejavu_p4ir::fref("ethernet", "ether_type"),
                 value: Expr::Param("ethertype".into()),
             },
-            PrimitiveOp::RemoveHeader { header: crate::sfc::SFC_HEADER.into() },
+            PrimitiveOp::RemoveHeader {
+                header: crate::sfc::SFC_HEADER.into(),
+            },
         ],
     });
     add(ActionDef::simple(names::NO_DECAP, vec![PrimitiveOp::NoOp]));
@@ -331,8 +374,14 @@ fn check_next_nf_table(k: usize) -> TableDef {
     TableDef {
         name: names::check_next_nf(k),
         keys: vec![
-            TableKey { field: sfc_field("path_id"), kind: MatchKind::Exact },
-            TableKey { field: sfc_field("service_index"), kind: MatchKind::Exact },
+            TableKey {
+                field: sfc_field("path_id"),
+                kind: MatchKind::Exact,
+            },
+            TableKey {
+                field: sfc_field("service_index"),
+                kind: MatchKind::Exact,
+            },
         ],
         actions: vec![names::PROCEED.into(), names::SKIP.into()],
         default_action: names::SKIP.into(),
@@ -345,10 +394,22 @@ fn check_sfc_flags_table(k: usize) -> TableDef {
     TableDef {
         name: names::check_sfc_flags(k),
         keys: vec![
-            TableKey { field: sfc_field("drop_flag"), kind: MatchKind::Ternary },
-            TableKey { field: sfc_field("to_cpu_flag"), kind: MatchKind::Ternary },
-            TableKey { field: sfc_field("resub_flag"), kind: MatchKind::Ternary },
-            TableKey { field: sfc_field("mirror_flag"), kind: MatchKind::Ternary },
+            TableKey {
+                field: sfc_field("drop_flag"),
+                kind: MatchKind::Ternary,
+            },
+            TableKey {
+                field: sfc_field("to_cpu_flag"),
+                kind: MatchKind::Ternary,
+            },
+            TableKey {
+                field: sfc_field("resub_flag"),
+                kind: MatchKind::Ternary,
+            },
+            TableKey {
+                field: sfc_field("mirror_flag"),
+                kind: MatchKind::Ternary,
+            },
         ],
         actions: vec![
             names::FLAG_DROP.into(),
@@ -367,8 +428,14 @@ fn branching_table() -> TableDef {
     TableDef {
         name: names::BRANCHING.into(),
         keys: vec![
-            TableKey { field: sfc_field("path_id"), kind: MatchKind::Exact },
-            TableKey { field: sfc_field("service_index"), kind: MatchKind::Exact },
+            TableKey {
+                field: sfc_field("path_id"),
+                kind: MatchKind::Exact,
+            },
+            TableKey {
+                field: sfc_field("service_index"),
+                kind: MatchKind::Exact,
+            },
         ],
         actions: vec![
             names::FWD.into(),
@@ -386,8 +453,14 @@ fn decap_table() -> TableDef {
     TableDef {
         name: names::DECAP.into(),
         keys: vec![
-            TableKey { field: FieldRef::meta("egress_spec"), kind: MatchKind::Exact },
-            TableKey { field: sfc_field("next_protocol"), kind: MatchKind::Exact },
+            TableKey {
+                field: FieldRef::meta("egress_spec"),
+                kind: MatchKind::Exact,
+            },
+            TableKey {
+                field: sfc_field("next_protocol"),
+                kind: MatchKind::Exact,
+            },
         ],
         actions: vec![names::DO_DECAP.into(), names::NO_DECAP.into()],
         default_action: names::NO_DECAP.into(),
@@ -403,8 +476,8 @@ mod tests {
     use crate::nfmodule::NfModule;
     use crate::sfc::sfc_header_type;
     use dejavu_p4ir::builder::*;
-    use dejavu_p4ir::well_known;
     use dejavu_p4ir::fref;
+    use dejavu_p4ir::well_known;
 
     /// A minimal indexed NF: bumps ipv4.ttl-like marker via a table.
     fn mini_nf(name: &str) -> NfModule {

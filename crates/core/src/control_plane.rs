@@ -39,7 +39,9 @@ pub struct PuntResponse {
 /// Clears the SFC header's platform flags in wire bytes (no-op when the
 /// packet carries no SFC header).
 pub fn clear_sfc_flags(bytes: &mut [u8]) {
-    let Some(mut h) = read_wire_sfc(bytes) else { return };
+    let Some(mut h) = read_wire_sfc(bytes) else {
+        return;
+    };
     h.resub_flag = false;
     h.recirc_flag = false;
     h.drop_flag = false;

@@ -114,10 +114,12 @@ impl Deployment {
         table: &str,
         mut entry: dejavu_p4ir::table::TableEntry,
     ) -> Result<(), dejavu_p4ir::IrError> {
-        let pipelet = self.nf_location(nf).ok_or(dejavu_p4ir::IrError::Undefined {
-            kind: "NF placement",
-            name: nf.to_string(),
-        })?;
+        let pipelet = self
+            .nf_location(nf)
+            .ok_or(dejavu_p4ir::IrError::Undefined {
+                kind: "NF placement",
+                name: nf.to_string(),
+            })?;
         entry.action = crate::merge::scoped(nf, &entry.action);
         switch.install_entry(pipelet, &crate::merge::scoped(nf, table), entry)
     }
@@ -143,7 +145,10 @@ impl fmt::Display for UpgradeError {
         match self {
             UpgradeError::UnknownNf(nf) => write!(f, "NF {nf} is not deployed"),
             UpgradeError::ParserChanged => {
-                write!(f, "upgrade changes the generic parser; full redeploy required")
+                write!(
+                    f,
+                    "upgrade changes the generic parser; full redeploy required"
+                )
             }
             UpgradeError::Deploy(e) => write!(f, "upgrade failed: {e}"),
         }
@@ -198,7 +203,12 @@ impl Deployment {
         }
 
         // Recompose and recompile just this pipelet.
-        let nf_names = self.placement.pipelets.get(&pipelet).cloned().unwrap_or_default();
+        let nf_names = self
+            .placement
+            .pipelets
+            .get(&pipelet)
+            .cloned()
+            .unwrap_or_default();
         let planned: Vec<PlannedNf> = nf_names
             .iter()
             .map(|n| {
@@ -222,6 +232,7 @@ impl Deployment {
         let program = compose_pipelet(&merged, &plan)
             .map_err(|e| UpgradeError::Deploy(DeployError::Compose(e)))?;
         let allocation = StageAllocator::new(self.profile.clone())
+            .with_lint_config(crate::lint::pipelet_lint_config(&program, &plan))
             .compile(&program)
             .map_err(|error| UpgradeError::Deploy(DeployError::Compile { pipelet, error }))?;
         switch
@@ -275,7 +286,9 @@ impl Deployment {
             .collect();
         if !affected.is_empty() {
             let replacement = replacement_exit.ok_or(DeployError::Routing(
-                crate::routing::RoutingError::MissingExitPort { path_id: affected[0] },
+                crate::routing::RoutingError::MissingExitPort {
+                    path_id: affected[0],
+                },
             ))?;
             for path in affected {
                 config.exit_ports.insert(path, replacement);
@@ -336,7 +349,11 @@ pub fn deploy(
     for pipeline in 0..profile.pipelines {
         for gress in [Gress::Ingress, Gress::Egress] {
             let pipelet = PipeletId { pipeline, gress };
-            let nf_names = placement.pipelets.get(&pipelet).cloned().unwrap_or_default();
+            let nf_names = placement
+                .pipelets
+                .get(&pipelet)
+                .cloned()
+                .unwrap_or_default();
             let planned: Vec<PlannedNf> = nf_names
                 .iter()
                 .map(|n| {
@@ -360,16 +377,22 @@ pub fn deploy(
             };
             let program = compose_pipelet(&merged, &plan).map_err(DeployError::Compose)?;
             let allocation = allocator
+                .clone()
+                .with_lint_config(crate::lint::pipelet_lint_config(&program, &plan))
                 .compile(&program)
                 .map_err(|error| DeployError::Compile { pipelet, error })?;
-            switch.load_program(pipelet, program).map_err(DeployError::Switch)?;
+            switch
+                .load_program(pipelet, program)
+                .map_err(DeployError::Switch)?;
             allocations.insert(pipelet, allocation);
         }
     }
 
     // Loopback ports.
     for (&_pipeline, &port) in &config.loopback_port {
-        switch.set_loopback(port, true).map_err(DeployError::Switch)?;
+        switch
+            .set_loopback(port, true)
+            .map_err(DeployError::Switch)?;
     }
 
     // Routing entries.
@@ -404,8 +427,8 @@ mod tests {
     use crate::chain::ChainPolicy;
     use crate::sfc::sfc_header_type;
     use dejavu_p4ir::builder::*;
-    use dejavu_p4ir::well_known;
     use dejavu_p4ir::fref;
+    use dejavu_p4ir::well_known;
 
     /// Marker NF: on any IPv4 packet, XORs a bit pattern into src_addr so
     /// traversal order is observable.
@@ -491,8 +514,7 @@ mod tests {
         let a = marker_nf("alpha", 0);
         let chains =
             ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["alpha", "ghost"], 1.0)]).unwrap();
-        let placement =
-            Placement::sequential(vec![(PipeletId::ingress(0), vec!["alpha"])]);
+        let placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["alpha"])]);
         let config = RoutingConfig {
             loopback_port: BTreeMap::new(),
             exit_ports: [(1u16, 2u16)].into_iter().collect(),

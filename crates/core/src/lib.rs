@@ -43,6 +43,7 @@ pub mod chain;
 pub mod compose;
 pub mod control_plane;
 pub mod deploy;
+pub mod lint;
 pub mod merge;
 pub mod multiswitch;
 pub mod nfmodule;

@@ -90,10 +90,18 @@ impl fmt::Display for MergeError {
                 vertex.0, vertex.1, fields.0, fields.1
             ),
             MergeError::CaseConflict { vertex, case } => {
-                write!(f, "vertex ({}, {}) maps case {case} to different targets", vertex.0, vertex.1)
+                write!(
+                    f,
+                    "vertex ({}, {}) maps case {case} to different targets",
+                    vertex.0, vertex.1
+                )
             }
             MergeError::DefaultConflict { vertex } => {
-                write!(f, "vertex ({}, {}) has contradictory defaults", vertex.0, vertex.1)
+                write!(
+                    f,
+                    "vertex ({}, {}) has contradictory defaults",
+                    vertex.0, vertex.1
+                )
             }
             MergeError::StartConflict => write!(f, "parsers start at different vertices"),
             MergeError::MixedTransitionConflict { vertex } => write!(
@@ -165,7 +173,9 @@ fn merge_default(a: KTarget, b: KTarget, vertex: &VertexKey) -> Result<KTarget, 
             if x == y {
                 Key(x)
             } else {
-                return Err(MergeError::DefaultConflict { vertex: vertex.clone() });
+                return Err(MergeError::DefaultConflict {
+                    vertex: vertex.clone(),
+                });
             }
         }
         (Key(x), _) | (_, Key(x)) => Key(x),
@@ -178,7 +188,11 @@ fn merge_default(a: KTarget, b: KTarget, vertex: &VertexKey) -> Result<KTarget, 
 #[derive(Debug, Clone, PartialEq)]
 enum KTransition {
     Unconditional(KTarget),
-    Select { field: String, cases: BTreeMap<Value, KTarget>, default: KTarget },
+    Select {
+        field: String,
+        cases: BTreeMap<Value, KTarget>,
+        default: KTarget,
+    },
 }
 
 fn to_key_target(t: Target, dag: &ParserDag) -> KTarget {
@@ -218,7 +232,11 @@ pub fn merge_parsers(
             let key = (node.header_type.clone(), node.offset);
             let kt = match &node.transition {
                 Transition::Unconditional(t) => KTransition::Unconditional(to_key_target(*t, dag)),
-                Transition::Select { field, cases, default } => KTransition::Select {
+                Transition::Select {
+                    field,
+                    cases,
+                    default,
+                } => KTransition::Select {
                     field: field.clone(),
                     cases: cases
                         .iter()
@@ -249,7 +267,9 @@ pub fn merge_parsers(
             KTarget::Accept => Target::Accept,
             KTarget::Reject => Target::Reject,
             KTarget::Key(k) => Target::Node(
-                keys.iter().position(|x| x == k).expect("merged target key exists"),
+                keys.iter()
+                    .position(|x| x == k)
+                    .expect("merged target key exists"),
             ),
         }
     };
@@ -258,13 +278,21 @@ pub fn merge_parsers(
         let (header_type, transition) = &vertices[k];
         let transition = match transition.as_ref().expect("every vertex got a transition") {
             KTransition::Unconditional(t) => Transition::Unconditional(index_of(t)),
-            KTransition::Select { field, cases, default } => Transition::Select {
+            KTransition::Select {
+                field,
+                cases,
+                default,
+            } => Transition::Select {
                 field: field.clone(),
                 cases: cases.iter().map(|(v, t)| (*v, index_of(t))).collect(),
                 default: index_of(default),
             },
         };
-        dag.add_node(ParseNode { header_type: header_type.clone(), offset: k.1, transition });
+        dag.add_node(ParseNode {
+            header_type: header_type.clone(),
+            offset: k.1,
+            transition,
+        });
     }
     dag.start = start.as_ref().map(index_of);
     Ok((dag, ids))
@@ -277,23 +305,49 @@ fn merge_transitions(
 ) -> Result<KTransition, MergeError> {
     use KTransition::*;
     Ok(match (a, b) {
-        (Unconditional(x), Unconditional(y)) => {
-            Unconditional(merge_default(x, y, vertex)?)
-        }
-        (Select { field, cases, default }, Unconditional(u))
-        | (Unconditional(u), Select { field, cases, default }) => {
+        (Unconditional(x), Unconditional(y)) => Unconditional(merge_default(x, y, vertex)?),
+        (
+            Select {
+                field,
+                cases,
+                default,
+            },
+            Unconditional(u),
+        )
+        | (
+            Unconditional(u),
+            Select {
+                field,
+                cases,
+                default,
+            },
+        ) => {
             // An unconditional continuation to another header cannot be
             // reconciled with a select — packets matching a case would skip
             // it. Unconditional Accept/Reject folds into the default.
             if matches!(u, KTarget::Key(_)) {
-                return Err(MergeError::MixedTransitionConflict { vertex: vertex.clone() });
+                return Err(MergeError::MixedTransitionConflict {
+                    vertex: vertex.clone(),
+                });
             }
             let default = merge_default(default, u, vertex)?;
-            Select { field, cases, default }
+            Select {
+                field,
+                cases,
+                default,
+            }
         }
         (
-            Select { field: fa, cases: ca, default: da },
-            Select { field: fb, cases: cb, default: db },
+            Select {
+                field: fa,
+                cases: ca,
+                default: da,
+            },
+            Select {
+                field: fb,
+                cases: cb,
+                default: db,
+            },
         ) => {
             if fa != fb {
                 return Err(MergeError::SelectFieldConflict {
@@ -309,11 +363,18 @@ fn merge_transitions(
                     }
                     Some(existing) if *existing == t => {}
                     Some(_) => {
-                        return Err(MergeError::CaseConflict { vertex: vertex.clone(), case: v })
+                        return Err(MergeError::CaseConflict {
+                            vertex: vertex.clone(),
+                            case: v,
+                        })
                     }
                 }
             }
-            Select { field: fa, cases, default: merge_default(da, db, vertex)? }
+            Select {
+                field: fa,
+                cases,
+                default: merge_default(da, db, vertex)?,
+            }
         }
     })
 }
@@ -367,7 +428,11 @@ pub fn encapsulate_for_sfc(dag: &ParserDag) -> Result<ParserDag, MergeError> {
         }
         let new_t = match &node.transition {
             Transition::Unconditional(t) => Transition::Unconditional(patch(*t)),
-            Transition::Select { field, cases, default } => Transition::Select {
+            Transition::Select {
+                field,
+                cases,
+                default,
+            } => Transition::Select {
                 field: field.clone(),
                 cases: cases.iter().map(|(v, t)| (*v, patch(*t))).collect(),
                 default: patch(*default),
@@ -413,7 +478,10 @@ pub fn encapsulate_for_sfc(dag: &ParserDag) -> Result<ParserDag, MergeError> {
         offset: 0,
         transition: Transition::Select {
             field: "ether_type".into(),
-            cases: vec![(Value::new(u128::from(SFC_ETHERTYPE), 16), Target::Node(sfc_idx))],
+            cases: vec![(
+                Value::new(u128::from(SFC_ETHERTYPE), 16),
+                Target::Node(sfc_idx),
+            )],
             default: Target::Accept,
         },
     });
@@ -473,7 +541,9 @@ pub fn merge_programs(name: &str, nfs: &[&NfModule]) -> Result<MergedProgram, Me
                 Ok(())
             }
             Some(existing) if existing == ht => Ok(()),
-            Some(_) => Err(MergeError::HeaderLayoutConflict { header: ht.name.clone() }),
+            Some(_) => Err(MergeError::HeaderLayoutConflict {
+                header: ht.name.clone(),
+            }),
         }
     };
     add_header(&sfc_header_type())?;
@@ -500,9 +570,10 @@ pub fn merge_programs(name: &str, nfs: &[&NfModule]) -> Result<MergedProgram, Me
             }
         };
         for f in &p.meta_fields {
-            program
-                .meta_fields
-                .push(FieldDef { name: scoped(nf.name(), &f.name), bits: f.bits });
+            program.meta_fields.push(FieldDef {
+                name: scoped(nf.name(), &f.name),
+                bits: f.bits,
+            });
         }
         for act in p.actions.values() {
             program.actions.insert(
@@ -532,12 +603,18 @@ pub fn merge_programs(name: &str, nfs: &[&NfModule]) -> Result<MergedProgram, Me
                 .map(|s| rename_stmt(s, nf.name(), &rename_meta))
                 .collect();
             let new_name = scoped(nf.name(), &cb.name);
-            program.controls.insert(new_name.clone(), ControlBlock::new(new_name, body));
+            program
+                .controls
+                .insert(new_name.clone(), ControlBlock::new(new_name, body));
         }
         nf_entries.insert(nf.name().to_string(), scoped(nf.name(), &p.entry));
     }
 
-    Ok(MergedProgram { program, nf_entries, global_ids })
+    Ok(MergedProgram {
+        program,
+        nf_entries,
+        global_ids,
+    })
 }
 
 fn rename_action(
@@ -561,20 +638,24 @@ fn rename_action(
                     algo: *algo,
                     inputs: inputs.iter().map(|e| rename_expr(e, rename_meta)).collect(),
                 },
-                PrimitiveOp::RegisterRead { dst, register, index } => {
-                    PrimitiveOp::RegisterRead {
-                        dst: rename_meta(dst),
-                        register: scoped(nf, register),
-                        index: rename_expr(index, rename_meta),
-                    }
-                }
-                PrimitiveOp::RegisterWrite { register, index, value } => {
-                    PrimitiveOp::RegisterWrite {
-                        register: scoped(nf, register),
-                        index: rename_expr(index, rename_meta),
-                        value: rename_expr(value, rename_meta),
-                    }
-                }
+                PrimitiveOp::RegisterRead {
+                    dst,
+                    register,
+                    index,
+                } => PrimitiveOp::RegisterRead {
+                    dst: rename_meta(dst),
+                    register: scoped(nf, register),
+                    index: rename_expr(index, rename_meta),
+                },
+                PrimitiveOp::RegisterWrite {
+                    register,
+                    index,
+                    value,
+                } => PrimitiveOp::RegisterWrite {
+                    register: scoped(nf, register),
+                    index: rename_expr(index, rename_meta),
+                    value: rename_expr(value, rename_meta),
+                },
                 other => other.clone(),
             })
             .collect(),
@@ -612,9 +693,11 @@ fn rename_expr(e: &Expr, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> Expr {
 
 fn rename_bool(b: &BoolExpr, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> BoolExpr {
     match b {
-        BoolExpr::Cmp(a, op, c) => {
-            BoolExpr::Cmp(rename_expr(a, rename_meta), *op, rename_expr(c, rename_meta))
-        }
+        BoolExpr::Cmp(a, op, c) => BoolExpr::Cmp(
+            rename_expr(a, rename_meta),
+            *op,
+            rename_expr(c, rename_meta),
+        ),
         BoolExpr::And(x, y) => BoolExpr::And(
             Box::new(rename_bool(x, rename_meta)),
             Box::new(rename_bool(y, rename_meta)),
@@ -631,7 +714,11 @@ fn rename_bool(b: &BoolExpr, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> Boo
 fn rename_stmt(s: &Stmt, nf: &str, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) -> Stmt {
     match s {
         Stmt::Apply(t) => Stmt::Apply(scoped(nf, t)),
-        Stmt::ApplySelect { table, arms, default } => Stmt::ApplySelect {
+        Stmt::ApplySelect {
+            table,
+            arms,
+            default,
+        } => Stmt::ApplySelect {
             table: scoped(nf, table),
             arms: arms
                 .iter()
@@ -642,12 +729,25 @@ fn rename_stmt(s: &Stmt, nf: &str, rename_meta: &dyn Fn(&FieldRef) -> FieldRef) 
                     )
                 })
                 .collect(),
-            default: default.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
+            default: default
+                .iter()
+                .map(|s| rename_stmt(s, nf, rename_meta))
+                .collect(),
         },
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
             cond: rename_bool(cond, rename_meta),
-            then_branch: then_branch.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
-            else_branch: else_branch.iter().map(|s| rename_stmt(s, nf, rename_meta)).collect(),
+            then_branch: then_branch
+                .iter()
+                .map(|s| rename_stmt(s, nf, rename_meta))
+                .collect(),
+            else_branch: else_branch
+                .iter()
+                .map(|s| rename_stmt(s, nf, rename_meta))
+                .collect(),
         },
         Stmt::Do(a) => Stmt::Do(scoped(nf, a)),
         Stmt::Call(c) => Stmt::Call(scoped(nf, c)),
@@ -662,11 +762,15 @@ mod tests {
     use std::collections::HashMap;
 
     fn headers_map(program_less: bool) -> HashMap<String, HeaderType> {
-        let mut m: HashMap<String, HeaderType> =
-            [well_known::ethernet(), well_known::ipv4(), well_known::tcp(), well_known::udp()]
-                .into_iter()
-                .map(|h| (h.name.clone(), h))
-                .collect();
+        let mut m: HashMap<String, HeaderType> = [
+            well_known::ethernet(),
+            well_known::ipv4(),
+            well_known::tcp(),
+            well_known::udp(),
+        ]
+        .into_iter()
+        .map(|h| (h.name.clone(), h))
+        .collect();
         if !program_less {
             m.insert(SFC_HEADER.into(), sfc_header_type());
         }
@@ -682,6 +786,7 @@ mod tests {
             .accept("ip")
             .start("eth")
             .build()
+            .unwrap()
     }
 
     /// eth → ipv4 → tcp parser.
@@ -695,6 +800,7 @@ mod tests {
             .accept("tcp")
             .start("eth")
             .build()
+            .unwrap()
     }
 
     #[test]
@@ -740,7 +846,8 @@ mod tests {
             .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
             .accept("ip")
             .start("eth")
-            .build();
+            .build()
+            .unwrap();
         let err = merge_parsers(&[("a", &a), ("b", &b)]).unwrap_err();
         assert!(matches!(err, MergeError::CaseConflict { .. }));
     }
@@ -754,7 +861,8 @@ mod tests {
             .select("eth", "src_mac", 48, vec![(1, "ip")])
             .accept("ip")
             .start("eth")
-            .build();
+            .build()
+            .unwrap();
         let err = merge_parsers(&[("a", &a), ("b", &b)]).unwrap_err();
         assert!(matches!(err, MergeError::SelectFieldConflict { .. }));
     }
@@ -769,7 +877,8 @@ mod tests {
             .goto("eth", "ip")
             .accept("ip")
             .start("eth")
-            .build();
+            .build()
+            .unwrap();
         let err = merge_parsers(&[("a", &a), ("b", &b)]).unwrap_err();
         assert!(matches!(err, MergeError::MixedTransitionConflict { .. }));
     }
@@ -831,7 +940,8 @@ mod tests {
             .select("eth", "ether_type", 16, vec![(0x9999, "ip")])
             .accept("ip")
             .start("eth")
-            .build();
+            .build()
+            .unwrap();
         assert!(matches!(
             encapsulate_for_sfc(&dag).unwrap_err(),
             MergeError::UnsupportedEtherType { .. }

@@ -72,7 +72,11 @@ pub struct ClusterProblem {
 impl ClusterProblem {
     /// New problem over `cluster_size` switches.
     pub fn new(template: PlacementProblem, cluster_size: usize) -> Self {
-        ClusterProblem { template, cluster_size, hop_weight: 2.0 }
+        ClusterProblem {
+            template,
+            cluster_size,
+            hop_weight: 2.0,
+        }
     }
 
     /// Evaluates one chain: per-switch traversal costs plus hops between
@@ -181,7 +185,12 @@ impl ClusterProblem {
             sub_problem.chains = sub_chains;
             sub_problem.nf_stages = prefix
                 .iter()
-                .map(|n| (n.clone(), self.template.nf_stages.get(n).copied().unwrap_or(1)))
+                .map(|n| {
+                    (
+                        n.clone(),
+                        self.template.nf_stages.get(n).copied().unwrap_or(1),
+                    )
+                })
                 .collect();
             let placed = sub_problem.greedy()?;
             switches.push(placed);
@@ -237,12 +246,21 @@ impl ClusterProblem {
             .chains
             .iter()
             .filter_map(|c| {
-                let nfs: Vec<String> =
-                    c.nfs.iter().filter(|n| subset.contains(n)).cloned().collect();
+                let nfs: Vec<String> = c
+                    .nfs
+                    .iter()
+                    .filter(|n| subset.contains(n))
+                    .cloned()
+                    .collect();
                 if nfs.is_empty() {
                     None
                 } else {
-                    Some(ChainPolicy { path_id: c.path_id, name: c.name.clone(), nfs, weight: c.weight })
+                    Some(ChainPolicy {
+                        path_id: c.path_id,
+                        name: c.name.clone(),
+                        nfs,
+                        weight: c.weight,
+                    })
                 }
             })
             .collect();
@@ -263,7 +281,6 @@ pub fn chain_latency_ns(
         + f64::from(pipelet_passes) * (timing.pipelet_ns(stages_per_pipelet) + timing.tm_ns)
         + cost.loop_latency_ns(timing)
 }
-
 
 // ---------------------------------------------------------------------
 // Physical cluster execution
@@ -293,7 +310,11 @@ pub struct ClusterWiring {
 
 impl Default for ClusterWiring {
     fn default() -> Self {
-        ClusterWiring { egress_link_port: 14, ingress_link_port: 13, cable_ns: 5.0 }
+        ClusterWiring {
+            egress_link_port: 14,
+            ingress_link_port: 13,
+            cable_ns: 5.0,
+        }
     }
 }
 
@@ -330,7 +351,11 @@ pub struct ClusterTraversal {
 impl ClusterNet {
     /// Injects a packet on `port` of switch 0 and follows it across the
     /// cluster until it leaves, drops, or punts.
-    pub fn inject(&mut self, bytes: Vec<u8>, port: PortId) -> Result<ClusterTraversal, AsicIrError> {
+    pub fn inject(
+        &mut self,
+        bytes: Vec<u8>,
+        port: PortId,
+    ) -> Result<ClusterTraversal, AsicIrError> {
         let mut cur = 0usize;
         let mut cur_port = port;
         let mut cur_bytes = bytes;
@@ -390,12 +415,17 @@ impl ClusterNet {
                 return self.deployments[i].install(&mut self.switches[i], nf, table, entry);
             }
         }
-        Err(AsicIrError::Undefined { kind: "NF placement", name: nf.to_string() })
+        Err(AsicIrError::Undefined {
+            kind: "NF placement",
+            name: nf.to_string(),
+        })
     }
 
     /// Which switch hosts an NF.
     pub fn switch_of(&self, nf: &str) -> Option<usize> {
-        self.deployments.iter().position(|d| d.nf_location(nf).is_some())
+        self.deployments
+            .iter()
+            .position(|d| d.nf_location(nf).is_some())
     }
 }
 
@@ -457,14 +487,21 @@ pub fn deploy_cluster(
             exit_ports: if is_final {
                 exit_ports.clone()
             } else {
-                chains.chains.iter().map(|c| (c.path_id, wiring.egress_link_port)).collect()
+                chains
+                    .chains
+                    .iter()
+                    .map(|c| (c.path_id, wiring.egress_link_port))
+                    .collect()
             },
             honor_out_port: false,
         };
         let seg_options = DeployOptions {
             entry_nf: options.entry_nf.clone(),
             modes: options.modes.clone(),
-            segment: Some(SegmentOptions { remote_ports, decap_on_exit: is_final }),
+            segment: Some(SegmentOptions {
+                remote_ports,
+                decap_on_exit: is_final,
+            }),
         };
         let (switch, deployment) = deploy(nfs, chains, local, profile, &config, &seg_options)?;
         switches.push(switch);
@@ -473,9 +510,17 @@ pub fn deploy_cluster(
 
     let mut links = BTreeMap::new();
     for s in 0..n.saturating_sub(1) {
-        links.insert((s, wiring.egress_link_port), (s + 1, wiring.ingress_link_port));
+        links.insert(
+            (s, wiring.egress_link_port),
+            (s + 1, wiring.ingress_link_port),
+        );
     }
-    Ok(ClusterNet { switches, deployments, links, cable_ns: wiring.cable_ns })
+    Ok(ClusterNet {
+        switches,
+        deployments,
+        links,
+        cable_ns: wiring.cable_ns,
+    })
 }
 
 #[cfg(test)]
@@ -544,8 +589,14 @@ mod tests {
     #[test]
     fn off_chip_hops_cost_more_latency_than_recircs() {
         let t = TimingModel::tofino();
-        let on_chip = ClusterCost { recirculations: 1, ..Default::default() };
-        let off_chip = ClusterCost { inter_switch_hops: 1, ..Default::default() };
+        let on_chip = ClusterCost {
+            recirculations: 1,
+            ..Default::default()
+        };
+        let off_chip = ClusterCost {
+            inter_switch_hops: 1,
+            ..Default::default()
+        };
         assert!(off_chip.loop_latency_ns(&t) > on_chip.loop_latency_ns(&t));
         // ≈2× per the paper's takeaway 3.
         let ratio = off_chip.loop_latency_ns(&t) / on_chip.loop_latency_ns(&t);
@@ -566,14 +617,8 @@ mod tests {
         let problem = ClusterProblem::new(template, 2);
         let placement = ClusterPlacement {
             switches: vec![
-                Placement::sequential(vec![(
-                    dejavu_asic::PipeletId::ingress(0),
-                    vec!["N0", "N2"],
-                )]),
-                Placement::sequential(vec![(
-                    dejavu_asic::PipeletId::ingress(0),
-                    vec!["N1"],
-                )]),
+                Placement::sequential(vec![(dejavu_asic::PipeletId::ingress(0), vec!["N0", "N2"])]),
+                Placement::sequential(vec![(dejavu_asic::PipeletId::ingress(0), vec!["N1"])]),
             ],
         };
         let cost = problem
@@ -587,7 +632,10 @@ mod tests {
         let t = TimingModel::tofino();
         let base = chain_latency_ns(&ClusterCost::default(), 2, 12, &t);
         let hop = chain_latency_ns(
-            &ClusterCost { inter_switch_hops: 1, ..Default::default() },
+            &ClusterCost {
+                inter_switch_hops: 1,
+                ..Default::default()
+            },
             2,
             12,
             &t,

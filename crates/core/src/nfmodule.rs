@@ -49,10 +49,16 @@ impl fmt::Display for ApiViolation {
         match self {
             ApiViolation::InvalidProgram(m) => write!(f, "invalid program: {m}"),
             ApiViolation::TouchesPlatformMetadata { field, context } => {
-                write!(f, "NF touches platform metadata {field} in {context} — use hdr.sfc.* instead")
+                write!(
+                    f,
+                    "NF touches platform metadata {field} in {context} — use hdr.sfc.* instead"
+                )
             }
             ApiViolation::SfcLayoutMismatch => {
-                write!(f, "NF declares an sfc header that differs from the canonical layout")
+                write!(
+                    f,
+                    "NF declares an sfc header that differs from the canonical layout"
+                )
             }
             ApiViolation::ShadowsStandardMetadata { field } => {
                 write!(f, "NF metadata field {field} shadows standard metadata")
@@ -76,7 +82,9 @@ impl NfModule {
     /// copy the physical ingress port into `sfc.in_port`, for example).
     /// Base validation and the SFC-layout check still apply.
     pub fn new_privileged(program: Program) -> Result<Self, ApiViolation> {
-        program.validate().map_err(|e: IrError| ApiViolation::InvalidProgram(e.to_string()))?;
+        program
+            .validate()
+            .map_err(|e: IrError| ApiViolation::InvalidProgram(e.to_string()))?;
         if let Some(ht) = program.header_types.get(SFC_HEADER) {
             if *ht != sfc_header_type() {
                 return Err(ApiViolation::SfcLayoutMismatch);
@@ -84,7 +92,9 @@ impl NfModule {
         }
         for f in &program.meta_fields {
             if STANDARD_METADATA.iter().any(|(n, _)| *n == f.name) {
-                return Err(ApiViolation::ShadowsStandardMetadata { field: f.name.clone() });
+                return Err(ApiViolation::ShadowsStandardMetadata {
+                    field: f.name.clone(),
+                });
             }
         }
         Ok(NfModule { program })
@@ -92,12 +102,16 @@ impl NfModule {
 
     /// Wraps and validates an NF program.
     pub fn new(program: Program) -> Result<Self, ApiViolation> {
-        program.validate().map_err(|e: IrError| ApiViolation::InvalidProgram(e.to_string()))?;
+        program
+            .validate()
+            .map_err(|e: IrError| ApiViolation::InvalidProgram(e.to_string()))?;
 
         // NF-local metadata must not shadow standard names.
         for f in &program.meta_fields {
             if STANDARD_METADATA.iter().any(|(n, _)| *n == f.name) {
-                return Err(ApiViolation::ShadowsStandardMetadata { field: f.name.clone() });
+                return Err(ApiViolation::ShadowsStandardMetadata {
+                    field: f.name.clone(),
+                });
             }
         }
 
@@ -160,7 +174,11 @@ fn collect_cond_reads(stmt: &dejavu_p4ir::Stmt) -> Vec<FieldRef> {
     use dejavu_p4ir::Stmt;
     let mut out = Vec::new();
     match stmt {
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.extend(cond.reads());
             for s in then_branch.iter().chain(else_branch.iter()) {
                 out.extend(collect_cond_reads(s));
@@ -192,7 +210,12 @@ mod tests {
         ProgramBuilder::new(name)
             .header(well_known::ethernet())
             .header(sfc_header_type())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
     }
 
     #[test]
@@ -287,17 +310,24 @@ mod tests {
 
     #[test]
     fn wrong_sfc_layout_rejected() {
-        let bogus_sfc =
-            dejavu_p4ir::HeaderType::new(SFC_HEADER, vec![("path_id", 16u16)]).unwrap();
+        let bogus_sfc = dejavu_p4ir::HeaderType::new(SFC_HEADER, vec![("path_id", 16u16)]).unwrap();
         let p = ProgramBuilder::new("bad")
             .header(well_known::ethernet())
             .header(bogus_sfc)
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(ActionBuilder::new("nop").build())
             .control(ControlBuilder::new("c").invoke("nop").build())
             .entry("c")
             .build()
             .unwrap();
-        assert_eq!(NfModule::new(p).unwrap_err(), ApiViolation::SfcLayoutMismatch);
+        assert_eq!(
+            NfModule::new(p).unwrap_err(),
+            ApiViolation::SfcLayoutMismatch
+        );
     }
 }

@@ -59,7 +59,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { recirc_weight: 1.0, resub_weight: 0.25 }
+        CostModel {
+            recirc_weight: 1.0,
+            resub_weight: 0.25,
+        }
     }
 }
 
@@ -87,7 +90,10 @@ impl fmt::Display for PlacementError {
             PlacementError::UnplacedNf(nf) => write!(f, "NF {nf} has no pipelet assignment"),
             PlacementError::TraversalDiverged(c) => write!(f, "traversal diverged for chain {c}"),
             PlacementError::SearchTooLarge { candidates, cap } => {
-                write!(f, "exhaustive search too large: {candidates} candidates > cap {cap}")
+                write!(
+                    f,
+                    "exhaustive search too large: {candidates} candidates > cap {cap}"
+                )
             }
             PlacementError::Infeasible(m) => write!(f, "no feasible placement: {m}"),
         }
@@ -111,7 +117,8 @@ impl Placement {
     pub fn sequential(parts: Vec<(PipeletId, Vec<&str>)>) -> Self {
         let mut p = Placement::default();
         for (pipelet, nfs) in parts {
-            p.pipelets.insert(pipelet, nfs.into_iter().map(str::to_string).collect());
+            p.pipelets
+                .insert(pipelet, nfs.into_iter().map(str::to_string).collect());
         }
         p
     }
@@ -132,7 +139,10 @@ impl Placement {
 
     /// Composition mode of a pipelet.
     pub fn mode(&self, pipelet: PipeletId) -> CompositionMode {
-        self.modes.get(&pipelet).copied().unwrap_or(CompositionMode::Sequential)
+        self.modes
+            .get(&pipelet)
+            .copied()
+            .unwrap_or(CompositionMode::Sequential)
     }
 
     /// All placed NFs.
@@ -145,7 +155,12 @@ impl fmt::Display for Placement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (pipelet, nfs) in &self.pipelets {
             if !nfs.is_empty() {
-                writeln!(f, "  {pipelet}: [{}] ({:?})", nfs.join(", "), self.mode(*pipelet))?;
+                writeln!(
+                    f,
+                    "  {pipelet}: [{}] ({:?})",
+                    nfs.join(", "),
+                    self.mode(*pipelet)
+                )?;
             }
         }
         Ok(())
@@ -266,9 +281,7 @@ pub fn traverse_with(
                 cost.recirculations += 1;
                 cur = *target;
             }
-            (Gress::Egress, Gress::Ingress)
-                if granularity == RecircGranularity::PerPacket =>
-            {
+            (Gress::Egress, Gress::Ingress) if granularity == RecircGranularity::PerPacket => {
                 // Per-packet granularity: the packet chooses its next
                 // pipeline after egress processing — one recirculation
                 // lands it in the target ingress directly.
@@ -368,14 +381,24 @@ impl PlacementProblem {
     /// Whole-placement feasibility.
     pub fn feasible(&self, placement: &Placement) -> bool {
         placement.pipelets.iter().all(|(_, nfs)| self.fits(nfs))
-            && self.chains.all_nfs().iter().all(|nf| placement.location(nf).is_some())
+            && self
+                .chains
+                .all_nfs()
+                .iter()
+                .all(|nf| placement.location(nf).is_some())
     }
 
     /// Weighted objective of a placement over all chains.
     pub fn cost(&self, placement: &Placement) -> Result<f64, PlacementError> {
         let mut total = 0.0;
         for chain in &self.chains.chains {
-            let c = traverse(chain, placement, self.entry_pipeline, self.exit_pipeline, false)?;
+            let c = traverse(
+                chain,
+                placement,
+                self.entry_pipeline,
+                self.exit_pipeline,
+                false,
+            )?;
             total += chain.weight * c.weighted(&self.cost_model);
         }
         Ok(total)
@@ -386,7 +409,13 @@ impl PlacementProblem {
     pub fn partial_cost(&self, placement: &Placement) -> Result<f64, PlacementError> {
         let mut total = 0.0;
         for chain in &self.chains.chains {
-            let c = traverse(chain, placement, self.entry_pipeline, self.exit_pipeline, true)?;
+            let c = traverse(
+                chain,
+                placement,
+                self.entry_pipeline,
+                self.exit_pipeline,
+                true,
+            )?;
             total += chain.weight * c.weighted(&self.cost_model);
         }
         Ok(total)
@@ -416,7 +445,11 @@ impl PlacementProblem {
                     )));
                 }
                 let pipelet = pipelets[cursor];
-                let mut nfs = placement.pipelets.get(&pipelet).cloned().unwrap_or_default();
+                let mut nfs = placement
+                    .pipelets
+                    .get(&pipelet)
+                    .cloned()
+                    .unwrap_or_default();
                 nfs.push(nf.clone());
                 if self.fits(&nfs) {
                     placement.pipelets.insert(pipelet, nfs);
@@ -440,14 +473,21 @@ impl PlacementProblem {
         }
         let mut order = self.canonical_order();
         order.sort_by(|a, b| {
-            weight[b].partial_cmp(&weight[a]).unwrap().then_with(|| a.cmp(b))
+            weight[b]
+                .partial_cmp(&weight[a])
+                .unwrap()
+                .then_with(|| a.cmp(b))
         });
 
         let mut placement = Placement::default();
         for nf in order {
             let mut best: Option<(f64, PipeletId)> = None;
             for pipelet in self.pipelets_alternating() {
-                let mut nfs = placement.pipelets.get(&pipelet).cloned().unwrap_or_default();
+                let mut nfs = placement
+                    .pipelets
+                    .get(&pipelet)
+                    .cloned()
+                    .unwrap_or_default();
                 nfs.push(nf.clone());
                 if !self.fits(&nfs) {
                     continue;
@@ -461,9 +501,15 @@ impl PlacementProblem {
                 }
             }
             let Some((_, pipelet)) = best else {
-                return Err(PlacementError::Infeasible(format!("no pipelet fits NF {nf}")));
+                return Err(PlacementError::Infeasible(format!(
+                    "no pipelet fits NF {nf}"
+                )));
             };
-            let mut nfs = placement.pipelets.get(&pipelet).cloned().unwrap_or_default();
+            let mut nfs = placement
+                .pipelets
+                .get(&pipelet)
+                .cloned()
+                .unwrap_or_default();
             nfs.push(nf.clone());
             placement.pipelets.insert(pipelet, nfs);
         }
@@ -496,7 +542,11 @@ impl PlacementProblem {
             // Build placement from the assignment vector.
             let mut placement = Placement::default();
             for (nf, &pi) in nfs.iter().zip(&assignment) {
-                placement.pipelets.entry(pipelets[pi]).or_default().push(nf.clone());
+                placement
+                    .pipelets
+                    .entry(pipelets[pi])
+                    .or_default()
+                    .push(nf.clone());
             }
             let placement = self.canonicalize(placement);
             if self.feasible(&placement) {
@@ -639,7 +689,10 @@ mod tests {
     fn fig6a_costs_three_recirculations() {
         let p = fig6_problem();
         let c = traverse(&p.chains.chains[0], &fig6a_placement(), 0, 0, false).unwrap();
-        assert_eq!(c.recirculations, 3, "paper: naive Fig 6(a) needs 3 recirculations");
+        assert_eq!(
+            c.recirculations, 3,
+            "paper: naive Fig 6(a) needs 3 recirculations"
+        );
         assert_eq!(c.resubmissions, 0);
     }
 
@@ -647,7 +700,10 @@ mod tests {
     fn fig6b_costs_one_recirculation() {
         let p = fig6_problem();
         let c = traverse(&p.chains.chains[0], &fig6b_placement(), 0, 0, false).unwrap();
-        assert_eq!(c.recirculations, 1, "paper: optimized Fig 6(b) needs 1 recirculation");
+        assert_eq!(
+            c.recirculations, 1,
+            "paper: optimized Fig 6(b) needs 1 recirculation"
+        );
         assert_eq!(c.resubmissions, 0);
     }
 
@@ -667,7 +723,10 @@ mod tests {
         let p = fig6_problem();
         let opt = p.exhaustive(1 << 20).unwrap();
         let cost = p.cost(&opt).unwrap();
-        assert!(cost <= 1.0, "exhaustive cost {cost} should be ≤ the paper's 1 recirculation");
+        assert!(
+            cost <= 1.0,
+            "exhaustive cost {cost} should be ≤ the paper's 1 recirculation"
+        );
     }
 
     #[test]
@@ -695,8 +754,7 @@ mod tests {
 
     #[test]
     fn same_ingress_out_of_order_costs_resubmission() {
-        let chains =
-            ChainSet::new(vec![ChainPolicy::new(1, "ba", vec!["B", "A"], 1.0)]).unwrap();
+        let chains = ChainSet::new(vec![ChainPolicy::new(1, "ba", vec!["B", "A"], 1.0)]).unwrap();
         let mut stages = BTreeMap::new();
         stages.insert("A".into(), 1u32);
         stages.insert("B".into(), 1u32);
@@ -710,8 +768,7 @@ mod tests {
 
     #[test]
     fn same_egress_out_of_order_costs_recirculation() {
-        let chains =
-            ChainSet::new(vec![ChainPolicy::new(1, "ba", vec!["B", "A"], 1.0)]).unwrap();
+        let chains = ChainSet::new(vec![ChainPolicy::new(1, "ba", vec!["B", "A"], 1.0)]).unwrap();
         let mut stages = BTreeMap::new();
         stages.insert("A".into(), 1u32);
         stages.insert("B".into(), 1u32);
@@ -723,15 +780,15 @@ mod tests {
 
     #[test]
     fn parallel_pipelet_single_nf_per_pass() {
-        let chains =
-            ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["A", "B"], 1.0)]).unwrap();
+        let chains = ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["A", "B"], 1.0)]).unwrap();
         let mut stages = BTreeMap::new();
         stages.insert("A".into(), 1u32);
         stages.insert("B".into(), 1u32);
         let p = PlacementProblem::new(chains, stages);
-        let mut placement =
-            Placement::sequential(vec![(PipeletId::ingress(0), vec!["A", "B"])]);
-        placement.modes.insert(PipeletId::ingress(0), CompositionMode::Parallel);
+        let mut placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["A", "B"])]);
+        placement
+            .modes
+            .insert(PipeletId::ingress(0), CompositionMode::Parallel);
         let c = traverse(&p.chains.chains[0], &placement, 0, 0, false).unwrap();
         // Branch transition on an ingress pipe = one resubmission (§3.2).
         assert_eq!(c.resubmissions, 1);
@@ -756,7 +813,10 @@ mod tests {
         four.pipelines = 4;
         let cost2 = two.cost(&two.exhaustive(1 << 22).unwrap()).unwrap();
         let cost4 = four.cost(&four.exhaustive(1 << 24).unwrap()).unwrap();
-        assert!(cost4 <= cost2 + 1e-9, "4 pipelines {cost4} vs 2 pipelines {cost2}");
+        assert!(
+            cost4 <= cost2 + 1e-9,
+            "4 pipelines {cost4} vs 2 pipelines {cost2}"
+        );
     }
 
     #[test]
@@ -773,13 +833,23 @@ mod tests {
         // and direct emission after the last egress NF).
         let p = fig6_problem();
         let per_port = traverse_with(
-            &p.chains.chains[0], &fig6a_placement(), 0, 0, false,
+            &p.chains.chains[0],
+            &fig6a_placement(),
+            0,
+            0,
+            false,
             RecircGranularity::PerPort,
-        ).unwrap();
+        )
+        .unwrap();
         let per_packet = traverse_with(
-            &p.chains.chains[0], &fig6a_placement(), 0, 0, false,
+            &p.chains.chains[0],
+            &fig6a_placement(),
+            0,
+            0,
+            false,
             RecircGranularity::PerPacket,
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(per_port.recirculations, 3);
         assert_eq!(per_packet.recirculations, 1);
     }

@@ -135,7 +135,10 @@ pub struct SegmentOptions {
 impl SegmentOptions {
     /// Single-switch defaults: no remote NFs, decapsulate on exit.
     pub fn single_switch() -> Self {
-        SegmentOptions { remote_ports: BTreeMap::new(), decap_on_exit: true }
+        SegmentOptions {
+            remote_ports: BTreeMap::new(),
+            decap_on_exit: true,
+        }
     }
 }
 
@@ -147,7 +150,13 @@ impl RoutingSynthesis {
         profile: &TofinoProfile,
         config: &RoutingConfig,
     ) -> Result<RoutingSynthesis, RoutingError> {
-        Self::synthesize_segment(placement, chains, profile, config, &SegmentOptions::single_switch())
+        Self::synthesize_segment(
+            placement,
+            chains,
+            profile,
+            config,
+            &SegmentOptions::single_switch(),
+        )
     }
 
     /// Segment synthesis: like [`Self::synthesize`], but NFs listed in
@@ -200,10 +209,7 @@ impl RoutingSynthesis {
                                 table.clone(),
                                 TableEntry {
                                     matches: vec![
-                                        KeyMatch::Exact(Value::new(
-                                            u128::from(chain.path_id),
-                                            16,
-                                        )),
+                                        KeyMatch::Exact(Value::new(u128::from(chain.path_id), 16)),
                                         KeyMatch::Exact(Value::new(idx as u128, 8)),
                                     ],
                                     action: names::PROCEED.into(),
@@ -224,7 +230,12 @@ impl RoutingSynthesis {
         let flag_entry = |bit: usize, action: &str, priority: i32| {
             let mut matches = vec![KeyMatch::Any; 4];
             matches[bit] = KeyMatch::Ternary(Value::new(1, 1), Value::new(1, 1));
-            TableEntry { matches, action: action.into(), action_args: vec![], priority }
+            TableEntry {
+                matches,
+                action: action.into(),
+                action_args: vec![],
+                priority,
+            }
         };
         for (pipelet, nfs) in &placement.pipelets {
             let slots = match placement.mode(*pipelet) {
@@ -258,10 +269,13 @@ impl RoutingSynthesis {
         let ingress_pipelets: Vec<PipeletId> =
             (0..profile.pipelines).map(PipeletId::ingress).collect();
         for chain in &chains.chains {
-            let exit_port = *config
-                .exit_ports
-                .get(&chain.path_id)
-                .ok_or(RoutingError::MissingExitPort { path_id: chain.path_id })?;
+            let exit_port =
+                *config
+                    .exit_ports
+                    .get(&chain.path_id)
+                    .ok_or(RoutingError::MissingExitPort {
+                        path_id: chain.path_id,
+                    })?;
             let exit_pipeline = profile
                 .pipeline_of_port(usize::from(exit_port))
                 .ok_or(RoutingError::BadExitPort { port: exit_port })?;
@@ -338,7 +352,10 @@ impl RoutingSynthesis {
             }
             Gress::Ingress => {
                 // Another pipeline's ingress: loop through its loopback port.
-                Ok((names::FWD.into(), port_arg(config.loopback_of(target.pipeline))))
+                Ok((
+                    names::FWD.into(),
+                    port_arg(config.loopback_of(target.pipeline)),
+                ))
             }
             Gress::Egress => {
                 // Send to egress(target.pipeline); the port decides what
@@ -348,7 +365,10 @@ impl RoutingSynthesis {
                 if after >= chain.nfs.len() && target.pipeline == exit_pipeline {
                     Ok((names::FWD.into(), port_arg(exit_port)))
                 } else {
-                    Ok((names::FWD.into(), port_arg(config.loopback_of(target.pipeline))))
+                    Ok((
+                        names::FWD.into(),
+                        port_arg(config.loopback_of(target.pipeline)),
+                    ))
                 }
             }
         }
@@ -397,10 +417,13 @@ impl RoutingSynthesis {
         // egress pipelet, for the protocols we encapsulate.
         let mut seen = std::collections::BTreeSet::new();
         for chain in &chains.chains {
-            let exit_port = *config
-                .exit_ports
-                .get(&chain.path_id)
-                .ok_or(RoutingError::MissingExitPort { path_id: chain.path_id })?;
+            let exit_port =
+                *config
+                    .exit_ports
+                    .get(&chain.path_id)
+                    .ok_or(RoutingError::MissingExitPort {
+                        path_id: chain.path_id,
+                    })?;
             let pipeline = profile
                 .pipeline_of_port(usize::from(exit_port))
                 .ok_or(RoutingError::BadExitPort { port: exit_port })?;
@@ -417,10 +440,7 @@ impl RoutingSynthesis {
                             KeyMatch::Exact(Value::new(u128::from(proto), 8)),
                         ],
                         action: names::DO_DECAP.into(),
-                        action_args: vec![Value::new(
-                            u128::from(ethertype_for_proto(proto)),
-                            16,
-                        )],
+                        action_args: vec![Value::new(u128::from(ethertype_for_proto(proto)), 16)],
                         priority: 0,
                     },
                 ));
@@ -441,7 +461,9 @@ pub fn validate_config(
         let port = *config
             .exit_ports
             .get(&chain.path_id)
-            .ok_or(RoutingError::MissingExitPort { path_id: chain.path_id })?;
+            .ok_or(RoutingError::MissingExitPort {
+                path_id: chain.path_id,
+            })?;
         if profile.pipeline_of_port(usize::from(port)).is_none() || port >= SFC_PORT_UNSET {
             return Err(RoutingError::BadExitPort { port });
         }
@@ -464,8 +486,13 @@ mod tests {
     }
 
     fn chains() -> ChainSet {
-        ChainSet::new(vec![ChainPolicy::new(1, "abcdef", vec!["A", "B", "C", "D", "E", "F"], 1.0)])
-            .unwrap()
+        ChainSet::new(vec![ChainPolicy::new(
+            1,
+            "abcdef",
+            vec!["A", "B", "C", "D", "E", "F"],
+            1.0,
+        )])
+        .unwrap()
     }
 
     fn config() -> RoutingConfig {
@@ -486,7 +513,11 @@ mod tests {
         .unwrap()
     }
 
-    fn branching_action_at(s: &RoutingSynthesis, pipeline: usize, index: u128) -> (String, Vec<Value>) {
+    fn branching_action_at(
+        s: &RoutingSynthesis,
+        pipeline: usize,
+        index: u128,
+    ) -> (String, Vec<Value>) {
         let e = s
             .entries_for(PipeletId::ingress(pipeline), names::BRANCHING)
             .into_iter()
@@ -536,8 +567,7 @@ mod tests {
     fn local_ingress_miss_resubmits() {
         // Chain B then A, both on ingress 0 in slot order [A, B].
         let placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["A", "B"])]);
-        let chains =
-            ChainSet::new(vec![ChainPolicy::new(1, "ba", vec!["B", "A"], 1.0)]).unwrap();
+        let chains = ChainSet::new(vec![ChainPolicy::new(1, "ba", vec!["B", "A"], 1.0)]).unwrap();
         let s = RoutingSynthesis::synthesize(
             &placement,
             &chains,
@@ -569,8 +599,14 @@ mod tests {
         let s = synth();
         let entries = s.entries_for(PipeletId::ingress(0), &names::check_sfc_flags(0));
         assert_eq!(entries.len(), 4);
-        let drop = entries.iter().find(|e| e.action == names::FLAG_DROP).unwrap();
-        let mirror = entries.iter().find(|e| e.action == names::FLAG_MIRROR).unwrap();
+        let drop = entries
+            .iter()
+            .find(|e| e.action == names::FLAG_DROP)
+            .unwrap();
+        let mirror = entries
+            .iter()
+            .find(|e| e.action == names::FLAG_MIRROR)
+            .unwrap();
         assert!(drop.priority > mirror.priority);
     }
 

@@ -22,8 +22,8 @@
 //! * `next_protocol` records what followed the SFC header so the Router can
 //!   restore the Ethernet EtherType on removal.
 
-use dejavu_p4ir::{fref, FieldRef, HeaderType, Value};
 use dejavu_asic::ParsedPacket;
+use dejavu_p4ir::{fref, FieldRef, HeaderType, Value};
 
 /// EtherType announcing the SFC header (experimental range).
 pub const SFC_ETHERTYPE: u16 = 0x88B5;
@@ -175,7 +175,10 @@ impl SfcHeader {
 
     /// Looks up a context value by key (first matching slot).
     pub fn context_get(&self, key: u8) -> Option<u16> {
-        self.context.iter().find(|(k, _)| *k == key && key != 0).map(|(_, v)| *v)
+        self.context
+            .iter()
+            .find(|(k, _)| *k == key && key != 0)
+            .map(|(_, v)| *v)
     }
 
     /// Sets a context value, reusing the key's slot or claiming the first
@@ -311,11 +314,10 @@ mod tests {
     #[test]
     fn parsed_packet_read_write() {
         use dejavu_p4ir::well_known;
-        let cat: std::collections::HashMap<_, _> =
-            [well_known::ethernet(), sfc_header_type()]
-                .into_iter()
-                .map(|h| (h.name.clone(), h))
-                .collect();
+        let cat: std::collections::HashMap<_, _> = [well_known::ethernet(), sfc_header_type()]
+            .into_iter()
+            .map(|h| (h.name.clone(), h))
+            .collect();
         let mut pp = ParsedPacket::default();
         pp.add_header(&cat["ethernet"], None);
         assert_eq!(SfcHeader::read(&pp), None);
@@ -327,7 +329,7 @@ mod tests {
         let back = SfcHeader::read(&pp).unwrap();
         assert_eq!(back, h);
         // Round-trip through bytes too.
-        let bytes = pp.deparse(&cat);
+        let bytes = pp.deparse(&cat).unwrap();
         assert_eq!(bytes.len(), 34);
     }
 }

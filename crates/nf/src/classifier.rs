@@ -36,12 +36,21 @@ pub fn classifier() -> NfModule {
                 .param("path_id", 16)
                 .param("tenant", 16)
                 .add_header("sfc", Some("ipv4"))
-                .set(fref("ethernet", "ether_type"), Expr::val(u128::from(SFC_ETHERTYPE), 16))
+                .set(
+                    fref("ethernet", "ether_type"),
+                    Expr::val(u128::from(SFC_ETHERTYPE), 16),
+                )
                 .set(sfc_field("path_id"), Expr::Param("path_id".into()))
                 .set(sfc_field("service_index"), Expr::val(1, 8))
                 .set(sfc_field("in_port"), Expr::meta("ingress_port"))
-                .set(sfc_field("out_port"), Expr::val(u128::from(SFC_PORT_UNSET), 13))
-                .set(sfc_field("ctx_key0"), Expr::val(u128::from(ctx_keys::TENANT_ID), 8))
+                .set(
+                    sfc_field("out_port"),
+                    Expr::val(u128::from(SFC_PORT_UNSET), 13),
+                )
+                .set(
+                    sfc_field("ctx_key0"),
+                    Expr::val(u128::from(ctx_keys::TENANT_ID), 8),
+                )
                 .set(sfc_field("ctx_val0"), Expr::Param("tenant".into()))
                 .set(
                     sfc_field("next_protocol"),
@@ -66,7 +75,11 @@ pub fn classifier() -> NfModule {
                 .size(4096)
                 .build(),
         )
-        .control(ControlBuilder::new("classifier_ctrl").apply(CLASSIFY_TABLE).build())
+        .control(
+            ControlBuilder::new("classifier_ctrl")
+                .apply(CLASSIFY_TABLE)
+                .build(),
+        )
         .entry("classifier_ctrl")
         .build()
         .expect("classifier program is well-formed");
@@ -88,7 +101,10 @@ pub fn classify_entry(
             KeyMatch::Any,
         ],
         action: "set_path".into(),
-        action_args: vec![Value::new(u128::from(path_id), 16), Value::new(u128::from(tenant), 16)],
+        action_args: vec![
+            Value::new(u128::from(path_id), 16),
+            Value::new(u128::from(tenant), 16),
+        ],
         priority: 0,
     }
 }
@@ -139,7 +155,7 @@ mod tests {
             u128::from(SFC_ETHERTYPE)
         );
         // Wire grows by exactly the 20-byte header.
-        assert_eq!(pp.deparse(interp.headers()).len(), 54 + 20);
+        assert_eq!(pp.deparse(interp.headers()).unwrap().len(), 54 + 20);
     }
 
     #[test]

@@ -102,7 +102,9 @@ mod tests {
         let interp = Interpreter::new(program);
         let mut tables = TableState::new();
         if let Some(e) = entry {
-            tables.install(program.tables.get(ACL_TABLE).unwrap(), e).unwrap();
+            tables
+                .install(program.tables.get(ACL_TABLE).unwrap(), e)
+                .unwrap();
         }
         let mut pp = ParsedPacket::parse(pkt, &program.parser, interp.headers()).unwrap();
         let mut meta = BTreeMap::new();

@@ -124,7 +124,10 @@ pub fn load_balancer() -> NfModule {
 /// Builds a session entry mapping a 5-tuple's hash to a backend IP.
 pub fn session_entry_for(tuple: &FiveTuple, backend_ip: u32) -> TableEntry {
     TableEntry {
-        matches: vec![KeyMatch::Exact(Value::new(u128::from(tuple.session_hash()), 32))],
+        matches: vec![KeyMatch::Exact(Value::new(
+            u128::from(tuple.session_hash()),
+            32,
+        ))],
         action: "modify_dst_ip".into(),
         action_args: vec![Value::new(u128::from(backend_ip), 32)],
         priority: 0,

@@ -28,7 +28,10 @@ pub fn mirror_tap() -> NfModule {
             ActionBuilder::new("tap")
                 .param("debug_tag", 16)
                 .set(sfc_field("mirror_flag"), Expr::val(1, 1))
-                .set(sfc_field("ctx_key2"), Expr::val(u128::from(ctx_keys::DEBUG), 8))
+                .set(
+                    sfc_field("ctx_key2"),
+                    Expr::val(u128::from(ctx_keys::DEBUG), 8),
+                )
                 .set(sfc_field("ctx_val2"), Expr::Param("debug_tag".into()))
                 .build(),
         )

@@ -58,7 +58,10 @@ pub fn nat() -> NfModule {
 /// Entry: sources under `src_prefix` are rewritten to `public_ip`.
 pub fn snat_entry(src_prefix: (u32, u16), public_ip: u32) -> TableEntry {
     TableEntry {
-        matches: vec![KeyMatch::Lpm(Value::new(u128::from(src_prefix.0), 32), src_prefix.1)],
+        matches: vec![KeyMatch::Lpm(
+            Value::new(u128::from(src_prefix.0), 32),
+            src_prefix.1,
+        )],
         action: "rewrite_src".into(),
         action_args: vec![Value::new(u128::from(public_ip), 32)],
         priority: 0,

@@ -42,7 +42,11 @@ pub fn rate_limiter() -> NfModule {
                 .param("class_idx", 32)
                 .param("limit", 32)
                 // Read-modify-write the class counter.
-                .reg_read(FieldRef::meta("rl_count"), BUCKET_REGISTER, Expr::Param("class_idx".into()))
+                .reg_read(
+                    FieldRef::meta("rl_count"),
+                    BUCKET_REGISTER,
+                    Expr::Param("class_idx".into()),
+                )
                 .reg_write(
                     BUCKET_REGISTER,
                     Expr::Param("class_idx".into()),
@@ -93,7 +97,10 @@ pub fn rate_limiter() -> NfModule {
 /// per-epoch budget of `limit` packets.
 pub fn class_entry(src_prefix: (u32, u16), class_idx: u32, limit: u32) -> TableEntry {
     TableEntry {
-        matches: vec![KeyMatch::Lpm(Value::new(u128::from(src_prefix.0), 32), src_prefix.1)],
+        matches: vec![KeyMatch::Lpm(
+            Value::new(u128::from(src_prefix.0), 32),
+            src_prefix.1,
+        )],
         action: "enforce".into(),
         action_args: vec![
             Value::new(u128::from(class_idx), 32),
@@ -132,8 +139,7 @@ mod tests {
         // Budget 3: packets 1-3 pass (count before increment = 0,1,2),
         // packet 4 onward dropped (count 3 ≥ limit 3).
         for i in 0..6 {
-            let mut pp =
-                ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+            let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
             pp.add_header(&sfc_header_type(), Some("ipv4"));
             let mut meta = BTreeMap::new();
             interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
@@ -152,8 +158,7 @@ mod tests {
         let interp = Interpreter::new(program);
         let mut tables = TableState::new();
         for _ in 0..10 {
-            let mut pp =
-                ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+            let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
             pp.add_header(&sfc_header_type(), Some("ipv4"));
             let mut meta = BTreeMap::new();
             interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
@@ -174,8 +179,7 @@ mod tests {
             )
             .unwrap();
         let run_one = |tables: &mut TableState| {
-            let mut pp =
-                ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
+            let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
             pp.add_header(&sfc_header_type(), Some("ipv4"));
             let mut meta = BTreeMap::new();
             interp.execute(&mut pp, &mut meta, tables).unwrap();
@@ -183,7 +187,7 @@ mod tests {
         };
         assert!(!run_one(&mut tables)); // first packet passes
         assert!(run_one(&mut tables)); // second dropped
-        // Epoch reset, as the control plane would do.
+                                       // Epoch reset, as the control plane would do.
         let def = program.registers.get(BUCKET_REGISTER).unwrap();
         tables.register_write(def, 1, 0);
         assert!(!run_one(&mut tables)); // budget restored

@@ -37,7 +37,10 @@ pub fn router() -> NfModule {
                 .set(fref("ethernet", "src_mac"), Expr::Param("smac".into()))
                 .set(
                     fref("ipv4", "ttl"),
-                    Expr::Sub(Box::new(Expr::field("ipv4", "ttl")), Box::new(Expr::val(1, 8))),
+                    Expr::Sub(
+                        Box::new(Expr::field("ipv4", "ttl")),
+                        Box::new(Expr::val(1, 8)),
+                    ),
                 )
                 .update_checksum("ipv4")
                 .build(),
@@ -55,7 +58,11 @@ pub fn router() -> NfModule {
                 .size(32768)
                 .build(),
         )
-        .control(ControlBuilder::new("router_ctrl").apply(ROUTES_TABLE).build())
+        .control(
+            ControlBuilder::new("router_ctrl")
+                .apply(ROUTES_TABLE)
+                .build(),
+        )
         .entry("router_ctrl")
         .build()
         .expect("router program is well-formed");
@@ -65,7 +72,10 @@ pub fn router() -> NfModule {
 /// Entry: route `dst_prefix` out `port` with the given next-hop MACs.
 pub fn route_entry(dst_prefix: (u32, u16), port: u16, dmac: u64, smac: u64) -> TableEntry {
     TableEntry {
-        matches: vec![KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1)],
+        matches: vec![KeyMatch::Lpm(
+            Value::new(u128::from(dst_prefix.0), 32),
+            dst_prefix.1,
+        )],
         action: "route".into(),
         action_args: vec![
             Value::new(u128::from(port), 13),
@@ -99,7 +109,9 @@ mod tests {
         let interp = Interpreter::new(program);
         let mut tables = TableState::new();
         if let Some(e) = entry {
-            tables.install(program.tables.get(ROUTES_TABLE).unwrap(), e).unwrap();
+            tables
+                .install(program.tables.get(ROUTES_TABLE).unwrap(), e)
+                .unwrap();
         }
         let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
         pp.add_header(&sfc_header_type(), Some("ipv4"));
@@ -110,15 +122,28 @@ mod tests {
 
     #[test]
     fn route_sets_out_port_macs_ttl() {
-        let pp = run(Some(route_entry((0x0a000000, 8), 17, 0xaabbccddeeff, 0x102030405060)));
+        let pp = run(Some(route_entry(
+            (0x0a000000, 8),
+            17,
+            0xaabbccddeeff,
+            0x102030405060,
+        )));
         let sfc = SfcHeader::read(&pp).unwrap();
         assert_eq!(sfc.out_port, 17);
         assert!(!sfc.drop_flag);
-        assert_eq!(pp.get(&fref("ethernet", "dst_mac")).unwrap().raw(), 0xaabbccddeeff);
-        assert_eq!(pp.get(&fref("ethernet", "src_mac")).unwrap().raw(), 0x102030405060);
+        assert_eq!(
+            pp.get(&fref("ethernet", "dst_mac")).unwrap().raw(),
+            0xaabbccddeeff
+        );
+        assert_eq!(
+            pp.get(&fref("ethernet", "src_mac")).unwrap().raw(),
+            0x102030405060
+        );
         assert_eq!(pp.get(&fref("ipv4", "ttl")).unwrap().raw(), 63);
         // The checksum extern left a valid header behind.
-        let bytes = pp.deparse(Interpreter::new(router().program()).headers());
+        let bytes = pp
+            .deparse(Interpreter::new(router().program()).headers())
+            .unwrap();
         let ip_off = 34; // eth(14) + sfc(20)
         let ip = &bytes[ip_off..ip_off + 20];
         assert_eq!(dejavu_asic::interp::ones_complement_checksum(ip), 0);
@@ -138,8 +163,12 @@ mod tests {
         let interp = Interpreter::new(program);
         let mut tables = TableState::new();
         let def = program.tables.get(ROUTES_TABLE).unwrap();
-        tables.install(def, route_entry((0x0a000000, 8), 1, 0, 0)).unwrap();
-        tables.install(def, route_entry((0x0a010000, 16), 2, 0, 0)).unwrap();
+        tables
+            .install(def, route_entry((0x0a000000, 8), 1, 0, 0))
+            .unwrap();
+        tables
+            .install(def, route_entry((0x0a010000, 16), 2, 0, 0))
+            .unwrap();
         let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
         pp.add_header(&sfc_header_type(), Some("ipv4"));
         pp.set(&fref("ipv4", "dst_addr"), Value::new(0x0a010203, 32));

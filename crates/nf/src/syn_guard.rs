@@ -41,7 +41,10 @@ pub fn syn_guard() -> NfModule {
         .action(
             ActionBuilder::new("arm")
                 .param("threshold", 32)
-                .set(FieldRef::meta("sg_threshold"), Expr::Param("threshold".into()))
+                .set(
+                    FieldRef::meta("sg_threshold"),
+                    Expr::Param("threshold".into()),
+                )
                 .set(FieldRef::meta("sg_armed"), Expr::val(1, 1))
                 .build(),
         )
@@ -53,7 +56,11 @@ pub fn syn_guard() -> NfModule {
                     HashAlgorithm::Crc32,
                     vec![Expr::field("ipv4", "src_addr")],
                 )
-                .reg_read(FieldRef::meta("sg_count"), SKETCH_REGISTER, Expr::meta("sg_idx"))
+                .reg_read(
+                    FieldRef::meta("sg_count"),
+                    SKETCH_REGISTER,
+                    Expr::meta("sg_idx"),
+                )
                 .reg_write(
                     SKETCH_REGISTER,
                     Expr::meta("sg_idx"),

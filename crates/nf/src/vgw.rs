@@ -30,7 +30,10 @@ pub fn vgw() -> NfModule {
         .action(
             ActionBuilder::new("set_vni")
                 .param("vni", 16)
-                .set(sfc_field("ctx_key1"), Expr::val(u128::from(ctx_keys::VNI), 8))
+                .set(
+                    sfc_field("ctx_key1"),
+                    Expr::val(u128::from(ctx_keys::VNI), 8),
+                )
                 .set(sfc_field("ctx_val1"), Expr::Param("vni".into()))
                 .build(),
         )
@@ -38,7 +41,10 @@ pub fn vgw() -> NfModule {
             ActionBuilder::new("set_vni_and_translate")
                 .param("vni", 16)
                 .param("internal_ip", 32)
-                .set(sfc_field("ctx_key1"), Expr::val(u128::from(ctx_keys::VNI), 8))
+                .set(
+                    sfc_field("ctx_key1"),
+                    Expr::val(u128::from(ctx_keys::VNI), 8),
+                )
                 .set(sfc_field("ctx_val1"), Expr::Param("vni".into()))
                 .set(fref("ipv4", "dst_addr"), Expr::Param("internal_ip".into()))
                 .build(),
@@ -63,7 +69,10 @@ pub fn vgw() -> NfModule {
 /// Entry: destinations under `dst_prefix` belong to `vni`.
 pub fn vni_entry(dst_prefix: (u32, u16), vni: u16) -> TableEntry {
     TableEntry {
-        matches: vec![KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1)],
+        matches: vec![KeyMatch::Lpm(
+            Value::new(u128::from(dst_prefix.0), 32),
+            dst_prefix.1,
+        )],
         action: "set_vni".into(),
         action_args: vec![Value::new(u128::from(vni), 16)],
         priority: 0,
@@ -74,7 +83,10 @@ pub fn vni_entry(dst_prefix: (u32, u16), vni: u16) -> TableEntry {
 /// `internal_ip`.
 pub fn vni_translate_entry(dst_prefix: (u32, u16), vni: u16, internal_ip: u32) -> TableEntry {
     TableEntry {
-        matches: vec![KeyMatch::Lpm(Value::new(u128::from(dst_prefix.0), 32), dst_prefix.1)],
+        matches: vec![KeyMatch::Lpm(
+            Value::new(u128::from(dst_prefix.0), 32),
+            dst_prefix.1,
+        )],
         action: "set_vni_and_translate".into(),
         action_args: vec![
             Value::new(u128::from(vni), 16),
@@ -105,7 +117,9 @@ mod tests {
         let program = nf.program();
         let interp = Interpreter::new(program);
         let mut tables = TableState::new();
-        tables.install(program.tables.get(VNI_TABLE).unwrap(), entry).unwrap();
+        tables
+            .install(program.tables.get(VNI_TABLE).unwrap(), entry)
+            .unwrap();
         let mut pp = ParsedPacket::parse(&packet(), &program.parser, interp.headers()).unwrap();
         pp.add_header(&sfc_header_type(), Some("ipv4"));
         let mut meta = BTreeMap::new();

@@ -62,9 +62,15 @@ pub fn vxlan_gateway() -> NfModule {
             ActionBuilder::new("terminate")
                 .param("tenant", 16)
                 // Record the VNI (low 16 bits) + tenant in the SFC context.
-                .set(sfc_field("ctx_key1"), Expr::val(u128::from(ctx_keys::VNI), 8))
+                .set(
+                    sfc_field("ctx_key1"),
+                    Expr::val(u128::from(ctx_keys::VNI), 8),
+                )
                 .set(sfc_field("ctx_val1"), Expr::field("vxlan", "vni"))
-                .set(sfc_field("ctx_key2"), Expr::val(u128::from(ctx_keys::TENANT_ID), 8))
+                .set(
+                    sfc_field("ctx_key2"),
+                    Expr::val(u128::from(ctx_keys::TENANT_ID), 8),
+                )
                 .set(sfc_field("ctx_val2"), Expr::Param("tenant".into()))
                 // Strip the tunnel: the outer IPv4/UDP/VXLAN go (first
                 // instances), plus the *inner* Ethernet (occurrence 1 once
@@ -188,7 +194,10 @@ mod tests {
         let interp = Interpreter::new(program);
         let mut tables = TableState::new();
         tables
-            .install(program.tables.get(VNI_TERM_TABLE).unwrap(), terminate_entry(700, 42))
+            .install(
+                program.tables.get(VNI_TERM_TABLE).unwrap(),
+                terminate_entry(700, 42),
+            )
             .unwrap();
         let pkt = encapsulate(&inner_packet(), 700, 0x0a000001, 0x0a000002);
         let mut pp = ParsedPacket::parse(&pkt, &program.parser, interp.headers()).unwrap();

@@ -183,7 +183,9 @@ impl PrimitiveOp {
         match self {
             PrimitiveOp::Set { value, .. } => value.reads(),
             PrimitiveOp::Hash { inputs, .. } => inputs.iter().flat_map(Expr::reads).collect(),
-            PrimitiveOp::RegisterRead { register, index, .. } => {
+            PrimitiveOp::RegisterRead {
+                register, index, ..
+            } => {
                 let mut r = index.reads();
                 r.push(register_field(register));
                 r
@@ -241,7 +243,11 @@ pub struct ActionDef {
 impl ActionDef {
     /// Creates an action with no parameters.
     pub fn simple(name: impl Into<String>, ops: Vec<PrimitiveOp>) -> Self {
-        ActionDef { name: name.into(), params: Vec::new(), ops }
+        ActionDef {
+            name: name.into(),
+            params: Vec::new(),
+            ops,
+        }
     }
 
     /// All field references read by the body.
@@ -387,7 +393,10 @@ mod tests {
             ],
         };
         assert_eq!(act.reads(), vec![fref("ipv4", "ttl")]);
-        assert_eq!(act.writes(), vec![fref("ipv4", "dst_addr"), fref("ipv4", "ttl")]);
+        assert_eq!(
+            act.writes(),
+            vec![fref("ipv4", "dst_addr"), fref("ipv4", "ttl")]
+        );
         assert_eq!(act.vliw_slots(), 2);
     }
 

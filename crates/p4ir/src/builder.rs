@@ -12,7 +12,7 @@
 
 use crate::action::{ActionDef, Expr, HashAlgorithm, PrimitiveOp};
 use crate::control::{ControlBlock, Stmt};
-use crate::error::Result;
+use crate::error::{IrError, Result};
 use crate::header::{FieldDef, FieldRef, HeaderType};
 use crate::parser::{ParseNode, ParserDag, Target, Transition};
 use crate::program::Program;
@@ -30,7 +30,10 @@ pub struct HeaderTypeBuilder {
 impl HeaderTypeBuilder {
     /// Starts a header type.
     pub fn new(name: impl Into<String>) -> Self {
-        HeaderTypeBuilder { name: name.into(), fields: Vec::new() }
+        HeaderTypeBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+        }
     }
 
     /// Appends a field.
@@ -49,7 +52,11 @@ impl HeaderTypeBuilder {
 #[derive(Debug, Clone)]
 enum PendingTransition {
     Unconditional(PendingTarget),
-    Select { field: String, cases: Vec<(Value, PendingTarget)>, default: PendingTarget },
+    Select {
+        field: String,
+        cases: Vec<(Value, PendingTarget)>,
+        default: PendingTarget,
+    },
 }
 
 /// Target referenced by node name before resolution.
@@ -66,6 +73,9 @@ enum PendingTarget {
 pub struct ParserBuilder {
     nodes: Vec<(String, String, u32, Option<PendingTransition>)>,
     start: Option<PendingTarget>,
+    /// Errors deferred until [`build`](Self::build) so the fluent chain
+    /// stays ergonomic (e.g. a transition set on an undeclared node).
+    errors: Vec<IrError>,
 }
 
 impl ParserBuilder {
@@ -77,21 +87,33 @@ impl ParserBuilder {
     /// Declares a parse node `name` extracting `header_type` at byte
     /// `offset`. Its transition defaults to Accept until one of the
     /// transition methods is called.
-    pub fn node(mut self, name: impl Into<String>, header_type: impl Into<String>, offset: u32) -> Self {
-        self.nodes.push((name.into(), header_type.into(), offset, None));
+    pub fn node(
+        mut self,
+        name: impl Into<String>,
+        header_type: impl Into<String>,
+        offset: u32,
+    ) -> Self {
+        self.nodes
+            .push((name.into(), header_type.into(), offset, None));
         self
     }
 
     /// Sets node `name`'s transition to unconditionally continue at node
     /// `target`.
     pub fn goto(mut self, name: &str, target: &str) -> Self {
-        self.set_transition(name, PendingTransition::Unconditional(PendingTarget::Node(target.into())));
+        self.set_transition(
+            name,
+            PendingTransition::Unconditional(PendingTarget::Node(target.into())),
+        );
         self
     }
 
     /// Sets node `name`'s transition to accept.
     pub fn accept(mut self, name: &str) -> Self {
-        self.set_transition(name, PendingTransition::Unconditional(PendingTarget::Accept));
+        self.set_transition(
+            name,
+            PendingTransition::Unconditional(PendingTarget::Accept),
+        );
         self
     }
 
@@ -151,49 +173,93 @@ impl ParserBuilder {
         if let Some(entry) = self.nodes.iter_mut().find(|(n, ..)| n == name) {
             entry.3 = Some(t);
         } else {
-            panic!("parser node {name} not declared before setting its transition");
+            self.errors.push(IrError::Undefined {
+                kind: "parser node",
+                name: name.to_string(),
+            });
         }
     }
 
-    /// Resolves names and produces the DAG. Unknown target names panic — the
-    /// builder is developer-facing, and a typo is a programming error.
-    pub fn build(self) -> ParserDag {
+    /// Resolves names and produces the DAG. A transition set on an
+    /// undeclared node or a target name that resolves to no node is an
+    /// [`IrError::Undefined`] — surfaced here rather than panicking, so a
+    /// typo in a generated parser is a recoverable diagnostic.
+    pub fn build(self) -> Result<ParserDag> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
         let index: BTreeMap<String, usize> = self
             .nodes
             .iter()
             .enumerate()
             .map(|(i, (n, ..))| (n.clone(), i))
             .collect();
-        let resolve = |t: &PendingTarget| -> Target {
+        let resolve = |t: &PendingTarget| -> Result<Target> {
             match t {
-                PendingTarget::Accept => Target::Accept,
-                PendingTarget::Reject => Target::Reject,
-                PendingTarget::Node(n) => Target::Node(
-                    *index.get(n).unwrap_or_else(|| panic!("unknown parser node: {n}")),
-                ),
+                PendingTarget::Accept => Ok(Target::Accept),
+                PendingTarget::Reject => Ok(Target::Reject),
+                PendingTarget::Node(n) => {
+                    index
+                        .get(n)
+                        .map(|i| Target::Node(*i))
+                        .ok_or_else(|| IrError::Undefined {
+                            kind: "parser node",
+                            name: n.clone(),
+                        })
+                }
             }
         };
         let mut dag = ParserDag::new();
         for (_, header_type, offset, transition) in &self.nodes {
             let transition = match transition {
                 None => Transition::Unconditional(Target::Accept),
-                Some(PendingTransition::Unconditional(t)) => Transition::Unconditional(resolve(t)),
-                Some(PendingTransition::Select { field, cases, default }) => Transition::Select {
+                Some(PendingTransition::Unconditional(t)) => Transition::Unconditional(resolve(t)?),
+                Some(PendingTransition::Select {
+                    field,
+                    cases,
+                    default,
+                }) => Transition::Select {
                     field: field.clone(),
-                    cases: cases.iter().map(|(v, t)| (*v, resolve(t))).collect(),
-                    default: resolve(default),
+                    cases: cases
+                        .iter()
+                        .map(|(v, t)| Ok((*v, resolve(t)?)))
+                        .collect::<Result<Vec<_>>>()?,
+                    default: resolve(default)?,
                 },
             };
-            dag.add_node(ParseNode { header_type: header_type.clone(), offset: *offset, transition });
+            dag.add_node(ParseNode {
+                header_type: header_type.clone(),
+                offset: *offset,
+                transition,
+            });
         }
-        dag.start = self.start.as_ref().map(resolve);
-        dag
+        dag.start = self.start.as_ref().map(&resolve).transpose()?;
+        Ok(dag)
     }
 }
 
-impl From<ParserBuilder> for ParserDag {
-    fn from(b: ParserBuilder) -> ParserDag {
-        b.build()
+/// Parser input accepted by [`ProgramBuilder::parser`]: a finished DAG, a
+/// [`ParserBuilder`] (resolved on the spot), or an explicit result. A
+/// resolution failure is carried into the program builder and reported by
+/// [`ProgramBuilder::build`] instead of panicking mid-chain.
+#[derive(Debug, Clone)]
+pub struct ParserResult(Result<ParserDag>);
+
+impl From<ParserDag> for ParserResult {
+    fn from(dag: ParserDag) -> ParserResult {
+        ParserResult(Ok(dag))
+    }
+}
+
+impl From<ParserBuilder> for ParserResult {
+    fn from(b: ParserBuilder) -> ParserResult {
+        ParserResult(b.build())
+    }
+}
+
+impl From<Result<ParserDag>> for ParserResult {
+    fn from(r: Result<ParserDag>) -> ParserResult {
+        ParserResult(r)
     }
 }
 
@@ -206,7 +272,13 @@ pub struct ActionBuilder {
 impl ActionBuilder {
     /// Starts an action.
     pub fn new(name: impl Into<String>) -> Self {
-        ActionBuilder { def: ActionDef { name: name.into(), params: Vec::new(), ops: Vec::new() } }
+        ActionBuilder {
+            def: ActionDef {
+                name: name.into(),
+                params: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
     }
 
     /// Declares a runtime parameter.
@@ -238,31 +310,46 @@ impl ActionBuilder {
 
     /// Appends a header removal.
     pub fn remove_header(mut self, header: impl Into<String>) -> Self {
-        self.def.ops.push(PrimitiveOp::RemoveHeader { header: header.into() });
+        self.def.ops.push(PrimitiveOp::RemoveHeader {
+            header: header.into(),
+        });
         self
     }
 
     /// Appends removal of the `occurrence`-th instance of `header`.
     pub fn remove_header_nth(mut self, header: impl Into<String>, occurrence: usize) -> Self {
-        self.def.ops.push(PrimitiveOp::RemoveHeaderNth { header: header.into(), occurrence });
+        self.def.ops.push(PrimitiveOp::RemoveHeaderNth {
+            header: header.into(),
+            occurrence,
+        });
         self
     }
 
     /// Appends `dst = register[index]`.
     pub fn reg_read(mut self, dst: FieldRef, register: impl Into<String>, index: Expr) -> Self {
-        self.def.ops.push(PrimitiveOp::RegisterRead { dst, register: register.into(), index });
+        self.def.ops.push(PrimitiveOp::RegisterRead {
+            dst,
+            register: register.into(),
+            index,
+        });
         self
     }
 
     /// Appends `register[index] = value`.
     pub fn reg_write(mut self, register: impl Into<String>, index: Expr, value: Expr) -> Self {
-        self.def.ops.push(PrimitiveOp::RegisterWrite { register: register.into(), index, value });
+        self.def.ops.push(PrimitiveOp::RegisterWrite {
+            register: register.into(),
+            index,
+            value,
+        });
         self
     }
 
     /// Appends an IPv4 checksum recomputation over `header`.
     pub fn update_checksum(mut self, header: impl Into<String>) -> Self {
-        self.def.ops.push(PrimitiveOp::Ipv4ChecksumUpdate { header: header.into() });
+        self.def.ops.push(PrimitiveOp::Ipv4ChecksumUpdate {
+            header: header.into(),
+        });
         self
     }
 
@@ -301,25 +388,37 @@ impl TableBuilder {
 
     /// Adds an exact-match key.
     pub fn key_exact(mut self, field: FieldRef) -> Self {
-        self.def.keys.push(TableKey { field, kind: MatchKind::Exact });
+        self.def.keys.push(TableKey {
+            field,
+            kind: MatchKind::Exact,
+        });
         self
     }
 
     /// Adds a ternary key.
     pub fn key_ternary(mut self, field: FieldRef) -> Self {
-        self.def.keys.push(TableKey { field, kind: MatchKind::Ternary });
+        self.def.keys.push(TableKey {
+            field,
+            kind: MatchKind::Ternary,
+        });
         self
     }
 
     /// Adds an LPM key.
     pub fn key_lpm(mut self, field: FieldRef) -> Self {
-        self.def.keys.push(TableKey { field, kind: MatchKind::Lpm });
+        self.def.keys.push(TableKey {
+            field,
+            kind: MatchKind::Lpm,
+        });
         self
     }
 
     /// Adds a range key.
     pub fn key_range(mut self, field: FieldRef) -> Self {
-        self.def.keys.push(TableKey { field, kind: MatchKind::Range });
+        self.def.keys.push(TableKey {
+            field,
+            kind: MatchKind::Range,
+        });
         self
     }
 
@@ -367,7 +466,10 @@ pub struct ControlBuilder {
 impl ControlBuilder {
     /// Starts a control block.
     pub fn new(name: impl Into<String>) -> Self {
-        ControlBuilder { name: name.into(), body: Vec::new() }
+        ControlBuilder {
+            name: name.into(),
+            body: Vec::new(),
+        }
     }
 
     /// Appends a statement.
@@ -404,12 +506,16 @@ impl ControlBuilder {
 #[derive(Debug, Clone)]
 pub struct ProgramBuilder {
     program: Program,
+    parser_error: Option<IrError>,
 }
 
 impl ProgramBuilder {
     /// Starts a program.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { program: Program::new(name) }
+        ProgramBuilder {
+            program: Program::new(name),
+            parser_error: None,
+        }
     }
 
     /// Registers a header type.
@@ -420,13 +526,21 @@ impl ProgramBuilder {
 
     /// Declares a user metadata field.
     pub fn meta_field(mut self, name: impl Into<String>, bits: u16) -> Self {
-        self.program.meta_fields.push(FieldDef { name: name.into(), bits });
+        self.program.meta_fields.push(FieldDef {
+            name: name.into(),
+            bits,
+        });
         self
     }
 
-    /// Installs the parser (accepts a finished DAG or a builder).
-    pub fn parser(mut self, dag: impl Into<ParserDag>) -> Self {
-        self.program.parser = dag.into();
+    /// Installs the parser (accepts a finished DAG, a [`ParserBuilder`], or
+    /// a `Result<ParserDag, IrError>`). A failed parser build is stashed and
+    /// reported by [`build`](Self::build).
+    pub fn parser(mut self, dag: impl Into<ParserResult>) -> Self {
+        match dag.into().0 {
+            Ok(dag) => self.program.parser = dag,
+            Err(e) => self.parser_error = Some(e),
+        }
         self
     }
 
@@ -447,7 +561,11 @@ impl ProgramBuilder {
         let name = name.into();
         self.program.registers.insert(
             name.clone(),
-            RegisterDef { name, width_bits, size },
+            RegisterDef {
+                name,
+                width_bits,
+                size,
+            },
         );
         self
     }
@@ -464,8 +582,12 @@ impl ProgramBuilder {
         self
     }
 
-    /// Validates and returns the program.
+    /// Validates and returns the program. A parser that failed to resolve
+    /// is reported first.
     pub fn build(self) -> Result<Program> {
+        if let Some(e) = self.parser_error {
+            return Err(e);
+        }
         self.program.validate()?;
         Ok(self.program)
     }
@@ -528,7 +650,8 @@ mod tests {
             .select_or_reject("eth", "ether_type", 16, vec![(0x0800, "ip")])
             .accept("ip")
             .start("eth")
-            .build();
+            .build()
+            .unwrap();
         let headers = [well_known::ethernet(), well_known::ipv4()]
             .into_iter()
             .map(|h| (h.name.clone(), h))
@@ -541,13 +664,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown parser node")]
-    fn unknown_target_panics() {
-        let _ = ParserBuilder::new()
+    fn unknown_target_is_an_error() {
+        let err = ParserBuilder::new()
             .node("eth", "ethernet", 0)
             .goto("eth", "ghost")
             .start("eth")
-            .build();
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IrError::Undefined {
+                kind: "parser node",
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn transition_on_undeclared_node_is_an_error() {
+        let err = ParserBuilder::new()
+            .node("eth", "ethernet", 0)
+            .accept("ghost")
+            .start("eth")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IrError::Undefined {
+                kind: "parser node",
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parser_error_surfaces_from_program_build() {
+        let err = ProgramBuilder::new("broken")
+            .header(well_known::ethernet())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .goto("eth", "ghost")
+                    .start("eth"),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IrError::Undefined {
+                kind: "parser node",
+                name: "ghost".into()
+            }
+        );
     }
 
     #[test]

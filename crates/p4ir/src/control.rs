@@ -117,7 +117,11 @@ impl Stmt {
     fn collect_tables(&self, out: &mut Vec<String>) {
         match self {
             Stmt::Apply(t) => out.push(t.clone()),
-            Stmt::ApplySelect { table, arms, default } => {
+            Stmt::ApplySelect {
+                table,
+                arms,
+                default,
+            } => {
                 out.push(table.clone());
                 for (_, branch) in arms {
                     for s in branch {
@@ -128,7 +132,11 @@ impl Stmt {
                     s.collect_tables(out);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 for s in then_branch {
                     s.collect_tables(out);
                 }
@@ -160,7 +168,11 @@ impl Stmt {
                     s.collect_calls(out);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 for s in then_branch {
                     s.collect_calls(out);
                 }
@@ -187,7 +199,11 @@ impl Stmt {
                     .sum();
                 1 + inner
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let inner: u32 = then_branch
                     .iter()
                     .chain(else_branch.iter())
@@ -211,7 +227,10 @@ pub struct ControlBlock {
 impl ControlBlock {
     /// Creates a control block.
     pub fn new(name: impl Into<String>, body: Vec<Stmt>) -> Self {
-        ControlBlock { name: name.into(), body }
+        ControlBlock {
+            name: name.into(),
+            body,
+        }
     }
 
     /// Tables applied anywhere in the body, in program order.

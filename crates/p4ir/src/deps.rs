@@ -71,7 +71,7 @@ pub struct DependencyGraph {
 
 /// Do two field references overlap? A `"*"` field is a whole-header
 /// wildcard (used by header add/remove and validity checks).
-fn overlaps(a: &FieldRef, b: &FieldRef) -> bool {
+pub(crate) fn overlaps(a: &FieldRef, b: &FieldRef) -> bool {
     a.header == b.header && (a.field == b.field || a.field == "*" || b.field == "*")
 }
 
@@ -95,7 +95,9 @@ impl DependencyGraph {
         let mut action_reads: BTreeMap<&str, BTreeSet<FieldRef>> = BTreeMap::new();
         let mut writes: BTreeMap<&str, BTreeSet<FieldRef>> = BTreeMap::new();
         for name in &order {
-            let Some(t) = program.tables.get(name) else { continue };
+            let Some(t) = program.tables.get(name) else {
+                continue;
+            };
             match_reads.insert(name, t.match_reads().into_iter().collect());
             let mut ar = BTreeSet::new();
             let mut w = BTreeSet::new();
@@ -141,7 +143,11 @@ impl DependencyGraph {
                     None
                 };
                 if let Some(kind) = kind {
-                    edges.push(DependencyEdge { from: a.clone(), to: b.clone(), kind });
+                    edges.push(DependencyEdge {
+                        from: a.clone(),
+                        to: b.clone(),
+                        kind,
+                    });
                 }
             }
         }
@@ -171,8 +177,7 @@ impl DependencyGraph {
     /// The stage level (0-based) of each table under the ASAP schedule used
     /// by [`Self::min_stages`].
     pub fn stage_levels(&self) -> BTreeMap<String, u32> {
-        let mut level: BTreeMap<String, u32> =
-            self.order.iter().map(|t| (t.clone(), 0)).collect();
+        let mut level: BTreeMap<String, u32> = self.order.iter().map(|t| (t.clone(), 0)).collect();
         for e in &self.edges {
             let from_level = *level.get(&e.from).unwrap_or(&0);
             let need = from_level + e.kind.min_stage_gap();
@@ -186,13 +191,16 @@ impl DependencyGraph {
 
     /// Edge lookup.
     pub fn edge(&self, from: &str, to: &str) -> Option<DependencyKind> {
-        self.edges.iter().find(|e| e.from == from && e.to == to).map(|e| e.kind)
+        self.edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| e.kind)
     }
 }
 
 /// Pairs of tables applied in *sibling* branches of the same `ApplySelect`
 /// or `If` — at most one of the pair executes per packet.
-fn mutually_exclusive_pairs(program: &Program) -> BTreeSet<(String, String)> {
+pub(crate) fn mutually_exclusive_pairs(program: &Program) -> BTreeSet<(String, String)> {
     use crate::control::Stmt;
     let mut pairs = BTreeSet::new();
 
@@ -204,14 +212,22 @@ fn mutually_exclusive_pairs(program: &Program) -> BTreeSet<(String, String)> {
         for stmt in stmts {
             match stmt {
                 Stmt::Apply(t) => out.push(t.clone()),
-                Stmt::ApplySelect { table, arms, default } => {
+                Stmt::ApplySelect {
+                    table,
+                    arms,
+                    default,
+                } => {
                     out.push(table.clone());
                     for (_, b) in arms {
                         tables_under(program, b, out, depth);
                     }
                     tables_under(program, default, out, depth);
                 }
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     tables_under(program, then_branch, out, depth);
                     tables_under(program, else_branch, out, depth);
                 }
@@ -225,7 +241,12 @@ fn mutually_exclusive_pairs(program: &Program) -> BTreeSet<(String, String)> {
         }
     }
 
-    fn walk(program: &Program, stmts: &[Stmt], pairs: &mut BTreeSet<(String, String)>, depth: usize) {
+    fn walk(
+        program: &Program,
+        stmts: &[Stmt],
+        pairs: &mut BTreeSet<(String, String)>,
+        depth: usize,
+    ) {
         if depth > 64 {
             return;
         }
@@ -236,7 +257,11 @@ fn mutually_exclusive_pairs(program: &Program) -> BTreeSet<(String, String)> {
                     v.push(default);
                     v
                 }
-                Stmt::If { then_branch, else_branch, .. } => vec![then_branch, else_branch],
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => vec![then_branch, else_branch],
                 Stmt::Call(c) => {
                     if let Some(cb) = program.controls.get(c) {
                         walk(program, &cb.body, pairs, depth + 1);
@@ -299,7 +324,11 @@ fn control_flow_pairs(program: &Program) -> BTreeSet<(String, String)> {
                         pairs.insert((a.clone(), t.clone()));
                     }
                 }
-                Stmt::ApplySelect { table, arms, default } => {
+                Stmt::ApplySelect {
+                    table,
+                    arms,
+                    default,
+                } => {
                     for a in enclosing.iter() {
                         pairs.insert((a.clone(), table.clone()));
                     }
@@ -310,7 +339,11 @@ fn control_flow_pairs(program: &Program) -> BTreeSet<(String, String)> {
                     walk(program, default, enclosing, pairs, depth);
                     enclosing.pop();
                 }
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     walk(program, then_branch, enclosing, pairs, depth);
                     walk(program, else_branch, enclosing, pairs, depth);
                 }
@@ -347,8 +380,16 @@ mod tests {
         let mut p = Program::new("deps");
         p.header_types.insert(
             "ipv4".into(),
-            HeaderType::new("ipv4", vec![("src_addr", 32u16), ("dst_addr", 32), ("ttl", 8), ("pad", 24)])
-                .unwrap(),
+            HeaderType::new(
+                "ipv4",
+                vec![
+                    ("src_addr", 32u16),
+                    ("dst_addr", 32),
+                    ("ttl", 8),
+                    ("pad", 24),
+                ],
+            )
+            .unwrap(),
         );
         let n = p.parser.add_node(ParseNode {
             header_type: "ipv4".into(),
@@ -379,24 +420,43 @@ mod tests {
                 }],
             },
         );
-        p.actions.insert("nop".into(), ActionDef::simple("nop", vec![PrimitiveOp::NoOp]));
+        p.actions.insert(
+            "nop".into(),
+            ActionDef::simple("nop", vec![PrimitiveOp::NoOp]),
+        );
 
         let mk = |name: &str, key: FieldRef, actions: Vec<&str>| TableDef {
             name: name.into(),
-            keys: vec![TableKey { field: key, kind: MatchKind::Exact }],
+            keys: vec![TableKey {
+                field: key,
+                kind: MatchKind::Exact,
+            }],
             actions: actions.iter().map(|s| s.to_string()).collect(),
             default_action: "nop".into(),
             default_action_args: vec![],
             size: 16,
         };
-        p.tables.insert("t1".into(), mk("t1", fref("ipv4", "src_addr"), vec!["set_dst", "nop"]));
-        p.tables.insert("t2".into(), mk("t2", fref("ipv4", "dst_addr"), vec!["set_port", "nop"]));
-        p.tables.insert("t3".into(), mk("t3", fref("ipv4", "ttl"), vec!["set_port", "nop"]));
+        p.tables.insert(
+            "t1".into(),
+            mk("t1", fref("ipv4", "src_addr"), vec!["set_dst", "nop"]),
+        );
+        p.tables.insert(
+            "t2".into(),
+            mk("t2", fref("ipv4", "dst_addr"), vec!["set_port", "nop"]),
+        );
+        p.tables.insert(
+            "t3".into(),
+            mk("t3", fref("ipv4", "ttl"), vec!["set_port", "nop"]),
+        );
         p.controls.insert(
             "ingress".into(),
             ControlBlock::new(
                 "ingress",
-                vec![Stmt::Apply("t1".into()), Stmt::Apply("t2".into()), Stmt::Apply("t3".into())],
+                vec![
+                    Stmt::Apply("t1".into()),
+                    Stmt::Apply("t2".into()),
+                    Stmt::Apply("t3".into()),
+                ],
             ),
         );
         p.entry = "ingress".into();
@@ -473,7 +533,11 @@ mod tests {
             ),
         );
         let g = DependencyGraph::build(&p);
-        assert_eq!(g.edge("t2", "t3"), None, "exclusive siblings must not depend");
+        assert_eq!(
+            g.edge("t2", "t3"),
+            None,
+            "exclusive siblings must not depend"
+        );
         // t1 → t2 is still a match dependency (t1 writes what t2 matches).
         assert_eq!(g.edge("t1", "t2"), Some(DependencyKind::Match));
     }

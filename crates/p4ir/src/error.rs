@@ -50,11 +50,25 @@ impl fmt::Display for IrError {
         match self {
             IrError::Undefined { kind, name } => write!(f, "undefined {kind}: {name}"),
             IrError::Duplicate { kind, name } => write!(f, "duplicate {kind}: {name}"),
-            IrError::BadFieldWidth { header, field, bits } => {
-                write!(f, "bad width {bits} for field {header}.{field} (must be 1..=128)")
+            IrError::BadFieldWidth {
+                header,
+                field,
+                bits,
+            } => {
+                write!(
+                    f,
+                    "bad width {bits} for field {header}.{field} (must be 1..=128)"
+                )
             }
-            IrError::ValueOverflow { context, value, bits } => {
-                write!(f, "value {value:#x} does not fit in {bits} bits ({context})")
+            IrError::ValueOverflow {
+                context,
+                value,
+                bits,
+            } => {
+                write!(
+                    f,
+                    "value {value:#x} does not fit in {bits} bits ({context})"
+                )
             }
             IrError::Invalid(msg) => write!(f, "invalid IR: {msg}"),
         }

@@ -40,7 +40,10 @@ impl HeaderType {
         let name = name.into();
         let fields: Vec<FieldDef> = fields
             .into_iter()
-            .map(|(n, bits)| FieldDef { name: n.into(), bits })
+            .map(|(n, bits)| FieldDef {
+                name: n.into(),
+                bits,
+            })
             .collect();
         let ht = HeaderType { name, fields };
         ht.validate()?;
@@ -119,12 +122,18 @@ impl FieldRef {
 
     /// Creates a reference to `header.field`.
     pub fn new(header: impl Into<String>, field: impl Into<String>) -> Self {
-        FieldRef { header: header.into(), field: field.into() }
+        FieldRef {
+            header: header.into(),
+            field: field.into(),
+        }
     }
 
     /// Creates a reference to metadata field `meta.field`.
     pub fn meta(field: impl Into<String>) -> Self {
-        FieldRef { header: Self::META.to_string(), field: field.into() }
+        FieldRef {
+            header: Self::META.to_string(),
+            field: field.into(),
+        }
     }
 
     /// True if this reference addresses metadata rather than a parsed header.
@@ -149,7 +158,11 @@ mod tests {
     use super::*;
 
     fn eth() -> HeaderType {
-        HeaderType::new("ethernet", vec![("dst", 48u16), ("src", 48), ("ether_type", 16)]).unwrap()
+        HeaderType::new(
+            "ethernet",
+            vec![("dst", 48u16), ("src", 48), ("ether_type", 16)],
+        )
+        .unwrap()
     }
 
     #[test]

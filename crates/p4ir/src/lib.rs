@@ -35,6 +35,7 @@ pub mod control;
 pub mod deps;
 pub mod error;
 pub mod header;
+pub mod lint;
 pub mod parser;
 pub mod printer;
 pub mod program;
@@ -43,13 +44,18 @@ pub mod value;
 pub mod well_known;
 
 pub use action::{ActionDef, Expr, PrimitiveOp};
-pub use builder::{ActionBuilder, ControlBuilder, HeaderTypeBuilder, ParserBuilder, ProgramBuilder, TableBuilder};
+pub use builder::{
+    ActionBuilder, ControlBuilder, HeaderTypeBuilder, ParserBuilder, ProgramBuilder, TableBuilder,
+};
 pub use control::{BoolExpr, CmpOp, ControlBlock, Stmt};
 pub use deps::{DependencyGraph, DependencyKind};
 pub use error::{IrError, Result};
 pub use header::{fref, FieldDef, FieldRef, HeaderType};
+pub use lint::{Diagnostic, LintCode, LintConfig, LintReport, Severity};
+pub use parser::{
+    deposit_bits, extract_bits, extract_field, ParseNode, ParserDag, Target, Transition,
+};
 pub use printer::print_program;
-pub use parser::{deposit_bits, extract_bits, extract_field, ParseNode, ParserDag, Target, Transition};
 pub use program::Program;
 pub use table::{MatchKind, TableDef};
 pub use value::{mask_for, Value};

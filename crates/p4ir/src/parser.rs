@@ -104,7 +104,9 @@ impl ParserDag {
 
     /// Looks up a node by its `(header_type, offset)` identity.
     pub fn find(&self, header_type: &str, offset: u32) -> Option<usize> {
-        self.nodes.iter().position(|n| n.header_type == header_type && n.offset == offset)
+        self.nodes
+            .iter()
+            .position(|n| n.header_type == header_type && n.offset == offset)
     }
 
     /// Validates the DAG against a header catalog:
@@ -120,10 +122,12 @@ impl ParserDag {
         self.check_target(start)?;
         let mut keys = std::collections::HashSet::new();
         for (id, node) in self.nodes.iter().enumerate() {
-            let ht = headers.get(&node.header_type).ok_or_else(|| IrError::Undefined {
-                kind: "header type",
-                name: node.header_type.clone(),
-            })?;
+            let ht = headers
+                .get(&node.header_type)
+                .ok_or_else(|| IrError::Undefined {
+                    kind: "header type",
+                    name: node.header_type.clone(),
+                })?;
             if !keys.insert((node.header_type.clone(), node.offset)) {
                 return Err(IrError::Duplicate {
                     kind: "parser vertex",
@@ -163,7 +167,9 @@ impl ParserDag {
     fn check_target(&self, t: Target) -> Result<()> {
         if let Target::Node(i) = t {
             if i >= self.nodes.len() {
-                return Err(IrError::Invalid(format!("dangling parser edge to node {i}")));
+                return Err(IrError::Invalid(format!(
+                    "dangling parser edge to node {i}"
+                )));
             }
         }
         Ok(())
@@ -174,11 +180,7 @@ impl ParserDag {
     ///
     /// This is the reference parser used by tests, the merge validator, and
     /// the `dejavu-asic` interpreter.
-    pub fn parse(
-        &self,
-        headers: &HashMap<String, HeaderType>,
-        bytes: &[u8],
-    ) -> Result<ParsePath> {
+    pub fn parse(&self, headers: &HashMap<String, HeaderType>, bytes: &[u8]) -> Result<ParsePath> {
         let mut path = Vec::new();
         let mut cur = self
             .start
@@ -194,10 +196,12 @@ impl ParserDag {
                 }
                 Target::Node(id) => {
                     let node = &self.nodes[id];
-                    let ht = headers.get(&node.header_type).ok_or_else(|| IrError::Undefined {
-                        kind: "header type",
-                        name: node.header_type.clone(),
-                    })?;
+                    let ht = headers
+                        .get(&node.header_type)
+                        .ok_or_else(|| IrError::Undefined {
+                            kind: "header type",
+                            name: node.header_type.clone(),
+                        })?;
                     let end = node.offset as usize + ht.total_bytes() as usize;
                     if bytes.len() < end {
                         return Err(IrError::Invalid(format!(
@@ -211,13 +215,18 @@ impl ParserDag {
                     path.push((node.header_type.clone(), node.offset));
                     cur = match &node.transition {
                         Transition::Unconditional(t) => *t,
-                        Transition::Select { field, cases, default } => {
-                            let v = extract_field(ht, field, bytes, node.offset).ok_or_else(
-                                || IrError::Undefined {
-                                    kind: "select field",
-                                    name: format!("{}.{}", node.header_type, field),
-                                },
-                            )?;
+                        Transition::Select {
+                            field,
+                            cases,
+                            default,
+                        } => {
+                            let v =
+                                extract_field(ht, field, bytes, node.offset).ok_or_else(|| {
+                                    IrError::Undefined {
+                                        kind: "select field",
+                                        name: format!("{}.{}", node.header_type, field),
+                                    }
+                                })?;
                             cases
                                 .iter()
                                 .find(|(case, _)| *case == v)
@@ -232,14 +241,21 @@ impl ParserDag {
 
     /// All distinct `(header_type, offset)` vertex identities in the DAG.
     pub fn vertex_keys(&self) -> Vec<(String, u32)> {
-        self.nodes.iter().map(|n| (n.header_type.clone(), n.offset)).collect()
+        self.nodes
+            .iter()
+            .map(|n| (n.header_type.clone(), n.offset))
+            .collect()
     }
 
     /// Maximum byte consumed by any vertex (parser window requirement).
     pub fn max_depth_bytes(&self, headers: &HashMap<String, HeaderType>) -> u32 {
         self.nodes
             .iter()
-            .filter_map(|n| headers.get(&n.header_type).map(|h| n.offset + h.total_bytes()))
+            .filter_map(|n| {
+                headers
+                    .get(&n.header_type)
+                    .map(|h| n.offset + h.total_bytes())
+            })
             .max()
             .unwrap_or(0)
     }
@@ -251,7 +267,11 @@ impl ParserDag {
 pub fn extract_field(ht: &HeaderType, field: &str, bytes: &[u8], offset: u32) -> Option<Value> {
     let bit_off = ht.field_bit_offset(field)?;
     let fd = ht.field(field)?;
-    Some(extract_bits(bytes, u64::from(offset) * 8 + u64::from(bit_off), fd.bits))
+    Some(extract_bits(
+        bytes,
+        u64::from(offset) * 8 + u64::from(bit_off),
+        fd.bits,
+    ))
 }
 
 /// Extracts `bits` bits starting at absolute bit offset `bit_off` (big-endian
@@ -293,8 +313,11 @@ mod tests {
         let mut m = HashMap::new();
         m.insert(
             "ethernet".into(),
-            HeaderType::new("ethernet", vec![("dst", 48u16), ("src", 48), ("ether_type", 16)])
-                .unwrap(),
+            HeaderType::new(
+                "ethernet",
+                vec![("dst", 48u16), ("src", 48), ("ether_type", 16)],
+            )
+            .unwrap(),
         );
         m.insert(
             "ipv4".into(),
@@ -358,8 +381,13 @@ mod tests {
 
     #[test]
     fn parse_follows_select() {
-        let path = eth_ipv4_dag().parse(&catalog(), &eth_ipv4_packet()).unwrap();
-        assert_eq!(path, vec![("ethernet".to_string(), 0), ("ipv4".to_string(), 14)]);
+        let path = eth_ipv4_dag()
+            .parse(&catalog(), &eth_ipv4_packet())
+            .unwrap();
+        assert_eq!(
+            path,
+            vec![("ethernet".to_string(), 0), ("ipv4".to_string(), 14)]
+        );
     }
 
     #[test]
@@ -424,7 +452,11 @@ mod tests {
         let mut pkt = eth_ipv4_packet();
         let ttl = extract_field(ip, "ttl", &pkt, 14).unwrap();
         assert_eq!(ttl.raw(), 64);
-        deposit_bits(&mut pkt, 14 * 8 + u64::from(ip.field_bit_offset("ttl").unwrap()), Value::new(63, 8));
+        deposit_bits(
+            &mut pkt,
+            14 * 8 + u64::from(ip.field_bit_offset("ttl").unwrap()),
+            Value::new(63, 8),
+        );
         assert_eq!(extract_field(ip, "ttl", &pkt, 14).unwrap().raw(), 63);
         // sub-byte field
         let version = extract_field(ip, "version", &pkt, 14).unwrap();

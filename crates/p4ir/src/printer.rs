@@ -34,7 +34,11 @@ pub fn print_program(p: &Program) -> String {
     }
 
     for r in p.registers.values() {
-        let _ = writeln!(out, "Register<bit<{}>>({}) {};", r.width_bits, r.size, r.name);
+        let _ = writeln!(
+            out,
+            "Register<bit<{}>>({}) {};",
+            r.width_bits, r.size, r.name
+        );
     }
 
     // Parser.
@@ -47,8 +51,16 @@ pub fn print_program(p: &Program) -> String {
             Transition::Unconditional(t) => {
                 let _ = writeln!(out, "        transition {};", target_name(p, *t));
             }
-            Transition::Select { field, cases, default } => {
-                let _ = writeln!(out, "        transition select(hdr.{}.{field}) {{", node.header_type);
+            Transition::Select {
+                field,
+                cases,
+                default,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "        transition select(hdr.{}.{field}) {{",
+                    node.header_type
+                );
                 for (v, t) in cases {
                     let _ = writeln!(out, "            {:#x}: {};", v.raw(), target_name(p, *t));
                 }
@@ -62,8 +74,11 @@ pub fn print_program(p: &Program) -> String {
 
     for a in p.actions.values() {
         let _ = write!(out, "action {}(", a.name);
-        let params: Vec<String> =
-            a.params.iter().map(|(n, b)| format!("bit<{b}> {n}")).collect();
+        let params: Vec<String> = a
+            .params
+            .iter()
+            .map(|(n, b)| format!("bit<{b}> {n}"))
+            .collect();
         let _ = writeln!(out, "{}) {{", params.join(", "));
         for op in &a.ops {
             let _ = writeln!(out, "    {}", print_op(op));
@@ -86,7 +101,11 @@ pub fn print_program(p: &Program) -> String {
 
     for c in p.controls.values() {
         let marker = if c.name == p.entry { " // entry" } else { "" };
-        let _ = writeln!(out, "control {}(inout all_headers_t hdr) {{{marker}", c.name);
+        let _ = writeln!(
+            out,
+            "control {}(inout all_headers_t hdr) {{{marker}",
+            c.name
+        );
         let _ = writeln!(out, "    apply {{");
         for s in &c.body {
             print_stmt(&mut out, s, 2);
@@ -153,11 +172,23 @@ fn print_op(op: &PrimitiveOp) -> String {
         PrimitiveOp::RemoveHeaderNth { header, occurrence } => {
             format!("hdr.{header}[{occurrence}].setInvalid();")
         }
-        PrimitiveOp::RegisterRead { dst, register, index } => {
+        PrimitiveOp::RegisterRead {
+            dst,
+            register,
+            index,
+        } => {
             format!("{register}.read({dst}, {});", print_expr(index))
         }
-        PrimitiveOp::RegisterWrite { register, index, value } => {
-            format!("{register}.write({}, {});", print_expr(index), print_expr(value))
+        PrimitiveOp::RegisterWrite {
+            register,
+            index,
+            value,
+        } => {
+            format!(
+                "{register}.write({}, {});",
+                print_expr(index),
+                print_expr(value)
+            )
         }
         PrimitiveOp::Ipv4ChecksumUpdate { header } => {
             format!("update_checksum(hdr.{header});")
@@ -193,7 +224,11 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
         Stmt::Apply(t) => {
             let _ = writeln!(out, "{pad}{t}.apply();");
         }
-        Stmt::ApplySelect { table, arms, default } => {
+        Stmt::ApplySelect {
+            table,
+            arms,
+            default,
+        } => {
             let _ = writeln!(out, "{pad}switch ({table}.apply().action_run) {{");
             for (a, b) in arms {
                 let _ = writeln!(out, "{pad}    {a}: {{");
@@ -211,7 +246,11 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let _ = writeln!(out, "{pad}if ({}) {{", print_bool(cond));
             for s in then_branch {
                 print_stmt(out, s, indent + 1);

@@ -10,11 +10,11 @@
 //! compilation, placement, and simulation — is deterministic.
 
 use crate::action::ActionDef;
-use crate::table::RegisterDef;
 use crate::control::ControlBlock;
 use crate::error::{IrError, Result};
 use crate::header::{FieldDef, FieldRef, HeaderType};
 use crate::parser::ParserDag;
+use crate::table::RegisterDef;
 use crate::table::TableDef;
 use std::collections::BTreeMap;
 
@@ -58,7 +58,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Program { name: name.into(), ..Default::default() }
+        Program {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Width of a field reference, searching header types then user metadata
@@ -73,7 +76,10 @@ impl Program {
                 .find(|(n, _)| *n == fr.field)
                 .map(|(_, w)| *w);
         }
-        self.header_types.get(&fr.header)?.field(&fr.field).map(|f| f.bits)
+        self.header_types
+            .get(&fr.header)?
+            .field(&fr.field)
+            .map(|f| f.bits)
     }
 
     /// True if the field reference resolves (header add/remove writes use a
@@ -119,7 +125,11 @@ impl Program {
         use crate::control::Stmt;
         match stmt {
             Stmt::Apply(t) => out.push(t.clone()),
-            Stmt::ApplySelect { table, arms, default } => {
+            Stmt::ApplySelect {
+                table,
+                arms,
+                default,
+            } => {
                 out.push(table.clone());
                 for (_, b) in arms {
                     for s in b {
@@ -130,7 +140,11 @@ impl Program {
                     self.flatten_stmt(s, out, depth);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 for s in then_branch {
                     self.flatten_stmt(s, out, depth);
                 }
@@ -160,8 +174,11 @@ impl Program {
         }
         {
             // HashMap view for the parser validator.
-            let hm: std::collections::HashMap<String, HeaderType> =
-                self.header_types.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            let hm: std::collections::HashMap<String, HeaderType> = self
+                .header_types
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
             self.parser.validate(&hm)?;
         }
         for t in self.tables.values() {
@@ -226,7 +243,10 @@ impl Program {
 
     /// Header catalog as a `HashMap` (the form the parser walker takes).
     pub fn header_map(&self) -> std::collections::HashMap<String, HeaderType> {
-        self.header_types.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.header_types
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 }
 
@@ -235,7 +255,11 @@ fn stmt_cond_reads(stmt: &crate::control::Stmt) -> Vec<FieldRef> {
     use crate::control::Stmt;
     let mut out = Vec::new();
     match stmt {
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.extend(cond.reads());
             for s in then_branch.iter().chain(else_branch.iter()) {
                 out.extend(stmt_cond_reads(s));
@@ -269,8 +293,11 @@ mod tests {
         let mut p = Program::new("tiny");
         p.header_types.insert(
             "ethernet".into(),
-            HeaderType::new("ethernet", vec![("dst", 48u16), ("src", 48), ("ether_type", 16)])
-                .unwrap(),
+            HeaderType::new(
+                "ethernet",
+                vec![("dst", 48u16), ("src", 48), ("ether_type", 16)],
+            )
+            .unwrap(),
         );
         let n = p.parser.add_node(ParseNode {
             header_type: "ethernet".into(),
@@ -289,20 +316,28 @@ mod tests {
                 }],
             },
         );
-        p.actions.insert("nop".into(), ActionDef::simple("nop", vec![PrimitiveOp::NoOp]));
+        p.actions.insert(
+            "nop".into(),
+            ActionDef::simple("nop", vec![PrimitiveOp::NoOp]),
+        );
         p.tables.insert(
             "l2".into(),
             TableDef {
                 name: "l2".into(),
-                keys: vec![TableKey { field: fref("ethernet", "dst"), kind: MatchKind::Exact }],
+                keys: vec![TableKey {
+                    field: fref("ethernet", "dst"),
+                    kind: MatchKind::Exact,
+                }],
                 actions: vec!["fwd".into(), "nop".into()],
                 default_action: "nop".into(),
                 default_action_args: vec![],
                 size: 4096,
             },
         );
-        p.controls
-            .insert("ingress".into(), ControlBlock::new("ingress", vec![Stmt::Apply("l2".into())]));
+        p.controls.insert(
+            "ingress".into(),
+            ControlBlock::new("ingress", vec![Stmt::Apply("l2".into())]),
+        );
         p.entry = "ingress".into();
         p
     }
@@ -330,8 +365,10 @@ mod tests {
     #[test]
     fn missing_table_caught() {
         let mut p = tiny_program();
-        p.controls
-            .insert("ingress".into(), ControlBlock::new("ingress", vec![Stmt::Apply("ghost".into())]));
+        p.controls.insert(
+            "ingress".into(),
+            ControlBlock::new("ingress", vec![Stmt::Apply("ghost".into())]),
+        );
         assert!(p.validate().is_err());
     }
 

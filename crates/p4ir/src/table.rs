@@ -69,7 +69,10 @@ impl TableDef {
             });
         }
         if self.size == 0 {
-            return Err(IrError::Invalid(format!("table {} has zero size", self.name)));
+            return Err(IrError::Invalid(format!(
+                "table {} has zero size",
+                self.name
+            )));
         }
         let mut seen = std::collections::HashSet::new();
         for k in &self.keys {
@@ -134,7 +137,10 @@ impl RegisterDef {
             });
         }
         if self.size == 0 {
-            return Err(IrError::Invalid(format!("register {} has zero size", self.name)));
+            return Err(IrError::Invalid(format!(
+                "register {} has zero size",
+                self.name
+            )));
         }
         Ok(())
     }
@@ -213,8 +219,14 @@ mod tests {
         TableDef {
             name: "acl".into(),
             keys: vec![
-                TableKey { field: fref("ipv4", "src_addr"), kind: MatchKind::Ternary },
-                TableKey { field: fref("ipv4", "dst_addr"), kind: MatchKind::Lpm },
+                TableKey {
+                    field: fref("ipv4", "src_addr"),
+                    kind: MatchKind::Ternary,
+                },
+                TableKey {
+                    field: fref("ipv4", "dst_addr"),
+                    kind: MatchKind::Lpm,
+                },
             ],
             actions: vec!["permit".into(), "deny".into()],
             default_action: "permit".into(),
@@ -247,7 +259,10 @@ mod tests {
     #[test]
     fn validate_rejects_duplicate_key() {
         let mut t = acl();
-        t.keys.push(TableKey { field: fref("ipv4", "src_addr"), kind: MatchKind::Exact });
+        t.keys.push(TableKey {
+            field: fref("ipv4", "src_addr"),
+            kind: MatchKind::Exact,
+        });
         assert!(t.validate().is_err());
     }
 

@@ -37,8 +37,14 @@ pub struct Value {
 impl Value {
     /// Creates a value of the given width, truncating `raw` to fit.
     pub fn new(raw: u128, bits: u16) -> Self {
-        assert!((1..=128).contains(&bits), "value width out of range: {bits}");
-        Value { raw: raw & mask_for(bits), bits }
+        assert!(
+            (1..=128).contains(&bits),
+            "value width out of range: {bits}"
+        );
+        Value {
+            raw: raw & mask_for(bits),
+            bits,
+        }
     }
 
     /// The raw unsigned integer.
@@ -124,7 +130,11 @@ impl Value {
     /// The slice must be exactly `ceil(bits/8)` long.
     pub fn from_be_bytes(bytes: &[u8], bits: u16) -> Self {
         let nbytes = usize::from(bits).div_ceil(8);
-        assert_eq!(bytes.len(), nbytes, "byte slice length mismatch for {bits}-bit value");
+        assert_eq!(
+            bytes.len(),
+            nbytes,
+            "byte slice length mismatch for {bits}-bit value"
+        );
         let mut raw: u128 = 0;
         for &b in bytes {
             raw = (raw << 8) | u128::from(b);

@@ -78,7 +78,12 @@ pub fn tcp() -> HeaderType {
 pub fn udp() -> HeaderType {
     HeaderType::new(
         "udp",
-        vec![("src_port", 16u16), ("dst_port", 16), ("length", 16), ("checksum", 16)],
+        vec![
+            ("src_port", 16u16),
+            ("dst_port", 16),
+            ("length", 16),
+            ("checksum", 16),
+        ],
     )
     .expect("udp header is well-formed")
 }
@@ -87,7 +92,12 @@ pub fn udp() -> HeaderType {
 pub fn vxlan() -> HeaderType {
     HeaderType::new(
         "vxlan",
-        vec![("flags", 8u16), ("reserved1", 24), ("vni", 24), ("reserved2", 8)],
+        vec![
+            ("flags", 8u16),
+            ("reserved1", 24),
+            ("vni", 24),
+            ("reserved2", 8),
+        ],
     )
     .expect("vxlan header is well-formed")
 }
@@ -121,11 +131,17 @@ pub fn eth_ip_l4_parser() -> ParserDag {
         .node("tcp", "tcp", 34)
         .node("udp", "udp", 34)
         .select("eth", "ether_type", 16, vec![(ETHERTYPE_IPV4, "ip")])
-        .select("ip", "protocol", 8, vec![(IPPROTO_TCP, "tcp"), (IPPROTO_UDP, "udp")])
+        .select(
+            "ip",
+            "protocol",
+            8,
+            vec![(IPPROTO_TCP, "tcp"), (IPPROTO_UDP, "udp")],
+        )
         .accept("tcp")
         .accept("udp")
         .start("eth")
         .build()
+        .expect("well-known parser resolves")
 }
 
 #[cfg(test)]

@@ -110,7 +110,10 @@ impl TestCase {
             if t.recirculations == n {
                 Ok(())
             } else {
-                Err(format!("expected {n} recirculations, took {}", t.recirculations))
+                Err(format!(
+                    "expected {n} recirculations, took {}",
+                    t.recirculations
+                ))
             }
         })
     }
@@ -123,7 +126,10 @@ impl TestCase {
             if t.tables_applied().contains(&table.as_str()) {
                 Ok(())
             } else {
-                Err(format!("table {table} was not applied (applied: {:?})", t.tables_applied()))
+                Err(format!(
+                    "table {table} was not applied (applied: {:?})",
+                    t.tables_applied()
+                ))
             }
         })
     }
@@ -135,7 +141,10 @@ impl TestCase {
             if t.tables_hit().contains(&table.as_str()) {
                 Ok(())
             } else {
-                Err(format!("table {table} was not hit (hits: {:?})", t.tables_hit()))
+                Err(format!(
+                    "table {table} was not hit (hits: {:?})",
+                    t.tables_hit()
+                ))
             }
         })
     }
@@ -255,7 +264,11 @@ fn run_case(switch: &mut Switch, case: &TestCase) -> CaseResult {
             }
         }
     }
-    CaseResult { name: case.name.clone(), failure, traversal: Some(traversal) }
+    CaseResult {
+        name: case.name.clone(),
+        failure,
+        traversal: Some(traversal),
+    }
 }
 
 #[cfg(test)]
@@ -270,7 +283,12 @@ mod tests {
     fn l2_switch() -> Switch {
         let program = ProgramBuilder::new("l2")
             .header(well_known::ethernet())
-            .parser(ParserBuilder::new().node("eth", "ethernet", 0).accept("eth").start("eth"))
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
             .action(
                 ActionBuilder::new("fwd")
                     .param("port", 16)
@@ -336,14 +354,17 @@ mod tests {
         let mut sw = l2_switch();
         let report = run_suite(
             &mut sw,
-            vec![TestCase::expect_port("bytes preserved", 0, eth_packet(0xaabb), 9)
-                .check_packet(|b| {
-                    if b.len() == 14 {
-                        Ok(())
-                    } else {
-                        Err(format!("len {}", b.len()))
-                    }
-                })],
+            vec![
+                TestCase::expect_port("bytes preserved", 0, eth_packet(0xaabb), 9).check_packet(
+                    |b| {
+                        if b.len() == 14 {
+                            Ok(())
+                        } else {
+                            Err(format!("len {}", b.len()))
+                        }
+                    },
+                ),
+            ],
         );
         report.assert_all_passed();
     }
@@ -352,8 +373,10 @@ mod tests {
     #[should_panic(expected = "PTF")]
     fn assert_all_passed_panics_with_summary() {
         let mut sw = l2_switch();
-        let report =
-            run_suite(&mut sw, vec![TestCase::expect_drop("will fail", 0, eth_packet(0xaabb))]);
+        let report = run_suite(
+            &mut sw,
+            vec![TestCase::expect_drop("will fail", 0, eth_packet(0xaabb))],
+        );
         report.assert_all_passed();
     }
 }

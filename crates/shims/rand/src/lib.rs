@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the `rand 0.8` API it actually uses:
+//! `SeedableRng::seed_from_u64`, `rngs::StdRng`, and the `Rng` methods
+//! `gen`, `gen_bool`, `gen_ratio`, and `gen_range` over integer and float
+//! ranges. The generator is SplitMix64 — statistically solid for
+//! simulation and property-test seeding, deterministic across platforms,
+//! and emphatically not cryptographic (neither is the API it replaces).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators. Mirrors `rand::SeedableRng` for the one
+/// constructor the workspace calls.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A uniformly distributed "full-width" sample, standing in for
+/// `rand::distributions::Standard`.
+pub trait Standard: Sized {
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, usize);
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u128 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range a value can be drawn from uniformly, standing in for
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single(self, rng: &mut rngs::StdRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f32::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator trait, mirroring `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample_standard(self.as_std_rng())
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample_single(self.as_std_rng())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        f64::sample_standard(self.as_std_rng()) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: AsStdRng,
+    {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.as_std_rng().below(u128::from(denominator)) < u64::from(numerator)
+    }
+}
+
+/// Internal helper so `Rng`'s provided methods can hand concrete state to
+/// the distribution traits without `Rng` being generic over itself.
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Uniform draw in `[0, span)`; `span` must be nonzero and fit u64.
+        pub(crate) fn below(&mut self, span: u128) -> u64 {
+            debug_assert!(span > 0);
+            if span > u128::from(u64::MAX) {
+                return self.next_u64();
+            }
+            let span = span as u64;
+            // Rejection sampling to avoid modulo bias.
+            let zone = u64::MAX - (u64::MAX - span + 1) % span;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u16..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(0..4);
+            assert!((0..4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn gen_ratio_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_ratio(5, 5)));
+        assert!((0..100).all(|_| !rng.gen_ratio(0, 5)));
+    }
+
+    #[test]
+    fn full_width_samples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u32 = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let _: bool = rng.gen();
+    }
+}

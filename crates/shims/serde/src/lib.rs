@@ -1,0 +1,268 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever serializes plain result structs to JSON via
+//! `serde_json::to_string_pretty`, so instead of the full serde data model
+//! this shim defines one trait — [`Serialize`], "convert yourself into a
+//! [`json::Value`]" — plus impls for the primitive/container types the
+//! bench records use, and re-exports the `#[derive(Serialize)]` macro from
+//! the companion `serde_derive` shim.
+
+pub use serde_derive::Serialize;
+
+pub mod json {
+    /// An owned JSON document. Object keys keep insertion (declaration)
+    /// order so rendered reports are stable.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Int(i64),
+        UInt(u64),
+        Float(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Renders with `indent` two-space levels of leading context.
+        pub fn render(&self, out: &mut String, indent: usize, pretty: bool) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Int(i) => out.push_str(&i.to_string()),
+                Value::UInt(u) => out.push_str(&u.to_string()),
+                Value::Float(f) => {
+                    if f.is_finite() {
+                        // Always keep a decimal point so round-trips stay floats.
+                        let s = f.to_string();
+                        out.push_str(&s);
+                        if !s.contains(['.', 'e', 'E']) {
+                            out.push_str(".0");
+                        }
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Str(s) => escape_into(s, out),
+                Value::Array(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent + 1, pretty);
+                        item.render(out, indent + 1, pretty);
+                    }
+                    newline_indent(out, indent, pretty);
+                    out.push(']');
+                }
+                Value::Object(fields) => {
+                    if fields.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        newline_indent(out, indent + 1, pretty);
+                        escape_into(k, out);
+                        out.push(':');
+                        if pretty {
+                            out.push(' ');
+                        }
+                        v.render(out, indent + 1, pretty);
+                    }
+                    newline_indent(out, indent, pretty);
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: usize, pretty: bool) {
+        if pretty {
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+        }
+    }
+
+    fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// Types that can render themselves as JSON.
+pub trait Serialize {
+    fn to_json(&self) -> json::Value;
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::UInt(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn to_json(&self) -> json::Value {
+        json::Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn to_json(&self) -> json::Value {
+        json::Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($t:ident, $idx:tt)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+impl_ser_tuple!((A, 0));
+impl_ser_tuple!((A, 0), (B, 1));
+impl_ser_tuple!((A, 0), (B, 1), (C, 2));
+impl_ser_tuple!((A, 0), (B, 1), (C, 2), (D, 3));
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_and_containers() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            count: usize,
+            ratio: f64,
+            tags: Vec<u32>,
+        }
+        let v = Row {
+            name: "x".into(),
+            count: 3,
+            ratio: 0.5,
+            tags: vec![1, 2],
+        }
+        .to_json();
+        match v {
+            json::Value::Object(fields) => {
+                assert_eq!(fields.len(), 4);
+                assert_eq!(fields[0].0, "name");
+                assert_eq!(
+                    fields[3].1,
+                    json::Value::Array(vec![json::Value::Int(1), json::Value::Int(2),])
+                );
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

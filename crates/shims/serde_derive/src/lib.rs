@@ -1,0 +1,84 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the one shape the workspace uses:
+//! non-generic structs with named fields. The macro is written against raw
+//! `proc_macro::TokenStream` (no `syn`/`quote` available offline): it scans
+//! for `struct <Name> { ... }`, extracts the field names, and emits an
+//! `impl serde::Serialize` that builds a `serde::json::Value::Object` in
+//! declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    let mut saw_struct = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => saw_struct = true,
+            TokenTree::Ident(id) if saw_struct && name.is_none() => name = Some(id.to_string()),
+            TokenTree::Group(g)
+                if name.is_some() && body.is_none() && g.delimiter() == Delimiter::Brace =>
+            {
+                body = Some(g.stream());
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("#[derive(Serialize)] expects a struct");
+    let body = body.expect("#[derive(Serialize)] shim supports named-field structs only");
+
+    let mut entries = String::new();
+    for field in field_names(body) {
+        entries.push_str(&format!(
+            "({:?}.to_string(), ::serde::Serialize::to_json(&self.{})),",
+            field, field
+        ));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Walks a brace-group body `vis? name: Type, ...` and returns the field
+/// names. Commas inside angle brackets (`BTreeMap<String, f64>`) are not
+/// separators; commas inside parens/brackets arrive pre-grouped by the
+/// tokenizer and never show up here.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                ':' if !in_type => {
+                    if let Some(f) = last_ident.take() {
+                        fields.push(f);
+                    }
+                    in_type = true;
+                }
+                '<' if in_type => angle_depth += 1,
+                '>' if in_type => angle_depth -= 1,
+                ',' if in_type && angle_depth == 0 => in_type = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_json`, paired with the `serde` shim.
+
+use std::fmt;
+
+pub use serde::json::Value;
+
+/// Serialization error. The shim's data model is total (every `Serialize`
+/// impl produces a `Value`), so this is never actually constructed; it
+/// exists to keep `Result`-shaped call sites source-compatible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().render(&mut out, 0, false);
+    Ok(out)
+}
+
+/// Renders `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().render(&mut out, 0, true);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_rendering_shape() {
+        let v = vec![(1u32, 2.5f64), (3, 4.0)];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("2.5"));
+        assert!(s.contains("4.0"), "floats keep a decimal point: {s}");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+    }
+}

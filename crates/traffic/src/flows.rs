@@ -29,7 +29,11 @@ pub struct FlowSpec {
 impl FlowSpec {
     /// Builds a packet of this flow with the given payload size.
     pub fn packet(&self, payload_len: usize) -> Vec<u8> {
-        let base = if self.protocol == 6 { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+        let base = if self.protocol == 6 {
+            PacketBuilder::tcp()
+        } else {
+            PacketBuilder::udp()
+        };
         base.src_ip(self.src_ip)
             .dst_ip(self.dst_ip)
             .src_port(self.src_port)
@@ -52,12 +56,20 @@ pub struct FlowGen {
 impl FlowGen {
     /// New generator over the given prefixes.
     pub fn new(seed: u64, src_prefix: (u32, u16), dst_prefix: (u32, u16)) -> Self {
-        FlowGen { rng: StdRng::seed_from_u64(seed), src_prefix, dst_prefix }
+        FlowGen {
+            rng: StdRng::seed_from_u64(seed),
+            src_prefix,
+            dst_prefix,
+        }
     }
 
     fn addr_in(rng: &mut StdRng, prefix: (u32, u16)) -> u32 {
         let host_bits = 32 - u32::from(prefix.1);
-        let mask = if host_bits >= 32 { u32::MAX } else { (1u32 << host_bits) - 1 };
+        let mask = if host_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << host_bits) - 1
+        };
         (prefix.0 & !mask) | (rng.gen::<u32>() & mask)
     }
 
@@ -68,7 +80,9 @@ impl FlowGen {
             dst_ip: Self::addr_in(&mut self.rng, self.dst_prefix),
             protocol: if self.rng.gen_bool(0.8) { 6 } else { 17 },
             src_port: self.rng.gen_range(1024..=u16::MAX),
-            dst_port: *[80u16, 443, 8080, 53].get(self.rng.gen_range(0..4)).unwrap(),
+            dst_port: *[80u16, 443, 8080, 53]
+                .get(self.rng.gen_range(0..4usize))
+                .unwrap(),
         }
     }
 
@@ -101,7 +115,10 @@ impl FlowGen {
         (0..count)
             .map(|_| {
                 let x: f64 = self.rng.gen();
-                cumulative.iter().position(|&c| x <= c).unwrap_or(num_flows - 1)
+                cumulative
+                    .iter()
+                    .position(|&c| x <= c)
+                    .unwrap_or(num_flows - 1)
             })
             .collect()
     }
@@ -128,7 +145,10 @@ impl WorkloadMix {
 
     /// Source prefix of a chain.
     pub fn prefix_of(&self, path_id: u16) -> Option<(u32, u16)> {
-        self.chains.iter().find(|(p, ..)| *p == path_id).map(|(_, _, pre)| *pre)
+        self.chains
+            .iter()
+            .find(|(p, ..)| *p == path_id)
+            .map(|(_, _, pre)| *pre)
     }
 
     /// Generates `n` `(path_id, flow)` pairs distributed by weight.
@@ -208,7 +228,13 @@ mod tests {
 
     #[test]
     fn flow_packet_roundtrip() {
-        let f = FlowSpec { src_ip: 1, dst_ip: 2, protocol: 17, src_port: 9999, dst_port: 53 };
+        let f = FlowSpec {
+            src_ip: 1,
+            dst_ip: 2,
+            protocol: 17,
+            src_port: 9999,
+            dst_port: 53,
+        };
         let pkt = f.packet(32);
         assert_eq!(pkt.len(), 14 + 20 + 8 + 32);
         assert_eq!(pkt[23], 17);

@@ -45,7 +45,10 @@ impl PacketBuilder {
 
     /// A UDP packet builder with defaults.
     pub fn udp() -> Self {
-        PacketBuilder { protocol: 17, ..Default::default() }
+        PacketBuilder {
+            protocol: 17,
+            ..Default::default()
+        }
     }
 
     /// Sets the destination MAC.
@@ -149,10 +152,15 @@ mod tests {
     use std::collections::HashMap;
 
     fn catalog() -> HashMap<String, dejavu_p4ir::HeaderType> {
-        [well_known::ethernet(), well_known::ipv4(), well_known::tcp(), well_known::udp()]
-            .into_iter()
-            .map(|h| (h.name.clone(), h))
-            .collect()
+        [
+            well_known::ethernet(),
+            well_known::ipv4(),
+            well_known::tcp(),
+            well_known::udp(),
+        ]
+        .into_iter()
+        .map(|h| (h.name.clone(), h))
+        .collect()
     }
 
     #[test]
@@ -164,7 +172,9 @@ mod tests {
             .dst_port(443)
             .payload(b"hi")
             .build();
-        let path = well_known::eth_ip_l4_parser().parse(&catalog(), &pkt).unwrap();
+        let path = well_known::eth_ip_l4_parser()
+            .parse(&catalog(), &pkt)
+            .unwrap();
         assert_eq!(
             path.iter().map(|(h, _)| h.as_str()).collect::<Vec<_>>(),
             vec!["ethernet", "ipv4", "tcp"]
@@ -179,7 +189,9 @@ mod tests {
     #[test]
     fn udp_packet_parses() {
         let pkt = PacketBuilder::udp().dst_port(53).build();
-        let path = well_known::eth_ip_l4_parser().parse(&catalog(), &pkt).unwrap();
+        let path = well_known::eth_ip_l4_parser()
+            .parse(&catalog(), &pkt)
+            .unwrap();
         assert_eq!(path.last().unwrap().0, "udp");
         assert_eq!(pkt.len(), 14 + 20 + 8);
     }

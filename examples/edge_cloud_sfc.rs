@@ -44,10 +44,17 @@ fn main() {
     ]);
     let config = RoutingConfig {
         loopback_port: [(0usize, 15u16), (1usize, 16u16)].into_iter().collect(),
-        exit_ports: chains.chains.iter().map(|c| (c.path_id, EXIT_PORT)).collect(),
+        exit_ports: chains
+            .chains
+            .iter()
+            .map(|c| (c.path_id, EXIT_PORT))
+            .collect(),
         honor_out_port: false,
     };
-    let options = DeployOptions { entry_nf: Some("classifier".into()), ..Default::default() };
+    let options = DeployOptions {
+        entry_nf: Some("classifier".into()),
+        ..Default::default()
+    };
     let (mut switch, deployment) = deploy(
         &nf_refs,
         &chains,
@@ -64,15 +71,37 @@ fn main() {
     for path in [1u16, 2, 3] {
         let prefix = (0x0a00_0000 | (u32::from(path) << 16), 16);
         deployment
-            .install(&mut switch, "classifier", CLASSIFY_TABLE, classify_entry(prefix, (0, 0), path, 100 + path))
+            .install(
+                &mut switch,
+                "classifier",
+                CLASSIFY_TABLE,
+                classify_entry(prefix, (0, 0), path, 100 + path),
+            )
             .unwrap();
     }
     deployment
-        .install(&mut switch, "firewall", ACL_TABLE, deny_entry((0x0a01_0000, 16), (0, 0), Some(6), (22, 22), 10))
+        .install(
+            &mut switch,
+            "firewall",
+            ACL_TABLE,
+            deny_entry((0x0a01_0000, 16), (0, 0), Some(6), (22, 22), 10),
+        )
         .unwrap();
-    deployment.install(&mut switch, "vgw", VNI_TABLE, vni_entry((0xc633_6400, 24), 700)).unwrap();
     deployment
-        .install(&mut switch, "router", ROUTES_TABLE, route_entry((0, 0), EXIT_PORT, 0x0200_0000_0099, 0x0200_0000_0001))
+        .install(
+            &mut switch,
+            "vgw",
+            VNI_TABLE,
+            vni_entry((0xc633_6400, 24), 700),
+        )
+        .unwrap();
+    deployment
+        .install(
+            &mut switch,
+            "router",
+            ROUTES_TABLE,
+            route_entry((0, 0), EXIT_PORT, 0x0200_0000_0099, 0x0200_0000_0001),
+        )
         .unwrap();
 
     // Control plane with the LB session-learning handler (§3.1).
@@ -81,7 +110,11 @@ fn main() {
         "lb",
         Box::new(|bytes| match five_tuple_of(bytes) {
             Some(t) if t.dst_addr == VIP => PuntResponse {
-                install: vec![("lb".into(), SESSION_TABLE.into(), session_entry_for(&t, BACKEND))],
+                install: vec![(
+                    "lb".into(),
+                    SESSION_TABLE.into(),
+                    session_entry_for(&t, BACKEND),
+                )],
                 reinject: true,
                 reinject_bytes: rewind_and_clear(bytes),
             },
@@ -98,14 +131,22 @@ fn main() {
     };
 
     println!("\n--- path 1 (full chain): first packet punts at the LB ---");
-    let t = cp.inject_tracking_punts(&mut switch, pkt(1, 80), 0).unwrap();
-    println!("first packet: {:?} ({} punt queued)", t.disposition, cp.pending_punts());
+    let t = cp
+        .inject_tracking_punts(&mut switch, pkt(1, 80), 0)
+        .unwrap();
+    println!(
+        "first packet: {:?} ({} punt queued)",
+        t.disposition,
+        cp.pending_punts()
+    );
     let reinjected = cp.process_punts(&mut switch, &deployment).unwrap();
     println!(
         "after control-plane round: {:?}, recirculations {}",
         reinjected[0].disposition, reinjected[0].recirculations
     );
-    let t = cp.inject_tracking_punts(&mut switch, pkt(1, 80), 0).unwrap();
+    let t = cp
+        .inject_tracking_punts(&mut switch, pkt(1, 80), 0)
+        .unwrap();
     let out = &t.final_bytes;
     println!(
         "second packet stays in the data plane: {:?}, dst rewritten to {}.{}.{}.{}",
@@ -115,11 +156,17 @@ fn main() {
 
     println!("\n--- path 2 (classifier → vgw → router) ---");
     let t = switch.inject(pkt(2, 80), 0).unwrap();
-    println!("{:?}, recirculations {}, latency {:.0} ns", t.disposition, t.recirculations, t.latency_ns);
+    println!(
+        "{:?}, recirculations {}, latency {:.0} ns",
+        t.disposition, t.recirculations, t.latency_ns
+    );
 
     println!("\n--- path 3 (classifier → router) ---");
     let t = switch.inject(pkt(3, 80), 0).unwrap();
-    println!("{:?}, recirculations {}, latency {:.0} ns", t.disposition, t.recirculations, t.latency_ns);
+    println!(
+        "{:?}, recirculations {}, latency {:.0} ns",
+        t.disposition, t.recirculations, t.latency_ns
+    );
 
     println!("\n--- firewall deny (path 1, tcp/22) ---");
     let t = switch.inject(pkt(1, 22), 0).unwrap();

@@ -1,0 +1,142 @@
+//! `dejavu-lint` over the whole NF library and the Fig. 2 deployment.
+//!
+//! ```text
+//! cargo run -p dejavu-examples --bin lint_nfs
+//! ```
+//!
+//! Three passes, mirroring the verification pipeline a chain operator runs
+//! before deployment:
+//!
+//! 1. **Standalone NFs** — every program in the library is linted with the
+//!    default configuration (header-validity dataflow, metadata def-use,
+//!    structural checks).
+//! 2. **Composed pipelets** — the paper's §5 placement (classifier+firewall
+//!    on ingress 0, vgw+lb on egress 1, router on ingress 1) is merged,
+//!    composed per pipelet, and linted with the framework-aware
+//!    configuration plus the DJV101 SFC invariants.
+//! 3. **Recirculation budget** — the Fig. 2 chain set's weighted
+//!    recirculation demand is priced against the Wedge-100B loopback
+//!    provisioning (DJV102).
+//!
+//! Exit status is non-zero if any pass reports an error-level finding, so
+//! the binary doubles as a CI gate. Pass `--json` for machine-readable
+//! output.
+
+use dejavu_asic::{Gress, PipeletId, TofinoProfile};
+use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
+use dejavu_core::lint::{lint_chain_budget, lint_pipelet, BudgetSpec};
+use dejavu_core::merge::merge_programs;
+use dejavu_core::placement::Placement;
+use dejavu_core::{ChainSet, NfModule};
+use dejavu_p4ir::lint::{check, LintReport};
+
+fn library() -> Vec<NfModule> {
+    let mut nfs = dejavu_nf::edge_cloud_suite();
+    nfs.extend([
+        dejavu_nf::nat::nat(),
+        dejavu_nf::mirror_tap::mirror_tap(),
+        dejavu_nf::rate_limiter::rate_limiter(),
+        dejavu_nf::syn_guard::syn_guard(),
+        dejavu_nf::vxlan_gateway::vxlan_gateway(),
+        dejavu_nf::null_nf("noop"),
+    ]);
+    nfs
+}
+
+fn show(label: &str, report: &LintReport, json: bool) {
+    if json {
+        println!("{}", report.render_json());
+        return;
+    }
+    if report.is_clean() {
+        println!("  {label}: clean");
+    } else {
+        println!("  {label}:");
+        for line in report.render_pretty().lines() {
+            println!("    {line}");
+        }
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut errors = 0usize;
+
+    println!("== pass 1: standalone NF programs ==");
+    for nf in library() {
+        let report = check(nf.program());
+        errors += report.errors().len();
+        show(nf.name(), &report, json);
+    }
+
+    println!("\n== pass 2: composed pipelets (Fig. 2 placement) ==");
+    let nfs = dejavu_nf::edge_cloud_suite();
+    let nf_refs: Vec<_> = nfs.iter().collect();
+    let merged = merge_programs("dejavu", &nf_refs).expect("suite merges");
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["classifier", "firewall"]),
+        (PipeletId::egress(1), vec!["vgw", "lb"]),
+        (PipeletId::ingress(1), vec!["router"]),
+    ]);
+    let profile = TofinoProfile::wedge_100b_32x();
+    for pipeline in 0..profile.pipelines {
+        for gress in [Gress::Ingress, Gress::Egress] {
+            let pipelet = PipeletId { pipeline, gress };
+            let nf_names = placement
+                .pipelets
+                .get(&pipelet)
+                .cloned()
+                .unwrap_or_default();
+            let plan = PipeletPlan {
+                pipelet,
+                nfs: nf_names
+                    .iter()
+                    .map(|n| {
+                        if n == "classifier" {
+                            PlannedNf::entry(n.clone())
+                        } else {
+                            PlannedNf::indexed(n.clone())
+                        }
+                    })
+                    .collect(),
+                mode: CompositionMode::Sequential,
+            };
+            let program = compose_pipelet(&merged, &plan).expect("pipelet composes");
+            let report = lint_pipelet(&program, &plan);
+            errors += report.errors().len();
+            show(
+                &format!("{pipelet} [{}]", nf_names.join(", ")),
+                &report,
+                json,
+            );
+        }
+    }
+
+    println!("\n== pass 3: recirculation budget ==");
+    let chains = ChainSet::edge_cloud_example();
+    let spec = BudgetSpec {
+        profile: &profile,
+        loopback_ports: 2, // ports 15 and 16, as in the §5 configuration
+        offered_gbps: 100.0,
+        entry_pipeline: 0,
+        exit_pipeline: 0,
+    };
+    let report = lint_chain_budget(&chains, &placement, &spec);
+    errors += report.errors().len();
+    show(
+        &format!(
+            "{} chains @ {:.0} Gbps vs {:.0} Gbps loopback",
+            chains.chains.len(),
+            spec.offered_gbps,
+            spec.recirc_capacity_gbps()
+        ),
+        &report,
+        json,
+    );
+
+    if errors > 0 {
+        println!("\nFAIL: {errors} error-level finding(s)");
+        std::process::exit(1);
+    }
+    println!("\nOK: library, composed pipelets, and budget all lint clean.");
+}

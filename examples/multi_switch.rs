@@ -72,8 +72,14 @@ fn encapsulated(path: u16) -> Vec<u8> {
 }
 
 fn main() {
-    let chain_len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
-    let cluster_size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let chain_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let cluster_size: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
 
     let nfs: Vec<String> = (0..chain_len).map(|i| format!("NF{i}")).collect();
     let chains = ChainSet::new(vec![ChainPolicy {
@@ -96,7 +102,9 @@ fn main() {
                     print!("{sw}");
                 }
             }
-            let cost = problem.chain_cost(&problem.template.chains.chains[0], &placement).unwrap();
+            let cost = problem
+                .chain_cost(&problem.template.chains.chains[0], &placement)
+                .unwrap();
             println!("\ninter-switch hops: {}", cost.inter_switch_hops);
             println!("on-chip recirculations: {}", cost.recirculations);
             println!("resubmissions: {}", cost.resubmissions);
@@ -106,8 +114,7 @@ fn main() {
                 .filter(|p| p.pipelets.values().any(|v| !v.is_empty()))
                 .count();
             let timing = TimingModel::tofino();
-            let passes =
-                (2 * used) as u32 + 2 * cost.recirculations + 2 * cost.inter_switch_hops;
+            let passes = (2 * used) as u32 + 2 * cost.recirculations + 2 * cost.inter_switch_hops;
             println!(
                 "estimated end-to-end latency: {:.0} ns",
                 chain_latency_ns(&cost, passes, 12, &timing)
@@ -150,7 +157,10 @@ fn main() {
         }
         Err(e) => {
             println!("infeasible: {e}");
-            println!("try a larger cluster: cargo run --bin multi_switch -- {chain_len} {}", cluster_size + 1);
+            println!(
+                "try a larger cluster: cargo run --bin multi_switch -- {chain_len} {}",
+                cluster_size + 1
+            );
         }
     }
 }

@@ -32,8 +32,10 @@ fn build_problem(n_nfs: usize, n_chains: usize, seed: u64) -> PlacementProblem {
             weight: rng.gen_range(0.1..1.0),
         });
     }
-    let stages: BTreeMap<String, u32> =
-        nfs.iter().map(|n| (n.clone(), rng.gen_range(1..5))).collect();
+    let stages: BTreeMap<String, u32> = nfs
+        .iter()
+        .map(|n| (n.clone(), rng.gen_range(1..5)))
+        .collect();
     PlacementProblem::new(ChainSet { chains }, stages)
 }
 

@@ -35,7 +35,11 @@ fn stamper(name: &str, dscp: u128) -> NfModule {
                 .accept("ip")
                 .start("eth"),
         )
-        .action(ActionBuilder::new("stamp").set(fref("ipv4", "dscp"), Expr::val(dscp, 6)).build())
+        .action(
+            ActionBuilder::new("stamp")
+                .set(fref("ipv4", "dscp"), Expr::val(dscp, 6))
+                .build(),
+        )
         .action(ActionBuilder::new("pass").build())
         .table(
             TableBuilder::new("stamp_table")
@@ -58,8 +62,13 @@ fn main() {
     let second = stamper("second", 0x0a);
 
     // 2. One chain: first → second, path ID 1.
-    let chains =
-        ChainSet::new(vec![ChainPolicy::new(1, "demo", vec!["first", "second"], 1.0)]).unwrap();
+    let chains = ChainSet::new(vec![ChainPolicy::new(
+        1,
+        "demo",
+        vec!["first", "second"],
+        1.0,
+    )])
+    .unwrap();
 
     // 3. Placement: first on ingress 0, second on egress 0 — a free
     //    ingress→egress transition, zero recirculations.
@@ -87,7 +96,10 @@ fn main() {
 
     // 5. Inject an SFC-encapsulated packet (no classifier in this demo, so
     //    we pre-classify it ourselves) and trace it.
-    let raw = dejavu_traffic::PacketBuilder::tcp().src_ip(0x0a000001).dst_ip(0x0a000002).build();
+    let raw = dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(0x0a000001)
+        .dst_ip(0x0a000002)
+        .build();
     let mut pkt = Vec::new();
     pkt.extend_from_slice(&raw[..12]);
     pkt.extend_from_slice(&dejavu_core::sfc::SFC_ETHERTYPE.to_be_bytes());
@@ -96,12 +108,19 @@ fn main() {
 
     let t = switch.inject(pkt, 0).expect("injection succeeds");
     println!("\ndisposition: {:?}", t.disposition);
-    println!("recirculations: {}, resubmissions: {}", t.recirculations, t.resubmissions);
+    println!(
+        "recirculations: {}, resubmissions: {}",
+        t.recirculations, t.resubmissions
+    );
     println!("latency: {:.0} ns", t.latency_ns);
     println!("tables applied: {:?}", t.tables_applied());
     // The second stamp wins; the SFC header is stripped on the way out.
     let out = &t.final_bytes;
-    assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800, "decapsulated");
+    assert_eq!(
+        u16::from_be_bytes([out[12], out[13]]),
+        0x0800,
+        "decapsulated"
+    );
     assert_eq!(out[15] >> 2, 0x0a, "second NF's DSCP stamp on the wire");
     println!("\nOK: packet traversed first → second and left decapsulated.");
 }

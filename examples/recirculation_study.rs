@@ -12,13 +12,28 @@ use dejavu_asic::feedback::{effective_throughput_gbps, simulate_fluid, solve_mix
 use dejavu_asic::{TimingModel, TofinoProfile};
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let profile = TofinoProfile::wedge_100b_32x();
-    assert!(m <= profile.total_ports(), "at most {} ports", profile.total_ports());
+    assert!(
+        m <= profile.total_ports(),
+        "at most {} ports",
+        profile.total_ports()
+    );
 
-    println!("switch: {} ports × {:.0}G, {} pipelines", profile.total_ports(), profile.port_gbps, profile.pipelines);
+    println!(
+        "switch: {} ports × {:.0}G, {} pipelines",
+        profile.total_ports(),
+        profile.port_gbps,
+        profile.pipelines
+    );
     println!("loopback ports: {m}");
-    println!("external capacity: {:.0} Gbps", profile.external_capacity_gbps(m));
+    println!(
+        "external capacity: {:.0} Gbps",
+        profile.external_capacity_gbps(m)
+    );
     println!(
         "fraction of external traffic that can recirculate once: {:.0} %",
         profile.single_recirc_fraction(m) * 100.0
@@ -40,23 +55,44 @@ fn main() {
     let external = profile.external_capacity_gbps(m);
     let mix = solve_mix(
         &[
-            TrafficClass { rate_gbps: external * 0.5, recirculations: 0 },
-            TrafficClass { rate_gbps: external * 0.3, recirculations: 1 },
-            TrafficClass { rate_gbps: external * 0.2, recirculations: 2 },
+            TrafficClass {
+                rate_gbps: external * 0.5,
+                recirculations: 0,
+            },
+            TrafficClass {
+                rate_gbps: external * 0.3,
+                recirculations: 1,
+            },
+            TrafficClass {
+                rate_gbps: external * 0.2,
+                recirculations: 2,
+            },
         ],
         loop_cap.max(1.0),
     );
     println!("\nmixed workload (50% k=0 / 30% k=1 / 20% k=2) over {loop_cap:.0}G loopback:");
-    println!("  delivery ratio at the loopback ports: {:.3}", mix.delivery_ratio);
+    println!(
+        "  delivery ratio at the loopback ports: {:.3}",
+        mix.delivery_ratio
+    );
     for (i, thr) in mix.class_throughput_gbps.iter().enumerate() {
         println!("  class {i}: {thr:.1} Gbps delivered");
     }
-    println!("  total goodput: {:.1} Gbps of {external:.0} offered", mix.total_gbps());
+    println!(
+        "  total goodput: {:.1} Gbps of {external:.0} offered",
+        mix.total_gbps()
+    );
 
     let t = TimingModel::tofino();
     println!("\nlatency (calibrated to the paper's measurements):");
     for k in 0..=3 {
-        println!("  {k} recirculations: {:.0} ns", t.path_with_recircs_ns(12, k));
+        println!(
+            "  {k} recirculations: {:.0} ns",
+            t.path_with_recircs_ns(12, k)
+        );
     }
-    println!("  off-chip hop penalty (1 m DAC): {:.0} ns", t.recirc_off_chip_ns);
+    println!(
+        "  off-chip hop penalty (1 m DAC): {:.0} ns",
+        t.recirc_off_chip_ns
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
     let (pipelet, nfs): (PipeletId, Vec<PlannedNf>) = match which.as_str() {
         "ingress0" => (
             PipeletId::ingress(0),
-            vec![PlannedNf::entry("classifier"), PlannedNf::indexed("firewall")],
+            vec![
+                PlannedNf::entry("classifier"),
+                PlannedNf::indexed("firewall"),
+            ],
         ),
         "egress1" => (
             PipeletId::egress(1),
@@ -44,7 +47,11 @@ fn main() {
     );
     let program = compose_pipelet(
         &merged,
-        &PipeletPlan { pipelet, nfs, mode: CompositionMode::Sequential },
+        &PipeletPlan {
+            pipelet,
+            nfs,
+            mode: CompositionMode::Sequential,
+        },
     )
     .expect("pipelet composes");
     print!("{}", print_program(&program));

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints (clippy *and* dejavu-lint), tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace
+cargo run -p dejavu-examples --bin lint_nfs

@@ -46,8 +46,13 @@ pub fn fig9_placement() -> Placement {
 /// LB sessions are not (so the first packet of each flow punts, as in the
 /// paper's §3.1 control-plane flow).
 pub fn fig9_testbed() -> (Switch, Deployment) {
-    let nfs: Vec<NfModule> =
-        vec![classifier::classifier(), firewall::firewall(), vgw::vgw(), load_balancer::load_balancer(), router::router()];
+    let nfs: Vec<NfModule> = vec![
+        classifier::classifier(),
+        firewall::firewall(),
+        vgw::vgw(),
+        load_balancer::load_balancer(),
+        router::router(),
+    ];
     let nf_refs: Vec<&NfModule> = nfs.iter().collect();
     let chains = ChainSet::edge_cloud_example();
 
@@ -55,10 +60,17 @@ pub fn fig9_testbed() -> (Switch, Deployment) {
         loopback_port: [(0usize, LOOPBACK_PORT_P0), (1usize, LOOPBACK_PORT_P1)]
             .into_iter()
             .collect(),
-        exit_ports: chains.chains.iter().map(|c| (c.path_id, EXIT_PORT)).collect(),
+        exit_ports: chains
+            .chains
+            .iter()
+            .map(|c| (c.path_id, EXIT_PORT))
+            .collect(),
         honor_out_port: false,
     };
-    let options = DeployOptions { entry_nf: Some("classifier".into()), ..Default::default() };
+    let options = DeployOptions {
+        entry_nf: Some("classifier".into()),
+        ..Default::default()
+    };
     let (mut switch, deployment) = deploy(
         &nf_refs,
         &chains,
@@ -78,7 +90,9 @@ pub fn fig9_testbed() -> (Switch, Deployment) {
 /// deny path is testable; LB sessions are left to the tests.
 pub fn install_baseline_rules(switch: &mut Switch, deployment: &Deployment) {
     let mut install = |nf: &str, table: &str, entry| {
-        deployment.install(switch, nf, table, entry).expect("rule installs");
+        deployment
+            .install(switch, nf, table, entry)
+            .expect("rule installs");
     };
     // Classifier: one prefix per path.
     for path in [1u16, 2, 3] {
@@ -95,7 +109,11 @@ pub fn install_baseline_rules(switch: &mut Switch, deployment: &Deployment) {
         dejavu_nf::firewall::deny_entry(src_prefix(1), (0, 0), Some(6), (22, 22), 10),
     );
     // VGW: all of 198.51.100.0/24 is VNI 700.
-    install("vgw", dejavu_nf::vgw::VNI_TABLE, dejavu_nf::vgw::vni_entry((0xc633_6400, 24), 700));
+    install(
+        "vgw",
+        dejavu_nf::vgw::VNI_TABLE,
+        dejavu_nf::vgw::vni_entry((0xc633_6400, 24), 700),
+    );
     // Router: default route out the exit port.
     install(
         "router",
@@ -153,7 +171,10 @@ pub fn marker_nf(name: &str, bit: u32) -> NfModule {
 /// `index` (as if already classified) — used to drive chains that have no
 /// classifier NF.
 pub fn encapsulated_packet(path_id: u16, index: u8) -> Vec<u8> {
-    let raw = dejavu_traffic::PacketBuilder::tcp().src_ip(0x0a00_0001).dst_ip(0x0a00_0002).build();
+    let raw = dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(0x0a00_0001)
+        .dst_ip(0x0a00_0002)
+        .build();
     let mut sfc = dejavu_core::SfcHeader::for_path(path_id);
     sfc.service_index = index;
     let mut out = Vec::with_capacity(raw.len() + 20);
@@ -191,7 +212,11 @@ pub fn deploy_markers_with(
         loopback_port: [(0usize, LOOPBACK_PORT_P0), (1usize, LOOPBACK_PORT_P1)]
             .into_iter()
             .collect(),
-        exit_ports: chains.chains.iter().map(|c| (c.path_id, EXIT_PORT)).collect(),
+        exit_ports: chains
+            .chains
+            .iter()
+            .map(|c| (c.path_id, EXIT_PORT))
+            .collect(),
         honor_out_port: false,
     };
     deploy(

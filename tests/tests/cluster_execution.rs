@@ -106,7 +106,11 @@ fn mid_chain_entry_on_second_switch_only_runs_remaining_nfs() {
     let t = net.inject(encapsulated_packet(1, 3), IN_PORT).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // Switch 0 applied no NF work tables.
-    assert!(!t.hops[0].1.tables_applied().iter().any(|x| x.ends_with("__work")));
+    assert!(!t.hops[0]
+        .1
+        .tables_applied()
+        .iter()
+        .any(|x| x.ends_with("__work")));
     // Switch 1 ran n3..n5.
     for nf in ["n3", "n4", "n5"] {
         let table = format!("{nf}__work");

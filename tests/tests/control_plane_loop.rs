@@ -4,9 +4,9 @@
 //! per-NF API translation layer, reinjects — and the packet (plus all
 //! subsequent packets of the flow) completes the chain in the data plane.
 
+use dejavu_asic::switch::Disposition;
 use dejavu_core::control_plane::{ControlPlane, PuntResponse};
 use dejavu_core::sfc::SFC_ETHERTYPE;
-use dejavu_asic::switch::Disposition;
 use dejavu_integration::*;
 use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
 
@@ -50,14 +50,19 @@ fn lb_punt_install_reinject_cycle() {
 
     // First packet: punted at the LB.
     let pkt = chain_packet(1, VIP, 80);
-    let t = cp.inject_tracking_punts(&mut switch, pkt.clone(), IN_PORT).unwrap();
+    let t = cp
+        .inject_tracking_punts(&mut switch, pkt.clone(), IN_PORT)
+        .unwrap();
     assert_eq!(t.disposition, Disposition::ToCpu);
     assert_eq!(cp.pending_punts(), 1);
 
     // Control plane round: installs the session and reinjects.
     let reinjected = cp.process_punts(&mut switch, &dep).unwrap();
     assert_eq!(reinjected.len(), 1);
-    assert_eq!(reinjected[0].disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(
+        reinjected[0].disposition,
+        Disposition::Emitted { port: EXIT_PORT }
+    );
     assert_eq!(cp.pending_punts(), 0);
     assert_eq!(cp.stats.installs, 1);
     assert_eq!(cp.stats.reinjections, 1);
@@ -84,8 +89,13 @@ fn unrelated_punts_are_not_claimed() {
 
     // Unclassified traffic punts at the classifier; the LB handler ignores
     // it, so nothing is installed or reinjected.
-    let stray = dejavu_traffic::PacketBuilder::tcp().src_ip(0xac10_0001).dst_ip(VIP).build();
-    let t = cp.inject_tracking_punts(&mut switch, stray, IN_PORT).unwrap();
+    let stray = dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(0xac10_0001)
+        .dst_ip(VIP)
+        .build();
+    let t = cp
+        .inject_tracking_punts(&mut switch, stray, IN_PORT)
+        .unwrap();
     assert_eq!(t.disposition, Disposition::ToCpu);
     let reinjected = cp.process_punts(&mut switch, &dep).unwrap();
     assert!(reinjected.is_empty());

@@ -50,7 +50,10 @@ fn testbed() -> (dejavu_asic::Switch, dejavu_core::deploy::Deployment) {
     .unwrap();
     // Eight NFs across all four pipelets.
     let placement = Placement::sequential(vec![
-        (PipeletId::ingress(0), vec!["classifier", "firewall", "rate_limiter"]),
+        (
+            PipeletId::ingress(0),
+            vec!["classifier", "firewall", "rate_limiter"],
+        ),
         (PipeletId::egress(1), vec!["vgw", "lb"]),
         (PipeletId::ingress(1), vec!["syn_guard", "mirror_tap"]),
         (PipeletId::egress(0), vec!["router"]),
@@ -59,10 +62,17 @@ fn testbed() -> (dejavu_asic::Switch, dejavu_core::deploy::Deployment) {
         loopback_port: [(0usize, LOOPBACK_PORT_P0), (1usize, LOOPBACK_PORT_P1)]
             .into_iter()
             .collect(),
-        exit_ports: chains.chains.iter().map(|c| (c.path_id, EXIT_PORT)).collect(),
+        exit_ports: chains
+            .chains
+            .iter()
+            .map(|c| (c.path_id, EXIT_PORT))
+            .collect(),
         honor_out_port: false,
     };
-    let options = DeployOptions { entry_nf: Some("classifier".into()), ..Default::default() };
+    let options = DeployOptions {
+        entry_nf: Some("classifier".into()),
+        ..Default::default()
+    };
     let (mut switch, dep) = deploy(
         &nf_refs,
         &chains,
@@ -140,7 +150,12 @@ fn eight_nf_chain_completes_with_all_features() {
     .unwrap();
 
     let t = switch.inject(packet(1), IN_PORT).unwrap();
-    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{:?}", t.events);
+    assert_eq!(
+        t.disposition,
+        Disposition::Emitted { port: EXIT_PORT },
+        "{:?}",
+        t.events
+    );
     // Every NF's table ran.
     for table in [
         "classifier__classify",
@@ -157,11 +172,17 @@ fn eight_nf_chain_completes_with_all_features() {
     // The tap produced a mirrored copy.
     assert_eq!(t.mirrored.len(), 1);
     assert_eq!(t.mirrored[0].0, MIRROR_PORT);
-    assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Mirror { .. })));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Mirror { .. })));
     // The emitted packet is decapsulated with a valid IPv4 checksum.
     let out = &t.final_bytes;
     assert_eq!(u16::from_be_bytes([out[12], out[13]]), 0x0800);
-    assert_eq!(dejavu_asic::interp::ones_complement_checksum(&out[14..34]), 0);
+    assert_eq!(
+        dejavu_asic::interp::ones_complement_checksum(&out[14..34]),
+        0
+    );
 }
 
 #[test]
@@ -197,7 +218,12 @@ fn rate_limiter_trips_mid_chain() {
     assert_eq!(cell, 6);
     // Control-plane epoch reset restores service.
     switch
-        .register_store(dep.nf_location("rate_limiter").unwrap(), "rate_limiter__bucket", 9, 0)
+        .register_store(
+            dep.nf_location("rate_limiter").unwrap(),
+            "rate_limiter__bucket",
+            9,
+            0,
+        )
         .unwrap();
     let t = switch.inject(packet(1), IN_PORT).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });

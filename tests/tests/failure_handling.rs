@@ -16,19 +16,31 @@ fn loopback_port_failure_blackholes_until_rerouted() {
     // Healthy: path 3 flows via pipeline 1's loopback port.
     let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
-    assert!(t.events.iter().any(|e| matches!(e, TraceEvent::Recirculate { port } if *port == LOOPBACK_PORT_P1)));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Recirculate { port } if *port == LOOPBACK_PORT_P1)));
 
     // The loopback port's link fails: traffic pointed at it blackholes.
     switch.set_port_down(LOOPBACK_PORT_P1, true);
     let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
     assert_eq!(t.disposition, Disposition::Dropped);
-    assert!(t.events.iter().any(|e| matches!(e, TraceEvent::LinkDown { .. })));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::LinkDown { .. })));
 
     // Control plane reroutes: recirculation falls back to the dedicated
     // recirculation port, chains flow again.
-    dep.handle_port_failure(&mut switch, LOOPBACK_PORT_P1, None).unwrap();
+    dep.handle_port_failure(&mut switch, LOOPBACK_PORT_P1, None)
+        .unwrap();
     let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
-    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT }, "{}", t.describe());
+    assert_eq!(
+        t.disposition,
+        Disposition::Emitted { port: EXIT_PORT },
+        "{}",
+        t.describe()
+    );
     let recirc_port = dejavu_asic::switch::RECIRC_PORT_BASE + 1;
     assert!(t
         .events
@@ -41,7 +53,13 @@ fn exit_port_failure_moves_chains_to_replacement() {
     let (mut switch, mut dep) = fig9_testbed();
     let pkt = chain_packet(1, VIP, 80);
     let tuple = five_tuple_of(&pkt).unwrap();
-    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, BACKEND)).unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        SESSION_TABLE,
+        session_entry_for(&tuple, BACKEND),
+    )
+    .unwrap();
 
     // Exit port dies; without rerouting, completed chains blackhole.
     switch.set_port_down(EXIT_PORT, true);
@@ -50,11 +68,14 @@ fn exit_port_failure_moves_chains_to_replacement() {
 
     // Reroute every chain to the replacement uplink (decap entries are
     // re-synthesized for the new port too).
-    dep.handle_port_failure(&mut switch, EXIT_PORT, Some(REPLACEMENT_EXIT)).unwrap();
+    dep.handle_port_failure(&mut switch, EXIT_PORT, Some(REPLACEMENT_EXIT))
+        .unwrap();
     let t = switch.inject(pkt, IN_PORT).unwrap();
     assert_eq!(
         t.disposition,
-        Disposition::Emitted { port: REPLACEMENT_EXIT },
+        Disposition::Emitted {
+            port: REPLACEMENT_EXIT
+        },
         "{}",
         t.describe()
     );
@@ -66,7 +87,9 @@ fn exit_port_failure_moves_chains_to_replacement() {
 #[test]
 fn exit_failure_without_replacement_is_refused() {
     let (mut switch, mut dep) = fig9_testbed();
-    let err = dep.handle_port_failure(&mut switch, EXIT_PORT, None).unwrap_err();
+    let err = dep
+        .handle_port_failure(&mut switch, EXIT_PORT, None)
+        .unwrap_err();
     assert!(matches!(err, dejavu_core::deploy::DeployError::Routing(_)));
 }
 

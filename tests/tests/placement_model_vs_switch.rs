@@ -15,8 +15,12 @@ use dejavu_integration::*;
 
 /// All ways to assign 3 NFs to the 4 pipelets of a 2-pipeline switch.
 fn all_assignments() -> Vec<Placement> {
-    let pipelets =
-        [PipeletId::ingress(0), PipeletId::egress(0), PipeletId::ingress(1), PipeletId::egress(1)];
+    let pipelets = [
+        PipeletId::ingress(0),
+        PipeletId::egress(0),
+        PipeletId::ingress(1),
+        PipeletId::egress(1),
+    ];
     let names = ["n0", "n1", "n2"];
     let mut out = Vec::new();
     for a in 0..4 {
@@ -24,7 +28,10 @@ fn all_assignments() -> Vec<Placement> {
             for c in 0..4 {
                 let mut p = Placement::default();
                 for (nf, &pi) in names.iter().zip([a, b, c].iter()) {
-                    p.pipelets.entry(pipelets[pi]).or_default().push(nf.to_string());
+                    p.pipelets
+                        .entry(pipelets[pi])
+                        .or_default()
+                        .push(nf.to_string());
                 }
                 out.push(p);
             }
@@ -35,8 +42,13 @@ fn all_assignments() -> Vec<Placement> {
 
 #[test]
 fn model_matches_switch_for_all_3nf_placements() {
-    let chains =
-        ChainSet::new(vec![ChainPolicy::new(1, "seq", vec!["n0", "n1", "n2"], 1.0)]).unwrap();
+    let chains = ChainSet::new(vec![ChainPolicy::new(
+        1,
+        "seq",
+        vec!["n0", "n1", "n2"],
+        1.0,
+    )])
+    .unwrap();
     let mut checked = 0;
     for placement in all_assignments() {
         let (mut switch, _dep) = deploy_markers(&chains, &placement)
@@ -59,8 +71,11 @@ fn model_matches_switch_for_all_3nf_placements() {
         // Every NF ran exactly once (marker tables applied once each).
         for nf in ["n0", "n1", "n2"] {
             let table = format!("{nf}__work");
-            let applied =
-                t.tables_applied().iter().filter(|t| **t == table.as_str()).count();
+            let applied = t
+                .tables_applied()
+                .iter()
+                .filter(|t| **t == table.as_str())
+                .count();
             assert_eq!(applied, 1, "{table} applied {applied}× for {placement}");
         }
         checked += 1;
@@ -140,12 +155,13 @@ fn parallel_composition_on_real_switch() {
     use dejavu_core::compose::CompositionMode;
     let chains = ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["n0", "n1"], 1.0)]).unwrap();
     let mut placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0", "n1"])]);
-    placement.modes.insert(PipeletId::ingress(0), CompositionMode::Parallel);
+    placement
+        .modes
+        .insert(PipeletId::ingress(0), CompositionMode::Parallel);
     let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
     assert_eq!(predicted.resubmissions, 1);
 
-    let (mut switch, _dep) =
-        deploy_markers_with(&chains, &placement, Default::default()).unwrap();
+    let (mut switch, _dep) = deploy_markers_with(&chains, &placement, Default::default()).unwrap();
     let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(t.resubmissions, 1, "{}", t.describe());
@@ -154,7 +170,10 @@ fn parallel_composition_on_real_switch() {
     for nf in ["n0", "n1"] {
         let table = format!("{nf}__work");
         assert_eq!(
-            t.tables_applied().iter().filter(|x| **x == table.as_str()).count(),
+            t.tables_applied()
+                .iter()
+                .filter(|x| **x == table.as_str())
+                .count(),
             1
         );
     }
@@ -167,13 +186,22 @@ fn parallel_egress_branch_transition_recirculates() {
     use dejavu_core::compose::CompositionMode;
     let chains = ChainSet::new(vec![ChainPolicy::new(1, "ab", vec!["n0", "n1"], 1.0)]).unwrap();
     let mut placement = Placement::sequential(vec![(PipeletId::egress(1), vec!["n0", "n1"])]);
-    placement.modes.insert(PipeletId::egress(1), CompositionMode::Parallel);
+    placement
+        .modes
+        .insert(PipeletId::egress(1), CompositionMode::Parallel);
     let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
 
-    let (mut switch, _dep) =
-        deploy_markers_with(&chains, &placement, Default::default()).unwrap();
+    let (mut switch, _dep) = deploy_markers_with(&chains, &placement, Default::default()).unwrap();
     let t = switch.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
-    assert_eq!(t.recirculations as u32, predicted.recirculations, "{}", t.describe());
-    assert!(t.recirculations >= 2, "branch transition + exit positioning");
+    assert_eq!(
+        t.recirculations as u32,
+        predicted.recirculations,
+        "{}",
+        t.describe()
+    );
+    assert!(
+        t.recirculations >= 2,
+        "branch transition + exit positioning"
+    );
 }

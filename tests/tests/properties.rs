@@ -32,19 +32,21 @@ fn arb_sfc_header() -> impl Strategy<Value = SfcHeader> {
         any::<[(u8, u16); 4]>(),
         any::<u8>(),
     )
-        .prop_map(|(path_id, idx, in_port, out_port, flags, context, next_protocol)| SfcHeader {
-            path_id,
-            service_index: idx,
-            in_port,
-            out_port,
-            resub_flag: flags[0],
-            recirc_flag: flags[1],
-            drop_flag: flags[2],
-            mirror_flag: flags[3],
-            to_cpu_flag: flags[4],
-            context,
-            next_protocol,
-        })
+        .prop_map(
+            |(path_id, idx, in_port, out_port, flags, context, next_protocol)| SfcHeader {
+                path_id,
+                service_index: idx,
+                in_port,
+                out_port,
+                resub_flag: flags[0],
+                recirc_flag: flags[1],
+                drop_flag: flags[2],
+                mirror_flag: flags[3],
+                to_cpu_flag: flags[4],
+                context,
+                next_protocol,
+            },
+        )
 }
 
 proptest! {
@@ -90,7 +92,7 @@ proptest! {
                 .collect();
         let pp = dejavu_asic::ParsedPacket::parse(&bytes, &well_known::eth_ip_l4_parser(), &cat)
             .expect("generated packet parses");
-        prop_assert_eq!(pp.deparse(&cat), bytes);
+        prop_assert_eq!(pp.deparse(&cat).unwrap(), bytes);
     }
 }
 
@@ -122,7 +124,7 @@ fn arb_subparser() -> impl Strategy<Value = dejavu_p4ir::ParserDag> {
                 b.select("ip", "protocol", 8, cases)
             };
         }
-        b.start("eth").build()
+        b.start("eth").build().expect("sub-parser resolves")
     })
 }
 
@@ -192,8 +194,7 @@ fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
         let mut chains = Vec::new();
         for c in 0..n_chains {
             // Random non-empty subsequence in order.
-            let mut seq: Vec<String> =
-                nfs.iter().filter(|_| rng.gen_bool(0.7)).cloned().collect();
+            let mut seq: Vec<String> = nfs.iter().filter(|_| rng.gen_bool(0.7)).cloned().collect();
             if seq.is_empty() {
                 seq.push(nfs[0].clone());
             }
@@ -204,8 +205,10 @@ fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
                 weight: rng.gen_range(0.1..1.0),
             });
         }
-        let stages: BTreeMap<String, u32> =
-            nfs.iter().map(|n| (n.clone(), rng.gen_range(1..4))).collect();
+        let stages: BTreeMap<String, u32> = nfs
+            .iter()
+            .map(|n| (n.clone(), rng.gen_range(1..4)))
+            .collect();
         PlacementProblem::new(ChainSet { chains }, stages)
     })
 }
@@ -255,5 +258,215 @@ proptest! {
         let b = dejavu_asic::feedback::delivery_ratio(k + 1);
         prop_assert!(b <= a + 1e-12);
         prop_assert!(a > 0.0 && a <= 1.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// dejavu-lint robustness and composition stability
+// ---------------------------------------------------------------------
+
+/// Builds an arbitrary (frequently broken) program: a random parser depth,
+/// random table keys that may hit unparsed headers or unwritten metadata,
+/// random control shapes (validity guards, repeated applies, dead tables,
+/// dangling entry). These are exactly the defect classes the linter hunts;
+/// the property is that it *diagnoses* instead of panicking.
+fn arb_messy_program() -> impl Strategy<Value = dejavu_p4ir::Program> {
+    let key_pool = prop_oneof![
+        Just(dejavu_p4ir::fref("ethernet", "ether_type")),
+        Just(dejavu_p4ir::fref("ipv4", "dst_addr")),
+        Just(dejavu_p4ir::fref("tcp", "dst_port")),
+        Just(dejavu_p4ir::FieldRef::meta("m0")),
+        Just(dejavu_p4ir::FieldRef::meta("m1")),
+    ];
+    (
+        0usize..3,                                                // parser depth: eth / +ip / +tcp
+        proptest::collection::vec((key_pool, any::<u8>()), 1..6), // tables: (key, shape bits)
+        any::<bool>(),                                            // guard some applies with isValid
+        any::<bool>(),                                            // leave the last table unapplied
+    )
+        .prop_map(|(depth, tables, guard, drop_last)| {
+            use dejavu_p4ir::builder::*;
+            use dejavu_p4ir::{BoolExpr, Stmt};
+
+            let mut parser = ParserBuilder::new().node("eth", "ethernet", 0);
+            parser = match depth {
+                0 => parser.accept("eth"),
+                1 => parser
+                    .node("ip", "ipv4", 14)
+                    .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                    .accept("ip"),
+                _ => parser
+                    .node("ip", "ipv4", 14)
+                    .node("tcp", "tcp", 34)
+                    .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                    .select("ip", "protocol", 8, vec![(6, "tcp")])
+                    .accept("tcp"),
+            };
+            let mut b = ProgramBuilder::new("messy")
+                .header(well_known::ethernet())
+                .header(well_known::ipv4())
+                .header(well_known::tcp())
+                .meta_field("m0", 16)
+                .meta_field("m1", 16)
+                .parser(parser.start("eth"))
+                .action(ActionBuilder::new("nop").build());
+            let mut control = ControlBuilder::new("ingress");
+            let n = tables.len();
+            for (i, (key, shape)) in tables.into_iter().enumerate() {
+                let writes_meta = shape & 1 == 0;
+                let act = ActionBuilder::new(format!("w{i}"));
+                let act = if writes_meta {
+                    act.set(
+                        dejavu_p4ir::FieldRef::meta(if shape & 2 == 0 { "m0" } else { "m1" }),
+                        dejavu_p4ir::Expr::val(1, 16),
+                    )
+                } else {
+                    act.set(
+                        dejavu_p4ir::fref("ipv4", "ttl"),
+                        dejavu_p4ir::Expr::val(1, 8),
+                    )
+                };
+                b = b.action(act.build()).table(
+                    TableBuilder::new(format!("t{i}"))
+                        .key_exact(key)
+                        .action(format!("w{i}"))
+                        .default_action(if shape & 4 == 0 {
+                            "nop".into()
+                        } else {
+                            format!("w{i}")
+                        })
+                        .build(),
+                );
+                if drop_last && i == n - 1 {
+                    continue; // dead table: DJV005 bait
+                }
+                if guard && i % 2 == 1 {
+                    control = control.stmt(Stmt::If {
+                        cond: BoolExpr::Valid("ipv4".into()),
+                        then_branch: vec![Stmt::Apply(format!("t{i}"))],
+                        else_branch: vec![],
+                    });
+                } else {
+                    control = control.apply(&format!("t{i}"));
+                }
+            }
+            b.control(control.build())
+                .entry("ingress")
+                .build_unchecked()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn lint_never_panics_and_renders(program in arb_messy_program()) {
+        let report = dejavu_p4ir::lint::check(&program);
+        // Renderers total on any report.
+        let pretty = report.render_pretty();
+        let json = report.render_json();
+        prop_assert!(json.starts_with('[') && json.ends_with(']'));
+        // is_clean ⇔ nothing above Allow.
+        prop_assert_eq!(
+            report.is_clean(),
+            report.errors().is_empty() && report.warnings().is_empty()
+        );
+        // Severity overrides are respected: everything demoted to Allow
+        // makes any program clean.
+        let mut cfg = dejavu_p4ir::LintConfig::new();
+        for code in dejavu_p4ir::LintCode::ALL {
+            cfg = cfg.set_severity(code, dejavu_p4ir::Severity::Allow);
+        }
+        let demoted = dejavu_p4ir::lint::check_with_config(&program, &cfg);
+        prop_assert!(demoted.is_clean(), "demoted report not clean:\n{pretty}");
+    }
+}
+
+/// Lint-clean NFs stay error-free after merge + composition, in both modes
+/// and regardless of slot order — the framework tables must never introduce
+/// an error-level finding of their own.
+fn arb_clean_nf(name: &'static str) -> impl Strategy<Value = dejavu_core::NfModule> {
+    (0u8..3, any::<bool>()).prop_map(move |(field, with_default)| {
+        use dejavu_p4ir::builder::*;
+        let dst = match field {
+            0 => dejavu_p4ir::fref("ipv4", "dscp"),
+            1 => dejavu_p4ir::fref("ipv4", "ttl"),
+            _ => dejavu_p4ir::fref("sfc", "ctx_key0"),
+        };
+        let bits = match field {
+            0 => 6,
+            1 => 8,
+            _ => 8,
+        };
+        let program = ProgramBuilder::new(name)
+            .header(well_known::ethernet())
+            .header(well_known::ipv4())
+            .header(dejavu_core::sfc::sfc_header_type())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .node("ip", "ipv4", 14)
+                    .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                    .accept("ip")
+                    .start("eth"),
+            )
+            .action(
+                ActionBuilder::new("mark")
+                    .set(dst, dejavu_p4ir::Expr::val(1, bits))
+                    .build(),
+            )
+            .action(ActionBuilder::new("pass").build())
+            .table(
+                TableBuilder::new("work")
+                    .key_exact(dejavu_p4ir::fref("ipv4", "dst_addr"))
+                    .action("mark")
+                    .default_action(if with_default { "mark" } else { "pass" })
+                    .build(),
+            )
+            .control(ControlBuilder::new("ctrl").apply("work").build())
+            .entry("ctrl")
+            .build()
+            .expect("clean NF builds");
+        dejavu_core::NfModule::new(program).expect("clean NF is API-compliant")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn clean_nfs_stay_clean_through_composition(
+        a in arb_clean_nf("alpha"),
+        b in arb_clean_nf("beta"),
+        parallel in any::<bool>(),
+        swap in any::<bool>(),
+        ingress in any::<bool>(),
+    ) {
+        use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
+
+        // Preconditions: each NF is individually clean.
+        prop_assert!(dejavu_p4ir::lint::check(a.program()).is_clean());
+        prop_assert!(dejavu_p4ir::lint::check(b.program()).is_clean());
+
+        let merged = dejavu_core::merge::merge_programs("prop_sfc", &[&a, &b])
+            .expect("clean NFs merge");
+        let mut names = vec!["alpha", "beta"];
+        if swap {
+            names.reverse();
+        }
+        let plan = PipeletPlan {
+            pipelet: if ingress {
+                dejavu_asic::PipeletId::ingress(0)
+            } else {
+                dejavu_asic::PipeletId::egress(0)
+            },
+            nfs: names.into_iter().map(PlannedNf::indexed).collect(),
+            mode: if parallel { CompositionMode::Parallel } else { CompositionMode::Sequential },
+        };
+        let program = compose_pipelet(&merged, &plan).expect("clean NFs compose");
+        let report = dejavu_core::lint::lint_pipelet(&program, &plan);
+        prop_assert!(
+            report.errors().is_empty(),
+            "composition introduced errors:\n{}",
+            report.render_pretty()
+        );
     }
 }

@@ -22,7 +22,9 @@ fn firewall_v2() -> NfModule {
         .parser(well_known::eth_ip_l4_parser())
         .action(ActionBuilder::new("permit").build())
         .action(
-            ActionBuilder::new("deny").set(sfc_field("drop_flag"), Expr::val(1, 1)).build(),
+            ActionBuilder::new("deny")
+                .set(sfc_field("drop_flag"), Expr::val(1, 1))
+                .build(),
         )
         .table(
             TableBuilder::new(dejavu_nf::firewall::ACL_TABLE)
@@ -35,7 +37,11 @@ fn firewall_v2() -> NfModule {
                 .size(8192)
                 .build(),
         )
-        .control(ControlBuilder::new("fw_ctrl").apply(dejavu_nf::firewall::ACL_TABLE).build())
+        .control(
+            ControlBuilder::new("fw_ctrl")
+                .apply(dejavu_nf::firewall::ACL_TABLE)
+                .build(),
+        )
         .entry("fw_ctrl")
         .build()
         .unwrap();

@@ -17,7 +17,9 @@ const BACKEND: u32 = 0x0a63_0001; // 10.99.0.1
 fn check_decapped(bytes: &[u8]) -> Result<(), String> {
     let ether_type = u16::from_be_bytes([bytes[12], bytes[13]]);
     if ether_type != 0x0800 {
-        return Err(format!("ether_type {ether_type:#06x}, sfc header not removed"));
+        return Err(format!(
+            "ether_type {ether_type:#06x}, sfc header not removed"
+        ));
     }
     Ok(())
 }
@@ -44,13 +46,15 @@ fn path3_direct_chain() {
     let (mut switch, _dep) = fig9_testbed();
     let report = run_suite(
         &mut switch,
-        vec![TestCase::expect_port("path3", IN_PORT, chain_packet(3, VIP, 80), EXIT_PORT)
-            .expect_recirculations(1)
-            .expect_table_hit("classifier__classify")
-            .expect_table_hit("router__routes")
-            .check_packet(check_decapped)
-            .check_packet(|b| check_ttl(b, 63))
-            .check_packet(|b| check_dst_ip(b, VIP))],
+        vec![
+            TestCase::expect_port("path3", IN_PORT, chain_packet(3, VIP, 80), EXIT_PORT)
+                .expect_recirculations(1)
+                .expect_table_hit("classifier__classify")
+                .expect_table_hit("router__routes")
+                .check_packet(check_decapped)
+                .check_packet(|b| check_ttl(b, 63))
+                .check_packet(|b| check_dst_ip(b, VIP)),
+        ],
     );
     report.assert_all_passed();
 }
@@ -61,13 +65,15 @@ fn path2_vgw_chain() {
     let (mut switch, _dep) = fig9_testbed();
     let report = run_suite(
         &mut switch,
-        vec![TestCase::expect_port("path2", IN_PORT, chain_packet(2, VIP, 80), EXIT_PORT)
-            .expect_recirculations(1)
-            .expect_table_hit("classifier__classify")
-            .expect_table_hit("vgw__vni_map")
-            .expect_table_hit("router__routes")
-            .check_packet(check_decapped)
-            .check_packet(|b| check_ttl(b, 63))],
+        vec![
+            TestCase::expect_port("path2", IN_PORT, chain_packet(2, VIP, 80), EXIT_PORT)
+                .expect_recirculations(1)
+                .expect_table_hit("classifier__classify")
+                .expect_table_hit("vgw__vni_map")
+                .expect_table_hit("router__routes")
+                .check_packet(check_decapped)
+                .check_packet(|b| check_ttl(b, 63)),
+        ],
     );
     report.assert_all_passed();
 }
@@ -79,7 +85,13 @@ fn path1_full_chain_with_lb_session() {
     let (mut switch, dep) = fig9_testbed();
     let pkt = chain_packet(1, VIP, 80);
     let tuple = five_tuple_of(&pkt).unwrap();
-    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, BACKEND)).unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        SESSION_TABLE,
+        session_entry_for(&tuple, BACKEND),
+    )
+    .unwrap();
     let report = run_suite(
         &mut switch,
         vec![TestCase::expect_port("path1", IN_PORT, pkt, EXIT_PORT)
@@ -102,7 +114,11 @@ fn path1_lb_miss_punts_to_cpu() {
     let (mut switch, _dep) = fig9_testbed();
     let report = run_suite(
         &mut switch,
-        vec![TestCase::expect_cpu("lb miss", IN_PORT, chain_packet(1, VIP, 80))],
+        vec![TestCase::expect_cpu(
+            "lb miss",
+            IN_PORT,
+            chain_packet(1, VIP, 80),
+        )],
     );
     report.assert_all_passed();
 }
@@ -114,7 +130,11 @@ fn firewall_deny_drops() {
     let (mut switch, _dep) = fig9_testbed();
     let report = run_suite(
         &mut switch,
-        vec![TestCase::expect_drop("fw deny", IN_PORT, chain_packet(1, VIP, 22))],
+        vec![TestCase::expect_drop(
+            "fw deny",
+            IN_PORT,
+            chain_packet(1, VIP, 22),
+        )],
     );
     report.assert_all_passed();
 }
@@ -128,8 +148,10 @@ fn unclassified_traffic_punts() {
         .src_ip(0xac10_0001) // 172.16.0.1 — no chain
         .dst_ip(VIP)
         .build();
-    let report =
-        run_suite(&mut switch, vec![TestCase::expect_cpu("unclassified", IN_PORT, stray)]);
+    let report = run_suite(
+        &mut switch,
+        vec![TestCase::expect_cpu("unclassified", IN_PORT, stray)],
+    );
     report.assert_all_passed();
 }
 
@@ -141,7 +163,13 @@ fn model_predicts_switch_recirculations() {
     let (mut switch, dep) = fig9_testbed();
     let pkt1 = chain_packet(1, VIP, 80);
     let tuple = five_tuple_of(&pkt1).unwrap();
-    dep.install(&mut switch, "lb", SESSION_TABLE, session_entry_for(&tuple, BACKEND)).unwrap();
+    dep.install(
+        &mut switch,
+        "lb",
+        SESSION_TABLE,
+        session_entry_for(&tuple, BACKEND),
+    )
+    .unwrap();
     for chain in &dep.chains.chains {
         let predicted = dejavu_core::placement::traverse(
             chain,
