@@ -1,0 +1,1266 @@
+//! The compiled fast path: pre-lowered programs executed over dense state.
+//!
+//! The reference [`crate::interp::Interpreter`] resolves header, field,
+//! action, table, and register *names* through string-keyed maps on every
+//! packet. That is the right shape for an oracle, and exactly the wrong
+//! shape for a hot loop. [`CompiledProgram::compile`] lowers a validated
+//! [`Program`] once, at load time:
+//!
+//! * header types, actions, tables, and registers are interned to dense
+//!   indices; field references become `(header id, field id, width)` or
+//!   `(metadata slot, width)` tuples,
+//! * the parser DAG is pre-resolved so the walk does no catalog lookups,
+//! * control-block statements (including `Call`s, inlined) are flattened
+//!   into a branch-resolved op array executed with a program counter —
+//!   all jumps are forward, so execution always terminates,
+//! * table applies address [`TableState`] slots by dense id and hit the
+//!   per-table indexes built at install time.
+//!
+//! Semantics are bit-for-bit those of the reference interpreter, including
+//! its *lazy* error behavior: a dangling table/action/register name or a
+//! mis-invoked action compiles to a [`COp::Fail`]-style op that raises the
+//! same `IrError` only if control flow actually reaches it. The property
+//! suite in `tests/` runs both engines on arbitrary programs × packets and
+//! requires identical packets, verdicts, counters, and register state.
+//!
+//! Call inlining note: acyclic control-call DAGs can in principle expand
+//! exponentially (A calls B twice, B calls C twice, …). The interpreter's
+//! own call-depth ceiling of 64 bounds the expansion; real programs in this
+//! workspace are nowhere near it.
+
+use crate::interp::{ones_complement_checksum, TableEvent};
+use crate::tables::TableState;
+use dejavu_p4ir::action::{run_hash, ActionDef, Expr, HashAlgorithm, PrimitiveOp};
+use dejavu_p4ir::control::{BoolExpr, CmpOp, Stmt};
+use dejavu_p4ir::parser::{Target, Transition};
+use dejavu_p4ir::program::STANDARD_METADATA;
+use dejavu_p4ir::table::RegisterDef;
+use dejavu_p4ir::{deposit_bits, extract_bits, FieldRef, IrError, Program, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Standard-metadata slots. The compiler lays out the seven platform fields
+/// first, in [`STANDARD_METADATA`] order, so the switch can read them by
+/// constant index. User metadata follows (a user field redeclaring a
+/// standard name takes over the slot's width, mirroring
+/// `Program::field_width`'s user-first resolution).
+pub(crate) const M_INGRESS_PORT: usize = 0;
+pub(crate) const M_EGRESS_SPEC: usize = 1;
+pub(crate) const M_DROP: usize = 2;
+pub(crate) const M_RESUBMIT: usize = 3;
+#[allow(dead_code)] // reserved platform slot, unread by the switch model
+pub(crate) const M_RECIRC: usize = 4;
+pub(crate) const M_MIRROR: usize = 5;
+pub(crate) const M_TO_CPU: usize = 6;
+
+/// A resolved field location: a metadata slot or a header field, with the
+/// declared width baked in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CSlot {
+    Meta { slot: u16, bits: u16 },
+    Hdr { hid: u16, fid: u16, bits: u16 },
+}
+
+impl CSlot {
+    fn bits(&self) -> u16 {
+        match self {
+            CSlot::Meta { bits, .. } | CSlot::Hdr { bits, .. } => *bits,
+        }
+    }
+}
+
+/// A write destination that may be statically known to be dangling — the
+/// error is raised only when the op executes (lazy, like the interpreter).
+type CDst = Result<CSlot, IrError>;
+
+/// Lowered expression. `Param` is an index into the running action's
+/// argument bindings.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Const(Value),
+    Read(CSlot),
+    Param(usize),
+    /// A reference the interpreter would fault on at evaluation time.
+    Fail(IrError),
+    Add(Box<CExpr>, Box<CExpr>),
+    Sub(Box<CExpr>, Box<CExpr>),
+    And(Box<CExpr>, Box<CExpr>),
+    Or(Box<CExpr>, Box<CExpr>),
+    Xor(Box<CExpr>, Box<CExpr>),
+    Shl(Box<CExpr>, u32),
+    Shr(Box<CExpr>, u32),
+}
+
+/// Lowered boolean expression.
+#[derive(Debug, Clone)]
+enum CBool {
+    Cmp(CExpr, CmpOp, CExpr),
+    And(Box<CBool>, Box<CBool>),
+    Or(Box<CBool>, Box<CBool>),
+    Not(Box<CBool>),
+    /// `isValid(header)`; `None` means the type name is unknown, which the
+    /// interpreter treats as never-valid.
+    Valid(Option<u16>),
+}
+
+/// Lowered primitive op.
+#[derive(Debug, Clone)]
+enum CPrim {
+    Set {
+        dst: CDst,
+        value: CExpr,
+    },
+    Hash {
+        dst: CDst,
+        algo: HashAlgorithm,
+        inputs: Vec<CExpr>,
+    },
+    AddHeader {
+        hid: u16,
+        /// Insert before the first instance of this header id (append when
+        /// `None` or when no instance is present).
+        before: Option<u16>,
+    },
+    RemoveHeaderNth {
+        /// `None` when the type name is unknown — a guaranteed no-op.
+        hid: Option<u16>,
+        occurrence: usize,
+    },
+    RegisterRead {
+        dst: CDst,
+        reg: usize,
+        index: CExpr,
+    },
+    RegisterWrite {
+        reg: usize,
+        index: CExpr,
+        value: CExpr,
+    },
+    ChecksumUpdate {
+        hid: u16,
+        ck_fid: u16,
+    },
+    Drop,
+    NoOp,
+    /// Raises the interpreter's lazy error for this op.
+    Fail(IrError),
+}
+
+/// A lowered action.
+#[derive(Debug, Clone)]
+struct CAction {
+    name: String,
+    /// Declared parameter widths (arguments are resized to these).
+    params: Vec<u16>,
+    ops: Vec<CPrim>,
+}
+
+/// A lowered table reference.
+#[derive(Debug, Clone)]
+struct CTable {
+    name: String,
+    /// Dense [`TableState`] slot id. Valid only against a state whose
+    /// tables were preregistered from the same program in
+    /// `Program::tables` iteration order (the switch does this at load).
+    sid: usize,
+    keys: Vec<CDst>,
+    default_aid: Result<usize, IrError>,
+    default_args: Vec<Value>,
+}
+
+/// One op of the flattened entry control. All jump targets are forward.
+#[derive(Debug, Clone)]
+enum COp {
+    Apply {
+        tid: usize,
+    },
+    ApplySelect {
+        tid: usize,
+        /// `(action id, branch pc)` arms checked in order.
+        arms: Vec<(usize, usize)>,
+        default_pc: usize,
+    },
+    /// Falls through on true, jumps to `else_pc` on false.
+    Branch {
+        cond: CBool,
+        else_pc: usize,
+    },
+    Jump {
+        pc: usize,
+    },
+    /// A `Do` of a parameterless action.
+    RunAction {
+        aid: usize,
+    },
+    /// Raises a lazy interpreter error when reached.
+    Fail(IrError),
+}
+
+/// A pre-resolved parse target.
+#[derive(Debug, Clone, Copy)]
+enum CTarget {
+    Node(usize),
+    Accept,
+    Reject,
+}
+
+/// A pre-resolved parse transition.
+#[derive(Debug, Clone)]
+enum CTransition {
+    Go(CTarget),
+    Select {
+        /// Absolute bit offset of the select field in the packet.
+        bit_off: u64,
+        bits: u16,
+        cases: Vec<(Value, CTarget)>,
+        default: CTarget,
+    },
+    /// The interpreter would fault resolving this node's select field.
+    Bad,
+}
+
+/// A pre-resolved parse node.
+#[derive(Debug, Clone)]
+struct CNode {
+    hid: u16,
+    /// Absolute byte offset of the header in the packet.
+    offset: usize,
+    /// `offset + total_bytes` — the truncation bound.
+    end: usize,
+    transition: CTransition,
+}
+
+/// The pre-resolved parser: nodes whose header type is unknown (an
+/// interpreter parse error) are `None`.
+#[derive(Debug, Clone)]
+struct CParser {
+    start: Option<CTarget>,
+    nodes: Vec<Option<CNode>>,
+}
+
+/// An interned header type.
+#[derive(Debug, Clone)]
+struct CHeader {
+    bits: Vec<u16>,
+    total_bytes: usize,
+}
+
+/// The parsed view of a packet on the fast path: per-instance dense field
+/// vectors instead of name-keyed maps.
+#[derive(Debug, Clone, Default)]
+struct FastPacket {
+    /// `(header id, field values)` in wire order.
+    headers: Vec<(u16, Vec<Value>)>,
+    payload: Vec<u8>,
+}
+
+impl FastPacket {
+    fn find(&self, hid: u16) -> Option<usize> {
+        self.headers.iter().position(|(h, _)| *h == hid)
+    }
+
+    fn get(&self, hid: u16, fid: u16) -> Option<Value> {
+        self.find(hid).map(|i| self.headers[i].1[fid as usize])
+    }
+
+    /// Mirrors `ParsedPacket::set`: resizes to the *stored* value's width
+    /// and silently drops writes to absent headers.
+    fn set(&mut self, hid: u16, fid: u16, v: Value) {
+        if let Some(i) = self.find(hid) {
+            let slot = &mut self.headers[i].1[fid as usize];
+            *slot = v.resize(slot.bits());
+        }
+    }
+}
+
+/// Everything one compiled pipelet pass produced. `bytes` is `None` when
+/// the parser rejected the packet (the switch records a parse error and
+/// drops, exactly as with the reference engine).
+#[derive(Debug, Clone)]
+pub struct CompiledPass {
+    /// Deparsed output bytes, or `None` on a parse error.
+    pub bytes: Option<Vec<u8>>,
+    /// `drop_flag` as a boolean.
+    pub drop: bool,
+    /// `to_cpu_flag` as a boolean.
+    pub to_cpu: bool,
+    /// `resubmit_flag` as a boolean.
+    pub resubmit: bool,
+    /// `mirror_flag` as a boolean.
+    pub mirror: bool,
+    /// Raw `egress_spec` metadata value after the pass.
+    pub egress_spec: u128,
+    /// Table applications in execution order (empty unless tracing).
+    pub events: Vec<TableEvent>,
+}
+
+/// Mutable per-pass execution state.
+struct ExecState {
+    pkt: FastPacket,
+    meta: Vec<Value>,
+}
+
+/// A program lowered for the fast path. Built once per pipelet at
+/// `Switch::load_program` time; executed per packet with no name lookups.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    meta_widths: Vec<u16>,
+    headers: Vec<CHeader>,
+    actions: Vec<CAction>,
+    /// Global action name → id (hit entries store action *names*).
+    action_ids: HashMap<String, usize>,
+    tables: Vec<CTable>,
+    registers: Vec<RegisterDef>,
+    parser: CParser,
+    ops: Vec<COp>,
+}
+
+impl CompiledProgram {
+    /// Lowers a program. Structural faults the reference interpreter only
+    /// raises at run time (dangling names, mis-invoked actions, call-depth
+    /// overflow) are preserved as lazily-failing ops, so compilation itself
+    /// succeeds for anything the interpreter can attempt to execute.
+    pub fn compile(program: &Program) -> Result<Self, IrError> {
+        Compiler::new(program).lower()
+    }
+
+    /// Runs one pipelet pass over raw bytes. Metadata is seeded with
+    /// `ingress_port` and `egress_spec` exactly as the switch seeds the
+    /// reference interpreter's metadata map. Table applies count hits and
+    /// misses in `tables`. With `collect_events` false no per-table trace
+    /// is allocated.
+    pub fn run_pass(
+        &self,
+        bytes: &[u8],
+        ingress_port: u16,
+        egress_spec: u16,
+        tables: &mut TableState,
+        collect_events: bool,
+    ) -> Result<CompiledPass, IrError> {
+        let Some(pkt) = self.parse(bytes) else {
+            return Ok(CompiledPass {
+                bytes: None,
+                drop: false,
+                to_cpu: false,
+                resubmit: false,
+                mirror: false,
+                egress_spec: u128::from(egress_spec),
+                events: Vec::new(),
+            });
+        };
+        let mut meta: Vec<Value> = self.meta_widths.iter().map(|&b| Value::new(0, b)).collect();
+        meta[M_INGRESS_PORT] = Value::new(u128::from(ingress_port), 16);
+        meta[M_EGRESS_SPEC] = Value::new(u128::from(egress_spec), 16);
+        let mut st = ExecState { pkt, meta };
+        let mut events = Vec::new();
+
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            match &self.ops[pc] {
+                COp::Apply { tid } => {
+                    self.apply(*tid, &mut st, tables, &mut events, collect_events)?;
+                    pc += 1;
+                }
+                COp::ApplySelect {
+                    tid,
+                    arms,
+                    default_pc,
+                } => {
+                    let ran = self.apply(*tid, &mut st, tables, &mut events, collect_events)?;
+                    pc = arms
+                        .iter()
+                        .find(|(aid, _)| *aid == ran)
+                        .map(|(_, p)| *p)
+                        .unwrap_or(*default_pc);
+                }
+                COp::Branch { cond, else_pc } => {
+                    pc = if self.eval_bool(cond, &st)? {
+                        pc + 1
+                    } else {
+                        *else_pc
+                    };
+                }
+                COp::Jump { pc: target } => pc = *target,
+                COp::RunAction { aid } => {
+                    self.run_action(*aid, &[], &mut st, tables)?;
+                    pc += 1;
+                }
+                COp::Fail(e) => return Err(e.clone()),
+            }
+        }
+
+        let bytes = self.deparse(&st.pkt);
+        Ok(CompiledPass {
+            bytes: Some(bytes),
+            drop: st.meta[M_DROP].as_bool(),
+            to_cpu: st.meta[M_TO_CPU].as_bool(),
+            resubmit: st.meta[M_RESUBMIT].as_bool(),
+            mirror: st.meta[M_MIRROR].as_bool(),
+            egress_spec: st.meta[M_EGRESS_SPEC].raw(),
+            events,
+        })
+    }
+
+    /// Walks the pre-resolved parser. `None` on any parse error (reject,
+    /// truncation, dangling node — all drop the packet).
+    fn parse(&self, bytes: &[u8]) -> Option<FastPacket> {
+        let mut cur = self.parser.start?;
+        let mut pkt = FastPacket::default();
+        let mut consumed = 0usize;
+        loop {
+            match cur {
+                CTarget::Accept => break,
+                CTarget::Reject => return None,
+                CTarget::Node(id) => {
+                    let node = self.parser.nodes[id].as_ref()?;
+                    if bytes.len() < node.end {
+                        return None;
+                    }
+                    let ch = &self.headers[node.hid as usize];
+                    let mut fields = Vec::with_capacity(ch.bits.len());
+                    let mut bit_off = node.offset as u64 * 8;
+                    for &b in &ch.bits {
+                        fields.push(extract_bits(bytes, bit_off, b));
+                        bit_off += u64::from(b);
+                    }
+                    pkt.headers.push((node.hid, fields));
+                    consumed = node.end;
+                    cur = match &node.transition {
+                        CTransition::Go(t) => *t,
+                        CTransition::Select {
+                            bit_off,
+                            bits,
+                            cases,
+                            default,
+                        } => {
+                            let v = extract_bits(bytes, *bit_off, *bits);
+                            cases
+                                .iter()
+                                .find(|(case, _)| *case == v)
+                                .map(|(_, t)| *t)
+                                .unwrap_or(*default)
+                        }
+                        CTransition::Bad => return None,
+                    };
+                }
+            }
+        }
+        pkt.payload = bytes[consumed..].to_vec();
+        Some(pkt)
+    }
+
+    fn serialize_header(&self, hid: u16, fields: &[Value]) -> Vec<u8> {
+        let ch = &self.headers[hid as usize];
+        let mut bytes = vec![0u8; ch.total_bytes];
+        let mut bit_off = 0u64;
+        for (i, &b) in ch.bits.iter().enumerate() {
+            deposit_bits(&mut bytes, bit_off, fields[i].resize(b));
+            bit_off += u64::from(b);
+        }
+        bytes
+    }
+
+    fn deparse(&self, pkt: &FastPacket) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            pkt.payload.len()
+                + pkt
+                    .headers
+                    .iter()
+                    .map(|(h, _)| self.headers[*h as usize].total_bytes)
+                    .sum::<usize>(),
+        );
+        for (hid, fields) in &pkt.headers {
+            out.extend_from_slice(&self.serialize_header(*hid, fields));
+        }
+        out.extend_from_slice(&pkt.payload);
+        out
+    }
+
+    /// Applies a table, returning the id of the action that ran.
+    fn apply(
+        &self,
+        tid: usize,
+        st: &mut ExecState,
+        tables: &mut TableState,
+        events: &mut Vec<TableEvent>,
+        collect: bool,
+    ) -> Result<usize, IrError> {
+        let t = &self.tables[tid];
+        let mut keys = Vec::with_capacity(t.keys.len());
+        for k in &t.keys {
+            let slot = k.as_ref().map_err(Clone::clone)?;
+            keys.push(self.read(*slot, st));
+        }
+        let (aid, args, hit) = match tables.lookup_id(t.sid, &keys) {
+            Some(entry) => {
+                let aid =
+                    *self
+                        .action_ids
+                        .get(&entry.action)
+                        .ok_or_else(|| IrError::Undefined {
+                            kind: "action",
+                            name: entry.action.clone(),
+                        })?;
+                (aid, entry.action_args.clone(), true)
+            }
+            None => {
+                let aid = t.default_aid.clone()?;
+                (aid, t.default_args.clone(), false)
+            }
+        };
+        self.run_action(aid, &args, st, tables)?;
+        if collect {
+            events.push(TableEvent {
+                table: t.name.clone(),
+                hit,
+                action: self.actions[aid].name.clone(),
+            });
+        }
+        Ok(aid)
+    }
+
+    fn run_action(
+        &self,
+        aid: usize,
+        args: &[Value],
+        st: &mut ExecState,
+        tables: &mut TableState,
+    ) -> Result<(), IrError> {
+        let act = &self.actions[aid];
+        if args.len() != act.params.len() {
+            return Err(IrError::Invalid(format!(
+                "action {}: expected {} args, got {}",
+                act.name,
+                act.params.len(),
+                args.len()
+            )));
+        }
+        let bound: Vec<Value> = act
+            .params
+            .iter()
+            .zip(args)
+            .map(|(bits, v)| v.resize(*bits))
+            .collect();
+        for op in &act.ops {
+            match op {
+                CPrim::Set { dst, value } => {
+                    let v = self.eval(value, st, &bound)?;
+                    let slot = dst.as_ref().map_err(Clone::clone)?;
+                    self.write(*slot, v, st);
+                }
+                CPrim::Hash { dst, algo, inputs } => {
+                    let mut vals = Vec::with_capacity(inputs.len());
+                    for e in inputs {
+                        vals.push(self.eval(e, st, &bound)?);
+                    }
+                    let raw = run_hash(*algo, &vals);
+                    let slot = dst.as_ref().map_err(Clone::clone)?;
+                    self.write(*slot, Value::new(raw, slot.bits()), st);
+                }
+                CPrim::AddHeader { hid, before } => {
+                    let ch = &self.headers[*hid as usize];
+                    let fields: Vec<Value> = ch.bits.iter().map(|&b| Value::new(0, b)).collect();
+                    let pos = before
+                        .and_then(|b| st.pkt.find(b))
+                        .unwrap_or(st.pkt.headers.len());
+                    st.pkt.headers.insert(pos, (*hid, fields));
+                }
+                CPrim::RemoveHeaderNth { hid, occurrence } => {
+                    if let Some(hid) = hid {
+                        let idx = st
+                            .pkt
+                            .headers
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (h, _))| h == hid)
+                            .map(|(i, _)| i)
+                            .nth(*occurrence);
+                        if let Some(idx) = idx {
+                            st.pkt.headers.remove(idx);
+                        }
+                    }
+                }
+                CPrim::RegisterRead { dst, reg, index } => {
+                    let def = &self.registers[*reg];
+                    let idx = self.eval(index, st, &bound)?.raw() as u32;
+                    let val = tables.register_read(def, idx);
+                    let slot = dst.as_ref().map_err(Clone::clone)?;
+                    self.write(*slot, Value::new(val, def.width_bits), st);
+                }
+                CPrim::RegisterWrite { reg, index, value } => {
+                    let def = &self.registers[*reg];
+                    let idx = self.eval(index, st, &bound)?.raw() as u32;
+                    let val = self.eval(value, st, &bound)?.raw();
+                    tables.register_write(def, idx, val);
+                }
+                CPrim::ChecksumUpdate { hid, ck_fid } => {
+                    if let Some(i) = st.pkt.find(*hid) {
+                        st.pkt.headers[i].1[*ck_fid as usize] = Value::new(0, 16);
+                        let bytes = self.serialize_header(*hid, &st.pkt.headers[i].1);
+                        let sum = ones_complement_checksum(&bytes);
+                        st.pkt.headers[i].1[*ck_fid as usize] = Value::new(u128::from(sum), 16);
+                    }
+                }
+                CPrim::Drop => {
+                    st.meta[M_DROP] = Value::new(1, 1);
+                }
+                CPrim::NoOp => {}
+                CPrim::Fail(e) => return Err(e.clone()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a slot: metadata resized to the declared width, header fields
+    /// at their stored width (zero at declared width when the header is
+    /// absent) — the interpreter's exact read semantics.
+    fn read(&self, s: CSlot, st: &ExecState) -> Value {
+        match s {
+            CSlot::Meta { slot, bits } => st.meta[slot as usize].resize(bits),
+            CSlot::Hdr { hid, fid, bits } => st.pkt.get(hid, fid).unwrap_or(Value::new(0, bits)),
+        }
+    }
+
+    /// Writes a slot after resizing to the declared width (header stores
+    /// then resize to the stored width, mirroring `ParsedPacket::set`).
+    fn write(&self, s: CSlot, v: Value, st: &mut ExecState) {
+        match s {
+            CSlot::Meta { slot, bits } => st.meta[slot as usize] = v.resize(bits),
+            CSlot::Hdr { hid, fid, bits } => st.pkt.set(hid, fid, v.resize(bits)),
+        }
+    }
+
+    fn eval(&self, e: &CExpr, st: &ExecState, bound: &[Value]) -> Result<Value, IrError> {
+        Ok(match e {
+            CExpr::Const(v) => *v,
+            CExpr::Read(s) => self.read(*s, st),
+            CExpr::Param(i) => bound[*i],
+            CExpr::Fail(err) => return Err(err.clone()),
+            CExpr::Add(a, b) => {
+                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                a.wrapping_add(b)
+            }
+            CExpr::Sub(a, b) => {
+                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                a.wrapping_sub(b)
+            }
+            CExpr::And(a, b) => {
+                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                a.and(b)
+            }
+            CExpr::Or(a, b) => {
+                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                a.or(b)
+            }
+            CExpr::Xor(a, b) => {
+                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                a.xor(b)
+            }
+            CExpr::Shl(a, amount) => self.eval(a, st, bound)?.shl(*amount),
+            CExpr::Shr(a, amount) => self.eval(a, st, bound)?.shr(*amount),
+        })
+    }
+
+    fn eval_bool(&self, c: &CBool, st: &ExecState) -> Result<bool, IrError> {
+        Ok(match c {
+            CBool::Cmp(a, op, b) => {
+                let (a, b) = (self.eval(a, st, &[])?, self.eval(b, st, &[])?);
+                match op {
+                    CmpOp::Eq => a.raw() == b.raw(),
+                    CmpOp::Ne => a.raw() != b.raw(),
+                    CmpOp::Lt => a.raw() < b.raw(),
+                    CmpOp::Le => a.raw() <= b.raw(),
+                    CmpOp::Gt => a.raw() > b.raw(),
+                    CmpOp::Ge => a.raw() >= b.raw(),
+                }
+            }
+            CBool::And(a, b) => self.eval_bool(a, st)? && self.eval_bool(b, st)?,
+            CBool::Or(a, b) => self.eval_bool(a, st)? || self.eval_bool(b, st)?,
+            CBool::Not(a) => !self.eval_bool(a, st)?,
+            CBool::Valid(hid) => hid.is_some_and(|h| st.pkt.find(h).is_some()),
+        })
+    }
+}
+
+/// Compile-time lowering context.
+struct Compiler<'p> {
+    prog: &'p Program,
+    meta_ids: HashMap<String, u16>,
+    meta_widths: Vec<u16>,
+    headers: Vec<CHeader>,
+    header_ids: HashMap<String, u16>,
+    /// Per-header field name → id.
+    field_ids: Vec<HashMap<String, u16>>,
+    actions: Vec<CAction>,
+    action_ids: HashMap<String, usize>,
+    tables: Vec<CTable>,
+    table_ids: HashMap<String, usize>,
+    registers: Vec<RegisterDef>,
+    register_ids: HashMap<String, usize>,
+    ops: Vec<COp>,
+}
+
+impl<'p> Compiler<'p> {
+    fn new(prog: &'p Program) -> Self {
+        // Metadata layout: standard fields first, then user fields. A user
+        // field shadowing a standard name takes over the slot width; only
+        // the first user declaration of a name counts (Program::field_width
+        // resolves to the first match).
+        let mut meta_ids = HashMap::new();
+        let mut meta_widths = Vec::new();
+        for (name, bits) in STANDARD_METADATA {
+            meta_ids.insert((*name).to_string(), meta_widths.len() as u16);
+            meta_widths.push(*bits);
+        }
+        let mut seen_user = HashSet::new();
+        for fd in &prog.meta_fields {
+            if !seen_user.insert(fd.name.as_str()) {
+                continue;
+            }
+            if let Some(&slot) = meta_ids.get(&fd.name) {
+                meta_widths[slot as usize] = fd.bits;
+            } else {
+                meta_ids.insert(fd.name.clone(), meta_widths.len() as u16);
+                meta_widths.push(fd.bits);
+            }
+        }
+
+        // Header types interned in BTreeMap (name) order.
+        let mut headers = Vec::new();
+        let mut header_ids = HashMap::new();
+        let mut field_ids = Vec::new();
+        for (name, ht) in &prog.header_types {
+            header_ids.insert(name.clone(), headers.len() as u16);
+            field_ids.push(
+                ht.fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| (f.name.clone(), i as u16))
+                    .collect(),
+            );
+            headers.push(CHeader {
+                bits: ht.fields.iter().map(|f| f.bits).collect(),
+                total_bytes: ht.total_bytes() as usize,
+            });
+        }
+
+        let action_ids: HashMap<String, usize> = prog
+            .actions
+            .keys()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let table_ids: HashMap<String, usize> = prog
+            .tables
+            .keys()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let mut registers = Vec::new();
+        let mut register_ids = HashMap::new();
+        for (name, def) in &prog.registers {
+            register_ids.insert(name.clone(), registers.len());
+            registers.push(def.clone());
+        }
+
+        Compiler {
+            prog,
+            meta_ids,
+            meta_widths,
+            headers,
+            header_ids,
+            field_ids,
+            actions: Vec::new(),
+            action_ids,
+            tables: Vec::new(),
+            table_ids,
+            registers,
+            register_ids,
+            ops: Vec::new(),
+        }
+    }
+
+    fn lower(mut self) -> Result<CompiledProgram, IrError> {
+        // Actions, in the same BTreeMap order as `action_ids`.
+        for act in self.prog.actions.values() {
+            let lowered = self.lower_action(act);
+            self.actions.push(lowered);
+        }
+        // Tables, in BTreeMap order — `sid` must line up with the switch's
+        // preregistration order.
+        for (i, def) in self.prog.tables.values().enumerate() {
+            let default_aid = self
+                .action_ids
+                .get(&def.default_action)
+                .copied()
+                .ok_or_else(|| IrError::Undefined {
+                    kind: "action",
+                    name: def.default_action.clone(),
+                });
+            let table = CTable {
+                name: def.name.clone(),
+                sid: i,
+                keys: def.keys.iter().map(|k| self.slot_of(&k.field)).collect(),
+                default_aid,
+                default_args: def.default_action_args.clone(),
+            };
+            self.tables.push(table);
+        }
+
+        // Flatten the entry control (Calls inlined).
+        match self.prog.entry_control() {
+            Some(entry) => {
+                let body = entry.body.clone();
+                self.flatten(&body, 0);
+            }
+            None => self.ops.push(COp::Fail(IrError::Undefined {
+                kind: "entry control",
+                name: self.prog.entry.clone(),
+            })),
+        }
+
+        let parser = self.lower_parser();
+        Ok(CompiledProgram {
+            meta_widths: self.meta_widths,
+            headers: self.headers,
+            actions: self.actions,
+            action_ids: self.action_ids,
+            tables: self.tables,
+            registers: self.registers,
+            parser,
+            ops: self.ops,
+        })
+    }
+
+    fn lower_parser(&self) -> CParser {
+        let lower_target = |t: Target| match t {
+            Target::Node(i) => CTarget::Node(i),
+            Target::Accept => CTarget::Accept,
+            Target::Reject => CTarget::Reject,
+        };
+        let nodes = self
+            .prog
+            .parser
+            .nodes
+            .iter()
+            .map(|node| {
+                let hid = *self.header_ids.get(&node.header_type)?;
+                let ht = &self.prog.header_types[&node.header_type];
+                let transition = match &node.transition {
+                    Transition::Unconditional(t) => CTransition::Go(lower_target(*t)),
+                    Transition::Select {
+                        field,
+                        cases,
+                        default,
+                    } => match (ht.field_bit_offset(field), ht.field(field)) {
+                        (Some(bit_off), Some(fd)) => CTransition::Select {
+                            bit_off: u64::from(node.offset) * 8 + u64::from(bit_off),
+                            bits: fd.bits,
+                            cases: cases.iter().map(|(v, t)| (*v, lower_target(*t))).collect(),
+                            default: lower_target(*default),
+                        },
+                        _ => CTransition::Bad,
+                    },
+                };
+                Some(CNode {
+                    hid,
+                    offset: node.offset as usize,
+                    end: node.offset as usize + ht.total_bytes() as usize,
+                    transition,
+                })
+            })
+            .collect();
+        CParser {
+            start: self.prog.parser.start.map(lower_target),
+            nodes,
+        }
+    }
+
+    /// Resolves a field reference, or the `Undefined` error the interpreter
+    /// raises when it is dangling.
+    fn slot_of(&self, fr: &FieldRef) -> CDst {
+        let undefined = || IrError::Undefined {
+            kind: "field",
+            name: fr.to_string(),
+        };
+        if fr.is_meta() {
+            let &slot = self.meta_ids.get(&fr.field).ok_or_else(undefined)?;
+            return Ok(CSlot::Meta {
+                slot,
+                bits: self.meta_widths[slot as usize],
+            });
+        }
+        let &hid = self.header_ids.get(&fr.header).ok_or_else(undefined)?;
+        let &fid = self.field_ids[hid as usize]
+            .get(&fr.field)
+            .ok_or_else(undefined)?;
+        Ok(CSlot::Hdr {
+            hid,
+            fid,
+            bits: self.headers[hid as usize].bits[fid as usize],
+        })
+    }
+
+    fn lower_expr(&self, e: &Expr, act: Option<&ActionDef>) -> CExpr {
+        let bin = |a: &Expr, b: &Expr| {
+            (
+                Box::new(self.lower_expr(a, act)),
+                Box::new(self.lower_expr(b, act)),
+            )
+        };
+        match e {
+            Expr::Const(v) => CExpr::Const(*v),
+            Expr::Field(fr) => match self.slot_of(fr) {
+                Ok(s) => CExpr::Read(s),
+                Err(e) => CExpr::Fail(e),
+            },
+            Expr::Param(p) => match act.and_then(|a| a.params.iter().position(|(n, _)| n == p)) {
+                Some(i) => CExpr::Param(i),
+                None => CExpr::Fail(IrError::Undefined {
+                    kind: "action parameter",
+                    name: p.clone(),
+                }),
+            },
+            Expr::Add(a, b) => {
+                let (a, b) = bin(a, b);
+                CExpr::Add(a, b)
+            }
+            Expr::Sub(a, b) => {
+                let (a, b) = bin(a, b);
+                CExpr::Sub(a, b)
+            }
+            Expr::And(a, b) => {
+                let (a, b) = bin(a, b);
+                CExpr::And(a, b)
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = bin(a, b);
+                CExpr::Or(a, b)
+            }
+            Expr::Xor(a, b) => {
+                let (a, b) = bin(a, b);
+                CExpr::Xor(a, b)
+            }
+            Expr::Shl(a, n) => CExpr::Shl(Box::new(self.lower_expr(a, act)), *n),
+            Expr::Shr(a, n) => CExpr::Shr(Box::new(self.lower_expr(a, act)), *n),
+        }
+    }
+
+    fn lower_bool(&self, c: &BoolExpr) -> CBool {
+        match c {
+            BoolExpr::Cmp(a, op, b) => {
+                CBool::Cmp(self.lower_expr(a, None), *op, self.lower_expr(b, None))
+            }
+            BoolExpr::And(a, b) => {
+                CBool::And(Box::new(self.lower_bool(a)), Box::new(self.lower_bool(b)))
+            }
+            BoolExpr::Or(a, b) => {
+                CBool::Or(Box::new(self.lower_bool(a)), Box::new(self.lower_bool(b)))
+            }
+            BoolExpr::Not(a) => CBool::Not(Box::new(self.lower_bool(a))),
+            BoolExpr::Valid(h) => CBool::Valid(self.header_ids.get(h).copied()),
+        }
+    }
+
+    fn lower_action(&self, act: &ActionDef) -> CAction {
+        let ops = act.ops.iter().map(|op| self.lower_prim(op, act)).collect();
+        CAction {
+            name: act.name.clone(),
+            params: act.params.iter().map(|(_, bits)| *bits).collect(),
+            ops,
+        }
+    }
+
+    fn lower_prim(&self, op: &PrimitiveOp, act: &ActionDef) -> CPrim {
+        let a = Some(act);
+        match op {
+            PrimitiveOp::Set { dst, value } => CPrim::Set {
+                dst: self.slot_of(dst),
+                value: self.lower_expr(value, a),
+            },
+            PrimitiveOp::Hash { dst, algo, inputs } => CPrim::Hash {
+                dst: self.slot_of(dst),
+                algo: *algo,
+                inputs: inputs.iter().map(|e| self.lower_expr(e, a)).collect(),
+            },
+            PrimitiveOp::AddHeader { header, before } => match self.header_ids.get(header) {
+                Some(&hid) => CPrim::AddHeader {
+                    hid,
+                    before: before
+                        .as_ref()
+                        .and_then(|b| self.header_ids.get(b))
+                        .copied(),
+                },
+                None => CPrim::Fail(IrError::Undefined {
+                    kind: "header type",
+                    name: header.clone(),
+                }),
+            },
+            PrimitiveOp::RemoveHeader { header } => CPrim::RemoveHeaderNth {
+                hid: self.header_ids.get(header).copied(),
+                occurrence: 0,
+            },
+            PrimitiveOp::RemoveHeaderNth { header, occurrence } => CPrim::RemoveHeaderNth {
+                hid: self.header_ids.get(header).copied(),
+                occurrence: *occurrence,
+            },
+            PrimitiveOp::RegisterRead {
+                dst,
+                register,
+                index,
+            } => match self.register_ids.get(register) {
+                Some(&reg) => CPrim::RegisterRead {
+                    dst: self.slot_of(dst),
+                    reg,
+                    index: self.lower_expr(index, a),
+                },
+                None => CPrim::Fail(IrError::Undefined {
+                    kind: "register",
+                    name: register.clone(),
+                }),
+            },
+            PrimitiveOp::RegisterWrite {
+                register,
+                index,
+                value,
+            } => match self.register_ids.get(register) {
+                Some(&reg) => CPrim::RegisterWrite {
+                    reg,
+                    index: self.lower_expr(index, a),
+                    value: self.lower_expr(value, a),
+                },
+                None => CPrim::Fail(IrError::Undefined {
+                    kind: "register",
+                    name: register.clone(),
+                }),
+            },
+            PrimitiveOp::Ipv4ChecksumUpdate { header } => {
+                let Some(&hid) = self.header_ids.get(header) else {
+                    return CPrim::Fail(IrError::Undefined {
+                        kind: "header type",
+                        name: header.clone(),
+                    });
+                };
+                // The interpreter raises this before even checking whether
+                // the instance is present, so it is a lazy *op* error, not
+                // conditional on packet contents.
+                match self.field_ids[hid as usize].get("hdr_checksum") {
+                    Some(&ck_fid) => CPrim::ChecksumUpdate { hid, ck_fid },
+                    None => CPrim::Fail(IrError::Invalid(format!(
+                        "header {header} has no hdr_checksum field"
+                    ))),
+                }
+            }
+            PrimitiveOp::Drop => CPrim::Drop,
+            PrimitiveOp::NoOp => CPrim::NoOp,
+        }
+    }
+
+    /// Flattens statements into `self.ops`. `depth` counts inlined `Call`
+    /// nesting exactly as the interpreter's `exec_stmts` recursion depth.
+    fn flatten(&mut self, stmts: &[Stmt], depth: usize) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Apply(t) => match self.table_ids.get(t) {
+                    Some(&tid) => self.ops.push(COp::Apply { tid }),
+                    None => self.ops.push(COp::Fail(IrError::Undefined {
+                        kind: "table",
+                        name: t.clone(),
+                    })),
+                },
+                Stmt::ApplySelect {
+                    table,
+                    arms,
+                    default,
+                } => {
+                    let Some(&tid) = self.table_ids.get(table) else {
+                        self.ops.push(COp::Fail(IrError::Undefined {
+                            kind: "table",
+                            name: table.clone(),
+                        }));
+                        continue;
+                    };
+                    let sel_pc = self.ops.len();
+                    self.ops.push(COp::ApplySelect {
+                        tid,
+                        arms: Vec::new(),
+                        default_pc: 0,
+                    });
+                    let mut lowered_arms = Vec::new();
+                    let mut exit_jumps = Vec::new();
+                    for (name, body) in arms {
+                        // An arm naming an unknown action can never match
+                        // the action that ran; its body is dead code.
+                        let Some(&aid) = self.action_ids.get(name) else {
+                            continue;
+                        };
+                        lowered_arms.push((aid, self.ops.len()));
+                        self.flatten(body, depth);
+                        exit_jumps.push(self.ops.len());
+                        self.ops.push(COp::Jump { pc: 0 });
+                    }
+                    let default_pc = self.ops.len();
+                    self.flatten(default, depth);
+                    let join = self.ops.len();
+                    for j in exit_jumps {
+                        self.ops[j] = COp::Jump { pc: join };
+                    }
+                    self.ops[sel_pc] = COp::ApplySelect {
+                        tid,
+                        arms: lowered_arms,
+                        default_pc,
+                    };
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let cond = self.lower_bool(cond);
+                    let branch_pc = self.ops.len();
+                    self.ops.push(COp::Branch { cond, else_pc: 0 });
+                    self.flatten(then_branch, depth);
+                    let then_exit = self.ops.len();
+                    self.ops.push(COp::Jump { pc: 0 });
+                    let else_pc = self.ops.len();
+                    self.flatten(else_branch, depth);
+                    let join = self.ops.len();
+                    if let COp::Branch { else_pc: slot, .. } = &mut self.ops[branch_pc] {
+                        *slot = else_pc;
+                    }
+                    self.ops[then_exit] = COp::Jump { pc: join };
+                }
+                Stmt::Do(action) => match self.prog.actions.get(action) {
+                    None => self.ops.push(COp::Fail(IrError::Undefined {
+                        kind: "action",
+                        name: action.clone(),
+                    })),
+                    Some(act) if !act.params.is_empty() => {
+                        self.ops.push(COp::Fail(IrError::Invalid(format!(
+                            "direct invocation of action {action} requires arguments"
+                        ))));
+                    }
+                    Some(_) => self.ops.push(COp::RunAction {
+                        aid: self.action_ids[action],
+                    }),
+                },
+                Stmt::Call(c) => match self.prog.controls.get(c) {
+                    None => self.ops.push(COp::Fail(IrError::Undefined {
+                        kind: "control block",
+                        name: c.clone(),
+                    })),
+                    Some(_) if depth + 1 > 64 => {
+                        self.ops.push(COp::Fail(IrError::Invalid(
+                            "control call depth exceeded".into(),
+                        )));
+                    }
+                    Some(cb) => {
+                        let body = cb.body.clone();
+                        self.flatten(&body, depth + 1);
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::builder::*;
+    use dejavu_p4ir::fref;
+    use dejavu_p4ir::table::{KeyMatch, TableEntry};
+    use dejavu_p4ir::well_known;
+
+    fn l2_program() -> Program {
+        ProgramBuilder::new("l2")
+            .header(well_known::ethernet())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
+            .action(
+                ActionBuilder::new("fwd")
+                    .param("port", 16)
+                    .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                    .build(),
+            )
+            .action(ActionBuilder::new("flood").drop_packet().build())
+            .table(
+                TableBuilder::new("dmac")
+                    .key_exact(fref("ethernet", "dst_mac"))
+                    .action("fwd")
+                    .default_action("flood")
+                    .size(16)
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("dmac").build())
+            .entry("ingress")
+            .build()
+            .unwrap()
+    }
+
+    fn state_for(p: &Program) -> TableState {
+        let mut st = TableState::new();
+        for def in p.tables.values() {
+            st.preregister(def);
+        }
+        st
+    }
+
+    #[test]
+    fn compiled_pass_matches_table_semantics() {
+        let p = l2_program();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let mut st = state_for(&p);
+        let mut pkt = vec![0u8; 20];
+        pkt[0..6].copy_from_slice(&[0, 0, 0, 0, 0, 0x2a]);
+
+        // Miss → flood (drop).
+        let pass = cp.run_pass(&pkt, 3, 0xffff, &mut st, true).unwrap();
+        assert!(pass.drop);
+        assert_eq!(pass.events.len(), 1);
+        assert!(!pass.events[0].hit);
+        assert_eq!(pass.events[0].action, "flood");
+
+        // Install and hit.
+        let def = p.tables.get("dmac").unwrap();
+        st.install(
+            def,
+            TableEntry {
+                matches: vec![KeyMatch::Exact(Value::new(0x2a, 48))],
+                action: "fwd".into(),
+                action_args: vec![Value::new(7, 16)],
+                priority: 0,
+            },
+        )
+        .unwrap();
+        let pass = cp.run_pass(&pkt, 3, 0xffff, &mut st, true).unwrap();
+        assert!(!pass.drop);
+        assert_eq!(pass.egress_spec, 7);
+        assert!(pass.events[0].hit);
+        assert_eq!(pass.bytes.unwrap(), pkt);
+    }
+
+    #[test]
+    fn parse_error_returns_none_bytes() {
+        let p = l2_program();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let mut st = state_for(&p);
+        let pass = cp.run_pass(&[0u8; 5], 0, 0xffff, &mut st, true).unwrap();
+        assert!(pass.bytes.is_none());
+        assert!(pass.events.is_empty());
+    }
+
+    #[test]
+    fn trace_off_allocates_no_events() {
+        let p = l2_program();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let mut st = state_for(&p);
+        let pass = cp.run_pass(&[0u8; 14], 0, 0xffff, &mut st, false).unwrap();
+        assert!(pass.events.is_empty());
+        // Counters still advance.
+        assert_eq!(st.counters("dmac").misses, 1);
+    }
+}

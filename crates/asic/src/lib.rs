@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod feedback;
 pub mod interp;
 pub mod packet;
@@ -36,10 +37,14 @@ pub mod tables;
 pub mod timing;
 pub mod tofino;
 
+pub use compiled::{CompiledPass, CompiledProgram};
 pub use interp::{Interpreter, PipeletOutcome};
 pub use packet::{HeaderInstance, Packet, ParsedPacket};
 pub use resources::{ResourceVector, StageResources};
-pub use switch::{Gress, PipeletId, PortId, Switch, SwitchConfig, TraceEvent, Traversal};
-pub use tables::TableState;
+pub use switch::{
+    BatchStats, ExecMode, Gress, PipeletId, PortId, Switch, SwitchConfig, TraceEvent, TraceLevel,
+    Traversal,
+};
+pub use tables::{TableCounters, TableState};
 pub use timing::TimingModel;
 pub use tofino::TofinoProfile;

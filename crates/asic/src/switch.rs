@@ -26,6 +26,7 @@
 //! disposition. The packet test framework and Dejavu's placement validator
 //! are both built on these traces.
 
+use crate::compiled::CompiledProgram;
 use crate::interp::Interpreter;
 use crate::packet::ParsedPacket;
 use crate::tables::TableState;
@@ -34,6 +35,7 @@ use crate::tofino::TofinoProfile;
 use dejavu_p4ir::table::TableEntry;
 use dejavu_p4ir::{IrError, Program, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A physical port number.
 pub type PortId = u16;
@@ -277,17 +279,96 @@ pub struct SwitchConfig {
     pub loopback_ports: BTreeSet<PortId>,
 }
 
+/// Which execution engine drives pipelet passes.
+///
+/// Both engines implement identical packet semantics (enforced by the
+/// differential property suite); they differ only in cost. See
+/// [`crate::compiled`] for the lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Tree-walking reference interpreter with string-keyed lookups and
+    /// linear table scans. The semantic oracle.
+    Reference,
+    /// Pre-lowered op-array engine with dense indices and indexed table
+    /// lookup. The default.
+    #[default]
+    Compiled,
+}
+
+/// How much per-packet trace state a traversal records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// No [`TraceEvent`]s are recorded (table hit/miss counters still
+    /// advance). The hot-path setting: no per-table `String` allocation.
+    Off,
+    /// Full event traces, as the packet test framework expects. The default.
+    #[default]
+    Full,
+}
+
+/// Aggregate outcome of a [`Switch::inject_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchStats {
+    /// Packets handed to the switch.
+    pub injected: usize,
+    /// Packets emitted on an Ethernet port.
+    pub emitted: usize,
+    /// Packets dropped inside the chip.
+    pub dropped: usize,
+    /// Packets punted to the CPU port.
+    pub to_cpu: usize,
+    /// Packets rejected with an error (bad port, forwarding loop, ...).
+    pub errors: usize,
+    /// Total recirculations across the batch.
+    pub recirculations: usize,
+    /// Total resubmissions across the batch.
+    pub resubmissions: usize,
+    /// Summed model latency over all non-error packets, in nanoseconds.
+    pub latency_ns_total: f64,
+}
+
+impl BatchStats {
+    /// Folds another batch's counters into this one (used by the sharded
+    /// replay driver to merge per-worker results).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.injected += other.injected;
+        self.emitted += other.emitted;
+        self.dropped += other.dropped;
+        self.to_cpu += other.to_cpu;
+        self.errors += other.errors;
+        self.recirculations += other.recirculations;
+        self.resubmissions += other.resubmissions;
+        self.latency_ns_total += other.latency_ns_total;
+    }
+}
+
+/// Signals a pipelet pass hands back to the traffic-manager loop, engine
+/// independent: both the reference interpreter and the compiled fast path
+/// reduce to this.
+struct PassSignals {
+    /// Deparsed bytes, or `None` when the parser rejected the packet.
+    bytes: Option<Vec<u8>>,
+    drop: bool,
+    to_cpu: bool,
+    resubmit: bool,
+    mirror: bool,
+    egress_spec: PortId,
+}
+
 /// The simulated switch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Switch {
     profile: TofinoProfile,
     timing: TimingModel,
     programs: BTreeMap<PipeletId, Program>,
+    compiled: BTreeMap<PipeletId, Arc<CompiledProgram>>,
     tables: BTreeMap<PipeletId, TableState>,
     loopback_ports: BTreeSet<PortId>,
     down_ports: BTreeSet<PortId>,
     mirror_port: Option<PortId>,
     max_loops: usize,
+    exec_mode: ExecMode,
+    trace_level: TraceLevel,
 }
 
 impl Switch {
@@ -297,12 +378,35 @@ impl Switch {
             profile,
             timing: TimingModel::tofino(),
             programs: BTreeMap::new(),
+            compiled: BTreeMap::new(),
             tables: BTreeMap::new(),
             loopback_ports: BTreeSet::new(),
             down_ports: BTreeSet::new(),
             mirror_port: None,
             max_loops: 128,
+            exec_mode: ExecMode::default(),
+            trace_level: TraceLevel::default(),
         }
+    }
+
+    /// Selects the execution engine for subsequent traversals.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The execution engine currently in use.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Selects how much trace state subsequent traversals record.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace_level = level;
+    }
+
+    /// The current trace level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace_level
     }
 
     /// Marks a port's link down or up. Packets forwarded to a down port are
@@ -370,7 +474,16 @@ impl Switch {
                 self.profile.parser_window_bytes
             )));
         }
-        self.tables.insert(pipelet, TableState::new());
+        let compiled = CompiledProgram::compile(&program)?;
+        // Pre-register every table in `program.tables` (BTreeMap) order so
+        // the dense slot ids baked into the compiled program line up with
+        // the state's slots.
+        let mut state = TableState::new();
+        for def in program.tables.values() {
+            state.preregister(def);
+        }
+        self.tables.insert(pipelet, state);
+        self.compiled.insert(pipelet, Arc::new(compiled));
         self.programs.insert(pipelet, program);
         Ok(())
     }
@@ -500,12 +613,44 @@ impl Switch {
         self.run_to_completion(bytes, port, pipeline)
     }
 
+    /// Injects a batch of packets and returns aggregate statistics only.
+    ///
+    /// This is the replay-driver fast path: trace recording is forced to
+    /// [`TraceLevel::Off`] for the duration of the batch (and restored
+    /// afterwards), so no per-packet `Vec`/`String` traversal state is
+    /// allocated. Per-packet errors (bad port, forwarding loop) are tallied
+    /// in [`BatchStats::errors`] instead of aborting the batch.
+    pub fn inject_batch(&mut self, packets: &[(Vec<u8>, PortId)]) -> BatchStats {
+        let saved = self.trace_level;
+        self.trace_level = TraceLevel::Off;
+        let mut stats = BatchStats::default();
+        for (bytes, port) in packets {
+            stats.injected += 1;
+            match self.inject(bytes.clone(), *port) {
+                Ok(t) => {
+                    match t.disposition {
+                        Disposition::Emitted { .. } => stats.emitted += 1,
+                        Disposition::Dropped => stats.dropped += 1,
+                        Disposition::ToCpu => stats.to_cpu += 1,
+                    }
+                    stats.recirculations += t.recirculations;
+                    stats.resubmissions += t.resubmissions;
+                    stats.latency_ns_total += t.latency_ns;
+                }
+                Err(_) => stats.errors += 1,
+            }
+        }
+        self.trace_level = saved;
+        stats
+    }
+
     fn run_to_completion(
         &mut self,
         mut bytes: Vec<u8>,
         mut ingress_port: PortId,
         mut pipeline: usize,
     ) -> Result<Traversal, IrError> {
+        let trace = self.trace_level == TraceLevel::Full;
         let mut events = Vec::new();
         let mut latency = self.timing.mac_rx_ns;
         let mut recirculations = 0usize;
@@ -516,21 +661,13 @@ impl Switch {
         for _ in 0..self.max_loops {
             // ---- ingress pipelet ----
             let ing = PipeletId::ingress(pipeline);
-            events.push(TraceEvent::EnterPipelet(ing));
+            if trace {
+                events.push(TraceEvent::EnterPipelet(ing));
+            }
             latency += self.timing.pipelet_ns(stages);
 
-            let mut meta = BTreeMap::new();
-            meta.insert(
-                "ingress_port".to_string(),
-                Value::new(u128::from(ingress_port), 16),
-            );
-            meta.insert(
-                "egress_spec".to_string(),
-                Value::new(u128::from(PORT_UNSET), 16),
-            );
-
-            let step = self.run_pipelet(ing, &bytes, &mut meta, &mut events)?;
-            let Some(new_bytes) = step else {
+            let sig = self.run_pass(ing, &bytes, ingress_port, PORT_UNSET, &mut events)?;
+            let Some(new_bytes) = sig.bytes else {
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -542,10 +679,12 @@ impl Switch {
                 ));
             };
             bytes = new_bytes;
-            self.maybe_mirror(&meta, &bytes, &mut events, &mut mirrored);
+            self.maybe_mirror(sig.mirror, &bytes, &mut events, &mut mirrored);
 
-            if meta.get("drop_flag").is_some_and(|v| v.as_bool()) {
-                events.push(TraceEvent::Drop { pipelet: ing });
+            if sig.drop {
+                if trace {
+                    events.push(TraceEvent::Drop { pipelet: ing });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -556,8 +695,10 @@ impl Switch {
                     mirrored,
                 ));
             }
-            if meta.get("to_cpu_flag").is_some_and(|v| v.as_bool()) {
-                events.push(TraceEvent::ToCpu { pipelet: ing });
+            if sig.to_cpu {
+                if trace {
+                    events.push(TraceEvent::ToCpu { pipelet: ing });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::ToCpu,
@@ -568,19 +709,20 @@ impl Switch {
                     mirrored,
                 ));
             }
-            if meta.get("resubmit_flag").is_some_and(|v| v.as_bool()) {
-                events.push(TraceEvent::Resubmit { pipeline });
+            if sig.resubmit {
+                if trace {
+                    events.push(TraceEvent::Resubmit { pipeline });
+                }
                 latency += self.timing.resubmit_ns;
                 resubmissions += 1;
                 continue; // same pipeline, same ingress port
             }
 
-            let egress_spec = meta
-                .get("egress_spec")
-                .map(|v| v.raw() as PortId)
-                .unwrap_or(PORT_UNSET);
+            let egress_spec = sig.egress_spec;
             if egress_spec == CPU_PORT {
-                events.push(TraceEvent::ToCpu { pipelet: ing });
+                if trace {
+                    events.push(TraceEvent::ToCpu { pipelet: ing });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::ToCpu,
@@ -593,7 +735,9 @@ impl Switch {
             }
             if egress_spec == PORT_UNSET {
                 // No forwarding decision was made: hardware drops.
-                events.push(TraceEvent::Drop { pipelet: ing });
+                if trace {
+                    events.push(TraceEvent::Drop { pipelet: ing });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -605,7 +749,9 @@ impl Switch {
                 ));
             }
             let Some(dest_pipeline) = self.pipeline_of(egress_spec) else {
-                events.push(TraceEvent::Drop { pipelet: ing });
+                if trace {
+                    events.push(TraceEvent::Drop { pipelet: ing });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -617,8 +763,10 @@ impl Switch {
                 ));
             };
             if self.is_port_down(egress_spec) {
-                events.push(TraceEvent::LinkDown { port: egress_spec });
-                events.push(TraceEvent::Drop { pipelet: ing });
+                if trace {
+                    events.push(TraceEvent::LinkDown { port: egress_spec });
+                    events.push(TraceEvent::Drop { pipelet: ing });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -631,29 +779,25 @@ impl Switch {
             }
 
             // ---- traffic manager ----
-            events.push(TraceEvent::TmTransit {
-                from: pipeline,
-                to: dest_pipeline,
-            });
+            if trace {
+                events.push(TraceEvent::TmTransit {
+                    from: pipeline,
+                    to: dest_pipeline,
+                });
+            }
             latency += self.timing.tm_ns;
 
             // ---- egress pipelet ----
             let eg = PipeletId::egress(dest_pipeline);
-            events.push(TraceEvent::EnterPipelet(eg));
+            if trace {
+                events.push(TraceEvent::EnterPipelet(eg));
+            }
             latency += self.timing.pipelet_ns(stages);
 
-            let mut emeta = BTreeMap::new();
-            emeta.insert(
-                "ingress_port".to_string(),
-                Value::new(u128::from(ingress_port), 16),
-            );
-            emeta.insert(
-                "egress_spec".to_string(),
-                Value::new(u128::from(egress_spec), 16),
-            );
-
-            let step = self.run_pipelet(eg, &bytes, &mut emeta, &mut events)?;
-            let Some(new_bytes) = step else {
+            // Note: the egress pipelet's own writes to `egress_spec` are
+            // ignored — the port decision was made in ingress.
+            let esig = self.run_pass(eg, &bytes, ingress_port, egress_spec, &mut events)?;
+            let Some(new_bytes) = esig.bytes else {
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -665,10 +809,12 @@ impl Switch {
                 ));
             };
             bytes = new_bytes;
-            self.maybe_mirror(&emeta, &bytes, &mut events, &mut mirrored);
+            self.maybe_mirror(esig.mirror, &bytes, &mut events, &mut mirrored);
 
-            if emeta.get("drop_flag").is_some_and(|v| v.as_bool()) {
-                events.push(TraceEvent::Drop { pipelet: eg });
+            if esig.drop {
+                if trace {
+                    events.push(TraceEvent::Drop { pipelet: eg });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -679,8 +825,10 @@ impl Switch {
                     mirrored,
                 ));
             }
-            if emeta.get("to_cpu_flag").is_some_and(|v| v.as_bool()) {
-                events.push(TraceEvent::ToCpu { pipelet: eg });
+            if esig.to_cpu {
+                if trace {
+                    events.push(TraceEvent::ToCpu { pipelet: eg });
+                }
                 return Ok(self.finish(
                     events,
                     Disposition::ToCpu,
@@ -696,7 +844,9 @@ impl Switch {
             let is_dedicated_recirc = egress_spec >= RECIRC_PORT_BASE
                 && egress_spec < RECIRC_PORT_BASE + self.profile.pipelines as PortId;
             if self.is_loopback(egress_spec) || is_dedicated_recirc {
-                events.push(TraceEvent::Recirculate { port: egress_spec });
+                if trace {
+                    events.push(TraceEvent::Recirculate { port: egress_spec });
+                }
                 latency += self.timing.recirc_on_chip_ns;
                 recirculations += 1;
                 // Constraint (d): the packet re-enters the ingress pipe of
@@ -706,7 +856,9 @@ impl Switch {
                 continue;
             }
 
-            events.push(TraceEvent::Emit { port: egress_spec });
+            if trace {
+                events.push(TraceEvent::Emit { port: egress_spec });
+            }
             latency += self.timing.mac_tx_ns;
             return Ok(self.finish(
                 events,
@@ -725,58 +877,139 @@ impl Switch {
     }
 
     /// Emits a mirror copy when the pipelet set `mirror_flag` and a mirror
-    /// port is configured.
+    /// port is configured. Mirror copies are semantics, not trace — they are
+    /// collected at every [`TraceLevel`]; only the `Mirror` event is gated.
     fn maybe_mirror(
         &self,
-        meta: &BTreeMap<String, Value>,
+        mirror: bool,
         bytes: &[u8],
         events: &mut Vec<TraceEvent>,
         mirrored: &mut Vec<(PortId, Vec<u8>)>,
     ) {
-        if meta.get("mirror_flag").is_some_and(|v| v.as_bool()) {
+        if mirror {
             if let Some(port) = self.mirror_port {
-                events.push(TraceEvent::Mirror { port });
+                if self.trace_level == TraceLevel::Full {
+                    events.push(TraceEvent::Mirror { port });
+                }
                 mirrored.push((port, bytes.to_vec()));
             }
         }
     }
 
-    /// Runs one pipelet's parser + control + deparser. Returns the deparsed
-    /// bytes, or `None` if the parser rejected the packet (recorded as a
-    /// `ParseError` event). A pipelet with no program passes bytes through
-    /// untouched.
-    fn run_pipelet(
+    /// Runs one pipelet pass (parser + control + deparser) on whichever
+    /// engine [`ExecMode`] selects, reducing both to the same
+    /// [`PassSignals`]. A pipelet with no program passes bytes through
+    /// untouched; a parser reject yields `bytes: None` (recorded as a
+    /// `ParseError` event when tracing).
+    fn run_pass(
         &mut self,
         pipelet: PipeletId,
         bytes: &[u8],
-        meta: &mut BTreeMap<String, Value>,
+        ingress_port: PortId,
+        egress_seed: PortId,
         events: &mut Vec<TraceEvent>,
-    ) -> Result<Option<Vec<u8>>, IrError> {
-        let Some(program) = self.programs.get(&pipelet) else {
-            return Ok(Some(bytes.to_vec()));
-        };
-        let interp = Interpreter::new(program);
-        let mut pp = match ParsedPacket::parse(bytes, &program.parser, interp.headers()) {
-            Ok(pp) => pp,
-            Err(_) => {
-                events.push(TraceEvent::ParseError { pipelet });
-                return Ok(None);
-            }
-        };
-        let tables = self
-            .tables
-            .get_mut(&pipelet)
-            .expect("state exists for loaded program");
-        let outcome = interp.execute(&mut pp, meta, tables)?;
-        for ev in outcome.events {
-            events.push(TraceEvent::Table {
-                pipelet,
-                table: ev.table,
-                hit: ev.hit,
-                action: ev.action,
+    ) -> Result<PassSignals, IrError> {
+        let trace = self.trace_level == TraceLevel::Full;
+        if !self.programs.contains_key(&pipelet) {
+            return Ok(PassSignals {
+                bytes: Some(bytes.to_vec()),
+                drop: false,
+                to_cpu: false,
+                resubmit: false,
+                mirror: false,
+                egress_spec: egress_seed,
             });
         }
-        Ok(Some(pp.deparse(interp.headers())?))
+        match self.exec_mode {
+            ExecMode::Compiled => {
+                let cp = self
+                    .compiled
+                    .get(&pipelet)
+                    .expect("compiled program exists for every loaded program");
+                let tables = self
+                    .tables
+                    .get_mut(&pipelet)
+                    .expect("state exists for loaded program");
+                let pass = cp.run_pass(bytes, ingress_port, egress_seed, tables, trace)?;
+                if trace {
+                    if pass.bytes.is_none() {
+                        events.push(TraceEvent::ParseError { pipelet });
+                    }
+                    for ev in pass.events {
+                        events.push(TraceEvent::Table {
+                            pipelet,
+                            table: ev.table,
+                            hit: ev.hit,
+                            action: ev.action,
+                        });
+                    }
+                }
+                Ok(PassSignals {
+                    bytes: pass.bytes,
+                    drop: pass.drop,
+                    to_cpu: pass.to_cpu,
+                    resubmit: pass.resubmit,
+                    mirror: pass.mirror,
+                    egress_spec: pass.egress_spec as PortId,
+                })
+            }
+            ExecMode::Reference => {
+                let program = self.programs.get(&pipelet).expect("checked above");
+                let mut meta = BTreeMap::new();
+                meta.insert(
+                    "ingress_port".to_string(),
+                    Value::new(u128::from(ingress_port), 16),
+                );
+                meta.insert(
+                    "egress_spec".to_string(),
+                    Value::new(u128::from(egress_seed), 16),
+                );
+                let interp = Interpreter::new(program);
+                let mut pp = match ParsedPacket::parse(bytes, &program.parser, interp.headers()) {
+                    Ok(pp) => pp,
+                    Err(_) => {
+                        if trace {
+                            events.push(TraceEvent::ParseError { pipelet });
+                        }
+                        return Ok(PassSignals {
+                            bytes: None,
+                            drop: false,
+                            to_cpu: false,
+                            resubmit: false,
+                            mirror: false,
+                            egress_spec: egress_seed,
+                        });
+                    }
+                };
+                let tables = self
+                    .tables
+                    .get_mut(&pipelet)
+                    .expect("state exists for loaded program");
+                let outcome = interp.execute(&mut pp, &mut meta, tables)?;
+                if trace {
+                    for ev in outcome.events {
+                        events.push(TraceEvent::Table {
+                            pipelet,
+                            table: ev.table,
+                            hit: ev.hit,
+                            action: ev.action,
+                        });
+                    }
+                }
+                let flag = |name: &str| meta.get(name).is_some_and(|v| v.as_bool());
+                Ok(PassSignals {
+                    bytes: Some(pp.deparse(interp.headers())?),
+                    drop: flag("drop_flag"),
+                    to_cpu: flag("to_cpu_flag"),
+                    resubmit: flag("resubmit_flag"),
+                    mirror: flag("mirror_flag"),
+                    egress_spec: meta
+                        .get("egress_spec")
+                        .map(|v| v.raw() as PortId)
+                        .unwrap_or(PORT_UNSET),
+                })
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1089,5 +1322,58 @@ mod tests {
         let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn reference_and_compiled_modes_agree() {
+        let run = |mode: ExecMode| {
+            let mut sw = basic_switch();
+            sw.set_exec_mode(mode);
+            sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+                .unwrap();
+            let hit = sw.inject(eth_packet(0xaabb), 0).unwrap();
+            let miss = sw.inject(eth_packet(0x1), 0).unwrap();
+            (hit, miss)
+        };
+        let (hit_c, miss_c) = run(ExecMode::Compiled);
+        let (hit_r, miss_r) = run(ExecMode::Reference);
+        assert_eq!(hit_c, hit_r);
+        assert_eq!(miss_c, miss_r);
+    }
+
+    #[test]
+    fn trace_off_records_no_events_but_same_outcome() {
+        let mut sw = basic_switch();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+            .unwrap();
+        sw.set_trace_level(TraceLevel::Off);
+        let t = sw.inject(eth_packet(0xaabb), 0).unwrap();
+        assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
+        assert!(t.events.is_empty());
+        assert!((t.latency_ns - 650.0).abs() < 1e-9);
+        // Counters still advance with tracing off.
+        let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");
+        assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn inject_batch_tallies_dispositions_and_restores_trace_level() {
+        let mut sw = basic_switch();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+            .unwrap();
+        sw.set_loopback(5, true).unwrap();
+        let batch = vec![
+            (eth_packet(0xaabb), 0), // emitted on 20
+            (eth_packet(0x7), 0),    // default deny → dropped
+            (eth_packet(0xaabb), 5), // loopback port takes no traffic → error
+        ];
+        let stats = sw.inject_batch(&batch);
+        assert_eq!(stats.injected, 3);
+        assert_eq!(stats.emitted, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.to_cpu, 0);
+        assert!(stats.latency_ns_total > 0.0);
+        assert_eq!(sw.trace_level(), TraceLevel::Full);
     }
 }

@@ -9,21 +9,27 @@
 //! * exact tables: at most one matching entry,
 //! * LPM keys: the longest matching prefix wins,
 //! * ternary/range keys: the highest-priority matching entry wins.
+//!
+//! Lookups are served from per-table indexes built incrementally at install
+//! time, the way a switch driver shadows hardware match memories:
+//!
+//! * all-exact-key tables get a hash index keyed on the full key tuple
+//!   (SRAM-style O(1) lookup),
+//! * single-key LPM tables get prefix-length buckets walked longest-first
+//!   (the classic software LPM structure),
+//! * ternary/range/mixed tables keep a priority-sorted order and scan it
+//!   first-match-wins (TCAM arbitration order).
+//!
+//! [`TableState::lookup_scan`] preserves the original linear-scan semantics
+//! and is used by the reference interpreter, so the property suite can
+//! differentially check every index against the scan oracle. Hit/miss
+//! counters live in `Cell`s so the counting and read-only lookup paths share
+//! one `&self` code path.
 
 use dejavu_p4ir::table::{KeyMatch, TableEntry};
 use dejavu_p4ir::{IrError, MatchKind, TableDef, Value};
-use std::collections::BTreeMap;
-
-/// Runtime state of one pipelet: table entries, hit counters, and stateful
-/// register arrays.
-#[derive(Debug, Clone, Default)]
-pub struct TableState {
-    entries: BTreeMap<String, Vec<TableEntry>>,
-    /// Hit/miss counters per table (diagnostics and tests).
-    counters: BTreeMap<String, TableCounters>,
-    /// Register arrays, lazily zero-initialized on first access.
-    registers: BTreeMap<String, Vec<u128>>,
-}
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
 
 /// Hit/miss counters of one table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,10 +40,289 @@ pub struct TableCounters {
     pub misses: u64,
 }
 
+/// Rank of an entry: priority first, then total LPM prefix length (longest
+/// prefix wins among equal priorities). Ties go to the earliest install.
+fn rank_of(e: &TableEntry) -> (i32, u32) {
+    let lpm_total: u32 = e
+        .matches
+        .iter()
+        .filter_map(|m| m.lpm_len().map(u32::from))
+        .sum();
+    (e.priority, lpm_total)
+}
+
+/// The per-table lookup index. The variant is chosen from the table's key
+/// kinds when the slot is created and maintained incrementally on install.
+#[derive(Debug, Clone)]
+enum TableIndex {
+    /// All keys are `MatchKind::Exact`: hash the full key tuple. Entries
+    /// using `KeyMatch::Any` wildcards fall into the scanned `spill` list.
+    Exact {
+        map: HashMap<Vec<Value>, usize>,
+        spill: Vec<usize>,
+    },
+    /// A single `MatchKind::Lpm` key: prefixes bucketed by
+    /// `(key width, prefix length)`, walked longest-prefix-first. Valid only
+    /// while all entries share one priority (`uniform`); otherwise lookups
+    /// fall back to the priority-sorted scan.
+    Lpm {
+        buckets: HashMap<(u16, u16), HashMap<u128, usize>>,
+        /// Bucket keys sorted by descending prefix length.
+        lens: Vec<(u16, u16)>,
+        /// First-installed wildcard entry (`Any` or a /0 prefix).
+        wildcard: Option<usize>,
+        /// Priority shared by every installed entry, if still uniform.
+        uniform: Option<i32>,
+        /// Set once a second distinct priority is installed.
+        mixed: bool,
+    },
+    /// Ternary/range/mixed tables: scan `order` (rank-descending) and stop
+    /// at the first match — identical arbitration to a TCAM.
+    Scan,
+}
+
+impl TableIndex {
+    fn for_def(def: &TableDef) -> TableIndex {
+        if def.keys.iter().all(|k| k.kind == MatchKind::Exact) {
+            TableIndex::Exact {
+                map: HashMap::new(),
+                spill: Vec::new(),
+            }
+        } else if def.keys.len() == 1 && def.keys[0].kind == MatchKind::Lpm {
+            TableIndex::Lpm {
+                buckets: HashMap::new(),
+                lens: Vec::new(),
+                wildcard: None,
+                uniform: None,
+                mixed: false,
+            }
+        } else {
+            TableIndex::Scan
+        }
+    }
+}
+
+/// Runtime state of one table: entries in install order, the rank-sorted
+/// scan order, the lookup index, and interior-mutable counters.
+#[derive(Debug, Clone)]
+struct TableRt {
+    entries: Vec<TableEntry>,
+    ranks: Vec<(i32, u32)>,
+    /// Entry indices sorted by rank descending, install order within a rank.
+    order: Vec<usize>,
+    index: TableIndex,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl TableRt {
+    fn new(def: &TableDef) -> Self {
+        TableRt {
+            entries: Vec::new(),
+            ranks: Vec::new(),
+            order: Vec::new(),
+            index: TableIndex::for_def(def),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    fn push(&mut self, entry: TableEntry) {
+        let idx = self.entries.len();
+        let rank = rank_of(&entry);
+        let pos = self.order.partition_point(|&i| self.ranks[i] >= rank);
+        self.order.insert(pos, idx);
+        self.index_insert(&entry, idx, rank);
+        self.entries.push(entry);
+        self.ranks.push(rank);
+    }
+
+    fn index_insert(&mut self, entry: &TableEntry, idx: usize, rank: (i32, u32)) {
+        match &mut self.index {
+            TableIndex::Exact { map, spill } => {
+                let mut key = Vec::with_capacity(entry.matches.len());
+                for m in &entry.matches {
+                    match m {
+                        KeyMatch::Exact(v) => key.push(*v),
+                        _ => {
+                            spill.push(idx);
+                            return;
+                        }
+                    }
+                }
+                match map.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        // Same key tuple: the higher priority wins; ties keep
+                        // the earlier install, matching scan arbitration.
+                        if rank.0 > self.ranks[*o.get()].0 {
+                            o.insert(idx);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(idx);
+                    }
+                }
+            }
+            TableIndex::Lpm {
+                buckets,
+                lens,
+                wildcard,
+                uniform,
+                mixed,
+            } => {
+                match uniform {
+                    None => *uniform = Some(entry.priority),
+                    Some(p) if *p != entry.priority => *mixed = true,
+                    _ => {}
+                }
+                match entry.matches.first() {
+                    Some(KeyMatch::Lpm(prefix, len)) if *len > 0 => {
+                        let bits = prefix.bits();
+                        let eff = (*len).min(bits);
+                        let masked = prefix.raw() >> u32::from(bits - eff);
+                        let bucket = buckets.entry((bits, *len)).or_default();
+                        // Same (width, len, masked prefix) ⇒ identical match
+                        // set; the first install wins under uniform priority.
+                        bucket.entry(masked).or_insert(idx);
+                        if !lens.contains(&(bits, *len)) {
+                            lens.push((bits, *len));
+                            lens.sort_by_key(|&(_, len)| std::cmp::Reverse(len));
+                        }
+                    }
+                    // `Any` and /0 prefixes match everything: rank (prio, 0).
+                    _ => {
+                        if wildcard.is_none() {
+                            *wildcard = Some(idx);
+                        }
+                    }
+                }
+            }
+            TableIndex::Scan => {}
+        }
+    }
+
+    /// Indexed lookup: the winning entry index, or `None` on miss.
+    fn find(&self, keys: &[Value]) -> Option<usize> {
+        match &self.index {
+            TableIndex::Exact { map, spill } => {
+                let mut best: Option<usize> = map.get(keys).copied();
+                for &i in spill {
+                    let e = &self.entries[i];
+                    if e.matches.iter().zip(keys).all(|(m, v)| m.matches(*v)) {
+                        let better = match best {
+                            None => true,
+                            // Strict priority comparison + install order:
+                            // exact entries all rank (priority, 0).
+                            Some(b) => {
+                                self.ranks[i].0 > self.ranks[b].0
+                                    || (self.ranks[i].0 == self.ranks[b].0 && i < b)
+                            }
+                        };
+                        if better {
+                            best = Some(i);
+                        }
+                    }
+                }
+                best
+            }
+            TableIndex::Lpm {
+                buckets,
+                lens,
+                wildcard,
+                mixed,
+                ..
+            } => {
+                if *mixed {
+                    return self.find_scan(keys);
+                }
+                let v = *keys.first()?;
+                for &(bits, len) in lens {
+                    if bits != v.bits() {
+                        continue;
+                    }
+                    let eff = len.min(bits);
+                    let masked = v.raw() >> u32::from(bits - eff);
+                    if let Some(&i) = buckets[&(bits, len)].get(&masked) {
+                        return Some(i);
+                    }
+                }
+                *wildcard
+            }
+            TableIndex::Scan => self.find_scan(keys),
+        }
+    }
+
+    /// First match in rank order — the TCAM arbitration walk.
+    fn find_scan(&self, keys: &[Value]) -> Option<usize> {
+        self.order.iter().copied().find(|&i| {
+            self.entries[i]
+                .matches
+                .iter()
+                .zip(keys)
+                .all(|(m, v)| m.matches(*v))
+        })
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            self.misses.set(self.misses.get() + 1);
+        }
+    }
+
+    fn clear_entries(&mut self) {
+        self.entries.clear();
+        self.ranks.clear();
+        self.order.clear();
+        self.index = match &self.index {
+            TableIndex::Exact { .. } => TableIndex::Exact {
+                map: HashMap::new(),
+                spill: Vec::new(),
+            },
+            TableIndex::Lpm { .. } => TableIndex::Lpm {
+                buckets: HashMap::new(),
+                lens: Vec::new(),
+                wildcard: None,
+                uniform: None,
+                mixed: false,
+            },
+            TableIndex::Scan => TableIndex::Scan,
+        };
+    }
+}
+
+/// Runtime state of one pipelet: table entries, hit counters, and stateful
+/// register arrays.
+#[derive(Debug, Clone, Default)]
+pub struct TableState {
+    ids: HashMap<String, usize>,
+    slots: Vec<TableRt>,
+    /// Register arrays, lazily zero-initialized on first access.
+    registers: BTreeMap<String, Vec<u128>>,
+}
+
 impl TableState {
     /// Empty state.
     pub fn new() -> Self {
         TableState::default()
+    }
+
+    /// Ensures a slot exists for `def`, returning its dense id. Called by
+    /// the switch at program-load time so compiled programs can address
+    /// tables by index (and so miss counters exist before any install).
+    pub fn preregister(&mut self, def: &TableDef) -> usize {
+        if let Some(&id) = self.ids.get(&def.name) {
+            return id;
+        }
+        let id = self.slots.len();
+        self.ids.insert(def.name.clone(), id);
+        self.slots.push(TableRt::new(def));
+        id
+    }
+
+    fn slot(&self, table: &str) -> Option<&TableRt> {
+        self.ids.get(table).map(|&id| &self.slots[id])
     }
 
     /// Installs an entry after validating it against the table definition:
@@ -74,8 +359,9 @@ impl TableState {
                 name: entry.action.clone(),
             });
         }
-        let slot = self.entries.entry(def.name.clone()).or_default();
-        if slot.len() as u32 >= def.size {
+        let id = self.preregister(def);
+        let slot = &mut self.slots[id];
+        if slot.entries.len() as u32 >= def.size {
             return Err(IrError::Invalid(format!(
                 "table {} full ({} entries)",
                 def.name, def.size
@@ -85,14 +371,16 @@ impl TableState {
         Ok(())
     }
 
-    /// Removes all entries of a table.
+    /// Removes all entries of a table (counters survive).
     pub fn clear(&mut self, table: &str) {
-        self.entries.remove(table);
+        if let Some(&id) = self.ids.get(table) {
+            self.slots[id].clear_entries();
+        }
     }
 
     /// Number of installed entries in a table.
     pub fn len(&self, table: &str) -> usize {
-        self.entries.get(table).map_or(0, Vec::len)
+        self.slot(table).map_or(0, |s| s.entries.len())
     }
 
     /// True when the named table has no entries.
@@ -102,47 +390,64 @@ impl TableState {
 
     /// Looks up the key values against a table, returning the winning entry.
     /// `None` means a miss (run the default action). Updates counters.
-    pub fn lookup(&mut self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
-        let result = self.lookup_readonly(def, keys);
-        let c = self.counters.entry(def.name.clone()).or_default();
-        if result.is_some() {
-            c.hits += 1;
-        } else {
-            c.misses += 1;
-        }
-        result
+    pub fn lookup(&self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
+        self.lookup_ref(def, keys).cloned()
     }
 
-    /// Lookup without counter updates.
+    /// Counting lookup returning a borrowed entry — the compiled fast path's
+    /// entry point (no per-hit clone).
+    pub fn lookup_ref(&self, def: &TableDef, keys: &[Value]) -> Option<&TableEntry> {
+        let slot = self.slot(&def.name)?;
+        let found = slot.find(keys);
+        slot.count(found.is_some());
+        found.map(|i| &slot.entries[i])
+    }
+
+    /// Indexed lookup by the dense id [`TableState::preregister`] returned.
+    /// Counts like [`TableState::lookup_ref`].
+    pub fn lookup_id(&self, id: usize, keys: &[Value]) -> Option<&TableEntry> {
+        let slot = self.slots.get(id)?;
+        let found = slot.find(keys);
+        slot.count(found.is_some());
+        found.map(|i| &slot.entries[i])
+    }
+
+    /// Lookup without counter updates (same index-backed path).
     pub fn lookup_readonly(&self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
-        let entries = self.entries.get(&def.name)?;
+        let slot = self.slot(&def.name)?;
+        slot.find(keys).map(|i| slot.entries[i].clone())
+    }
+
+    /// The original linear-scan lookup over install order — kept verbatim as
+    /// the reference oracle for differential testing of the indexes (and as
+    /// the pre-index cost model for benchmarks). Updates counters.
+    pub fn lookup_scan(&self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
+        let slot = self.slot(&def.name)?;
         let mut best: Option<(&TableEntry, (i32, u32))> = None;
-        for e in entries {
+        for e in &slot.entries {
             if e.matches.iter().zip(keys).all(|(m, v)| m.matches(*v)) {
-                // Rank: priority first, then total LPM prefix length (longest
-                // prefix wins among equal priorities).
-                let lpm_total: u32 = e
-                    .matches
-                    .iter()
-                    .filter_map(|m| m.lpm_len().map(u32::from))
-                    .sum();
-                let rank = (e.priority, lpm_total);
+                let rank = rank_of(e);
                 if best.as_ref().is_none_or(|(_, r)| rank > *r) {
                     best = Some((e, rank));
                 }
             }
         }
+        slot.count(best.is_some());
         best.map(|(e, _)| e.clone())
     }
 
     /// Counters of a table (zero if never looked up).
     pub fn counters(&self, table: &str) -> TableCounters {
-        self.counters.get(table).copied().unwrap_or_default()
+        self.slot(table)
+            .map_or_else(TableCounters::default, |s| TableCounters {
+                hits: s.hits.get(),
+                misses: s.misses.get(),
+            })
     }
 
     /// Total installed entries across all tables.
     pub fn total_entries(&self) -> usize {
-        self.entries.values().map(Vec::len).sum()
+        self.slots.iter().map(|s| s.entries.len()).sum()
     }
 
     /// Reads a register cell (index wrapped modulo the array size, as the
@@ -341,5 +646,108 @@ mod tests {
         .unwrap();
         let hit = st.lookup(&def, &[Value::new(0xdeadbeef, 32)]).unwrap();
         assert_eq!(hit.action_args[0].raw(), 3);
+    }
+
+    fn exact_table(size: u32) -> TableDef {
+        TableDef {
+            name: "fib".into(),
+            keys: vec![TableKey {
+                field: fref("ipv4", "dst_addr"),
+                kind: MatchKind::Exact,
+            }],
+            actions: vec!["fwd".into()],
+            default_action: "fwd".into(),
+            default_action_args: vec![Value::new(0, 16)],
+            size,
+        }
+    }
+
+    #[test]
+    fn exact_index_agrees_with_scan_including_wildcards() {
+        let def = exact_table(64);
+        let mut st = TableState::new();
+        for i in 0..16u128 {
+            st.install(
+                &def,
+                TableEntry {
+                    matches: vec![KeyMatch::Exact(Value::new(i, 32))],
+                    action: "fwd".into(),
+                    action_args: vec![Value::new(i, 16)],
+                    priority: (i % 3) as i32,
+                },
+            )
+            .unwrap();
+        }
+        // A wildcard spill entry outranking low-priority exact entries.
+        st.install(
+            &def,
+            TableEntry {
+                matches: vec![KeyMatch::Any],
+                action: "fwd".into(),
+                action_args: vec![Value::new(999, 16)],
+                priority: 1,
+            },
+        )
+        .unwrap();
+        for i in 0..20u128 {
+            let keys = [Value::new(i, 32)];
+            assert_eq!(
+                st.lookup_readonly(&def, &keys),
+                st.lookup_scan(&def, &keys),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lpm_index_handles_mixed_priorities_via_fallback() {
+        let def = lpm_table();
+        let mut st = TableState::new();
+        st.install(&def, lpm_entry(0x0a000000, 8, 1)).unwrap();
+        // A /16 with *lower* priority: the /8 must still win on priority.
+        st.install(
+            &def,
+            TableEntry {
+                matches: vec![KeyMatch::Lpm(Value::new(0x0a010000, 32), 16)],
+                action: "fwd".into(),
+                action_args: vec![Value::new(2, 16)],
+                priority: -5,
+            },
+        )
+        .unwrap();
+        let keys = [Value::new(0x0a010203, 32)];
+        let hit = st.lookup_readonly(&def, &keys).unwrap();
+        assert_eq!(hit.action_args[0].raw(), 1);
+        assert_eq!(st.lookup_scan(&def, &keys).unwrap(), hit);
+    }
+
+    #[test]
+    fn lookup_id_matches_name_lookup_and_counts() {
+        let def = exact_table(8);
+        let mut st = TableState::new();
+        let id = st.preregister(&def);
+        st.install(
+            &def,
+            TableEntry {
+                matches: vec![KeyMatch::Exact(Value::new(7, 32))],
+                action: "fwd".into(),
+                action_args: vec![],
+                priority: 0,
+            },
+        )
+        .unwrap();
+        assert!(st.lookup_id(id, &[Value::new(7, 32)]).is_some());
+        assert!(st.lookup_id(id, &[Value::new(8, 32)]).is_none());
+        assert_eq!(st.counters("fib"), TableCounters { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn counters_survive_clear() {
+        let def = exact_table(8);
+        let mut st = TableState::new();
+        st.preregister(&def);
+        assert!(st.lookup(&def, &[Value::new(1, 32)]).is_none());
+        st.clear("fib");
+        assert_eq!(st.counters("fib").misses, 1);
     }
 }

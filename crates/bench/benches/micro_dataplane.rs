@@ -1,9 +1,25 @@
-//! Criterion micro-benchmark: simulated data-plane packet rate through the
-//! deployed 5-NF prototype (full parse → chain → deparse per pipelet pass).
+//! Criterion micro-benchmark: simulated data-plane packet rate.
+//!
+//! Two parts:
+//!
+//! 1. The original fig9 prototype passes (full parse → chain → deparse per
+//!    pipelet pass) under Criterion.
+//! 2. A table-size sweep (1 / 100 / 10k entries, exact vs LPM vs ternary)
+//!    comparing the reference interpreter against the compiled fast path,
+//!    single vs batched injection. The sweep emits a machine-readable
+//!    record to `target/experiments/BENCH_dataplane.json`
+//!    (`scripts/bench_dataplane.sh` copies it to the repo root).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_bench::{banner, row, write_json};
 use dejavu_integration::{chain_packet, fig9_testbed, IN_PORT};
 use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
+use dejavu_p4ir::builder::*;
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::{fref, well_known, Expr, FieldRef, Program, Value};
+use serde::Serialize;
+use std::time::{Duration, Instant};
 
 fn bench_dataplane(c: &mut Criterion) {
     let (mut switch, dep) = fig9_testbed();
@@ -33,9 +49,219 @@ fn bench_dataplane(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------
+// Table-size sweep: reference vs compiled, single vs batched
+// ---------------------------------------------------------------------
+
+const KINDS: [&str; 3] = ["exact", "lpm", "ternary"];
+const SIZES: [usize; 3] = [1, 100, 10_000];
+/// Distinct packets cycled during measurement (spread across the table).
+const PACKET_POOL: usize = 256;
+/// Wall-clock budget per (config, mode) measurement.
+const BUDGET: Duration = Duration::from_millis(250);
+
+fn sweep_program(kind: &str, entries: usize) -> Program {
+    let mut tb = TableBuilder::new("sweep");
+    tb = match kind {
+        "exact" => tb.key_exact(fref("ethernet", "dst_mac")),
+        "lpm" => tb.key_lpm(fref("ipv4", "dst_addr")),
+        "ternary" => tb.key_ternary(fref("ipv4", "dst_addr")),
+        other => unreachable!("unknown kind {other}"),
+    };
+    ProgramBuilder::new("sweep")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .node("ip", "ipv4", 14)
+                .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                .accept("ip")
+                .start("eth"),
+        )
+        .action(
+            ActionBuilder::new("fwd")
+                .param("port", 16)
+                .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                .build(),
+        )
+        .action(ActionBuilder::new("deny").drop_packet().build())
+        .table(
+            tb.action("fwd")
+                .default_action("deny")
+                .size(entries.max(1024) as u32 * 2)
+                .build(),
+        )
+        .control(ControlBuilder::new("ingress").apply("sweep").build())
+        .entry("ingress")
+        .build()
+        .expect("sweep program validates")
+}
+
+fn sweep_entry(kind: &str, i: usize) -> KeyMatch {
+    match kind {
+        "exact" => KeyMatch::Exact(Value::new(i as u128, 48)),
+        // Distinct /24 prefixes under 10.0.0.0/8.
+        "lpm" => KeyMatch::Lpm(Value::new(0x0a00_0000 | ((i as u128) << 8), 32), 24),
+        "ternary" => KeyMatch::Ternary(
+            Value::new(0x0a00_0000 | ((i as u128) << 8), 32),
+            Value::new(0xffff_ff00, 32),
+        ),
+        other => unreachable!("unknown kind {other}"),
+    }
+}
+
+fn sweep_packet(kind: &str, i: usize) -> Vec<u8> {
+    let mut p = dejavu_traffic::PacketBuilder::udp()
+        .src_ip(0x0a00_0001)
+        .dst_ip(0x0a00_0000 | ((i as u32) << 8) | 1)
+        .src_port(1000)
+        .dst_port(53)
+        .payload(&[0u8; 18])
+        .build();
+    if kind == "exact" {
+        p[..6].copy_from_slice(&(i as u64).to_be_bytes()[2..]);
+    }
+    p
+}
+
+/// A switch with one `kind` table of `entries` entries, plus a pool of
+/// packets that all hit (cycling across the installed entries).
+fn sweep_testbed(kind: &str, entries: usize) -> (Switch, Vec<(Vec<u8>, u16)>) {
+    let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
+    sw.load_program(PipeletId::ingress(0), sweep_program(kind, entries))
+        .unwrap();
+    for i in 0..entries {
+        sw.install_entry(
+            PipeletId::ingress(0),
+            "sweep",
+            TableEntry {
+                matches: vec![sweep_entry(kind, i)],
+                action: "fwd".into(),
+                action_args: vec![Value::new(2, 16)],
+                priority: 0,
+            },
+        )
+        .unwrap();
+    }
+    // Spread the pool uniformly over the installed entries so scan-based
+    // lookups are measured at their average depth, not the table front.
+    let n = entries.max(1);
+    let pool_size = PACKET_POOL.min(n);
+    let pool = (0..pool_size)
+        .map(|i| (sweep_packet(kind, i * n / pool_size), 0u16))
+        .collect();
+    (sw, pool)
+}
+
+/// Packets/sec of per-packet `inject` (full traces — the pre-PR usage).
+fn measure_single(sw: &Switch, mode: ExecMode, pool: &[(Vec<u8>, u16)]) -> f64 {
+    let mut sw = sw.clone();
+    sw.set_exec_mode(mode);
+    let start = Instant::now();
+    let mut n = 0usize;
+    loop {
+        for (bytes, port) in pool {
+            sw.inject(bytes.clone(), *port).unwrap();
+        }
+        n += pool.len();
+        if start.elapsed() >= BUDGET {
+            break;
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Packets/sec of `inject_batch` (traces off — the replay fast path).
+fn measure_batch(sw: &Switch, mode: ExecMode, pool: &[(Vec<u8>, u16)]) -> f64 {
+    let mut sw = sw.clone();
+    sw.set_exec_mode(mode);
+    let start = Instant::now();
+    let mut n = 0usize;
+    loop {
+        let stats = sw.inject_batch(pool);
+        assert_eq!(stats.errors, 0);
+        n += stats.injected;
+        if start.elapsed() >= BUDGET {
+            break;
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    kind: String,
+    entries: usize,
+    reference_pps: f64,
+    compiled_pps: f64,
+    compiled_batch_pps: f64,
+    speedup_compiled: f64,
+    speedup_batch: f64,
+}
+
+#[derive(Serialize)]
+struct SweepReport {
+    description: String,
+    points: Vec<SweepPoint>,
+    exact_10k_speedup: f64,
+    meets_10x_at_10k_exact: bool,
+}
+
+fn bench_sweep(_c: &mut Criterion) {
+    banner(
+        "BENCH_dataplane",
+        "table-size sweep: reference interpreter vs compiled fast path",
+    );
+    let mut points = Vec::new();
+    for kind in KINDS {
+        for entries in SIZES {
+            let (sw, pool) = sweep_testbed(kind, entries);
+            let reference = measure_single(&sw, ExecMode::Reference, &pool);
+            let compiled = measure_single(&sw, ExecMode::Compiled, &pool);
+            let batch = measure_batch(&sw, ExecMode::Compiled, &pool);
+            row(
+                &format!("{kind:<8} {entries:>6} entries"),
+                "—",
+                &format!(
+                    "ref {reference:>10.0} pps | compiled {compiled:>10.0} pps | batch {batch:>10.0} pps ({:.1}x)",
+                    batch / reference
+                ),
+            );
+            points.push(SweepPoint {
+                kind: kind.to_string(),
+                entries,
+                reference_pps: reference,
+                compiled_pps: compiled,
+                compiled_batch_pps: batch,
+                speedup_compiled: compiled / reference,
+                speedup_batch: batch / reference,
+            });
+        }
+    }
+    let exact_10k = points
+        .iter()
+        .find(|p| p.kind == "exact" && p.entries == 10_000)
+        .expect("sweep covers 10k exact");
+    let report = SweepReport {
+        description: "packets/sec through one ingress pipelet: tree-walking reference \
+                      interpreter (per-packet inject, full traces) vs compiled fast path \
+                      (indexed tables; single inject and batched trace-off inject)"
+            .into(),
+        exact_10k_speedup: exact_10k.speedup_batch,
+        meets_10x_at_10k_exact: exact_10k.speedup_batch >= 10.0,
+        points,
+    };
+    println!(
+        "\n  10k-entry exact-match speedup (batched fast path vs reference): {:.1}x",
+        report.exact_10k_speedup
+    );
+    write_json("BENCH_dataplane", &report);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_dataplane
+    targets = bench_dataplane, bench_sweep
 }
 criterion_main!(benches);

@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{PortId, Switch, Traversal};
+use dejavu_asic::{ExecMode, PortId, Switch, Traversal};
 use std::fmt;
 
 /// Byte-level check applied to the emitted/punted packet.
@@ -215,6 +215,49 @@ pub fn run_suite(switch: &mut Switch, cases: Vec<TestCase>) -> PtfReport {
     report
 }
 
+/// Runs every case on *both* execution engines and cross-checks them.
+///
+/// The suite is executed twice against clones of `switch` — once with
+/// [`ExecMode::Reference`] (the tree-walking oracle) and once with
+/// [`ExecMode::Compiled`] (the fast path) — and each case additionally
+/// fails if the two engines disagree on the traversal (disposition, final
+/// bytes, events, recirculation/resubmission counts). The returned report
+/// is the compiled run, with divergence failures folded in; `switch`
+/// itself is left untouched.
+pub fn run_suite_differential(switch: &Switch, cases: Vec<TestCase>) -> PtfReport {
+    let mut reference = switch.clone();
+    reference.set_exec_mode(ExecMode::Reference);
+    let mut compiled = switch.clone();
+    compiled.set_exec_mode(ExecMode::Compiled);
+
+    let mut report = PtfReport::default();
+    for case in cases {
+        let ref_result = run_case(&mut reference, &case);
+        let mut result = run_case(&mut compiled, &case);
+        if result.failure.is_none() {
+            match (&result.traversal, &ref_result.traversal) {
+                (Some(c), Some(r)) if c != r => {
+                    result.failure = Some(format!(
+                        "engines diverge: compiled {:?}, reference {:?}",
+                        c.disposition, r.disposition
+                    ));
+                }
+                (Some(_), None) | (None, Some(_)) => {
+                    result.failure = Some(
+                        "engines diverge: one engine rejected the injection outright".to_string(),
+                    );
+                }
+                _ => {}
+            }
+            if result.failure.is_none() && ref_result.failure.is_some() {
+                result.failure = Some(format!("reference engine failed: {:?}", ref_result.failure));
+            }
+        }
+        report.results.push(result);
+    }
+    report
+}
+
 fn run_case(switch: &mut Switch, case: &TestCase) -> CaseResult {
     let traversal = match switch.inject(case.packet.clone(), case.in_port) {
         Ok(t) => t,
@@ -367,6 +410,22 @@ mod tests {
             ],
         );
         report.assert_all_passed();
+    }
+
+    #[test]
+    fn differential_suite_agrees_on_both_engines() {
+        let sw = l2_switch();
+        let report = run_suite_differential(
+            &sw,
+            vec![
+                TestCase::expect_port("known dst", 0, eth_packet(0xaabb), 9).expect_table_hit("l2"),
+                TestCase::expect_drop("unknown dst", 0, eth_packet(0xdead)),
+            ],
+        );
+        report.assert_all_passed();
+        // The original switch is untouched: counters are still zero.
+        let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");
+        assert_eq!(c.hits + c.misses, 0);
     }
 
     #[test]

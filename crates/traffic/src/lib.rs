@@ -12,6 +12,8 @@
 
 pub mod flows;
 pub mod packet;
+pub mod replay;
 
 pub use flows::{FlowGen, FlowSpec, WorkloadMix};
 pub use packet::PacketBuilder;
+pub use replay::{replay_flows, replay_sharded, ReplayReport};

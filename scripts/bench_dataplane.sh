@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the dataplane table-size sweep (reference interpreter vs compiled
+# fast path, single vs batched injection) and snapshots the machine-readable
+# record to BENCH_dataplane.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p dejavu-bench --bench micro_dataplane "$@"
+
+cp target/experiments/BENCH_dataplane.json BENCH_dataplane.json
+echo "wrote $(pwd)/BENCH_dataplane.json"

@@ -6,4 +6,5 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
+cargo bench --workspace --no-run
 cargo run -p dejavu-examples --bin lint_nfs
