@@ -289,6 +289,9 @@ pub struct CompiledPass {
     pub mirror: bool,
     /// Raw `egress_spec` metadata value after the pass.
     pub egress_spec: u128,
+    /// Number of tables applied, maintained at every trace level (the
+    /// telemetry hook; semantically identical across engines).
+    pub tables_applied: u32,
     /// Table applications in execution order (empty unless tracing).
     pub events: Vec<TableEvent>,
 }
@@ -344,6 +347,7 @@ impl CompiledProgram {
                 resubmit: false,
                 mirror: false,
                 egress_spec: u128::from(egress_spec),
+                tables_applied: 0,
                 events: Vec::new(),
             });
         };
@@ -352,12 +356,14 @@ impl CompiledProgram {
         meta[M_EGRESS_SPEC] = Value::new(u128::from(egress_spec), 16);
         let mut st = ExecState { pkt, meta };
         let mut events = Vec::new();
+        let mut tables_applied = 0u32;
 
         let mut pc = 0usize;
         while pc < self.ops.len() {
             match &self.ops[pc] {
                 COp::Apply { tid } => {
                     self.apply(*tid, &mut st, tables, &mut events, collect_events)?;
+                    tables_applied += 1;
                     pc += 1;
                 }
                 COp::ApplySelect {
@@ -366,6 +372,7 @@ impl CompiledProgram {
                     default_pc,
                 } => {
                     let ran = self.apply(*tid, &mut st, tables, &mut events, collect_events)?;
+                    tables_applied += 1;
                     pc = arms
                         .iter()
                         .find(|(aid, _)| *aid == ran)
@@ -396,6 +403,7 @@ impl CompiledProgram {
             resubmit: st.meta[M_RESUBMIT].as_bool(),
             mirror: st.meta[M_MIRROR].as_bool(),
             egress_spec: st.meta[M_EGRESS_SPEC].raw(),
+            tables_applied,
             events,
         })
     }

@@ -38,6 +38,9 @@ pub struct TableEvent {
 pub struct PipeletOutcome {
     /// Table applications in execution order.
     pub events: Vec<TableEvent>,
+    /// Number of tables applied (the telemetry hook; counted at every
+    /// trace level, identical to the compiled engine's count).
+    pub tables_applied: u32,
 }
 
 /// Executes a program's entry control over parsed packets.
@@ -174,6 +177,7 @@ impl<'a> Interpreter<'a> {
         };
         let act = self.action(&action_name)?;
         self.run_action(act, &args, pp, meta, tables)?;
+        outcome.tables_applied += 1;
         outcome.events.push(TableEvent {
             table: name.to_string(),
             hit,

@@ -30,6 +30,7 @@
 pub mod compiled;
 pub mod feedback;
 pub mod interp;
+pub mod metrics;
 pub mod packet;
 pub mod resources;
 pub mod switch;
@@ -37,14 +38,21 @@ pub mod tables;
 pub mod timing;
 pub mod tofino;
 
+/// The telemetry crate, re-exported so downstream crates reach the
+/// registry/snapshot/exporter types through `dejavu_asic::telemetry`
+/// without a separate dependency.
+pub use dejavu_telemetry as telemetry;
+
 pub use compiled::{CompiledPass, CompiledProgram};
 pub use interp::{Interpreter, PipeletOutcome};
+pub use metrics::SwitchMetrics;
 pub use packet::{HeaderInstance, Packet, ParsedPacket};
 pub use resources::{ResourceVector, StageResources};
 pub use switch::{
-    BatchStats, ExecMode, Gress, PipeletId, PortId, Switch, SwitchConfig, TraceEvent, TraceLevel,
-    Traversal,
+    BatchStats, ExecMode, Gress, InjectedPacket, PipeletId, PortId, Switch, SwitchConfig,
+    SwitchOptions, TraceEvent, TraceLevel, Traversal,
 };
 pub use tables::{TableCounters, TableState};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot};
 pub use timing::TimingModel;
 pub use tofino::TofinoProfile;

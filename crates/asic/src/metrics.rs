@@ -1,0 +1,299 @@
+//! Switch-side telemetry: pre-registered handles over a
+//! [`dejavu_telemetry::MetricsRegistry`].
+//!
+//! [`SwitchMetrics`] is built once per [`crate::Switch`] from the profile,
+//! registering every per-pipelet, per-pipeline, and per-port series up
+//! front so the packet path touches no names — each hook is a `bool` check
+//! plus a relaxed atomic add by dense handle. The registry starts
+//! *disabled* (hooks short-circuit on the `bool`), which is what keeps the
+//! fast path within noise of the pre-telemetry build; `Switch::set_telemetry`
+//! flips it on.
+//!
+//! Table hit/miss counters are *not* hooked per lookup — [`crate::tables`]
+//! already counts them in `Cell`s on every lookup path. The switch folds
+//! those into the exported [`MetricsSnapshot`] at scrape time instead
+//! (`Switch::metrics_snapshot`), so the hot lookup loop pays nothing extra.
+
+use crate::switch::{Gress, PipeletId, PortId};
+use crate::tofino::TofinoProfile;
+use dejavu_telemetry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+
+/// Recirculation depths are tracked exactly up to this bound; deeper
+/// packets land in the last bucket (`k="16+"`). Chains in the paper's
+/// range (§4 evaluates k ≤ 4) are far below it.
+pub const RECIRC_DEPTH_BUCKETS: usize = 16;
+
+/// Pre-registered metric handles of one switch.
+#[derive(Debug, Clone)]
+pub struct SwitchMetrics {
+    registry: MetricsRegistry,
+    /// Indexed `pipeline * 2 + (gress == Egress)`.
+    pipelet_packets: Vec<CounterId>,
+    pipelet_drops: Vec<CounterId>,
+    pipelet_parse_errors: Vec<CounterId>,
+    pipelet_table_applies: Vec<CounterId>,
+    /// Indexed by pipeline.
+    recirculations: Vec<CounterId>,
+    resubmissions: Vec<CounterId>,
+    /// Indexed by physical port.
+    port_rx: Vec<CounterId>,
+    port_tx: Vec<CounterId>,
+    /// Packets by final recirculation depth, clamped to the last bucket.
+    recirc_depth: Vec<CounterId>,
+    injected: CounterId,
+    emitted: CounterId,
+    dropped: CounterId,
+    to_cpu: CounterId,
+    mirrored: CounterId,
+    rejected: CounterId,
+    latency_ns: HistogramId,
+    table_entries: GaugeId,
+}
+
+fn pipelet_name(pipeline: usize, gress: Gress) -> PipeletId {
+    PipeletId { pipeline, gress }
+}
+
+impl SwitchMetrics {
+    /// Registers every series for a switch with this profile. The registry
+    /// starts disabled.
+    pub fn new(profile: &TofinoProfile) -> Self {
+        let mut r = MetricsRegistry::new();
+        let mut pipelet_packets = Vec::new();
+        let mut pipelet_drops = Vec::new();
+        let mut pipelet_parse_errors = Vec::new();
+        let mut pipelet_table_applies = Vec::new();
+        for p in 0..profile.pipelines {
+            for gress in [Gress::Ingress, Gress::Egress] {
+                let id = pipelet_name(p, gress);
+                pipelet_packets.push(r.counter(&format!("pipelet_packets{{pipelet=\"{id}\"}}")));
+                pipelet_drops.push(r.counter(&format!("pipelet_drops{{pipelet=\"{id}\"}}")));
+                pipelet_parse_errors
+                    .push(r.counter(&format!("pipelet_parse_errors{{pipelet=\"{id}\"}}")));
+                pipelet_table_applies
+                    .push(r.counter(&format!("pipelet_table_applies{{pipelet=\"{id}\"}}")));
+            }
+        }
+        let recirculations = (0..profile.pipelines)
+            .map(|p| r.counter(&format!("recirculations{{pipeline=\"{p}\"}}")))
+            .collect();
+        let resubmissions = (0..profile.pipelines)
+            .map(|p| r.counter(&format!("resubmissions{{pipeline=\"{p}\"}}")))
+            .collect();
+        let ports = profile.total_ports();
+        let port_rx = (0..ports)
+            .map(|p| r.counter(&format!("port_rx_packets{{port=\"{p}\"}}")))
+            .collect();
+        let port_tx = (0..ports)
+            .map(|p| r.counter(&format!("port_tx_packets{{port=\"{p}\"}}")))
+            .collect();
+        let recirc_depth = (0..=RECIRC_DEPTH_BUCKETS)
+            .map(|k| {
+                if k < RECIRC_DEPTH_BUCKETS {
+                    r.counter(&format!("packet_recirc_depth{{k=\"{k}\"}}"))
+                } else {
+                    r.counter(&format!(
+                        "packet_recirc_depth{{k=\"{RECIRC_DEPTH_BUCKETS}+\"}}"
+                    ))
+                }
+            })
+            .collect();
+        SwitchMetrics {
+            injected: r.counter("packets_injected"),
+            emitted: r.counter("packets_emitted"),
+            dropped: r.counter("packets_dropped"),
+            to_cpu: r.counter("packets_to_cpu"),
+            mirrored: r.counter("packets_mirrored"),
+            rejected: r.counter("packets_rejected"),
+            latency_ns: r.histogram("packet_latency_ns"),
+            table_entries: r.gauge("table_entries_installed"),
+            pipelet_packets,
+            pipelet_drops,
+            pipelet_parse_errors,
+            pipelet_table_applies,
+            recirculations,
+            resubmissions,
+            port_rx,
+            port_tx,
+            recirc_depth,
+            registry: r,
+        }
+    }
+
+    /// The backing registry (snapshot it with
+    /// [`dejavu_telemetry::MetricsSnapshot::capture`]).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Whether collection is on.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// Turns collection on or off (accumulated values are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.registry.set_enabled(enabled);
+    }
+
+    fn pidx(&self, pipelet: PipeletId) -> usize {
+        pipelet.pipeline * 2 + usize::from(pipelet.gress == Gress::Egress)
+    }
+
+    /// A packet arrived: total + per-port rx (physical ports only).
+    #[inline]
+    pub fn on_rx(&self, port: PortId) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.injected);
+        if let Some(&id) = self.port_rx.get(usize::from(port)) {
+            self.registry.inc(id);
+        }
+    }
+
+    /// An injection was rejected before entering the pipeline (bad port,
+    /// loopback port, link down, forwarding loop).
+    #[inline]
+    pub fn on_reject(&self) {
+        self.registry.inc(self.rejected);
+    }
+
+    /// A pipelet pass completed, applying `tables_applied` tables.
+    #[inline]
+    pub fn on_pass(&self, pipelet: PipeletId, tables_applied: u32) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let i = self.pidx(pipelet);
+        self.registry.inc(self.pipelet_packets[i]);
+        self.registry
+            .add(self.pipelet_table_applies[i], u64::from(tables_applied));
+    }
+
+    /// A pipelet's parser rejected the packet.
+    #[inline]
+    pub fn on_parse_error(&self, pipelet: PipeletId) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry
+            .inc(self.pipelet_parse_errors[self.pidx(pipelet)]);
+    }
+
+    /// The packet was dropped by an explicit decision of `pipelet`
+    /// (attribution only; the `packets_dropped` total is booked once per
+    /// traversal in [`SwitchMetrics::on_complete`]'s caller via
+    /// [`SwitchMetrics::on_dropped`]).
+    #[inline]
+    pub fn on_drop(&self, pipelet: PipeletId) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.pipelet_drops[self.pidx(pipelet)]);
+    }
+
+    /// The packet's final fate was a drop.
+    #[inline]
+    pub fn on_dropped(&self) {
+        self.registry.inc(self.dropped);
+    }
+
+    /// The packet was punted to the CPU port.
+    #[inline]
+    pub fn on_to_cpu(&self) {
+        self.registry.inc(self.to_cpu);
+    }
+
+    /// The packet was resubmitted to pipeline `pipeline`'s ingress.
+    #[inline]
+    pub fn on_resubmit(&self, pipeline: usize) {
+        self.registry.inc(self.resubmissions[pipeline]);
+    }
+
+    /// The packet recirculated through a port of `pipeline`.
+    #[inline]
+    pub fn on_recirculate(&self, pipeline: usize) {
+        self.registry.inc(self.recirculations[pipeline]);
+    }
+
+    /// The packet left the switch on `port`.
+    #[inline]
+    pub fn on_emit(&self, port: PortId) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.emitted);
+        if let Some(&id) = self.port_tx.get(usize::from(port)) {
+            self.registry.inc(id);
+        }
+    }
+
+    /// A mirror copy was emitted.
+    #[inline]
+    pub fn on_mirror(&self) {
+        self.registry.inc(self.mirrored);
+    }
+
+    /// A traversal finished: model latency and final recirculation depth.
+    #[inline]
+    pub fn on_complete(&self, latency_ns: f64, recirculations: usize) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.observe(self.latency_ns, latency_ns as u64);
+        let k = recirculations.min(RECIRC_DEPTH_BUCKETS);
+        self.registry.inc(self.recirc_depth[k]);
+    }
+
+    /// Refreshes scrape-time gauges (called by `Switch::metrics_snapshot`).
+    pub fn set_table_entries(&self, total: usize) {
+        self.registry.set_gauge(self.table_entries, total as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_telemetry::MetricsSnapshot;
+
+    #[test]
+    fn disabled_hooks_record_nothing() {
+        let m = SwitchMetrics::new(&TofinoProfile::wedge_100b_32x());
+        m.on_rx(0);
+        m.on_pass(PipeletId::ingress(0), 3);
+        m.on_complete(650.0, 2);
+        assert!(MetricsSnapshot::capture(m.registry()).is_zero());
+    }
+
+    #[test]
+    fn enabled_hooks_land_in_the_right_series() {
+        let mut m = SwitchMetrics::new(&TofinoProfile::wedge_100b_32x());
+        m.set_enabled(true);
+        m.on_rx(3);
+        m.on_pass(PipeletId::ingress(0), 2);
+        m.on_pass(PipeletId::egress(1), 1);
+        m.on_recirculate(1);
+        m.on_emit(17);
+        m.on_complete(725.0, 1);
+        let s = MetricsSnapshot::capture(m.registry());
+        assert_eq!(s.counter("packets_injected"), 1);
+        assert_eq!(s.counter("port_rx_packets{port=\"3\"}"), 1);
+        assert_eq!(s.counter("pipelet_packets{pipelet=\"ingress0\"}"), 1);
+        assert_eq!(s.counter("pipelet_table_applies{pipelet=\"ingress0\"}"), 2);
+        assert_eq!(s.counter("pipelet_packets{pipelet=\"egress1\"}"), 1);
+        assert_eq!(s.counter("recirculations{pipeline=\"1\"}"), 1);
+        assert_eq!(s.counter("port_tx_packets{port=\"17\"}"), 1);
+        assert_eq!(s.counter("packet_recirc_depth{k=\"1\"}"), 1);
+        assert_eq!(s.histogram("packet_latency_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn deep_recirculation_clamps_to_overflow_bucket() {
+        let mut m = SwitchMetrics::new(&TofinoProfile::tiny());
+        m.set_enabled(true);
+        m.on_complete(1.0, 99);
+        let s = MetricsSnapshot::capture(m.registry());
+        assert_eq!(s.counter("packet_recirc_depth{k=\"16+\"}"), 1);
+    }
+}

@@ -28,12 +28,14 @@
 
 use crate::compiled::CompiledProgram;
 use crate::interp::Interpreter;
+use crate::metrics::SwitchMetrics;
 use crate::packet::ParsedPacket;
 use crate::tables::TableState;
 use crate::timing::TimingModel;
 use crate::tofino::TofinoProfile;
 use dejavu_p4ir::table::TableEntry;
 use dejavu_p4ir::{IrError, Program, Value};
+use dejavu_telemetry::MetricsSnapshot;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -306,6 +308,94 @@ pub enum TraceLevel {
     Full,
 }
 
+/// A packet to inject: wire bytes plus the arrival port. The single
+/// injection type shared by [`Switch::inject`], [`Switch::inject_batch`],
+/// and the traffic replay drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedPacket {
+    /// Wire bytes.
+    pub bytes: Vec<u8>,
+    /// Arrival port.
+    pub port: PortId,
+}
+
+impl InjectedPacket {
+    /// Bytes arriving on a port.
+    pub fn new(bytes: Vec<u8>, port: PortId) -> Self {
+        InjectedPacket { bytes, port }
+    }
+}
+
+impl From<(Vec<u8>, PortId)> for InjectedPacket {
+    fn from((bytes, port): (Vec<u8>, PortId)) -> Self {
+        InjectedPacket { bytes, port }
+    }
+}
+
+/// Construction-time switch configuration, collected from what used to be
+/// scattered post-construction setters. Build one with the fluent methods
+/// and pass it to [`Switch::with_options`]; the individual setters remain
+/// for reconfiguration after construction.
+///
+/// ```
+/// use dejavu_asic::{ExecMode, Switch, SwitchOptions, TofinoProfile, TraceLevel};
+///
+/// let sw = Switch::with_options(
+///     TofinoProfile::wedge_100b_32x(),
+///     SwitchOptions::new()
+///         .exec_mode(ExecMode::Compiled)
+///         .trace_level(TraceLevel::Off)
+///         .telemetry(true),
+/// );
+/// assert!(sw.telemetry_enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SwitchOptions {
+    exec_mode: ExecMode,
+    trace_level: TraceLevel,
+    timing: Option<TimingModel>,
+    mirror_port: Option<PortId>,
+    telemetry: bool,
+}
+
+impl SwitchOptions {
+    /// Defaults: compiled engine, full tracing, calibrated Tofino timing,
+    /// no mirror session, telemetry off.
+    pub fn new() -> Self {
+        SwitchOptions::default()
+    }
+
+    /// Selects the execution engine.
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Selects how much trace state traversals record.
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// Replaces the calibrated timing model.
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.timing = Some(timing);
+        self
+    }
+
+    /// Configures the mirror destination port.
+    pub fn mirror_port(mut self, port: PortId) -> Self {
+        self.mirror_port = Some(port);
+        self
+    }
+
+    /// Turns metric collection on from the start.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+}
+
 /// Aggregate outcome of a [`Switch::inject_batch`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BatchStats {
@@ -353,6 +443,7 @@ struct PassSignals {
     resubmit: bool,
     mirror: bool,
     egress_spec: PortId,
+    tables_applied: u32,
 }
 
 /// The simulated switch.
@@ -369,11 +460,14 @@ pub struct Switch {
     max_loops: usize,
     exec_mode: ExecMode,
     trace_level: TraceLevel,
+    metrics: SwitchMetrics,
 }
 
 impl Switch {
     /// Creates an empty switch with the given profile and default timing.
+    /// Telemetry starts disabled (see [`Switch::set_telemetry`]).
     pub fn new(profile: TofinoProfile) -> Self {
+        let metrics = SwitchMetrics::new(&profile);
         Switch {
             profile,
             timing: TimingModel::tofino(),
@@ -386,7 +480,68 @@ impl Switch {
             max_loops: 128,
             exec_mode: ExecMode::default(),
             trace_level: TraceLevel::default(),
+            metrics,
         }
+    }
+
+    /// Creates a switch configured by a [`SwitchOptions`] builder.
+    pub fn with_options(profile: TofinoProfile, opts: SwitchOptions) -> Self {
+        let mut sw = Switch::new(profile);
+        sw.exec_mode = opts.exec_mode;
+        sw.trace_level = opts.trace_level;
+        if let Some(timing) = opts.timing {
+            sw.timing = timing;
+        }
+        sw.mirror_port = opts.mirror_port;
+        sw.metrics.set_enabled(opts.telemetry);
+        sw
+    }
+
+    /// Turns metric collection on or off. Accumulated values are kept; when
+    /// off, every hook short-circuits on one `bool` load.
+    pub fn set_telemetry(&mut self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+    }
+
+    /// Whether metric collection is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// The switch's metric handles and backing registry.
+    pub fn metrics(&self) -> &SwitchMetrics {
+        &self.metrics
+    }
+
+    /// Captures a full metrics snapshot: every registry series plus the
+    /// per-table hit/miss counters folded in from [`TableState`] (as
+    /// `table_hits{pipelet="…",table="…"}` / `table_misses{…}`), so one
+    /// export carries the whole observable state of the switch.
+    ///
+    /// The table-counter fold only happens while telemetry is enabled:
+    /// [`TableState`] counters accumulate regardless of the flag, and
+    /// surfacing them through a disabled registry would make an "empty"
+    /// snapshot non-zero.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if !self.metrics.is_enabled() {
+            return MetricsSnapshot::capture(self.metrics.registry());
+        }
+        self.metrics
+            .set_table_entries(self.tables.values().map(TableState::total_entries).sum());
+        let mut snap = MetricsSnapshot::capture(self.metrics.registry());
+        for (pipelet, state) in &self.tables {
+            for (table, c) in state.all_counters() {
+                snap.set_counter(
+                    format!("table_hits{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+                    c.hits,
+                );
+                snap.set_counter(
+                    format!("table_misses{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+                    c.misses,
+                );
+            }
+        }
+        snap
     }
 
     /// Selects the execution engine for subsequent traversals.
@@ -597,20 +752,30 @@ impl Switch {
 
     /// Injects a packet on an external Ethernet port and drives it to
     /// completion. Loopback ports take no external traffic (§4) — injecting
-    /// on one is an error.
-    pub fn inject(&mut self, bytes: Vec<u8>, port: PortId) -> Result<Traversal, IrError> {
-        if self.is_loopback(port) {
-            return Err(IrError::Invalid(format!(
-                "port {port} is in loopback mode and takes no external traffic"
-            )));
+    /// on one is an error. Accepts anything convertible to
+    /// [`InjectedPacket`], in particular a `(Vec<u8>, PortId)` tuple.
+    pub fn inject(&mut self, packet: impl Into<InjectedPacket>) -> Result<Traversal, IrError> {
+        let InjectedPacket { bytes, port } = packet.into();
+        let checked = (|| {
+            if self.is_loopback(port) {
+                return Err(IrError::Invalid(format!(
+                    "port {port} is in loopback mode and takes no external traffic"
+                )));
+            }
+            if self.is_port_down(port) {
+                return Err(IrError::Invalid(format!("port {port} link is down")));
+            }
+            self.pipeline_of(port)
+                .ok_or_else(|| IrError::Invalid(format!("port {port} out of range")))
+        })();
+        let result = match checked {
+            Ok(pipeline) => self.run_to_completion(bytes, port, pipeline),
+            Err(e) => Err(e),
+        };
+        if result.is_err() {
+            self.metrics.on_reject();
         }
-        if self.is_port_down(port) {
-            return Err(IrError::Invalid(format!("port {port} link is down")));
-        }
-        let pipeline = self
-            .pipeline_of(port)
-            .ok_or_else(|| IrError::Invalid(format!("port {port} out of range")))?;
-        self.run_to_completion(bytes, port, pipeline)
+        result
     }
 
     /// Injects a batch of packets and returns aggregate statistics only.
@@ -620,13 +785,13 @@ impl Switch {
     /// afterwards), so no per-packet `Vec`/`String` traversal state is
     /// allocated. Per-packet errors (bad port, forwarding loop) are tallied
     /// in [`BatchStats::errors`] instead of aborting the batch.
-    pub fn inject_batch(&mut self, packets: &[(Vec<u8>, PortId)]) -> BatchStats {
+    pub fn inject_batch(&mut self, packets: &[InjectedPacket]) -> BatchStats {
         let saved = self.trace_level;
         self.trace_level = TraceLevel::Off;
         let mut stats = BatchStats::default();
-        for (bytes, port) in packets {
+        for pkt in packets {
             stats.injected += 1;
-            match self.inject(bytes.clone(), *port) {
+            match self.inject(pkt.clone()) {
                 Ok(t) => {
                     match t.disposition {
                         Disposition::Emitted { .. } => stats.emitted += 1,
@@ -657,6 +822,7 @@ impl Switch {
         let mut resubmissions = 0usize;
         let mut mirrored: Vec<(PortId, Vec<u8>)> = Vec::new();
         let stages = self.profile.stages_per_pipelet;
+        self.metrics.on_rx(ingress_port);
 
         for _ in 0..self.max_loops {
             // ---- ingress pipelet ----
@@ -667,7 +833,9 @@ impl Switch {
             latency += self.timing.pipelet_ns(stages);
 
             let sig = self.run_pass(ing, &bytes, ingress_port, PORT_UNSET, &mut events)?;
+            self.metrics.on_pass(ing, sig.tables_applied);
             let Some(new_bytes) = sig.bytes else {
+                self.metrics.on_parse_error(ing);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -685,6 +853,7 @@ impl Switch {
                 if trace {
                     events.push(TraceEvent::Drop { pipelet: ing });
                 }
+                self.metrics.on_drop(ing);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -713,6 +882,7 @@ impl Switch {
                 if trace {
                     events.push(TraceEvent::Resubmit { pipeline });
                 }
+                self.metrics.on_resubmit(pipeline);
                 latency += self.timing.resubmit_ns;
                 resubmissions += 1;
                 continue; // same pipeline, same ingress port
@@ -738,6 +908,7 @@ impl Switch {
                 if trace {
                     events.push(TraceEvent::Drop { pipelet: ing });
                 }
+                self.metrics.on_drop(ing);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -752,6 +923,7 @@ impl Switch {
                 if trace {
                     events.push(TraceEvent::Drop { pipelet: ing });
                 }
+                self.metrics.on_drop(ing);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -767,6 +939,7 @@ impl Switch {
                     events.push(TraceEvent::LinkDown { port: egress_spec });
                     events.push(TraceEvent::Drop { pipelet: ing });
                 }
+                self.metrics.on_drop(ing);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -797,7 +970,9 @@ impl Switch {
             // Note: the egress pipelet's own writes to `egress_spec` are
             // ignored — the port decision was made in ingress.
             let esig = self.run_pass(eg, &bytes, ingress_port, egress_spec, &mut events)?;
+            self.metrics.on_pass(eg, esig.tables_applied);
             let Some(new_bytes) = esig.bytes else {
+                self.metrics.on_parse_error(eg);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -815,6 +990,7 @@ impl Switch {
                 if trace {
                     events.push(TraceEvent::Drop { pipelet: eg });
                 }
+                self.metrics.on_drop(eg);
                 return Ok(self.finish(
                     events,
                     Disposition::Dropped,
@@ -847,6 +1023,7 @@ impl Switch {
                 if trace {
                     events.push(TraceEvent::Recirculate { port: egress_spec });
                 }
+                self.metrics.on_recirculate(dest_pipeline);
                 latency += self.timing.recirc_on_chip_ns;
                 recirculations += 1;
                 // Constraint (d): the packet re-enters the ingress pipe of
@@ -891,6 +1068,7 @@ impl Switch {
                 if self.trace_level == TraceLevel::Full {
                     events.push(TraceEvent::Mirror { port });
                 }
+                self.metrics.on_mirror();
                 mirrored.push((port, bytes.to_vec()));
             }
         }
@@ -918,6 +1096,7 @@ impl Switch {
                 resubmit: false,
                 mirror: false,
                 egress_spec: egress_seed,
+                tables_applied: 0,
             });
         }
         match self.exec_mode {
@@ -951,6 +1130,7 @@ impl Switch {
                     resubmit: pass.resubmit,
                     mirror: pass.mirror,
                     egress_spec: pass.egress_spec as PortId,
+                    tables_applied: pass.tables_applied,
                 })
             }
             ExecMode::Reference => {
@@ -978,6 +1158,7 @@ impl Switch {
                             resubmit: false,
                             mirror: false,
                             egress_spec: egress_seed,
+                            tables_applied: 0,
                         });
                     }
                 };
@@ -1007,6 +1188,7 @@ impl Switch {
                         .get("egress_spec")
                         .map(|v| v.raw() as PortId)
                         .unwrap_or(PORT_UNSET),
+                    tables_applied: outcome.tables_applied,
                 })
             }
         }
@@ -1023,6 +1205,12 @@ impl Switch {
         resubmissions: usize,
         mirrored: Vec<(PortId, Vec<u8>)>,
     ) -> Traversal {
+        match &disposition {
+            Disposition::Emitted { port } => self.metrics.on_emit(*port),
+            Disposition::Dropped => self.metrics.on_dropped(),
+            Disposition::ToCpu => self.metrics.on_to_cpu(),
+        }
+        self.metrics.on_complete(latency_ns, recirculations);
         Traversal {
             events,
             disposition,
@@ -1102,7 +1290,7 @@ mod tests {
         let mut sw = basic_switch();
         sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
             .unwrap();
-        let t = sw.inject(eth_packet(0xaabb), 0).unwrap();
+        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
         // ingress pipeline 0 → TM → egress pipeline 1 (port 20)
         assert_eq!(
@@ -1117,7 +1305,7 @@ mod tests {
     #[test]
     fn default_drop() {
         let mut sw = basic_switch();
-        let t = sw.inject(eth_packet(0xdead), 0).unwrap();
+        let t = sw.inject((eth_packet(0xdead), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Dropped);
         assert!(t
             .events
@@ -1135,7 +1323,7 @@ mod tests {
             .unwrap();
         sw.install_entry(PipeletId::ingress(1), "l2", fwd_entry(0xaabb, 1))
             .unwrap();
-        let t = sw.inject(eth_packet(0xaabb), 0).unwrap();
+        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 1 });
         assert_eq!(t.recirculations, 1);
         assert_eq!(
@@ -1167,7 +1355,7 @@ mod tests {
         // make the second lookup exit by using dst 0xaabb → rp the first
         // time only. To keep the test deterministic we swap the entry after
         // injecting is not possible, so check loop detection instead.)
-        let err = sw.inject(eth_packet(0xaabb), 0).unwrap_err();
+        let err = sw.inject((eth_packet(0xaabb), 0)).unwrap_err();
         assert!(matches!(err, IrError::Invalid(_)));
     }
 
@@ -1175,10 +1363,10 @@ mod tests {
     fn injecting_on_loopback_port_is_rejected() {
         let mut sw = basic_switch();
         sw.set_loopback(3, true).unwrap();
-        assert!(sw.inject(eth_packet(1), 3).is_err());
+        assert!(sw.inject((eth_packet(1), 3)).is_err());
         assert!(sw.is_loopback(3));
         sw.set_loopback(3, false).unwrap();
-        assert!(sw.inject(eth_packet(1), 3).is_ok());
+        assert!(sw.inject((eth_packet(1), 3)).is_ok());
     }
 
     #[test]
@@ -1205,7 +1393,7 @@ mod tests {
             .unwrap();
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
         sw.load_program(PipeletId::ingress(0), program).unwrap();
-        let t = sw.inject(eth_packet(1), 0).unwrap();
+        let t = sw.inject((eth_packet(1), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Dropped);
     }
 
@@ -1236,7 +1424,7 @@ mod tests {
             .unwrap();
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
         sw.load_program(PipeletId::ingress(0), program).unwrap();
-        let t = sw.inject(eth_packet(1), 0).unwrap();
+        let t = sw.inject((eth_packet(1), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::ToCpu);
     }
 
@@ -1291,7 +1479,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let t = sw.inject(eth_packet(9), 0).unwrap();
+        let t = sw.inject((eth_packet(9), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 5 });
         assert_eq!(t.resubmissions, 1);
         assert_eq!(
@@ -1317,8 +1505,8 @@ mod tests {
         let mut sw = basic_switch();
         sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 2))
             .unwrap();
-        sw.inject(eth_packet(0xaabb), 0).unwrap();
-        sw.inject(eth_packet(0xffff), 0).unwrap();
+        sw.inject((eth_packet(0xaabb), 0)).unwrap();
+        sw.inject((eth_packet(0xffff), 0)).unwrap();
         let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
@@ -1331,8 +1519,8 @@ mod tests {
             sw.set_exec_mode(mode);
             sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
                 .unwrap();
-            let hit = sw.inject(eth_packet(0xaabb), 0).unwrap();
-            let miss = sw.inject(eth_packet(0x1), 0).unwrap();
+            let hit = sw.inject((eth_packet(0xaabb), 0)).unwrap();
+            let miss = sw.inject((eth_packet(0x1), 0)).unwrap();
             (hit, miss)
         };
         let (hit_c, miss_c) = run(ExecMode::Compiled);
@@ -1347,7 +1535,7 @@ mod tests {
         sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
             .unwrap();
         sw.set_trace_level(TraceLevel::Off);
-        let t = sw.inject(eth_packet(0xaabb), 0).unwrap();
+        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
         assert!(t.events.is_empty());
         assert!((t.latency_ns - 650.0).abs() < 1e-9);
@@ -1363,9 +1551,9 @@ mod tests {
             .unwrap();
         sw.set_loopback(5, true).unwrap();
         let batch = vec![
-            (eth_packet(0xaabb), 0), // emitted on 20
-            (eth_packet(0x7), 0),    // default deny → dropped
-            (eth_packet(0xaabb), 5), // loopback port takes no traffic → error
+            InjectedPacket::new(eth_packet(0xaabb), 0), // emitted on 20
+            InjectedPacket::from((eth_packet(0x7), 0)), // default deny → dropped
+            InjectedPacket::new(eth_packet(0xaabb), 5), // loopback: no traffic → error
         ];
         let stats = sw.inject_batch(&batch);
         assert_eq!(stats.injected, 3);

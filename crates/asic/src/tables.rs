@@ -436,6 +436,26 @@ impl TableState {
         best.map(|(e, _)| e.clone())
     }
 
+    /// Counters of every registered table, in registration (program)
+    /// order — the telemetry scrape path.
+    pub fn all_counters(&self) -> Vec<(String, TableCounters)> {
+        let mut named: Vec<(&String, usize)> = self.ids.iter().map(|(n, &i)| (n, i)).collect();
+        named.sort_by_key(|&(_, i)| i);
+        named
+            .into_iter()
+            .map(|(name, i)| {
+                let s = &self.slots[i];
+                (
+                    name.clone(),
+                    TableCounters {
+                        hits: s.hits.get(),
+                        misses: s.misses.get(),
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Counters of a table (zero if never looked up).
     pub fn counters(&self, table: &str) -> TableCounters {
         self.slot(table)

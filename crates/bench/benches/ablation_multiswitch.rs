@@ -145,7 +145,7 @@ fn main() {
     )
     .expect("live cluster deploys");
     let t = net
-        .inject(dejavu_integration::encapsulated_packet(1, 0), 0)
+        .inject((dejavu_integration::encapsulated_packet(1, 0), 0))
         .expect("live injection");
     println!(
         "\n  live 12-NF / 2-switch run: {:?}, wire hops {} (model {}), recirculations {}",

@@ -45,7 +45,7 @@ fn problem() -> PlacementProblem {
 fn measure(chains: &ChainSet, placement: &Placement) -> (u32, usize) {
     let model = traverse(&chains.chains[0], placement, 0, 0, false).unwrap();
     let (mut sw, _) = deploy_markers(chains, placement).unwrap();
-    let t = sw.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    let t = sw.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     (model.recirculations, t.recirculations)
 }

@@ -28,7 +28,7 @@ fn measured_recirc_latency() -> (f64, f64) {
     let chains = ChainSet::new(vec![ChainPolicy::new(1, "x", vec!["n0"], 1.0)]).unwrap();
     let base_placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0"])]);
     let (mut sw, _) = deploy_markers(&chains, &base_placement).unwrap();
-    let t0 = sw.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    let t0 = sw.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
     assert_eq!(t0.recirculations, 0);
     assert_eq!(
         t0.disposition,
@@ -39,7 +39,7 @@ fn measured_recirc_latency() -> (f64, f64) {
     // loopback port).
     let loop_placement = Placement::sequential(vec![(PipeletId::ingress(1), vec!["n0"])]);
     let (mut sw, _) = deploy_markers(&chains, &loop_placement).unwrap();
-    let t1 = sw.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    let t1 = sw.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
     assert_eq!(t1.recirculations, 1);
 
     // The recirculation loop adds one recirc hop plus one extra

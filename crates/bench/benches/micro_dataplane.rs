@@ -11,7 +11,7 @@
 //!    (`scripts/bench_dataplane.sh` copies it to the repo root).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_asic::{ExecMode, InjectedPacket, PipeletId, Switch, TofinoProfile};
 use dejavu_bench::{banner, row, write_json};
 use dejavu_integration::{chain_packet, fig9_testbed, IN_PORT};
 use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
@@ -37,14 +37,14 @@ fn bench_dataplane(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     let pkt3 = chain_packet(3, 0xc633_6450, 80);
     group.bench_function("path3_classifier_router", |b| {
-        b.iter(|| switch.inject(pkt3.clone(), IN_PORT).unwrap())
+        b.iter(|| switch.inject((pkt3.clone(), IN_PORT)).unwrap())
     });
     group.bench_function("path1_full_5nf_chain", |b| {
-        b.iter(|| switch.inject(pkt1.clone(), IN_PORT).unwrap())
+        b.iter(|| switch.inject((pkt1.clone(), IN_PORT)).unwrap())
     });
     let deny = chain_packet(1, 0xc633_6450, 22);
     group.bench_function("firewall_drop_path", |b| {
-        b.iter(|| switch.inject(deny.clone(), IN_PORT).unwrap())
+        b.iter(|| switch.inject((deny.clone(), IN_PORT)).unwrap())
     });
     group.finish();
 }
@@ -127,7 +127,7 @@ fn sweep_packet(kind: &str, i: usize) -> Vec<u8> {
 
 /// A switch with one `kind` table of `entries` entries, plus a pool of
 /// packets that all hit (cycling across the installed entries).
-fn sweep_testbed(kind: &str, entries: usize) -> (Switch, Vec<(Vec<u8>, u16)>) {
+fn sweep_testbed(kind: &str, entries: usize) -> (Switch, Vec<InjectedPacket>) {
     let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
     sw.load_program(PipeletId::ingress(0), sweep_program(kind, entries))
         .unwrap();
@@ -149,20 +149,20 @@ fn sweep_testbed(kind: &str, entries: usize) -> (Switch, Vec<(Vec<u8>, u16)>) {
     let n = entries.max(1);
     let pool_size = PACKET_POOL.min(n);
     let pool = (0..pool_size)
-        .map(|i| (sweep_packet(kind, i * n / pool_size), 0u16))
+        .map(|i| InjectedPacket::new(sweep_packet(kind, i * n / pool_size), 0))
         .collect();
     (sw, pool)
 }
 
 /// Packets/sec of per-packet `inject` (full traces — the pre-PR usage).
-fn measure_single(sw: &Switch, mode: ExecMode, pool: &[(Vec<u8>, u16)]) -> f64 {
+fn measure_single(sw: &Switch, mode: ExecMode, pool: &[InjectedPacket]) -> f64 {
     let mut sw = sw.clone();
     sw.set_exec_mode(mode);
     let start = Instant::now();
     let mut n = 0usize;
     loop {
-        for (bytes, port) in pool {
-            sw.inject(bytes.clone(), *port).unwrap();
+        for pkt in pool {
+            sw.inject(pkt.clone()).unwrap();
         }
         n += pool.len();
         if start.elapsed() >= BUDGET {
@@ -173,7 +173,7 @@ fn measure_single(sw: &Switch, mode: ExecMode, pool: &[(Vec<u8>, u16)]) -> f64 {
 }
 
 /// Packets/sec of `inject_batch` (traces off — the replay fast path).
-fn measure_batch(sw: &Switch, mode: ExecMode, pool: &[(Vec<u8>, u16)]) -> f64 {
+fn measure_batch(sw: &Switch, mode: ExecMode, pool: &[InjectedPacket]) -> f64 {
     let mut sw = sw.clone();
     sw.set_exec_mode(mode);
     let start = Instant::now();

@@ -7,6 +7,7 @@
 //! latency distribution, and the recirculation histogram.
 
 use dejavu_asic::switch::Disposition;
+use dejavu_asic::InjectedPacket;
 use dejavu_bench::{banner, row, write_json};
 use dejavu_core::control_plane::{rewind_and_clear, ControlPlane, PuntResponse};
 use dejavu_integration::{fig9_testbed, EXIT_PORT, IN_PORT};
@@ -149,19 +150,18 @@ fn main() {
     // data plane; the sharded replay driver measures pure packets/sec on
     // the compiled engine with traces off.
     const REPLAY_SCALE: usize = 8;
-    let mut per_flow: BTreeMap<usize, Vec<(Vec<u8>, u16)>> = BTreeMap::new();
+    let mut per_flow: BTreeMap<usize, Vec<InjectedPacket>> = BTreeMap::new();
     for &flow_idx in &schedule {
         let (_path, flow) = &flows[flow_idx];
         let mut f = *flow;
         f.dst_ip = VIP;
         f.protocol = 6;
         let pkt = f.packet(16);
-        per_flow
-            .entry(flow_idx)
-            .or_default()
-            .extend(std::iter::repeat_with(|| (pkt.clone(), IN_PORT)).take(REPLAY_SCALE));
+        per_flow.entry(flow_idx).or_default().extend(
+            std::iter::repeat_with(|| InjectedPacket::new(pkt.clone(), IN_PORT)).take(REPLAY_SCALE),
+        );
     }
-    let grouped: Vec<Vec<(Vec<u8>, u16)>> = per_flow.into_values().collect();
+    let grouped: Vec<Vec<InjectedPacket>> = per_flow.into_values().collect();
     let single = replay_sharded(&switch, &grouped, 1);
     let sharded = replay_sharded(&switch, &grouped, 4);
     assert_eq!(single.stats.injected, PACKETS * REPLAY_SCALE);

@@ -16,7 +16,7 @@
 
 use crate::deploy::Deployment;
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{PortId, Switch, Traversal};
+use dejavu_asic::{MetricsSnapshot, PortId, Switch, Traversal};
 use dejavu_p4ir::table::TableEntry;
 use dejavu_p4ir::IrError;
 use std::collections::BTreeMap;
@@ -96,6 +96,8 @@ pub struct ControlPlane {
     handlers: BTreeMap<String, PuntHandler>,
     /// Packets punted to the CPU, with the port they were injected on.
     punt_queue: Vec<(Vec<u8>, PortId)>,
+    /// Telemetry state at the previous [`ControlPlane::scrape`].
+    last_scrape: MetricsSnapshot,
     /// Statistics.
     pub stats: ControlPlaneStats,
 }
@@ -109,6 +111,8 @@ pub struct ControlPlaneStats {
     pub installs: u64,
     /// Packets reinjected.
     pub reinjections: u64,
+    /// Telemetry scrapes performed.
+    pub scrapes: u64,
 }
 
 impl Default for ControlPlane {
@@ -123,8 +127,27 @@ impl ControlPlane {
         ControlPlane {
             handlers: BTreeMap::new(),
             punt_queue: Vec::new(),
+            last_scrape: MetricsSnapshot::default(),
             stats: ControlPlaneStats::default(),
         }
+    }
+
+    /// Periodic telemetry scrape: captures the switch's metrics and returns
+    /// the delta since the previous scrape (the first scrape returns totals
+    /// since boot). The control plane keeps the cumulative snapshot, so a
+    /// monitoring loop gets lossless non-overlapping increments no matter
+    /// how often it runs.
+    pub fn scrape(&mut self, switch: &Switch) -> MetricsSnapshot {
+        let now = switch.metrics_snapshot();
+        let delta = now.diff(&self.last_scrape);
+        self.last_scrape = now;
+        self.stats.scrapes += 1;
+        delta
+    }
+
+    /// The cumulative snapshot as of the last [`ControlPlane::scrape`].
+    pub fn last_scrape(&self) -> &MetricsSnapshot {
+        &self.last_scrape
     }
 
     /// Registers the punt handler of an NF.
@@ -161,7 +184,7 @@ impl ControlPlane {
         bytes: Vec<u8>,
         port: PortId,
     ) -> Result<Traversal, IrError> {
-        let t = switch.inject(bytes, port)?;
+        let t = switch.inject((bytes, port))?;
         if t.disposition == Disposition::ToCpu {
             self.enqueue_punt(t.final_bytes.clone(), port);
         }
@@ -201,7 +224,7 @@ impl ControlPlane {
                     clear_sfc_flags(&mut b);
                     b
                 });
-                let t = switch.inject(bytes, in_port)?;
+                let t = switch.inject((bytes, in_port))?;
                 if t.disposition == Disposition::ToCpu {
                     // Still punting: requeue (handler may converge next round).
                     self.enqueue_punt(t.final_bytes.clone(), in_port);
@@ -229,6 +252,25 @@ mod tests {
         cp.enqueue_punt(vec![4], 1);
         assert_eq!(cp.pending_punts(), 2);
         assert_eq!(cp.stats.punts, 2);
+    }
+
+    #[test]
+    fn scrape_returns_non_overlapping_deltas() {
+        use dejavu_asic::TofinoProfile;
+        let mut cp = ControlPlane::new();
+        let mut sw = Switch::new(TofinoProfile::tiny());
+        sw.set_telemetry(true);
+        // No program loaded: the packet traverses ingress0 and is dropped,
+        // which still books telemetry.
+        let _ = sw.inject((vec![0u8; 64], 0));
+        let first = cp.scrape(&sw);
+        assert_eq!(first.counter("packets_injected"), 1);
+        assert_eq!(first.counter("packets_dropped"), 1);
+        // Nothing happened since: the next delta is empty, not a repeat.
+        let second = cp.scrape(&sw);
+        assert!(second.is_zero());
+        assert_eq!(cp.stats.scrapes, 2);
+        assert_eq!(cp.last_scrape().counter("packets_dropped"), 1);
     }
 
     #[test]

@@ -58,3 +58,47 @@ pub use nfmodule::{ApiViolation, NfModule};
 pub use placement::{Location, Placement, PlacementProblem, RecircGranularity, TraversalCost};
 pub use routing::RoutingSynthesis;
 pub use sfc::SfcHeader;
+
+/// One-stop imports for building, deploying, and driving a service chain.
+///
+/// ```
+/// use dejavu_core::prelude::*;
+///
+/// let sw = Switch::new(TofinoProfile::tiny());
+/// assert!(!sw.telemetry_enabled());
+/// ```
+///
+/// Pulls in the switch simulator surface (switch, profiles, execution and
+/// trace modes, the unified [`InjectedPacket`]/[`SwitchOptions`] injection
+/// and configuration API, telemetry registry/snapshot types) and the
+/// framework surface (chains, NF modules, composition, placement,
+/// deployment, the merged control plane, and the multi-switch cluster).
+pub mod prelude {
+    pub use crate::chain::{ChainPolicy, ChainSet};
+    pub use crate::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
+    pub use crate::control_plane::{
+        clear_sfc_flags, rewind_and_clear, ControlPlane, ControlPlaneStats, PuntResponse,
+    };
+    pub use crate::deploy::{deploy, DeployError, DeployOptions, Deployment};
+    pub use crate::lint::{lint_chain_budget, lint_pipelet, BudgetSpec};
+    pub use crate::merge::{merge_programs, MergeError};
+    pub use crate::multiswitch::{
+        chain_latency_ns, deploy_cluster, ClusterNet, ClusterProblem, ClusterTraversal,
+        ClusterWiring,
+    };
+    pub use crate::nfmodule::NfModule;
+    pub use crate::placement::{
+        Location, Placement, PlacementProblem, RecircGranularity, TraversalCost,
+    };
+    pub use crate::routing::{RoutingConfig, RoutingSynthesis};
+    pub use crate::sfc::{sfc_header_type, SfcHeader, SFC_ETHERTYPE};
+    pub use dejavu_asic::switch::Disposition;
+    pub use dejavu_asic::telemetry::{
+        parse_json, snapshot_from_json, to_json_string, to_prometheus, MetricsRegistry,
+        MetricsSnapshot,
+    };
+    pub use dejavu_asic::{
+        BatchStats, ExecMode, Gress, InjectedPacket, PipeletId, PortId, Switch, SwitchMetrics,
+        SwitchOptions, TimingModel, TofinoProfile, TraceLevel, Traversal,
+    };
+}

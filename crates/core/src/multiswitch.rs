@@ -290,7 +290,7 @@ use crate::deploy::{deploy, DeployError, DeployOptions, Deployment};
 use crate::nfmodule::NfModule;
 use crate::routing::{RoutingConfig, SegmentOptions};
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{PortId, Switch, TofinoProfile, Traversal};
+use dejavu_asic::{InjectedPacket, PortId, Switch, TofinoProfile, Traversal};
 use dejavu_p4ir::IrError as AsicIrError;
 use std::collections::BTreeMap;
 
@@ -353,9 +353,9 @@ impl ClusterNet {
     /// cluster until it leaves, drops, or punts.
     pub fn inject(
         &mut self,
-        bytes: Vec<u8>,
-        port: PortId,
+        packet: impl Into<InjectedPacket>,
     ) -> Result<ClusterTraversal, AsicIrError> {
+        let InjectedPacket { bytes, port } = packet.into();
         let mut cur = 0usize;
         let mut cur_port = port;
         let mut cur_bytes = bytes;
@@ -364,7 +364,7 @@ impl ClusterNet {
         let mut recircs = 0usize;
         let mut wire_hops = 0usize;
         loop {
-            let t = self.switches[cur].inject(cur_bytes, cur_port)?;
+            let t = self.switches[cur].inject((cur_bytes, cur_port))?;
             latency += t.latency_ns;
             recircs += t.recirculations;
             let disposition = t.disposition.clone();

@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{ExecMode, PortId, Switch, Traversal};
+use dejavu_asic::{ExecMode, MetricsSnapshot, PortId, Switch, Traversal};
 use std::fmt;
 
 /// Byte-level check applied to the emitted/punted packet.
@@ -205,6 +205,115 @@ impl fmt::Display for PtfReport {
     }
 }
 
+/// Check applied to the telemetry delta a suite produced.
+pub type MetricsCheck = Box<dyn Fn(&MetricsSnapshot) -> Result<(), String>>;
+
+/// Assertions on the [`MetricsSnapshot`] delta produced by running a suite
+/// (see [`run_suite_with_metrics`]). Each expectation becomes one extra
+/// `metrics: <label>` row in the [`PtfReport`], so metric regressions read
+/// like failing test cases.
+#[derive(Default)]
+pub struct MetricsExpectations {
+    checks: Vec<(String, MetricsCheck)>,
+}
+
+impl MetricsExpectations {
+    /// No expectations yet.
+    pub fn new() -> Self {
+        MetricsExpectations::default()
+    }
+
+    /// Expects a counter's delta to be exactly `expected`.
+    pub fn counter(self, name: &str, expected: u64) -> Self {
+        let name = name.to_string();
+        let label = format!("{name} == {expected}");
+        self.check(&label, move |s| {
+            let got = s.counter(&name);
+            if got == expected {
+                Ok(())
+            } else {
+                Err(format!("counter {name}: expected {expected}, got {got}"))
+            }
+        })
+    }
+
+    /// Expects a counter's delta to be at least `min`.
+    pub fn counter_at_least(self, name: &str, min: u64) -> Self {
+        let name = name.to_string();
+        let label = format!("{name} >= {min}");
+        self.check(&label, move |s| {
+            let got = s.counter(&name);
+            if got >= min {
+                Ok(())
+            } else {
+                Err(format!(
+                    "counter {name}: expected at least {min}, got {got}"
+                ))
+            }
+        })
+    }
+
+    /// Expects the summed delta of every counter starting with `prefix`
+    /// (e.g. a labelled family like `packet_recirc_depth`) to equal
+    /// `expected`.
+    pub fn family_total(self, prefix: &str, expected: u64) -> Self {
+        let prefix = prefix.to_string();
+        let label = format!("sum({prefix}*) == {expected}");
+        self.check(&label, move |s| {
+            let got = s.counter_family_total(&prefix);
+            if got == expected {
+                Ok(())
+            } else {
+                Err(format!(
+                    "family {prefix}: expected total {expected}, got {got}"
+                ))
+            }
+        })
+    }
+
+    /// Adds an arbitrary check on the delta snapshot.
+    pub fn check(
+        mut self,
+        label: &str,
+        check: impl Fn(&MetricsSnapshot) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.checks.push((label.to_string(), Box::new(check)));
+        self
+    }
+
+    /// Evaluates every expectation against `delta`, returning one
+    /// [`CaseResult`] per expectation.
+    pub fn evaluate(&self, delta: &MetricsSnapshot) -> Vec<CaseResult> {
+        self.checks
+            .iter()
+            .map(|(label, check)| CaseResult {
+                name: format!("metrics: {label}"),
+                failure: check(delta).err(),
+                traversal: None,
+            })
+            .collect()
+    }
+}
+
+/// Runs a suite with telemetry forced on, then asserts `expect` against the
+/// metrics delta the suite produced. The switch's previous telemetry
+/// setting is restored afterwards; metric failures appear in the report as
+/// `metrics: …` rows.
+pub fn run_suite_with_metrics(
+    switch: &mut Switch,
+    cases: Vec<TestCase>,
+    expect: MetricsExpectations,
+) -> PtfReport {
+    let was_enabled = switch.telemetry_enabled();
+    switch.set_telemetry(true);
+    let before = switch.metrics_snapshot();
+    let mut report = run_suite(switch, cases);
+    let delta = switch.metrics_snapshot().diff(&before);
+    switch.set_telemetry(was_enabled);
+    report.results.extend(expect.evaluate(&delta));
+    report
+}
+
 /// Runs a suite of cases against a switch.
 pub fn run_suite(switch: &mut Switch, cases: Vec<TestCase>) -> PtfReport {
     let mut report = PtfReport::default();
@@ -259,7 +368,7 @@ pub fn run_suite_differential(switch: &Switch, cases: Vec<TestCase>) -> PtfRepor
 }
 
 fn run_case(switch: &mut Switch, case: &TestCase) -> CaseResult {
-    let traversal = match switch.inject(case.packet.clone(), case.in_port) {
+    let traversal = match switch.inject((case.packet.clone(), case.in_port)) {
         Ok(t) => t,
         Err(e) => {
             return CaseResult {
@@ -426,6 +535,43 @@ mod tests {
         // The original switch is untouched: counters are still zero.
         let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");
         assert_eq!(c.hits + c.misses, 0);
+    }
+
+    #[test]
+    fn metrics_expectations_ride_along_with_the_suite() {
+        let mut sw = l2_switch();
+        let report = run_suite_with_metrics(
+            &mut sw,
+            vec![
+                TestCase::expect_port("known dst", 0, eth_packet(0xaabb), 9),
+                TestCase::expect_drop("unknown dst", 0, eth_packet(0xdead)),
+            ],
+            MetricsExpectations::new()
+                .counter("packets_injected", 2)
+                .counter("packets_emitted", 1)
+                .counter("packets_dropped", 1)
+                .counter_at_least("port_rx_packets{port=\"0\"}", 2)
+                .family_total("packet_recirc_depth", 2)
+                .check("no punts", |s| {
+                    if s.counter("packets_to_cpu") == 0 {
+                        Ok(())
+                    } else {
+                        Err("unexpected CPU punt".into())
+                    }
+                }),
+        );
+        report.assert_all_passed();
+        // Telemetry was forced on only for the suite.
+        assert!(!sw.telemetry_enabled());
+
+        // A wrong expectation shows up as a failing metrics row.
+        let report = run_suite_with_metrics(
+            &mut sw,
+            vec![TestCase::expect_port("known dst", 0, eth_packet(0xaabb), 9)],
+            MetricsExpectations::new().counter("packets_dropped", 5),
+        );
+        assert_eq!(report.failed(), 1);
+        assert!(report.to_string().contains("metrics: packets_dropped == 5"));
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! The metrics registry: handle-based counters, gauges, and histograms.
+//!
+//! The registry is built for one access pattern: a hot loop that increments
+//! pre-registered metrics by dense handle, and a cold path (control plane,
+//! exporters, tests) that walks everything by name. Registration happens at
+//! configuration time (program load, switch construction) and hands back a
+//! copyable id; per-packet updates are a bounds-checked slot access plus one
+//! relaxed atomic add — no name hashing, no locking, no allocation.
+//!
+//! Updates go through atomics so shards can be scraped concurrently and so
+//! interior mutability is available behind `&self` (the switch's lookup
+//! paths are `&self`). Cross-thread *aggregation* is done by snapshot
+//! merging, not by sharing: cloning a registry copies the current values,
+//! giving each `traffic::replay` worker an independent shard whose
+//! [`crate::MetricsSnapshot`] delta merges losslessly into the total.
+//!
+//! A disabled registry (the default for a freshly built switch) short-
+//! circuits every update on a single `bool` load, keeping the fast path
+//! within noise of a build without telemetry.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of log2 buckets a [`Histogram`] keeps. Bucket `i` counts samples
+/// in `[2^i, 2^(i+1))` (bucket 0 also takes 0), so 48 buckets cover every
+/// latency up to ~3.26 days in nanoseconds.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// Handle of a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle of a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle of a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+/// A log2-bucketed histogram: per-bucket counts plus exact sum and count,
+/// all relaxed atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The log2 bucket a value falls into.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    ((63 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn cloned(&self) -> Histogram {
+        let h = Histogram::default();
+        for (dst, src) in h.buckets.iter().zip(&self.buckets) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        h.count
+            .store(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        h.sum
+            .store(self.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        h
+    }
+}
+
+/// A registry of named metrics. See the module docs for the design; in
+/// short: register once, update by handle, export by snapshot.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    pub(crate) counters: Vec<(String, AtomicU64)>,
+    pub(crate) gauges: Vec<(String, AtomicI64)>,
+    pub(crate) histograms: Vec<(String, Histogram)>,
+}
+
+impl Clone for MetricsRegistry {
+    /// Deep-copies current values: the clone is an independent shard.
+    fn clone(&self) -> Self {
+        MetricsRegistry {
+            enabled: self.enabled,
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), AtomicU64::new(v.load(Ordering::Relaxed))))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), AtomicI64::new(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.cloned()))
+                .collect(),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty, **disabled** registry. Registration works while disabled;
+    /// updates are dropped until [`MetricsRegistry::set_enabled`] turns
+    /// collection on.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// An empty, enabled registry.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Whether updates are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns collection on or off. Registered metrics and accumulated
+    /// values are kept either way.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Registers (or finds) a counter by full name — e.g.
+    /// `port_rx_packets{port="3"}`. Idempotent: re-registering a name
+    /// returns the existing handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), AtomicU64::new(0)));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge by full name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), AtomicI64::new(0)));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram by full name.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), Histogram::default()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by one (no-op while disabled).
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Adds to a counter (no-op while disabled).
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[id.0].1.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets a gauge (no-op while disabled).
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, value: i64) {
+        if self.enabled {
+            self.gauges[id.0].1.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a histogram sample (no-op while disabled).
+    #[inline]
+    pub fn observe(&self, id: HistogramId, value: u64) {
+        if self.enabled {
+            self.histograms[id.0].1.observe(value);
+        }
+    }
+
+    /// Current value of a counter by handle.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1.load(Ordering::Relaxed)
+    }
+
+    /// Current value of a counter by name (`None` if never registered).
+    pub fn counter_value_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.load(Ordering::Relaxed))
+    }
+
+    /// Number of registered metrics across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = MetricsRegistry::enabled();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.add(b, 2);
+        assert_eq!(r.counter_value(a), 3);
+        assert_eq!(r.counter_value_by_name("x"), Some(3));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_drops_updates() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        let g = r.gauge("g");
+        r.inc(c);
+        r.observe(h, 100);
+        r.set_gauge(g, 5);
+        assert_eq!(r.counter_value(c), 0);
+        r.set_enabled(true);
+        r.inc(c);
+        assert_eq!(r.counter_value(c), 1);
+    }
+
+    #[test]
+    fn clone_is_an_independent_shard() {
+        let mut r = MetricsRegistry::enabled();
+        let c = r.counter("c");
+        r.inc(c);
+        let shard = r.clone();
+        r.inc(c);
+        assert_eq!(r.counter_value(c), 2);
+        assert_eq!(shard.counter_value(c), 1);
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(650), 9);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+}

@@ -3,8 +3,9 @@
 //! Drives a prepared packet list through the switch's batched fast path
 //! ([`dejavu_asic::Switch::inject_batch`]), optionally partitioned across
 //! worker threads. Each worker owns a full clone of the switch — programs,
-//! table entries, and register state — and replays its shard independently;
-//! per-worker [`BatchStats`] flow back over a channel and are merged.
+//! table entries, register state, *and* telemetry registry — and replays
+//! its shard independently; per-worker [`BatchStats`] and telemetry deltas
+//! flow back over a channel and are merged.
 //!
 //! Sharding is by *flow*, not by packet: [`replay_sharded`] assigns shard
 //! `flow_idx % workers`, so all packets of one flow hit the same switch
@@ -12,10 +13,25 @@
 //! within a shard. Cross-flow shared state (e.g. a global rate-limiter
 //! register) diverges between shards, exactly as it would across the
 //! pipes of a real multi-pipeline ASIC — use one worker when that matters.
+//!
+//! ## Telemetry
+//!
+//! Cloning a [`Switch`] deep-copies its [`MetricsRegistry`], so each
+//! worker accumulates into a private shard. To merge losslessly even when
+//! the input switch already carries non-zero counters, every worker
+//! captures a snapshot *before* and *after* its replay and ships only the
+//! [`MetricsSnapshot::diff`]; the driver folds the deltas together with
+//! [`MetricsSnapshot::merge`]. The merged total in [`ReplayReport::metrics`]
+//! therefore equals what a single-threaded replay of the same workload
+//! would have recorded (telemetry disabled ⇒ it is simply empty).
+//!
+//! [`MetricsRegistry`]: dejavu_asic::MetricsRegistry
+//! [`MetricsSnapshot::diff`]: dejavu_asic::MetricsSnapshot::diff
+//! [`MetricsSnapshot::merge`]: dejavu_asic::MetricsSnapshot::merge
 
 use crate::flows::FlowSpec;
 use dejavu_asic::switch::PortId;
-use dejavu_asic::{BatchStats, Switch};
+use dejavu_asic::{BatchStats, InjectedPacket, MetricsSnapshot, Switch};
 use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
@@ -25,6 +41,9 @@ use std::time::Instant;
 pub struct ReplayReport {
     /// Merged per-worker batch statistics.
     pub stats: BatchStats,
+    /// Merged telemetry delta recorded during the replay (empty when the
+    /// switch's telemetry is disabled).
+    pub metrics: MetricsSnapshot,
     /// Number of worker threads used.
     pub workers: usize,
     /// Wall-clock time for the whole replay, in seconds.
@@ -34,7 +53,12 @@ pub struct ReplayReport {
 }
 
 impl ReplayReport {
-    fn from_stats(stats: BatchStats, workers: usize, elapsed_s: f64) -> Self {
+    fn from_parts(
+        stats: BatchStats,
+        metrics: MetricsSnapshot,
+        workers: usize,
+        elapsed_s: f64,
+    ) -> Self {
         ReplayReport {
             packets_per_sec: if elapsed_s > 0.0 {
                 stats.injected as f64 / elapsed_s
@@ -42,59 +66,69 @@ impl ReplayReport {
                 f64::INFINITY
             },
             stats,
+            metrics,
             workers,
             elapsed_s,
         }
     }
 }
 
+/// One worker's replay over its shard: batch stats plus the telemetry
+/// delta attributable to this shard alone.
+fn replay_shard(sw: &mut Switch, shard: &[Vec<InjectedPacket>]) -> (BatchStats, MetricsSnapshot) {
+    // Full snapshot (not a bare registry capture) so the folded table
+    // counters in `after` are cancelled against their pre-replay values.
+    let before = sw.metrics_snapshot();
+    let mut stats = BatchStats::default();
+    for flow in shard {
+        stats.merge(&sw.inject_batch(flow));
+    }
+    let after = sw.metrics_snapshot();
+    (stats, after.diff(&before))
+}
+
 /// Replays `packets` (already grouped per flow: `packets[f]` is flow `f`'s
-/// ordered packet list, each paired with its ingress port) across `workers`
-/// threads, flow `f` on worker `f % workers`.
+/// ordered packet list) across `workers` threads, flow `f` on worker
+/// `f % workers`.
 ///
 /// With `workers <= 1` the replay runs on the calling thread with no
-/// cloning — the deterministic single-pipe path.
+/// cloning beyond one switch copy — the deterministic single-pipe path.
 pub fn replay_sharded(
     switch: &Switch,
-    packets: &[Vec<(Vec<u8>, PortId)>],
+    packets: &[Vec<InjectedPacket>],
     workers: usize,
 ) -> ReplayReport {
     let workers = workers.max(1).min(packets.len().max(1));
     let start = Instant::now();
     if workers == 1 {
         let mut sw = switch.clone();
-        let mut stats = BatchStats::default();
-        for flow in packets {
-            stats.merge(&sw.inject_batch(flow));
-        }
-        return ReplayReport::from_stats(stats, 1, start.elapsed().as_secs_f64());
+        let (stats, metrics) = replay_shard(&mut sw, packets);
+        return ReplayReport::from_parts(stats, metrics, 1, start.elapsed().as_secs_f64());
     }
 
-    let (tx, rx) = mpsc::channel::<BatchStats>();
+    let (tx, rx) = mpsc::channel::<(BatchStats, MetricsSnapshot)>();
     let mut handles = Vec::with_capacity(workers);
     for w in 0..workers {
         let mut sw = switch.clone();
         let tx = tx.clone();
-        let shard: Vec<Vec<(Vec<u8>, PortId)>> =
+        let shard: Vec<Vec<InjectedPacket>> =
             packets.iter().skip(w).step_by(workers).cloned().collect();
         handles.push(thread::spawn(move || {
-            let mut stats = BatchStats::default();
-            for flow in &shard {
-                stats.merge(&sw.inject_batch(flow));
-            }
-            let _ = tx.send(stats);
+            let _ = tx.send(replay_shard(&mut sw, &shard));
         }));
     }
     drop(tx);
 
     let mut total = BatchStats::default();
-    for stats in rx {
+    let mut metrics = MetricsSnapshot::default();
+    for (stats, delta) in rx {
         total.merge(&stats);
+        metrics.merge(&delta);
     }
     for h in handles {
         let _ = h.join();
     }
-    ReplayReport::from_stats(total, workers, start.elapsed().as_secs_f64())
+    ReplayReport::from_parts(total, metrics, workers, start.elapsed().as_secs_f64())
 }
 
 /// Convenience wrapper: materializes `packets_per_flow` packets for each
@@ -108,11 +142,11 @@ pub fn replay_flows(
     payload_len: usize,
     workers: usize,
 ) -> ReplayReport {
-    let packets: Vec<Vec<(Vec<u8>, PortId)>> = flows
+    let packets: Vec<Vec<InjectedPacket>> = flows
         .iter()
         .map(|f| {
             let bytes = f.packet(payload_len);
-            vec![(bytes, port); packets_per_flow]
+            vec![InjectedPacket::new(bytes, port); packets_per_flow]
         })
         .collect();
     replay_sharded(switch, &packets, workers)
@@ -191,6 +225,25 @@ mod tests {
         assert_eq!(single.stats.errors, 0);
         assert_eq!(sharded.workers, 4);
         assert!(sharded.packets_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sharded_metrics_merge_equals_single_thread() {
+        let mut sw = testbed();
+        sw.set_telemetry(true);
+        let flows = FlowGen::new(7, (0x0a01_0000, 16), (0x0a02_0000, 16)).flows(12);
+        let single = replay_flows(&sw, &flows, 0, 3, 8, 1);
+        let sharded = replay_flows(&sw, &flows, 0, 3, 8, 4);
+        assert_eq!(single.metrics.counter("packets_injected"), 36);
+        assert_eq!(single.metrics, sharded.metrics);
+    }
+
+    #[test]
+    fn disabled_telemetry_yields_empty_metrics() {
+        let sw = testbed();
+        let flows = FlowGen::new(5, (0x0a01_0000, 16), (0x0a02_0000, 16)).flows(4);
+        let r = replay_flows(&sw, &flows, 0, 2, 0, 2);
+        assert!(r.metrics.is_zero());
     }
 
     #[test]

@@ -10,13 +10,7 @@
 //! Shows classification, per-path traversal, the LB control-plane loop, and
 //! the firewall's deny path.
 
-use dejavu_asic::switch::Disposition;
-use dejavu_asic::{PipeletId, TofinoProfile};
-use dejavu_core::control_plane::{rewind_and_clear, ControlPlane, PuntResponse};
-use dejavu_core::deploy::{deploy, DeployOptions};
-use dejavu_core::placement::Placement;
-use dejavu_core::routing::RoutingConfig;
-use dejavu_core::ChainSet;
+use dejavu_core::prelude::*;
 use dejavu_nf::classifier::{classify_entry, CLASSIFY_TABLE};
 use dejavu_nf::firewall::{deny_entry, ACL_TABLE};
 use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
@@ -155,21 +149,21 @@ fn main() {
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 
     println!("\n--- path 2 (classifier → vgw → router) ---");
-    let t = switch.inject(pkt(2, 80), 0).unwrap();
+    let t = switch.inject((pkt(2, 80), 0)).unwrap();
     println!(
         "{:?}, recirculations {}, latency {:.0} ns",
         t.disposition, t.recirculations, t.latency_ns
     );
 
     println!("\n--- path 3 (classifier → router) ---");
-    let t = switch.inject(pkt(3, 80), 0).unwrap();
+    let t = switch.inject((pkt(3, 80), 0)).unwrap();
     println!(
         "{:?}, recirculations {}, latency {:.0} ns",
         t.disposition, t.recirculations, t.latency_ns
     );
 
     println!("\n--- firewall deny (path 1, tcp/22) ---");
-    let t = switch.inject(pkt(1, 22), 0).unwrap();
+    let t = switch.inject((pkt(1, 22), 0)).unwrap();
     println!("{:?} (dropped in the ingress pipe)", t.disposition);
     assert_eq!(t.disposition, Disposition::Dropped);
 

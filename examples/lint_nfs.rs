@@ -22,12 +22,7 @@
 //! the binary doubles as a CI gate. Pass `--json` for machine-readable
 //! output.
 
-use dejavu_asic::{Gress, PipeletId, TofinoProfile};
-use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
-use dejavu_core::lint::{lint_chain_budget, lint_pipelet, BudgetSpec};
-use dejavu_core::merge::merge_programs;
-use dejavu_core::placement::Placement;
-use dejavu_core::{ChainSet, NfModule};
+use dejavu_core::prelude::*;
 use dejavu_p4ir::lint::{check, LintReport};
 
 fn library() -> Vec<NfModule> {

@@ -9,11 +9,7 @@
 //! the hop/recirculation breakdown, and the latency estimate using the
 //! on-chip (≈75 ns) vs off-chip (≈145 ns) costs of Fig. 8(b).
 
-use dejavu_asic::TimingModel;
-use dejavu_core::deploy::DeployOptions;
-use dejavu_core::multiswitch::{chain_latency_ns, deploy_cluster, ClusterProblem, ClusterWiring};
-use dejavu_core::placement::PlacementProblem;
-use dejavu_core::{ChainPolicy, ChainSet};
+use dejavu_core::prelude::*;
 use std::collections::BTreeMap;
 
 /// Marker NF (same shape as the integration fixtures').
@@ -145,7 +141,7 @@ fn main() {
             )
             .expect("cluster deploys");
             let pkt = encapsulated(1);
-            let t = net.inject(pkt, 0).expect("injection");
+            let t = net.inject((pkt, 0)).expect("injection");
             println!("\nlive run: {:?}", t.disposition);
             println!(
                 "  switches visited: {:?}, wire hops: {}, recirculations: {}, latency {:.0} ns",

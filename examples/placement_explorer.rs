@@ -10,8 +10,7 @@
 //! exhaustive optimum, and prints each placement with its weighted
 //! recirculation cost and the §4 throughput it implies.
 
-use dejavu_core::placement::{Placement, PlacementProblem};
-use dejavu_core::{ChainPolicy, ChainSet};
+use dejavu_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;

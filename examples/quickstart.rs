@@ -12,12 +12,7 @@
 //! 4. deploy — merge, compose, compile, load, synthesize routing,
 //! 5. inject a packet and watch it traverse the chain.
 
-use dejavu_asic::{PipeletId, TofinoProfile};
-use dejavu_core::deploy::{deploy, DeployOptions};
-use dejavu_core::placement::Placement;
-use dejavu_core::routing::RoutingConfig;
-use dejavu_core::sfc::sfc_header_type;
-use dejavu_core::{ChainPolicy, ChainSet, NfModule, SfcHeader};
+use dejavu_core::prelude::*;
 use dejavu_p4ir::builder::*;
 use dejavu_p4ir::{fref, well_known, Expr};
 
@@ -106,7 +101,7 @@ fn main() {
     pkt.extend_from_slice(&SfcHeader::for_path(1).to_bytes());
     pkt.extend_from_slice(&raw[14..]);
 
-    let t = switch.inject(pkt, 0).expect("injection succeeds");
+    let t = switch.inject((pkt, 0)).expect("injection succeeds");
     println!("\ndisposition: {:?}", t.disposition);
     println!(
         "recirculations: {}, resubmissions: {}",

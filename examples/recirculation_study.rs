@@ -7,18 +7,33 @@
 //! For a given number of loopback ports (default 16, the §5 configuration)
 //! prints the capacity split, the per-k throughput table, and latency
 //! figures from the calibrated timing model, then replays packet batches
-//! through the compiled fast path to report measured packets/sec at each
-//! recirculation count.
+//! through the compiled fast path and — with telemetry enabled — compares
+//! the *measured* recirculation-depth distribution against the analytic
+//! delivery-ratio model ([`dejavu_asic::feedback::delivery_ratio`]).
+//! The full metrics snapshot is exported to
+//! `target/experiments/TELEMETRY_snapshot.json` and re-parsed with the
+//! crate's own JSON parser as a self-check.
 
-use dejavu_asic::feedback::{effective_throughput_gbps, simulate_fluid, solve_mix, TrafficClass};
-use dejavu_asic::{PipeletId, Switch, TimingModel, TofinoProfile};
+use dejavu_asic::feedback::{
+    delivery_ratio, effective_throughput_gbps, simulate_fluid, solve_mix, TrafficClass,
+};
+use dejavu_core::prelude::*;
 use dejavu_p4ir::builder::*;
 use dejavu_p4ir::table::{KeyMatch, TableEntry};
 use dejavu_p4ir::well_known;
 use dejavu_p4ir::{fref, Expr, FieldRef, Value};
 use std::time::Instant;
 
-/// L2 forward-by-dst-MAC program used by the packet replay section.
+/// Packets per recirculation depth in the measured study.
+const PACKETS_PER_K: usize = 2_000;
+/// Deepest exactly-k chain the study drives.
+const MAX_K: usize = 4;
+/// Loopback port feeding the recirculation chain (pipeline 1).
+const LOOP_PORT: PortId = 16;
+/// Front-panel port the study emits finished packets on.
+const OUT_PORT: PortId = 2;
+
+/// L2 forward-by-dst-MAC program used by the packet-rate section.
 fn l2_program() -> dejavu_p4ir::Program {
     ProgramBuilder::new("l2")
         .header(well_known::ethernet())
@@ -48,10 +63,87 @@ fn l2_program() -> dejavu_p4ir::Program {
         .expect("l2 program validates")
 }
 
-fn eth_packet(dst: u64) -> Vec<u8> {
+/// Hop-counter program: `ether_type` carries the number of recirculations
+/// still owed. Non-zero → decrement and bounce off the loopback port;
+/// zero → emit on the front-panel port. One table entry per depth gives
+/// exactly-k recirculation paths, the packet analogue of the §4 fluid
+/// classes.
+fn hop_program() -> dejavu_p4ir::Program {
+    ProgramBuilder::new("hop")
+        .header(well_known::ethernet())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .accept("eth")
+                .start("eth"),
+        )
+        .action(
+            ActionBuilder::new("hop")
+                .param("port", 16)
+                .set(
+                    fref("ethernet", "ether_type"),
+                    Expr::Sub(
+                        Box::new(Expr::field("ethernet", "ether_type")),
+                        Box::new(Expr::val(1, 16)),
+                    ),
+                )
+                .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("out")
+                .param("port", 16)
+                .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                .build(),
+        )
+        .action(ActionBuilder::new("deny").drop_packet().build())
+        .table(
+            TableBuilder::new("hop")
+                .key_exact(fref("ethernet", "ether_type"))
+                .action("hop")
+                .action("out")
+                .default_action("deny")
+                .build(),
+        )
+        .control(ControlBuilder::new("ingress").apply("hop").build())
+        .entry("ingress")
+        .build()
+        .expect("hop program validates")
+}
+
+fn eth_packet(dst: u64, ether_type: u16) -> Vec<u8> {
     let mut p = vec![0u8; 64];
     p[..6].copy_from_slice(&dst.to_be_bytes()[2..]);
+    p[12..14].copy_from_slice(&ether_type.to_be_bytes());
     p
+}
+
+fn install_hop_entries(sw: &mut Switch, pipelet: PipeletId) {
+    // 0 recirculations owed → out the front-panel port.
+    sw.install_entry(
+        pipelet,
+        "hop",
+        TableEntry {
+            matches: vec![KeyMatch::Exact(Value::new(0, 16))],
+            action: "out".into(),
+            action_args: vec![Value::new(u128::from(OUT_PORT), 16)],
+            priority: 0,
+        },
+    )
+    .expect("out entry installs");
+    for k in 1..=MAX_K as u128 {
+        sw.install_entry(
+            pipelet,
+            "hop",
+            TableEntry {
+                matches: vec![KeyMatch::Exact(Value::new(k, 16))],
+                action: "hop".into(),
+                action_args: vec![Value::new(u128::from(LOOP_PORT), 16)],
+                priority: 0,
+            },
+        )
+        .expect("hop entry installs");
+    }
 }
 
 fn install_fwd(sw: &mut Switch, pipelet: PipeletId, dst: u64, port: u16) {
@@ -86,7 +178,9 @@ fn replay_fast_path() {
     println!("\nmeasured fast-path packet rate (batched injection, traces off):");
     const BATCH: usize = 20_000;
     for (label, dst, expect_recircs) in [("k=0 direct", 1u64, 0usize), ("k=1 loopback", 2, 1)] {
-        let batch: Vec<(Vec<u8>, u16)> = (0..BATCH).map(|_| (eth_packet(dst), 0u16)).collect();
+        let batch: Vec<InjectedPacket> = (0..BATCH)
+            .map(|_| InjectedPacket::new(eth_packet(dst, 0), 0))
+            .collect();
         let start = Instant::now();
         let stats = sw.inject_batch(&batch);
         let elapsed = start.elapsed().as_secs_f64();
@@ -100,6 +194,109 @@ fn replay_fast_path() {
             stats.latency_ns_total / stats.injected as f64,
         );
     }
+}
+
+/// Drives exactly-k recirculation chains with telemetry on, prints the
+/// measured depth distribution next to the analytic delivery-ratio model,
+/// exports the snapshot as JSON, and re-parses it as a self-check.
+fn telemetry_study() {
+    let mut sw = Switch::with_options(
+        TofinoProfile::wedge_100b_32x(),
+        SwitchOptions::new()
+            .trace_level(TraceLevel::Off)
+            .telemetry(true),
+    );
+    sw.load_program(PipeletId::ingress(0), hop_program())
+        .expect("program loads");
+    sw.load_program(PipeletId::ingress(1), hop_program())
+        .expect("program loads");
+    sw.set_loopback(LOOP_PORT, true).expect("loop port exists");
+    install_hop_entries(&mut sw, PipeletId::ingress(0));
+    install_hop_entries(&mut sw, PipeletId::ingress(1));
+
+    // Per-depth measured latency via snapshot diffs around each batch.
+    let mut per_k = Vec::new();
+    for k in 0..=MAX_K {
+        let before = sw.metrics_snapshot();
+        let batch: Vec<InjectedPacket> = (0..PACKETS_PER_K)
+            .map(|_| InjectedPacket::new(eth_packet(1, k as u16), 0))
+            .collect();
+        let stats = sw.inject_batch(&batch);
+        assert_eq!(stats.emitted, PACKETS_PER_K, "depth {k} batch all emitted");
+        assert_eq!(stats.recirculations, k * PACKETS_PER_K);
+        per_k.push(sw.metrics_snapshot().diff(&before));
+    }
+
+    let snap = sw.metrics_snapshot();
+    let injected = snap.counter("packets_injected");
+    println!(
+        "\nmeasured recirculation-depth distribution vs §4 model \
+         ({PACKETS_PER_K} packets per depth, telemetry on):"
+    );
+    println!(
+        "  {:>3} {:>9} {:>7} {:>10} {:>14} {:>13}",
+        "k", "packets", "share", "rho(k)", "model rho(k)^k", "mean lat ns"
+    );
+    for (k, delta) in per_k.iter().enumerate() {
+        let depth = snap.counter(&format!("packet_recirc_depth{{k=\"{k}\"}}"));
+        assert_eq!(depth as usize, PACKETS_PER_K, "measured depth {k} count");
+        let rho = delivery_ratio(k);
+        let mean_lat = delta
+            .histogram("packet_latency_ns")
+            .map(|h| h.mean())
+            .unwrap_or(0.0);
+        println!(
+            "  {k:>3} {depth:>9} {:>7.3} {rho:>10.3} {:>14.3} {mean_lat:>13.0}",
+            depth as f64 / injected as f64,
+            rho.powi(k as i32),
+        );
+    }
+    println!(
+        "  (model: rho(k) solves the §4 fixed point; rho(k)^k is the per-packet \
+         delivery probability at depth k under loopback contention — the \
+         simulator is uncontended, so every measured packet delivers)"
+    );
+    let recirc_total: u64 = (0..sw.profile().pipelines)
+        .map(|p| snap.counter(&format!("recirculations{{pipeline=\"{p}\"}}")))
+        .sum();
+    println!(
+        "  totals: {injected} injected, {} emitted, {recirc_total} recirculations, \
+         feedback-queue delivery ratio {:.3}",
+        snap.counter("packets_emitted"),
+        snap.counter("packets_emitted") as f64 / injected as f64,
+    );
+
+    // Export the snapshot, then prove the exporter and parser agree.
+    let json = to_json_string(&snap);
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("experiments dir");
+    let path = dir.join("TELEMETRY_snapshot.json");
+    std::fs::write(&path, &json).expect("snapshot written");
+    let value = parse_json(&json).expect("exported JSON parses");
+    let round = snapshot_from_json(&value).expect("exported JSON decodes");
+    for key in [
+        "packets_injected",
+        "packets_emitted",
+        "packet_recirc_depth{k=\"1\"}",
+        "packet_recirc_depth{k=\"4\"}",
+    ] {
+        assert!(round.counter(key) > 0, "snapshot key {key} present");
+    }
+    assert_eq!(
+        round.counter("packets_injected"),
+        injected,
+        "JSON round trip preserves counters"
+    );
+    assert!(
+        round.histogram("packet_latency_ns").is_some(),
+        "latency histogram survives the round trip"
+    );
+    println!(
+        "  snapshot: {} series -> {} ({} bytes, JSON round trip verified)",
+        snap.metrics.len(),
+        path.display(),
+        json.len()
+    );
 }
 
 fn main() {
@@ -188,4 +385,5 @@ fn main() {
     );
 
     replay_fast_path();
+    telemetry_study();
 }

@@ -10,9 +10,7 @@
 //! SFC-encapsulated packets, the namespaced NF tables, and the framework's
 //! dispatch / flag-check / branching / decap logic.
 
-use dejavu_asic::PipeletId;
-use dejavu_core::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
-use dejavu_core::merge::merge_programs;
+use dejavu_core::prelude::*;
 use dejavu_p4ir::print_program;
 
 fn main() {

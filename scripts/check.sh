@@ -8,3 +8,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace
 cargo bench --workspace --no-run
 cargo run -p dejavu-examples --bin lint_nfs
+
+# Telemetry gate: the recirculation study runs its measured-vs-model
+# comparison (asserting depth counters internally) and exports a metrics
+# snapshot, which must be valid JSON carrying the key series.
+cargo run -p dejavu-examples --bin recirculation_study
+snapshot=target/experiments/TELEMETRY_snapshot.json
+test -s "$snapshot" || { echo "missing $snapshot" >&2; exit 1; }
+python3 - "$snapshot" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+required = [
+    "packets_injected",
+    "packets_emitted",
+    "packet_latency_ns",
+    'packet_recirc_depth{k="1"}',
+    'packet_recirc_depth{k="4"}',
+    'recirculations{pipeline="1"}',
+]
+missing = [k for k in required if k not in snap]
+assert not missing, f"snapshot missing keys: {missing}"
+assert snap["packets_injected"] > 0
+assert snap["packet_latency_ns"]["count"] == snap["packets_injected"]
+print(f"telemetry snapshot OK ({len(snap)} series)")
+EOF

@@ -57,7 +57,7 @@ fn chain_executes_across_two_switches() {
     )
     .unwrap();
 
-    let t = net.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    let t = net.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(t.inter_switch_hops, 1, "one forward wire hop");
     assert_eq!(t.hops.len(), 2, "visited both switches");
@@ -103,7 +103,7 @@ fn mid_chain_entry_on_second_switch_only_runs_remaining_nfs() {
         &DeployOptions::default(),
     )
     .unwrap();
-    let t = net.inject(encapsulated_packet(1, 3), IN_PORT).unwrap();
+    let t = net.inject((encapsulated_packet(1, 3), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // Switch 0 applied no NF work tables.
     assert!(!t.hops[0]
@@ -168,7 +168,7 @@ fn cluster_install_routes_rules_to_owning_switch() {
         },
     )
     .unwrap();
-    let t = net.inject(encapsulated_packet(1, 0), IN_PORT).unwrap();
+    let t = net.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // n5's table hit the pass entry this time.
     assert!(t.hops[1].1.tables_hit().contains(&"n5__work"));

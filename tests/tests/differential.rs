@@ -230,6 +230,7 @@ fn testbed(program: &Program, tables: &[GenTable], mode: ExecMode) -> Switch {
     let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
     sw.set_exec_mode(mode);
     sw.set_mirror_port(Some(30));
+    sw.set_telemetry(true);
     sw.load_program(PipeletId::ingress(0), program.clone())
         .unwrap();
     for (i, t) in tables.iter().enumerate() {
@@ -268,8 +269,8 @@ proptest! {
         for (k, &(mac, dst, ttl, ip_sel, payload)) in packets.iter().enumerate() {
             // ~80% of packets are IPv4, the rest bare Ethernet.
             let pkt = gen_packet(mac, dst, ttl, ip_sel > 0, payload);
-            let r = reference.inject(pkt.clone(), 0);
-            let c = compiled.inject(pkt, 0);
+            let r = reference.inject((pkt.clone(), 0));
+            let c = compiled.inject((pkt, 0));
             match (r, c) {
                 (Ok(rt), Ok(ct)) => prop_assert_eq!(rt, ct, "packet {} diverged", k),
                 (Err(_), Err(_)) => {}
@@ -295,5 +296,14 @@ proptest! {
                 "counters for {} diverged", &name
             );
         }
+
+        // Telemetry must agree series-for-series: per-pipelet packets and
+        // table applies, port tx/rx, dispositions, recirc-depth buckets,
+        // latency histograms, and the folded table hit/miss counters.
+        prop_assert_eq!(
+            reference.metrics_snapshot(),
+            compiled.metrics_snapshot(),
+            "metrics snapshots diverged"
+        );
     }
 }

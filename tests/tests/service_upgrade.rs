@@ -77,7 +77,7 @@ fn hot_swap_firewall_to_default_deny() {
     let (mut switch, mut dep) = fig9_testbed();
     // Before the upgrade: path-3 traffic flows (v1 default-permit) — use
     // path 3 so the LB is not involved.
-    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // Path-1 traffic flows through the firewall (also permit).
     // (Path 1 punts at the LB, but it passes the firewall — we check the
@@ -94,11 +94,11 @@ fn hot_swap_firewall_to_default_deny() {
     install_baseline_rules(&mut switch, &dep);
 
     // Path 1 (which traverses the firewall) is now denied by default.
-    let t = switch.inject(chain_packet(1, VIP, 80), IN_PORT).unwrap();
+    let t = switch.inject((chain_packet(1, VIP, 80), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Dropped, "v2 default-deny");
     // Path 3 (classifier → router) does not traverse the firewall and
     // still flows — the rest of the deployment kept working.
-    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 }
 
@@ -111,7 +111,7 @@ fn parser_changing_upgrade_is_refused() {
     let err = dep.upgrade_nf(&mut switch, &bad, &refs).unwrap_err();
     assert!(matches!(err, UpgradeError::ParserChanged), "got {err}");
     // The deployment still works untouched.
-    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 }
 

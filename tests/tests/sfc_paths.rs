@@ -180,7 +180,7 @@ fn model_predicts_switch_recirculations() {
         )
         .unwrap();
         let pkt = chain_packet(chain.path_id, VIP, 80);
-        let t = switch.inject(pkt, IN_PORT).unwrap();
+        let t = switch.inject((pkt, IN_PORT)).unwrap();
         assert_eq!(
             t.recirculations as u32, predicted.recirculations,
             "chain {}: model {} vs switch {}",
@@ -198,7 +198,7 @@ fn model_predicts_switch_recirculations() {
 fn latency_reflects_recirculation_cost() {
     // One-recirculation paths should cost port-to-port + one recirc loop.
     let (mut switch, _dep) = fig9_testbed();
-    let t = switch.inject(chain_packet(3, VIP, 80), IN_PORT).unwrap();
+    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
     let timing = dejavu_asic::TimingModel::tofino();
     assert_eq!(t.recirculations, 1);
     assert!((t.latency_ns - timing.path_with_recircs_ns(12, 1)).abs() < 1e-9);
