@@ -18,7 +18,7 @@
 //!
 //! Semantics are bit-for-bit those of the reference interpreter, including
 //! its *lazy* error behavior: a dangling table/action/register name or a
-//! mis-invoked action compiles to a [`COp::Fail`]-style op that raises the
+//! mis-invoked action compiles to a `CPrim::Fail`-style op that raises the
 //! same `IrError` only if control flow actually reaches it. The property
 //! suite in `tests/` runs both engines on arbitrary programs × packets and
 //! requires identical packets, verdicts, counters, and register state.
@@ -138,6 +138,12 @@ enum CPrim {
     ChecksumUpdate {
         hid: u16,
         ck_fid: u16,
+    },
+    Digest {
+        /// Digest stream name (not interned: emission rate is learn-path,
+        /// not packet-path, and the record carries the name anyway).
+        name: String,
+        inputs: Vec<CExpr>,
     },
     Drop,
     NoOp,
@@ -608,6 +614,13 @@ impl CompiledProgram {
                         st.pkt.headers[i].1[*ck_fid as usize] = Value::new(u128::from(sum), 16);
                     }
                 }
+                CPrim::Digest { name, inputs } => {
+                    let mut vals = Vec::with_capacity(inputs.len());
+                    for e in inputs {
+                        vals.push(self.eval(e, st, &bound)?);
+                    }
+                    tables.emit_digest(name, vals);
+                }
                 CPrim::Drop => {
                     st.meta[M_DROP] = Value::new(1, 1);
                 }
@@ -1058,6 +1071,10 @@ impl<'p> Compiler<'p> {
                     ))),
                 }
             }
+            PrimitiveOp::Digest { name, fields } => CPrim::Digest {
+                name: name.clone(),
+                inputs: fields.iter().map(|e| self.lower_expr(e, a)).collect(),
+            },
             PrimitiveOp::Drop => CPrim::Drop,
             PrimitiveOp::NoOp => CPrim::NoOp,
         }

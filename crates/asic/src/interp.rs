@@ -266,6 +266,13 @@ impl<'a> Interpreter<'a> {
                 PrimitiveOp::Ipv4ChecksumUpdate { header } => {
                     self.update_checksum(header, pp)?;
                 }
+                PrimitiveOp::Digest { name, fields } => {
+                    let vals: Vec<Value> = fields
+                        .iter()
+                        .map(|e| self.eval(e, pp, meta, &bindings))
+                        .collect::<Result<_, _>>()?;
+                    tables.emit_digest(name, vals);
+                }
                 PrimitiveOp::Drop => {
                     meta.insert("drop_flag".into(), Value::new(1, 1));
                 }

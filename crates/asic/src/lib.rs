@@ -43,16 +43,22 @@ pub mod tofino;
 /// without a separate dependency.
 pub use dejavu_telemetry as telemetry;
 
+/// The flow-state crate, re-exported so downstream crates reach the
+/// snapshot/migration types through `dejavu_asic::state` without a
+/// separate dependency.
+pub use dejavu_state as state;
+
 pub use compiled::{CompiledPass, CompiledProgram};
 pub use interp::{Interpreter, PipeletOutcome};
 pub use metrics::SwitchMetrics;
 pub use packet::{HeaderInstance, Packet, ParsedPacket};
 pub use resources::{ResourceVector, StageResources};
+pub use state::{MigrationReport, StateSnapshot};
 pub use switch::{
     BatchStats, ExecMode, Gress, InjectedPacket, PipeletId, PortId, Switch, SwitchConfig,
     SwitchOptions, TraceEvent, TraceLevel, Traversal,
 };
-pub use tables::{TableCounters, TableState};
+pub use tables::{DigestRecord, Eviction, TableCounters, TableState};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot};
 pub use timing::TimingModel;
 pub use tofino::TofinoProfile;

@@ -11,7 +11,7 @@
 //!
 //! Table hit/miss counters are *not* hooked per lookup — [`crate::tables`]
 //! already counts them in `Cell`s on every lookup path. The switch folds
-//! those into the exported [`MetricsSnapshot`] at scrape time instead
+//! those into the exported `MetricsSnapshot` at scrape time instead
 //! (`Switch::metrics_snapshot`), so the hot lookup loop pays nothing extra.
 
 use crate::switch::{Gress, PipeletId, PortId};
@@ -35,6 +35,8 @@ pub struct SwitchMetrics {
     /// Indexed by pipeline.
     recirculations: Vec<CounterId>,
     resubmissions: Vec<CounterId>,
+    digests_emitted: Vec<CounterId>,
+    digests_dropped: Vec<CounterId>,
     /// Indexed by physical port.
     port_rx: Vec<CounterId>,
     port_tx: Vec<CounterId>,
@@ -46,6 +48,8 @@ pub struct SwitchMetrics {
     to_cpu: CounterId,
     mirrored: CounterId,
     rejected: CounterId,
+    state_migrations: CounterId,
+    state_entries_migrated: CounterId,
     latency_ns: HistogramId,
     table_entries: GaugeId,
 }
@@ -80,6 +84,12 @@ impl SwitchMetrics {
         let resubmissions = (0..profile.pipelines)
             .map(|p| r.counter(&format!("resubmissions{{pipeline=\"{p}\"}}")))
             .collect();
+        let digests_emitted = (0..profile.pipelines)
+            .map(|p| r.counter(&format!("digests_emitted{{pipeline=\"{p}\"}}")))
+            .collect();
+        let digests_dropped = (0..profile.pipelines)
+            .map(|p| r.counter(&format!("digests_dropped{{pipeline=\"{p}\"}}")))
+            .collect();
         let ports = profile.total_ports();
         let port_rx = (0..ports)
             .map(|p| r.counter(&format!("port_rx_packets{{port=\"{p}\"}}")))
@@ -105,6 +115,8 @@ impl SwitchMetrics {
             to_cpu: r.counter("packets_to_cpu"),
             mirrored: r.counter("packets_mirrored"),
             rejected: r.counter("packets_rejected"),
+            state_migrations: r.counter("state_migrations"),
+            state_entries_migrated: r.counter("state_entries_migrated"),
             latency_ns: r.histogram("packet_latency_ns"),
             table_entries: r.gauge("table_entries_installed"),
             pipelet_packets,
@@ -113,6 +125,8 @@ impl SwitchMetrics {
             pipelet_table_applies,
             recirculations,
             resubmissions,
+            digests_emitted,
+            digests_dropped,
             port_rx,
             port_tx,
             recirc_depth,
@@ -233,6 +247,40 @@ impl SwitchMetrics {
     #[inline]
     pub fn on_mirror(&self) {
         self.registry.inc(self.mirrored);
+    }
+
+    /// A digest was enqueued on `pipeline`'s learn queue.
+    #[inline]
+    pub fn on_digest(&self, pipeline: usize) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        if let Some(&id) = self.digests_emitted.get(pipeline) {
+            self.registry.inc(id);
+        }
+    }
+
+    /// A digest was lost because `pipeline`'s learn queue was full.
+    #[inline]
+    pub fn on_digest_dropped(&self, pipeline: usize) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        if let Some(&id) = self.digests_dropped.get(pipeline) {
+            self.registry.inc(id);
+        }
+    }
+
+    /// A state migration (snapshot restore) completed, carrying
+    /// `entries_restored` table entries onto the new program.
+    #[inline]
+    pub fn on_migration(&self, entries_restored: usize) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        self.registry.inc(self.state_migrations);
+        self.registry
+            .add(self.state_entries_migrated, entries_restored as u64);
     }
 
     /// A traversal finished: model latency and final recirculation depth.

@@ -30,13 +30,14 @@ use crate::compiled::CompiledProgram;
 use crate::interp::Interpreter;
 use crate::metrics::SwitchMetrics;
 use crate::packet::ParsedPacket;
-use crate::tables::TableState;
+use crate::tables::{DigestRecord, Eviction, TableState};
 use crate::timing::TimingModel;
 use crate::tofino::TofinoProfile;
 use dejavu_p4ir::table::TableEntry;
 use dejavu_p4ir::{IrError, Program, Value};
+use dejavu_state::{MigrationReport, RegisterSnapshot, StateSnapshot, TableSnapshot};
 use dejavu_telemetry::MetricsSnapshot;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// A physical port number.
@@ -48,6 +49,11 @@ pub const PORT_UNSET: PortId = 0xffff;
 pub const RECIRC_PORT_BASE: PortId = 0x0f00;
 /// The CPU (punt) port.
 pub const CPU_PORT: PortId = 0x0fff;
+
+/// Default bound of each pipeline's learn (digest) queue. Real learn
+/// filters are small on-chip FIFOs; a full queue drops new digests and
+/// counts them (`digests_dropped{pipeline=…}`).
+pub const DEFAULT_DIGEST_CAPACITY: usize = 4096;
 
 /// Ingress or egress half of a pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -356,6 +362,7 @@ pub struct SwitchOptions {
     timing: Option<TimingModel>,
     mirror_port: Option<PortId>,
     telemetry: bool,
+    digest_capacity: Option<usize>,
 }
 
 impl SwitchOptions {
@@ -392,6 +399,12 @@ impl SwitchOptions {
     /// Turns metric collection on from the start.
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
+        self
+    }
+
+    /// Bounds each pipeline's learn (digest) queue.
+    pub fn digest_capacity(mut self, capacity: usize) -> Self {
+        self.digest_capacity = Some(capacity);
         self
     }
 }
@@ -461,6 +474,15 @@ pub struct Switch {
     exec_mode: ExecMode,
     trace_level: TraceLevel,
     metrics: SwitchMetrics,
+    /// Logical time in ticks; advanced only by [`Switch::advance_time`].
+    now: u64,
+    /// Bound of each pipeline's learn queue.
+    digest_capacity: usize,
+    /// Per-pipeline learn queues, fed by the pipelets' `digest(...)`
+    /// primitives and drained by the control plane.
+    digest_queues: BTreeMap<usize, VecDeque<DigestRecord>>,
+    /// Digests lost to a full queue, per pipeline.
+    digest_drops: BTreeMap<usize, u64>,
 }
 
 impl Switch {
@@ -481,6 +503,10 @@ impl Switch {
             exec_mode: ExecMode::default(),
             trace_level: TraceLevel::default(),
             metrics,
+            now: 0,
+            digest_capacity: DEFAULT_DIGEST_CAPACITY,
+            digest_queues: BTreeMap::new(),
+            digest_drops: BTreeMap::new(),
         }
     }
 
@@ -494,6 +520,9 @@ impl Switch {
         }
         sw.mirror_port = opts.mirror_port;
         sw.metrics.set_enabled(opts.telemetry);
+        if let Some(cap) = opts.digest_capacity {
+            sw.digest_capacity = cap;
+        }
         sw
     }
 
@@ -539,6 +568,13 @@ impl Switch {
                     format!("table_misses{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
                     c.misses,
                 );
+                let evictions = state.evictions(&table);
+                if evictions > 0 {
+                    snap.set_counter(
+                        format!("table_evictions{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+                        evictions,
+                    );
+                }
             }
         }
         snap
@@ -637,6 +673,9 @@ impl Switch {
         for def in program.tables.values() {
             state.preregister(def);
         }
+        // A freshly loaded program joins the switch's logical timeline, so
+        // aging continues seamlessly across upgrades once state is migrated.
+        state.set_clock(self.now);
         self.tables.insert(pipelet, state);
         self.compiled.insert(pipelet, Arc::new(compiled));
         self.programs.insert(pipelet, program);
@@ -741,6 +780,181 @@ impl Switch {
         self.programs.get(&pipelet)
     }
 
+    /// Pipelets with a program loaded, in deterministic order.
+    pub fn loaded_pipelets(&self) -> Vec<PipeletId> {
+        self.programs.keys().copied().collect()
+    }
+
+    // ------------------------------------------------- flow-state runtime
+
+    /// Current logical time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances logical time by `ticks` and sweeps every pipelet's tables
+    /// for entries idle past their table's timeout. Returns the evicted
+    /// entries, attributed to their pipelet, in registration order — the
+    /// control plane's view of flow expiry.
+    pub fn advance_time(&mut self, ticks: u64) -> Vec<(PipeletId, Eviction)> {
+        self.now = self.now.saturating_add(ticks);
+        let mut evicted = Vec::new();
+        for (pipelet, state) in &mut self.tables {
+            for ev in state.advance_clock(ticks) {
+                evicted.push((*pipelet, ev));
+            }
+        }
+        evicted
+    }
+
+    /// Configures (or clears) the idle timeout of a table on a pipelet.
+    /// Entries not hit for `timeout` ticks are evicted by the next
+    /// [`Switch::advance_time`]; a full aging-enabled table evicts its
+    /// least-recently-hit entry to admit a new one.
+    pub fn set_idle_timeout(
+        &mut self,
+        pipelet: PipeletId,
+        table: &str,
+        timeout: Option<u64>,
+    ) -> Result<(), IrError> {
+        self.tables
+            .get_mut(&pipelet)
+            .ok_or_else(|| IrError::Invalid(format!("no program loaded on {pipelet}")))?
+            .set_idle_timeout(table, timeout)
+    }
+
+    /// Moves digests emitted during packet processing from the pipelet's
+    /// table state into the owning pipeline's bounded learn queue. Called
+    /// after every pipelet pass.
+    fn collect_digests(&mut self, pipelet: PipeletId) {
+        let Some(state) = self.tables.get_mut(&pipelet) else {
+            return;
+        };
+        let records = state.take_digests();
+        if records.is_empty() {
+            return;
+        }
+        let queue = self.digest_queues.entry(pipelet.pipeline).or_default();
+        for record in records {
+            if queue.len() >= self.digest_capacity {
+                *self.digest_drops.entry(pipelet.pipeline).or_default() += 1;
+                self.metrics.on_digest_dropped(pipelet.pipeline);
+            } else {
+                queue.push_back(record);
+                self.metrics.on_digest(pipelet.pipeline);
+            }
+        }
+    }
+
+    /// Drains every pipeline's learn queue, oldest first within each
+    /// pipeline, attributed to the emitting pipeline. The control plane's
+    /// learning loop calls this.
+    pub fn drain_digests(&mut self) -> Vec<(usize, DigestRecord)> {
+        let mut out = Vec::new();
+        for (pipeline, queue) in &mut self.digest_queues {
+            out.extend(queue.drain(..).map(|r| (*pipeline, r)));
+        }
+        out
+    }
+
+    /// Digests currently queued on a pipeline.
+    pub fn digest_backlog(&self, pipeline: usize) -> usize {
+        self.digest_queues.get(&pipeline).map_or(0, VecDeque::len)
+    }
+
+    /// Digests lost to a full learn queue on a pipeline.
+    pub fn digests_dropped(&self, pipeline: usize) -> u64 {
+        self.digest_drops.get(&pipeline).copied().unwrap_or(0)
+    }
+
+    /// Captures a versioned snapshot of a pipelet's mutable state: every
+    /// installed table entry, each table's aging configuration, all
+    /// register cells, and the logical clock. `None` when no program is
+    /// loaded there.
+    pub fn snapshot_state(&self, pipelet: PipeletId) -> Option<StateSnapshot> {
+        let program = self.programs.get(&pipelet)?;
+        let state = self.tables.get(&pipelet)?;
+        let mut snap = StateSnapshot::empty(&program.name);
+        snap.clock = state.now();
+        for name in state.table_names() {
+            snap.tables.push(TableSnapshot {
+                idle_timeout: state.idle_timeout(&name),
+                entries: state.entries(&name).to_vec(),
+                name,
+            });
+        }
+        for (name, cells) in state.register_arrays() {
+            snap.registers.push(RegisterSnapshot {
+                name: name.clone(),
+                cells: cells.clone(),
+            });
+        }
+        Some(snap)
+    }
+
+    /// Remaps a [`StateSnapshot`] onto the program currently loaded on
+    /// `pipelet`, keyed by merged table/register name. Entries whose table
+    /// vanished, whose action is no longer defined, or whose key shape
+    /// changed are reported as dropped rather than silently lost; restored
+    /// entries get a fresh idle stamp so a migration never triggers a mass
+    /// eviction. Register cells are masked to the new declared widths.
+    pub fn restore_state(
+        &mut self,
+        pipelet: PipeletId,
+        snap: &StateSnapshot,
+    ) -> Result<MigrationReport, IrError> {
+        let program = self
+            .programs
+            .get(&pipelet)
+            .ok_or_else(|| IrError::Invalid(format!("no program loaded on {pipelet}")))?;
+        let state = self
+            .tables
+            .get_mut(&pipelet)
+            .expect("state exists for loaded program");
+        let mut report = MigrationReport::default();
+        for t in &snap.tables {
+            let Some(def) = program.tables.get(&t.name) else {
+                for e in &t.entries {
+                    report.drop_entry(&t.name, e.clone(), "table not in new program");
+                }
+                continue;
+            };
+            report.remapped_tables += 1;
+            state
+                .set_idle_timeout(&t.name, t.idle_timeout)
+                .expect("table definition was just found");
+            for e in &t.entries {
+                if !def.actions.contains(&e.action) {
+                    report.drop_entry(&t.name, e.clone(), "action no longer defined");
+                    continue;
+                }
+                if e.matches.len() != def.keys.len() {
+                    report.drop_entry(&t.name, e.clone(), "key shape changed");
+                    continue;
+                }
+                if state.contains_entry(&t.name, e) {
+                    report.restored_entries += 1;
+                    continue;
+                }
+                match state.install(def, e.clone()) {
+                    Ok(()) => report.restored_entries += 1,
+                    Err(err) => report.drop_entry(&t.name, e.clone(), err.to_string()),
+                }
+            }
+        }
+        for r in &snap.registers {
+            match program.registers.get(&r.name) {
+                Some(def) => {
+                    state.restore_register(def, &r.cells);
+                    report.restored_registers += 1;
+                }
+                None => report.dropped_registers.push(r.name.clone()),
+            }
+        }
+        self.metrics.on_migration(report.restored_entries);
+        Ok(report)
+    }
+
     /// Which pipeline handles traffic arriving on `port` (Ethernet or
     /// dedicated recirculation port).
     fn pipeline_of(&self, port: PortId) -> Option<usize> {
@@ -833,6 +1047,7 @@ impl Switch {
             latency += self.timing.pipelet_ns(stages);
 
             let sig = self.run_pass(ing, &bytes, ingress_port, PORT_UNSET, &mut events)?;
+            self.collect_digests(ing);
             self.metrics.on_pass(ing, sig.tables_applied);
             let Some(new_bytes) = sig.bytes else {
                 self.metrics.on_parse_error(ing);
@@ -970,6 +1185,7 @@ impl Switch {
             // Note: the egress pipelet's own writes to `egress_spec` are
             // ignored — the port decision was made in ingress.
             let esig = self.run_pass(eg, &bytes, ingress_port, egress_spec, &mut events)?;
+            self.collect_digests(eg);
             self.metrics.on_pass(eg, esig.tables_applied);
             let Some(new_bytes) = esig.bytes else {
                 self.metrics.on_parse_error(eg);
@@ -1563,5 +1779,93 @@ mod tests {
         assert_eq!(stats.to_cpu, 0);
         assert!(stats.latency_ns_total > 0.0);
         assert_eq!(sw.trace_level(), TraceLevel::Full);
+    }
+
+    /// L2 learner: unknown destinations digest the MAC and flood out 9.
+    fn learn_program() -> Program {
+        ProgramBuilder::new("learner")
+            .header(well_known::ethernet())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
+            .action(
+                ActionBuilder::new("fwd")
+                    .param("port", 16)
+                    .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                    .build(),
+            )
+            .action(
+                ActionBuilder::new("learn")
+                    .digest("d0", vec![Expr::field("ethernet", "dst_mac")])
+                    .set(FieldRef::meta("egress_spec"), Expr::val(9, 16))
+                    .build(),
+            )
+            .table(
+                TableBuilder::new("flows")
+                    .key_exact(fref("ethernet", "dst_mac"))
+                    .action("fwd")
+                    .default_action("learn")
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("flows").build())
+            .entry("ingress")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn digest_queue_is_bounded_and_counts_drops() {
+        let mut sw = Switch::with_options(
+            TofinoProfile::wedge_100b_32x(),
+            SwitchOptions::new().digest_capacity(2),
+        );
+        sw.load_program(PipeletId::ingress(0), learn_program())
+            .unwrap();
+        for i in 0..4u64 {
+            sw.inject((eth_packet(0x100 + i), 0)).unwrap();
+        }
+        // The queue holds the first two records; the overflow is counted.
+        assert_eq!(sw.digest_backlog(0), 2);
+        assert_eq!(sw.digests_dropped(0), 2);
+        let drained = sw.drain_digests();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 0);
+        assert_eq!(drained[0].1.name, "d0");
+        assert_eq!(drained[0].1.values[0].raw(), 0x100);
+        assert_eq!(drained[1].1.values[0].raw(), 0x101);
+        assert_eq!(sw.digest_backlog(0), 0);
+        // Draining frees capacity again.
+        sw.inject((eth_packet(0x200), 0)).unwrap();
+        assert_eq!(sw.digest_backlog(0), 1);
+        assert_eq!(sw.digests_dropped(0), 2);
+    }
+
+    #[test]
+    fn state_snapshot_round_trips_through_reload_and_json() {
+        let mut sw = basic_switch();
+        let pid = PipeletId::ingress(0);
+        sw.install_entry(pid, "l2", fwd_entry(0xaabb, 20)).unwrap();
+        sw.set_idle_timeout(pid, "l2", Some(7)).unwrap();
+        let snap = sw.snapshot_state(pid).unwrap();
+        assert_eq!(snap.total_entries(), 1);
+
+        // JSON export/import is lossless.
+        let back = crate::state::StateSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+
+        // Reloading the program wipes the dynamic state...
+        sw.load_program(pid, l2_program()).unwrap();
+        assert!(sw.tables(pid).unwrap().entries("l2").is_empty());
+        assert_eq!(sw.tables(pid).unwrap().idle_timeout("l2"), None);
+        // ...and restoring brings back entries and aging config.
+        let report = sw.restore_state(pid, &snap).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.restored_entries, 1);
+        assert_eq!(sw.tables(pid).unwrap().idle_timeout("l2"), Some(7));
+        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
+        assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
     }
 }

@@ -40,6 +40,18 @@ pub struct TableCounters {
     pub misses: u64,
 }
 
+/// One digest message emitted by an action's `digest(...)` primitive.
+/// After program merging the stream name is scoped like tables
+/// (`<nf>__<stream>`), which is what the control-plane learning loop keys
+/// its handlers on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestRecord {
+    /// Digest stream name.
+    pub name: String,
+    /// Evaluated field values, in the order the action listed them.
+    pub values: Vec<Value>,
+}
+
 /// Rank of an entry: priority first, then total LPM prefix length (longest
 /// prefix wins among equal priorities). Ties go to the earliest install.
 fn rank_of(e: &TableEntry) -> (i32, u32) {
@@ -113,6 +125,20 @@ struct TableRt {
     index: TableIndex,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    /// Logical tick of the last hit, parallel to `entries` (install tick
+    /// until first hit). `Cell` for the same reason as the counters: the
+    /// lookup paths take `&self`.
+    last_hit: Vec<Cell<u64>>,
+    /// Idle timeout in logical ticks; `None` disables aging.
+    idle_timeout: Option<u64>,
+    /// Entries evicted so far (expiry sweeps + LRU capacity evictions).
+    evictions: Cell<u64>,
+    /// Lower bound on the minimum `last_hit` stamp across live entries
+    /// (`u64::MAX` when empty). Stamps only move forward, so the bound
+    /// stays valid between full sweeps and lets `advance_clock` skip the
+    /// per-entry scan while `now - floor < timeout` — the steady-state
+    /// fast path when every flow is active.
+    stamp_floor: u64,
 }
 
 impl TableRt {
@@ -124,10 +150,15 @@ impl TableRt {
             index: TableIndex::for_def(def),
             hits: Cell::new(0),
             misses: Cell::new(0),
+            last_hit: Vec::new(),
+            idle_timeout: None,
+            evictions: Cell::new(0),
+            stamp_floor: u64::MAX,
         }
     }
 
-    fn push(&mut self, entry: TableEntry) {
+    fn push(&mut self, entry: TableEntry, now: u64) {
+        self.stamp_floor = self.stamp_floor.min(now);
         let idx = self.entries.len();
         let rank = rank_of(&entry);
         let pos = self.order.partition_point(|&i| self.ranks[i] >= rank);
@@ -135,6 +166,32 @@ impl TableRt {
         self.index_insert(&entry, idx, rank);
         self.entries.push(entry);
         self.ranks.push(rank);
+        self.last_hit.push(Cell::new(now));
+    }
+
+    /// Records a hit against entry `i` at logical tick `now`.
+    fn touch(&self, i: usize, now: u64) {
+        self.last_hit[i].set(now);
+    }
+
+    /// Rebuilds the slot keeping only the entries `keep` selects (index,
+    /// entry). Preserves per-entry hit timestamps and all counters.
+    fn retain_entries(&mut self, keep: impl Fn(usize) -> bool) {
+        let entries = std::mem::take(&mut self.entries);
+        let stamps = std::mem::take(&mut self.last_hit);
+        self.clear_entries();
+        for (i, (entry, stamp)) in entries.into_iter().zip(stamps).enumerate() {
+            if keep(i) {
+                self.push(entry, stamp.get());
+            } else {
+                self.evictions.set(self.evictions.get() + 1);
+            }
+        }
+    }
+
+    /// Index of the least-recently-hit entry (ties → earliest install).
+    fn lru_victim(&self) -> Option<usize> {
+        (0..self.entries.len()).min_by_key(|&i| (self.last_hit[i].get(), i))
     }
 
     fn index_insert(&mut self, entry: &TableEntry, idx: usize, rank: (i32, u32)) {
@@ -275,6 +332,8 @@ impl TableRt {
         self.entries.clear();
         self.ranks.clear();
         self.order.clear();
+        self.last_hit.clear();
+        self.stamp_floor = u64::MAX;
         self.index = match &self.index {
             TableIndex::Exact { .. } => TableIndex::Exact {
                 map: HashMap::new(),
@@ -300,6 +359,21 @@ pub struct TableState {
     slots: Vec<TableRt>,
     /// Register arrays, lazily zero-initialized on first access.
     registers: BTreeMap<String, Vec<u128>>,
+    /// Logical clock in ticks, advanced by `Switch::advance_time`.
+    clock: u64,
+    /// Digests emitted during the current pass, drained by the switch into
+    /// its bounded per-pipeline queue after each pipelet pass.
+    pending_digests: Vec<DigestRecord>,
+}
+
+/// One entry evicted by an expiry sweep, reported so callers (telemetry,
+/// tests, operators) can see exactly what aged out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eviction {
+    /// Table the entry was evicted from.
+    pub table: String,
+    /// The evicted entry.
+    pub entry: TableEntry,
 }
 
 impl TableState {
@@ -360,15 +434,162 @@ impl TableState {
             });
         }
         let id = self.preregister(def);
+        let now = self.clock;
         let slot = &mut self.slots[id];
         if slot.entries.len() as u32 >= def.size {
-            return Err(IrError::Invalid(format!(
-                "table {} full ({} entries)",
-                def.name, def.size
-            )));
+            // Aging-enabled tables behave like a learn cache: a full table
+            // evicts its least-recently-hit entry instead of refusing the
+            // install (the bounded-memory LRU fallback).
+            match slot.lru_victim() {
+                Some(victim) if slot.idle_timeout.is_some() => {
+                    slot.retain_entries(|i| i != victim);
+                }
+                _ => {
+                    return Err(IrError::Invalid(format!(
+                        "table {} full ({} entries)",
+                        def.name, def.size
+                    )));
+                }
+            }
         }
-        slot.push(entry);
+        slot.push(entry, now);
         Ok(())
+    }
+
+    /// Enables (or disables, with `None`) idle-timeout aging on a table:
+    /// entries not hit for `timeout` logical ticks are evicted by the next
+    /// [`TableState::advance_clock`] sweep, and a full table evicts LRU
+    /// instead of refusing installs. The table must be registered.
+    pub fn set_idle_timeout(&mut self, table: &str, timeout: Option<u64>) -> Result<(), IrError> {
+        let &id = self.ids.get(table).ok_or(IrError::Undefined {
+            kind: "table",
+            name: table.to_string(),
+        })?;
+        self.slots[id].idle_timeout = timeout;
+        Ok(())
+    }
+
+    /// The configured idle timeout of a table, if aging is enabled.
+    pub fn idle_timeout(&self, table: &str) -> Option<u64> {
+        self.slot(table).and_then(|s| s.idle_timeout)
+    }
+
+    /// Current logical time in ticks.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Seeds the logical clock (the switch aligns a freshly loaded pipelet
+    /// with its own time base so aging is continuous across reloads).
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = now;
+    }
+
+    /// Advances the logical clock by `ticks` and sweeps every aging-enabled
+    /// table: entries idle for at least their table's timeout are evicted
+    /// and reported. Deterministic — both engines share this state, so the
+    /// differential suite sees identical post-sweep tables.
+    pub fn advance_clock(&mut self, ticks: u64) -> Vec<Eviction> {
+        self.clock = self.clock.saturating_add(ticks);
+        let now = self.clock;
+        let mut names: Vec<(&String, usize)> = self.ids.iter().map(|(n, &i)| (n, i)).collect();
+        names.sort_by_key(|&(_, i)| i);
+        let mut evicted = Vec::new();
+        for (name, id) in names {
+            let slot = &mut self.slots[id];
+            let Some(timeout) = slot.idle_timeout else {
+                continue;
+            };
+            if now.saturating_sub(slot.stamp_floor) < timeout {
+                // Even the stalest possible entry is younger than the
+                // timeout, so nothing can have expired — skip the scan.
+                continue;
+            }
+            let mut min_live = u64::MAX;
+            let expired: Vec<usize> = (0..slot.entries.len())
+                .filter(|&i| {
+                    let stamp = slot.last_hit[i].get();
+                    let dead = now.saturating_sub(stamp) >= timeout;
+                    if !dead {
+                        min_live = min_live.min(stamp);
+                    }
+                    dead
+                })
+                .collect();
+            if expired.is_empty() {
+                slot.stamp_floor = min_live;
+                continue;
+            }
+            for &i in &expired {
+                evicted.push(Eviction {
+                    table: name.clone(),
+                    entry: slot.entries[i].clone(),
+                });
+            }
+            slot.retain_entries(|i| !expired.contains(&i));
+        }
+        evicted
+    }
+
+    /// Entries evicted from a table so far (sweeps + LRU fallback).
+    pub fn evictions(&self, table: &str) -> u64 {
+        self.slot(table).map_or(0, |s| s.evictions.get())
+    }
+
+    /// Total evictions across all tables (the telemetry fold).
+    pub fn total_evictions(&self) -> u64 {
+        self.slots.iter().map(|s| s.evictions.get()).sum()
+    }
+
+    /// The installed entries of a table, in install order (empty slice when
+    /// the table is unknown). The state-snapshot capture path.
+    pub fn entries(&self, table: &str) -> &[TableEntry] {
+        self.slot(table).map_or(&[], |s| &s.entries)
+    }
+
+    /// True when an identical entry (same matches, action, args, priority)
+    /// is already installed — the idempotence check of the learning loop.
+    pub fn contains_entry(&self, table: &str, entry: &TableEntry) -> bool {
+        self.entries(table).contains(entry)
+    }
+
+    /// Registered table names in registration (program) order.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut named: Vec<(&String, usize)> = self.ids.iter().map(|(n, &i)| (n, i)).collect();
+        named.sort_by_key(|&(_, i)| i);
+        named.into_iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Touched register arrays and their cell contents (the state-snapshot
+    /// capture path; untouched arrays are implicitly zero).
+    pub fn register_arrays(&self) -> &BTreeMap<String, Vec<u128>> {
+        &self.registers
+    }
+
+    /// Restores a register array from snapshot cells: sized to the (new)
+    /// definition, each cell truncated to the cell width. Extra snapshot
+    /// cells are dropped; missing ones stay zero.
+    pub fn restore_register(&mut self, def: &dejavu_p4ir::table::RegisterDef, cells: &[u128]) {
+        let mask = dejavu_p4ir::mask_for(def.width_bits);
+        let mut arr = vec![0u128; def.size as usize];
+        for (dst, &src) in arr.iter_mut().zip(cells) {
+            *dst = src & mask;
+        }
+        self.registers.insert(def.name.clone(), arr);
+    }
+
+    /// Queues a digest record (called by both engines' `digest` primitive).
+    pub fn emit_digest(&mut self, name: &str, values: Vec<Value>) {
+        self.pending_digests.push(DigestRecord {
+            name: name.to_string(),
+            values,
+        });
+    }
+
+    /// Drains the digests emitted since the last take (the switch moves
+    /// them into its bounded per-pipeline queue after every pass).
+    pub fn take_digests(&mut self) -> Vec<DigestRecord> {
+        std::mem::take(&mut self.pending_digests)
     }
 
     /// Removes all entries of a table (counters survive).
@@ -400,6 +621,9 @@ impl TableState {
         let slot = self.slot(&def.name)?;
         let found = slot.find(keys);
         slot.count(found.is_some());
+        if let Some(i) = found {
+            slot.touch(i, self.clock);
+        }
         found.map(|i| &slot.entries[i])
     }
 
@@ -409,6 +633,9 @@ impl TableState {
         let slot = self.slots.get(id)?;
         let found = slot.find(keys);
         slot.count(found.is_some());
+        if let Some(i) = found {
+            slot.touch(i, self.clock);
+        }
         found.map(|i| &slot.entries[i])
     }
 
@@ -423,17 +650,20 @@ impl TableState {
     /// the pre-index cost model for benchmarks). Updates counters.
     pub fn lookup_scan(&self, def: &TableDef, keys: &[Value]) -> Option<TableEntry> {
         let slot = self.slot(&def.name)?;
-        let mut best: Option<(&TableEntry, (i32, u32))> = None;
-        for e in &slot.entries {
+        let mut best: Option<(usize, (i32, u32))> = None;
+        for (i, e) in slot.entries.iter().enumerate() {
             if e.matches.iter().zip(keys).all(|(m, v)| m.matches(*v)) {
                 let rank = rank_of(e);
-                if best.as_ref().is_none_or(|(_, r)| rank > *r) {
-                    best = Some((e, rank));
+                if best.is_none_or(|(_, r)| rank > r) {
+                    best = Some((i, rank));
                 }
             }
         }
         slot.count(best.is_some());
-        best.map(|(e, _)| e.clone())
+        if let Some((i, _)) = best {
+            slot.touch(i, self.clock);
+        }
+        best.map(|(i, _)| slot.entries[i].clone())
     }
 
     /// Counters of every registered table, in registration (program)

@@ -206,6 +206,139 @@ struct SweepReport {
     points: Vec<SweepPoint>,
     exact_10k_speedup: f64,
     meets_10x_at_10k_exact: bool,
+    flow_state: FlowStatePoint,
+}
+
+// ---------------------------------------------------------------------
+// Flow-state runtime: learn-heavy phase, then aged steady state
+// ---------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct FlowStatePoint {
+    /// Flows learned during the learn-heavy phase.
+    flows_learned: usize,
+    /// Packets/sec during learning (digest → drain → install per chunk).
+    learn_pps: f64,
+    /// Batched packets/sec on established flows with aging enabled (an
+    /// idle-timeout on the table, a clock tick per batch).
+    steady_state_aging_pps: f64,
+    /// The plain 10k-exact batched number from the sweep, for comparison.
+    baseline_exact_10k_pps: f64,
+    /// steady_state_aging_pps / baseline_exact_10k_pps.
+    steady_state_ratio: f64,
+    /// Aging + hit-stamping must cost under 5% on the established path.
+    steady_state_within_5pct: bool,
+}
+
+const LEARN_FLOWS: usize = 10_000;
+const LEARN_CHUNK: usize = 256;
+
+/// Exact-match flow table whose misses digest the flow key — the learn
+/// path a dynamic NAT or conntrack firewall exercises per new flow.
+fn learn_program() -> Program {
+    ProgramBuilder::new("learner")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .node("ip", "ipv4", 14)
+                .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                .accept("ip")
+                .start("eth"),
+        )
+        .action(
+            ActionBuilder::new("fwd")
+                .param("port", 16)
+                .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("learn")
+                .digest("new_flow", vec![Expr::field("ethernet", "dst_mac")])
+                .set(FieldRef::meta("egress_spec"), Expr::val(2, 16))
+                .build(),
+        )
+        .table(
+            TableBuilder::new("flows")
+                .key_exact(fref("ethernet", "dst_mac"))
+                .action("fwd")
+                .default_action("learn")
+                .size(32_768)
+                .build(),
+        )
+        .control(ControlBuilder::new("ingress").apply("flows").build())
+        .entry("ingress")
+        .build()
+        .expect("learn program validates")
+}
+
+fn measure_flow_state(baseline_exact_10k_pps: f64) -> FlowStatePoint {
+    let pid = PipeletId::ingress(0);
+    let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
+    sw.set_exec_mode(ExecMode::Compiled);
+    sw.load_program(pid, learn_program()).unwrap();
+    sw.set_idle_timeout(pid, "flows", Some(1 << 20)).unwrap();
+
+    // Learn-heavy phase: 10k never-seen flows, chunked like a control
+    // plane servicing the digest queue between bursts.
+    let start = Instant::now();
+    let mut learned = 0usize;
+    let mut injected = 0usize;
+    for chunk in 0..LEARN_FLOWS.div_ceil(LEARN_CHUNK) {
+        let batch: Vec<InjectedPacket> = (0..LEARN_CHUNK)
+            .map(|i| InjectedPacket::new(sweep_packet("exact", chunk * LEARN_CHUNK + i), 0))
+            .take(LEARN_FLOWS - chunk * LEARN_CHUNK)
+            .collect();
+        let stats = sw.inject_batch(&batch);
+        assert_eq!(stats.errors, 0);
+        injected += stats.injected;
+        for (_, d) in sw.drain_digests() {
+            sw.install_entry(
+                pid,
+                "flows",
+                TableEntry {
+                    matches: vec![KeyMatch::Exact(d.values[0])],
+                    action: "fwd".into(),
+                    action_args: vec![Value::new(2, 16)],
+                    priority: 0,
+                },
+            )
+            .unwrap();
+            learned += 1;
+        }
+    }
+    let learn_pps = injected as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(learned, LEARN_FLOWS, "every new flow digests exactly once");
+
+    // Steady state: established flows only, aging live (hit stamps touched
+    // per lookup, one expiry sweep per batch).
+    let pool: Vec<InjectedPacket> = (0..PACKET_POOL)
+        .map(|i| InjectedPacket::new(sweep_packet("exact", i * LEARN_FLOWS / PACKET_POOL), 0))
+        .collect();
+    let start = Instant::now();
+    let mut n = 0usize;
+    loop {
+        let stats = sw.inject_batch(&pool);
+        assert_eq!(stats.errors, 0);
+        n += stats.injected;
+        assert!(sw.advance_time(1).is_empty(), "nothing ages mid-run");
+        if start.elapsed() >= BUDGET {
+            break;
+        }
+    }
+    let steady = n as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(sw.digest_backlog(0), 0, "established flows stay silent");
+
+    let ratio = steady / baseline_exact_10k_pps;
+    FlowStatePoint {
+        flows_learned: learned,
+        learn_pps,
+        steady_state_aging_pps: steady,
+        baseline_exact_10k_pps,
+        steady_state_ratio: ratio,
+        steady_state_within_5pct: ratio >= 0.95,
+    }
 }
 
 fn bench_sweep(_c: &mut Criterion) {
@@ -243,6 +376,17 @@ fn bench_sweep(_c: &mut Criterion) {
         .iter()
         .find(|p| p.kind == "exact" && p.entries == 10_000)
         .expect("sweep covers 10k exact");
+    let flow_state = measure_flow_state(exact_10k.compiled_batch_pps);
+    row(
+        "flow-state learn  10k flows",
+        "—",
+        &format!(
+            "learn {:>10.0} pps | steady+aging {:>10.0} pps ({:.1}% of plain 10k exact)",
+            flow_state.learn_pps,
+            flow_state.steady_state_aging_pps,
+            flow_state.steady_state_ratio * 100.0
+        ),
+    );
     let report = SweepReport {
         description: "packets/sec through one ingress pipelet: tree-walking reference \
                       interpreter (per-packet inject, full traces) vs compiled fast path \
@@ -250,6 +394,7 @@ fn bench_sweep(_c: &mut Criterion) {
             .into(),
         exact_10k_speedup: exact_10k.speedup_batch,
         meets_10x_at_10k_exact: exact_10k.speedup_batch >= 10.0,
+        flow_state,
         points,
     };
     println!(

@@ -13,12 +13,17 @@
 //!   are handed to a registered per-NF handler, which may install entries
 //!   and ask for reinjection ("the control plane will simply install a new
 //!   session … and reinject the packet into the data plane").
+//! * [`ControlPlane::process_digests`] — the learn loop: digests the data
+//!   plane emitted (`digest(...)` in an action, queued per pipeline by the
+//!   switch) are dispatched to the [`LearnPolicy`] registered for their
+//!   stream, which turns flow observations into table entries — the fast
+//!   learn path that installs state *without* punting the packet itself.
 
 use crate::deploy::Deployment;
 use dejavu_asic::switch::Disposition;
 use dejavu_asic::{MetricsSnapshot, PortId, Switch, Traversal};
 use dejavu_p4ir::table::TableEntry;
-use dejavu_p4ir::IrError;
+use dejavu_p4ir::{IrError, Value};
 use std::collections::BTreeMap;
 
 /// What a punt handler asks the control plane to do.
@@ -91,9 +96,35 @@ fn write_wire_sfc(bytes: &mut [u8], h: &crate::sfc::SfcHeader) {
 /// wire bytes; returns what to do.
 pub type PuntHandler = Box<dyn FnMut(&[u8]) -> PuntResponse>;
 
+/// What a learn policy asks the control plane to do with one digest.
+#[derive(Debug, Clone, Default)]
+pub struct LearnResponse {
+    /// Entries to install, as `(nf, table, entry)` in the NF's own naming.
+    pub install: Vec<(String, String, TableEntry)>,
+}
+
+/// A pluggable consumer of one digest stream. Implementations turn the
+/// field values an action's `digest(...)` carried into table entries — a
+/// NAT learning return-path bindings, an LB pinning a session to a backend.
+///
+/// Any `FnMut(usize, &[Value]) -> LearnResponse` closure is a policy (the
+/// arguments are the emitting pipeline and the digest's field values).
+pub trait LearnPolicy {
+    /// Handles one digest from `pipeline` carrying `values`.
+    fn on_digest(&mut self, pipeline: usize, values: &[Value]) -> LearnResponse;
+}
+
+impl<F: FnMut(usize, &[Value]) -> LearnResponse> LearnPolicy for F {
+    fn on_digest(&mut self, pipeline: usize, values: &[Value]) -> LearnResponse {
+        self(pipeline, values)
+    }
+}
+
 /// The merged control plane.
 pub struct ControlPlane {
     handlers: BTreeMap<String, PuntHandler>,
+    /// Learn policies keyed by merged digest stream name (`<nf>__<stream>`).
+    learn_policies: BTreeMap<String, Box<dyn LearnPolicy>>,
     /// Packets punted to the CPU, with the port they were injected on.
     punt_queue: Vec<(Vec<u8>, PortId)>,
     /// Telemetry state at the previous [`ControlPlane::scrape`].
@@ -113,6 +144,10 @@ pub struct ControlPlaneStats {
     pub reinjections: u64,
     /// Telemetry scrapes performed.
     pub scrapes: u64,
+    /// Digests consumed by the learn loop.
+    pub digests: u64,
+    /// Entries installed by learn policies (excludes idempotent re-learns).
+    pub learns: u64,
 }
 
 impl Default for ControlPlane {
@@ -126,6 +161,7 @@ impl ControlPlane {
     pub fn new() -> Self {
         ControlPlane {
             handlers: BTreeMap::new(),
+            learn_policies: BTreeMap::new(),
             punt_queue: Vec::new(),
             last_scrape: MetricsSnapshot::default(),
             stats: ControlPlaneStats::default(),
@@ -153,6 +189,48 @@ impl ControlPlane {
     /// Registers the punt handler of an NF.
     pub fn register_handler(&mut self, nf: &str, handler: PuntHandler) {
         self.handlers.insert(nf.to_string(), handler);
+    }
+
+    /// Registers the learn policy for an NF's digest stream. The stream is
+    /// named in the NF's own view — `("nat", "flow")` resolves to the merged
+    /// `nat__flow` stream that the NF's `digest("flow", …)` primitive emits
+    /// after composition.
+    pub fn register_learn_policy(&mut self, nf: &str, stream: &str, policy: Box<dyn LearnPolicy>) {
+        self.learn_policies
+            .insert(crate::merge::scoped(nf, stream), policy);
+    }
+
+    /// Drains the switch's learn queues and dispatches each digest to the
+    /// policy registered for its stream (digests with no policy are
+    /// dropped, as a hardware learn filter would). Requested entries are
+    /// installed through the translation layer; an entry that is already
+    /// installed is skipped, which makes learning idempotent — duplicate
+    /// digests raced in before the first install, and entries aged out and
+    /// re-observed, both converge. Returns the number of entries installed.
+    pub fn process_digests(
+        &mut self,
+        switch: &mut Switch,
+        deployment: &Deployment,
+    ) -> Result<usize, IrError> {
+        let digests = switch.drain_digests();
+        let mut installed = 0usize;
+        for (pipeline, record) in digests {
+            let Some(policy) = self.learn_policies.get_mut(&record.name) else {
+                continue;
+            };
+            self.stats.digests += 1;
+            let resp = policy.on_digest(pipeline, &record.values);
+            for (nf, table, entry) in resp.install {
+                if deployment.entry_installed(switch, &nf, &table, &entry) {
+                    continue;
+                }
+                deployment.install(switch, &nf, &table, entry)?;
+                self.stats.installs += 1;
+                self.stats.learns += 1;
+                installed += 1;
+            }
+        }
+        Ok(installed)
     }
 
     /// Translates and installs an entry through the NF's original API view:

@@ -123,6 +123,46 @@ impl Deployment {
         entry.action = crate::merge::scoped(nf, &entry.action);
         switch.install_entry(pipelet, &crate::merge::scoped(nf, table), entry)
     }
+
+    /// True when the exact entry (translated into the merged namespace) is
+    /// already installed — the idempotence check behind the learning loop,
+    /// so a digest retransmitted before the first install landed (or after
+    /// an aged-out entry was re-learned) never duplicates an entry.
+    pub fn entry_installed(
+        &self,
+        switch: &Switch,
+        nf: &str,
+        table: &str,
+        entry: &dejavu_p4ir::table::TableEntry,
+    ) -> bool {
+        let Some(pipelet) = self.nf_location(nf) else {
+            return false;
+        };
+        let Some(state) = switch.tables(pipelet) else {
+            return false;
+        };
+        let mut scoped = entry.clone();
+        scoped.action = crate::merge::scoped(nf, &scoped.action);
+        state.contains_entry(&crate::merge::scoped(nf, table), &scoped)
+    }
+
+    /// Configures the idle timeout of an NF's table through the NF's
+    /// original API view (see [`Switch::set_idle_timeout`]).
+    pub fn set_idle_timeout(
+        &self,
+        switch: &mut Switch,
+        nf: &str,
+        table: &str,
+        timeout: Option<u64>,
+    ) -> Result<(), dejavu_p4ir::IrError> {
+        let pipelet = self
+            .nf_location(nf)
+            .ok_or(dejavu_p4ir::IrError::Undefined {
+                kind: "NF placement",
+                name: nf.to_string(),
+            })?;
+        switch.set_idle_timeout(pipelet, &crate::merge::scoped(nf, table), timeout)
+    }
 }
 
 /// Why an in-place NF upgrade was refused.
@@ -157,6 +197,17 @@ impl fmt::Display for UpgradeError {
 
 impl std::error::Error for UpgradeError {}
 
+/// Result of a successful in-place NF upgrade.
+#[derive(Debug)]
+pub struct UpgradeOutcome {
+    /// NFs co-located on the reloaded pipelet. Their dynamic state was
+    /// migrated; rules the migration *dropped* (see `migration`) must be
+    /// reinstalled by their control planes.
+    pub affected_nfs: Vec<String>,
+    /// Accounting of the state migration across the program swap.
+    pub migration: dejavu_asic::MigrationReport,
+}
+
 /// Options for [`deploy`].
 #[derive(Debug, Clone, Default)]
 pub struct DeployOptions {
@@ -172,10 +223,15 @@ pub struct DeployOptions {
 impl Deployment {
     /// §7 "service upgrade and expansion": hot-swaps one NF's implementation
     /// in place. Only the pipelet hosting the NF is recomposed, recompiled
-    /// and reloaded — every other pipelet (including its table and register
-    /// state) is untouched. The affected pipelet's framework entries are
-    /// reinstalled automatically; the caller must reinstall the NF-level
-    /// rules of the NFs co-located on that pipelet (returned by name).
+    /// and reloaded — every other pipelet is untouched. The reloaded
+    /// pipelet's state is *migrated* across the swap: its dynamic table
+    /// entries, aging configuration and register cells are snapshotted
+    /// before the reload and remapped onto the new program by merged name,
+    /// so live flows (learned NAT bindings, LB affinity, conntrack state)
+    /// survive the upgrade. Entries the new program can no longer hold —
+    /// table removed, action gone, key shape changed — are reported in the
+    /// returned [`UpgradeOutcome::migration`], never silently dropped. The
+    /// pipelet's framework entries are reinstalled automatically.
     ///
     /// Upgrades that would change the *generic parser* are refused with
     /// [`UpgradeError::ParserChanged`] — the other pipelets still run the
@@ -185,7 +241,7 @@ impl Deployment {
         switch: &mut Switch,
         new_nf: &NfModule,
         all_nfs: &[&NfModule],
-    ) -> Result<Vec<String>, UpgradeError> {
+    ) -> Result<UpgradeOutcome, UpgradeError> {
         let name = new_nf.name().to_string();
         let pipelet = self
             .nf_location(&name)
@@ -235,6 +291,10 @@ impl Deployment {
             .with_lint_config(crate::lint::pipelet_lint_config(&program, &plan))
             .compile(&program)
             .map_err(|error| UpgradeError::Deploy(DeployError::Compile { pipelet, error }))?;
+
+        // Snapshot the pipelet's mutable state before the reload wipes it.
+        let snapshot = switch.snapshot_state(pipelet);
+
         switch
             .load_program(pipelet, program)
             .map_err(|e| UpgradeError::Deploy(DeployError::Switch(e)))?;
@@ -249,7 +309,20 @@ impl Deployment {
                     .map_err(|e| UpgradeError::Deploy(DeployError::Switch(e)))?;
             }
         }
-        Ok(nf_names)
+
+        // Migrate surviving state onto the new program. The restore skips
+        // entries already present (the framework entries just reinstalled),
+        // so nothing is duplicated.
+        let migration = match &snapshot {
+            Some(snap) => switch
+                .restore_state(pipelet, snap)
+                .map_err(|e| UpgradeError::Deploy(DeployError::Switch(e)))?,
+            None => dejavu_asic::MigrationReport::default(),
+        };
+        Ok(UpgradeOutcome {
+            affected_nfs: nf_names,
+            migration,
+        })
     }
 }
 

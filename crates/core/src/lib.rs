@@ -69,7 +69,8 @@ pub use sfc::SfcHeader;
 /// ```
 ///
 /// Pulls in the switch simulator surface (switch, profiles, execution and
-/// trace modes, the unified [`InjectedPacket`]/[`SwitchOptions`] injection
+/// trace modes, the unified [`InjectedPacket`](dejavu_asic::InjectedPacket)/
+/// [`SwitchOptions`](dejavu_asic::SwitchOptions) injection
 /// and configuration API, telemetry registry/snapshot types) and the
 /// framework surface (chains, NF modules, composition, placement,
 /// deployment, the merged control plane, and the multi-switch cluster).
@@ -77,9 +78,10 @@ pub mod prelude {
     pub use crate::chain::{ChainPolicy, ChainSet};
     pub use crate::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
     pub use crate::control_plane::{
-        clear_sfc_flags, rewind_and_clear, ControlPlane, ControlPlaneStats, PuntResponse,
+        clear_sfc_flags, rewind_and_clear, ControlPlane, ControlPlaneStats, LearnPolicy,
+        LearnResponse, PuntResponse,
     };
-    pub use crate::deploy::{deploy, DeployError, DeployOptions, Deployment};
+    pub use crate::deploy::{deploy, DeployError, DeployOptions, Deployment, UpgradeOutcome};
     pub use crate::lint::{lint_chain_budget, lint_pipelet, BudgetSpec};
     pub use crate::merge::{merge_programs, MergeError};
     pub use crate::multiswitch::{
@@ -92,13 +94,16 @@ pub mod prelude {
     };
     pub use crate::routing::{RoutingConfig, RoutingSynthesis};
     pub use crate::sfc::{sfc_header_type, SfcHeader, SFC_ETHERTYPE};
+    pub use dejavu_asic::state::{
+        MigrationReport, RegisterSnapshot, StateSnapshot, TableSnapshot, SNAPSHOT_FORMAT_VERSION,
+    };
     pub use dejavu_asic::switch::Disposition;
     pub use dejavu_asic::telemetry::{
         parse_json, snapshot_from_json, to_json_string, to_prometheus, MetricsRegistry,
         MetricsSnapshot,
     };
     pub use dejavu_asic::{
-        BatchStats, ExecMode, Gress, InjectedPacket, PipeletId, PortId, Switch, SwitchMetrics,
-        SwitchOptions, TimingModel, TofinoProfile, TraceLevel, Traversal,
+        BatchStats, DigestRecord, Eviction, ExecMode, Gress, InjectedPacket, PipeletId, PortId,
+        Switch, SwitchMetrics, SwitchOptions, TimingModel, TofinoProfile, TraceLevel, Traversal,
     };
 }

@@ -656,6 +656,10 @@ fn rename_action(
                     index: rename_expr(index, rename_meta),
                     value: rename_expr(value, rename_meta),
                 },
+                PrimitiveOp::Digest { name, fields } => PrimitiveOp::Digest {
+                    name: scoped(nf, name),
+                    fields: fields.iter().map(|e| rename_expr(e, rename_meta)).collect(),
+                },
                 other => other.clone(),
             })
             .collect(),

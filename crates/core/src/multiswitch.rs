@@ -427,6 +427,57 @@ impl ClusterNet {
             .iter()
             .position(|d| d.nf_location(nf).is_some())
     }
+
+    // ------------------------------------------------- flow-state sync
+
+    /// Advances logical time on every member switch in lockstep and
+    /// collects the evictions, attributed to the switch they aged out on.
+    /// Keeping cluster clocks synchronized means a flow pinned on switch 0
+    /// and its return-path state on switch 2 expire together.
+    pub fn advance_time(
+        &mut self,
+        ticks: u64,
+    ) -> Vec<(usize, dejavu_asic::PipeletId, dejavu_asic::Eviction)> {
+        let mut evicted = Vec::new();
+        for (i, sw) in self.switches.iter_mut().enumerate() {
+            for (pipelet, ev) in sw.advance_time(ticks) {
+                evicted.push((i, pipelet, ev));
+            }
+        }
+        evicted
+    }
+
+    /// Runs one learning round across the cluster: drains every member
+    /// switch's digest queues through the shared control plane, installing
+    /// learned entries on whichever switch hosts the target NF. Returns the
+    /// number of entries installed cluster-wide.
+    pub fn process_digests(
+        &mut self,
+        cp: &mut crate::control_plane::ControlPlane,
+    ) -> Result<usize, AsicIrError> {
+        let mut installed = 0usize;
+        for (sw, dep) in self.switches.iter_mut().zip(&self.deployments) {
+            installed += cp.process_digests(sw, dep)?;
+        }
+        Ok(installed)
+    }
+
+    /// Snapshots the dynamic state of every loaded pipelet across the
+    /// cluster — the cluster-wide checkpoint a coordinated upgrade or
+    /// cross-switch re-placement starts from.
+    pub fn snapshot_state(
+        &self,
+    ) -> Vec<(usize, dejavu_asic::PipeletId, dejavu_asic::StateSnapshot)> {
+        let mut snaps = Vec::new();
+        for (i, sw) in self.switches.iter().enumerate() {
+            for pipelet in sw.loaded_pipelets() {
+                if let Some(snap) = sw.snapshot_state(pipelet) {
+                    snaps.push((i, pipelet, snap));
+                }
+            }
+        }
+        snaps
+    }
 }
 
 /// Deploys a chain set across a back-to-back cluster and wires it up.

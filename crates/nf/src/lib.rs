@@ -8,11 +8,11 @@
 //! | NF | Module | Paper role |
 //! |---|---|---|
 //! | Traffic classifier | [`classifier`] | assigns a service path, inserts the SFC header (framework-supplied) |
-//! | Packet-filtering firewall | [`firewall`] | 5-tuple ACL, drops via `sfc.drop_flag` |
+//! | Packet-filtering firewall | [`firewall`] | 5-tuple ACL, drops via `sfc.drop_flag`; conntrack mode learns established connections via digests |
 //! | Virtualization gateway | [`vgw`] | tenant/VNI mapping into SFC context |
-//! | L4 load balancer | [`load_balancer`] | Fig. 4 verbatim: CRC32 5-tuple hash, session table, to-CPU on miss |
+//! | L4 load balancer | [`load_balancer`] | Fig. 4 verbatim: CRC32 5-tuple hash, session table, to-CPU on miss; affinity mode pins sessions via digests instead of punting |
 //! | IP router | [`router`] | LPM routes, MAC rewrite, TTL, sets `sfc.out_port` |
-//! | Source NAT | [`nat`] | extension: stateless source rewriting |
+//! | Source NAT | [`nat`] | extension: dynamic flow-learning NAT (digest → learned return path), static 1:1 fallback |
 //! | Mirror tap | [`mirror_tap`] | extension: sets `sfc.mirror_flag` on matched flows |
 //! | Rate limiter | [`rate_limiter`] | extension: stateful per-class packet budgets (registers) |
 //! | SYN guard | [`syn_guard`] | extension: stateful SYN-flood shield (register sketch) |

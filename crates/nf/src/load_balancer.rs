@@ -20,6 +20,7 @@
 //! same CRC32 the data plane computes, so the control plane can install
 //! entries from punted packets.
 
+use dejavu_core::control_plane::{LearnPolicy, LearnResponse};
 use dejavu_core::sfc::{sfc_field, sfc_header_type};
 use dejavu_core::NfModule;
 use dejavu_p4ir::action::{run_hash, HashAlgorithm};
@@ -32,6 +33,17 @@ use dejavu_p4ir::{fref, Expr, FieldRef, Value};
 pub const SESSION_TABLE: &str = "lb_session";
 /// Name of the NF-local hash metadata field.
 pub const SESSION_HASH_META: &str = "session_hash";
+/// Affinity mode: the pinned-sessions table name.
+pub const AFFINITY_TABLE: &str = "lb_affinity";
+/// Affinity mode: NF-local scratch field holding the picked backend.
+pub const AFFINITY_BACKEND_META: &str = "affinity_backend";
+/// Affinity mode: the digest stream pinning new sessions.
+pub const AFFINITY_STREAM: &str = "affinity";
+/// Affinity mode: the backend-pool register array name.
+pub const BACKEND_POOL_REGISTER: &str = "backends";
+/// Affinity mode: number of cells in the backend pool (power of two — the
+/// session hash is masked to index it).
+pub const BACKEND_POOL_SIZE: u32 = 16;
 
 /// The 5-tuple hashed by the load balancer, in hash input order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +131,117 @@ pub fn load_balancer() -> NfModule {
         .build()
         .expect("lb program is well-formed");
     NfModule::new(program).expect("lb conforms to the NF API")
+}
+
+/// Builds the connection-affinity load balancer NF.
+///
+/// Where [`load_balancer`] punts every unknown session to the CPU, this
+/// variant keeps forwarding in the data plane: on an `lb_affinity` miss the
+/// default `pick_backend` action reads a backend from the
+/// [`BACKEND_POOL_REGISTER`] array (indexed by the low bits of the session
+/// hash), rewrites the destination, and digests `(hash, backend)` to
+/// [`AFFINITY_STREAM`]. The learning loop ([`affinity_learn_policy`]) pins
+/// the pair into `lb_affinity`, so the connection stays on its first-picked
+/// backend even if the pool is later re-weighted — connection affinity
+/// without a punt. Pair with an idle timeout to unpin idle sessions.
+pub fn affinity_lb() -> NfModule {
+    let program = ProgramBuilder::new("lb")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .header(well_known::tcp())
+        .header(well_known::udp())
+        .header(sfc_header_type())
+        .meta_field(SESSION_HASH_META, 32)
+        .meta_field(AFFINITY_BACKEND_META, 32)
+        .register(BACKEND_POOL_REGISTER, 32, BACKEND_POOL_SIZE)
+        .parser(well_known::eth_ip_l4_parser())
+        .action(
+            ActionBuilder::new("compute_five_tuple_hash")
+                .hash(
+                    FieldRef::meta(SESSION_HASH_META),
+                    HashAlgorithm::Crc32,
+                    vec![
+                        Expr::field("ipv4", "src_addr"),
+                        Expr::field("ipv4", "dst_addr"),
+                        Expr::field("ipv4", "protocol"),
+                        Expr::field("tcp", "src_port"),
+                        Expr::field("tcp", "dst_port"),
+                    ],
+                )
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("modify_dst_ip")
+                .param("dip", 32)
+                .set(fref("ipv4", "dst_addr"), Expr::Param("dip".into()))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("pick_backend")
+                .reg_read(
+                    FieldRef::meta(AFFINITY_BACKEND_META),
+                    BACKEND_POOL_REGISTER,
+                    Expr::And(
+                        Box::new(Expr::meta(SESSION_HASH_META)),
+                        Box::new(Expr::val(u128::from(BACKEND_POOL_SIZE - 1), 32)),
+                    ),
+                )
+                .set(fref("ipv4", "dst_addr"), Expr::meta(AFFINITY_BACKEND_META))
+                .digest(
+                    AFFINITY_STREAM,
+                    vec![
+                        Expr::meta(SESSION_HASH_META),
+                        Expr::meta(AFFINITY_BACKEND_META),
+                    ],
+                )
+                .build(),
+        )
+        .table(
+            TableBuilder::new(AFFINITY_TABLE)
+                .key_exact(FieldRef::meta(SESSION_HASH_META))
+                .action("modify_dst_ip")
+                .default_action("pick_backend")
+                .size(65536)
+                .build(),
+        )
+        .control(
+            ControlBuilder::new("lb_ctrl")
+                .invoke("compute_five_tuple_hash")
+                .apply(AFFINITY_TABLE)
+                .build(),
+        )
+        .entry("lb_ctrl")
+        .build()
+        .expect("affinity lb program is well-formed");
+    NfModule::new(program).expect("affinity lb conforms to the NF API")
+}
+
+/// Pins a session hash to a backend (goes in [`AFFINITY_TABLE`]).
+pub fn affinity_entry(session_hash: u32, backend_ip: u32) -> TableEntry {
+    TableEntry {
+        matches: vec![KeyMatch::Exact(Value::new(u128::from(session_hash), 32))],
+        action: "modify_dst_ip".into(),
+        action_args: vec![Value::new(u128::from(backend_ip), 32)],
+        priority: 0,
+    }
+}
+
+/// The learning policy for [`AFFINITY_STREAM`]: each digest
+/// `(hash, backend)` pins the session onto the backend the data plane
+/// picked. Register it with
+/// `ControlPlane::register_learn_policy("lb", AFFINITY_STREAM, ...)`.
+pub fn affinity_learn_policy() -> Box<dyn LearnPolicy> {
+    Box::new(|_pipeline: usize, values: &[Value]| {
+        let mut resp = LearnResponse::default();
+        if let [hash, backend] = values {
+            resp.install.push((
+                "lb".to_string(),
+                AFFINITY_TABLE.to_string(),
+                affinity_entry(hash.raw() as u32, backend.raw() as u32),
+            ));
+        }
+        resp
+    })
 }
 
 /// Builds a session entry mapping a 5-tuple's hash to a backend IP.
@@ -227,6 +350,75 @@ mod tests {
         let mut meta = BTreeMap::new();
         interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
         assert_eq!(pp.get(&fref("ipv4", "dst_addr")).unwrap().raw(), 0x0a000063);
+    }
+
+    #[test]
+    fn affinity_miss_picks_from_pool_and_digests() {
+        let nf = affinity_lb();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let pool = program.registers.get(BACKEND_POOL_REGISTER).unwrap();
+        for i in 0..BACKEND_POOL_SIZE {
+            tables.register_write(pool, i, u128::from(0x0a00_0060 + i));
+        }
+        let t = tuple();
+        let slot = t.session_hash() & (BACKEND_POOL_SIZE - 1);
+        let expected = u128::from(0x0a00_0060 + slot);
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(&t), &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        // Destination rewritten to the pool pick — no punt.
+        assert_eq!(pp.get(&fref("ipv4", "dst_addr")).unwrap().raw(), expected);
+        // Digest pins (hash, backend).
+        let digests = tables.take_digests();
+        assert_eq!(digests.len(), 1);
+        assert_eq!(digests[0].name, AFFINITY_STREAM);
+        let vals: Vec<u128> = digests[0].values.iter().map(|v| v.raw()).collect();
+        assert_eq!(vals, vec![u128::from(t.session_hash()), expected]);
+    }
+
+    #[test]
+    fn pinned_session_survives_pool_rewrite() {
+        let nf = affinity_lb();
+        let program = nf.program();
+        let interp = Interpreter::new(program);
+        let mut tables = TableState::new();
+        let t = tuple();
+        tables
+            .install(
+                program.tables.get(AFFINITY_TABLE).unwrap(),
+                affinity_entry(t.session_hash(), 0x0a000063),
+            )
+            .unwrap();
+        // Re-point the whole pool elsewhere; the pinned session must not move.
+        let pool = program.registers.get(BACKEND_POOL_REGISTER).unwrap();
+        for i in 0..BACKEND_POOL_SIZE {
+            tables.register_write(pool, i, 0x0a00_00ff);
+        }
+        let mut pp =
+            ParsedPacket::parse(&tcp_packet(&t), &program.parser, interp.headers()).unwrap();
+        let mut meta = BTreeMap::new();
+        interp.execute(&mut pp, &mut meta, &mut tables).unwrap();
+        assert_eq!(pp.get(&fref("ipv4", "dst_addr")).unwrap().raw(), 0x0a000063);
+        // Hit path digests nothing.
+        assert!(tables.take_digests().is_empty());
+    }
+
+    #[test]
+    fn affinity_learn_policy_pins_pair() {
+        let mut policy = affinity_learn_policy();
+        let resp = policy.on_digest(
+            0,
+            &[Value::new(0xdead_beef, 32), Value::new(0x0a000063, 32)],
+        );
+        assert_eq!(resp.install.len(), 1);
+        let (nf, table, entry) = &resp.install[0];
+        assert_eq!(nf, "lb");
+        assert_eq!(table, AFFINITY_TABLE);
+        assert_eq!(entry, &affinity_entry(0xdead_beef, 0x0a000063));
+        assert!(policy.on_digest(0, &[]).install.is_empty());
     }
 
     #[test]

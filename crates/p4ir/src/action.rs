@@ -164,6 +164,17 @@ pub enum PrimitiveOp {
         /// Header instance to checksum (must have a `hdr_checksum` field).
         header: String,
     },
+    /// Emit a digest message to the control plane (Tofino `Digest` extern):
+    /// the named stream receives the evaluated field values. Unlike a
+    /// to-CPU punt the packet itself keeps flowing through the pipeline —
+    /// only a compact record leaves for the CPU, which is what makes
+    /// learn-on-first-packet NFs (dynamic NAT, conntrack) line-rate.
+    Digest {
+        /// Digest stream name (scoped like tables under merge).
+        name: String,
+        /// Value expressions carried by the digest, evaluated in order.
+        fields: Vec<Expr>,
+    },
     /// Mark the packet to be dropped at the end of the pipelet.
     Drop,
     /// No operation (P4 `NoAction`).
@@ -198,6 +209,7 @@ impl PrimitiveOp {
             PrimitiveOp::Ipv4ChecksumUpdate { header } => {
                 vec![FieldRef::new(header.clone(), "*")]
             }
+            PrimitiveOp::Digest { fields, .. } => fields.iter().flat_map(Expr::reads).collect(),
             _ => Vec::new(),
         }
     }
@@ -224,7 +236,8 @@ impl PrimitiveOp {
                 vec![FieldRef::new(header.clone(), "hdr_checksum")]
             }
             PrimitiveOp::Drop => vec![FieldRef::meta("drop_flag")],
-            PrimitiveOp::NoOp => Vec::new(),
+            // A digest only leaves the pipeline; it writes no packet state.
+            PrimitiveOp::Digest { .. } | PrimitiveOp::NoOp => Vec::new(),
         }
     }
 }

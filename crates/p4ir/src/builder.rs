@@ -353,6 +353,15 @@ impl ActionBuilder {
         self
     }
 
+    /// Appends a digest emission to stream `name` carrying `fields`.
+    pub fn digest(mut self, name: impl Into<String>, fields: Vec<Expr>) -> Self {
+        self.def.ops.push(PrimitiveOp::Digest {
+            name: name.into(),
+            fields,
+        });
+        self
+    }
+
     /// Appends a drop mark.
     pub fn drop_packet(mut self) -> Self {
         self.def.ops.push(PrimitiveOp::Drop);

@@ -814,7 +814,11 @@ impl<'a> Checker<'a> {
                     };
                     self.write_field(state, &dst, &def.name);
                 }
-                PrimitiveOp::RegisterWrite { .. } | PrimitiveOp::Drop | PrimitiveOp::NoOp => {}
+                // Digest reads were checked above; it writes no packet state.
+                PrimitiveOp::RegisterWrite { .. }
+                | PrimitiveOp::Digest { .. }
+                | PrimitiveOp::Drop
+                | PrimitiveOp::NoOp => {}
             }
         }
     }

@@ -193,6 +193,10 @@ fn print_op(op: &PrimitiveOp) -> String {
         PrimitiveOp::Ipv4ChecksumUpdate { header } => {
             format!("update_checksum(hdr.{header});")
         }
+        PrimitiveOp::Digest { name, fields } => {
+            let fields: Vec<String> = fields.iter().map(print_expr).collect();
+            format!("digest<{name}>({{{}}});", fields.join(", "))
+        }
         PrimitiveOp::Drop => "mark_to_drop();".into(),
         PrimitiveOp::NoOp => "/* no-op */".into(),
     }

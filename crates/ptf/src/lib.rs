@@ -253,6 +253,26 @@ impl MetricsExpectations {
         })
     }
 
+    /// Expects exactly `expected` digests to have been emitted by
+    /// `pipeline` over the suite — the flow-state analogue of checking
+    /// punt counters: a learning NF should digest once per new flow and
+    /// stay silent on established traffic.
+    pub fn digests_emitted(self, pipeline: usize, expected: u64) -> Self {
+        self.counter(
+            &format!("digests_emitted{{pipeline=\"{pipeline}\"}}"),
+            expected,
+        )
+    }
+
+    /// Expects exactly `expected` entries to have aged out of `table` on
+    /// `pipelet` over the suite (merged table name, e.g. `nat__nat_in`).
+    pub fn evictions(self, pipelet: &str, table: &str, expected: u64) -> Self {
+        self.counter(
+            &format!("table_evictions{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+            expected,
+        )
+    }
+
     /// Expects the summed delta of every counter starting with `prefix`
     /// (e.g. a labelled family like `packet_recirc_depth`) to equal
     /// `expected`.
@@ -572,6 +592,100 @@ mod tests {
         );
         assert_eq!(report.failed(), 1);
         assert!(report.to_string().contains("metrics: packets_dropped == 5"));
+    }
+
+    /// A learning L2 switch: misses digest the unknown MAC and flood out
+    /// port 9; hits forward silently. `flows` ages under a 2-tick timeout.
+    fn learning_switch() -> Switch {
+        let program = ProgramBuilder::new("learner")
+            .header(well_known::ethernet())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
+            .action(
+                ActionBuilder::new("learn")
+                    .digest("d0", vec![Expr::field("ethernet", "dst_mac")])
+                    .set(FieldRef::meta("egress_spec"), Expr::val(9, 16))
+                    .build(),
+            )
+            .action(
+                ActionBuilder::new("fwd")
+                    .param("port", 16)
+                    .set(FieldRef::meta("egress_spec"), Expr::Param("port".into()))
+                    .build(),
+            )
+            .table(
+                TableBuilder::new("flows")
+                    .key_exact(fref("ethernet", "dst_mac"))
+                    .action("fwd")
+                    .default_action("learn")
+                    .build(),
+            )
+            .control(ControlBuilder::new("ingress").apply("flows").build())
+            .entry("ingress")
+            .build()
+            .unwrap();
+        let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
+        sw.load_program(PipeletId::ingress(0), program).unwrap();
+        sw.set_idle_timeout(PipeletId::ingress(0), "flows", Some(2))
+            .unwrap();
+        sw.install_entry(
+            PipeletId::ingress(0),
+            "flows",
+            TableEntry {
+                matches: vec![KeyMatch::Exact(Value::new(0xaabb, 48))],
+                action: "fwd".into(),
+                action_args: vec![Value::new(9, 16)],
+                priority: 0,
+            },
+        )
+        .unwrap();
+        sw
+    }
+
+    #[test]
+    fn flow_state_expectations_observe_learning_and_aging() {
+        let mut sw = learning_switch();
+        let report = run_suite_with_metrics(
+            &mut sw,
+            vec![
+                TestCase::expect_port("known flow stays silent", 0, eth_packet(0xaabb), 9)
+                    .expect_table_hit("flows"),
+                TestCase::expect_port("new flow digests", 0, eth_packet(0xbeef), 9),
+            ],
+            MetricsExpectations::new()
+                .digests_emitted(0, 1)
+                .evictions("ingress0", "flows", 0),
+        );
+        report.assert_all_passed();
+        assert_eq!(sw.digest_backlog(0), 1);
+
+        // Aging the entry out shows up in the eviction series, and the
+        // expectation helper keys the exact same label.
+        sw.set_telemetry(true);
+        let before = sw.metrics_snapshot();
+        let evicted = sw.advance_time(5);
+        assert_eq!(evicted.len(), 1);
+        let delta = sw.metrics_snapshot().diff(&before);
+        let rows = MetricsExpectations::new()
+            .evictions("ingress0", "flows", 1)
+            .evaluate(&delta);
+        assert!(rows.iter().all(|r| r.failure.is_none()), "{rows:?}");
+        // The aged-out destination now misses — and digests again.
+        let report = run_suite_with_metrics(
+            &mut sw,
+            vec![TestCase::expect_port(
+                "aged flow misses",
+                0,
+                eth_packet(0xaabb),
+                9,
+            )],
+            MetricsExpectations::new().digests_emitted(0, 1),
+        );
+        report.assert_all_passed();
     }
 
     #[test]

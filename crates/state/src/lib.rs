@@ -1,0 +1,29 @@
+//! Flow-state runtime: portable snapshots of a pipelet's mutable state.
+//!
+//! An NF's dataplane state — dynamically learned table entries and register
+//! file contents — outlives any single program binary. This crate gives that
+//! state a representation of its own, decoupled from the executor:
+//!
+//! * [`StateSnapshot`] captures every dynamic table entry and register cell
+//!   of one pipelet, together with the logical clock and per-table aging
+//!   configuration, under an explicit format version.
+//! * [`snapshot::to_json`] / [`snapshot::from_json`] round-trip a snapshot
+//!   through plain JSON so state can be exported for inspection, shipped to
+//!   a standby switch, or diffed in CI.
+//! * [`MigrationReport`] accounts for what happened when a snapshot was
+//!   remapped onto a (possibly different) program during a hitless upgrade:
+//!   how many entries and registers survived, and exactly which were dropped
+//!   and why.
+//!
+//! The crate deliberately depends only on the IR (`dejavu-p4ir`) plus the
+//! telemetry crate's self-contained JSON parser: both the ASIC model (which
+//! produces and consumes snapshots) and the control plane (which orchestrates
+//! migration) link against it without creating dependency cycles.
+
+#![warn(missing_docs)]
+
+pub mod migrate;
+pub mod snapshot;
+
+pub use migrate::{DroppedEntry, MigrationReport};
+pub use snapshot::{RegisterSnapshot, StateSnapshot, TableSnapshot, SNAPSHOT_FORMAT_VERSION};

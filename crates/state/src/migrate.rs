@@ -1,0 +1,130 @@
+//! Accounting for state migration across a program swap.
+//!
+//! When the control plane upgrades an NF in place, the freshly loaded
+//! program gets a *new* table state; surviving state from the old program
+//! is remapped onto it by merged name. Remapping is lossy by design — a
+//! table may have been renamed, dropped, or reshaped — and the one thing a
+//! hitless upgrade must never do is lose state *silently*. A
+//! [`MigrationReport`] records exactly what was restored and what was
+//! dropped (with the reason), so operators and tests can assert on it.
+
+use dejavu_p4ir::table::TableEntry;
+
+/// One entry that could not be carried across a migration, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroppedEntry {
+    /// Merged table name the entry belonged to.
+    pub table: String,
+    /// The entry itself, so it can be logged or re-learned.
+    pub entry: TableEntry,
+    /// Human-readable reason (`"table not in new program"`,
+    /// `"action no longer defined"`, ...).
+    pub reason: String,
+}
+
+/// Outcome of remapping a [`crate::StateSnapshot`] onto a program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationReport {
+    /// Entries successfully reinstalled into the new program's tables.
+    pub restored_entries: usize,
+    /// Tables from the snapshot that exist (by merged name) in the new
+    /// program and received at least their aging configuration.
+    pub remapped_tables: usize,
+    /// Register arrays whose cells were restored.
+    pub restored_registers: usize,
+    /// Entries that could not be carried over, with reasons.
+    pub dropped_entries: Vec<DroppedEntry>,
+    /// Snapshot registers absent from the new program.
+    pub dropped_registers: Vec<String>,
+}
+
+impl MigrationReport {
+    /// True when nothing was lost: every entry and register in the snapshot
+    /// made it into the new program.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_entries.is_empty() && self.dropped_registers.is_empty()
+    }
+
+    /// Records a dropped entry.
+    pub fn drop_entry(
+        &mut self,
+        table: impl Into<String>,
+        entry: TableEntry,
+        reason: impl Into<String>,
+    ) {
+        self.dropped_entries.push(DroppedEntry {
+            table: table.into(),
+            entry,
+            reason: reason.into(),
+        });
+    }
+
+    /// Folds another report into this one (a deployment-level migration is
+    /// the merge of its per-pipelet migrations).
+    pub fn merge(&mut self, other: MigrationReport) {
+        self.restored_entries += other.restored_entries;
+        self.remapped_tables += other.remapped_tables;
+        self.restored_registers += other.restored_registers;
+        self.dropped_entries.extend(other.dropped_entries);
+        self.dropped_registers.extend(other.dropped_registers);
+    }
+
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} entries restored across {} tables, {} registers restored, {} entries dropped, {} registers dropped",
+            self.restored_entries,
+            self.remapped_tables,
+            self.restored_registers,
+            self.dropped_entries.len(),
+            self.dropped_registers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu_p4ir::table::KeyMatch;
+    use dejavu_p4ir::Value;
+
+    fn entry() -> TableEntry {
+        TableEntry {
+            matches: vec![KeyMatch::Exact(Value::new(1, 32))],
+            action: "fwd".to_string(),
+            action_args: vec![],
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn clean_until_something_drops() {
+        let mut r = MigrationReport {
+            restored_entries: 3,
+            remapped_tables: 1,
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+        r.drop_entry("nat__nat_in", entry(), "table not in new program");
+        assert!(!r.is_clean());
+        assert_eq!(r.dropped_entries[0].table, "nat__nat_in");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MigrationReport {
+            restored_entries: 2,
+            remapped_tables: 1,
+            restored_registers: 1,
+            ..Default::default()
+        };
+        let mut b = MigrationReport::default();
+        b.drop_entry("t", entry(), "x");
+        b.dropped_registers.push("r".to_string());
+        a.merge(b);
+        assert_eq!(a.restored_entries, 2);
+        assert_eq!(a.dropped_entries.len(), 1);
+        assert_eq!(a.dropped_registers, vec!["r".to_string()]);
+        assert!(a.summary().contains("2 entries restored"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Flow-state demo and snapshot gate.
+//!
+//! ```text
+//! cargo run -p dejavu-examples --bin flow_state_demo
+//! ```
+//!
+//! Drives the dynamic NAT through one full learn cycle — outbound packet
+//! digests and rewrites, the control-plane learning loop installs the
+//! return mapping, return traffic translates back in the data plane —
+//! then captures a [`StateSnapshot`] of every loaded pipelet, proves the
+//! JSON export round-trips losslessly through the crate's own parser, and
+//! writes the ingress snapshot to
+//! `target/experiments/STATE_snapshot.json` for `scripts/check.sh`.
+
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_core::control_plane::ControlPlane;
+use dejavu_core::deploy::{deploy, DeployOptions, Deployment};
+use dejavu_core::placement::Placement;
+use dejavu_core::routing::RoutingConfig;
+use dejavu_core::{ChainPolicy, ChainSet, NfModule};
+use dejavu_nf::nat::{
+    dynamic_nat, nat_learn_policy, nat_out_entry, NAT_FLOW_STREAM, NAT_OUT_TABLE,
+};
+use dejavu_nf::{classifier, router};
+use dejavu_state::StateSnapshot;
+
+const IN_PORT: u16 = 0;
+const EXIT_PORT: u16 = 2;
+const SERVER: u32 = 0x0808_0808;
+const PUBLIC_IP: u32 = 0xc633_6401;
+const CLIENT: u32 = 0x0a01_0101;
+const CLIENT_PORT: u16 = 40001;
+
+/// classifier → nat → router on pipeline 0, both directions on one path.
+fn nat_testbed() -> (Switch, Deployment) {
+    let nfs: Vec<NfModule> = vec![classifier::classifier(), dynamic_nat(), router::router()];
+    let nf_refs: Vec<&NfModule> = nfs.iter().collect();
+    let chains = ChainSet::new(vec![ChainPolicy::new(
+        1,
+        "nat_path",
+        vec!["classifier", "nat", "router"],
+        1.0,
+    )])
+    .unwrap();
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["classifier", "nat"]),
+        (PipeletId::egress(0), vec!["router"]),
+    ]);
+    let config = RoutingConfig {
+        loopback_port: [(0usize, 15u16), (1usize, 16u16)].into_iter().collect(),
+        exit_ports: [(1u16, EXIT_PORT)].into_iter().collect(),
+        honor_out_port: false,
+    };
+    let options = DeployOptions {
+        entry_nf: Some("classifier".into()),
+        ..Default::default()
+    };
+    let (mut switch, dep) = deploy(
+        &nf_refs,
+        &chains,
+        &placement,
+        &TofinoProfile::wedge_100b_32x(),
+        &config,
+        &options,
+    )
+    .expect("nat chain deploys");
+    switch.set_exec_mode(ExecMode::Compiled);
+    switch.set_telemetry(true);
+
+    for prefix in [(0x0a01_0000u32, 16u16), (0x0800_0000, 8)] {
+        dep.install(
+            &mut switch,
+            "classifier",
+            classifier::CLASSIFY_TABLE,
+            classifier::classify_entry(prefix, (0, 0), 1, 100),
+        )
+        .unwrap();
+    }
+    dep.install(
+        &mut switch,
+        "nat",
+        NAT_OUT_TABLE,
+        nat_out_entry((0x0a01_0000, 16), PUBLIC_IP),
+    )
+    .unwrap();
+    dep.install(
+        &mut switch,
+        "router",
+        router::ROUTES_TABLE,
+        router::route_entry((0, 0), EXIT_PORT, 0x0200_0000_0099, 0x0200_0000_0001),
+    )
+    .unwrap();
+    (switch, dep)
+}
+
+fn ip_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+fn main() {
+    let (mut switch, dep) = nat_testbed();
+    let mut cp = ControlPlane::new();
+    cp.register_learn_policy("nat", NAT_FLOW_STREAM, nat_learn_policy());
+
+    // One learn cycle: outbound digests + rewrites, the loop installs the
+    // return mapping, the return packet translates without a punt.
+    let outbound = dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(CLIENT)
+        .dst_ip(SERVER)
+        .src_port(CLIENT_PORT)
+        .dst_port(80)
+        .build();
+    let t = switch.inject((outbound, IN_PORT)).unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    assert_eq!(ip_at(&t.final_bytes, 26), PUBLIC_IP, "source not rewritten");
+
+    let learned = cp.process_digests(&mut switch, &dep).unwrap();
+    assert_eq!(learned, 1, "one flow learned from one digest");
+    println!(
+        "learned {learned} flow ({} digests seen, {} entries installed)",
+        cp.stats.digests, cp.stats.learns
+    );
+
+    let inbound = dejavu_traffic::PacketBuilder::tcp()
+        .src_ip(SERVER)
+        .dst_ip(PUBLIC_IP)
+        .src_port(80)
+        .dst_port(CLIENT_PORT)
+        .build();
+    let t = switch.inject((inbound, IN_PORT)).unwrap();
+    assert_eq!(ip_at(&t.final_bytes, 30), CLIENT, "return not translated");
+    println!("return traffic translated back in the data plane (no punt)");
+
+    // Snapshot every pipelet; each must survive a JSON round trip intact.
+    let mut ingress_json = None;
+    for pid in switch.loaded_pipelets() {
+        let snap = switch
+            .snapshot_state(pid)
+            .expect("loaded pipelet snapshots");
+        let json = snap.to_json();
+        let back = StateSnapshot::from_json(&json).expect("exported JSON decodes");
+        assert_eq!(back, snap, "{pid}: snapshot JSON round trip not lossless");
+        println!(
+            "  {pid}: {} tables, {} entries, {} registers ({} bytes JSON, round trip verified)",
+            snap.tables.len(),
+            snap.total_entries(),
+            snap.registers.len(),
+            json.len()
+        );
+        if pid == PipeletId::ingress(0) {
+            ingress_json = Some(json);
+        }
+    }
+
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("experiments dir");
+    let path = dir.join("STATE_snapshot.json");
+    std::fs::write(&path, ingress_json.expect("ingress0 is loaded")).expect("snapshot written");
+    println!("  snapshot: {}", path.display());
+}

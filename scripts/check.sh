@@ -32,3 +32,30 @@ assert snap["packets_injected"] > 0
 assert snap["packet_latency_ns"]["count"] == snap["packets_injected"]
 print(f"telemetry snapshot OK ({len(snap)} series)")
 EOF
+
+# Flow-state gate: the demo drives a dynamic-NAT learn cycle, asserts the
+# state snapshot survives export → import deep-equal in Rust, and writes
+# the JSON, which must carry the learned return-path entry.
+cargo run -p dejavu-examples --bin flow_state_demo
+state=target/experiments/STATE_snapshot.json
+test -s "$state" || { echo "missing $state" >&2; exit 1; }
+python3 - "$state" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["version"] >= 1, "versioned snapshot"
+tables = {t["name"]: t for t in snap["tables"]}
+assert "nat__nat_in" in tables, f"NAT return table missing: {sorted(tables)}"
+assert tables["nat__nat_in"]["entries"], "learned flow entry missing"
+entries = sum(len(t["entries"]) for t in snap["tables"])
+print(f"state snapshot OK ({len(tables)} tables, {entries} entries)")
+EOF
+
+# Docs gate: rustdoc must stay warning-free (broken intra-doc links are
+# the usual regression).
+doclog=$(cargo doc --workspace --no-deps -q 2>&1)
+if [ -n "$doclog" ]; then
+    printf '%s\n' "$doclog"
+    echo "rustdoc not clean" >&2
+    exit 1
+fi
+echo "rustdoc OK (no warnings)"

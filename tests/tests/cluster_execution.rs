@@ -174,3 +174,57 @@ fn cluster_install_routes_rules_to_owning_switch() {
     assert!(t.hops[1].1.tables_hit().contains(&"n5__work"));
     drop(chains);
 }
+
+#[test]
+fn cluster_state_sync_spans_member_switches() {
+    let (nfs, chains, placement) = six_nf_setup();
+    let refs: Vec<_> = nfs.iter().collect();
+    let mut net = deploy_cluster(
+        &refs,
+        &chains,
+        &placement,
+        &dejavu_asic::TofinoProfile::wedge_100b_32x(),
+        [(1u16, EXIT_PORT)].into_iter().collect(),
+        &ClusterWiring::default(),
+        &DeployOptions::default(),
+    )
+    .unwrap();
+
+    // Dynamic state on both members: one extra rule per switch.
+    let pass_entry = || dejavu_p4ir::table::TableEntry {
+        matches: vec![dejavu_p4ir::table::KeyMatch::Exact(
+            dejavu_p4ir::Value::new(6, 8),
+        )],
+        action: "pass".into(),
+        action_args: vec![],
+        priority: 0,
+    };
+    net.install("n0", "work", pass_entry()).unwrap();
+    net.install("n4", "work", pass_entry()).unwrap();
+
+    // The cluster-wide checkpoint sees the state where it lives.
+    let snaps = net.snapshot_state();
+    let has = |sw: usize, table: &str| {
+        snaps
+            .iter()
+            .any(|(i, _, s)| *i == sw && s.table(table).is_some_and(|t| !t.entries.is_empty()))
+    };
+    assert!(has(0, "n0__work"), "switch 0 state missing from checkpoint");
+    assert!(has(1, "n4__work"), "switch 1 state missing from checkpoint");
+
+    // No learning NFs deployed: a cluster learning round is a no-op.
+    let mut cp = dejavu_core::control_plane::ControlPlane::new();
+    assert_eq!(net.process_digests(&mut cp).unwrap(), 0);
+
+    // Lockstep aging: both members advance together and both evict.
+    net.deployments[0]
+        .set_idle_timeout(&mut net.switches[0], "n0", "work", Some(3))
+        .unwrap();
+    net.deployments[1]
+        .set_idle_timeout(&mut net.switches[1], "n4", "work", Some(3))
+        .unwrap();
+    let evicted = net.advance_time(5);
+    let members: std::collections::BTreeSet<usize> = evicted.iter().map(|(i, _, _)| *i).collect();
+    assert_eq!(members, [0, 1].into_iter().collect());
+    assert_eq!(net.switches[0].now(), net.switches[1].now());
+}

@@ -307,3 +307,155 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Flow-state differential: digest emission and entry aging.
+// ---------------------------------------------------------------------------
+
+/// A minimal learning program: misses in the `flows` table digest the flow
+/// identity; hits stay silent. Entries age under an idle timeout.
+fn flow_program() -> Program {
+    ProgramBuilder::new("flow")
+        .header(well_known::ethernet())
+        .header(well_known::ipv4())
+        .parser(
+            ParserBuilder::new()
+                .node("eth", "ethernet", 0)
+                .node("ip", "ipv4", 14)
+                .select("eth", "ether_type", 16, vec![(0x0800, "ip")])
+                .accept("ip")
+                .start("eth"),
+        )
+        .action(
+            ActionBuilder::new("learn")
+                .digest(
+                    "d0",
+                    vec![
+                        Expr::field("ipv4", "src_addr"),
+                        Expr::field("ipv4", "dst_addr"),
+                    ],
+                )
+                .set(FieldRef::meta("egress_spec"), Expr::val(1, 16))
+                .build(),
+        )
+        .action(
+            ActionBuilder::new("keep")
+                .set(FieldRef::meta("egress_spec"), Expr::val(2, 16))
+                .build(),
+        )
+        .table(
+            TableBuilder::new("flows")
+                .key_exact(fref("ipv4", "dst_addr"))
+                .action("keep")
+                .default_action("learn")
+                .size(64)
+                .build(),
+        )
+        .control(ControlBuilder::new("ingress").apply("flows").build())
+        .entry("ingress")
+        .build()
+        .expect("flow program validates")
+}
+
+fn flow_dst(seed: u8) -> u32 {
+    0x0a00_0000 | (u32::from(seed % 8) << 8) | u32::from(seed % 8)
+}
+
+fn flow_packet(src: u8, dst: u8) -> Vec<u8> {
+    dejavu_traffic::PacketBuilder::udp()
+        .src_ip(0x0a00_0100 | u32::from(src))
+        .dst_ip(flow_dst(dst))
+        .src_port(1000)
+        .dst_port(53)
+        .build()
+}
+
+fn flow_testbed(program: &Program, seeds: &[u8], timeout: u64, mode: ExecMode) -> Switch {
+    let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
+    sw.set_exec_mode(mode);
+    sw.set_telemetry(true);
+    sw.load_program(PipeletId::ingress(0), program.clone())
+        .unwrap();
+    sw.set_idle_timeout(PipeletId::ingress(0), "flows", Some(timeout))
+        .unwrap();
+    for &s in seeds {
+        let _ = sw.install_entry(
+            PipeletId::ingress(0),
+            "flows",
+            TableEntry {
+                matches: vec![KeyMatch::Exact(Value::new(u128::from(flow_dst(s)), 32))],
+                action: "keep".to_string(),
+                action_args: vec![],
+                priority: 0,
+            },
+        );
+    }
+    sw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Both engines must agree on the full flow-state surface: digest
+    /// stream order and content, eviction sweeps, post-aging table
+    /// entries, counters, and telemetry.
+    #[test]
+    fn digest_and_aging_match_reference(
+        seeds in proptest::collection::vec(any::<u8>(), 0..6),
+        // (op selector, argument): op % 4 == 0 advances time, else injects.
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..24),
+        timeout in 1u64..4,
+    ) {
+        let program = flow_program();
+        let pid = PipeletId::ingress(0);
+        let mut reference = flow_testbed(&program, &seeds, timeout, ExecMode::Reference);
+        let mut compiled = flow_testbed(&program, &seeds, timeout, ExecMode::Compiled);
+
+        for (k, &(op, a)) in ops.iter().enumerate() {
+            if op % 4 == 0 {
+                let ticks = u64::from(a % 3) + 1;
+                let re = reference.advance_time(ticks);
+                let ce = compiled.advance_time(ticks);
+                prop_assert_eq!(re, ce, "step {}: eviction sweeps diverged", k);
+            } else {
+                let pkt = flow_packet(op, a);
+                let r = reference.inject((pkt.clone(), 0));
+                let c = compiled.inject((pkt, 0));
+                match (r, c) {
+                    (Ok(rt), Ok(ct)) => prop_assert_eq!(rt, ct, "step {} diverged", k),
+                    (Err(_), Err(_)) => {}
+                    (r, c) => prop_assert!(
+                        false, "step {}: reference {:?} vs compiled {:?}", k, r, c
+                    ),
+                }
+            }
+        }
+
+        // Digest queues must agree record-for-record, in order.
+        prop_assert_eq!(
+            reference.drain_digests(),
+            compiled.drain_digests(),
+            "digest streams diverged"
+        );
+        // Post-aging table state must agree entry-for-entry.
+        prop_assert_eq!(
+            reference.tables(pid).unwrap().entries("flows"),
+            compiled.tables(pid).unwrap().entries("flows"),
+            "surviving entries diverged"
+        );
+        prop_assert_eq!(
+            reference.tables(pid).unwrap().counters("flows"),
+            compiled.tables(pid).unwrap().counters("flows"),
+            "counters diverged"
+        );
+        prop_assert_eq!(
+            reference.tables(pid).unwrap().evictions("flows"),
+            compiled.tables(pid).unwrap().evictions("flows"),
+            "eviction counts diverged"
+        );
+        prop_assert_eq!(
+            reference.metrics_snapshot(),
+            compiled.metrics_snapshot(),
+            "metrics snapshots diverged"
+        );
+    }
+}

@@ -87,10 +87,12 @@ fn hot_swap_firewall_to_default_deny() {
     let suite = dejavu_nf::edge_cloud_suite();
     let refs: Vec<&NfModule> = suite.iter().collect();
     let v2 = firewall_v2();
-    let affected = dep.upgrade_nf(&mut switch, &v2, &refs).unwrap();
-    // The pipelet also hosts the classifier — its rules must be restored.
-    assert!(affected.contains(&"classifier".to_string()));
-    assert!(affected.contains(&"firewall".to_string()));
+    let outcome = dep.upgrade_nf(&mut switch, &v2, &refs).unwrap();
+    // The pipelet also hosts the classifier — its rules are migrated.
+    assert!(outcome.affected_nfs.contains(&"classifier".to_string()));
+    assert!(outcome.affected_nfs.contains(&"firewall".to_string()));
+    // v2 keeps every table shape, so migration carries all state across.
+    assert!(outcome.migration.is_clean(), "{:?}", outcome.migration);
     install_baseline_rules(&mut switch, &dep);
 
     // Path 1 (which traverses the firewall) is now denied by default.
