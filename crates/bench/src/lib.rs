@@ -10,6 +10,7 @@
 //! e.g. `cargo bench -p dejavu-bench --bench fig8a_throughput`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use serde::Serialize;
 use std::fs;

@@ -15,6 +15,7 @@
 
 use crate::demand::{gateway_scopes, DemandModel};
 use dejavu_asic::{ResourceVector, StageResources, TofinoProfile};
+use dejavu_p4ir::analyze::{self, AnalysisConfig};
 use dejavu_p4ir::lint::{self, LintConfig};
 use dejavu_p4ir::{DependencyGraph, Program};
 use std::collections::BTreeMap;
@@ -44,6 +45,11 @@ pub enum CompileError {
         /// One summary line per error-level diagnostic.
         diagnostics: Vec<String>,
     },
+    /// The abstract interpreter found error-level defects (`dejavu-analyze`).
+    AnalysisRejected {
+        /// One summary line per error-level finding.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -63,6 +69,17 @@ impl fmt::Display for CompileError {
                 write!(
                     f,
                     "program rejected by dejavu-lint ({} error(s))",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            CompileError::AnalysisRejected { diagnostics } => {
+                write!(
+                    f,
+                    "program rejected by dejavu-analyze ({} error(s))",
                     diagnostics.len()
                 )?;
                 for d in diagnostics {
@@ -118,6 +135,7 @@ pub struct StageAllocator {
     profile: TofinoProfile,
     model: DemandModel,
     lint_config: LintConfig,
+    analysis_config: AnalysisConfig,
 }
 
 impl StageAllocator {
@@ -127,6 +145,7 @@ impl StageAllocator {
             profile,
             model: DemandModel::default(),
             lint_config: LintConfig::new(),
+            analysis_config: AnalysisConfig::new(),
         }
     }
 
@@ -146,6 +165,19 @@ impl StageAllocator {
     /// The lint configuration in use.
     pub fn lint_config(&self) -> &LintConfig {
         &self.lint_config
+    }
+
+    /// Replaces the abstract-interpretation configuration programs are
+    /// vetted under before allocation (severity overrides, allows, and
+    /// installed-entry sets for `DJV203` feasibility checks).
+    pub fn with_analysis_config(mut self, config: AnalysisConfig) -> Self {
+        self.analysis_config = config;
+        self
+    }
+
+    /// The analysis configuration in use.
+    pub fn analysis_config(&self) -> &AnalysisConfig {
+        &self.analysis_config
     }
 
     /// Compiles a program onto one pipelet (fresh stages).
@@ -173,6 +205,16 @@ impl StageAllocator {
         if lint.has_errors() {
             return Err(CompileError::LintRejected {
                 diagnostics: lint.error_summaries(),
+            });
+        }
+        // The abstract-interpretation gate: value-range and stateful-safety
+        // errors (unmatchable installed entries, register hazards surfaced
+        // per-program) are defects the lint's purely syntactic checks
+        // cannot see.
+        let analysis = analyze::check_with_config(program, &self.analysis_config);
+        if analysis.has_errors() {
+            return Err(CompileError::AnalysisRejected {
+                diagnostics: analysis.error_summaries(),
             });
         }
         let graph = DependencyGraph::build(program);
@@ -451,6 +493,86 @@ mod tests {
         );
         StageAllocator::new(TofinoProfile::wedge_100b_32x())
             .with_lint_config(cfg)
+            .compile(&program)
+            .expect("waived finding must not block allocation");
+    }
+
+    /// A clean program whose installed entries (supplied via the analysis
+    /// config) can never match: ingress guards the table behind
+    /// `ether_type == 0x800`, yet the entry matches 0x86DD (DJV203).
+    fn guarded_routes_program() -> Program {
+        ProgramBuilder::new("guarded")
+            .header(well_known::ethernet())
+            .parser(
+                ParserBuilder::new()
+                    .node("eth", "ethernet", 0)
+                    .accept("eth")
+                    .start("eth"),
+            )
+            .action(ActionBuilder::new("nop").build())
+            .table(
+                TableBuilder::new("routes")
+                    .key_exact(fref("ethernet", "ether_type"))
+                    .action("nop")
+                    .default_action("nop")
+                    .build(),
+            )
+            .control(
+                ControlBuilder::new("ingress")
+                    .stmt(dejavu_p4ir::Stmt::If {
+                        cond: dejavu_p4ir::BoolExpr::Cmp(
+                            dejavu_p4ir::Expr::field("ethernet", "ether_type"),
+                            dejavu_p4ir::CmpOp::Eq,
+                            dejavu_p4ir::Expr::val(0x800, 16),
+                        ),
+                        then_branch: vec![dejavu_p4ir::Stmt::Apply("routes".into())],
+                        else_branch: vec![],
+                    })
+                    .build(),
+            )
+            .entry("ingress")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analysis_errors_block_allocation() {
+        use dejavu_p4ir::table::KeyMatch;
+        let program = guarded_routes_program();
+        let cfg = AnalysisConfig::new().with_entries(
+            "routes",
+            vec![vec![KeyMatch::Exact(dejavu_p4ir::Value::new(0x86DD, 16))]],
+        );
+        let err = StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .with_analysis_config(cfg)
+            .compile(&program)
+            .unwrap_err();
+        match err {
+            CompileError::AnalysisRejected { diagnostics } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.contains("DJV203")),
+                    "expected a DJV203 summary, got {diagnostics:?}"
+                );
+            }
+            other => panic!("expected AnalysisRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analysis_config_can_waive_a_finding() {
+        use dejavu_p4ir::table::KeyMatch;
+        let program = guarded_routes_program();
+        let cfg = AnalysisConfig::new()
+            .with_entries(
+                "routes",
+                vec![vec![KeyMatch::Exact(dejavu_p4ir::Value::new(0x86DD, 16))]],
+            )
+            .set_severity(
+                dejavu_p4ir::AnalysisCode::UnmatchableEntry,
+                dejavu_p4ir::Severity::Allow,
+            );
+        StageAllocator::new(TofinoProfile::wedge_100b_32x())
+            .with_analysis_config(cfg)
             .compile(&program)
             .expect("waived finding must not block allocation");
     }

@@ -125,6 +125,8 @@ pub struct ControlPlane {
     handlers: BTreeMap<String, PuntHandler>,
     /// Learn policies keyed by merged digest stream name (`<nf>__<stream>`).
     learn_policies: BTreeMap<String, Box<dyn LearnPolicy>>,
+    /// Declared learn contracts, verified by `dejavu_core::analyze`.
+    learn_contracts: Vec<crate::analyze::LearnContract>,
     /// Packets punted to the CPU, with the port they were injected on.
     punt_queue: Vec<(Vec<u8>, PortId)>,
     /// Telemetry state at the previous [`ControlPlane::scrape`].
@@ -162,6 +164,7 @@ impl ControlPlane {
         ControlPlane {
             handlers: BTreeMap::new(),
             learn_policies: BTreeMap::new(),
+            learn_contracts: Vec::new(),
             punt_queue: Vec::new(),
             last_scrape: MetricsSnapshot::default(),
             stats: ControlPlaneStats::default(),
@@ -198,6 +201,18 @@ impl ControlPlane {
     pub fn register_learn_policy(&mut self, nf: &str, stream: &str, policy: Box<dyn LearnPolicy>) {
         self.learn_policies
             .insert(crate::merge::scoped(nf, stream), policy);
+    }
+
+    /// Declares the learn contract for an NF's digest stream. Contracts are
+    /// not enforced at runtime; they are checked statically by
+    /// [`crate::analyze::check_learn_contracts`] against the NF's program.
+    pub fn register_learn_contract(&mut self, contract: crate::analyze::LearnContract) {
+        self.learn_contracts.push(contract);
+    }
+
+    /// Learn contracts declared so far, in registration order.
+    pub fn learn_contracts(&self) -> &[crate::analyze::LearnContract] {
+        &self.learn_contracts
     }
 
     /// Drains the switch's learn queues and dispatches each digest to the

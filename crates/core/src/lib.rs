@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod chain;
 pub mod compose;
 pub mod control_plane;
@@ -51,6 +52,7 @@ pub mod placement;
 pub mod routing;
 pub mod sfc;
 
+pub use analyze::{analyze_pipelets, check_learn_contracts, LearnContract};
 pub use chain::{ChainPolicy, ChainSet};
 pub use compose::{compose_pipelet, CompositionMode, PipeletPlan};
 pub use merge::{merge_parsers, MergeError};
@@ -75,6 +77,7 @@ pub use sfc::SfcHeader;
 /// framework surface (chains, NF modules, composition, placement,
 /// deployment, the merged control plane, and the multi-switch cluster).
 pub mod prelude {
+    pub use crate::analyze::{analyze_pipelets, check_learn_contracts, LearnContract};
     pub use crate::chain::{ChainPolicy, ChainSet};
     pub use crate::compose::{compose_pipelet, CompositionMode, PipeletPlan, PlannedNf};
     pub use crate::control_plane::{

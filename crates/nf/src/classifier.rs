@@ -42,7 +42,15 @@ pub fn classifier() -> NfModule {
                 )
                 .set(sfc_field("path_id"), Expr::Param("path_id".into()))
                 .set(sfc_field("service_index"), Expr::val(1, 8))
-                .set(sfc_field("in_port"), Expr::meta("ingress_port"))
+                // Platform port IDs fit the 13-bit SFC mirror field; the
+                // mask makes the narrowing explicit.
+                .set(
+                    sfc_field("in_port"),
+                    Expr::And(
+                        Box::new(Expr::meta("ingress_port")),
+                        Box::new(Expr::val(0x1FFF, 16)),
+                    ),
+                )
                 .set(
                     sfc_field("out_port"),
                     Expr::val(u128::from(SFC_PORT_UNSET), 13),

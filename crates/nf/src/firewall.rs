@@ -15,6 +15,7 @@
 //!   traffic of established connections gets in — everything else is
 //!   default-denied. Pair with an idle timeout to expire quiet connections.
 
+use dejavu_core::analyze::LearnContract;
 use dejavu_core::control_plane::{LearnPolicy, LearnResponse};
 use dejavu_core::sfc::{sfc_field, sfc_header_type};
 use dejavu_core::NfModule;
@@ -183,6 +184,23 @@ pub fn conntrack_learn_policy() -> Box<dyn LearnPolicy> {
         }
         resp
     })
+}
+
+/// The declared learn contract matching [`conntrack_learn_policy`]: the
+/// `(remote, inside)` digest is installed verbatim as the
+/// [`FW_CONN_TABLE`] key (the table's key order is `(src, dst)` of the
+/// *return* direction, which is exactly `(remote, inside)`); `permit`
+/// takes no arguments. Verified against [`conntrack_firewall`] by
+/// `dejavu_core::analyze::check_learn_contracts`.
+pub fn conntrack_learn_contract() -> LearnContract {
+    LearnContract {
+        nf: "firewall".into(),
+        stream: FW_CONN_STREAM.into(),
+        target_table: FW_CONN_TABLE.into(),
+        target_action: "permit".into(),
+        key_map: vec![0, 1],
+        arg_map: vec![],
+    }
 }
 
 /// A deny rule: drop traffic from `src_prefix` to `dst_prefix` with the

@@ -20,6 +20,7 @@
 //! same CRC32 the data plane computes, so the control plane can install
 //! entries from punted packets.
 
+use dejavu_core::analyze::LearnContract;
 use dejavu_core::control_plane::{LearnPolicy, LearnResponse};
 use dejavu_core::sfc::{sfc_field, sfc_header_type};
 use dejavu_core::NfModule;
@@ -242,6 +243,21 @@ pub fn affinity_learn_policy() -> Box<dyn LearnPolicy> {
         }
         resp
     })
+}
+
+/// The declared learn contract matching [`affinity_learn_policy`]: the
+/// `(hash, backend)` digest installs `hash` as the [`AFFINITY_TABLE`] key
+/// and binds `backend` to `modify_dst_ip(dip)`. Verified against
+/// [`affinity_lb`] by `dejavu_core::analyze::check_learn_contracts`.
+pub fn affinity_learn_contract() -> LearnContract {
+    LearnContract {
+        nf: "lb".into(),
+        stream: AFFINITY_STREAM.into(),
+        target_table: AFFINITY_TABLE.into(),
+        target_action: "modify_dst_ip".into(),
+        key_map: vec![0],
+        arg_map: vec![1],
+    }
 }
 
 /// Builds a session entry mapping a 5-tuple's hash to a backend IP.

@@ -14,6 +14,7 @@
 //! learned state. It is still what the ablation benches use to grow chains
 //! beyond the paper's five NFs.
 
+use dejavu_core::analyze::LearnContract;
 use dejavu_core::control_plane::{LearnPolicy, LearnResponse};
 use dejavu_core::sfc::sfc_header_type;
 use dejavu_core::NfModule;
@@ -205,6 +206,22 @@ pub fn nat_learn_policy() -> Box<dyn LearnPolicy> {
         }
         resp
     })
+}
+
+/// The declared learn contract matching [`nat_learn_policy`]: the
+/// `(orig_src, src_port, public_ip)` digest installs `(public_ip,
+/// src_port)` as the [`NAT_IN_TABLE`] key and binds `orig_src` to
+/// `restore_dst(private_ip)`. Verified against [`dynamic_nat`] by
+/// `dejavu_core::analyze::check_learn_contracts`.
+pub fn nat_learn_contract() -> LearnContract {
+    LearnContract {
+        nf: "nat".into(),
+        stream: NAT_FLOW_STREAM.into(),
+        target_table: NAT_IN_TABLE.into(),
+        target_action: "restore_dst".into(),
+        key_map: vec![2, 1],
+        arg_map: vec![0],
+    }
 }
 
 #[cfg(test)]

@@ -66,7 +66,13 @@ pub fn vxlan_gateway() -> NfModule {
                     sfc_field("ctx_key1"),
                     Expr::val(u128::from(ctx_keys::VNI), 8),
                 )
-                .set(sfc_field("ctx_val1"), Expr::field("vxlan", "vni"))
+                .set(
+                    sfc_field("ctx_val1"),
+                    Expr::And(
+                        Box::new(Expr::field("vxlan", "vni")),
+                        Box::new(Expr::val(0xFFFF, 24)),
+                    ),
+                )
                 .set(
                     sfc_field("ctx_key2"),
                     Expr::val(u128::from(ctx_keys::TENANT_ID), 8),

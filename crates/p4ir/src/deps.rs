@@ -363,6 +363,38 @@ fn control_flow_pairs(program: &Program) -> BTreeSet<(String, String)> {
     pairs
 }
 
+/// How a program touches one register array (via the `reg::<name>` pseudo-
+/// header namespace actions use for stateful access).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegisterAccess {
+    /// Some action reads the array.
+    pub reads: bool,
+    /// Some action writes the array.
+    pub writes: bool,
+}
+
+/// Summarizes every register access in a program's action catalog, keyed by
+/// register name. The chain-level hazard analysis (`DJV301`) compares these
+/// summaries across merged pipelet programs.
+pub fn register_accesses(program: &Program) -> BTreeMap<String, RegisterAccess> {
+    use crate::action::PrimitiveOp;
+    let mut out: BTreeMap<String, RegisterAccess> = BTreeMap::new();
+    for action in program.actions.values() {
+        for op in &action.ops {
+            match op {
+                PrimitiveOp::RegisterRead { register, .. } => {
+                    out.entry(register.clone()).or_default().reads = true;
+                }
+                PrimitiveOp::RegisterWrite { register, .. } => {
+                    out.entry(register.clone()).or_default().writes = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

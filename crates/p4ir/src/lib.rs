@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod analyze;
 pub mod builder;
 pub mod control;
 pub mod deps;
@@ -44,11 +45,12 @@ pub mod value;
 pub mod well_known;
 
 pub use action::{ActionDef, Expr, PrimitiveOp};
+pub use analyze::{AbstractValue, AnalysisCode, AnalysisConfig, AnalysisReport, Finding};
 pub use builder::{
     ActionBuilder, ControlBuilder, HeaderTypeBuilder, ParserBuilder, ProgramBuilder, TableBuilder,
 };
 pub use control::{BoolExpr, CmpOp, ControlBlock, Stmt};
-pub use deps::{DependencyGraph, DependencyKind};
+pub use deps::{register_accesses, DependencyGraph, DependencyKind, RegisterAccess};
 pub use error::{IrError, Result};
 pub use header::{fref, FieldDef, FieldRef, HeaderType};
 pub use lint::{Diagnostic, LintCode, LintConfig, LintReport, Severity};

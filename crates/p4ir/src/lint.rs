@@ -250,7 +250,7 @@ impl LintConfig {
     }
 }
 
-fn pattern_matches(pattern: &str, entity: &str) -> bool {
+pub(crate) fn pattern_matches(pattern: &str, entity: &str) -> bool {
     match pattern.strip_suffix('*') {
         Some(prefix) => entity.starts_with(prefix),
         None => pattern == entity,
@@ -296,9 +296,17 @@ impl LintReport {
             .all(|d| d.severity == Severity::Allow)
     }
 
-    /// Absorbs another report's findings.
+    /// Absorbs another report's findings and restores deterministic order.
     pub fn merge(&mut self, other: LintReport) {
         self.diagnostics.extend(other.diagnostics);
+        self.sort();
+    }
+
+    /// Sorts diagnostics by (code, entity, message) — the canonical order,
+    /// so CI output diffs reproducibly across runs and platforms.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (a.code, &a.entity, &a.message).cmp(&(b.code, &b.entity, &b.message)));
     }
 
     /// One formatted line per error (used in refusal messages).
@@ -358,7 +366,7 @@ impl LintReport {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -387,6 +395,7 @@ pub fn check_with_config(program: &Program, config: &LintConfig) -> LintReport {
     checker.check_reachability();
     checker.check_dependency_cycles();
     checker.check_dataflow();
+    checker.report.sort();
     checker.report
 }
 

@@ -6,6 +6,9 @@
 //! simple warm-up + timed-loop mean (no outlier analysis, no plots); the
 //! point is that `cargo bench` runs and prints comparable numbers offline.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -13,6 +13,9 @@
 //! * cases are generated from a fixed per-test seed, so runs are
 //!   deterministic and reproducible by construction.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod strategy;
 pub mod test_runner;
 

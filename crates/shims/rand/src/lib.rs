@@ -8,17 +8,22 @@
 //! simulation and property-test seeding, deterministic across platforms,
 //! and emphatically not cryptographic (neither is the API it replaces).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Seedable generators. Mirrors `rand::SeedableRng` for the one
 /// constructor the workspace calls.
 pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
     fn seed_from_u64(seed: u64) -> Self;
 }
 
 /// A uniformly distributed "full-width" sample, standing in for
 /// `rand::distributions::Standard`.
 pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
     fn sample_standard(rng: &mut rngs::StdRng) -> Self;
 }
 
@@ -67,6 +72,7 @@ impl Standard for f32 {
 /// A range a value can be drawn from uniformly, standing in for
 /// `rand::distributions::uniform::SampleRange`.
 pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
     fn sample_single(self, rng: &mut rngs::StdRng) -> T;
 }
 
@@ -107,8 +113,10 @@ impl SampleRange<f32> for Range<f32> {
 
 /// The user-facing generator trait, mirroring `rand::Rng`.
 pub trait Rng {
+    /// The raw 64-bit output of the generator core.
     fn next_u64(&mut self) -> u64;
 
+    /// Draws a full-width uniform value of type `T`.
     fn gen<T: Standard>(&mut self) -> T
     where
         Self: AsStdRng,
@@ -116,6 +124,7 @@ pub trait Rng {
         T::sample_standard(self.as_std_rng())
     }
 
+    /// Draws uniformly from `range`.
     fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
     where
         Self: AsStdRng,
@@ -123,6 +132,7 @@ pub trait Rng {
         range.sample_single(self.as_std_rng())
     }
 
+    /// Returns `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: AsStdRng,
@@ -131,6 +141,7 @@ pub trait Rng {
         f64::sample_standard(self.as_std_rng()) < p
     }
 
+    /// Returns `true` with probability `numerator / denominator`.
     fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
     where
         Self: AsStdRng,
@@ -143,9 +154,11 @@ pub trait Rng {
 /// Internal helper so `Rng`'s provided methods can hand concrete state to
 /// the distribution traits without `Rng` being generic over itself.
 pub trait AsStdRng {
+    /// The underlying concrete generator state.
     fn as_std_rng(&mut self) -> &mut rngs::StdRng;
 }
 
+/// Concrete generator implementations, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{AsStdRng, Rng, SeedableRng};
 

@@ -7,20 +7,32 @@
 //! bench records use, and re-exports the `#[derive(Serialize)]` macro from
 //! the companion `serde_derive` shim.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use serde_derive::Serialize;
 
+/// The shim's minimal JSON data model.
 pub mod json {
     /// An owned JSON document. Object keys keep insertion (declaration)
     /// order so rendered reports are stable.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
+        /// JSON `null`.
         Null,
+        /// JSON boolean.
         Bool(bool),
+        /// Signed integer number.
         Int(i64),
+        /// Unsigned integer number.
         UInt(u64),
+        /// Floating-point number.
         Float(f64),
+        /// JSON string.
         Str(String),
+        /// JSON array.
         Array(Vec<Value>),
+        /// JSON object, in insertion order.
         Object(Vec<(String, Value)>),
     }
 
@@ -114,6 +126,7 @@ pub mod json {
 
 /// Types that can render themselves as JSON.
 pub trait Serialize {
+    /// Converts `self` into the shim's JSON data model.
     fn to_json(&self) -> json::Value;
 }
 

@@ -7,8 +7,12 @@
 //! `impl serde::Serialize` that builds a `serde::json::Value::Object` in
 //! declaration order.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// Derives `serde::Serialize` for a non-generic named-field struct.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut name: Option<String> = None;

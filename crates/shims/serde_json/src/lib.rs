@@ -1,5 +1,8 @@
 //! Offline stand-in for `serde_json`, paired with the `serde` shim.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt;
 
 pub use serde::json::Value;

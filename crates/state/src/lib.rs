@@ -20,6 +20,7 @@
 //! produces and consumes snapshots) and the control plane (which orchestrates
 //! migration) link against it without creating dependency cycles.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod migrate;

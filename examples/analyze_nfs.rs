@@ -1,0 +1,163 @@
+//! `dejavu-analyze` over the whole NF library and the Fig. 2 deployment.
+//!
+//! ```text
+//! cargo run -p dejavu-examples --bin analyze_nfs
+//! ```
+//!
+//! The abstract-interpretation companion to `lint_nfs`: where the lint pass
+//! checks structure (DJV0xx/1xx), this binary propagates value ranges and
+//! verifies stateful safety (DJV2xx/3xx). Three passes:
+//!
+//! 1. **Standalone NFs** — every program in the library is analyzed with
+//!    the default configuration (truncation, infeasible paths, unbounded
+//!    recirculation).
+//! 2. **Composed pipelets** — the paper's §5 placement is merged, composed
+//!    per pipelet, and analyzed; then the cross-pipelet register-hazard
+//!    check (DJV301) runs over all composed programs together.
+//! 3. **Stateful NFs** — the three learn-path NFs (dynamic NAT, conntrack
+//!    firewall, affinity LB) are analyzed and their declared learn
+//!    contracts verified against their programs (DJV302), with the
+//!    documented idle-timeout recipe supplying the aged-table set (DJV303).
+//!
+//! Exit status is non-zero if any pass reports a finding at warning level
+//! or above, so the binary doubles as a CI gate (stricter than the lint
+//! gate: the NF library must be *finding-free*, not merely error-free).
+//! Pass `--json` for machine-readable output. The merged findings are
+//! always written to `target/experiments/ANALYZE_findings.json` as a CI
+//! artifact.
+
+use dejavu_core::prelude::*;
+use dejavu_p4ir::analyze::{check, AnalysisReport};
+use std::collections::BTreeSet;
+
+fn library() -> Vec<NfModule> {
+    let mut nfs = dejavu_nf::edge_cloud_suite();
+    nfs.extend([
+        dejavu_nf::nat::nat(),
+        dejavu_nf::mirror_tap::mirror_tap(),
+        dejavu_nf::rate_limiter::rate_limiter(),
+        dejavu_nf::syn_guard::syn_guard(),
+        dejavu_nf::vxlan_gateway::vxlan_gateway(),
+        dejavu_nf::null_nf("noop"),
+    ]);
+    nfs
+}
+
+fn show(label: &str, report: &AnalysisReport, json: bool) {
+    if json {
+        println!("{}", report.render_json());
+        return;
+    }
+    if report.is_clean() {
+        println!("  {label}: clean");
+    } else {
+        println!("  {label}:");
+        for line in report.render_pretty().lines() {
+            println!("    {line}");
+        }
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut merged = AnalysisReport::default();
+    let mut tally = |label: &str, report: AnalysisReport| {
+        show(label, &report, json);
+        let n = report.findings.len();
+        merged.merge(report);
+        n
+    };
+    let mut findings = 0usize;
+
+    println!("== pass 1: standalone NF programs ==");
+    for nf in library() {
+        findings += tally(nf.name(), check(nf.program()));
+    }
+
+    println!("\n== pass 2: composed pipelets (Fig. 2 placement) ==");
+    let nfs = dejavu_nf::edge_cloud_suite();
+    let nf_refs: Vec<_> = nfs.iter().collect();
+    let merged_prog = merge_programs("dejavu", &nf_refs).expect("suite merges");
+    let placement = Placement::sequential(vec![
+        (PipeletId::ingress(0), vec!["classifier", "firewall"]),
+        (PipeletId::egress(1), vec!["vgw", "lb"]),
+        (PipeletId::ingress(1), vec!["router"]),
+    ]);
+    let profile = TofinoProfile::wedge_100b_32x();
+    let mut composed: Vec<(String, dejavu_p4ir::Program)> = Vec::new();
+    for pipeline in 0..profile.pipelines {
+        for gress in [Gress::Ingress, Gress::Egress] {
+            let pipelet = PipeletId { pipeline, gress };
+            let nf_names = placement
+                .pipelets
+                .get(&pipelet)
+                .cloned()
+                .unwrap_or_default();
+            let plan = PipeletPlan {
+                pipelet,
+                nfs: nf_names
+                    .iter()
+                    .map(|n| {
+                        if n == "classifier" {
+                            PlannedNf::entry(n.clone())
+                        } else {
+                            PlannedNf::indexed(n.clone())
+                        }
+                    })
+                    .collect(),
+                mode: CompositionMode::Sequential,
+            };
+            let program = compose_pipelet(&merged_prog, &plan).expect("pipelet composes");
+            findings += tally(
+                &format!("{pipelet} [{}]", nf_names.join(", ")),
+                check(&program),
+            );
+            composed.push((pipelet.to_string(), program));
+        }
+    }
+    let labeled: Vec<(String, &dejavu_p4ir::Program)> =
+        composed.iter().map(|(l, p)| (l.clone(), p)).collect();
+    findings += tally("cross-pipelet registers", analyze_pipelets(&labeled));
+
+    println!("\n== pass 3: stateful NFs and learn contracts ==");
+    let stateful: Vec<(NfModule, LearnContract, &str)> = vec![
+        (
+            dejavu_nf::nat::dynamic_nat(),
+            dejavu_nf::nat::nat_learn_contract(),
+            dejavu_nf::nat::NAT_IN_TABLE,
+        ),
+        (
+            dejavu_nf::firewall::conntrack_firewall(),
+            dejavu_nf::firewall::conntrack_learn_contract(),
+            dejavu_nf::firewall::FW_CONN_TABLE,
+        ),
+        (
+            dejavu_nf::load_balancer::affinity_lb(),
+            dejavu_nf::load_balancer::affinity_learn_contract(),
+            dejavu_nf::load_balancer::AFFINITY_TABLE,
+        ),
+    ];
+    for (nf, contract, aged_table) in &stateful {
+        findings += tally(nf.name(), check(nf.program()));
+        // The documented deployment recipe ages every learned table
+        // (`Deployment::set_idle_timeout`); the contract check verifies the
+        // digest layout against the table/action it feeds.
+        let aged: BTreeSet<String> = [aged_table.to_string()].into();
+        findings += tally(
+            &format!("{}/{} contract", contract.nf, contract.stream),
+            check_learn_contracts(nf.program(), std::slice::from_ref(contract), &aged),
+        );
+    }
+
+    let out_dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(out_dir).expect("create target/experiments");
+    let out = out_dir.join("ANALYZE_findings.json");
+    std::fs::write(&out, merged.render_json()).expect("write findings artifact");
+    println!("\nfindings artifact: {}", out.display());
+
+    if findings > 0 {
+        println!("\nFAIL: {findings} finding(s) at warning level or above");
+        std::process::exit(1);
+    }
+    println!("\nOK: library, composed pipelets, and learn contracts all analyze clean.");
+}

@@ -9,6 +9,30 @@ cargo test --workspace
 cargo bench --workspace --no-run
 cargo run -p dejavu-examples --bin lint_nfs
 
+# Analyzer gate: the NF library, the composed Fig. 2 pipelets, and the
+# learn contracts must be finding-free at warning level or above. The
+# binary exits non-zero otherwise and always writes the findings artifact,
+# which must be valid JSON (an array of finding objects).
+cargo run -p dejavu-examples --bin analyze_nfs
+findings=target/experiments/ANALYZE_findings.json
+test -s "$findings" || { echo "missing $findings" >&2; exit 1; }
+python3 - "$findings" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert isinstance(report, list), "findings artifact must be a JSON array"
+for f in report:
+    assert {"code", "severity", "entity", "message"} <= set(f), f
+print(f"analyze findings artifact OK ({len(report)} finding(s))")
+EOF
+
+# Dependency audit: advisories and license policy via cargo-deny when it
+# is installed (CI installs it; offline dev containers may not have it).
+if command -v cargo-deny >/dev/null 2>&1; then
+    cargo deny check advisories licenses
+else
+    echo "cargo-deny not installed; skipping advisories/licenses audit"
+fi
+
 # Telemetry gate: the recirculation study runs its measured-vs-model
 # comparison (asserting depth counters internally) and exports a metrics
 # snapshot, which must be valid JSON carrying the key series.

@@ -6,6 +6,9 @@
 //! offers half its capacity externally and every packet may recirculate
 //! once.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use dejavu_asic::{PipeletId, PortId, Switch, TofinoProfile};
 use dejavu_core::deploy::{deploy, DeployOptions, Deployment};
 use dejavu_core::placement::Placement;
