@@ -1,0 +1,1573 @@
+//! Pluggable packet-classification indexes for match-action tables.
+//!
+//! Every table slot owns a [`ClassifierIndex`] — a data structure that maps a
+//! key tuple to the winning entry under the rank/arbitration rules of
+//! [`rank_of`]. Five implementations exist:
+//!
+//! * **Scan** — the priority-sorted linear scan. O(entries) per lookup; kept
+//!   as the honest reference cost model and as a forced baseline for
+//!   benchmarks.
+//! * **Exact** — one hash table over the full key tuple, wildcard entries in
+//!   a scanned spill list. For all-exact tables.
+//! * **Lpm** — per-prefix-length hash buckets probed longest-first. For
+//!   single-LPM-key tables with uniform priorities.
+//! * **TupleSpace** — tuple-space search: entries grouped by their mask
+//!   tuple, one hash table per tuple, tuples probed in descending
+//!   max-rank order with early exit once no remaining tuple can beat the
+//!   current best hit. The workhorse for ternary/range/mixed tables.
+//! * **DecisionTree** — HyperCuts-style cuts on high-discrimination bit
+//!   windows, selected automatically when the ruleset's mask diversity makes
+//!   tuple-space degenerate (tuple count approaching entry count).
+//!
+//! The selection heuristic lives in `auto_kind_after_insert` /
+//! `auto_kind_from_entries`; tables migrate between kinds incrementally as
+//! entries are installed, deleted, or aged out. `TableState::lookup_scan`
+//! (in `tables`) remains the differential oracle that every index must agree
+//! with observationally.
+
+use std::cell::Cell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use dejavu_p4ir::table::{KeyMatch, TableEntry};
+use dejavu_p4ir::{mask_for, MatchKind, TableDef, Value};
+
+/// Rank of an entry: priority first, then summed LPM prefix length. Higher
+/// ranks win; ties go to the earliest install index.
+pub type Rank = (i32, u32);
+
+/// Computes the arbitration rank of an entry (priority, total LPM prefix
+/// length). Longest prefix wins among equal priorities.
+pub fn rank_of(e: &TableEntry) -> Rank {
+    let lpm_total: u32 = e
+        .matches
+        .iter()
+        .filter_map(|m| m.lpm_len().map(u32::from))
+        .sum();
+    (e.priority, lpm_total)
+}
+
+/// Number of log2 buckets in the probe/depth histograms.
+pub const INDEX_HIST_BUCKETS: usize = 8;
+
+/// Which index structure a table is currently using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// Priority-sorted linear scan.
+    #[default]
+    Scan,
+    /// Full-key hash map with wildcard spill.
+    Exact,
+    /// Per-prefix-length hash buckets.
+    Lpm,
+    /// Tuple-space search (one hash table per mask tuple).
+    TupleSpace,
+    /// HyperCuts-style decision tree.
+    DecisionTree,
+}
+
+impl IndexKind {
+    /// Stable display name, used in telemetry labels and bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::Scan => "scan",
+            IndexKind::Exact => "exact",
+            IndexKind::Lpm => "lpm",
+            IndexKind::TupleSpace => "tuple_space",
+            IndexKind::DecisionTree => "decision_tree",
+        }
+    }
+
+    /// Stable numeric code, exported as the `table_index_kind` gauge.
+    pub fn ordinal(self) -> i64 {
+        match self {
+            IndexKind::Scan => 0,
+            IndexKind::Exact => 1,
+            IndexKind::Lpm => 2,
+            IndexKind::TupleSpace => 3,
+            IndexKind::DecisionTree => 4,
+        }
+    }
+}
+
+/// Index-selection policy for a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexPolicy {
+    /// Pick and migrate automatically from the table shape and ruleset.
+    #[default]
+    Auto,
+    /// Pin a specific index kind (benchmark baselines, differential tests).
+    Force(IndexKind),
+}
+
+/// Structural statistics an index reports about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Current index kind.
+    pub kind: IndexKind,
+    /// Partitions: tuples (tuple space), hash buckets (lpm), tree nodes.
+    pub partitions: usize,
+    /// Entries outside the hashed structure (wildcard/range spill, root
+    /// residue).
+    pub spill: usize,
+    /// Maximum tree depth (decision tree only).
+    pub max_depth: usize,
+    /// True when the ruleset mixes priorities in a way that disables a
+    /// specialised fast path (single-LPM tables).
+    pub mixed_priorities: bool,
+}
+
+/// Telemetry counters accumulated per table across lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexTelemetry {
+    /// Current index kind.
+    pub kind: IndexKind,
+    /// Total partition/bucket probes across all lookups.
+    pub probes: u64,
+    /// Times the index was rebuilt from scratch.
+    pub rebuilds: u64,
+    /// log2 histogram of probes per lookup.
+    pub probe_hist: [u64; INDEX_HIST_BUCKETS],
+    /// log2 histogram of tree depth reached per lookup.
+    pub depth_hist: [u64; INDEX_HIST_BUCKETS],
+}
+
+/// Interior-mutable probe recorder handed to [`ClassifierIndex::lookup`]
+/// (lookups take `&self`; the dataplane counts through `Cell`s like the
+/// hit/miss counters do).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeLog {
+    probes: Cell<u64>,
+    probe_hist: [Cell<u64>; INDEX_HIST_BUCKETS],
+    depth_hist: [Cell<u64>; INDEX_HIST_BUCKETS],
+}
+
+fn log2_bucket(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((63 - v.leading_zeros()) as usize).min(INDEX_HIST_BUCKETS - 1)
+    }
+}
+
+impl ProbeLog {
+    /// Records one lookup that examined `n` partitions/buckets/entries.
+    pub fn record_probes(&self, n: u64) {
+        self.probes.set(self.probes.get() + n);
+        let b = log2_bucket(n);
+        self.probe_hist[b].set(self.probe_hist[b].get() + 1);
+    }
+
+    /// Records the tree depth reached by one lookup.
+    pub fn record_depth(&self, d: u64) {
+        let b = log2_bucket(d);
+        self.depth_hist[b].set(self.depth_hist[b].get() + 1);
+    }
+
+    /// Total probes recorded so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Snapshot of the probe histogram.
+    pub fn probe_hist(&self) -> [u64; INDEX_HIST_BUCKETS] {
+        std::array::from_fn(|i| self.probe_hist[i].get())
+    }
+
+    /// Snapshot of the depth histogram.
+    pub fn depth_hist(&self) -> [u64; INDEX_HIST_BUCKETS] {
+        std::array::from_fn(|i| self.depth_hist[i].get())
+    }
+}
+
+/// A pluggable table index. Implementations must agree observationally with
+/// the priority-sorted scan oracle: for any key tuple, `lookup` returns the
+/// entry with the highest [`Rank`], ties broken by lowest install index.
+///
+/// `insert`/`remove` return `false` when the structure cannot absorb the
+/// mutation incrementally — the caller must then `build` from scratch.
+pub trait ClassifierIndex: std::fmt::Debug + Send {
+    /// Which kind this index is.
+    fn kind(&self) -> IndexKind;
+    /// Clones the index behind the trait object.
+    fn clone_box(&self) -> Box<dyn ClassifierIndex>;
+    /// Rebuilds from the full entry list. `ranks[i] == rank_of(&entries[i])`.
+    fn build(&mut self, entries: &[TableEntry], ranks: &[Rank]);
+    /// Incrementally absorbs the entry at `idx` (already present in
+    /// `entries`/`ranks`). Returns `false` if a rebuild is required.
+    fn insert(&mut self, entries: &[TableEntry], ranks: &[Rank], idx: usize) -> bool;
+    /// Incrementally forgets the entry previously at `idx`. Returns `false`
+    /// if a rebuild is required.
+    fn remove(&mut self, removed: &TableEntry, rank: Rank, idx: usize) -> bool;
+    /// Finds the winning entry index for `keys`, recording probe effort.
+    fn lookup(
+        &self,
+        entries: &[TableEntry],
+        ranks: &[Rank],
+        keys: &[Value],
+        log: &ProbeLog,
+    ) -> Option<usize>;
+    /// Structural statistics for telemetry and the selection heuristic.
+    fn stats(&self) -> IndexStats;
+}
+
+impl Clone for Box<dyn ClassifierIndex> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mask-tuple signatures
+// ---------------------------------------------------------------------------
+
+/// Canonical per-key signature: which bits of the key an entry inspects.
+/// Entries sharing a full signature tuple can live in one hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeySig {
+    /// Key is ignored (`Any`, zero mask, `/0` prefix).
+    Wild,
+    /// `key.bits() == bits` required, compare `key.raw() & mask`.
+    Masked { bits: u16, mask: u128 },
+    /// Compare `key.raw()` only (degenerate single-point range).
+    Raw,
+}
+
+/// Signature and stored comparison value for one key match, or `None` when
+/// the match cannot be hashed (a real range).
+fn key_sig(m: &KeyMatch) -> Option<(KeySig, u128)> {
+    match m {
+        KeyMatch::Exact(v) => Some((
+            KeySig::Masked {
+                bits: v.bits(),
+                mask: mask_for(v.bits()),
+            },
+            v.raw(),
+        )),
+        KeyMatch::Ternary(val, mask) => {
+            let m = mask.raw() & mask_for(val.bits());
+            if m == 0 {
+                Some((KeySig::Wild, 0))
+            } else {
+                Some((
+                    KeySig::Masked {
+                        bits: val.bits(),
+                        mask: m,
+                    },
+                    val.raw() & m,
+                ))
+            }
+        }
+        KeyMatch::Lpm(prefix, len) => {
+            if *len == 0 {
+                Some((KeySig::Wild, 0))
+            } else {
+                let w = prefix.bits();
+                let shift = u32::from(w.saturating_sub(*len));
+                let m = (mask_for(w) >> shift) << shift;
+                Some((KeySig::Masked { bits: w, mask: m }, prefix.raw() & m))
+            }
+        }
+        KeyMatch::Range(lo, hi) => {
+            if lo.raw() == hi.raw() {
+                Some((KeySig::Raw, lo.raw()))
+            } else {
+                None
+            }
+        }
+        KeyMatch::Any => Some((KeySig::Wild, 0)),
+    }
+}
+
+/// Full-tuple signature of an entry plus the hash of its stored comparison
+/// values, or `None` when any key is unhashable (spill).
+fn entry_sig(e: &TableEntry) -> Option<(Vec<KeySig>, u64)> {
+    let mut sigs = Vec::with_capacity(e.matches.len());
+    let mut h = DefaultHasher::new();
+    for m in &e.matches {
+        let (sig, stored) = key_sig(m)?;
+        if sig != KeySig::Wild {
+            stored.hash(&mut h);
+        }
+        sigs.push(sig);
+    }
+    Some((sigs, h.finish()))
+}
+
+/// Hashes a packet key tuple under a signature. Returns `None` when a key's
+/// width disagrees with the signature (such entries can never match the key,
+/// mirroring width-sensitive `KeyMatch` semantics).
+fn probe_hash(sig: &[KeySig], keys: &[Value]) -> Option<u64> {
+    let mut h = DefaultHasher::new();
+    for (s, k) in sig.iter().zip(keys.iter()) {
+        match s {
+            KeySig::Wild => {}
+            KeySig::Masked { bits, mask } => {
+                if k.bits() != *bits {
+                    return None;
+                }
+                (k.raw() & mask).hash(&mut h);
+            }
+            KeySig::Raw => k.raw().hash(&mut h),
+        }
+    }
+    Some(h.finish())
+}
+
+fn entry_matches(e: &TableEntry, keys: &[Value]) -> bool {
+    e.matches.len() == keys.len()
+        && e.matches
+            .iter()
+            .zip(keys.iter())
+            .all(|(m, &k)| m.matches(k))
+}
+
+/// Sorted insert position for `(rank desc, index asc)` ordered lists.
+fn ordered_insert(order: &mut Vec<usize>, ranks: &[Rank], idx: usize) {
+    let rank = ranks[idx];
+    let pos = order.partition_point(|&i| ranks[i] >= rank);
+    order.insert(pos, idx);
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+/// Priority-sorted linear scan: entry indices ordered rank-descending,
+/// install order within a rank — identical arbitration to a TCAM walk.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScanIndex {
+    order: Vec<usize>,
+}
+
+impl ClassifierIndex for ScanIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Scan
+    }
+
+    fn clone_box(&self) -> Box<dyn ClassifierIndex> {
+        Box::new(self.clone())
+    }
+
+    fn build(&mut self, entries: &[TableEntry], ranks: &[Rank]) {
+        self.order = (0..entries.len()).collect();
+        self.order
+            .sort_by_key(|&i| (std::cmp::Reverse(ranks[i]), i));
+    }
+
+    fn insert(&mut self, _entries: &[TableEntry], ranks: &[Rank], idx: usize) -> bool {
+        ordered_insert(&mut self.order, ranks, idx);
+        true
+    }
+
+    fn remove(&mut self, _removed: &TableEntry, _rank: Rank, idx: usize) -> bool {
+        self.order.retain(|&i| i != idx);
+        true
+    }
+
+    fn lookup(
+        &self,
+        entries: &[TableEntry],
+        _ranks: &[Rank],
+        keys: &[Value],
+        log: &ProbeLog,
+    ) -> Option<usize> {
+        let mut examined = 0u64;
+        for &i in &self.order {
+            examined += 1;
+            if entry_matches(&entries[i], keys) {
+                log.record_probes(examined);
+                return Some(i);
+            }
+        }
+        log.record_probes(examined);
+        None
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            kind: IndexKind::Scan,
+            spill: self.order.len(),
+            ..IndexStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact
+// ---------------------------------------------------------------------------
+
+/// All-exact tables: one hash map over the full key tuple. Entries with
+/// `Any` wildcards fall into a scanned spill list.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExactIndex {
+    map: HashMap<Vec<Value>, usize>,
+    spill: Vec<usize>,
+}
+
+impl ExactIndex {
+    fn exact_key(entry: &TableEntry) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(entry.matches.len());
+        for m in &entry.matches {
+            match m {
+                KeyMatch::Exact(v) => key.push(*v),
+                _ => return None,
+            }
+        }
+        Some(key)
+    }
+}
+
+impl ClassifierIndex for ExactIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Exact
+    }
+
+    fn clone_box(&self) -> Box<dyn ClassifierIndex> {
+        Box::new(self.clone())
+    }
+
+    fn build(&mut self, entries: &[TableEntry], ranks: &[Rank]) {
+        self.map.clear();
+        self.spill.clear();
+        for idx in 0..entries.len() {
+            self.insert(entries, ranks, idx);
+        }
+    }
+
+    fn insert(&mut self, entries: &[TableEntry], ranks: &[Rank], idx: usize) -> bool {
+        match Self::exact_key(&entries[idx]) {
+            None => self.spill.push(idx),
+            Some(key) => match self.map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    // Same key tuple: the higher priority wins; ties keep
+                    // the earlier install, matching scan arbitration.
+                    if ranks[idx].0 > ranks[*o.get()].0 {
+                        o.insert(idx);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(idx);
+                }
+            },
+        }
+        true
+    }
+
+    fn remove(&mut self, removed: &TableEntry, _rank: Rank, idx: usize) -> bool {
+        match Self::exact_key(removed) {
+            None => {
+                self.spill.retain(|&i| i != idx);
+                true
+            }
+            // If the removed entry was the stored winner for its tuple we
+            // don't know which shadowed duplicate succeeds it — rebuild.
+            Some(key) => self.map.get(&key) != Some(&idx),
+        }
+    }
+
+    fn lookup(
+        &self,
+        entries: &[TableEntry],
+        ranks: &[Rank],
+        keys: &[Value],
+        log: &ProbeLog,
+    ) -> Option<usize> {
+        let mut probes = 1u64;
+        let mut best: Option<usize> = self.map.get(keys).copied();
+        for &i in &self.spill {
+            probes += 1;
+            if entry_matches(&entries[i], keys) {
+                let better = match best {
+                    None => true,
+                    // Strict priority comparison + install order: exact
+                    // entries all rank (priority, 0).
+                    Some(b) => ranks[i].0 > ranks[b].0 || (ranks[i].0 == ranks[b].0 && i < b),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        log.record_probes(probes);
+        best
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            kind: IndexKind::Exact,
+            partitions: self.map.len(),
+            spill: self.spill.len(),
+            ..IndexStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lpm
+// ---------------------------------------------------------------------------
+
+/// Single-LPM-key tables: prefixes bucketed by `(key width, prefix length)`,
+/// walked longest-prefix-first. Valid only while all entries share one
+/// priority; a mixed-priority install flips `mixed` and the table migrates
+/// to tuple-space search.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LpmIndex {
+    buckets: HashMap<(u16, u16), HashMap<u128, usize>>,
+    /// Bucket keys sorted by descending prefix length.
+    lens: Vec<(u16, u16)>,
+    /// First-installed wildcard entry (`Any` or a /0 prefix).
+    wildcard: Option<usize>,
+    /// Priority shared by every installed entry, if still uniform.
+    uniform: Option<i32>,
+    /// Set once a second distinct priority is installed.
+    mixed: bool,
+}
+
+impl ClassifierIndex for LpmIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Lpm
+    }
+
+    fn clone_box(&self) -> Box<dyn ClassifierIndex> {
+        Box::new(self.clone())
+    }
+
+    fn build(&mut self, entries: &[TableEntry], ranks: &[Rank]) {
+        *self = LpmIndex::default();
+        for idx in 0..entries.len() {
+            self.insert(entries, ranks, idx);
+        }
+    }
+
+    fn insert(&mut self, entries: &[TableEntry], _ranks: &[Rank], idx: usize) -> bool {
+        let entry = &entries[idx];
+        match self.uniform {
+            None => self.uniform = Some(entry.priority),
+            Some(p) if p != entry.priority => self.mixed = true,
+            _ => {}
+        }
+        match entry.matches.first() {
+            Some(KeyMatch::Lpm(prefix, len)) if *len > 0 => {
+                let bits = prefix.bits();
+                let eff = (*len).min(bits);
+                let masked = prefix.raw() >> u32::from(bits - eff);
+                let bucket = self.buckets.entry((bits, *len)).or_default();
+                // Same (width, len, masked prefix) ⇒ identical match set;
+                // the first install wins under uniform priority.
+                bucket.entry(masked).or_insert(idx);
+                if !self.lens.contains(&(bits, *len)) {
+                    self.lens.push((bits, *len));
+                    self.lens.sort_by_key(|&(_, len)| std::cmp::Reverse(len));
+                }
+            }
+            // `Any` and /0 prefixes match everything: rank (prio, 0).
+            _ => {
+                if self.wildcard.is_none() {
+                    self.wildcard = Some(idx);
+                }
+            }
+        }
+        true
+    }
+
+    fn remove(&mut self, removed: &TableEntry, _rank: Rank, idx: usize) -> bool {
+        match removed.matches.first() {
+            Some(KeyMatch::Lpm(prefix, len)) if *len > 0 => {
+                let bits = prefix.bits();
+                let eff = (*len).min(bits);
+                let masked = prefix.raw() >> u32::from(bits - eff);
+                // Removing the stored winner exposes an unknown shadowed
+                // duplicate — rebuild. Shadowed duplicates go quietly.
+                self.buckets.get(&(bits, *len)).and_then(|b| b.get(&masked)) != Some(&idx)
+            }
+            _ => self.wildcard != Some(idx),
+        }
+    }
+
+    fn lookup(
+        &self,
+        entries: &[TableEntry],
+        ranks: &[Rank],
+        keys: &[Value],
+        log: &ProbeLog,
+    ) -> Option<usize> {
+        if self.mixed {
+            // Defensive full walk; normally unreachable because the table
+            // migrates to tuple-space on the mixed-priority install.
+            let mut best: Option<usize> = None;
+            for (i, e) in entries.iter().enumerate() {
+                if entry_matches(e, keys) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => ranks[i] > ranks[b],
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            log.record_probes(entries.len() as u64);
+            return best;
+        }
+        let Some(&v) = keys.first() else {
+            log.record_probes(0);
+            return None;
+        };
+        let mut probes = 0u64;
+        for &(bits, len) in &self.lens {
+            probes += 1;
+            if bits != v.bits() {
+                continue;
+            }
+            let eff = len.min(bits);
+            let masked = v.raw() >> u32::from(bits - eff);
+            if let Some(&i) = self.buckets[&(bits, len)].get(&masked) {
+                log.record_probes(probes.max(1));
+                return Some(i);
+            }
+        }
+        log.record_probes(probes.max(1));
+        self.wildcard
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            kind: IndexKind::Lpm,
+            partitions: self.buckets.len(),
+            spill: usize::from(self.wildcard.is_some()),
+            mixed_priorities: self.mixed,
+            ..IndexStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-space search
+// ---------------------------------------------------------------------------
+
+/// One tuple: all entries sharing a mask signature, hashed by their stored
+/// comparison values. Buckets hold lists because distinct entries can share
+/// a hash (collisions) or identical stored values (shadowed duplicates);
+/// every candidate is verified with full `KeyMatch::matches`.
+#[derive(Debug, Clone)]
+struct Tuple {
+    sig: Vec<KeySig>,
+    buckets: HashMap<u64, Vec<usize>>,
+    /// Multiset of live ranks; the max key drives the probe order.
+    rank_counts: BTreeMap<Rank, u32>,
+    len: usize,
+}
+
+impl Tuple {
+    fn max_rank(&self) -> Option<Rank> {
+        self.rank_counts.keys().next_back().copied()
+    }
+}
+
+/// Tuple-space search: one hash table per distinct mask tuple, probed in
+/// descending max-rank order with early exit once no remaining tuple can
+/// beat the current best hit. Unhashable entries (real ranges) live in a
+/// rank-sorted spill list scanned first.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TupleSpaceIndex {
+    /// Tuple storage; slots may be tombstoned (empty) after removals.
+    tuples: Vec<Tuple>,
+    by_sig: HashMap<Vec<KeySig>, usize>,
+    /// Live tuple ids ordered `(max_rank desc, id asc)`.
+    probe_order: Vec<usize>,
+    /// Unhashable entries, `(rank desc, index asc)`.
+    spill: Vec<usize>,
+    live_tuples: usize,
+    mixed: bool,
+    first_priority: Option<i32>,
+}
+
+impl TupleSpaceIndex {
+    /// Position of tuple `tid` in the probe order under `(max_rank desc,
+    /// id asc)`.
+    fn probe_pos(&self, tid: usize) -> usize {
+        let key = (self.tuples[tid].max_rank(), std::cmp::Reverse(tid));
+        self.probe_order
+            .partition_point(|&t| (self.tuples[t].max_rank(), std::cmp::Reverse(t)) > key)
+    }
+
+    fn reposition(&mut self, tid: usize) {
+        self.probe_order.retain(|&t| t != tid);
+        let pos = self.probe_pos(tid);
+        self.probe_order.insert(pos, tid);
+    }
+
+    fn note_priority(&mut self, p: i32) {
+        match self.first_priority {
+            None => self.first_priority = Some(p),
+            Some(fp) if fp != p => self.mixed = true,
+            _ => {}
+        }
+    }
+}
+
+impl ClassifierIndex for TupleSpaceIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::TupleSpace
+    }
+
+    fn clone_box(&self) -> Box<dyn ClassifierIndex> {
+        Box::new(self.clone())
+    }
+
+    fn build(&mut self, entries: &[TableEntry], ranks: &[Rank]) {
+        *self = TupleSpaceIndex::default();
+        for idx in 0..entries.len() {
+            self.insert(entries, ranks, idx);
+        }
+    }
+
+    fn insert(&mut self, entries: &[TableEntry], ranks: &[Rank], idx: usize) -> bool {
+        let entry = &entries[idx];
+        self.note_priority(entry.priority);
+        match entry_sig(entry) {
+            None => ordered_insert(&mut self.spill, ranks, idx),
+            Some((sig, hash)) => {
+                let tid = match self.by_sig.get(&sig) {
+                    Some(&t) => t,
+                    None => {
+                        let t = self.tuples.len();
+                        self.tuples.push(Tuple {
+                            sig: sig.clone(),
+                            buckets: HashMap::new(),
+                            rank_counts: BTreeMap::new(),
+                            len: 0,
+                        });
+                        self.by_sig.insert(sig, t);
+                        self.live_tuples += 1;
+                        let pos = self.probe_pos(t);
+                        self.probe_order.insert(pos, t);
+                        t
+                    }
+                };
+                let old_max = self.tuples[tid].max_rank();
+                let tuple = &mut self.tuples[tid];
+                tuple.buckets.entry(hash).or_default().push(idx);
+                *tuple.rank_counts.entry(ranks[idx]).or_insert(0) += 1;
+                tuple.len += 1;
+                if self.tuples[tid].max_rank() != old_max {
+                    self.reposition(tid);
+                }
+            }
+        }
+        true
+    }
+
+    fn remove(&mut self, removed: &TableEntry, rank: Rank, idx: usize) -> bool {
+        match entry_sig(removed) {
+            None => {
+                let before = self.spill.len();
+                self.spill.retain(|&i| i != idx);
+                self.spill.len() < before
+            }
+            Some((sig, hash)) => {
+                let Some(&tid) = self.by_sig.get(&sig) else {
+                    return false;
+                };
+                let old_max = self.tuples[tid].max_rank();
+                let tuple = &mut self.tuples[tid];
+                let Some(bucket) = tuple.buckets.get_mut(&hash) else {
+                    return false;
+                };
+                let before = bucket.len();
+                bucket.retain(|&i| i != idx);
+                if bucket.len() == before {
+                    return false;
+                }
+                if bucket.is_empty() {
+                    tuple.buckets.remove(&hash);
+                }
+                match tuple.rank_counts.get_mut(&rank) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    Some(_) => {
+                        tuple.rank_counts.remove(&rank);
+                    }
+                    None => return false,
+                }
+                tuple.len -= 1;
+                if tuple.len == 0 {
+                    // Tombstone the slot; ids are stable so no remapping.
+                    self.by_sig.remove(&sig);
+                    self.tuples[tid].buckets = HashMap::new();
+                    self.probe_order.retain(|&t| t != tid);
+                    self.live_tuples -= 1;
+                } else if self.tuples[tid].max_rank() != old_max {
+                    self.reposition(tid);
+                }
+                true
+            }
+        }
+    }
+
+    fn lookup(
+        &self,
+        entries: &[TableEntry],
+        ranks: &[Rank],
+        keys: &[Value],
+        log: &ProbeLog,
+    ) -> Option<usize> {
+        let mut best: Option<(Rank, usize)> = None;
+        let mut probes = 0u64;
+        // Spill is rank-sorted: the first match is the best spill candidate.
+        for &i in &self.spill {
+            probes += 1;
+            if entry_matches(&entries[i], keys) {
+                best = Some((ranks[i], i));
+                break;
+            }
+        }
+        for &tid in &self.probe_order {
+            let tuple = &self.tuples[tid];
+            let Some(tmax) = tuple.max_rank() else {
+                continue;
+            };
+            // Early exit: tuples are max-rank descending, so once the best
+            // possible remaining rank is strictly below the current hit no
+            // later tuple can win. Equal max ranks must still be probed —
+            // an equal-rank entry with a lower install index beats the hit.
+            if let Some((br, _)) = best {
+                if tmax < br {
+                    break;
+                }
+            }
+            probes += 1;
+            let Some(h) = probe_hash(&tuple.sig, keys) else {
+                // Width mismatch: no entry in this tuple can match the key.
+                continue;
+            };
+            if let Some(bucket) = tuple.buckets.get(&h) {
+                for &i in bucket {
+                    if entry_matches(&entries[i], keys) {
+                        let better = match best {
+                            None => true,
+                            Some((br, bi)) => ranks[i] > br || (ranks[i] == br && i < bi),
+                        };
+                        if better {
+                            best = Some((ranks[i], i));
+                        }
+                    }
+                }
+            }
+        }
+        log.record_probes(probes.max(1));
+        best.map(|(_, i)| i)
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            kind: IndexKind::TupleSpace,
+            partitions: self.live_tuples,
+            spill: self.spill.len(),
+            mixed_priorities: self.mixed,
+            ..IndexStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree (HyperCuts-style)
+// ---------------------------------------------------------------------------
+
+/// Leaf size below which a node is not cut further.
+const LEAF_MAX: usize = 8;
+/// Local-list size above which an incremental insert demands a rebuild.
+const LEAF_SPLIT: usize = 64;
+/// Maximum tree depth.
+const MAX_DEPTH: usize = 24;
+/// Bits consumed per cut (fan-out `2^CUT_BITS`).
+const CUT_BITS: u32 = 4;
+/// Sentinel child id for an empty subtree.
+const NO_CHILD: usize = usize::MAX;
+
+/// A cut: inspect `bits` bits of key `dim` starting at `shift`, valid for
+/// keys of exactly `width` bits.
+#[derive(Debug, Clone, Copy)]
+struct Cut {
+    dim: usize,
+    width: u16,
+    shift: u32,
+    bits: u32,
+}
+
+fn low_mask(bits: u32) -> u128 {
+    (1u128 << bits) - 1
+}
+
+/// Which child an entry's match on `cut.dim` belongs to, or `None` when the
+/// entry does not pin every bit of the cut window (it stays in the node's
+/// local list — no rule replication).
+fn cut_value(m: &KeyMatch, cut: &Cut) -> Option<u128> {
+    let window = low_mask(cut.bits) << cut.shift;
+    match key_sig(m)? {
+        (KeySig::Masked { bits, mask }, stored) if bits == cut.width && mask & window == window => {
+            Some((stored >> cut.shift) & low_mask(cut.bits))
+        }
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    cut: Option<Cut>,
+    /// `2^bits` child node ids (`NO_CHILD` = empty subtree).
+    children: Vec<usize>,
+    /// Entries resident at this node, `(rank desc, index asc)`.
+    local: Vec<usize>,
+    /// Best rank anywhere in this subtree (pruning bound).
+    max_rank: Option<Rank>,
+}
+
+/// HyperCuts-style decision tree: each internal node cuts on the
+/// highest-scoring `(dim, bit window)` — score is entries covering the
+/// window × distinct window values — and entries that don't pin the window
+/// stay in the node's local list. Lookup descends one path, scanning local
+/// lists with a rank early-exit and pruning subtrees whose `max_rank`
+/// cannot beat the current best.
+#[derive(Debug, Clone)]
+pub(crate) struct DecisionTreeIndex {
+    nodes: Vec<TreeNode>,
+    /// Entry count at the last full build.
+    built_len: usize,
+    /// Entries absorbed incrementally since the last build.
+    grown: usize,
+    max_depth: usize,
+}
+
+impl Default for DecisionTreeIndex {
+    fn default() -> Self {
+        DecisionTreeIndex {
+            nodes: vec![TreeNode {
+                cut: None,
+                children: Vec::new(),
+                local: Vec::new(),
+                max_rank: None,
+            }],
+            built_len: 0,
+            grown: 0,
+            max_depth: 0,
+        }
+    }
+}
+
+impl DecisionTreeIndex {
+    /// Best cut for this entry set, or `None` when no window discriminates.
+    fn choose_cut(ids: &[usize], entries: &[TableEntry]) -> Option<Cut> {
+        let arity = entries.get(*ids.first()?)?.matches.len();
+        let mut best: Option<(u64, Cut)> = None;
+        for dim in 0..arity {
+            // Majority key width among maskable sigs on this dim.
+            let mut width_counts: BTreeMap<u16, usize> = BTreeMap::new();
+            for &i in ids {
+                if let Some((KeySig::Masked { bits, .. }, _)) = key_sig(&entries[i].matches[dim]) {
+                    *width_counts.entry(bits).or_insert(0) += 1;
+                }
+            }
+            let Some((&w, _)) = width_counts.iter().max_by_key(|&(&w, &c)| (c, w)) else {
+                continue;
+            };
+            let bits = CUT_BITS.min(u32::from(w));
+            let window_count = u32::from(w).saturating_sub(bits) + 1;
+            for shift in 0..window_count {
+                let window = low_mask(bits) << shift;
+                let mut covered = 0u64;
+                let mut values = HashSet::new();
+                for &i in ids {
+                    if let Some((KeySig::Masked { bits: eb, mask }, stored)) =
+                        key_sig(&entries[i].matches[dim])
+                    {
+                        if eb == w && mask & window == window {
+                            covered += 1;
+                            values.insert((stored >> shift) & low_mask(bits));
+                        }
+                    }
+                }
+                // A useful cut must split the covered set and cover a
+                // meaningful fraction of the node.
+                if values.len() < 2 || covered * 4 < ids.len() as u64 {
+                    continue;
+                }
+                let score = covered * values.len() as u64;
+                let better = match best {
+                    None => true,
+                    Some((bs, _)) => score > bs,
+                };
+                if better {
+                    best = Some((
+                        score,
+                        Cut {
+                            dim,
+                            width: w,
+                            shift,
+                            bits,
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    fn build_node(
+        &mut self,
+        mut ids: Vec<usize>,
+        entries: &[TableEntry],
+        ranks: &[Rank],
+        depth: usize,
+    ) -> usize {
+        self.max_depth = self.max_depth.max(depth);
+        let max_rank = ids.iter().map(|&i| ranks[i]).max();
+        let cut = if ids.len() <= LEAF_MAX || depth >= MAX_DEPTH {
+            None
+        } else {
+            Self::choose_cut(&ids, entries)
+        };
+        let Some(cut) = cut else {
+            ids.sort_by_key(|&i| (std::cmp::Reverse(ranks[i]), i));
+            let id = self.nodes.len();
+            self.nodes.push(TreeNode {
+                cut: None,
+                children: Vec::new(),
+                local: ids,
+                max_rank,
+            });
+            return id;
+        };
+        let fan = 1usize << cut.bits;
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); fan];
+        let mut local = Vec::new();
+        for &i in &ids {
+            match cut_value(&entries[i].matches[cut.dim], &cut) {
+                Some(v) => partitions[v as usize].push(i),
+                None => local.push(i),
+            }
+        }
+        local.sort_by_key(|&i| (std::cmp::Reverse(ranks[i]), i));
+        let id = self.nodes.len();
+        self.nodes.push(TreeNode {
+            cut: Some(cut),
+            children: vec![NO_CHILD; fan],
+            local,
+            max_rank,
+        });
+        for (slot, part) in partitions.into_iter().enumerate() {
+            if !part.is_empty() {
+                let child = self.build_node(part, entries, ranks, depth + 1);
+                self.nodes[id].children[slot] = child;
+            }
+        }
+        id
+    }
+}
+
+impl ClassifierIndex for DecisionTreeIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::DecisionTree
+    }
+
+    fn clone_box(&self) -> Box<dyn ClassifierIndex> {
+        Box::new(self.clone())
+    }
+
+    fn build(&mut self, entries: &[TableEntry], ranks: &[Rank]) {
+        self.nodes.clear();
+        self.max_depth = 0;
+        self.built_len = entries.len();
+        self.grown = 0;
+        // Nodes allocate pre-order, so the root always lands in slot 0.
+        let root = self.build_node((0..entries.len()).collect(), entries, ranks, 0);
+        debug_assert_eq!(root, 0);
+    }
+
+    fn insert(&mut self, entries: &[TableEntry], ranks: &[Rank], idx: usize) -> bool {
+        let rank = ranks[idx];
+        self.grown += 1;
+        if self.grown > self.built_len / 2 + LEAF_SPLIT {
+            return false;
+        }
+        let mut node = 0usize;
+        let mut depth = 0usize;
+        loop {
+            let n = &mut self.nodes[node];
+            n.max_rank = Some(n.max_rank.map_or(rank, |m| m.max(rank)));
+            let Some(cut) = n.cut else {
+                if n.local.len() >= LEAF_SPLIT {
+                    return false;
+                }
+                ordered_insert(&mut n.local, ranks, idx);
+                return true;
+            };
+            match cut_value(&entries[idx].matches[cut.dim], &cut) {
+                None => {
+                    if n.local.len() >= LEAF_SPLIT {
+                        return false;
+                    }
+                    ordered_insert(&mut n.local, ranks, idx);
+                    return true;
+                }
+                Some(v) => {
+                    let child = n.children[v as usize];
+                    if child == NO_CHILD {
+                        let new_id = self.nodes.len();
+                        self.nodes[node].children[v as usize] = new_id;
+                        self.nodes.push(TreeNode {
+                            cut: None,
+                            children: Vec::new(),
+                            local: vec![idx],
+                            max_rank: Some(rank),
+                        });
+                        self.max_depth = self.max_depth.max(depth + 1);
+                        return true;
+                    }
+                    node = child;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, _removed: &TableEntry, _rank: Rank, _idx: usize) -> bool {
+        // Subtree max-rank bounds cannot be tightened without a walk;
+        // deletions always rebuild (aging sweeps batch into one rebuild).
+        false
+    }
+
+    fn lookup(
+        &self,
+        entries: &[TableEntry],
+        ranks: &[Rank],
+        keys: &[Value],
+        log: &ProbeLog,
+    ) -> Option<usize> {
+        let mut best: Option<(Rank, usize)> = None;
+        let mut probes = 0u64;
+        let mut depth = 0u64;
+        let mut node = 0usize;
+        loop {
+            let n = &self.nodes[node];
+            probes += 1;
+            for &i in &n.local {
+                // Local lists are rank-descending: below the current best
+                // nothing here can win. Equal ranks still compare install
+                // index.
+                if let Some((br, _)) = best {
+                    if ranks[i] < br {
+                        break;
+                    }
+                }
+                probes += 1;
+                if entry_matches(&entries[i], keys) {
+                    let better = match best {
+                        None => true,
+                        Some((br, bi)) => ranks[i] > br || (ranks[i] == br && i < bi),
+                    };
+                    if better {
+                        best = Some((ranks[i], i));
+                    }
+                }
+            }
+            let Some(cut) = n.cut else { break };
+            let Some(&k) = keys.get(cut.dim) else { break };
+            if k.bits() != cut.width {
+                // Every subtree entry pins a window of `width`-bit keys;
+                // a different key width can only match local/spill rules.
+                break;
+            }
+            let child = n.children[((k.raw() >> cut.shift) & low_mask(cut.bits)) as usize];
+            if child == NO_CHILD {
+                break;
+            }
+            if let Some((br, _)) = best {
+                // Strict bound: an equal-max subtree can still win a tie
+                // on install index, so only prune strictly-worse subtrees.
+                if self.nodes[child].max_rank.is_none_or(|m| m < br) {
+                    break;
+                }
+            }
+            node = child;
+            depth += 1;
+        }
+        log.record_probes(probes.max(1));
+        log.record_depth(depth);
+        best.map(|(_, i)| i)
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            kind: IndexKind::DecisionTree,
+            partitions: self.nodes.len(),
+            spill: self.nodes[0].local.len(),
+            max_depth: self.max_depth,
+            ..IndexStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection heuristic
+// ---------------------------------------------------------------------------
+
+/// Coarse table shape derived from the key kinds; constrains which index
+/// kinds are admissible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableShape {
+    /// Every key is `MatchKind::Exact`.
+    AllExact,
+    /// Exactly one key, `MatchKind::Lpm`.
+    SingleLpm,
+    /// Anything else: ternary, range, or mixed kinds — TCAM territory.
+    Tcam,
+}
+
+/// Classifies a table definition into its shape.
+pub fn shape_of(def: &TableDef) -> TableShape {
+    if def.keys.iter().all(|k| k.kind == MatchKind::Exact) {
+        TableShape::AllExact
+    } else if def.keys.len() == 1 && def.keys[0].kind == MatchKind::Lpm {
+        TableShape::SingleLpm
+    } else {
+        TableShape::Tcam
+    }
+}
+
+/// Minimum entry count before the decision tree is ever worth building.
+const TREE_MIN_ENTRIES: usize = 64;
+
+/// Decision tree when the tuple space is degenerate (tuples or spill
+/// approaching the entry count), else tuple-space search.
+fn tcam_kind(n: usize, tuples: usize, spill: usize) -> IndexKind {
+    if n >= TREE_MIN_ENTRIES && (tuples * 4 >= n || spill * 2 >= n) {
+        IndexKind::DecisionTree
+    } else {
+        IndexKind::TupleSpace
+    }
+}
+
+/// Desired kind after an incremental install, given the current index's
+/// self-reported stats. Sticky: a decision tree stays a decision tree until
+/// a rebuild re-evaluates from scratch.
+pub(crate) fn auto_kind_after_insert(
+    shape: TableShape,
+    n: usize,
+    current: IndexKind,
+    stats: &IndexStats,
+) -> IndexKind {
+    match shape {
+        TableShape::AllExact => IndexKind::Exact,
+        TableShape::SingleLpm => {
+            if current == IndexKind::Lpm && stats.mixed_priorities {
+                IndexKind::TupleSpace
+            } else {
+                current
+            }
+        }
+        TableShape::Tcam => {
+            if current == IndexKind::DecisionTree {
+                IndexKind::DecisionTree
+            } else {
+                tcam_kind(n, stats.partitions, stats.spill)
+            }
+        }
+    }
+}
+
+/// Desired kind for a full rebuild, computed from the entries themselves.
+pub(crate) fn auto_kind_from_entries(shape: TableShape, entries: &[TableEntry]) -> IndexKind {
+    match shape {
+        TableShape::AllExact => IndexKind::Exact,
+        TableShape::SingleLpm => {
+            let mut prios = entries.iter().map(|e| e.priority);
+            let first = prios.next();
+            if first.is_some() && prios.any(|p| Some(p) != first) {
+                IndexKind::TupleSpace
+            } else {
+                IndexKind::Lpm
+            }
+        }
+        TableShape::Tcam => {
+            let mut sigs = HashSet::new();
+            let mut spill = 0usize;
+            for e in entries {
+                match entry_sig(e) {
+                    Some((sig, _)) => {
+                        sigs.insert(sig);
+                    }
+                    None => spill += 1,
+                }
+            }
+            tcam_kind(entries.len(), sigs.len(), spill)
+        }
+    }
+}
+
+/// Initial kind for an empty table of the given shape.
+pub(crate) fn initial_kind(shape: TableShape) -> IndexKind {
+    match shape {
+        TableShape::AllExact => IndexKind::Exact,
+        TableShape::SingleLpm => IndexKind::Lpm,
+        TableShape::Tcam => IndexKind::TupleSpace,
+    }
+}
+
+/// Constructs an empty index of the requested kind.
+pub(crate) fn make_index(kind: IndexKind) -> Box<dyn ClassifierIndex> {
+    match kind {
+        IndexKind::Scan => Box::new(ScanIndex::default()),
+        IndexKind::Exact => Box::new(ExactIndex::default()),
+        IndexKind::Lpm => Box::new(LpmIndex::default()),
+        IndexKind::TupleSpace => Box::new(TupleSpaceIndex::default()),
+        IndexKind::DecisionTree => Box::new(DecisionTreeIndex::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground-truth arbitration: best rank, ties to lowest index.
+    fn oracle(entries: &[TableEntry], ranks: &[Rank], keys: &[Value]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in entries.iter().enumerate() {
+            if entry_matches(e, keys) {
+                let better = best.is_none_or(|b| ranks[i] > ranks[b]);
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn random_entry(r: &mut Lcg) -> TableEntry {
+        let m0 = match r.next() % 6 {
+            0 => KeyMatch::Any,
+            1 => KeyMatch::Exact(Value::new(r.next() as u128 % 64, 16)),
+            2 => {
+                let masks = [0xff00u128, 0x0ff0, 0xffff, 0x00ff, 0x3c3c, 0];
+                let m = masks[(r.next() % 6) as usize];
+                KeyMatch::Ternary(Value::new(r.next() as u128, 16), Value::new(m, 16))
+            }
+            3 => KeyMatch::Lpm(Value::new(r.next() as u128, 16), (r.next() % 17) as u16),
+            4 => {
+                let lo = r.next() as u128 % 256;
+                let hi = lo + r.next() as u128 % 4;
+                KeyMatch::Range(Value::new(lo, 16), Value::new(hi, 16))
+            }
+            _ => KeyMatch::Ternary(Value::new(r.next() as u128, 8), Value::new(0xf0, 8)),
+        };
+        TableEntry {
+            matches: vec![m0],
+            action: "a".into(),
+            action_args: vec![],
+            priority: (r.next() % 4) as i32,
+        }
+    }
+
+    fn random_keys(r: &mut Lcg) -> Vec<Value> {
+        let bits = if r.next().is_multiple_of(8) { 8 } else { 16 };
+        vec![Value::new(r.next() as u128 % 300, bits)]
+    }
+
+    fn check_against_oracle(kind: IndexKind, seed: u64, n: usize) {
+        let mut r = Lcg(seed);
+        let entries: Vec<_> = (0..n).map(|_| random_entry(&mut r)).collect();
+        let ranks: Vec<_> = entries.iter().map(rank_of).collect();
+        let mut ix = make_index(kind);
+        ix.build(&entries, &ranks);
+        let log = ProbeLog::default();
+        for _ in 0..400 {
+            let keys = random_keys(&mut r);
+            assert_eq!(
+                ix.lookup(&entries, &ranks, &keys, &log),
+                oracle(&entries, &ranks, &keys),
+                "{kind:?} diverged on {keys:?}"
+            );
+        }
+        assert!(log.probes() > 0);
+    }
+
+    #[test]
+    fn scan_matches_oracle() {
+        check_against_oracle(IndexKind::Scan, 1, 120);
+    }
+
+    #[test]
+    fn tuple_space_matches_oracle() {
+        for seed in 0..8 {
+            check_against_oracle(IndexKind::TupleSpace, seed, 150);
+        }
+    }
+
+    #[test]
+    fn decision_tree_matches_oracle() {
+        for seed in 0..8 {
+            check_against_oracle(IndexKind::DecisionTree, seed, 150);
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        for kind in [IndexKind::TupleSpace, IndexKind::DecisionTree] {
+            let mut r = Lcg(99);
+            let mut entries = Vec::new();
+            let mut ranks = Vec::new();
+            let mut ix = make_index(kind);
+            ix.build(&entries, &ranks);
+            for _ in 0..120 {
+                entries.push(random_entry(&mut r));
+                ranks.push(rank_of(entries.last().unwrap()));
+                if !ix.insert(&entries, &ranks, entries.len() - 1) {
+                    ix.build(&entries, &ranks);
+                }
+                let keys = random_keys(&mut r);
+                let log = ProbeLog::default();
+                assert_eq!(
+                    ix.lookup(&entries, &ranks, &keys, &log),
+                    oracle(&entries, &ranks, &keys),
+                    "{kind:?} diverged mid-insert"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_space_incremental_remove() {
+        let mut r = Lcg(7);
+        let entries: Vec<_> = (0..80).map(|_| random_entry(&mut r)).collect();
+        let ranks: Vec<_> = entries.iter().map(rank_of).collect();
+        let mut ix = TupleSpaceIndex::default();
+        ix.build(&entries, &ranks);
+        // Remove the tail half one by one (the only shape `remove` must
+        // support: the victim is always the last live index).
+        let mut live_entries = entries.clone();
+        let mut live_ranks = ranks.clone();
+        for idx in (40..entries.len()).rev() {
+            assert!(ix.remove(&entries[idx], ranks[idx], idx), "remove {idx}");
+            live_entries.truncate(idx);
+            live_ranks.truncate(idx);
+            let keys = random_keys(&mut r);
+            let log = ProbeLog::default();
+            assert_eq!(
+                ix.lookup(&live_entries, &live_ranks, &keys, &log),
+                oracle(&live_entries, &live_ranks, &keys),
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_space_early_exit_keeps_install_order_ties() {
+        // Two entries, same rank, different tuples, both matching: the
+        // earlier install must win even though its tuple is probed second
+        // (tuple ids break probe-order ties).
+        let e0 = TableEntry {
+            matches: vec![KeyMatch::Ternary(Value::new(0x10, 8), Value::new(0xf0, 8))],
+            action: "a".into(),
+            action_args: vec![],
+            priority: 5,
+        };
+        let e1 = TableEntry {
+            matches: vec![KeyMatch::Ternary(Value::new(0x01, 8), Value::new(0x0f, 8))],
+            action: "a".into(),
+            action_args: vec![],
+            priority: 5,
+        };
+        let entries = vec![e0, e1];
+        let ranks: Vec<_> = entries.iter().map(rank_of).collect();
+        let mut ix = TupleSpaceIndex::default();
+        ix.build(&entries, &ranks);
+        let log = ProbeLog::default();
+        let hit = ix.lookup(&entries, &ranks, &[Value::new(0x11, 8)], &log);
+        assert_eq!(hit, Some(0));
+    }
+
+    #[test]
+    fn heuristic_selects_tree_for_diverse_masks() {
+        // 64 entries, each with a unique ternary mask → tuple per entry.
+        let entries: Vec<_> = (0..64u128)
+            .map(|i| TableEntry {
+                matches: vec![KeyMatch::Ternary(
+                    Value::new(i, 32),
+                    Value::new(0xffff_0000 | i, 32),
+                )],
+                action: "a".into(),
+                action_args: vec![],
+                priority: 0,
+            })
+            .collect();
+        assert_eq!(
+            auto_kind_from_entries(TableShape::Tcam, &entries),
+            IndexKind::DecisionTree
+        );
+        // One shared mask → one tuple → tuple space.
+        let uniform: Vec<_> = (0..64u128)
+            .map(|i| TableEntry {
+                matches: vec![KeyMatch::Ternary(
+                    Value::new(i << 8, 32),
+                    Value::new(0xffff_ff00, 32),
+                )],
+                action: "a".into(),
+                action_args: vec![],
+                priority: 0,
+            })
+            .collect();
+        assert_eq!(
+            auto_kind_from_entries(TableShape::Tcam, &uniform),
+            IndexKind::TupleSpace
+        );
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 1);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(255), 7);
+        assert_eq!(log2_bucket(u64::MAX), 7);
+    }
+
+    #[test]
+    fn sig_classification() {
+        assert_eq!(key_sig(&KeyMatch::Any), Some((KeySig::Wild, 0)));
+        assert_eq!(
+            key_sig(&KeyMatch::Lpm(Value::new(0, 32), 0)),
+            Some((KeySig::Wild, 0))
+        );
+        assert_eq!(
+            key_sig(&KeyMatch::Ternary(Value::new(1, 8), Value::new(0, 8))),
+            Some((KeySig::Wild, 0))
+        );
+        assert!(key_sig(&KeyMatch::Range(Value::new(1, 8), Value::new(2, 8))).is_none());
+        assert_eq!(
+            key_sig(&KeyMatch::Range(Value::new(3, 8), Value::new(3, 8))),
+            Some((KeySig::Raw, 3))
+        );
+        let (sig, stored) = key_sig(&KeyMatch::Lpm(Value::new(0x0a00_00ff, 32), 8)).unwrap();
+        assert_eq!(
+            sig,
+            KeySig::Masked {
+                bits: 32,
+                mask: 0xff00_0000
+            }
+        );
+        assert_eq!(stored, 0x0a00_0000);
+    }
+}

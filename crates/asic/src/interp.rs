@@ -167,7 +167,7 @@ impl<'a> Interpreter<'a> {
             .iter()
             .map(|k| self.read_field(&k.field, pp, meta))
             .collect::<Result<_, _>>()?;
-        let (action_name, args, hit) = match tables.lookup_scan(def, &keys) {
+        let (action_name, args, hit) = match tables.lookup(def, &keys) {
             Some(entry) => (entry.action, entry.action_args, true),
             None => (
                 def.default_action.clone(),

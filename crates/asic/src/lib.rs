@@ -29,6 +29,7 @@
 
 pub mod compiled;
 pub mod feedback;
+pub mod index;
 pub mod interp;
 pub mod metrics;
 pub mod packet;
@@ -49,6 +50,7 @@ pub use dejavu_telemetry as telemetry;
 pub use dejavu_state as state;
 
 pub use compiled::{CompiledPass, CompiledProgram};
+pub use index::{IndexKind, IndexPolicy, IndexStats, IndexTelemetry, TableShape};
 pub use interp::{Interpreter, PipeletOutcome};
 pub use metrics::SwitchMetrics;
 pub use packet::{HeaderInstance, Packet, ParsedPacket};

@@ -27,6 +27,7 @@
 //! are both built on these traces.
 
 use crate::compiled::CompiledProgram;
+use crate::index::{IndexKind, IndexPolicy};
 use crate::interp::Interpreter;
 use crate::metrics::SwitchMetrics;
 use crate::packet::ParsedPacket;
@@ -576,6 +577,42 @@ impl Switch {
                     );
                 }
             }
+            for (table, it) in state.index_telemetry() {
+                snap.set_gauge(
+                    format!("table_index_kind{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+                    it.kind.ordinal(),
+                );
+                snap.set_counter(
+                    format!("table_index_probes{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+                    it.probes,
+                );
+                if it.rebuilds > 0 {
+                    snap.set_counter(
+                        format!("table_index_rebuilds{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+                        it.rebuilds,
+                    );
+                }
+                for (b, &v) in it.probe_hist.iter().enumerate() {
+                    if v > 0 {
+                        snap.set_counter(
+                            format!(
+                                "table_index_probe_depth{{pipelet=\"{pipelet}\",table=\"{table}\",bucket=\"{b}\"}}"
+                            ),
+                            v,
+                        );
+                    }
+                }
+                for (b, &v) in it.depth_hist.iter().enumerate() {
+                    if v > 0 {
+                        snap.set_counter(
+                            format!(
+                                "table_index_tree_depth{{pipelet=\"{pipelet}\",table=\"{table}\",bucket=\"{b}\"}}"
+                            ),
+                            v,
+                        );
+                    }
+                }
+            }
         }
         snap
     }
@@ -736,6 +773,39 @@ impl Switch {
             .get_mut(&pipelet)
             .expect("table state exists for every loaded program")
             .install(&def, entry)
+    }
+
+    /// Removes a previously installed entry from a pipelet's table.
+    /// Returns `Ok(true)` when an identical entry existed and was removed.
+    pub fn remove_entry(
+        &mut self,
+        pipelet: PipeletId,
+        table: &str,
+        entry: &TableEntry,
+    ) -> Result<bool, IrError> {
+        self.tables
+            .get_mut(&pipelet)
+            .ok_or_else(|| IrError::Invalid(format!("no program loaded on {pipelet}")))?
+            .remove_entry(table, entry)
+    }
+
+    /// Sets the classification-index policy of a pipelet's table (pin a
+    /// kind with [`IndexPolicy::Force`], or return to automatic selection).
+    pub fn set_table_index(
+        &mut self,
+        pipelet: PipeletId,
+        table: &str,
+        policy: IndexPolicy,
+    ) -> Result<(), IrError> {
+        self.tables
+            .get_mut(&pipelet)
+            .ok_or_else(|| IrError::Invalid(format!("no program loaded on {pipelet}")))?
+            .set_index_policy(table, policy)
+    }
+
+    /// The index kind currently serving a pipelet's table.
+    pub fn table_index_kind(&self, pipelet: PipeletId, table: &str) -> Option<IndexKind> {
+        self.tables.get(&pipelet)?.index_kind(table)
     }
 
     /// Read access to a pipelet's table state (counters, entry counts).

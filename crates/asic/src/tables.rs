@@ -10,22 +10,32 @@
 //! * LPM keys: the longest matching prefix wins,
 //! * ternary/range keys: the highest-priority matching entry wins.
 //!
-//! Lookups are served from per-table indexes built incrementally at install
-//! time, the way a switch driver shadows hardware match memories:
+//! Lookups are served from per-table [`crate::index::ClassifierIndex`]es
+//! maintained incrementally at install/delete/aging time, the way a switch
+//! driver shadows hardware match memories:
 //!
 //! * all-exact-key tables get a hash index keyed on the full key tuple
 //!   (SRAM-style O(1) lookup),
 //! * single-key LPM tables get prefix-length buckets walked longest-first
 //!   (the classic software LPM structure),
-//! * ternary/range/mixed tables keep a priority-sorted order and scan it
-//!   first-match-wins (TCAM arbitration order).
+//! * ternary/range/mixed tables get **tuple-space search** (one hash table
+//!   per mask tuple, probed in descending max-priority order with early
+//!   exit), migrating to a **HyperCuts-style decision tree** when the
+//!   ruleset's mask diversity makes the tuple space degenerate.
 //!
-//! [`TableState::lookup_scan`] preserves the original linear-scan semantics
-//! and is used by the reference interpreter, so the property suite can
-//! differentially check every index against the scan oracle. Hit/miss
-//! counters live in `Cell`s so the counting and read-only lookup paths share
-//! one `&self` code path.
+//! The selection heuristic lives in `crate::index`; a per-table
+//! [`IndexPolicy`] can pin any admissible kind (benchmark baselines,
+//! differential tests). [`TableState::lookup_scan`] preserves the original
+//! linear-scan semantics as the reference oracle, so the property suite can
+//! differentially check every index against it. Hit/miss counters live in
+//! `Cell`s so the counting and read-only lookup paths share one `&self`
+//! code path.
 
+use crate::index::{
+    auto_kind_after_insert, auto_kind_from_entries, initial_kind, make_index, rank_of, shape_of,
+    ClassifierIndex, IndexKind, IndexPolicy, IndexStats, IndexTelemetry, ProbeLog, Rank,
+    TableShape,
+};
 use dejavu_p4ir::table::{KeyMatch, TableEntry};
 use dejavu_p4ir::{IrError, MatchKind, TableDef, Value};
 use std::cell::Cell;
@@ -52,77 +62,21 @@ pub struct DigestRecord {
     pub values: Vec<Value>,
 }
 
-/// Rank of an entry: priority first, then total LPM prefix length (longest
-/// prefix wins among equal priorities). Ties go to the earliest install.
-fn rank_of(e: &TableEntry) -> (i32, u32) {
-    let lpm_total: u32 = e
-        .matches
-        .iter()
-        .filter_map(|m| m.lpm_len().map(u32::from))
-        .sum();
-    (e.priority, lpm_total)
-}
-
-/// The per-table lookup index. The variant is chosen from the table's key
-/// kinds when the slot is created and maintained incrementally on install.
-#[derive(Debug, Clone)]
-enum TableIndex {
-    /// All keys are `MatchKind::Exact`: hash the full key tuple. Entries
-    /// using `KeyMatch::Any` wildcards fall into the scanned `spill` list.
-    Exact {
-        map: HashMap<Vec<Value>, usize>,
-        spill: Vec<usize>,
-    },
-    /// A single `MatchKind::Lpm` key: prefixes bucketed by
-    /// `(key width, prefix length)`, walked longest-prefix-first. Valid only
-    /// while all entries share one priority (`uniform`); otherwise lookups
-    /// fall back to the priority-sorted scan.
-    Lpm {
-        buckets: HashMap<(u16, u16), HashMap<u128, usize>>,
-        /// Bucket keys sorted by descending prefix length.
-        lens: Vec<(u16, u16)>,
-        /// First-installed wildcard entry (`Any` or a /0 prefix).
-        wildcard: Option<usize>,
-        /// Priority shared by every installed entry, if still uniform.
-        uniform: Option<i32>,
-        /// Set once a second distinct priority is installed.
-        mixed: bool,
-    },
-    /// Ternary/range/mixed tables: scan `order` (rank-descending) and stop
-    /// at the first match — identical arbitration to a TCAM.
-    Scan,
-}
-
-impl TableIndex {
-    fn for_def(def: &TableDef) -> TableIndex {
-        if def.keys.iter().all(|k| k.kind == MatchKind::Exact) {
-            TableIndex::Exact {
-                map: HashMap::new(),
-                spill: Vec::new(),
-            }
-        } else if def.keys.len() == 1 && def.keys[0].kind == MatchKind::Lpm {
-            TableIndex::Lpm {
-                buckets: HashMap::new(),
-                lens: Vec::new(),
-                wildcard: None,
-                uniform: None,
-                mixed: false,
-            }
-        } else {
-            TableIndex::Scan
-        }
-    }
-}
-
-/// Runtime state of one table: entries in install order, the rank-sorted
-/// scan order, the lookup index, and interior-mutable counters.
+/// Runtime state of one table: entries in install order, the pluggable
+/// classification index, and interior-mutable counters.
 #[derive(Debug, Clone)]
 struct TableRt {
     entries: Vec<TableEntry>,
-    ranks: Vec<(i32, u32)>,
-    /// Entry indices sorted by rank descending, install order within a rank.
-    order: Vec<usize>,
-    index: TableIndex,
+    ranks: Vec<Rank>,
+    /// Coarse key-kind shape; constrains which index kinds are admissible.
+    shape: TableShape,
+    /// Auto-select or pinned index kind.
+    policy: IndexPolicy,
+    index: Box<dyn ClassifierIndex>,
+    /// Probe/depth effort recorded by the index on every lookup.
+    probe_log: ProbeLog,
+    /// Times the index was rebuilt from scratch (migrations and sweeps).
+    rebuilds: u64,
     hits: Cell<u64>,
     misses: Cell<u64>,
     /// Logical tick of the last hit, parallel to `entries` (install tick
@@ -143,11 +97,15 @@ struct TableRt {
 
 impl TableRt {
     fn new(def: &TableDef) -> Self {
+        let shape = shape_of(def);
         TableRt {
             entries: Vec::new(),
             ranks: Vec::new(),
-            order: Vec::new(),
-            index: TableIndex::for_def(def),
+            shape,
+            policy: IndexPolicy::Auto,
+            index: make_index(initial_kind(shape)),
+            probe_log: ProbeLog::default(),
+            rebuilds: 0,
             hits: Cell::new(0),
             misses: Cell::new(0),
             last_hit: Vec::new(),
@@ -161,12 +119,55 @@ impl TableRt {
         self.stamp_floor = self.stamp_floor.min(now);
         let idx = self.entries.len();
         let rank = rank_of(&entry);
-        let pos = self.order.partition_point(|&i| self.ranks[i] >= rank);
-        self.order.insert(pos, idx);
-        self.index_insert(&entry, idx, rank);
         self.entries.push(entry);
         self.ranks.push(rank);
         self.last_hit.push(Cell::new(now));
+        if !self.index.insert(&self.entries, &self.ranks, idx) {
+            self.rebuild_index();
+        }
+        self.maybe_migrate();
+    }
+
+    /// Rebuilds the current index from the full entry list.
+    fn rebuild_index(&mut self) {
+        self.index.build(&self.entries, &self.ranks);
+        self.rebuilds += 1;
+    }
+
+    /// The kind the policy/heuristic wants right now, judged from the live
+    /// index's self-reported stats (the cheap post-install check).
+    fn desired_kind_incremental(&self) -> IndexKind {
+        match self.policy {
+            IndexPolicy::Force(k) => k,
+            IndexPolicy::Auto => auto_kind_after_insert(
+                self.shape,
+                self.entries.len(),
+                self.index.kind(),
+                &self.index.stats(),
+            ),
+        }
+    }
+
+    /// Swaps to the desired index kind (and rebuilds) if it changed.
+    fn maybe_migrate(&mut self) {
+        let desired = self.desired_kind_incremental();
+        if desired != self.index.kind() {
+            self.index = make_index(desired);
+            self.rebuild_index();
+        }
+    }
+
+    /// Re-evaluates the desired kind from the entries themselves and
+    /// rebuilds — the path for deletions, sweeps and policy changes.
+    fn reindex_auto(&mut self) {
+        let desired = match self.policy {
+            IndexPolicy::Force(k) => k,
+            IndexPolicy::Auto => auto_kind_from_entries(self.shape, &self.entries),
+        };
+        if desired != self.index.kind() {
+            self.index = make_index(desired);
+        }
+        self.rebuild_index();
     }
 
     /// Records a hit against entry `i` at logical tick `now`.
@@ -174,18 +175,46 @@ impl TableRt {
         self.last_hit[i].set(now);
     }
 
-    /// Rebuilds the slot keeping only the entries `keep` selects (index,
-    /// entry). Preserves per-entry hit timestamps and all counters.
+    /// Compacts the slot in place keeping only the entries `keep` selects
+    /// (by pre-compaction index), preserving install order and per-entry
+    /// hit timestamps, then rebuilds the index once. Callers account for
+    /// evictions themselves — a control-plane delete is not an eviction.
     fn retain_entries(&mut self, keep: impl Fn(usize) -> bool) {
-        let entries = std::mem::take(&mut self.entries);
-        let stamps = std::mem::take(&mut self.last_hit);
-        self.clear_entries();
-        for (i, (entry, stamp)) in entries.into_iter().zip(stamps).enumerate() {
+        let n = self.entries.len();
+        let mut kept = 0usize;
+        let mut min_stamp = u64::MAX;
+        for i in 0..n {
             if keep(i) {
-                self.push(entry, stamp.get());
-            } else {
-                self.evictions.set(self.evictions.get() + 1);
+                if kept != i {
+                    self.entries.swap(kept, i);
+                    self.ranks.swap(kept, i);
+                    self.last_hit.swap(kept, i);
+                }
+                min_stamp = min_stamp.min(self.last_hit[kept].get());
+                kept += 1;
             }
+        }
+        self.entries.truncate(kept);
+        self.ranks.truncate(kept);
+        self.last_hit.truncate(kept);
+        self.stamp_floor = min_stamp;
+        self.reindex_auto();
+    }
+
+    /// Removes the entry at `victim`. The common tail case (learn-cache LRU
+    /// churn on fresh entries) updates the index incrementally; interior
+    /// removals compact and rebuild.
+    fn remove_at(&mut self, victim: usize) {
+        if victim + 1 == self.entries.len() {
+            let entry = self.entries.pop().expect("victim in bounds");
+            let rank = self.ranks.pop().expect("ranks parallel");
+            self.last_hit.pop();
+            // `stamp_floor` stays a valid lower bound after a removal.
+            if !self.index.remove(&entry, rank, victim) {
+                self.reindex_auto();
+            }
+        } else {
+            self.retain_entries(|i| i != victim);
         }
     }
 
@@ -194,130 +223,10 @@ impl TableRt {
         (0..self.entries.len()).min_by_key(|&i| (self.last_hit[i].get(), i))
     }
 
-    fn index_insert(&mut self, entry: &TableEntry, idx: usize, rank: (i32, u32)) {
-        match &mut self.index {
-            TableIndex::Exact { map, spill } => {
-                let mut key = Vec::with_capacity(entry.matches.len());
-                for m in &entry.matches {
-                    match m {
-                        KeyMatch::Exact(v) => key.push(*v),
-                        _ => {
-                            spill.push(idx);
-                            return;
-                        }
-                    }
-                }
-                match map.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                        // Same key tuple: the higher priority wins; ties keep
-                        // the earlier install, matching scan arbitration.
-                        if rank.0 > self.ranks[*o.get()].0 {
-                            o.insert(idx);
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(idx);
-                    }
-                }
-            }
-            TableIndex::Lpm {
-                buckets,
-                lens,
-                wildcard,
-                uniform,
-                mixed,
-            } => {
-                match uniform {
-                    None => *uniform = Some(entry.priority),
-                    Some(p) if *p != entry.priority => *mixed = true,
-                    _ => {}
-                }
-                match entry.matches.first() {
-                    Some(KeyMatch::Lpm(prefix, len)) if *len > 0 => {
-                        let bits = prefix.bits();
-                        let eff = (*len).min(bits);
-                        let masked = prefix.raw() >> u32::from(bits - eff);
-                        let bucket = buckets.entry((bits, *len)).or_default();
-                        // Same (width, len, masked prefix) ⇒ identical match
-                        // set; the first install wins under uniform priority.
-                        bucket.entry(masked).or_insert(idx);
-                        if !lens.contains(&(bits, *len)) {
-                            lens.push((bits, *len));
-                            lens.sort_by_key(|&(_, len)| std::cmp::Reverse(len));
-                        }
-                    }
-                    // `Any` and /0 prefixes match everything: rank (prio, 0).
-                    _ => {
-                        if wildcard.is_none() {
-                            *wildcard = Some(idx);
-                        }
-                    }
-                }
-            }
-            TableIndex::Scan => {}
-        }
-    }
-
     /// Indexed lookup: the winning entry index, or `None` on miss.
     fn find(&self, keys: &[Value]) -> Option<usize> {
-        match &self.index {
-            TableIndex::Exact { map, spill } => {
-                let mut best: Option<usize> = map.get(keys).copied();
-                for &i in spill {
-                    let e = &self.entries[i];
-                    if e.matches.iter().zip(keys).all(|(m, v)| m.matches(*v)) {
-                        let better = match best {
-                            None => true,
-                            // Strict priority comparison + install order:
-                            // exact entries all rank (priority, 0).
-                            Some(b) => {
-                                self.ranks[i].0 > self.ranks[b].0
-                                    || (self.ranks[i].0 == self.ranks[b].0 && i < b)
-                            }
-                        };
-                        if better {
-                            best = Some(i);
-                        }
-                    }
-                }
-                best
-            }
-            TableIndex::Lpm {
-                buckets,
-                lens,
-                wildcard,
-                mixed,
-                ..
-            } => {
-                if *mixed {
-                    return self.find_scan(keys);
-                }
-                let v = *keys.first()?;
-                for &(bits, len) in lens {
-                    if bits != v.bits() {
-                        continue;
-                    }
-                    let eff = len.min(bits);
-                    let masked = v.raw() >> u32::from(bits - eff);
-                    if let Some(&i) = buckets[&(bits, len)].get(&masked) {
-                        return Some(i);
-                    }
-                }
-                *wildcard
-            }
-            TableIndex::Scan => self.find_scan(keys),
-        }
-    }
-
-    /// First match in rank order — the TCAM arbitration walk.
-    fn find_scan(&self, keys: &[Value]) -> Option<usize> {
-        self.order.iter().copied().find(|&i| {
-            self.entries[i]
-                .matches
-                .iter()
-                .zip(keys)
-                .all(|(m, v)| m.matches(*v))
-        })
+        self.index
+            .lookup(&self.entries, &self.ranks, keys, &self.probe_log)
     }
 
     fn count(&self, hit: bool) {
@@ -331,23 +240,9 @@ impl TableRt {
     fn clear_entries(&mut self) {
         self.entries.clear();
         self.ranks.clear();
-        self.order.clear();
         self.last_hit.clear();
         self.stamp_floor = u64::MAX;
-        self.index = match &self.index {
-            TableIndex::Exact { .. } => TableIndex::Exact {
-                map: HashMap::new(),
-                spill: Vec::new(),
-            },
-            TableIndex::Lpm { .. } => TableIndex::Lpm {
-                buckets: HashMap::new(),
-                lens: Vec::new(),
-                wildcard: None,
-                uniform: None,
-                mixed: false,
-            },
-            TableIndex::Scan => TableIndex::Scan,
-        };
+        self.reindex_auto();
     }
 }
 
@@ -442,7 +337,8 @@ impl TableState {
             // install (the bounded-memory LRU fallback).
             match slot.lru_victim() {
                 Some(victim) if slot.idle_timeout.is_some() => {
-                    slot.retain_entries(|i| i != victim);
+                    slot.remove_at(victim);
+                    slot.evictions.set(slot.evictions.get() + 1);
                 }
                 _ => {
                     return Err(IrError::Invalid(format!(
@@ -526,6 +422,8 @@ impl TableState {
                     entry: slot.entries[i].clone(),
                 });
             }
+            slot.evictions
+                .set(slot.evictions.get() + expired.len() as u64);
             slot.retain_entries(|i| !expired.contains(&i));
         }
         evicted
@@ -551,6 +449,85 @@ impl TableState {
     /// is already installed — the idempotence check of the learning loop.
     pub fn contains_entry(&self, table: &str, entry: &TableEntry) -> bool {
         self.entries(table).contains(entry)
+    }
+
+    /// Removes the first installed entry equal to `entry` (same matches,
+    /// action, args, priority). Returns `Ok(true)` when one was removed,
+    /// `Ok(false)` when no such entry exists. Control-plane deletes do not
+    /// count as evictions. The index absorbs the removal incrementally
+    /// where its structure allows, else it rebuilds once.
+    pub fn remove_entry(&mut self, table: &str, entry: &TableEntry) -> Result<bool, IrError> {
+        let &id = self.ids.get(table).ok_or(IrError::Undefined {
+            kind: "table",
+            name: table.to_string(),
+        })?;
+        let slot = &mut self.slots[id];
+        let Some(pos) = slot.entries.iter().position(|e| e == entry) else {
+            return Ok(false);
+        };
+        slot.remove_at(pos);
+        Ok(true)
+    }
+
+    /// Sets the index-selection policy of a table and reindexes under it.
+    /// `Force(Exact)` requires an all-exact table and `Force(Lpm)` a
+    /// single-LPM-key table; scan, tuple-space and decision-tree are
+    /// admissible for every shape.
+    pub fn set_index_policy(&mut self, table: &str, policy: IndexPolicy) -> Result<(), IrError> {
+        let &id = self.ids.get(table).ok_or(IrError::Undefined {
+            kind: "table",
+            name: table.to_string(),
+        })?;
+        let slot = &mut self.slots[id];
+        if let IndexPolicy::Force(kind) = policy {
+            let admissible = match kind {
+                IndexKind::Exact => slot.shape == TableShape::AllExact,
+                IndexKind::Lpm => slot.shape == TableShape::SingleLpm,
+                IndexKind::Scan | IndexKind::TupleSpace | IndexKind::DecisionTree => true,
+            };
+            if !admissible {
+                return Err(IrError::Invalid(format!(
+                    "table {table}: index kind {} not admissible for this key shape",
+                    kind.name()
+                )));
+            }
+        }
+        slot.policy = policy;
+        slot.reindex_auto();
+        Ok(())
+    }
+
+    /// The index kind a table is currently served by.
+    pub fn index_kind(&self, table: &str) -> Option<IndexKind> {
+        self.slot(table).map(|s| s.index.kind())
+    }
+
+    /// Structural statistics of a table's index.
+    pub fn index_stats(&self, table: &str) -> Option<IndexStats> {
+        self.slot(table).map(|s| s.index.stats())
+    }
+
+    /// Per-table index telemetry (kind, probes, rebuilds, histograms) in
+    /// registration (program) order — the telemetry scrape path.
+    pub fn index_telemetry(&self) -> Vec<(String, IndexTelemetry)> {
+        let mut named: Vec<(&String, usize)> = self.ids.iter().map(|(n, &i)| (n, i)).collect();
+        named.sort_by_key(|&(_, i)| i);
+        named
+            .into_iter()
+            .map(|(name, i)| {
+                let s = &self.slots[i];
+                (
+                    name.clone(),
+                    IndexTelemetry {
+                        kind: s.index.kind(),
+                        probes: s.probe_log.probes(),
+                        rebuilds: s.rebuilds,
+                        probe_hist: s.probe_log.probe_hist(),
+                        depth_hist: s.probe_log.depth_hist(),
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Registered table names in registration (program) order.

@@ -15,7 +15,7 @@
 #![warn(missing_docs)]
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{ExecMode, MetricsSnapshot, PortId, Switch, Traversal};
+use dejavu_asic::{ExecMode, IndexKind, MetricsSnapshot, PortId, Switch, Traversal};
 use std::fmt;
 
 /// Byte-level check applied to the emitted/punted packet.
@@ -269,6 +269,48 @@ impl MetricsExpectations {
     pub fn evictions(self, pipelet: &str, table: &str, expected: u64) -> Self {
         self.counter(
             &format!("table_evictions{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+            expected,
+        )
+    }
+
+    /// Expects the classification index serving `table` on `pipelet` to be
+    /// `kind` at the end of the suite (the `table_index_kind` gauge carries
+    /// the kind's ordinal; gauges keep their instantaneous value through
+    /// the delta).
+    pub fn index_kind(self, pipelet: &str, table: &str, kind: IndexKind) -> Self {
+        let name = format!("table_index_kind{{pipelet=\"{pipelet}\",table=\"{table}\"}}");
+        let label = format!("{name} == {}", kind.name());
+        self.check(&label, move |s| {
+            let got = s.gauge(&name);
+            if got == kind.ordinal() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "gauge {name}: expected {} ({}), got ordinal {got}",
+                    kind.ordinal(),
+                    kind.name()
+                ))
+            }
+        })
+    }
+
+    /// Expects at least `min` index probes against `table` on `pipelet`
+    /// over the suite — every lookup routed through the classification
+    /// index records its probe count, so a suite that exercises the table
+    /// must move this counter.
+    pub fn index_probes_at_least(self, pipelet: &str, table: &str, min: u64) -> Self {
+        self.counter_at_least(
+            &format!("table_index_probes{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
+            min,
+        )
+    }
+
+    /// Expects exactly `expected` index rebuilds on `table` at `pipelet`
+    /// over the suite (bulk reindexes from migrations, deletes, or
+    /// incremental-insert bailouts).
+    pub fn index_rebuilds(self, pipelet: &str, table: &str, expected: u64) -> Self {
+        self.counter(
+            &format!("table_index_rebuilds{{pipelet=\"{pipelet}\",table=\"{table}\"}}"),
             expected,
         )
     }

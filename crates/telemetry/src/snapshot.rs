@@ -125,6 +125,14 @@ impl MetricsSnapshot {
             .insert(name.into(), MetricValue::Counter(value));
     }
 
+    /// Inserts (or overwrites) a gauge by name — the gauge counterpart of
+    /// [`MetricsSnapshot::set_counter`], used by scrapers folding
+    /// externally-held state (e.g. the per-table index kind) into a
+    /// snapshot.
+    pub fn set_gauge(&mut self, name: impl Into<String>, value: i64) {
+        self.metrics.insert(name.into(), MetricValue::Gauge(value));
+    }
+
     /// Counter value by name (0 when absent — absent and never-incremented
     /// are indistinguishable by design, so deltas of sparse shards work).
     pub fn counter(&self, name: &str) -> u64 {

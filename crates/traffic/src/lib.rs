@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acl;
 pub mod flows;
 pub mod packet;
 pub mod replay;
 
+pub use acl::{acl_ruleset, matching_flow, AclRule};
 pub use flows::{FlowGen, FlowSpec, WorkloadMix};
 pub use packet::PacketBuilder;
 pub use replay::{replay_flows, replay_sharded, ReplayReport};

@@ -2,10 +2,28 @@
 # Runs the dataplane table-size sweep (reference interpreter vs compiled
 # fast path, single vs batched injection) and snapshots the machine-readable
 # record to BENCH_dataplane.json at the repo root.
+#
+#   --quick   smoke mode for CI: shrunk budgets, 100k point skipped, and the
+#             artifact is left in target/experiments/ (the committed root
+#             BENCH_dataplane.json is only refreshed by full runs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo bench -p dejavu-bench --bench micro_dataplane "$@"
+QUICK=0
+ARGS=()
+for a in "$@"; do
+    if [ "$a" = "--quick" ]; then
+        QUICK=1
+    else
+        ARGS+=("$a")
+    fi
+done
 
-cp target/experiments/BENCH_dataplane.json BENCH_dataplane.json
-echo "wrote $(pwd)/BENCH_dataplane.json"
+if [ "$QUICK" = 1 ]; then
+    DEJAVU_BENCH_QUICK=1 cargo bench -p dejavu-bench --bench micro_dataplane ${ARGS[@]+"${ARGS[@]}"}
+    echo "quick sweep ok: target/experiments/BENCH_dataplane.json (root copy untouched)"
+else
+    cargo bench -p dejavu-bench --bench micro_dataplane ${ARGS[@]+"${ARGS[@]}"}
+    cp target/experiments/BENCH_dataplane.json BENCH_dataplane.json
+    echo "wrote $(pwd)/BENCH_dataplane.json"
+fi

@@ -74,6 +74,31 @@ entries = sum(len(t["entries"]) for t in snap["tables"])
 print(f"state snapshot OK ({len(tables)} tables, {entries} entries)")
 EOF
 
+# Dataplane bench gate: the table-size sweep runs end-to-end in quick
+# mode (shrunk budgets, 100k point skipped; the committed root
+# BENCH_dataplane.json is not rewritten), its artifact must carry the
+# speedup flags, and the committed record must have both 10×-at-10k
+# flags present and true.
+bash scripts/bench_dataplane.sh --quick
+quick_record=target/experiments/BENCH_dataplane.json
+test -s "$quick_record" || { echo "missing $quick_record" >&2; exit 1; }
+python3 - "$quick_record" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for flag in ("meets_10x_at_10k_exact", "meets_10x_at_10k_ternary"):
+    assert flag in report, f"quick sweep artifact missing {flag}"
+kinds = {(p["kind"], p["entries"]): p["index_kind"] for p in report["points"]}
+assert kinds[("ternary", 10_000)] in ("tuple_space", "decision_tree"), kinds
+print("quick dataplane sweep artifact OK")
+EOF
+python3 - BENCH_dataplane.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for flag in ("meets_10x_at_10k_exact", "meets_10x_at_10k_ternary"):
+    assert report.get(flag) is True, f"committed BENCH_dataplane.json: {flag} must be true"
+print("committed BENCH_dataplane.json flags OK")
+EOF
+
 # Docs gate: rustdoc must stay warning-free (broken intra-doc links are
 # the usual regression).
 doclog=$(cargo doc --workspace --no-deps -q 2>&1)

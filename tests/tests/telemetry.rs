@@ -166,3 +166,34 @@ fn ptf_metrics_assertions_see_suite_traffic() {
     report.assert_all_passed();
     assert!(!sw.telemetry_enabled());
 }
+
+/// The classification-index telemetry (`table_index_kind` /
+/// `table_index_probes` / `table_index_rebuilds`) flows through
+/// `MetricsSnapshot` and the PTF expectation helpers: forcing a policy is
+/// visible as the kind gauge, suite traffic moves the probe counter, and
+/// the rebuild counter stays flat over the suite (the forced reindex
+/// happened before the baseline snapshot, and counters are deltas).
+#[test]
+fn ptf_index_expectations_see_forced_policy_and_probes() {
+    let mut sw = testbed(false);
+    sw.set_table_index(
+        PipeletId::ingress(0),
+        "route",
+        dejavu_asic::IndexPolicy::Force(dejavu_asic::IndexKind::TupleSpace),
+    )
+    .unwrap();
+    let mut pkt = dejavu_traffic::PacketBuilder::udp()
+        .src_ip(0x0a00_0001)
+        .dst_ip(0x0a01_0007)
+        .build();
+    pkt[..6].copy_from_slice(&[0, 0, 0, 0, 0, 1]);
+    let report = dejavu_ptf::run_suite_with_metrics(
+        &mut sw,
+        vec![dejavu_ptf::TestCase::expect_port("routed", 0, pkt, 2)],
+        dejavu_ptf::MetricsExpectations::new()
+            .index_kind("ingress0", "route", dejavu_asic::IndexKind::TupleSpace)
+            .index_probes_at_least("ingress0", "route", 1)
+            .index_rebuilds("ingress0", "route", 0),
+    );
+    report.assert_all_passed();
+}
