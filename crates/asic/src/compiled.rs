@@ -169,6 +169,12 @@ struct CTable {
     /// `Program::tables` iteration order (the switch does this at load).
     sid: usize,
     keys: Vec<CDst>,
+    /// Per-definition-action global action id, indexed by the action's
+    /// ordinal in the table definition's action list — the table the hot
+    /// loop maps [`TableState::lookup_id_ord`] hits through without hashing
+    /// the action name. Dangling names stay lazy errors, raised only when
+    /// an installed entry actually selects them (interpreter semantics).
+    entry_aids: Vec<Result<usize, IrError>>,
     default_aid: Result<usize, IrError>,
     default_args: Vec<Value>,
 }
@@ -248,31 +254,71 @@ struct CParser {
 struct CHeader {
     bits: Vec<u16>,
     total_bytes: usize,
+    /// Field projection: `None` extracts every field at parse time (needed
+    /// when the program can write the header — deparse then re-serializes
+    /// all of it). `Some(hot)` lists only the `(fid, relative bit offset,
+    /// bits)` triples the program can actually read; the rest stay as
+    /// zero placeholders and the header deparses verbatim from the input
+    /// bytes (it is provably never dirtied).
+    hot: Option<Vec<(u16, u64, u16)>>,
 }
 
-/// The parsed view of a packet on the fast path: per-instance dense field
-/// vectors instead of name-keyed maps.
+/// The parsed view of a packet on the fast path: a flat view over the input
+/// buffer. Header instances are `(header id, arena base)` pairs whose field
+/// values live contiguously in one reusable `Value` arena, and the payload
+/// is a *range* into the caller's byte buffer instead of a copied `Vec`.
+/// [`FastPacket::clear`] resets the view while keeping every allocation, so
+/// a warmed-up packet pass performs zero heap allocations.
 #[derive(Debug, Clone, Default)]
 struct FastPacket {
-    /// `(header id, field values)` in wire order.
-    headers: Vec<(u16, Vec<Value>)>,
-    payload: Vec<u8>,
+    /// Header instances in wire order.
+    insts: Vec<Inst>,
+    /// Field-value arena; each instance's fields are contiguous from its
+    /// base. Removing an instance leaves an arena hole until the next
+    /// `clear` — instances are few and passes are short.
+    fields: Vec<Value>,
+    /// Payload byte range within the input buffer of the current pass.
+    payload: std::ops::Range<usize>,
+}
+
+/// One header instance in the flat view: where its field values live in
+/// the arena, where its bytes came from in the input buffer, and whether
+/// any field has been written since parse (clean instances deparse as a
+/// verbatim byte copy from `src_off`).
+#[derive(Debug, Clone, Copy)]
+struct Inst {
+    hid: u16,
+    base: u32,
+    /// Byte offset of this header in the pass's input buffer. Meaningless
+    /// when `dirty` (added headers have no source bytes).
+    src_off: u32,
+    dirty: bool,
 }
 
 impl FastPacket {
+    /// Resets the view for a new pass, retaining capacity.
+    fn clear(&mut self) {
+        self.insts.clear();
+        self.fields.clear();
+        self.payload = 0..0;
+    }
+
     fn find(&self, hid: u16) -> Option<usize> {
-        self.headers.iter().position(|(h, _)| *h == hid)
+        self.insts.iter().position(|i| i.hid == hid)
     }
 
     fn get(&self, hid: u16, fid: u16) -> Option<Value> {
-        self.find(hid).map(|i| self.headers[i].1[fid as usize])
+        self.find(hid)
+            .map(|i| self.fields[self.insts[i].base as usize + fid as usize])
     }
 
     /// Mirrors `ParsedPacket::set`: resizes to the *stored* value's width
     /// and silently drops writes to absent headers.
     fn set(&mut self, hid: u16, fid: u16, v: Value) {
         if let Some(i) = self.find(hid) {
-            let slot = &mut self.headers[i].1[fid as usize];
+            let inst = &mut self.insts[i];
+            inst.dirty = true;
+            let slot = &mut self.fields[inst.base as usize + fid as usize];
             *slot = v.resize(slot.bits());
         }
     }
@@ -302,21 +348,84 @@ pub struct CompiledPass {
     pub events: Vec<TableEvent>,
 }
 
-/// Mutable per-pass execution state.
-struct ExecState {
+/// The signals of one zero-copy pipelet pass. Deparsed bytes land in the
+/// caller's scratch output buffer ([`ExecScratch::out`]); `parsed == false` means
+/// the parser rejected the packet (record a parse error and drop, exactly
+/// as with [`CompiledPass::bytes`]` == None`).
+#[derive(Debug, Clone, Copy)]
+pub struct BufPass {
+    /// False when the parser rejected the packet (the scratch output buffer
+    /// is left empty).
+    pub parsed: bool,
+    /// `drop_flag` as a boolean.
+    pub drop: bool,
+    /// `to_cpu_flag` as a boolean.
+    pub to_cpu: bool,
+    /// `resubmit_flag` as a boolean.
+    pub resubmit: bool,
+    /// `mirror_flag` as a boolean.
+    pub mirror: bool,
+    /// Raw `egress_spec` metadata value after the pass.
+    pub egress_spec: u128,
+    /// Number of tables applied.
+    pub tables_applied: u32,
+}
+
+/// Reusable per-pass execution state: the flat packet view, the metadata
+/// vector, every key/argument/value staging buffer the hot loop needs, and
+/// the deparse output buffer. One `ExecScratch` is owned per execution
+/// context (switch, RTC worker) and recycled across packets — after warmup
+/// no pass allocates.
+#[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
     pkt: FastPacket,
     meta: Vec<Value>,
+    keys: Vec<Value>,
+    args: Vec<Value>,
+    vals: Vec<Value>,
+    events: Vec<TableEvent>,
+    out: Vec<u8>,
+    hdr_bytes: Vec<u8>,
+}
+
+impl ExecScratch {
+    /// Fresh scratch (all buffers empty; they grow to steady-state capacity
+    /// over the first few packets).
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// The deparsed bytes of the last [`CompiledProgram::run_pass_scratch`].
+    pub fn out(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Mutable access to the deparse output buffer (the switch ping-pongs
+    /// it with the packet buffer between recirculation passes).
+    pub fn out_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.out
+    }
+
+    /// The table events of the last traced pass.
+    pub fn events(&self) -> &[TableEvent] {
+        &self.events
+    }
+
+    /// Drains the table events of the last traced pass.
+    pub fn take_events(&mut self) -> Vec<TableEvent> {
+        std::mem::take(&mut self.events)
+    }
 }
 
 /// A program lowered for the fast path. Built once per pipelet at
 /// `Switch::load_program` time; executed per packet with no name lookups.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    meta_widths: Vec<u16>,
+    /// Zeroed metadata vector at the declared widths, memcpy'd into the
+    /// scratch at the top of every pass instead of rebuilt value by value.
+    meta_zero: Vec<Value>,
     headers: Vec<CHeader>,
     actions: Vec<CAction>,
-    /// Global action name → id (hit entries store action *names*).
-    action_ids: HashMap<String, usize>,
     tables: Vec<CTable>,
     registers: Vec<RegisterDef>,
     parser: CParser,
@@ -345,30 +454,67 @@ impl CompiledProgram {
         tables: &mut TableState,
         collect_events: bool,
     ) -> Result<CompiledPass, IrError> {
-        let Some(pkt) = self.parse(bytes) else {
-            return Ok(CompiledPass {
-                bytes: None,
+        let mut scratch = ExecScratch::default();
+        let pass = self.run_pass_scratch(
+            bytes,
+            ingress_port,
+            egress_spec,
+            tables,
+            collect_events,
+            &mut scratch,
+        )?;
+        Ok(CompiledPass {
+            bytes: pass.parsed.then(|| std::mem::take(&mut scratch.out)),
+            drop: pass.drop,
+            to_cpu: pass.to_cpu,
+            resubmit: pass.resubmit,
+            mirror: pass.mirror,
+            egress_spec: pass.egress_spec,
+            tables_applied: pass.tables_applied,
+            events: std::mem::take(&mut scratch.events),
+        })
+    }
+
+    /// Runs one pipelet pass over `input` using caller-owned scratch state —
+    /// the zero-allocation hot path. Identical semantics to
+    /// [`CompiledProgram::run_pass`] (which is a thin wrapper over this):
+    /// the deparsed bytes land in [`ExecScratch::out`], table events in
+    /// [`ExecScratch::events`]. After the scratch buffers have grown to the
+    /// program's steady-state sizes, a pass performs no heap allocation
+    /// (digest emission, a learn-path event, is the one exception).
+    pub fn run_pass_scratch(
+        &self,
+        input: &[u8],
+        ingress_port: u16,
+        egress_spec: u16,
+        tables: &mut TableState,
+        collect_events: bool,
+        scratch: &mut ExecScratch,
+    ) -> Result<BufPass, IrError> {
+        scratch.events.clear();
+        scratch.out.clear();
+        if !self.parse_into(input, &mut scratch.pkt) {
+            return Ok(BufPass {
+                parsed: false,
                 drop: false,
                 to_cpu: false,
                 resubmit: false,
                 mirror: false,
                 egress_spec: u128::from(egress_spec),
                 tables_applied: 0,
-                events: Vec::new(),
             });
-        };
-        let mut meta: Vec<Value> = self.meta_widths.iter().map(|&b| Value::new(0, b)).collect();
-        meta[M_INGRESS_PORT] = Value::new(u128::from(ingress_port), 16);
-        meta[M_EGRESS_SPEC] = Value::new(u128::from(egress_spec), 16);
-        let mut st = ExecState { pkt, meta };
-        let mut events = Vec::new();
+        }
+        scratch.meta.clear();
+        scratch.meta.extend_from_slice(&self.meta_zero);
+        scratch.meta[M_INGRESS_PORT] = Value::new(u128::from(ingress_port), 16);
+        scratch.meta[M_EGRESS_SPEC] = Value::new(u128::from(egress_spec), 16);
         let mut tables_applied = 0u32;
 
         let mut pc = 0usize;
         while pc < self.ops.len() {
             match &self.ops[pc] {
                 COp::Apply { tid } => {
-                    self.apply(*tid, &mut st, tables, &mut events, collect_events)?;
+                    self.apply(*tid, scratch, tables, collect_events)?;
                     tables_applied += 1;
                     pc += 1;
                 }
@@ -377,7 +523,7 @@ impl CompiledProgram {
                     arms,
                     default_pc,
                 } => {
-                    let ran = self.apply(*tid, &mut st, tables, &mut events, collect_events)?;
+                    let ran = self.apply(*tid, scratch, tables, collect_events)?;
                     tables_applied += 1;
                     pc = arms
                         .iter()
@@ -386,7 +532,7 @@ impl CompiledProgram {
                         .unwrap_or(*default_pc);
                 }
                 COp::Branch { cond, else_pc } => {
-                    pc = if self.eval_bool(cond, &st)? {
+                    pc = if self.eval_bool(cond, &scratch.pkt, &scratch.meta)? {
                         pc + 1
                     } else {
                         *else_pc
@@ -394,49 +540,78 @@ impl CompiledProgram {
                 }
                 COp::Jump { pc: target } => pc = *target,
                 COp::RunAction { aid } => {
-                    self.run_action(*aid, &[], &mut st, tables)?;
+                    let mut args = std::mem::take(&mut scratch.args);
+                    args.clear();
+                    let r = self.run_action(*aid, &mut args, scratch, tables);
+                    scratch.args = args;
+                    r?;
                     pc += 1;
                 }
                 COp::Fail(e) => return Err(e.clone()),
             }
         }
 
-        let bytes = self.deparse(&st.pkt);
-        Ok(CompiledPass {
-            bytes: Some(bytes),
-            drop: st.meta[M_DROP].as_bool(),
-            to_cpu: st.meta[M_TO_CPU].as_bool(),
-            resubmit: st.meta[M_RESUBMIT].as_bool(),
-            mirror: st.meta[M_MIRROR].as_bool(),
-            egress_spec: st.meta[M_EGRESS_SPEC].raw(),
+        self.deparse_into(&scratch.pkt, input, &mut scratch.out);
+        Ok(BufPass {
+            parsed: true,
+            drop: scratch.meta[M_DROP].as_bool(),
+            to_cpu: scratch.meta[M_TO_CPU].as_bool(),
+            resubmit: scratch.meta[M_RESUBMIT].as_bool(),
+            mirror: scratch.meta[M_MIRROR].as_bool(),
+            egress_spec: scratch.meta[M_EGRESS_SPEC].raw(),
             tables_applied,
-            events,
         })
     }
 
-    /// Walks the pre-resolved parser. `None` on any parse error (reject,
-    /// truncation, dangling node — all drop the packet).
-    fn parse(&self, bytes: &[u8]) -> Option<FastPacket> {
-        let mut cur = self.parser.start?;
-        let mut pkt = FastPacket::default();
+    /// Walks the pre-resolved parser into the reusable flat view. `false`
+    /// on any parse error (reject, truncation, dangling node — all drop the
+    /// packet).
+    fn parse_into(&self, bytes: &[u8], pkt: &mut FastPacket) -> bool {
+        pkt.clear();
+        let Some(mut cur) = self.parser.start else {
+            return false;
+        };
         let mut consumed = 0usize;
         loop {
             match cur {
                 CTarget::Accept => break,
-                CTarget::Reject => return None,
+                CTarget::Reject => return false,
                 CTarget::Node(id) => {
-                    let node = self.parser.nodes[id].as_ref()?;
+                    let Some(node) = self.parser.nodes[id].as_ref() else {
+                        return false;
+                    };
                     if bytes.len() < node.end {
-                        return None;
+                        return false;
                     }
                     let ch = &self.headers[node.hid as usize];
-                    let mut fields = Vec::with_capacity(ch.bits.len());
-                    let mut bit_off = node.offset as u64 * 8;
-                    for &b in &ch.bits {
-                        fields.push(extract_bits(bytes, bit_off, b));
-                        bit_off += u64::from(b);
+                    let base = pkt.fields.len() as u32;
+                    match &ch.hot {
+                        // Writable header: materialize every field.
+                        None => {
+                            let mut bit_off = node.offset as u64 * 8;
+                            for &b in &ch.bits {
+                                pkt.fields.push(extract_bits(bytes, bit_off, b));
+                                bit_off += u64::from(b);
+                            }
+                        }
+                        // Read-only header: placeholders for cold fields,
+                        // real extraction only for the ones the program
+                        // can read. Deparse copies the bytes verbatim.
+                        Some(hot) => {
+                            pkt.fields.extend(ch.bits.iter().map(|&b| Value::new(0, b)));
+                            let hdr_bit = node.offset as u64 * 8;
+                            for &(fid, rel, b) in hot {
+                                pkt.fields[base as usize + fid as usize] =
+                                    extract_bits(bytes, hdr_bit + rel, b);
+                            }
+                        }
                     }
-                    pkt.headers.push((node.hid, fields));
+                    pkt.insts.push(Inst {
+                        hid: node.hid,
+                        base,
+                        src_off: node.offset as u32,
+                        dirty: false,
+                    });
                     consumed = node.end;
                     cur = match &node.transition {
                         CTransition::Go(t) => *t,
@@ -453,77 +628,102 @@ impl CompiledProgram {
                                 .map(|(_, t)| *t)
                                 .unwrap_or(*default)
                         }
-                        CTransition::Bad => return None,
+                        CTransition::Bad => return false,
                     };
                 }
             }
         }
-        pkt.payload = bytes[consumed..].to_vec();
-        Some(pkt)
+        pkt.payload = consumed..bytes.len();
+        true
     }
 
-    fn serialize_header(&self, hid: u16, fields: &[Value]) -> Vec<u8> {
+    /// Serializes one header instance into a reusable buffer.
+    fn serialize_header_into(&self, hid: u16, fields: &[Value], buf: &mut Vec<u8>) {
         let ch = &self.headers[hid as usize];
-        let mut bytes = vec![0u8; ch.total_bytes];
+        buf.clear();
+        buf.resize(ch.total_bytes, 0);
         let mut bit_off = 0u64;
         for (i, &b) in ch.bits.iter().enumerate() {
-            deposit_bits(&mut bytes, bit_off, fields[i].resize(b));
+            deposit_bits(buf, bit_off, fields[i].resize(b));
             bit_off += u64::from(b);
         }
-        bytes
     }
 
-    fn deparse(&self, pkt: &FastPacket) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            pkt.payload.len()
-                + pkt
-                    .headers
-                    .iter()
-                    .map(|(h, _)| self.headers[*h as usize].total_bytes)
-                    .sum::<usize>(),
-        );
-        for (hid, fields) in &pkt.headers {
-            out.extend_from_slice(&self.serialize_header(*hid, fields));
+    /// Deparses the flat view into `out`: clean headers are copied verbatim
+    /// from their input byte range (no field was written, so the wire bytes
+    /// are already the serialization), dirty ones re-serialized from the
+    /// field arena, payload copied straight from the input buffer's range.
+    fn deparse_into(&self, pkt: &FastPacket, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        for inst in &pkt.insts {
+            let ch = &self.headers[inst.hid as usize];
+            if !inst.dirty {
+                let src = inst.src_off as usize;
+                out.extend_from_slice(&input[src..src + ch.total_bytes]);
+                continue;
+            }
+            let start = out.len();
+            out.resize(start + ch.total_bytes, 0);
+            let dst = &mut out[start..];
+            let mut bit_off = 0u64;
+            for (i, &b) in ch.bits.iter().enumerate() {
+                deposit_bits(dst, bit_off, pkt.fields[inst.base as usize + i].resize(b));
+                bit_off += u64::from(b);
+            }
         }
-        out.extend_from_slice(&pkt.payload);
-        out
+        out.extend_from_slice(&input[pkt.payload.clone()]);
     }
 
-    /// Applies a table, returning the id of the action that ran.
+    /// Applies a table, returning the id of the action that ran. The key
+    /// tuple and argument bindings are staged in the scratch buffers; the
+    /// hit path maps the entry's install-time action ordinal through the
+    /// prelowered per-table action-id table — no clones, no name hashing.
     fn apply(
         &self,
         tid: usize,
-        st: &mut ExecState,
+        scratch: &mut ExecScratch,
         tables: &mut TableState,
-        events: &mut Vec<TableEvent>,
         collect: bool,
     ) -> Result<usize, IrError> {
         let t = &self.tables[tid];
-        let mut keys = Vec::with_capacity(t.keys.len());
+        let mut keys = std::mem::take(&mut scratch.keys);
+        let mut args = std::mem::take(&mut scratch.args);
+        let res = self.apply_inner(t, &mut keys, &mut args, scratch, tables, collect);
+        scratch.keys = keys;
+        scratch.args = args;
+        res
+    }
+
+    fn apply_inner(
+        &self,
+        t: &CTable,
+        keys: &mut Vec<Value>,
+        args: &mut Vec<Value>,
+        scratch: &mut ExecScratch,
+        tables: &mut TableState,
+        collect: bool,
+    ) -> Result<usize, IrError> {
+        keys.clear();
         for k in &t.keys {
             let slot = k.as_ref().map_err(Clone::clone)?;
-            keys.push(self.read(*slot, st));
+            keys.push(self.read(*slot, &scratch.pkt, &scratch.meta));
         }
-        let (aid, args, hit) = match tables.lookup_id(t.sid, &keys) {
-            Some(entry) => {
-                let aid =
-                    *self
-                        .action_ids
-                        .get(&entry.action)
-                        .ok_or_else(|| IrError::Undefined {
-                            kind: "action",
-                            name: entry.action.clone(),
-                        })?;
-                (aid, entry.action_args.clone(), true)
+        args.clear();
+        let (aid, hit) = match tables.lookup_id_ord(t.sid, keys) {
+            Some((ord, entry)) => {
+                let aid = *t.entry_aids[ord].as_ref().map_err(Clone::clone)?;
+                args.extend_from_slice(&entry.action_args);
+                (aid, true)
             }
             None => {
-                let aid = t.default_aid.clone()?;
-                (aid, t.default_args.clone(), false)
+                let aid = *t.default_aid.as_ref().map_err(Clone::clone)?;
+                args.extend_from_slice(&t.default_args);
+                (aid, false)
             }
         };
-        self.run_action(aid, &args, st, tables)?;
+        self.run_action(aid, args, scratch, tables)?;
         if collect {
-            events.push(TableEvent {
+            scratch.events.push(TableEvent {
                 table: t.name.clone(),
                 hit,
                 action: self.actions[aid].name.clone(),
@@ -532,11 +732,14 @@ impl CompiledProgram {
         Ok(aid)
     }
 
+    /// Runs an action with `args` already staged in a caller-owned buffer
+    /// (bound in place to the declared parameter widths — `Value` is
+    /// `Copy`, so binding is just an in-place resize).
     fn run_action(
         &self,
         aid: usize,
-        args: &[Value],
-        st: &mut ExecState,
+        args: &mut [Value],
+        scratch: &mut ExecScratch,
         tables: &mut TableState,
     ) -> Result<(), IrError> {
         let act = &self.actions[aid];
@@ -548,81 +751,102 @@ impl CompiledProgram {
                 args.len()
             )));
         }
-        let bound: Vec<Value> = act
-            .params
-            .iter()
-            .zip(args)
-            .map(|(bits, v)| v.resize(*bits))
-            .collect();
+        for (v, &bits) in args.iter_mut().zip(&act.params) {
+            *v = v.resize(bits);
+        }
+        let ExecScratch {
+            pkt,
+            meta,
+            vals,
+            hdr_bytes,
+            ..
+        } = scratch;
         for op in &act.ops {
             match op {
                 CPrim::Set { dst, value } => {
-                    let v = self.eval(value, st, &bound)?;
+                    let v = self.eval(value, pkt, meta, args)?;
                     let slot = dst.as_ref().map_err(Clone::clone)?;
-                    self.write(*slot, v, st);
+                    self.write(*slot, v, pkt, meta);
                 }
                 CPrim::Hash { dst, algo, inputs } => {
-                    let mut vals = Vec::with_capacity(inputs.len());
+                    vals.clear();
                     for e in inputs {
-                        vals.push(self.eval(e, st, &bound)?);
+                        let v = self.eval(e, pkt, meta, args)?;
+                        vals.push(v);
                     }
-                    let raw = run_hash(*algo, &vals);
+                    let raw = run_hash(*algo, vals);
                     let slot = dst.as_ref().map_err(Clone::clone)?;
-                    self.write(*slot, Value::new(raw, slot.bits()), st);
+                    self.write(*slot, Value::new(raw, slot.bits()), pkt, meta);
                 }
                 CPrim::AddHeader { hid, before } => {
                     let ch = &self.headers[*hid as usize];
-                    let fields: Vec<Value> = ch.bits.iter().map(|&b| Value::new(0, b)).collect();
-                    let pos = before
-                        .and_then(|b| st.pkt.find(b))
-                        .unwrap_or(st.pkt.headers.len());
-                    st.pkt.headers.insert(pos, (*hid, fields));
+                    let base = pkt.fields.len() as u32;
+                    pkt.fields.extend(ch.bits.iter().map(|&b| Value::new(0, b)));
+                    let pos = before.and_then(|b| pkt.find(b)).unwrap_or(pkt.insts.len());
+                    // Added headers have no source bytes: always serialized
+                    // from the arena.
+                    pkt.insts.insert(
+                        pos,
+                        Inst {
+                            hid: *hid,
+                            base,
+                            src_off: 0,
+                            dirty: true,
+                        },
+                    );
                 }
                 CPrim::RemoveHeaderNth { hid, occurrence } => {
                     if let Some(hid) = hid {
-                        let idx = st
-                            .pkt
-                            .headers
+                        let idx = pkt
+                            .insts
                             .iter()
                             .enumerate()
-                            .filter(|(_, (h, _))| h == hid)
+                            .filter(|(_, inst)| inst.hid == *hid)
                             .map(|(i, _)| i)
                             .nth(*occurrence);
                         if let Some(idx) = idx {
-                            st.pkt.headers.remove(idx);
+                            // The arena hole is reclaimed by the next
+                            // `clear`; only the instance entry goes.
+                            pkt.insts.remove(idx);
                         }
                     }
                 }
                 CPrim::RegisterRead { dst, reg, index } => {
                     let def = &self.registers[*reg];
-                    let idx = self.eval(index, st, &bound)?.raw() as u32;
+                    let idx = self.eval(index, pkt, meta, args)?.raw() as u32;
                     let val = tables.register_read(def, idx);
                     let slot = dst.as_ref().map_err(Clone::clone)?;
-                    self.write(*slot, Value::new(val, def.width_bits), st);
+                    self.write(*slot, Value::new(val, def.width_bits), pkt, meta);
                 }
                 CPrim::RegisterWrite { reg, index, value } => {
                     let def = &self.registers[*reg];
-                    let idx = self.eval(index, st, &bound)?.raw() as u32;
-                    let val = self.eval(value, st, &bound)?.raw();
+                    let idx = self.eval(index, pkt, meta, args)?.raw() as u32;
+                    let val = self.eval(value, pkt, meta, args)?.raw();
                     tables.register_write(def, idx, val);
                 }
                 CPrim::ChecksumUpdate { hid, ck_fid } => {
-                    if let Some(i) = st.pkt.find(*hid) {
-                        st.pkt.headers[i].1[*ck_fid as usize] = Value::new(0, 16);
-                        let bytes = self.serialize_header(*hid, &st.pkt.headers[i].1);
-                        let sum = ones_complement_checksum(&bytes);
-                        st.pkt.headers[i].1[*ck_fid as usize] = Value::new(u128::from(sum), 16);
+                    if let Some(i) = pkt.find(*hid) {
+                        pkt.insts[i].dirty = true;
+                        let base = pkt.insts[i].base as usize;
+                        let n = self.headers[*hid as usize].bits.len();
+                        pkt.fields[base + *ck_fid as usize] = Value::new(0, 16);
+                        self.serialize_header_into(*hid, &pkt.fields[base..base + n], hdr_bytes);
+                        let sum = ones_complement_checksum(hdr_bytes);
+                        pkt.fields[base + *ck_fid as usize] = Value::new(u128::from(sum), 16);
                     }
                 }
                 CPrim::Digest { name, inputs } => {
-                    let mut vals = Vec::with_capacity(inputs.len());
+                    vals.clear();
                     for e in inputs {
-                        vals.push(self.eval(e, st, &bound)?);
+                        let v = self.eval(e, pkt, meta, args)?;
+                        vals.push(v);
                     }
-                    tables.emit_digest(name, vals);
+                    // The one allocating op on the hot loop — digests are
+                    // learn-path events, not steady-state packet work.
+                    tables.emit_digest(name, vals.clone());
                 }
                 CPrim::Drop => {
-                    st.meta[M_DROP] = Value::new(1, 1);
+                    meta[M_DROP] = Value::new(1, 1);
                 }
                 CPrim::NoOp => {}
                 CPrim::Fail(e) => return Err(e.clone()),
@@ -634,57 +858,78 @@ impl CompiledProgram {
     /// Reads a slot: metadata resized to the declared width, header fields
     /// at their stored width (zero at declared width when the header is
     /// absent) — the interpreter's exact read semantics.
-    fn read(&self, s: CSlot, st: &ExecState) -> Value {
+    fn read(&self, s: CSlot, pkt: &FastPacket, meta: &[Value]) -> Value {
         match s {
-            CSlot::Meta { slot, bits } => st.meta[slot as usize].resize(bits),
-            CSlot::Hdr { hid, fid, bits } => st.pkt.get(hid, fid).unwrap_or(Value::new(0, bits)),
+            CSlot::Meta { slot, bits } => meta[slot as usize].resize(bits),
+            CSlot::Hdr { hid, fid, bits } => pkt.get(hid, fid).unwrap_or(Value::new(0, bits)),
         }
     }
 
     /// Writes a slot after resizing to the declared width (header stores
     /// then resize to the stored width, mirroring `ParsedPacket::set`).
-    fn write(&self, s: CSlot, v: Value, st: &mut ExecState) {
+    fn write(&self, s: CSlot, v: Value, pkt: &mut FastPacket, meta: &mut [Value]) {
         match s {
-            CSlot::Meta { slot, bits } => st.meta[slot as usize] = v.resize(bits),
-            CSlot::Hdr { hid, fid, bits } => st.pkt.set(hid, fid, v.resize(bits)),
+            CSlot::Meta { slot, bits } => meta[slot as usize] = v.resize(bits),
+            CSlot::Hdr { hid, fid, bits } => pkt.set(hid, fid, v.resize(bits)),
         }
     }
 
-    fn eval(&self, e: &CExpr, st: &ExecState, bound: &[Value]) -> Result<Value, IrError> {
+    fn eval(
+        &self,
+        e: &CExpr,
+        pkt: &FastPacket,
+        meta: &[Value],
+        bound: &[Value],
+    ) -> Result<Value, IrError> {
         Ok(match e {
             CExpr::Const(v) => *v,
-            CExpr::Read(s) => self.read(*s, st),
+            CExpr::Read(s) => self.read(*s, pkt, meta),
             CExpr::Param(i) => bound[*i],
             CExpr::Fail(err) => return Err(err.clone()),
             CExpr::Add(a, b) => {
-                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                let (a, b) = (
+                    self.eval(a, pkt, meta, bound)?,
+                    self.eval(b, pkt, meta, bound)?,
+                );
                 a.wrapping_add(b)
             }
             CExpr::Sub(a, b) => {
-                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                let (a, b) = (
+                    self.eval(a, pkt, meta, bound)?,
+                    self.eval(b, pkt, meta, bound)?,
+                );
                 a.wrapping_sub(b)
             }
             CExpr::And(a, b) => {
-                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                let (a, b) = (
+                    self.eval(a, pkt, meta, bound)?,
+                    self.eval(b, pkt, meta, bound)?,
+                );
                 a.and(b)
             }
             CExpr::Or(a, b) => {
-                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                let (a, b) = (
+                    self.eval(a, pkt, meta, bound)?,
+                    self.eval(b, pkt, meta, bound)?,
+                );
                 a.or(b)
             }
             CExpr::Xor(a, b) => {
-                let (a, b) = (self.eval(a, st, bound)?, self.eval(b, st, bound)?);
+                let (a, b) = (
+                    self.eval(a, pkt, meta, bound)?,
+                    self.eval(b, pkt, meta, bound)?,
+                );
                 a.xor(b)
             }
-            CExpr::Shl(a, amount) => self.eval(a, st, bound)?.shl(*amount),
-            CExpr::Shr(a, amount) => self.eval(a, st, bound)?.shr(*amount),
+            CExpr::Shl(a, amount) => self.eval(a, pkt, meta, bound)?.shl(*amount),
+            CExpr::Shr(a, amount) => self.eval(a, pkt, meta, bound)?.shr(*amount),
         })
     }
 
-    fn eval_bool(&self, c: &CBool, st: &ExecState) -> Result<bool, IrError> {
+    fn eval_bool(&self, c: &CBool, pkt: &FastPacket, meta: &[Value]) -> Result<bool, IrError> {
         Ok(match c {
             CBool::Cmp(a, op, b) => {
-                let (a, b) = (self.eval(a, st, &[])?, self.eval(b, st, &[])?);
+                let (a, b) = (self.eval(a, pkt, meta, &[])?, self.eval(b, pkt, meta, &[])?);
                 match op {
                     CmpOp::Eq => a.raw() == b.raw(),
                     CmpOp::Ne => a.raw() != b.raw(),
@@ -694,10 +939,10 @@ impl CompiledProgram {
                     CmpOp::Ge => a.raw() >= b.raw(),
                 }
             }
-            CBool::And(a, b) => self.eval_bool(a, st)? && self.eval_bool(b, st)?,
-            CBool::Or(a, b) => self.eval_bool(a, st)? || self.eval_bool(b, st)?,
-            CBool::Not(a) => !self.eval_bool(a, st)?,
-            CBool::Valid(hid) => hid.is_some_and(|h| st.pkt.find(h).is_some()),
+            CBool::And(a, b) => self.eval_bool(a, pkt, meta)? && self.eval_bool(b, pkt, meta)?,
+            CBool::Or(a, b) => self.eval_bool(a, pkt, meta)? || self.eval_bool(b, pkt, meta)?,
+            CBool::Not(a) => !self.eval_bool(a, pkt, meta)?,
+            CBool::Valid(hid) => hid.is_some_and(|h| pkt.find(h).is_some()),
         })
     }
 }
@@ -761,6 +1006,7 @@ impl<'p> Compiler<'p> {
             headers.push(CHeader {
                 bits: ht.fields.iter().map(|f| f.bits).collect(),
                 total_bytes: ht.total_bytes() as usize,
+                hot: None,
             });
         }
 
@@ -817,10 +1063,24 @@ impl<'p> Compiler<'p> {
                     kind: "action",
                     name: def.default_action.clone(),
                 });
+            let entry_aids = def
+                .actions
+                .iter()
+                .map(|name| {
+                    self.action_ids
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| IrError::Undefined {
+                            kind: "action",
+                            name: name.clone(),
+                        })
+                })
+                .collect();
             let table = CTable {
                 name: def.name.clone(),
                 sid: i,
                 keys: def.keys.iter().map(|k| self.slot_of(&k.field)).collect(),
+                entry_aids,
                 default_aid,
                 default_args: def.default_action_args.clone(),
             };
@@ -840,11 +1100,11 @@ impl<'p> Compiler<'p> {
         }
 
         let parser = self.lower_parser();
+        self.project_fields();
         Ok(CompiledProgram {
-            meta_widths: self.meta_widths,
+            meta_zero: self.meta_widths.iter().map(|&b| Value::new(0, b)).collect(),
             headers: self.headers,
             actions: self.actions,
-            action_ids: self.action_ids,
             tables: self.tables,
             registers: self.registers,
             parser,
@@ -893,6 +1153,123 @@ impl<'p> Compiler<'p> {
         CParser {
             start: self.prog.parser.start.map(lower_target),
             nodes,
+        }
+    }
+
+    /// Computes the per-header field projection the parser uses: which
+    /// fields the lowered program can ever *read* (table keys, expression
+    /// operands, branch conditions), and which headers it can ever *write*
+    /// (set/hash/register-read destinations, checksum rewrites, added
+    /// instances). Writable headers keep full extraction (`hot == None`) so
+    /// a dirty deparse has every field; read-only headers extract just
+    /// their hot fields and deparse verbatim from the wire bytes.
+    ///
+    /// Every lowered action is walked, reachable or not — over-extraction
+    /// is merely slower, never wrong, and keeps the analysis independent of
+    /// control flow.
+    fn project_fields(&mut self) {
+        fn expr(e: &CExpr, reads: &mut HashSet<(u16, u16)>) {
+            match e {
+                CExpr::Read(CSlot::Hdr { hid, fid, .. }) => {
+                    reads.insert((*hid, *fid));
+                }
+                CExpr::Const(_) | CExpr::Read(_) | CExpr::Param(_) | CExpr::Fail(_) => {}
+                CExpr::Add(a, b)
+                | CExpr::Sub(a, b)
+                | CExpr::And(a, b)
+                | CExpr::Or(a, b)
+                | CExpr::Xor(a, b) => {
+                    expr(a, reads);
+                    expr(b, reads);
+                }
+                CExpr::Shl(a, _) | CExpr::Shr(a, _) => expr(a, reads),
+            }
+        }
+        fn cond(c: &CBool, reads: &mut HashSet<(u16, u16)>) {
+            match c {
+                CBool::Cmp(a, _, b) => {
+                    expr(a, reads);
+                    expr(b, reads);
+                }
+                CBool::And(a, b) | CBool::Or(a, b) => {
+                    cond(a, reads);
+                    cond(b, reads);
+                }
+                CBool::Not(a) => cond(a, reads),
+                CBool::Valid(_) => {}
+            }
+        }
+        fn write(dst: &CDst, written: &mut HashSet<u16>) {
+            if let Ok(CSlot::Hdr { hid, .. }) = dst {
+                written.insert(*hid);
+            }
+        }
+
+        let mut reads: HashSet<(u16, u16)> = HashSet::new();
+        let mut written: HashSet<u16> = HashSet::new();
+        for act in &self.actions {
+            for op in &act.ops {
+                match op {
+                    CPrim::Set { dst, value } => {
+                        write(dst, &mut written);
+                        expr(value, &mut reads);
+                    }
+                    CPrim::Hash { dst, inputs, .. } => {
+                        write(dst, &mut written);
+                        for e in inputs {
+                            expr(e, &mut reads);
+                        }
+                    }
+                    CPrim::AddHeader { hid, .. } => {
+                        written.insert(*hid);
+                    }
+                    CPrim::RegisterRead { dst, index, .. } => {
+                        write(dst, &mut written);
+                        expr(index, &mut reads);
+                    }
+                    CPrim::RegisterWrite { index, value, .. } => {
+                        expr(index, &mut reads);
+                        expr(value, &mut reads);
+                    }
+                    CPrim::ChecksumUpdate { hid, .. } => {
+                        written.insert(*hid);
+                    }
+                    CPrim::Digest { inputs, .. } => {
+                        for e in inputs {
+                            expr(e, &mut reads);
+                        }
+                    }
+                    CPrim::RemoveHeaderNth { .. } | CPrim::Drop | CPrim::NoOp | CPrim::Fail(_) => {}
+                }
+            }
+        }
+        for t in &self.tables {
+            for k in &t.keys {
+                if let Ok(CSlot::Hdr { hid, fid, .. }) = k {
+                    reads.insert((*hid, *fid));
+                }
+            }
+        }
+        for op in &self.ops {
+            if let COp::Branch { cond: c, .. } = op {
+                cond(c, &mut reads);
+            }
+        }
+
+        for (h, ch) in self.headers.iter_mut().enumerate() {
+            let hid = h as u16;
+            if written.contains(&hid) {
+                continue; // hot stays None: full extraction
+            }
+            let mut rel = 0u64;
+            let mut hot = Vec::new();
+            for (fid, &b) in ch.bits.iter().enumerate() {
+                if reads.contains(&(hid, fid as u16)) {
+                    hot.push((fid as u16, rel, b));
+                }
+                rel += u64::from(b);
+            }
+            ch.hot = Some(hot);
         }
     }
 

@@ -167,23 +167,27 @@ impl<'a> Interpreter<'a> {
             .iter()
             .map(|k| self.read_field(&k.field, pp, meta))
             .collect::<Result<_, _>>()?;
-        let (action_name, args, hit) = match tables.lookup(def, &keys) {
-            Some(entry) => (entry.action, entry.action_args, true),
+        // The ordinal-returning lookup avoids cloning the whole entry per
+        // hit: the action name is borrowed from the definition's action
+        // list, and only the (small) argument vector is copied out so the
+        // table borrow can be released before the action runs.
+        let (action_name, args, hit) = match tables.lookup_ref_ord(def, &keys) {
+            Some((ord, entry)) => (def.actions[ord].as_str(), entry.action_args.clone(), true),
             None => (
-                def.default_action.clone(),
+                def.default_action.as_str(),
                 def.default_action_args.clone(),
                 false,
             ),
         };
-        let act = self.action(&action_name)?;
+        let act = self.action(action_name)?;
         self.run_action(act, &args, pp, meta, tables)?;
         outcome.tables_applied += 1;
         outcome.events.push(TableEvent {
             table: name.to_string(),
             hit,
-            action: action_name.clone(),
+            action: action_name.to_string(),
         });
-        Ok(action_name)
+        Ok(action_name.to_string())
     }
 
     fn action(&self, name: &str) -> Result<&ActionDef, IrError> {

@@ -33,7 +33,9 @@ pub mod index;
 pub mod interp;
 pub mod metrics;
 pub mod packet;
+pub mod pool;
 pub mod resources;
+pub mod rtc;
 pub mod switch;
 pub mod tables;
 pub mod timing;
@@ -49,16 +51,18 @@ pub use dejavu_telemetry as telemetry;
 /// separate dependency.
 pub use dejavu_state as state;
 
-pub use compiled::{CompiledPass, CompiledProgram};
+pub use compiled::{BufPass, CompiledPass, CompiledProgram, ExecScratch};
 pub use index::{IndexKind, IndexPolicy, IndexStats, IndexTelemetry, TableShape};
 pub use interp::{Interpreter, PipeletOutcome};
 pub use metrics::SwitchMetrics;
-pub use packet::{HeaderInstance, Packet, ParsedPacket};
+pub use packet::{flow_hash, HeaderInstance, Packet, ParsedPacket};
+pub use pool::{PacketHandle, PacketPool};
 pub use resources::{ResourceVector, StageResources};
+pub use rtc::{ExhaustionPolicy, RtcConfig, RtcExecutor, RtcReport, RtcSession};
 pub use state::{MigrationReport, StateSnapshot};
 pub use switch::{
-    BatchStats, ExecMode, Gress, InjectedPacket, PipeletId, PortId, Switch, SwitchConfig,
-    SwitchOptions, TraceEvent, TraceLevel, Traversal,
+    BatchStats, BufOutcome, ExecMode, Gress, InjectedPacket, PipeletId, PortId, Switch,
+    SwitchConfig, SwitchOptions, TraceEvent, TraceLevel, Traversal,
 };
 pub use tables::{DigestRecord, Eviction, TableCounters, TableState};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,202 @@
+//! Pooled packet buffers — the zero-allocation buffer layer of the
+//! run-to-completion engine.
+//!
+//! A [`PacketPool`] owns a bounded set of fixed-capacity byte buffers. The
+//! run-to-completion path acquires a [`PacketHandle`] per packet, fills it
+//! with wire bytes, and carries the *same* handle through every parse /
+//! modify / deparse / recirculate step; when the handle drops, its buffer
+//! returns to the pool with capacity intact. After the first lap through
+//! the pool every acquisition is a `Vec` move — no heap traffic.
+//!
+//! Safety under `forbid(unsafe_code)`: the handle is plain RAII over an
+//! owned `Vec<u8>` plus an `Arc` back-reference to the pool's shared free
+//! list. There is no aliasing, no lifetime laundering, and exhaustion is a
+//! *counted* condition ([`PacketPool::exhausted`]) surfaced to telemetry as
+//! `pool_exhausted` — never a panic, never a fallback allocation.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared pool state: the free list and the accounting counters.
+#[derive(Debug)]
+struct PoolShared {
+    free: Mutex<Vec<Vec<u8>>>,
+    /// Total buffers the pool was created with.
+    capacity: usize,
+    /// Byte capacity each buffer is pre-allocated to.
+    buf_capacity: usize,
+    /// Buffers currently held by live handles.
+    in_use: AtomicUsize,
+    /// Failed acquisitions (the `pool_exhausted` telemetry counter).
+    exhausted: AtomicU64,
+}
+
+/// A bounded pool of reusable fixed-capacity packet buffers.
+///
+/// Cloning the pool clones the *handle to the same pool* (the shared state
+/// is behind an `Arc`), so producers and consumers on different threads
+/// can acquire and release against one free list.
+#[derive(Debug, Clone)]
+pub struct PacketPool {
+    shared: Arc<PoolShared>,
+}
+
+impl PacketPool {
+    /// Creates a pool of `capacity` buffers, each pre-allocated to
+    /// `buf_capacity` bytes.
+    pub fn new(capacity: usize, buf_capacity: usize) -> Self {
+        let free = (0..capacity)
+            .map(|_| Vec::with_capacity(buf_capacity))
+            .collect();
+        PacketPool {
+            shared: Arc::new(PoolShared {
+                free: Mutex::new(free),
+                capacity,
+                buf_capacity,
+                in_use: AtomicUsize::new(0),
+                exhausted: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Acquires a buffer, or `None` when the pool is exhausted (counted in
+    /// [`PacketPool::exhausted`] — the caller decides whether to
+    /// backpressure or drop; this method never blocks, panics, or
+    /// allocates a fallback buffer).
+    pub fn acquire(&self) -> Option<PacketHandle> {
+        let buf = {
+            let mut free = self.shared.free.lock().expect("pool lock");
+            free.pop()
+        };
+        match buf {
+            Some(mut buf) => {
+                buf.clear();
+                self.shared.in_use.fetch_add(1, Ordering::Relaxed);
+                Some(PacketHandle {
+                    buf,
+                    shared: Arc::clone(&self.shared),
+                })
+            }
+            None => {
+                self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Acquires a buffer pre-filled with a copy of `bytes` (the ingress
+    /// path: wire bytes enter the pooled world exactly once).
+    pub fn acquire_copy(&self, bytes: &[u8]) -> Option<PacketHandle> {
+        let mut h = self.acquire()?;
+        h.extend_from_slice(bytes);
+        Some(h)
+    }
+
+    /// Buffers currently held by live handles.
+    pub fn in_use(&self) -> usize {
+        self.shared.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Buffers available for acquisition right now.
+    pub fn available(&self) -> usize {
+        self.shared.free.lock().expect("pool lock").len()
+    }
+
+    /// Total buffers the pool was created with.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Byte capacity each buffer was pre-allocated to.
+    pub fn buf_capacity(&self) -> usize {
+        self.shared.buf_capacity
+    }
+
+    /// Failed acquisitions so far — the `pool_exhausted` telemetry series.
+    pub fn exhausted(&self) -> u64 {
+        self.shared.exhausted.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard over one pooled buffer. Derefs to `Vec<u8>` so the packet
+/// paths treat it as an ordinary byte buffer; dropping it returns the
+/// buffer (capacity intact) to the pool's free list.
+#[derive(Debug)]
+pub struct PacketHandle {
+    buf: Vec<u8>,
+    shared: Arc<PoolShared>,
+}
+
+impl std::ops::Deref for PacketHandle {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PacketHandle {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PacketHandle {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.shared.in_use.fetch_sub(1, Ordering::Relaxed);
+        // A poisoned lock only happens if another thread panicked while
+        // returning a buffer; losing this buffer is then the benign
+        // outcome (the pool shrinks, nothing dangles).
+        if let Ok(mut free) = self.shared.free.lock() {
+            free.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycles_buffers() {
+        let pool = PacketPool::new(2, 64);
+        assert_eq!(pool.available(), 2);
+        let a = pool.acquire().unwrap();
+        let b = pool.acquire_copy(&[1, 2, 3]).unwrap();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(pool.in_use(), 2);
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.available(), 2);
+        // Reacquired buffers come back cleared with capacity intact.
+        let c = pool.acquire().unwrap();
+        assert!(c.is_empty());
+        assert!(c.capacity() >= 64);
+    }
+
+    #[test]
+    fn exhaustion_is_counted_not_fatal() {
+        let pool = PacketPool::new(1, 16);
+        let held = pool.acquire().unwrap();
+        assert!(pool.acquire().is_none());
+        assert!(pool.acquire().is_none());
+        assert_eq!(pool.exhausted(), 2);
+        drop(held);
+        assert!(pool.acquire().is_some());
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones_and_threads() {
+        let pool = PacketPool::new(4, 32);
+        let remote = pool.clone();
+        let t = std::thread::spawn(move || {
+            let h = remote.acquire_copy(&[9; 8]).unwrap();
+            h.len()
+        });
+        assert_eq!(t.join().unwrap(), 8);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.available(), 4);
+    }
+}

@@ -26,7 +26,7 @@
 //! disposition. The packet test framework and Dejavu's placement validator
 //! are both built on these traces.
 
-use crate::compiled::CompiledProgram;
+use crate::compiled::{CompiledProgram, ExecScratch};
 use crate::index::{IndexKind, IndexPolicy};
 use crate::interp::Interpreter;
 use crate::metrics::SwitchMetrics;
@@ -167,7 +167,7 @@ pub enum TraceEvent {
 }
 
 /// Final fate of an injected packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Disposition {
     /// Emitted on an Ethernet port.
     Emitted {
@@ -484,6 +484,29 @@ pub struct Switch {
     digest_queues: BTreeMap<usize, VecDeque<DigestRecord>>,
     /// Digests lost to a full queue, per pipeline.
     digest_drops: BTreeMap<usize, u64>,
+    /// Reusable per-pass execution state for the zero-allocation
+    /// run-to-completion path ([`Switch::inject_buf`]).
+    scratch: ExecScratch,
+    /// Mirror copies produced by [`Switch::inject_buf`] traversals, drained
+    /// by [`Switch::drain_mirrored`]. Mirroring is semantics, not trace, so
+    /// the buffer path still collects the (rare, allocating) copies.
+    mirror_out: Vec<(PortId, Vec<u8>)>,
+}
+
+/// Outcome of one [`Switch::inject_buf`] run-to-completion traversal: the
+/// disposition plus the loop and timing counters — everything `inject`
+/// reports except the allocating trace/byte state (the final bytes are in
+/// the caller's buffer, mirror copies in [`Switch::drain_mirrored`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufOutcome {
+    /// Final fate of the packet.
+    pub disposition: Disposition,
+    /// Number of recirculations taken.
+    pub recirculations: usize,
+    /// Number of resubmissions taken.
+    pub resubmissions: usize,
+    /// Accumulated latency in nanoseconds.
+    pub latency_ns: f64,
 }
 
 impl Switch {
@@ -508,6 +531,8 @@ impl Switch {
             digest_capacity: DEFAULT_DIGEST_CAPACITY,
             digest_queues: BTreeMap::new(),
             digest_drops: BTreeMap::new(),
+            scratch: ExecScratch::new(),
+            mirror_out: Vec::new(),
         }
     }
 
@@ -1091,6 +1116,295 @@ impl Switch {
         }
         self.trace_level = saved;
         stats
+    }
+
+    /// Injects a packet **in place** and drives it to completion on the
+    /// compiled engine — the zero-allocation run-to-completion path.
+    ///
+    /// The caller's buffer carries the wire bytes in and the final bytes
+    /// out (at emit/punt/drop, exactly the bytes `inject` would report as
+    /// `final_bytes`); recirculation and resubmission re-enter the pipeline
+    /// with the same buffer instead of round-tripping through fresh
+    /// allocations. Port validation, metric hooks, digest collection, and
+    /// dispositions are identical to [`Switch::inject`] at
+    /// [`TraceLevel::Off`]; mirror copies (semantics, not trace) are queued
+    /// for [`Switch::drain_mirrored`]. After the internal scratch buffers
+    /// warm up, a traversal performs zero heap allocations (digest
+    /// emission and mirroring — both learn/tap events, not steady-state
+    /// forwarding — are the exceptions).
+    ///
+    /// Always executes the compiled engine, regardless of
+    /// [`Switch::set_exec_mode`] — the reference interpreter has no
+    /// zero-copy mode.
+    pub fn inject_buf(&mut self, buf: &mut Vec<u8>, port: PortId) -> Result<BufOutcome, IrError> {
+        let checked = (|| {
+            if self.is_loopback(port) {
+                return Err(IrError::Invalid(format!(
+                    "port {port} is in loopback mode and takes no external traffic"
+                )));
+            }
+            if self.is_port_down(port) {
+                return Err(IrError::Invalid(format!("port {port} link is down")));
+            }
+            self.pipeline_of(port)
+                .ok_or_else(|| IrError::Invalid(format!("port {port} out of range")))
+        })();
+        let result = match checked {
+            Ok(pipeline) => self.run_buf_to_completion(buf, port, pipeline),
+            Err(e) => Err(e),
+        };
+        if result.is_err() {
+            self.metrics.on_reject();
+        }
+        result
+    }
+
+    /// Drains the mirror copies produced by [`Switch::inject_buf`]
+    /// traversals since the last drain: `(mirror port, bytes)` in
+    /// production order.
+    pub fn drain_mirrored(&mut self) -> Vec<(PortId, Vec<u8>)> {
+        std::mem::take(&mut self.mirror_out)
+    }
+
+    /// One compiled pipelet pass over the caller's buffer. On a successful
+    /// parse the deparsed bytes are swapped into `buf`; a pipelet with no
+    /// program passes the bytes through untouched.
+    fn buf_pass(
+        &mut self,
+        pipelet: PipeletId,
+        buf: &mut Vec<u8>,
+        ingress_port: PortId,
+        egress_seed: PortId,
+    ) -> Result<crate::compiled::BufPass, IrError> {
+        if !self.programs.contains_key(&pipelet) {
+            return Ok(crate::compiled::BufPass {
+                parsed: true,
+                drop: false,
+                to_cpu: false,
+                resubmit: false,
+                mirror: false,
+                egress_spec: u128::from(egress_seed),
+                tables_applied: 0,
+            });
+        }
+        let cp = Arc::clone(
+            self.compiled
+                .get(&pipelet)
+                .expect("compiled program exists for every loaded program"),
+        );
+        let tables = self
+            .tables
+            .get_mut(&pipelet)
+            .expect("state exists for loaded program");
+        let pass = cp.run_pass_scratch(
+            buf,
+            ingress_port,
+            egress_seed,
+            tables,
+            false,
+            &mut self.scratch,
+        )?;
+        if pass.parsed {
+            std::mem::swap(buf, self.scratch.out_mut());
+        }
+        Ok(pass)
+    }
+
+    /// The buffer-based twin of [`Switch::run_to_completion`]: same control
+    /// flow, same metric hooks, no per-packet allocation.
+    fn run_buf_to_completion(
+        &mut self,
+        buf: &mut Vec<u8>,
+        mut ingress_port: PortId,
+        mut pipeline: usize,
+    ) -> Result<BufOutcome, IrError> {
+        let mut latency = self.timing.mac_rx_ns;
+        let mut recirculations = 0usize;
+        let mut resubmissions = 0usize;
+        let stages = self.profile.stages_per_pipelet;
+        self.metrics.on_rx(ingress_port);
+
+        for _ in 0..self.max_loops {
+            // ---- ingress pipelet ----
+            let ing = PipeletId::ingress(pipeline);
+            latency += self.timing.pipelet_ns(stages);
+            let sig = self.buf_pass(ing, buf, ingress_port, PORT_UNSET)?;
+            self.collect_digests(ing);
+            self.metrics.on_pass(ing, sig.tables_applied);
+            if !sig.parsed {
+                self.metrics.on_parse_error(ing);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            self.maybe_mirror_buf(sig.mirror, buf);
+
+            if sig.drop {
+                self.metrics.on_drop(ing);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            if sig.to_cpu {
+                return Ok(self.finish_buf(
+                    Disposition::ToCpu,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            if sig.resubmit {
+                self.metrics.on_resubmit(pipeline);
+                latency += self.timing.resubmit_ns;
+                resubmissions += 1;
+                continue; // same pipeline, same ingress port
+            }
+
+            let egress_spec = sig.egress_spec as PortId;
+            if egress_spec == CPU_PORT {
+                return Ok(self.finish_buf(
+                    Disposition::ToCpu,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            if egress_spec == PORT_UNSET {
+                // No forwarding decision was made: hardware drops.
+                self.metrics.on_drop(ing);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            let Some(dest_pipeline) = self.pipeline_of(egress_spec) else {
+                self.metrics.on_drop(ing);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            };
+            if self.is_port_down(egress_spec) {
+                self.metrics.on_drop(ing);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+
+            // ---- traffic manager ----
+            latency += self.timing.tm_ns;
+
+            // ---- egress pipelet ----
+            let eg = PipeletId::egress(dest_pipeline);
+            latency += self.timing.pipelet_ns(stages);
+            // The egress pipelet's own writes to `egress_spec` are ignored —
+            // the port decision was made in ingress.
+            let esig = self.buf_pass(eg, buf, ingress_port, egress_spec)?;
+            self.collect_digests(eg);
+            self.metrics.on_pass(eg, esig.tables_applied);
+            if !esig.parsed {
+                self.metrics.on_parse_error(eg);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            self.maybe_mirror_buf(esig.mirror, buf);
+
+            if esig.drop {
+                self.metrics.on_drop(eg);
+                return Ok(self.finish_buf(
+                    Disposition::Dropped,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+            if esig.to_cpu {
+                return Ok(self.finish_buf(
+                    Disposition::ToCpu,
+                    latency,
+                    recirculations,
+                    resubmissions,
+                ));
+            }
+
+            // ---- port: out, or loop back ----
+            let is_dedicated_recirc = egress_spec >= RECIRC_PORT_BASE
+                && egress_spec < RECIRC_PORT_BASE + self.profile.pipelines as PortId;
+            if self.is_loopback(egress_spec) || is_dedicated_recirc {
+                self.metrics.on_recirculate(dest_pipeline);
+                latency += self.timing.recirc_on_chip_ns;
+                recirculations += 1;
+                // Constraint (d): re-enter the ingress pipe of the pipeline
+                // owning the loopback port — with the same buffer.
+                pipeline = dest_pipeline;
+                ingress_port = egress_spec;
+                continue;
+            }
+
+            latency += self.timing.mac_tx_ns;
+            return Ok(self.finish_buf(
+                Disposition::Emitted { port: egress_spec },
+                latency,
+                recirculations,
+                resubmissions,
+            ));
+        }
+        Err(IrError::Invalid(format!(
+            "packet did not leave the switch after {} pipeline loops (forwarding loop?)",
+            self.max_loops
+        )))
+    }
+
+    /// Queues a mirror copy of the buffer when the pass set `mirror_flag`
+    /// and a mirror port is configured (the copy is the one allocation on
+    /// this path — mirroring is a tap, not steady-state forwarding).
+    fn maybe_mirror_buf(&mut self, mirror: bool, buf: &[u8]) {
+        if mirror {
+            if let Some(port) = self.mirror_port {
+                self.metrics.on_mirror();
+                self.mirror_out.push((port, buf.to_vec()));
+            }
+        }
+    }
+
+    /// Fires the terminal metric hooks and packs a [`BufOutcome`] — the
+    /// buffer path's twin of [`Switch::finish`].
+    fn finish_buf(
+        &self,
+        disposition: Disposition,
+        latency_ns: f64,
+        recirculations: usize,
+        resubmissions: usize,
+    ) -> BufOutcome {
+        match &disposition {
+            Disposition::Emitted { port } => self.metrics.on_emit(*port),
+            Disposition::Dropped => self.metrics.on_dropped(),
+            Disposition::ToCpu => self.metrics.on_to_cpu(),
+        }
+        self.metrics.on_complete(latency_ns, recirculations);
+        BufOutcome {
+            disposition,
+            recirculations,
+            resubmissions,
+            latency_ns,
+        }
     }
 
     fn run_to_completion(
@@ -1937,5 +2251,61 @@ mod tests {
         assert_eq!(sw.tables(pid).unwrap().idle_timeout("l2"), Some(7));
         let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
+    }
+
+    #[test]
+    fn inject_buf_matches_inject() {
+        let mut reference = basic_switch();
+        reference
+            .install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+            .unwrap();
+        let mut pooled = reference.clone();
+
+        for (dst, port) in [(0xaabbu64, 0u16), (0xdead, 0), (0xaabb, 9999), (0xaabb, 3)] {
+            let bytes = eth_packet(dst);
+            let t = reference.inject((bytes.clone(), port));
+            let mut buf = bytes;
+            let b = pooled.inject_buf(&mut buf, port);
+            match (t, b) {
+                (Ok(t), Ok(b)) => {
+                    assert_eq!(t.disposition, b.disposition);
+                    assert_eq!(t.recirculations, b.recirculations);
+                    assert_eq!(t.resubmissions, b.resubmissions);
+                    assert!((t.latency_ns - b.latency_ns).abs() < 1e-9);
+                    assert_eq!(t.final_bytes, buf, "buffer carries the final bytes");
+                }
+                (Err(_), Err(_)) => {}
+                (t, b) => panic!("paths diverged: {t:?} vs {b:?}"),
+            }
+        }
+        // Metric streams stayed identical across both engines as well.
+        assert_eq!(reference.metrics_snapshot(), pooled.metrics_snapshot());
+    }
+
+    #[test]
+    fn inject_buf_reuses_buffer_across_packets() {
+        let mut sw = basic_switch();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+            .unwrap();
+        let mut buf = Vec::with_capacity(256);
+        for _ in 0..3 {
+            buf.clear();
+            buf.extend_from_slice(&eth_packet(0xaabb));
+            let out = sw.inject_buf(&mut buf, 0).unwrap();
+            assert_eq!(out.disposition, Disposition::Emitted { port: 20 });
+            assert_eq!(buf.len(), 14);
+        }
+    }
+
+    #[test]
+    fn inject_buf_collects_mirrors_via_drain() {
+        let mut sw = basic_switch();
+        sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
+            .unwrap();
+        sw.set_mirror_port(Some(30));
+        // The l2 program never mirrors, so the queue stays empty…
+        let mut buf = eth_packet(0xaabb);
+        sw.inject_buf(&mut buf, 0).unwrap();
+        assert!(sw.drain_mirrored().is_empty());
     }
 }

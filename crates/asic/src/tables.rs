@@ -68,6 +68,11 @@ pub struct DigestRecord {
 struct TableRt {
     entries: Vec<TableEntry>,
     ranks: Vec<Rank>,
+    /// Ordinal of each entry's action within the table definition's action
+    /// list, parallel to `entries`. Resolved once at install time so the
+    /// engines' hot paths can map a hit to a prelowered action without
+    /// hashing the action name per packet.
+    action_ords: Vec<usize>,
     /// Coarse key-kind shape; constrains which index kinds are admissible.
     shape: TableShape,
     /// Auto-select or pinned index kind.
@@ -101,6 +106,7 @@ impl TableRt {
         TableRt {
             entries: Vec::new(),
             ranks: Vec::new(),
+            action_ords: Vec::new(),
             shape,
             policy: IndexPolicy::Auto,
             index: make_index(initial_kind(shape)),
@@ -115,12 +121,13 @@ impl TableRt {
         }
     }
 
-    fn push(&mut self, entry: TableEntry, now: u64) {
+    fn push(&mut self, entry: TableEntry, now: u64, action_ord: usize) {
         self.stamp_floor = self.stamp_floor.min(now);
         let idx = self.entries.len();
         let rank = rank_of(&entry);
         self.entries.push(entry);
         self.ranks.push(rank);
+        self.action_ords.push(action_ord);
         self.last_hit.push(Cell::new(now));
         if !self.index.insert(&self.entries, &self.ranks, idx) {
             self.rebuild_index();
@@ -188,6 +195,7 @@ impl TableRt {
                 if kept != i {
                     self.entries.swap(kept, i);
                     self.ranks.swap(kept, i);
+                    self.action_ords.swap(kept, i);
                     self.last_hit.swap(kept, i);
                 }
                 min_stamp = min_stamp.min(self.last_hit[kept].get());
@@ -196,6 +204,7 @@ impl TableRt {
         }
         self.entries.truncate(kept);
         self.ranks.truncate(kept);
+        self.action_ords.truncate(kept);
         self.last_hit.truncate(kept);
         self.stamp_floor = min_stamp;
         self.reindex_auto();
@@ -208,6 +217,7 @@ impl TableRt {
         if victim + 1 == self.entries.len() {
             let entry = self.entries.pop().expect("victim in bounds");
             let rank = self.ranks.pop().expect("ranks parallel");
+            self.action_ords.pop();
             self.last_hit.pop();
             // `stamp_floor` stays a valid lower bound after a removal.
             if !self.index.remove(&entry, rank, victim) {
@@ -240,6 +250,7 @@ impl TableRt {
     fn clear_entries(&mut self) {
         self.entries.clear();
         self.ranks.clear();
+        self.action_ords.clear();
         self.last_hit.clear();
         self.stamp_floor = u64::MAX;
         self.reindex_auto();
@@ -322,12 +333,12 @@ impl TableState {
                 )));
             }
         }
-        if !def.actions.contains(&entry.action) {
+        let Some(action_ord) = def.actions.iter().position(|a| a == &entry.action) else {
             return Err(IrError::Undefined {
                 kind: "entry action",
                 name: entry.action.clone(),
             });
-        }
+        };
         let id = self.preregister(def);
         let now = self.clock;
         let slot = &mut self.slots[id];
@@ -348,7 +359,7 @@ impl TableState {
                 }
             }
         }
-        slot.push(entry, now);
+        slot.push(entry, now, action_ord);
         Ok(())
     }
 
@@ -614,6 +625,34 @@ impl TableState {
             slot.touch(i, self.clock);
         }
         found.map(|i| &slot.entries[i])
+    }
+
+    /// Indexed lookup returning the winning entry's action ordinal (its
+    /// position in the table definition's action list, resolved at install
+    /// time) alongside the entry. Counts like [`TableState::lookup_id`].
+    /// The zero-clone hot path: the compiled engine maps the ordinal
+    /// through a prelowered per-table action table instead of hashing the
+    /// action name.
+    pub fn lookup_id_ord(&self, id: usize, keys: &[Value]) -> Option<(usize, &TableEntry)> {
+        let slot = self.slots.get(id)?;
+        let found = slot.find(keys);
+        slot.count(found.is_some());
+        if let Some(i) = found {
+            slot.touch(i, self.clock);
+        }
+        found.map(|i| (slot.action_ords[i], &slot.entries[i]))
+    }
+
+    /// Counting lookup by table definition returning the action ordinal and
+    /// a borrowed entry — the reference interpreter's zero-clone path.
+    pub fn lookup_ref_ord(&self, def: &TableDef, keys: &[Value]) -> Option<(usize, &TableEntry)> {
+        let slot = self.slot(&def.name)?;
+        let found = slot.find(keys);
+        slot.count(found.is_some());
+        if let Some(i) = found {
+            slot.touch(i, self.clock);
+        }
+        found.map(|i| (slot.action_ords[i], &slot.entries[i]))
     }
 
     /// Lookup without counter updates (same index-backed path).

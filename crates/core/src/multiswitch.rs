@@ -367,7 +367,7 @@ impl ClusterNet {
             let t = self.switches[cur].inject((cur_bytes, cur_port))?;
             latency += t.latency_ns;
             recircs += t.recirculations;
-            let disposition = t.disposition.clone();
+            let disposition = t.disposition;
             let final_bytes = t.final_bytes.clone();
             hops.push((cur, t));
             match disposition {

@@ -315,6 +315,50 @@ impl MetricsExpectations {
         )
     }
 
+    /// Expects the run-to-completion workers to have processed exactly
+    /// `expected` packets in total (sum of the `rtc_worker_packets{core}`
+    /// family an [`RtcReport`] snapshot carries).
+    ///
+    /// [`RtcReport`]: dejavu_asic::RtcReport
+    pub fn rtc_packets(self, expected: u64) -> Self {
+        self.family_total("rtc_worker_packets", expected)
+    }
+
+    /// Expects run-to-completion worker `core` to have processed at least
+    /// `min` packets — flow steering must actually spread the workload.
+    pub fn rtc_worker_at_least(self, core: usize, min: u64) -> Self {
+        self.counter_at_least(&format!("rtc_worker_packets{{core=\"{core}\"}}"), min)
+    }
+
+    /// Expects exactly `expected` pool-exhaustion events (failed buffer
+    /// acquisitions) over the run.
+    pub fn pool_exhausted(self, expected: u64) -> Self {
+        self.counter("pool_exhausted", expected)
+    }
+
+    /// Expects the `pool_in_use` peak gauge to be at least `min` — a run
+    /// that moved packets must have had buffers in flight.
+    pub fn pool_in_use_at_least(self, min: i64) -> Self {
+        let label = format!("pool_in_use >= {min}");
+        self.check(&label, move |s| {
+            let got = s.gauge("pool_in_use");
+            if got >= min {
+                Ok(())
+            } else {
+                Err(format!(
+                    "gauge pool_in_use: expected at least {min}, got {got}"
+                ))
+            }
+        })
+    }
+
+    /// Expects the ring-depth histogram (`rtc_ring_depth{core,bucket}`) to
+    /// hold exactly `expected` samples — the executor samples occupancy
+    /// once per ring pop, so this equals the packets the rings carried.
+    pub fn rtc_ring_samples(self, expected: u64) -> Self {
+        self.family_total("rtc_ring_depth", expected)
+    }
+
     /// Expects the summed delta of every counter starting with `prefix`
     /// (e.g. a labelled family like `packet_recirc_depth`) to equal
     /// `expected`.

@@ -31,7 +31,9 @@
 
 use crate::flows::FlowSpec;
 use dejavu_asic::switch::PortId;
-use dejavu_asic::{BatchStats, InjectedPacket, MetricsSnapshot, Switch};
+use dejavu_asic::{
+    BatchStats, InjectedPacket, MetricsSnapshot, RtcConfig, RtcExecutor, RtcReport, Switch,
+};
 use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
@@ -152,6 +154,47 @@ pub fn replay_flows(
     replay_sharded(switch, &packets, workers)
 }
 
+/// Replays the same flow-grouped workload through the zero-allocation
+/// run-to-completion executor ([`dejavu_asic::RtcExecutor`]).
+///
+/// Where [`replay_sharded`] assigns flows to workers round-robin and drives
+/// the batched fast path, this entry point interleaves the flows into one
+/// arrival stream (round-robin across flows, preserving each flow's
+/// internal order) and lets the executor steer by flow hash over pooled
+/// buffers — the same packets, the engine under test for the `rtc_pps`
+/// benchmark column.
+pub fn replay_rtc(switch: &Switch, packets: &[Vec<InjectedPacket>], cfg: &RtcConfig) -> RtcReport {
+    let longest = packets.iter().map(Vec::len).max().unwrap_or(0);
+    let mut stream = Vec::with_capacity(packets.iter().map(Vec::len).sum());
+    for i in 0..longest {
+        for flow in packets {
+            if let Some(p) = flow.get(i) {
+                stream.push(p.clone());
+            }
+        }
+    }
+    RtcExecutor::new(cfg.clone()).run(switch, &stream)
+}
+
+/// Convenience twin of [`replay_flows`] for the run-to-completion path.
+pub fn replay_flows_rtc(
+    switch: &Switch,
+    flows: &[FlowSpec],
+    port: PortId,
+    packets_per_flow: usize,
+    payload_len: usize,
+    cfg: &RtcConfig,
+) -> RtcReport {
+    let packets: Vec<Vec<InjectedPacket>> = flows
+        .iter()
+        .map(|f| {
+            let bytes = f.packet(payload_len);
+            vec![InjectedPacket::new(bytes, port); packets_per_flow]
+        })
+        .collect();
+    replay_rtc(switch, &packets, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +305,30 @@ mod tests {
         let r = replay_sharded(&sw, &[], 8);
         assert_eq!(r.stats.injected, 0);
         assert_eq!(r.workers, 1);
+    }
+
+    #[test]
+    fn rtc_replay_matches_batched_counts() {
+        let mut sw = testbed();
+        sw.set_telemetry(true);
+        let flows = FlowGen::new(11, (0x0a01_0000, 16), (0x0a02_0000, 16)).flows(24);
+        let batched = replay_flows(&sw, &flows, 0, 4, 16, 1);
+        let cfg = RtcConfig {
+            workers: 4,
+            ..RtcConfig::default()
+        };
+        let rtc = replay_flows_rtc(&sw, &flows, 0, 4, 16, &cfg);
+        assert_eq!(rtc.injected, 96);
+        assert_eq!(rtc.emitted, batched.stats.emitted as u64);
+        assert_eq!(rtc.dropped, batched.stats.dropped as u64);
+        assert_eq!(rtc.errors, 0);
+        assert_eq!(rtc.pool_dropped, 0);
+        // Core pipeline telemetry agrees with the batched engine; the rtc
+        // report additionally carries the executor's own series.
+        assert_eq!(
+            rtc.metrics.counter("packets_injected"),
+            batched.metrics.counter("packets_injected")
+        );
+        assert_eq!(rtc.metrics.counter_family_total("rtc_worker_packets"), 96);
     }
 }

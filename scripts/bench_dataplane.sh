@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Runs the dataplane table-size sweep (reference interpreter vs compiled
-# fast path, single vs batched injection) and snapshots the machine-readable
-# record to BENCH_dataplane.json at the repo root.
+# fast path, single vs batched injection, pooled run-to-completion engine)
+# and snapshots the machine-readable record to BENCH_dataplane.json at the
+# repo root. The sweep always builds with the `count-allocs` feature so the
+# counting allocator measures steady-state heap traffic on the rtc path;
+# each sweep point asserts allocations/packet == 0 inline.
 #
 #   --quick   smoke mode for CI: shrunk budgets, 100k point skipped, and the
 #             artifact is left in target/experiments/ (the committed root
-#             BENCH_dataplane.json is only refreshed by full runs).
+#             BENCH_dataplane.json is only refreshed by full runs). The
+#             quick artifact is additionally gated on the zero-allocation
+#             record: rtc_allocs_per_packet must be exactly 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,10 +25,19 @@ for a in "$@"; do
 done
 
 if [ "$QUICK" = 1 ]; then
-    DEJAVU_BENCH_QUICK=1 cargo bench -p dejavu-bench --bench micro_dataplane ${ARGS[@]+"${ARGS[@]}"}
+    DEJAVU_BENCH_QUICK=1 cargo bench -p dejavu-bench --bench micro_dataplane \
+        --features count-allocs ${ARGS[@]+"${ARGS[@]}"}
+    python3 - target/experiments/BENCH_dataplane.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+allocs = report.get("rtc_allocs_per_packet")
+assert allocs == 0, f"rtc steady state must be allocation-free, got {allocs}"
+print("rtc alloc gate OK (0 allocations/packet)")
+EOF
     echo "quick sweep ok: target/experiments/BENCH_dataplane.json (root copy untouched)"
 else
-    cargo bench -p dejavu-bench --bench micro_dataplane ${ARGS[@]+"${ARGS[@]}"}
+    cargo bench -p dejavu-bench --bench micro_dataplane \
+        --features count-allocs ${ARGS[@]+"${ARGS[@]}"}
     cp target/experiments/BENCH_dataplane.json BENCH_dataplane.json
     echo "wrote $(pwd)/BENCH_dataplane.json"
 fi

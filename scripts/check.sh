@@ -77,8 +77,9 @@ EOF
 # Dataplane bench gate: the table-size sweep runs end-to-end in quick
 # mode (shrunk budgets, 100k point skipped; the committed root
 # BENCH_dataplane.json is not rewritten), its artifact must carry the
-# speedup flags, and the committed record must have both 10×-at-10k
-# flags present and true.
+# speedup flags and a zero-allocation rtc steady state, and the committed
+# record must have the 10×-at-10k flags, the 3×-rtc flag, and the
+# zero-allocation record present and true.
 bash scripts/bench_dataplane.sh --quick
 quick_record=target/experiments/BENCH_dataplane.json
 test -s "$quick_record" || { echo "missing $quick_record" >&2; exit 1; }
@@ -89,13 +90,22 @@ for flag in ("meets_10x_at_10k_exact", "meets_10x_at_10k_ternary"):
     assert flag in report, f"quick sweep artifact missing {flag}"
 kinds = {(p["kind"], p["entries"]): p["index_kind"] for p in report["points"]}
 assert kinds[("ternary", 10_000)] in ("tuple_space", "decision_tree"), kinds
-print("quick dataplane sweep artifact OK")
+allocs = report.get("rtc_allocs_per_packet")
+assert allocs == 0, f"rtc steady state must be allocation-free, got {allocs}"
+print("quick dataplane sweep artifact OK (rtc allocs/packet == 0)")
 EOF
 python3 - BENCH_dataplane.json <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
-for flag in ("meets_10x_at_10k_exact", "meets_10x_at_10k_ternary"):
+for flag in (
+    "meets_10x_at_10k_exact",
+    "meets_10x_at_10k_ternary",
+    "meets_3x_rtc_at_10k_exact",
+):
     assert report.get(flag) is True, f"committed BENCH_dataplane.json: {flag} must be true"
+allocs = report.get("rtc_allocs_per_packet")
+if allocs is not None:
+    assert allocs == 0, f"committed rtc_allocs_per_packet must be 0, got {allocs}"
 print("committed BENCH_dataplane.json flags OK")
 EOF
 

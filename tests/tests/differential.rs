@@ -4,11 +4,15 @@
 //! For arbitrary generated programs (random table key kinds, action
 //! bodies with arithmetic / hashing / register access / drops, guarded
 //! control flow), arbitrary table entries, and arbitrary packet
-//! sequences, two switches loaded with the same program — one in
-//! [`ExecMode::Reference`], one in [`ExecMode::Compiled`] — must agree
-//! on *everything* observable: full traversals (events, dispositions,
+//! sequences, three switches loaded with the same program — one in
+//! [`ExecMode::Reference`], one in [`ExecMode::Compiled`], and one driven
+//! through the pooled zero-allocation path ([`Switch::inject_buf`]) — must
+//! agree on *everything* observable: traversals (events, dispositions,
 //! final bytes, latency, recirculation/resubmission counts, mirror
-//! copies), table hit/miss counters, and register state.
+//! copies), table hit/miss counters, and register state. The pooled
+//! engine produces no event trace, so its column is compared on the
+//! trace-free surface (disposition, bytes, latency, counts, mirrors,
+//! state, telemetry).
 
 use proptest::prelude::*;
 
@@ -265,45 +269,77 @@ proptest! {
         let program = build_program(&tables);
         let mut reference = testbed(&program, &tables, ExecMode::Reference);
         let mut compiled = testbed(&program, &tables, ExecMode::Compiled);
+        let mut pooled = testbed(&program, &tables, ExecMode::Compiled);
 
         for (k, &(mac, dst, ttl, ip_sel, payload)) in packets.iter().enumerate() {
             // ~80% of packets are IPv4, the rest bare Ethernet.
             let pkt = gen_packet(mac, dst, ttl, ip_sel > 0, payload);
             let r = reference.inject((pkt.clone(), 0));
-            let c = compiled.inject((pkt, 0));
+            let c = compiled.inject((pkt.clone(), 0));
+            let mut buf = pkt;
+            let p = pooled.inject_buf(&mut buf, 0);
             match (r, c) {
-                (Ok(rt), Ok(ct)) => prop_assert_eq!(rt, ct, "packet {} diverged", k),
-                (Err(_), Err(_)) => {}
+                (Ok(rt), Ok(ct)) => {
+                    prop_assert_eq!(&rt, &ct, "packet {} diverged", k);
+                    let pb = p.expect("pooled path accepted what the trace paths accepted");
+                    prop_assert_eq!(ct.disposition, pb.disposition, "packet {} disposition", k);
+                    prop_assert_eq!(ct.recirculations, pb.recirculations, "packet {} recircs", k);
+                    prop_assert_eq!(ct.resubmissions, pb.resubmissions, "packet {} resubs", k);
+                    prop_assert!((ct.latency_ns - pb.latency_ns).abs() < 1e-9,
+                        "packet {} latency: {} vs {}", k, ct.latency_ns, pb.latency_ns);
+                    prop_assert_eq!(&ct.final_bytes, &buf, "packet {} final bytes", k);
+                    prop_assert_eq!(&ct.mirrored, &pooled.drain_mirrored(),
+                        "packet {} mirror copies", k);
+                }
+                (Err(_), Err(_)) => prop_assert!(p.is_err(), "pooled path accepted a reject"),
                 (r, c) => prop_assert!(false, "packet {}: reference {:?} vs compiled {:?}", k, r, c),
             }
         }
 
         // Register state must agree cell-for-cell.
         for idx in 0..8u32 {
+            let rr = reference.register_peek(PipeletId::ingress(0), "r0", idx);
             prop_assert_eq!(
-                reference.register_peek(PipeletId::ingress(0), "r0", idx),
+                rr,
                 compiled.register_peek(PipeletId::ingress(0), "r0", idx),
                 "register r0[{}] diverged", idx
+            );
+            prop_assert_eq!(
+                rr,
+                pooled.register_peek(PipeletId::ingress(0), "r0", idx),
+                "pooled register r0[{}] diverged", idx
             );
         }
 
         // Hit/miss counters must agree table-for-table.
         for i in 0..tables.len() {
             let name = format!("t{i}");
+            let rc = reference.tables(PipeletId::ingress(0)).unwrap().counters(&name);
             prop_assert_eq!(
-                reference.tables(PipeletId::ingress(0)).unwrap().counters(&name),
+                rc,
                 compiled.tables(PipeletId::ingress(0)).unwrap().counters(&name),
                 "counters for {} diverged", &name
+            );
+            prop_assert_eq!(
+                rc,
+                pooled.tables(PipeletId::ingress(0)).unwrap().counters(&name),
+                "pooled counters for {} diverged", &name
             );
         }
 
         // Telemetry must agree series-for-series: per-pipelet packets and
         // table applies, port tx/rx, dispositions, recirc-depth buckets,
         // latency histograms, and the folded table hit/miss counters.
+        let rsnap = reference.metrics_snapshot();
         prop_assert_eq!(
-            reference.metrics_snapshot(),
-            compiled.metrics_snapshot(),
+            &rsnap,
+            &compiled.metrics_snapshot(),
             "metrics snapshots diverged"
+        );
+        prop_assert_eq!(
+            &rsnap,
+            &pooled.metrics_snapshot(),
+            "pooled metrics snapshot diverged"
         );
     }
 }
@@ -409,20 +445,30 @@ proptest! {
         let pid = PipeletId::ingress(0);
         let mut reference = flow_testbed(&program, &seeds, timeout, ExecMode::Reference);
         let mut compiled = flow_testbed(&program, &seeds, timeout, ExecMode::Compiled);
+        let mut pooled = flow_testbed(&program, &seeds, timeout, ExecMode::Compiled);
 
         for (k, &(op, a)) in ops.iter().enumerate() {
             if op % 4 == 0 {
                 let ticks = u64::from(a % 3) + 1;
                 let re = reference.advance_time(ticks);
                 let ce = compiled.advance_time(ticks);
-                prop_assert_eq!(re, ce, "step {}: eviction sweeps diverged", k);
+                let pe = pooled.advance_time(ticks);
+                prop_assert_eq!(&re, &ce, "step {}: eviction sweeps diverged", k);
+                prop_assert_eq!(&re, &pe, "step {}: pooled eviction sweeps diverged", k);
             } else {
                 let pkt = flow_packet(op, a);
                 let r = reference.inject((pkt.clone(), 0));
-                let c = compiled.inject((pkt, 0));
+                let c = compiled.inject((pkt.clone(), 0));
+                let mut buf = pkt;
+                let p = pooled.inject_buf(&mut buf, 0);
                 match (r, c) {
-                    (Ok(rt), Ok(ct)) => prop_assert_eq!(rt, ct, "step {} diverged", k),
-                    (Err(_), Err(_)) => {}
+                    (Ok(rt), Ok(ct)) => {
+                        prop_assert_eq!(&rt, &ct, "step {} diverged", k);
+                        let pb = p.expect("pooled path accepted what the trace paths accepted");
+                        prop_assert_eq!(ct.disposition, pb.disposition, "step {} disposition", k);
+                        prop_assert_eq!(&ct.final_bytes, &buf, "step {} final bytes", k);
+                    }
+                    (Err(_), Err(_)) => prop_assert!(p.is_err(), "pooled path accepted a reject"),
                     (r, c) => prop_assert!(
                         false, "step {}: reference {:?} vs compiled {:?}", k, r, c
                     ),
@@ -430,32 +476,111 @@ proptest! {
             }
         }
 
-        // Digest queues must agree record-for-record, in order.
+        // Digest queues must agree record-for-record, in order — across the
+        // interpreter, the compiled engine, and the pooled zero-alloc path
+        // (digest emission is the learn path and must survive pooling).
+        let rd = reference.drain_digests();
         prop_assert_eq!(
-            reference.drain_digests(),
-            compiled.drain_digests(),
+            &rd,
+            &compiled.drain_digests(),
             "digest streams diverged"
         );
-        // Post-aging table state must agree entry-for-entry.
         prop_assert_eq!(
-            reference.tables(pid).unwrap().entries("flows"),
-            compiled.tables(pid).unwrap().entries("flows"),
+            &rd,
+            &pooled.drain_digests(),
+            "pooled digest stream diverged"
+        );
+        // Post-aging table state must agree entry-for-entry.
+        let re = reference.tables(pid).unwrap().entries("flows");
+        prop_assert_eq!(
+            &re,
+            &compiled.tables(pid).unwrap().entries("flows"),
             "surviving entries diverged"
         );
         prop_assert_eq!(
-            reference.tables(pid).unwrap().counters("flows"),
+            &re,
+            &pooled.tables(pid).unwrap().entries("flows"),
+            "pooled surviving entries diverged"
+        );
+        let rc = reference.tables(pid).unwrap().counters("flows");
+        prop_assert_eq!(
+            rc,
             compiled.tables(pid).unwrap().counters("flows"),
             "counters diverged"
         );
         prop_assert_eq!(
-            reference.tables(pid).unwrap().evictions("flows"),
+            rc,
+            pooled.tables(pid).unwrap().counters("flows"),
+            "pooled counters diverged"
+        );
+        let rev = reference.tables(pid).unwrap().evictions("flows");
+        prop_assert_eq!(
+            rev,
             compiled.tables(pid).unwrap().evictions("flows"),
             "eviction counts diverged"
         );
         prop_assert_eq!(
-            reference.metrics_snapshot(),
-            compiled.metrics_snapshot(),
+            rev,
+            pooled.tables(pid).unwrap().evictions("flows"),
+            "pooled eviction counts diverged"
+        );
+        let rsnap = reference.metrics_snapshot();
+        prop_assert_eq!(
+            &rsnap,
+            &compiled.metrics_snapshot(),
             "metrics snapshots diverged"
         );
+        prop_assert_eq!(
+            &rsnap,
+            &pooled.metrics_snapshot(),
+            "pooled metrics snapshot diverged"
+        );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pool exhaustion: a starved run-to-completion executor must degrade
+// gracefully — backpressure stalls without loss, drop counts every loss,
+// and neither path panics or falls back to allocation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pool_exhaustion_backpressures_or_drops_never_panics() {
+    use dejavu_asic::{ExhaustionPolicy, InjectedPacket, RtcConfig, RtcExecutor};
+
+    let program = flow_program();
+    let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
+    sw.set_telemetry(true);
+    sw.load_program(PipeletId::ingress(0), program).unwrap();
+    let packets: Vec<InjectedPacket> = (0..96)
+        .map(|i| InjectedPacket::new(flow_packet(i as u8, (i % 7) as u8), 0))
+        .collect();
+
+    // Starved pool + backpressure: every packet still gets through.
+    let bp = RtcExecutor::new(RtcConfig {
+        workers: 2,
+        ring_depth: 2,
+        pool_packets: 1,
+        exhaustion: ExhaustionPolicy::Backpressure,
+        ..RtcConfig::default()
+    })
+    .run(&sw, &packets);
+    assert_eq!(bp.injected, 96);
+    assert_eq!(bp.pool_dropped, 0);
+    assert_eq!(bp.emitted + bp.dropped + bp.to_cpu, 96);
+
+    // Starved pool + drop policy on a single hot shard: losses are counted
+    // in the report and surfaced as the pool_exhausted telemetry series.
+    let one_flow: Vec<InjectedPacket> = vec![InjectedPacket::new(flow_packet(1, 1), 0); 64];
+    let dr = RtcExecutor::new(RtcConfig {
+        workers: 1,
+        ring_depth: 64,
+        pool_packets: 1,
+        exhaustion: ExhaustionPolicy::Drop,
+        ..RtcConfig::default()
+    })
+    .run(&sw, &one_flow);
+    assert_eq!(dr.injected + dr.pool_dropped, 64);
+    assert_eq!(dr.pool_exhausted, dr.pool_dropped);
+    assert_eq!(dr.metrics.counter("pool_exhausted"), dr.pool_dropped);
 }

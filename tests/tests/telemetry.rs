@@ -197,3 +197,50 @@ fn ptf_index_expectations_see_forced_policy_and_probes() {
     );
     report.assert_all_passed();
 }
+
+/// The run-to-completion executor's own telemetry (`rtc_worker_packets`,
+/// `rtc_ring_depth`, `pool_in_use`, `pool_exhausted`) flows through the
+/// merged snapshot and the PTF expectation helpers, alongside the core
+/// pipeline series the workers' switch clones recorded.
+#[test]
+fn ptf_rtc_expectations_see_worker_and_pool_series() {
+    let sw = testbed(true);
+    let flows = FlowGen::new(9, (0x0a01_0000, 16), (0x0a02_0000, 16)).flows(16);
+    let cfg = dejavu_asic::RtcConfig {
+        workers: 4,
+        ..dejavu_asic::RtcConfig::default()
+    };
+    let report = dejavu_traffic::replay::replay_flows_rtc(&sw, &flows, 0, 4, 16, &cfg);
+    assert_eq!(report.injected, 64);
+    assert_eq!(report.errors, 0);
+
+    let rows = dejavu_ptf::MetricsExpectations::new()
+        .rtc_packets(64)
+        .rtc_ring_samples(64)
+        .pool_exhausted(0)
+        .pool_in_use_at_least(1)
+        .counter("packets_injected", 64)
+        .evaluate(&report.metrics);
+    for r in &rows {
+        assert!(r.failure.is_none(), "{}: {:?}", r.name, r.failure);
+    }
+
+    // The per-core split covers every packet, and each touched core's
+    // series passes the per-worker expectation helper.
+    let mut covered = 0;
+    for (core, &n) in report.worker_packets.iter().enumerate() {
+        covered += n;
+        if n > 0 {
+            let per = dejavu_ptf::MetricsExpectations::new()
+                .rtc_worker_at_least(core, n)
+                .evaluate(&report.metrics);
+            assert!(
+                per[0].failure.is_none(),
+                "{}: {:?}",
+                per[0].name,
+                per[0].failure
+            );
+        }
+    }
+    assert_eq!(covered, 64);
+}
