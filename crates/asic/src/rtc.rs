@@ -688,7 +688,11 @@ mod tests {
         let mut seq = sw.clone();
         let (mut emitted, mut dropped) = (0u64, 0u64);
         for p in &pkts {
-            match seq.inject((p.bytes.clone(), p.port)).unwrap().disposition {
+            match seq
+                .inject(InjectedPacket::new(p.bytes.clone(), p.port))
+                .unwrap()
+                .disposition
+            {
                 Disposition::Emitted { .. } => emitted += 1,
                 Disposition::Dropped => dropped += 1,
                 Disposition::ToCpu => unreachable!(),

@@ -333,12 +333,6 @@ impl InjectedPacket {
     }
 }
 
-impl From<(Vec<u8>, PortId)> for InjectedPacket {
-    fn from((bytes, port): (Vec<u8>, PortId)) -> Self {
-        InjectedPacket { bytes, port }
-    }
-}
-
 /// Construction-time switch configuration, collected from what used to be
 /// scattered post-construction setters. Build one with the fluent methods
 /// and pass it to [`Switch::with_options`]; the individual setters remain
@@ -1061,8 +1055,8 @@ impl Switch {
 
     /// Injects a packet on an external Ethernet port and drives it to
     /// completion. Loopback ports take no external traffic (§4) — injecting
-    /// on one is an error. Accepts anything convertible to
-    /// [`InjectedPacket`], in particular a `(Vec<u8>, PortId)` tuple.
+    /// on one is an error. Takes an [`InjectedPacket`] (see
+    /// `dejavu_core::ingress` for how the injection entry points relate).
     pub fn inject(&mut self, packet: impl Into<InjectedPacket>) -> Result<Traversal, IrError> {
         let InjectedPacket { bytes, port } = packet.into();
         let checked = (|| {
@@ -1890,7 +1884,9 @@ mod tests {
         let mut sw = basic_switch();
         sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
             .unwrap();
-        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
+        let t = sw
+            .inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+            .unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
         // ingress pipeline 0 → TM → egress pipeline 1 (port 20)
         assert_eq!(
@@ -1905,7 +1901,9 @@ mod tests {
     #[test]
     fn default_drop() {
         let mut sw = basic_switch();
-        let t = sw.inject((eth_packet(0xdead), 0)).unwrap();
+        let t = sw
+            .inject(InjectedPacket::new(eth_packet(0xdead), 0))
+            .unwrap();
         assert_eq!(t.disposition, Disposition::Dropped);
         assert!(t
             .events
@@ -1923,7 +1921,9 @@ mod tests {
             .unwrap();
         sw.install_entry(PipeletId::ingress(1), "l2", fwd_entry(0xaabb, 1))
             .unwrap();
-        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
+        let t = sw
+            .inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+            .unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 1 });
         assert_eq!(t.recirculations, 1);
         assert_eq!(
@@ -1955,7 +1955,9 @@ mod tests {
         // make the second lookup exit by using dst 0xaabb → rp the first
         // time only. To keep the test deterministic we swap the entry after
         // injecting is not possible, so check loop detection instead.)
-        let err = sw.inject((eth_packet(0xaabb), 0)).unwrap_err();
+        let err = sw
+            .inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+            .unwrap_err();
         assert!(matches!(err, IrError::Invalid(_)));
     }
 
@@ -1963,10 +1965,10 @@ mod tests {
     fn injecting_on_loopback_port_is_rejected() {
         let mut sw = basic_switch();
         sw.set_loopback(3, true).unwrap();
-        assert!(sw.inject((eth_packet(1), 3)).is_err());
+        assert!(sw.inject(InjectedPacket::new(eth_packet(1), 3)).is_err());
         assert!(sw.is_loopback(3));
         sw.set_loopback(3, false).unwrap();
-        assert!(sw.inject((eth_packet(1), 3)).is_ok());
+        assert!(sw.inject(InjectedPacket::new(eth_packet(1), 3)).is_ok());
     }
 
     #[test]
@@ -1993,7 +1995,7 @@ mod tests {
             .unwrap();
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
         sw.load_program(PipeletId::ingress(0), program).unwrap();
-        let t = sw.inject((eth_packet(1), 0)).unwrap();
+        let t = sw.inject(InjectedPacket::new(eth_packet(1), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Dropped);
     }
 
@@ -2024,7 +2026,7 @@ mod tests {
             .unwrap();
         let mut sw = Switch::new(TofinoProfile::wedge_100b_32x());
         sw.load_program(PipeletId::ingress(0), program).unwrap();
-        let t = sw.inject((eth_packet(1), 0)).unwrap();
+        let t = sw.inject(InjectedPacket::new(eth_packet(1), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::ToCpu);
     }
 
@@ -2079,7 +2081,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let t = sw.inject((eth_packet(9), 0)).unwrap();
+        let t = sw.inject(InjectedPacket::new(eth_packet(9), 0)).unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 5 });
         assert_eq!(t.resubmissions, 1);
         assert_eq!(
@@ -2105,8 +2107,10 @@ mod tests {
         let mut sw = basic_switch();
         sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 2))
             .unwrap();
-        sw.inject((eth_packet(0xaabb), 0)).unwrap();
-        sw.inject((eth_packet(0xffff), 0)).unwrap();
+        sw.inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+            .unwrap();
+        sw.inject(InjectedPacket::new(eth_packet(0xffff), 0))
+            .unwrap();
         let c = sw.tables(PipeletId::ingress(0)).unwrap().counters("l2");
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
@@ -2119,8 +2123,10 @@ mod tests {
             sw.set_exec_mode(mode);
             sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
                 .unwrap();
-            let hit = sw.inject((eth_packet(0xaabb), 0)).unwrap();
-            let miss = sw.inject((eth_packet(0x1), 0)).unwrap();
+            let hit = sw
+                .inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+                .unwrap();
+            let miss = sw.inject(InjectedPacket::new(eth_packet(0x1), 0)).unwrap();
             (hit, miss)
         };
         let (hit_c, miss_c) = run(ExecMode::Compiled);
@@ -2135,7 +2141,9 @@ mod tests {
         sw.install_entry(PipeletId::ingress(0), "l2", fwd_entry(0xaabb, 20))
             .unwrap();
         sw.set_trace_level(TraceLevel::Off);
-        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
+        let t = sw
+            .inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+            .unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
         assert!(t.events.is_empty());
         assert!((t.latency_ns - 650.0).abs() < 1e-9);
@@ -2152,7 +2160,7 @@ mod tests {
         sw.set_loopback(5, true).unwrap();
         let batch = vec![
             InjectedPacket::new(eth_packet(0xaabb), 0), // emitted on 20
-            InjectedPacket::from((eth_packet(0x7), 0)), // default deny → dropped
+            InjectedPacket::new(eth_packet(0x7), 0),    // default deny → dropped
             InjectedPacket::new(eth_packet(0xaabb), 5), // loopback: no traffic → error
         ];
         let stats = sw.inject_batch(&batch);
@@ -2209,7 +2217,8 @@ mod tests {
         sw.load_program(PipeletId::ingress(0), learn_program())
             .unwrap();
         for i in 0..4u64 {
-            sw.inject((eth_packet(0x100 + i), 0)).unwrap();
+            sw.inject(InjectedPacket::new(eth_packet(0x100 + i), 0))
+                .unwrap();
         }
         // The queue holds the first two records; the overflow is counted.
         assert_eq!(sw.digest_backlog(0), 2);
@@ -2222,7 +2231,8 @@ mod tests {
         assert_eq!(drained[1].1.values[0].raw(), 0x101);
         assert_eq!(sw.digest_backlog(0), 0);
         // Draining frees capacity again.
-        sw.inject((eth_packet(0x200), 0)).unwrap();
+        sw.inject(InjectedPacket::new(eth_packet(0x200), 0))
+            .unwrap();
         assert_eq!(sw.digest_backlog(0), 1);
         assert_eq!(sw.digests_dropped(0), 2);
     }
@@ -2249,7 +2259,9 @@ mod tests {
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(report.restored_entries, 1);
         assert_eq!(sw.tables(pid).unwrap().idle_timeout("l2"), Some(7));
-        let t = sw.inject((eth_packet(0xaabb), 0)).unwrap();
+        let t = sw
+            .inject(InjectedPacket::new(eth_packet(0xaabb), 0))
+            .unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: 20 });
     }
 
@@ -2263,7 +2275,7 @@ mod tests {
 
         for (dst, port) in [(0xaabbu64, 0u16), (0xdead, 0), (0xaabb, 9999), (0xaabb, 3)] {
             let bytes = eth_packet(dst);
-            let t = reference.inject((bytes.clone(), port));
+            let t = reference.inject(InjectedPacket::new(bytes.clone(), port));
             let mut buf = bytes;
             let b = pooled.inject_buf(&mut buf, port);
             match (t, b) {

@@ -6,7 +6,7 @@
 //! chain length and cluster size, report feasibility, hop counts, and the
 //! end-to-end latency estimate.
 
-use dejavu_asic::TimingModel;
+use dejavu_asic::{InjectedPacket, TimingModel};
 use dejavu_bench::{banner, write_json};
 use dejavu_core::deploy::DeployOptions;
 use dejavu_core::multiswitch::{chain_latency_ns, deploy_cluster, ClusterProblem, ClusterWiring};
@@ -145,7 +145,10 @@ fn main() {
     )
     .expect("live cluster deploys");
     let t = net
-        .inject((dejavu_integration::encapsulated_packet(1, 0), 0))
+        .inject(InjectedPacket::new(
+            dejavu_integration::encapsulated_packet(1, 0),
+            0,
+        ))
         .expect("live injection");
     println!(
         "\n  live 12-NF / 2-switch run: {:?}, wire hops {} (model {}), recirculations {}",

@@ -8,7 +8,7 @@
 //! model.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::PipeletId;
+use dejavu_asic::{InjectedPacket, PipeletId};
 use dejavu_bench::{banner, row, write_json};
 use dejavu_core::placement::{traverse, Placement, PlacementProblem};
 use dejavu_core::{ChainPolicy, ChainSet};
@@ -45,7 +45,9 @@ fn problem() -> PlacementProblem {
 fn measure(chains: &ChainSet, placement: &Placement) -> (u32, usize) {
     let model = traverse(&chains.chains[0], placement, 0, 0, false).unwrap();
     let (mut sw, _) = deploy_markers(chains, placement).unwrap();
-    let t = sw.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t = sw
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     (model.recirculations, t.recirculations)
 }

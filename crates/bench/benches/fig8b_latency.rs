@@ -6,7 +6,7 @@
 //! through the simulated switch with 0 and 1 recirculations and difference
 //! the timestamps, exactly as the paper computes the figure.
 
-use dejavu_asic::{PipeletId, TimingModel, TofinoProfile};
+use dejavu_asic::{InjectedPacket, PipeletId, TimingModel, TofinoProfile};
 use dejavu_bench::{banner, row, write_json};
 use dejavu_core::placement::Placement;
 use dejavu_core::{ChainPolicy, ChainSet};
@@ -28,7 +28,9 @@ fn measured_recirc_latency() -> (f64, f64) {
     let chains = ChainSet::new(vec![ChainPolicy::new(1, "x", vec!["n0"], 1.0)]).unwrap();
     let base_placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0"])]);
     let (mut sw, _) = deploy_markers(&chains, &base_placement).unwrap();
-    let t0 = sw.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t0 = sw
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t0.recirculations, 0);
     assert_eq!(
         t0.disposition,
@@ -39,7 +41,9 @@ fn measured_recirc_latency() -> (f64, f64) {
     // loopback port).
     let loop_placement = Placement::sequential(vec![(PipeletId::ingress(1), vec!["n0"])]);
     let (mut sw, _) = deploy_markers(&chains, &loop_placement).unwrap();
-    let t1 = sw.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t1 = sw
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t1.recirculations, 1);
 
     // The recirculation loop adds one recirc hop plus one extra

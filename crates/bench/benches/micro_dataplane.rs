@@ -89,14 +89,26 @@ fn bench_dataplane(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     let pkt3 = chain_packet(3, 0xc633_6450, 80);
     group.bench_function("path3_classifier_router", |b| {
-        b.iter(|| switch.inject((pkt3.clone(), IN_PORT)).unwrap())
+        b.iter(|| {
+            switch
+                .inject(InjectedPacket::new(pkt3.clone(), IN_PORT))
+                .unwrap()
+        })
     });
     group.bench_function("path1_full_5nf_chain", |b| {
-        b.iter(|| switch.inject((pkt1.clone(), IN_PORT)).unwrap())
+        b.iter(|| {
+            switch
+                .inject(InjectedPacket::new(pkt1.clone(), IN_PORT))
+                .unwrap()
+        })
     });
     let deny = chain_packet(1, 0xc633_6450, 22);
     group.bench_function("firewall_drop_path", |b| {
-        b.iter(|| switch.inject((deny.clone(), IN_PORT)).unwrap())
+        b.iter(|| {
+            switch
+                .inject(InjectedPacket::new(deny.clone(), IN_PORT))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -109,12 +109,16 @@ pub struct LearnResponse {
 ///
 /// Any `FnMut(usize, &[Value]) -> LearnResponse` closure is a policy (the
 /// arguments are the emitting pipeline and the digest's field values).
-pub trait LearnPolicy {
+///
+/// Policies are `Send`: the cluster runtime's controller thread owns them
+/// (see [`crate::transport::cluster::ClusterHandle::register_learn_policy`]),
+/// so a boxed policy must be movable across threads.
+pub trait LearnPolicy: Send {
     /// Handles one digest from `pipeline` carrying `values`.
     fn on_digest(&mut self, pipeline: usize, values: &[Value]) -> LearnResponse;
 }
 
-impl<F: FnMut(usize, &[Value]) -> LearnResponse> LearnPolicy for F {
+impl<F: FnMut(usize, &[Value]) -> LearnResponse + Send> LearnPolicy for F {
     fn on_digest(&mut self, pipeline: usize, values: &[Value]) -> LearnResponse {
         self(pipeline, values)
     }
@@ -227,13 +231,27 @@ impl ControlPlane {
         switch: &mut Switch,
         deployment: &Deployment,
     ) -> Result<usize, IrError> {
+        self.process_digests_counted(switch, deployment)
+            .map(|(_, installed)| installed)
+    }
+
+    /// Like [`ControlPlane::process_digests`] but also reports how many
+    /// digests were consumed: returns `(digests_seen, entries_installed)`.
+    /// The cluster facade uses this to build its merged per-switch report.
+    pub fn process_digests_counted(
+        &mut self,
+        switch: &mut Switch,
+        deployment: &Deployment,
+    ) -> Result<(usize, usize), IrError> {
         let digests = switch.drain_digests();
+        let mut seen = 0usize;
         let mut installed = 0usize;
         for (pipeline, record) in digests {
             let Some(policy) = self.learn_policies.get_mut(&record.name) else {
                 continue;
             };
             self.stats.digests += 1;
+            seen += 1;
             let resp = policy.on_digest(pipeline, &record.values);
             for (nf, table, entry) in resp.install {
                 if deployment.entry_installed(switch, &nf, &table, &entry) {
@@ -245,7 +263,7 @@ impl ControlPlane {
                 installed += 1;
             }
         }
-        Ok(installed)
+        Ok((seen, installed))
     }
 
     /// Translates and installs an entry through the NF's original API view:
@@ -277,7 +295,7 @@ impl ControlPlane {
         bytes: Vec<u8>,
         port: PortId,
     ) -> Result<Traversal, IrError> {
-        let t = switch.inject((bytes, port))?;
+        let t = switch.inject(dejavu_asic::InjectedPacket::new(bytes, port))?;
         if t.disposition == Disposition::ToCpu {
             self.enqueue_punt(t.final_bytes.clone(), port);
         }
@@ -317,7 +335,7 @@ impl ControlPlane {
                     clear_sfc_flags(&mut b);
                     b
                 });
-                let t = switch.inject((bytes, in_port))?;
+                let t = switch.inject(dejavu_asic::InjectedPacket::new(bytes, in_port))?;
                 if t.disposition == Disposition::ToCpu {
                     // Still punting: requeue (handler may converge next round).
                     self.enqueue_punt(t.final_bytes.clone(), in_port);
@@ -355,7 +373,7 @@ mod tests {
         sw.set_telemetry(true);
         // No program loaded: the packet traverses ingress0 and is dropped,
         // which still books telemetry.
-        let _ = sw.inject((vec![0u8; 64], 0));
+        let _ = sw.inject(dejavu_asic::InjectedPacket::new(vec![0u8; 64], 0));
         let first = cp.scrape(&sw);
         assert_eq!(first.counter("packets_injected"), 1);
         assert_eq!(first.counter("packets_dropped"), 1);

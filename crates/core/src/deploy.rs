@@ -47,8 +47,9 @@ pub enum DeployError {
     Switch(dejavu_p4ir::IrError),
     /// The placement misses an NF that some chain needs.
     UnplacedNf(String),
-    /// A multi-switch cluster constraint was violated.
-    Cluster(String),
+    /// A multi-switch cluster configuration constraint was violated (typed:
+    /// see [`ClusterConfigError`](crate::multiswitch::ClusterConfigError)).
+    ClusterConfig(crate::multiswitch::ClusterConfigError),
 }
 
 impl fmt::Display for DeployError {
@@ -60,7 +61,7 @@ impl fmt::Display for DeployError {
             DeployError::Routing(e) => write!(f, "routing: {e}"),
             DeployError::Switch(e) => write!(f, "switch: {e}"),
             DeployError::UnplacedNf(nf) => write!(f, "NF {nf} not placed"),
-            DeployError::Cluster(m) => write!(f, "cluster: {m}"),
+            DeployError::ClusterConfig(e) => write!(f, "cluster: {e}"),
         }
     }
 }

@@ -1,0 +1,37 @@
+//! The one Ingress story: how packets enter a Dejavu data plane.
+//!
+//! The simulator grew four injection entry points over time; this module is
+//! the map that relates them, so a caller picks by *need* instead of by
+//! archaeology. All of them consume the same unit of work — an
+//! [`InjectedPacket`] (wire bytes + arrival port), built with
+//! [`InjectedPacket::new`] — and all enforce the same port rules (loopback
+//! ports take no external traffic, down links reject).
+//!
+//! | Entry point | Returns | Use when |
+//! |---|---|---|
+//! | [`Switch::inject`] | [`Traversal`] | You want the full per-packet story: events, disposition, latency, recirculations. The default. |
+//! | [`Switch::inject_batch`] | [`BatchStats`] | Replay throughput: aggregate counters only, traces forced off, per-packet errors tallied not raised. |
+//! | [`Switch::inject_buf`] | [`BufOutcome`](dejavu_asic::switch::BufOutcome) | The zero-allocation run-to-completion path: your buffer in, final bytes out, compiled engine only. |
+//! | [`RtcSession::run`](dejavu_asic::rtc::RtcSession::run) | [`RtcReport`](dejavu_asic::rtc::RtcReport) | Sharded multi-worker replay over pooled buffers (rings of `inject_buf`-style passes). |
+//!
+//! Beyond a single switch, the same packet shape feeds the cluster paths:
+//!
+//! * [`ClusterNet::inject`](crate::multiswitch::ClusterNet::inject) — the
+//!   lockstep in-process cluster; follows the packet across members in one
+//!   call stack and returns a
+//!   [`ClusterTraversal`](crate::multiswitch::ClusterTraversal).
+//! * [`ClusterHandle::inject`](crate::transport::cluster::ClusterHandle::inject)
+//!   / [`inject_async`](crate::transport::cluster::ClusterHandle::inject_async)
+//!   — the transport-backed runtime: the packet crosses real worker
+//!   threads (and, over
+//!   [`TcpTransport`](crate::transport::tcp::TcpTransport), real sockets)
+//!   and comes back as a
+//!   [`WireTraversal`](crate::transport::cluster::WireTraversal).
+//!
+//! Historical note: `Switch::inject` once also accepted a bare
+//! `(Vec<u8>, PortId)` tuple via a `From` impl. That shim is gone —
+//! construct an [`InjectedPacket`] explicitly; the `impl Into` bound
+//! remains so call sites stay terse and future packet carriers can opt in.
+
+pub use dejavu_asic::switch::{BatchStats, Traversal};
+pub use dejavu_asic::{InjectedPacket, PortId, Switch};

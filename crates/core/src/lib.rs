@@ -35,6 +35,11 @@
 //!   translated onto the merged program, and the to-CPU reinjection loop.
 //! * [`multiswitch`] — the multi-switch extension (§7): placement across a
 //!   cluster of back-to-back ASICs with off-chip transition costs.
+//! * [`transport`] — the cluster runtime: per-switch workers communicating
+//!   over pluggable transports (in-memory channels or framed TCP) under an
+//!   event-driven control plane.
+//! * [`ingress`] — the map of injection entry points (single packet, batch,
+//!   zero-copy buffer, run-to-completion rings, and the cluster paths).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +49,7 @@ pub mod chain;
 pub mod compose;
 pub mod control_plane;
 pub mod deploy;
+pub mod ingress;
 pub mod lint;
 pub mod merge;
 pub mod multiswitch;
@@ -51,6 +57,7 @@ pub mod nfmodule;
 pub mod placement;
 pub mod routing;
 pub mod sfc;
+pub mod transport;
 
 pub use analyze::{analyze_pipelets, check_learn_contracts, LearnContract};
 pub use chain::{ChainPolicy, ChainSet};
@@ -75,7 +82,14 @@ pub use sfc::SfcHeader;
 /// [`SwitchOptions`](dejavu_asic::SwitchOptions) injection
 /// and configuration API, telemetry registry/snapshot types) and the
 /// framework surface (chains, NF modules, composition, placement,
-/// deployment, the merged control plane, and the multi-switch cluster).
+/// deployment, the merged control plane, the multi-switch cluster, and the
+/// transport-backed cluster runtime).
+///
+/// **Injecting packets?** Every entry point — single packet, batch,
+/// zero-copy buffer, run-to-completion rings, lockstep cluster,
+/// transport cluster — consumes the same
+/// [`InjectedPacket`](dejavu_asic::InjectedPacket); see [`crate::ingress`]
+/// for the one-page map of which to use when.
 pub mod prelude {
     pub use crate::analyze::{analyze_pipelets, check_learn_contracts, LearnContract};
     pub use crate::chain::{ChainPolicy, ChainSet};
@@ -88,8 +102,8 @@ pub mod prelude {
     pub use crate::lint::{lint_chain_budget, lint_pipelet, BudgetSpec};
     pub use crate::merge::{merge_programs, MergeError};
     pub use crate::multiswitch::{
-        chain_latency_ns, deploy_cluster, ClusterNet, ClusterProblem, ClusterTraversal,
-        ClusterWiring,
+        chain_latency_ns, deploy_cluster, ClusterConfigError, ClusterNet, ClusterPlacement,
+        ClusterProblem, ClusterTraversal, ClusterWiring,
     };
     pub use crate::nfmodule::NfModule;
     pub use crate::placement::{
@@ -97,6 +111,10 @@ pub mod prelude {
     };
     pub use crate::routing::{RoutingConfig, RoutingSynthesis};
     pub use crate::sfc::{sfc_header_type, SfcHeader, SFC_ETHERTYPE};
+    pub use crate::transport::{
+        spawn_cluster, ChannelTransport, ClusterError, ClusterHandle, ClusterOptions,
+        ClusterReport, PerSwitchReport, TcpTransport, Transport, TransportError, WireTraversal,
+    };
     pub use dejavu_asic::state::{
         MigrationReport, RegisterSnapshot, StateSnapshot, TableSnapshot, SNAPSHOT_FORMAT_VERSION,
     };

@@ -289,10 +289,115 @@ pub fn chain_latency_ns(
 use crate::deploy::{deploy, DeployError, DeployOptions, Deployment};
 use crate::nfmodule::NfModule;
 use crate::routing::{RoutingConfig, SegmentOptions};
+use crate::transport::cluster::{ClusterReport, PerSwitchReport};
 use dejavu_asic::switch::Disposition;
 use dejavu_asic::{InjectedPacket, PortId, Switch, TofinoProfile, Traversal};
 use dejavu_p4ir::IrError as AsicIrError;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A cluster configuration rejected at build time — the typed face of the
+/// checks [`ClusterWiring::new`], [`deploy_cluster`] and
+/// [`spawn_cluster`](crate::transport::cluster::spawn_cluster) perform
+/// before any switch is configured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterConfigError {
+    /// The placement has zero member switches.
+    EmptyCluster,
+    /// The egress and ingress link ports collide: a switch would receive
+    /// chain traffic on the same port it forwards out of.
+    LinkPortCollision {
+        /// The port claimed by both roles.
+        port: PortId,
+    },
+    /// A chain's exit port collides with the inter-switch cable ports; in a
+    /// multi-switch cluster the wiring owns those ports exclusively.
+    ExitPortCollision {
+        /// The chain whose exit port collides.
+        path_id: u16,
+        /// The colliding port.
+        port: PortId,
+    },
+    /// The cable latency is not a finite, non-negative number.
+    BadCableLatency(f64),
+    /// A chain names an NF no provided module implements.
+    DanglingNf {
+        /// The unknown NF name.
+        nf: String,
+        /// The chain that references it.
+        path_id: u16,
+    },
+    /// An NF is placed on more than one member switch.
+    DuplicatePlacement {
+        /// The NF placed twice.
+        nf: String,
+        /// First switch hosting it.
+        first: usize,
+        /// Second switch hosting it.
+        second: usize,
+    },
+    /// A chain visits switches against cluster order; the wiring is
+    /// forward-only, so the NF must be re-placed.
+    NonMonotoneChain {
+        /// The offending chain.
+        path_id: u16,
+        /// The NF whose placement goes backwards.
+        nf: String,
+        /// The switch the chain was already on.
+        from: usize,
+        /// The earlier switch the chain would have to jump back to.
+        to: usize,
+    },
+}
+
+impl fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterConfigError::EmptyCluster => write!(f, "cluster has no member switches"),
+            ClusterConfigError::LinkPortCollision { port } => {
+                write!(f, "egress and ingress link ports both claim port {port}")
+            }
+            ClusterConfigError::ExitPortCollision { path_id, port } => write!(
+                f,
+                "chain {path_id} exits on port {port}, which the inter-switch wiring owns"
+            ),
+            ClusterConfigError::BadCableLatency(ns) => {
+                write!(
+                    f,
+                    "cable latency {ns} ns is not a finite non-negative number"
+                )
+            }
+            ClusterConfigError::DanglingNf { nf, path_id } => {
+                write!(
+                    f,
+                    "chain {path_id} names NF {nf}, but no module implements it"
+                )
+            }
+            ClusterConfigError::DuplicatePlacement { nf, first, second } => write!(
+                f,
+                "NF {nf} is placed on both switch {first} and switch {second}"
+            ),
+            ClusterConfigError::NonMonotoneChain {
+                path_id,
+                nf,
+                from,
+                to,
+            } => write!(
+                f,
+                "chain {path_id} visits switch {to} (NF {nf}) after switch {from}; \
+                 forward-only wiring requires non-decreasing order — re-place NF {nf}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+impl From<ClusterConfigError> for DeployError {
+    fn from(e: ClusterConfigError) -> Self {
+        DeployError::ClusterConfig(e)
+    }
+}
 
 /// How consecutive cluster switches are wired: one unidirectional cable per
 /// hop, from `egress_link_port` of switch *s* into `ingress_link_port` of
@@ -315,6 +420,39 @@ impl Default for ClusterWiring {
             ingress_link_port: 13,
             cable_ns: 5.0,
         }
+    }
+}
+
+impl ClusterWiring {
+    /// Validating constructor: rejects wirings whose link ports collide or
+    /// whose cable latency is not a finite non-negative number, so a bad
+    /// wiring fails where it is written instead of at deploy time.
+    pub fn new(
+        egress_link_port: PortId,
+        ingress_link_port: PortId,
+        cable_ns: f64,
+    ) -> Result<Self, ClusterConfigError> {
+        let w = ClusterWiring {
+            egress_link_port,
+            ingress_link_port,
+            cable_ns,
+        };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Re-checks the constructor invariants (useful for wirings built with
+    /// struct literals or mutated after construction).
+    pub fn validate(&self) -> Result<(), ClusterConfigError> {
+        if self.egress_link_port == self.ingress_link_port {
+            return Err(ClusterConfigError::LinkPortCollision {
+                port: self.egress_link_port,
+            });
+        }
+        if !self.cable_ns.is_finite() || self.cable_ns < 0.0 {
+            return Err(ClusterConfigError::BadCableLatency(self.cable_ns));
+        }
+        Ok(())
     }
 }
 
@@ -364,7 +502,7 @@ impl ClusterNet {
         let mut recircs = 0usize;
         let mut wire_hops = 0usize;
         loop {
-            let t = self.switches[cur].inject((cur_bytes, cur_port))?;
+            let t = self.switches[cur].inject(InjectedPacket::new(cur_bytes, cur_port))?;
             latency += t.latency_ns;
             recircs += t.recirculations;
             let disposition = t.disposition;
@@ -431,35 +569,43 @@ impl ClusterNet {
     // ------------------------------------------------- flow-state sync
 
     /// Advances logical time on every member switch in lockstep and
-    /// collects the evictions, attributed to the switch they aged out on.
+    /// returns the merged [`ClusterReport`] — evictions attributed to the
+    /// switch they aged out on, in the same shape the event-driven
+    /// [`ClusterHandle`](crate::transport::cluster::ClusterHandle) reports.
     /// Keeping cluster clocks synchronized means a flow pinned on switch 0
     /// and its return-path state on switch 2 expire together.
-    pub fn advance_time(
-        &mut self,
-        ticks: u64,
-    ) -> Vec<(usize, dejavu_asic::PipeletId, dejavu_asic::Eviction)> {
-        let mut evicted = Vec::new();
+    pub fn advance_time(&mut self, ticks: u64) -> ClusterReport {
+        let mut report = ClusterReport::sized(self.switches.len());
         for (i, sw) in self.switches.iter_mut().enumerate() {
             for (pipelet, ev) in sw.advance_time(ticks) {
-                evicted.push((i, pipelet, ev));
+                report.per_switch[i].evictions += 1;
+                report.evictions.push((i, pipelet, ev));
             }
         }
-        evicted
+        report
     }
 
     /// Runs one learning round across the cluster: drains every member
     /// switch's digest queues through the shared control plane, installing
     /// learned entries on whichever switch hosts the target NF. Returns the
-    /// number of entries installed cluster-wide.
+    /// merged [`ClusterReport`] shared with the event-driven handle.
     pub fn process_digests(
         &mut self,
         cp: &mut crate::control_plane::ControlPlane,
-    ) -> Result<usize, AsicIrError> {
-        let mut installed = 0usize;
-        for (sw, dep) in self.switches.iter_mut().zip(&self.deployments) {
-            installed += cp.process_digests(sw, dep)?;
+    ) -> Result<ClusterReport, AsicIrError> {
+        let mut report = ClusterReport::sized(self.switches.len());
+        for (i, (sw, dep)) in self.switches.iter_mut().zip(&self.deployments).enumerate() {
+            let (seen, installed) = cp.process_digests_counted(sw, dep)?;
+            report.per_switch[i] = PerSwitchReport {
+                switch: i,
+                evictions: 0,
+                digests: seen,
+                installed,
+            };
+            report.digests_seen += seen;
+            report.entries_installed += installed;
         }
-        Ok(installed)
+        Ok(report)
     }
 
     /// Snapshots the dynamic state of every loaded pipelet across the
@@ -480,13 +626,18 @@ impl ClusterNet {
     }
 }
 
-/// Deploys a chain set across a back-to-back cluster and wires it up.
+/// Validates a cluster configuration and deploys one `(Switch, Deployment)`
+/// pair per member — the shared builder behind both the lockstep
+/// [`deploy_cluster`] and the event-driven
+/// [`spawn_cluster`](crate::transport::cluster::spawn_cluster), so the two
+/// runtimes are guaranteed to deploy identical members.
 ///
-/// Requirements checked here: every chained NF is placed on exactly one
-/// switch, and every chain visits switches in non-decreasing cluster order
-/// (the wiring is forward-only — a chain needing to go backwards must be
-/// re-placed).
-pub fn deploy_cluster(
+/// Checks performed before any switch is configured (all typed,
+/// [`ClusterConfigError`]): non-empty placement, valid wiring, no exit-port
+/// collisions with the cable ports, every chained NF backed by a module and
+/// placed on exactly one switch, and every chain visiting switches in
+/// non-decreasing cluster order (the wiring is forward-only).
+pub(crate) fn build_cluster_members(
     nfs: &[&NfModule],
     chains: &ChainSet,
     placement: &ClusterPlacement,
@@ -494,9 +645,55 @@ pub fn deploy_cluster(
     exit_ports: BTreeMap<u16, PortId>,
     wiring: &ClusterWiring,
     options: &DeployOptions,
-) -> Result<ClusterNet, DeployError> {
+) -> Result<Vec<(Switch, Deployment)>, DeployError> {
     let n = placement.switches.len();
-    assert!(n > 0, "empty cluster");
+    if n == 0 {
+        return Err(ClusterConfigError::EmptyCluster.into());
+    }
+    wiring.validate().map_err(DeployError::from)?;
+    if n > 1 {
+        for (&path_id, &port) in &exit_ports {
+            if port == wiring.egress_link_port || port == wiring.ingress_link_port {
+                return Err(ClusterConfigError::ExitPortCollision { path_id, port }.into());
+            }
+        }
+    }
+
+    // Every chained NF must be backed by a module (dangling names would
+    // otherwise surface deep inside the merge pass, chain by chain).
+    for chain in &chains.chains {
+        for nf in &chain.nfs {
+            if !nfs.iter().any(|m| m.name() == *nf) {
+                return Err(ClusterConfigError::DanglingNf {
+                    nf: nf.clone(),
+                    path_id: chain.path_id,
+                }
+                .into());
+            }
+        }
+    }
+
+    // Every chained NF placed on exactly one switch.
+    for nf in chains.all_nfs() {
+        let hosts: Vec<usize> = placement
+            .switches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.location(&nf).map(|_| i))
+            .collect();
+        match hosts.as_slice() {
+            [] => return Err(DeployError::UnplacedNf(nf)),
+            [_] => {}
+            [first, second, ..] => {
+                return Err(ClusterConfigError::DuplicatePlacement {
+                    nf,
+                    first: *first,
+                    second: *second,
+                }
+                .into())
+            }
+        }
+    }
 
     // Validate monotone chain order.
     let switch_of = |nf: &str| placement.switch_of(nf);
@@ -505,10 +702,13 @@ pub fn deploy_cluster(
         for nf in &chain.nfs {
             let s = switch_of(nf).ok_or_else(|| DeployError::UnplacedNf(nf.clone()))?;
             if s < last {
-                return Err(DeployError::Cluster(format!(
-                    "chain {} visits switch {s} after switch {last}; forward-only wiring                      requires non-decreasing order — re-place NF {nf}",
-                    chain.path_id
-                )));
+                return Err(ClusterConfigError::NonMonotoneChain {
+                    path_id: chain.path_id,
+                    nf: nf.clone(),
+                    from: last,
+                    to: s,
+                }
+                .into());
             }
             last = s;
         }
@@ -521,8 +721,7 @@ pub fn deploy_cluster(
         .max()
         .unwrap_or(0);
 
-    let mut switches = Vec::new();
-    let mut deployments = Vec::new();
+    let mut members = Vec::new();
     for s in 0..n {
         let local = &placement.switches[s];
         // Remote NFs reachable over the forward link.
@@ -554,11 +753,28 @@ pub fn deploy_cluster(
                 decap_on_exit: is_final,
             }),
         };
-        let (switch, deployment) = deploy(nfs, chains, local, profile, &config, &seg_options)?;
-        switches.push(switch);
-        deployments.push(deployment);
+        members.push(deploy(nfs, chains, local, profile, &config, &seg_options)?);
     }
+    Ok(members)
+}
 
+/// Deploys a chain set across a back-to-back cluster and wires it up as a
+/// lockstep [`ClusterNet`] (the in-process execution path; see
+/// [`spawn_cluster`](crate::transport::cluster::spawn_cluster) for the
+/// transport-backed runtime sharing this validation and deployment logic).
+pub fn deploy_cluster(
+    nfs: &[&NfModule],
+    chains: &ChainSet,
+    placement: &ClusterPlacement,
+    profile: &TofinoProfile,
+    exit_ports: BTreeMap<u16, PortId>,
+    wiring: &ClusterWiring,
+    options: &DeployOptions,
+) -> Result<ClusterNet, DeployError> {
+    let members =
+        build_cluster_members(nfs, chains, placement, profile, exit_ports, wiring, options)?;
+    let n = members.len();
+    let (switches, deployments): (Vec<Switch>, Vec<Deployment>) = members.into_iter().unzip();
     let mut links = BTreeMap::new();
     for s in 0..n.saturating_sub(1) {
         links.insert(

@@ -1,0 +1,1197 @@
+//! The cluster runtime: communicating switch workers under an event-driven
+//! control plane.
+//!
+//! [`spawn_cluster`] deploys a chain set across a back-to-back cluster
+//! (exactly like [`deploy_cluster`](crate::multiswitch::deploy_cluster))
+//! but instead of returning a lockstep object it boots one
+//! [`SwitchWorker`](super::worker::SwitchWorker) thread per member, wires
+//! them over a pluggable [`Transport`], and starts a **controller thread**
+//! that runs concurrently with traffic:
+//!
+//! * learn digests pushed upstream by workers are dispatched to
+//!   [`LearnPolicy`]s and turned into table installs *while packets keep
+//!   flowing* — no lockstep "process digests now" call required;
+//! * table updates, idle timeouts, clock advances, metrics scrapes and
+//!   state snapshots are request/reply command round trips;
+//! * finished packets come back as [`Delivery`] records carrying the whole
+//!   multi-switch flight summary.
+//!
+//! [`ClusterHandle`] is the synchronous facade over that machinery: its
+//! methods (`inject`, `install`, `advance_time`, `process_digests`,
+//! `snapshot_state`) mirror the lockstep `ClusterNet` surface one-for-one,
+//! so call sites migrate mechanically — while `inject_async` /
+//! `recv_delivered` expose the pipelined path underneath.
+
+use super::wire::{ControlMsg, DataMsg, HopSummary, Message, TelemetryMsg};
+use super::{Link, Transport, TransportError};
+use crate::chain::ChainSet;
+use crate::control_plane::LearnPolicy;
+use crate::deploy::{DeployError, DeployOptions};
+use crate::multiswitch::{build_cluster_members, ClusterPlacement, ClusterWiring};
+use crate::nfmodule::NfModule;
+use dejavu_asic::switch::Disposition;
+use dejavu_asic::tables::Eviction;
+use dejavu_asic::telemetry::{parse_json, snapshot_from_json};
+use dejavu_asic::{
+    ExecMode, InjectedPacket, MetricsSnapshot, PipeletId, PortId, StateSnapshot, TofinoProfile,
+};
+use dejavu_p4ir::table::TableEntry;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Public result / report types
+// ---------------------------------------------------------------------
+
+/// Cluster runtime failure.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Deployment failed before any worker was spawned.
+    Deploy(DeployError),
+    /// The transport failed while wiring the cluster.
+    Transport(TransportError),
+    /// A worker reported a failure executing a command or packet.
+    Remote(String),
+    /// A command round trip exceeded the configured timeout.
+    Timeout(&'static str),
+    /// The cluster was already shut down.
+    Closed,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Deploy(e) => write!(f, "deploy: {e}"),
+            ClusterError::Transport(e) => write!(f, "transport: {e}"),
+            ClusterError::Remote(m) => write!(f, "remote: {m}"),
+            ClusterError::Timeout(op) => write!(f, "timed out waiting for {op}"),
+            ClusterError::Closed => write!(f, "cluster already shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<DeployError> for ClusterError {
+    fn from(e: DeployError) -> Self {
+        ClusterError::Deploy(e)
+    }
+}
+
+impl From<TransportError> for ClusterError {
+    fn from(e: TransportError) -> Self {
+        ClusterError::Transport(e)
+    }
+}
+
+/// Spawn-time runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Enable telemetry on every member switch.
+    pub telemetry: bool,
+    /// Override the execution engine on every member switch.
+    pub exec_mode: Option<ExecMode>,
+    /// How long synchronous facade calls wait for their round trip.
+    pub op_timeout: Duration,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            telemetry: false,
+            exec_mode: None,
+            op_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-member slice of a [`ClusterReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerSwitchReport {
+    /// Cluster index of the member.
+    pub switch: usize,
+    /// Entries evicted on this member.
+    pub evictions: usize,
+    /// Digests this member emitted.
+    pub digests: usize,
+    /// Entries installed on this member.
+    pub installed: usize,
+}
+
+/// Merged outcome of a cluster-wide maintenance operation — the one report
+/// type shared by the event-driven [`ClusterHandle`] and the lockstep
+/// [`ClusterNet`](crate::multiswitch::ClusterNet) facade, so callers read
+/// per-switch outcomes the same way on either path.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReport {
+    /// Evicted entries, attributed to the switch and pipelet they aged out
+    /// on.
+    pub evictions: Vec<(usize, PipeletId, Eviction)>,
+    /// Digests consumed cluster-wide.
+    pub digests_seen: usize,
+    /// Entries installed cluster-wide (excludes idempotent re-learns).
+    pub entries_installed: usize,
+    /// Per-member breakdown, indexed by cluster position.
+    pub per_switch: Vec<PerSwitchReport>,
+}
+
+impl ClusterReport {
+    pub(crate) fn sized(n: usize) -> Self {
+        ClusterReport {
+            per_switch: (0..n)
+                .map(|switch| PerSwitchReport {
+                    switch,
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Total evictions across the cluster.
+    pub fn evicted(&self) -> usize {
+        self.evictions.len()
+    }
+}
+
+/// Merged + per-member metrics, as returned by
+/// [`ClusterHandle::metrics_snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterScrape {
+    /// All member snapshots merged (counters summed, histograms pooled).
+    pub merged: MetricsSnapshot,
+    /// Per-member snapshots, indexed by cluster position.
+    pub per_switch: Vec<MetricsSnapshot>,
+}
+
+/// End-to-end record of one packet's flight across the cluster — the
+/// transport-path analogue of
+/// [`ClusterTraversal`](crate::multiswitch::ClusterTraversal), built from
+/// the [`HopSummary`] postcards the packet accumulated in-band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTraversal {
+    /// Per-switch summaries, in visit order.
+    pub hops: Vec<HopSummary>,
+    /// Final disposition (on the last switch visited).
+    pub disposition: Disposition,
+    /// Final wire bytes.
+    pub final_bytes: Vec<u8>,
+    /// Total latency including cable hops.
+    pub latency_ns: f64,
+    /// Total on-chip recirculations across switches.
+    pub recirculations: usize,
+    /// Total resubmissions across switches.
+    pub resubmissions: usize,
+    /// Inter-switch wire hops taken.
+    pub inter_switch_hops: usize,
+}
+
+impl WireTraversal {
+    fn from_delivery(disposition: Disposition, data: DataMsg) -> Self {
+        let recirculations = data.hops.iter().map(|h| h.recirculations as usize).sum();
+        let resubmissions = data.hops.iter().map(|h| h.resubmissions as usize).sum();
+        WireTraversal {
+            disposition,
+            final_bytes: data.bytes,
+            latency_ns: data.latency_ns,
+            recirculations,
+            resubmissions,
+            inter_switch_hops: data.inter_switch_hops as usize,
+            hops: data.hops,
+        }
+    }
+
+    /// Every table applied across the whole flight, in order.
+    pub fn tables_applied(&self) -> Vec<&str> {
+        self.hops
+            .iter()
+            .flat_map(|h| h.tables_applied.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Every table that hit an entry across the whole flight, in order.
+    pub fn tables_hit(&self) -> Vec<&str> {
+        self.hops
+            .iter()
+            .flat_map(|h| h.tables_hit.iter().map(String::as_str))
+            .collect()
+    }
+}
+
+/// One finished packet, as surfaced by [`ClusterHandle::recv_delivered`].
+#[derive(Debug)]
+pub struct Delivery {
+    /// The trace id [`ClusterHandle::inject_async`] returned.
+    pub trace: u64,
+    /// The flight record, or the remote failure that ended it.
+    pub result: Result<WireTraversal, String>,
+}
+
+// ---------------------------------------------------------------------
+// Controller internals
+// ---------------------------------------------------------------------
+
+enum Request {
+    Data(DataMsg),
+    Install {
+        nf: String,
+        table: String,
+        entry: TableEntry,
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    Remove {
+        nf: String,
+        table: String,
+        entry: TableEntry,
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    SetIdleTimeout {
+        nf: String,
+        table: String,
+        ticks: Option<u64>,
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    AdvanceTime {
+        ticks: u64,
+        reply: Sender<Result<ClusterReport, ClusterError>>,
+    },
+    Flush {
+        reply: Sender<Result<ClusterReport, ClusterError>>,
+    },
+    Scrape {
+        reply: Sender<Result<ClusterScrape, ClusterError>>,
+    },
+    Snapshot {
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<Vec<(usize, PipeletId, StateSnapshot)>, ClusterError>>,
+    },
+    Restore {
+        switch: usize,
+        pipelet: PipeletId,
+        json: String,
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    RegisterPolicy {
+        stream: String,
+        policy: Box<dyn LearnPolicy>,
+    },
+    Shutdown {
+        reply: Sender<Result<(), ClusterError>>,
+    },
+}
+
+enum CtrlEvent {
+    Frame(Vec<u8>),
+    PumpClosed,
+    Request(Request),
+}
+
+enum Pending {
+    /// Reply `info` straight to the caller (Ack) or the error (Nack).
+    Simple(Sender<Result<u64, ClusterError>>),
+    /// A learned install triggered by a digest; on ack, account it to the
+    /// switch and release the flush barrier if one is waiting.
+    Learned { switch: usize },
+    /// Part of a broadcast; the id indexes `Controller::gathers`.
+    Gather { id: u64, switch: usize },
+    /// A shutdown ack.
+    Bye,
+}
+
+enum GatherAcc {
+    Evictions {
+        acc: Vec<(usize, PipeletId, Eviction)>,
+        reply: Sender<Result<ClusterReport, ClusterError>>,
+    },
+    Metrics {
+        acc: Vec<MetricsSnapshot>,
+        reply: Sender<Result<ClusterScrape, ClusterError>>,
+    },
+    Snapshot {
+        acc: Vec<(usize, PipeletId, StateSnapshot)>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<Vec<(usize, PipeletId, StateSnapshot)>, ClusterError>>,
+    },
+    Drain {
+        reply: Sender<Result<ClusterReport, ClusterError>>,
+    },
+}
+
+struct Gather {
+    expect: usize,
+    acc: GatherAcc,
+}
+
+struct Controller {
+    n: usize,
+    events: Receiver<CtrlEvent>,
+    links: Vec<Link>,
+    nf_switch: BTreeMap<String, usize>,
+    policies: BTreeMap<String, Box<dyn LearnPolicy>>,
+    delivered_tx: Sender<Delivery>,
+    next_seq: u64,
+    pending: BTreeMap<u64, Pending>,
+    gathers: BTreeMap<u64, Gather>,
+    next_gather: u64,
+    /// Learned installs sent but not yet acked.
+    learn_outstanding: usize,
+    /// Digest / learned-install counters since the last flush report.
+    digests_per_switch: Vec<usize>,
+    installed_per_switch: Vec<usize>,
+    /// A `process_digests` barrier waiting for quiescence.
+    flush: Option<Sender<Result<ClusterReport, ClusterError>>>,
+    /// Outstanding shutdown acks; reply once all workers said goodbye.
+    bye: Option<(usize, Sender<Result<(), ClusterError>>)>,
+    op_timeout: Duration,
+}
+
+impl Controller {
+    fn seq(&mut self) -> u64 {
+        self.next_seq += 2; // Even: can never collide with odd trace ids.
+        self.next_seq
+    }
+
+    fn send_to(&mut self, switch: usize, msg: Message) -> Result<(), ClusterError> {
+        self.links[switch].send(&msg).map_err(ClusterError::from)
+    }
+
+    fn run(mut self) {
+        loop {
+            let ev = match self.events.recv_timeout(self.op_timeout) {
+                Ok(ev) => ev,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.bye.is_some() {
+                        // Workers never acked shutdown; stop waiting.
+                        if let Some((_, reply)) = self.bye.take() {
+                            let _ = reply.send(Ok(()));
+                        }
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            match ev {
+                CtrlEvent::Frame(frame) => match super::wire::decode(&frame) {
+                    Ok(Message::Telemetry(t)) => self.on_telemetry(t),
+                    Ok(_) => {}  // Workers only send telemetry upstream.
+                    Err(_) => {} // Corrupt frame: already a typed error; skip.
+                },
+                CtrlEvent::PumpClosed => {
+                    if self.bye.is_some() {
+                        if let Some((_, reply)) = self.bye.take() {
+                            let _ = reply.send(Ok(()));
+                        }
+                        return;
+                    }
+                }
+                CtrlEvent::Request(req) => {
+                    self.on_request(req);
+                }
+            }
+            if self.bye.as_ref().is_some_and(|(left, _)| *left == 0) {
+                if let Some((_, reply)) = self.bye.take() {
+                    let _ = reply.send(Ok(()));
+                }
+                return;
+            }
+        }
+    }
+
+    fn on_request(&mut self, req: Request) {
+        match req {
+            Request::Data(d) => {
+                if self.send_to(0, Message::Data(d)).is_err() {
+                    // Worker 0 unreachable; nothing to deliver.
+                }
+            }
+            Request::Install {
+                nf,
+                table,
+                entry,
+                reply,
+            } => self.command_for_nf(&nf, reply, |seq, nf, _| ControlMsg::Install {
+                seq,
+                nf,
+                table,
+                entry,
+            }),
+            Request::Remove {
+                nf,
+                table,
+                entry,
+                reply,
+            } => self.command_for_nf(&nf, reply, |seq, nf, _| ControlMsg::Remove {
+                seq,
+                nf,
+                table,
+                entry,
+            }),
+            Request::SetIdleTimeout {
+                nf,
+                table,
+                ticks,
+                reply,
+            } => self.command_for_nf(&nf, reply, |seq, nf, _| ControlMsg::SetIdleTimeout {
+                seq,
+                nf,
+                table,
+                ticks,
+            }),
+            Request::AdvanceTime { ticks, reply } => {
+                let id = self.new_gather(GatherAcc::Evictions {
+                    acc: Vec::new(),
+                    reply,
+                });
+                for switch in 0..self.n {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Gather { id, switch });
+                    let _ = self.send_to(
+                        switch,
+                        Message::Control(ControlMsg::AdvanceTime { seq, ticks }),
+                    );
+                }
+            }
+            Request::Flush { reply } => {
+                let id = self.new_gather(GatherAcc::Drain { reply });
+                for switch in 0..self.n {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Gather { id, switch });
+                    let _ =
+                        self.send_to(switch, Message::Control(ControlMsg::DrainDigests { seq }));
+                }
+            }
+            Request::Scrape { reply } => {
+                let id = self.new_gather(GatherAcc::Metrics {
+                    acc: Vec::new(),
+                    reply,
+                });
+                for switch in 0..self.n {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Gather { id, switch });
+                    let _ =
+                        self.send_to(switch, Message::Control(ControlMsg::ScrapeMetrics { seq }));
+                }
+            }
+            Request::Snapshot { reply } => {
+                let id = self.new_gather(GatherAcc::Snapshot {
+                    acc: Vec::new(),
+                    reply,
+                });
+                for switch in 0..self.n {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Gather { id, switch });
+                    let _ =
+                        self.send_to(switch, Message::Control(ControlMsg::SnapshotState { seq }));
+                }
+            }
+            Request::Restore {
+                switch,
+                pipelet,
+                json,
+                reply,
+            } => {
+                if switch >= self.n {
+                    let _ = reply.send(Err(ClusterError::Remote(format!(
+                        "no switch {switch} in a cluster of {}",
+                        self.n
+                    ))));
+                } else {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Simple(reply));
+                    let _ = self.send_to(
+                        switch,
+                        Message::Control(ControlMsg::RestoreState { seq, pipelet, json }),
+                    );
+                }
+            }
+            Request::RegisterPolicy { stream, policy } => {
+                self.policies.insert(stream, policy);
+            }
+            Request::Shutdown { reply } => {
+                let mut sent = 0usize;
+                for switch in 0..self.n {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Bye);
+                    if self
+                        .send_to(switch, Message::Control(ControlMsg::Shutdown { seq }))
+                        .is_ok()
+                    {
+                        sent += 1;
+                    }
+                }
+                self.bye = Some((sent, reply));
+            }
+        }
+    }
+
+    /// Sends a single-worker command routed by NF placement.
+    fn command_for_nf(
+        &mut self,
+        nf: &str,
+        reply: Sender<Result<u64, ClusterError>>,
+        make: impl FnOnce(u64, String, usize) -> ControlMsg,
+    ) {
+        let Some(&switch) = self.nf_switch.get(nf) else {
+            let _ = reply.send(Err(ClusterError::Remote(format!(
+                "NF {nf} is not placed on any cluster member"
+            ))));
+            return;
+        };
+        let seq = self.seq();
+        let msg = make(seq, nf.to_string(), switch);
+        self.pending.insert(seq, Pending::Simple(reply));
+        let _ = self.send_to(switch, Message::Control(msg));
+    }
+
+    fn new_gather(&mut self, acc: GatherAcc) -> u64 {
+        self.next_gather += 1;
+        let id = self.next_gather;
+        self.gathers.insert(
+            id,
+            Gather {
+                expect: self.n,
+                acc,
+            },
+        );
+        id
+    }
+
+    fn on_telemetry(&mut self, t: TelemetryMsg) {
+        match t {
+            TelemetryMsg::Ack { seq, info } => self.settle(seq, Ok(info)),
+            TelemetryMsg::Nack { seq, error } => {
+                if seq % 2 == 1 {
+                    // Odd: a data-plane trace failed mid-flight.
+                    let _ = self.delivered_tx.send(Delivery {
+                        trace: seq,
+                        result: Err(error),
+                    });
+                } else {
+                    self.settle(seq, Err(ClusterError::Remote(error)));
+                }
+            }
+            TelemetryMsg::Digests { switch, records } => {
+                let switch = switch as usize;
+                for (pipeline, record) in records {
+                    let Some(policy) = self.policies.get_mut(&record.name) else {
+                        continue; // No policy: dropped, like a learn filter.
+                    };
+                    if let Some(slot) = self.digests_per_switch.get_mut(switch) {
+                        *slot += 1;
+                    }
+                    let resp = policy.on_digest(pipeline as usize, &record.values);
+                    for (nf, table, entry) in resp.install {
+                        let Some(&target) = self.nf_switch.get(&nf) else {
+                            continue;
+                        };
+                        let seq = self.seq();
+                        self.pending
+                            .insert(seq, Pending::Learned { switch: target });
+                        self.learn_outstanding += 1;
+                        let _ = self.send_to(
+                            target,
+                            Message::Control(ControlMsg::Install {
+                                seq,
+                                nf,
+                                table,
+                                entry,
+                            }),
+                        );
+                    }
+                }
+            }
+            TelemetryMsg::DrainDone { seq, digests: _ } => {
+                // The digests themselves arrived (and were dispatched) just
+                // before this marker on the same FIFO link.
+                self.settle(seq, Ok(0));
+            }
+            TelemetryMsg::Metrics { seq, json } => {
+                let snap = parse_json(&json)
+                    .and_then(|v| snapshot_from_json(&v))
+                    .unwrap_or_default();
+                self.settle_metrics(seq, snap);
+            }
+            TelemetryMsg::Snapshot { seq, items } => self.settle_snapshot(seq, items),
+            TelemetryMsg::Evictions { seq, evictions } => self.settle_evictions(seq, evictions),
+            TelemetryMsg::Delivered { disposition, data } => {
+                let _ = self.delivered_tx.send(Delivery {
+                    trace: data.trace,
+                    result: Ok(WireTraversal::from_delivery(disposition, data)),
+                });
+            }
+        }
+        self.maybe_finish_flush();
+    }
+
+    /// Resolves one pending command with an ack (`Ok(info)`) or nack.
+    fn settle(&mut self, seq: u64, outcome: Result<u64, ClusterError>) {
+        match self.pending.remove(&seq) {
+            Some(Pending::Simple(reply)) => {
+                let _ = reply.send(outcome);
+            }
+            Some(Pending::Learned { switch }) => {
+                self.learn_outstanding = self.learn_outstanding.saturating_sub(1);
+                if matches!(outcome, Ok(1)) {
+                    if let Some(slot) = self.installed_per_switch.get_mut(switch) {
+                        *slot += 1;
+                    }
+                }
+            }
+            Some(Pending::Gather { id, switch: _ }) => {
+                // DrainDone (or a nack standing in for a structured reply):
+                // nothing to accumulate, just count the arrival.
+                self.gather_done(seq, id);
+            }
+            Some(Pending::Bye) => {
+                if let Some((left, _)) = self.bye.as_mut() {
+                    *left = left.saturating_sub(1);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn settle_metrics(&mut self, seq: u64, snap: MetricsSnapshot) {
+        if let Some(Pending::Gather { id, switch }) = self.pending.remove(&seq) {
+            if let Some(g) = self.gathers.get_mut(&id) {
+                if let GatherAcc::Metrics { acc, .. } = &mut g.acc {
+                    // Keep per-switch order stable regardless of arrival order.
+                    while acc.len() <= switch {
+                        acc.push(MetricsSnapshot::default());
+                    }
+                    acc[switch] = snap;
+                }
+            }
+            self.gather_done(seq, id);
+        }
+    }
+
+    fn settle_snapshot(&mut self, seq: u64, items: Vec<(PipeletId, String)>) {
+        if let Some(Pending::Gather { id, switch }) = self.pending.remove(&seq) {
+            if let Some(g) = self.gathers.get_mut(&id) {
+                if let GatherAcc::Snapshot { acc, .. } = &mut g.acc {
+                    for (pipelet, json) in items {
+                        if let Ok(snap) = StateSnapshot::from_json(&json) {
+                            acc.push((switch, pipelet, snap));
+                        }
+                    }
+                }
+            }
+            self.gather_done(seq, id);
+        }
+    }
+
+    fn settle_evictions(&mut self, seq: u64, evictions: Vec<(PipeletId, Eviction)>) {
+        if let Some(Pending::Gather { id, switch }) = self.pending.remove(&seq) {
+            if let Some(g) = self.gathers.get_mut(&id) {
+                if let GatherAcc::Evictions { acc, .. } = &mut g.acc {
+                    for (pipelet, ev) in evictions {
+                        acc.push((switch, pipelet, ev));
+                    }
+                }
+            }
+            self.gather_done(seq, id);
+        }
+    }
+
+    fn gather_done(&mut self, _seq: u64, id: u64) {
+        let finished = {
+            let Some(g) = self.gathers.get_mut(&id) else {
+                return;
+            };
+            g.expect = g.expect.saturating_sub(1);
+            g.expect == 0
+        };
+        if !finished {
+            return;
+        }
+        let g = self.gathers.remove(&id).expect("present");
+        match g.acc {
+            GatherAcc::Evictions { acc, reply } => {
+                let mut report = ClusterReport::sized(self.n);
+                for (switch, _, _) in &acc {
+                    if let Some(p) = report.per_switch.get_mut(*switch) {
+                        p.evictions += 1;
+                    }
+                }
+                report.evictions = acc;
+                let _ = reply.send(Ok(report));
+            }
+            GatherAcc::Metrics { mut acc, reply } => {
+                while acc.len() < self.n {
+                    acc.push(MetricsSnapshot::default());
+                }
+                let mut merged = MetricsSnapshot::default();
+                for s in &acc {
+                    merged.merge(s);
+                }
+                let _ = reply.send(Ok(ClusterScrape {
+                    merged,
+                    per_switch: acc,
+                }));
+            }
+            GatherAcc::Snapshot { acc, reply } => {
+                let _ = reply.send(Ok(acc));
+            }
+            GatherAcc::Drain { reply } => {
+                // All workers flushed. Learned installs may still be in
+                // flight; park the reply until they are acked.
+                self.flush = Some(reply);
+            }
+        }
+    }
+
+    /// Completes a parked `process_digests` barrier once every learned
+    /// install has been acked.
+    fn maybe_finish_flush(&mut self) {
+        if self.learn_outstanding > 0 {
+            return;
+        }
+        let Some(reply) = self.flush.take() else {
+            return;
+        };
+        let mut report = ClusterReport::sized(self.n);
+        for (i, p) in report.per_switch.iter_mut().enumerate() {
+            p.digests = self.digests_per_switch[i];
+            p.installed = self.installed_per_switch[i];
+            report.digests_seen += p.digests;
+            report.entries_installed += p.installed;
+        }
+        self.digests_per_switch.iter_mut().for_each(|d| *d = 0);
+        self.installed_per_switch.iter_mut().for_each(|d| *d = 0);
+        let _ = reply.send(Ok(report));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The handle
+// ---------------------------------------------------------------------
+
+/// Owner's view of a running cluster: synchronous facade methods mirroring
+/// the lockstep `ClusterNet` surface, plus the pipelined
+/// [`inject_async`](ClusterHandle::inject_async) /
+/// [`recv_delivered`](ClusterHandle::recv_delivered) pair. Dropping the
+/// handle shuts the cluster down.
+pub struct ClusterHandle {
+    events_tx: Sender<CtrlEvent>,
+    delivered_rx: Receiver<Delivery>,
+    stashed: Vec<Delivery>,
+    nf_switch: BTreeMap<String, usize>,
+    n: usize,
+    kind: &'static str,
+    next_trace: u64,
+    op_timeout: Duration,
+    workers: Vec<JoinHandle<()>>,
+    controller: Option<JoinHandle<()>>,
+    closed: bool,
+}
+
+impl fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterHandle")
+            .field("members", &self.n)
+            .field("transport", &self.kind)
+            .field("closed", &self.closed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterHandle {
+    /// Number of member switches.
+    pub fn members(&self) -> usize {
+        self.n
+    }
+
+    /// The transport kind this cluster runs over (`"channel"`, `"tcp"`, …).
+    pub fn transport_kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Which cluster member hosts an NF.
+    pub fn switch_of(&self, nf: &str) -> Option<usize> {
+        self.nf_switch.get(nf).copied()
+    }
+
+    fn request(&self, req: Request) -> Result<(), ClusterError> {
+        if self.closed {
+            return Err(ClusterError::Closed);
+        }
+        self.events_tx
+            .send(CtrlEvent::Request(req))
+            .map_err(|_| ClusterError::Closed)
+    }
+
+    fn wait<T>(
+        &self,
+        rx: Receiver<Result<T, ClusterError>>,
+        op: &'static str,
+    ) -> Result<T, ClusterError> {
+        match rx.recv_timeout(self.op_timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout(op)),
+            Err(RecvTimeoutError::Disconnected) => Err(ClusterError::Closed),
+        }
+    }
+
+    /// Injects a packet at switch 0 and returns its trace id immediately;
+    /// the flight record arrives later via
+    /// [`recv_delivered`](ClusterHandle::recv_delivered). This is the
+    /// pipelined path: many packets can be in flight across the cluster at
+    /// once, while the control plane learns from their digests in parallel.
+    pub fn inject_async(&mut self, packet: impl Into<InjectedPacket>) -> Result<u64, ClusterError> {
+        let InjectedPacket { bytes, port } = packet.into();
+        self.next_trace += 2; // Odd: distinct from even command seqs.
+        let trace = self.next_trace;
+        self.request(Request::Data(DataMsg {
+            trace,
+            port,
+            latency_ns: 0.0,
+            inter_switch_hops: 0,
+            hops: Vec::new(),
+            bytes,
+        }))?;
+        Ok(trace)
+    }
+
+    /// Waits for the next finished packet. `Ok(None)` when nothing arrived
+    /// within `timeout`.
+    pub fn recv_delivered(&mut self, timeout: Duration) -> Result<Option<Delivery>, ClusterError> {
+        if !self.stashed.is_empty() {
+            return Ok(Some(self.stashed.remove(0)));
+        }
+        match self.delivered_rx.recv_timeout(timeout) {
+            Ok(d) => Ok(Some(d)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ClusterError::Closed),
+        }
+    }
+
+    /// Synchronous facade: injects on `port` of switch 0 and blocks until
+    /// this packet's flight record comes back — the drop-in replacement for
+    /// the lockstep `ClusterNet::inject`.
+    pub fn inject(
+        &mut self,
+        packet: impl Into<InjectedPacket>,
+    ) -> Result<WireTraversal, ClusterError> {
+        let trace = self.inject_async(packet)?;
+        let deadline = std::time::Instant::now() + self.op_timeout;
+        loop {
+            let left = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(ClusterError::Timeout("packet delivery"))?;
+            let Some(d) = self.recv_delivered(left)? else {
+                return Err(ClusterError::Timeout("packet delivery"));
+            };
+            if d.trace == trace {
+                return d.result.map_err(ClusterError::Remote);
+            }
+            // A concurrent packet finished first; keep it for its waiter.
+            self.stashed.push(d);
+        }
+    }
+
+    /// Installs an NF rule on whichever switch hosts the NF (the same
+    /// translation the lockstep `ClusterNet::install` performs).
+    pub fn install(
+        &mut self,
+        nf: &str,
+        table: &str,
+        entry: TableEntry,
+    ) -> Result<(), ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Install {
+            nf: nf.to_string(),
+            table: table.to_string(),
+            entry,
+            reply: tx,
+        })?;
+        self.wait(rx, "install").map(|_| ())
+    }
+
+    /// Removes a previously installed entry; `Ok(true)` when it existed.
+    pub fn remove(
+        &mut self,
+        nf: &str,
+        table: &str,
+        entry: TableEntry,
+    ) -> Result<bool, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Remove {
+            nf: nf.to_string(),
+            table: table.to_string(),
+            entry,
+            reply: tx,
+        })?;
+        self.wait(rx, "remove").map(|info| info == 1)
+    }
+
+    /// Sets or clears a table's idle timeout through the NF's API view.
+    pub fn set_idle_timeout(
+        &mut self,
+        nf: &str,
+        table: &str,
+        ticks: Option<u64>,
+    ) -> Result<(), ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::SetIdleTimeout {
+            nf: nf.to_string(),
+            table: table.to_string(),
+            ticks,
+            reply: tx,
+        })?;
+        self.wait(rx, "set_idle_timeout").map(|_| ())
+    }
+
+    /// Advances logical time on every member and returns the merged
+    /// eviction report. Clocks stay synchronized: every member advances by
+    /// the same ticks before this returns.
+    pub fn advance_time(&mut self, ticks: u64) -> Result<ClusterReport, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::AdvanceTime { ticks, reply: tx })?;
+        self.wait(rx, "advance_time")
+    }
+
+    /// Flushes every member's digest queues and waits until all resulting
+    /// learned installs have been acked — the synchronous face of the
+    /// always-on learning loop. The report covers **all** digest activity
+    /// since the previous call (the controller learns continuously, not
+    /// just inside this call).
+    pub fn process_digests(&mut self) -> Result<ClusterReport, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Flush { reply: tx })?;
+        self.wait(rx, "process_digests")
+    }
+
+    /// Registers the learn policy for an NF's digest stream on the
+    /// controller (see
+    /// [`ControlPlane::register_learn_policy`](crate::control_plane::ControlPlane::register_learn_policy)).
+    pub fn register_learn_policy(
+        &mut self,
+        nf: &str,
+        stream: &str,
+        policy: Box<dyn LearnPolicy>,
+    ) -> Result<(), ClusterError> {
+        self.request(Request::RegisterPolicy {
+            stream: crate::merge::scoped(nf, stream),
+            policy,
+        })
+    }
+
+    /// Scrapes every member's metrics and returns merged + per-member
+    /// snapshots.
+    pub fn metrics_snapshot(&mut self) -> Result<ClusterScrape, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Scrape { reply: tx })?;
+        self.wait(rx, "metrics_snapshot")
+    }
+
+    /// Snapshots the dynamic state of every loaded pipelet across the
+    /// cluster (the cluster-wide checkpoint).
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_state(
+        &mut self,
+    ) -> Result<Vec<(usize, PipeletId, StateSnapshot)>, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Snapshot { reply: tx })?;
+        self.wait(rx, "snapshot_state")
+    }
+
+    /// Restores a state snapshot onto one member's pipelet; returns the
+    /// number of entries restored.
+    pub fn restore_state(
+        &mut self,
+        switch: usize,
+        pipelet: PipeletId,
+        snapshot: &StateSnapshot,
+    ) -> Result<usize, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Restore {
+            switch,
+            pipelet,
+            json: snapshot.to_json(),
+            reply: tx,
+        })?;
+        self.wait(rx, "restore_state").map(|n| n as usize)
+    }
+
+    /// Stops every worker and the controller. Idempotent; also invoked on
+    /// drop.
+    pub fn shutdown(&mut self) -> Result<(), ClusterError> {
+        if self.closed {
+            return Ok(());
+        }
+        let (tx, rx) = channel();
+        let sent = self.request(Request::Shutdown { reply: tx });
+        self.closed = true;
+        if sent.is_ok() {
+            let _ = self.wait(rx, "shutdown");
+        }
+        if let Some(c) = self.controller.take() {
+            let _ = c.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ClusterHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spawning
+// ---------------------------------------------------------------------
+
+/// Deploys a chain set across a back-to-back cluster and boots it as
+/// communicating workers over `transport` — the event-driven sibling of
+/// [`deploy_cluster`](crate::multiswitch::deploy_cluster), sharing its
+/// validation and per-member deployment logic.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_cluster(
+    nfs: &[&NfModule],
+    chains: &ChainSet,
+    placement: &ClusterPlacement,
+    profile: &TofinoProfile,
+    exit_ports: BTreeMap<u16, PortId>,
+    wiring: &ClusterWiring,
+    deploy_options: &DeployOptions,
+    transport: &mut dyn Transport,
+    options: &ClusterOptions,
+) -> Result<ClusterHandle, ClusterError> {
+    let members = build_cluster_members(
+        nfs,
+        chains,
+        placement,
+        profile,
+        exit_ports,
+        wiring,
+        deploy_options,
+    )?;
+    let n = members.len();
+    let kind = transport.kind();
+
+    // NF → switch routing map, captured before deployments move away.
+    let mut nf_switch = BTreeMap::new();
+    for (i, (_, dep)) in members.iter().enumerate() {
+        for nf in chains.all_nfs() {
+            if dep.nf_location(&nf).is_some() {
+                nf_switch.entry(nf).or_insert(i);
+            }
+        }
+    }
+
+    // Bind everyone first so links can be connected in one pass.
+    let ctrl_inbox = transport.bind("ctrl")?;
+    let ctrl_addr = ctrl_inbox.addr().clone();
+    let mut worker_inboxes = Vec::with_capacity(n);
+    for i in 0..n {
+        worker_inboxes.push(transport.bind(&format!("w{i}"))?);
+    }
+    let worker_addrs: Vec<_> = worker_inboxes.iter().map(|e| e.addr().clone()).collect();
+
+    // Controller-side links (control + ingress data for worker 0).
+    let mut ctrl_links = Vec::with_capacity(n);
+    for addr in &worker_addrs {
+        ctrl_links.push(transport.connect(addr)?);
+    }
+
+    // Boot the workers.
+    let mut workers = Vec::with_capacity(n);
+    for (i, ((mut switch, deployment), inbox)) in
+        members.into_iter().zip(worker_inboxes).enumerate()
+    {
+        if options.telemetry {
+            switch.set_telemetry(true);
+        }
+        if let Some(mode) = options.exec_mode {
+            switch.set_exec_mode(mode);
+        }
+        let upstream = transport.connect(&ctrl_addr)?;
+        let mut links = BTreeMap::new();
+        if i + 1 < n {
+            let next = transport.connect(&worker_addrs[i + 1])?;
+            links.insert(wiring.egress_link_port, (next, wiring.ingress_link_port));
+        }
+        let worker = super::worker::SwitchWorker {
+            index: i,
+            switch,
+            deployment,
+            inbox,
+            upstream,
+            links,
+            cable_ns: wiring.cable_ns,
+        };
+        let handle = thread::Builder::new()
+            .name(format!("dejavu-worker-{i}"))
+            .spawn(move || worker.run())
+            .map_err(|e| ClusterError::Transport(TransportError::Io(e.to_string())))?;
+        workers.push(handle);
+    }
+
+    // Event plumbing: the pump forwards upstream frames into the unified
+    // controller queue, where they interleave with facade requests.
+    let (events_tx, events_rx) = channel();
+    let pump_tx = events_tx.clone();
+    thread::Builder::new()
+        .name("dejavu-ctrl-pump".to_string())
+        .spawn(move || loop {
+            match ctrl_inbox.recv_raw() {
+                Ok(frame) => {
+                    if pump_tx.send(CtrlEvent::Frame(frame)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = pump_tx.send(CtrlEvent::PumpClosed);
+                    return;
+                }
+            }
+        })
+        .map_err(|e| ClusterError::Transport(TransportError::Io(e.to_string())))?;
+
+    let (delivered_tx, delivered_rx) = channel();
+    let controller = Controller {
+        n,
+        events: events_rx,
+        links: ctrl_links,
+        nf_switch: nf_switch.clone(),
+        policies: BTreeMap::new(),
+        delivered_tx,
+        next_seq: 0,
+        pending: BTreeMap::new(),
+        gathers: BTreeMap::new(),
+        next_gather: 0,
+        learn_outstanding: 0,
+        digests_per_switch: vec![0; n],
+        installed_per_switch: vec![0; n],
+        flush: None,
+        bye: None,
+        op_timeout: options.op_timeout,
+    };
+    let controller = thread::Builder::new()
+        .name("dejavu-ctrl".to_string())
+        .spawn(move || controller.run())
+        .map_err(|e| ClusterError::Transport(TransportError::Io(e.to_string())))?;
+
+    Ok(ClusterHandle {
+        events_tx,
+        delivered_rx,
+        stashed: Vec::new(),
+        nf_switch,
+        n,
+        kind,
+        next_trace: 1,
+        op_timeout: options.op_timeout,
+        workers,
+        controller: Some(controller),
+        closed: false,
+    })
+}

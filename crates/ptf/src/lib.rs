@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{ExecMode, IndexKind, MetricsSnapshot, PortId, Switch, Traversal};
+use dejavu_asic::{
+    ExecMode, IndexKind, InjectedPacket, MetricsSnapshot, PortId, Switch, Traversal,
+};
 use std::fmt;
 
 /// Byte-level check applied to the emitted/punted packet.
@@ -474,7 +476,7 @@ pub fn run_suite_differential(switch: &Switch, cases: Vec<TestCase>) -> PtfRepor
 }
 
 fn run_case(switch: &mut Switch, case: &TestCase) -> CaseResult {
-    let traversal = match switch.inject((case.packet.clone(), case.in_port)) {
+    let traversal = match switch.inject(InjectedPacket::new(case.packet.clone(), case.in_port)) {
         Ok(t) => t,
         Err(e) => {
             return CaseResult {

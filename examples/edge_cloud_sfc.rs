@@ -149,21 +149,21 @@ fn main() {
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 
     println!("\n--- path 2 (classifier → vgw → router) ---");
-    let t = switch.inject((pkt(2, 80), 0)).unwrap();
+    let t = switch.inject(InjectedPacket::new(pkt(2, 80), 0)).unwrap();
     println!(
         "{:?}, recirculations {}, latency {:.0} ns",
         t.disposition, t.recirculations, t.latency_ns
     );
 
     println!("\n--- path 3 (classifier → router) ---");
-    let t = switch.inject((pkt(3, 80), 0)).unwrap();
+    let t = switch.inject(InjectedPacket::new(pkt(3, 80), 0)).unwrap();
     println!(
         "{:?}, recirculations {}, latency {:.0} ns",
         t.disposition, t.recirculations, t.latency_ns
     );
 
     println!("\n--- firewall deny (path 1, tcp/22) ---");
-    let t = switch.inject((pkt(1, 22), 0)).unwrap();
+    let t = switch.inject(InjectedPacket::new(pkt(1, 22), 0)).unwrap();
     println!("{:?} (dropped in the ingress pipe)", t.disposition);
     assert_eq!(t.disposition, Disposition::Dropped);
 

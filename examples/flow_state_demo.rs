@@ -13,7 +13,7 @@
 //! `target/experiments/STATE_snapshot.json` for `scripts/check.sh`.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_asic::{ExecMode, InjectedPacket, PipeletId, Switch, TofinoProfile};
 use dejavu_core::control_plane::ControlPlane;
 use dejavu_core::deploy::{deploy, DeployOptions, Deployment};
 use dejavu_core::placement::Placement;
@@ -111,7 +111,9 @@ fn main() {
         .src_port(CLIENT_PORT)
         .dst_port(80)
         .build();
-    let t = switch.inject((outbound, IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(outbound, IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(ip_at(&t.final_bytes, 26), PUBLIC_IP, "source not rewritten");
 
@@ -128,7 +130,9 @@ fn main() {
         .src_port(80)
         .dst_port(CLIENT_PORT)
         .build();
-    let t = switch.inject((inbound, IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(inbound, IN_PORT))
+        .unwrap();
     assert_eq!(ip_at(&t.final_bytes, 30), CLIENT, "return not translated");
     println!("return traffic translated back in the data plane (no punt)");
 

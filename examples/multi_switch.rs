@@ -141,7 +141,7 @@ fn main() {
             )
             .expect("cluster deploys");
             let pkt = encapsulated(1);
-            let t = net.inject((pkt, 0)).expect("injection");
+            let t = net.inject(InjectedPacket::new(pkt, 0)).expect("injection");
             println!("\nlive run: {:?}", t.disposition);
             println!(
                 "  switches visited: {:?}, wire hops: {}, recirculations: {}, latency {:.0} ns",

@@ -101,7 +101,9 @@ fn main() {
     pkt.extend_from_slice(&SfcHeader::for_path(1).to_bytes());
     pkt.extend_from_slice(&raw[14..]);
 
-    let t = switch.inject((pkt, 0)).expect("injection succeeds");
+    let t = switch
+        .inject(InjectedPacket::new(pkt, 0))
+        .expect("injection succeeds");
     println!("\ndisposition: {:?}", t.disposition);
     println!(
         "recirculations: {}, resubmissions: {}",

@@ -74,6 +74,12 @@ entries = sum(len(t["entries"]) for t in snap["tables"])
 print(f"state snapshot OK ({len(tables)} tables, {entries} entries)")
 EOF
 
+# Cluster-runtime gate: three switch workers behind framed TCP on
+# localhost must boot, carry full- and mid-chain flights end to end, merge
+# telemetry, and shut down cleanly — bounded, because a hang here means
+# the event-driven control plane deadlocked.
+timeout 120 cargo run -p dejavu-examples --bin cluster_demo
+
 # Dataplane bench gate: the table-size sweep runs end-to-end in quick
 # mode (shrunk budgets, 100k point skipped; the committed root
 # BENCH_dataplane.json is not rewritten), its artifact must carry the

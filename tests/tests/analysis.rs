@@ -17,7 +17,7 @@
 
 use proptest::prelude::*;
 
-use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_asic::{ExecMode, InjectedPacket, PipeletId, Switch, TofinoProfile};
 use dejavu_core::analyze::{analyze_pipelets, check_learn_contracts, LearnContract};
 use dejavu_p4ir::analyze::{check, check_with_config, AnalysisCode, AnalysisConfig};
 use dejavu_p4ir::builder::*;
@@ -514,7 +514,7 @@ proptest! {
             sw.set_exec_mode(mode);
             sw.load_program(PipeletId::ingress(0), program.clone()).unwrap();
             for &(ttl, protocol, dscp) in &packets {
-                let t = sw.inject((packet(ttl, protocol, dscp), 0)).unwrap();
+                let t = sw.inject(InjectedPacket::new(packet(ttl, protocol, dscp), 0)).unwrap();
                 // The arm bitmap the data plane recorded, read back from
                 // the rewritten source address.
                 let b = &t.final_bytes[26..30];

@@ -3,9 +3,11 @@
 //! packet through the whole cluster.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::PipeletId;
+use dejavu_asic::{InjectedPacket, PipeletId};
 use dejavu_core::deploy::{DeployError, DeployOptions};
-use dejavu_core::multiswitch::{deploy_cluster, ClusterPlacement, ClusterWiring};
+use dejavu_core::multiswitch::{
+    deploy_cluster, ClusterConfigError, ClusterPlacement, ClusterWiring,
+};
 use dejavu_core::placement::Placement;
 use dejavu_core::{ChainPolicy, ChainSet};
 use dejavu_integration::{encapsulated_packet, marker_nf, IN_PORT};
@@ -57,7 +59,9 @@ fn chain_executes_across_two_switches() {
     )
     .unwrap();
 
-    let t = net.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t = net
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(t.inter_switch_hops, 1, "one forward wire hop");
     assert_eq!(t.hops.len(), 2, "visited both switches");
@@ -103,7 +107,9 @@ fn mid_chain_entry_on_second_switch_only_runs_remaining_nfs() {
         &DeployOptions::default(),
     )
     .unwrap();
-    let t = net.inject((encapsulated_packet(1, 3), IN_PORT)).unwrap();
+    let t = net
+        .inject(InjectedPacket::new(encapsulated_packet(1, 3), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // Switch 0 applied no NF work tables.
     assert!(!t.hops[0]
@@ -134,7 +140,13 @@ fn backward_chains_are_rejected_at_deploy() {
         &DeployOptions::default(),
     )
     .unwrap_err();
-    assert!(matches!(err, DeployError::Cluster(_)), "got {err}");
+    assert!(
+        matches!(
+            err,
+            DeployError::ClusterConfig(ClusterConfigError::NonMonotoneChain { .. })
+        ),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -168,7 +180,9 @@ fn cluster_install_routes_rules_to_owning_switch() {
         },
     )
     .unwrap();
-    let t = net.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t = net
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // n5's table hit the pass entry this time.
     assert!(t.hops[1].1.tables_hit().contains(&"n5__work"));
@@ -212,9 +226,13 @@ fn cluster_state_sync_spans_member_switches() {
     assert!(has(0, "n0__work"), "switch 0 state missing from checkpoint");
     assert!(has(1, "n4__work"), "switch 1 state missing from checkpoint");
 
-    // No learning NFs deployed: a cluster learning round is a no-op.
+    // No learning NFs deployed: a cluster learning round is a no-op, and
+    // the merged report says so per member.
     let mut cp = dejavu_core::control_plane::ControlPlane::new();
-    assert_eq!(net.process_digests(&mut cp).unwrap(), 0);
+    let report = net.process_digests(&mut cp).unwrap();
+    assert_eq!(report.digests_seen, 0);
+    assert_eq!(report.entries_installed, 0);
+    assert_eq!(report.per_switch.len(), 2);
 
     // Lockstep aging: both members advance together and both evict.
     net.deployments[0]
@@ -223,8 +241,12 @@ fn cluster_state_sync_spans_member_switches() {
     net.deployments[1]
         .set_idle_timeout(&mut net.switches[1], "n4", "work", Some(3))
         .unwrap();
-    let evicted = net.advance_time(5);
-    let members: std::collections::BTreeSet<usize> = evicted.iter().map(|(i, _, _)| *i).collect();
+    let report = net.advance_time(5);
+    let members: std::collections::BTreeSet<usize> =
+        report.evictions.iter().map(|(i, _, _)| *i).collect();
     assert_eq!(members, [0, 1].into_iter().collect());
+    assert_eq!(report.evicted(), report.evictions.len());
+    assert!(report.per_switch[0].evictions >= 1);
+    assert!(report.per_switch[1].evictions >= 1);
     assert_eq!(net.switches[0].now(), net.switches[1].now());
 }

@@ -16,7 +16,7 @@
 
 use proptest::prelude::*;
 
-use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_asic::{ExecMode, InjectedPacket, PipeletId, Switch, TofinoProfile};
 use dejavu_p4ir::action::HashAlgorithm;
 use dejavu_p4ir::builder::*;
 use dejavu_p4ir::table::{KeyMatch, TableEntry};
@@ -274,8 +274,8 @@ proptest! {
         for (k, &(mac, dst, ttl, ip_sel, payload)) in packets.iter().enumerate() {
             // ~80% of packets are IPv4, the rest bare Ethernet.
             let pkt = gen_packet(mac, dst, ttl, ip_sel > 0, payload);
-            let r = reference.inject((pkt.clone(), 0));
-            let c = compiled.inject((pkt.clone(), 0));
+            let r = reference.inject(InjectedPacket::new(pkt.clone(), 0));
+            let c = compiled.inject(InjectedPacket::new(pkt.clone(), 0));
             let mut buf = pkt;
             let p = pooled.inject_buf(&mut buf, 0);
             match (r, c) {
@@ -457,8 +457,8 @@ proptest! {
                 prop_assert_eq!(&re, &pe, "step {}: pooled eviction sweeps diverged", k);
             } else {
                 let pkt = flow_packet(op, a);
-                let r = reference.inject((pkt.clone(), 0));
-                let c = compiled.inject((pkt.clone(), 0));
+                let r = reference.inject(InjectedPacket::new(pkt.clone(), 0));
+                let c = compiled.inject(InjectedPacket::new(pkt.clone(), 0));
                 let mut buf = pkt;
                 let p = pooled.inject_buf(&mut buf, 0);
                 match (r, c) {

@@ -3,7 +3,7 @@
 //! the checksum extern, mirroring, and an eight-NF chain end to end.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{PipeletId, TofinoProfile, TraceEvent};
+use dejavu_asic::{InjectedPacket, PipeletId, TofinoProfile, TraceEvent};
 use dejavu_core::deploy::{deploy, DeployOptions};
 use dejavu_core::placement::Placement;
 use dejavu_core::routing::RoutingConfig;
@@ -149,7 +149,9 @@ fn eight_nf_chain_completes_with_all_features() {
     )
     .unwrap();
 
-    let t = switch.inject((packet(1), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(packet(1), IN_PORT))
+        .unwrap();
     assert_eq!(
         t.disposition,
         Disposition::Emitted { port: EXIT_PORT },
@@ -198,7 +200,9 @@ fn rate_limiter_trips_mid_chain() {
     .unwrap();
     // Budget is 4 packets; the fifth is dropped in the ingress pipe.
     for i in 0..6 {
-        let t = switch.inject((packet(1), IN_PORT)).unwrap();
+        let t = switch
+            .inject(InjectedPacket::new(packet(1), IN_PORT))
+            .unwrap();
         let expect_drop = i >= 4;
         assert_eq!(
             t.disposition == Disposition::Dropped,
@@ -225,7 +229,9 @@ fn rate_limiter_trips_mid_chain() {
             0,
         )
         .unwrap();
-    let t = switch.inject((packet(1), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(packet(1), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 }
 
@@ -246,7 +252,9 @@ fn syn_guard_on_second_chain() {
     syn[47] = 0x02;
     let mut outcomes = Vec::new();
     for _ in 0..4 {
-        let t = switch.inject((syn.clone(), IN_PORT)).unwrap();
+        let t = switch
+            .inject(InjectedPacket::new(syn.clone(), IN_PORT))
+            .unwrap();
         outcomes.push(t.disposition == Disposition::Dropped);
     }
     // Threshold 2 (the looser 100-threshold entry coexists; ternary priority
@@ -259,6 +267,8 @@ fn syn_guard_on_second_chain() {
 #[test]
 fn untapped_flows_are_not_mirrored() {
     let (mut switch, _dep) = testbed();
-    let t = switch.inject((packet(2), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(packet(2), IN_PORT))
+        .unwrap();
     assert!(t.mirrored.is_empty());
 }

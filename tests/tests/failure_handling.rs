@@ -2,7 +2,7 @@
 //! control plane's rerouting response.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::TraceEvent;
+use dejavu_asic::{InjectedPacket, TraceEvent};
 use dejavu_integration::*;
 use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
 
@@ -14,7 +14,9 @@ const REPLACEMENT_EXIT: u16 = 3;
 fn loopback_port_failure_blackholes_until_rerouted() {
     let (mut switch, mut dep) = fig9_testbed();
     // Healthy: path 3 flows via pipeline 1's loopback port.
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert!(t
         .events
@@ -23,7 +25,9 @@ fn loopback_port_failure_blackholes_until_rerouted() {
 
     // The loopback port's link fails: traffic pointed at it blackholes.
     switch.set_port_down(LOOPBACK_PORT_P1, true);
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Dropped);
     assert!(t
         .events
@@ -34,7 +38,9 @@ fn loopback_port_failure_blackholes_until_rerouted() {
     // recirculation port, chains flow again.
     dep.handle_port_failure(&mut switch, LOOPBACK_PORT_P1, None)
         .unwrap();
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(
         t.disposition,
         Disposition::Emitted { port: EXIT_PORT },
@@ -63,14 +69,16 @@ fn exit_port_failure_moves_chains_to_replacement() {
 
     // Exit port dies; without rerouting, completed chains blackhole.
     switch.set_port_down(EXIT_PORT, true);
-    let t = switch.inject((pkt.clone(), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(pkt.clone(), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Dropped);
 
     // Reroute every chain to the replacement uplink (decap entries are
     // re-synthesized for the new port too).
     dep.handle_port_failure(&mut switch, EXIT_PORT, Some(REPLACEMENT_EXIT))
         .unwrap();
-    let t = switch.inject((pkt, IN_PORT)).unwrap();
+    let t = switch.inject(InjectedPacket::new(pkt, IN_PORT)).unwrap();
     assert_eq!(
         t.disposition,
         Disposition::Emitted {
@@ -97,7 +105,11 @@ fn exit_failure_without_replacement_is_refused() {
 fn injecting_on_a_down_port_fails() {
     let (mut switch, _dep) = fig9_testbed();
     switch.set_port_down(IN_PORT, true);
-    assert!(switch.inject((chain_packet(3, VIP, 80), IN_PORT)).is_err());
+    assert!(switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .is_err());
     switch.set_port_down(IN_PORT, false);
-    assert!(switch.inject((chain_packet(3, VIP, 80), IN_PORT)).is_ok());
+    assert!(switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .is_ok());
 }

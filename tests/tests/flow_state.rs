@@ -4,7 +4,7 @@
 //! flow state — on both execution engines.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::{ExecMode, PipeletId, Switch, TofinoProfile};
+use dejavu_asic::{ExecMode, InjectedPacket, PipeletId, Switch, TofinoProfile};
 use dejavu_core::control_plane::ControlPlane;
 use dejavu_core::deploy::{deploy, DeployOptions, Deployment};
 use dejavu_core::placement::Placement;
@@ -120,7 +120,9 @@ fn dynamic_nat_learns_translates_ages_and_migrates(mode: ExecMode) {
 
     // 1. Outbound: emitted with the source rewritten to the public IP,
     //    and a digest queued for the learning loop.
-    let t = switch.inject((outbound_packet(), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(outbound_packet(), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(ip_at(&t.final_bytes, 26), PUBLIC_IP, "source not rewritten");
     assert_eq!(switch.digest_backlog(0), 1);
@@ -132,13 +134,17 @@ fn dynamic_nat_learns_translates_ages_and_migrates(mode: ExecMode) {
     assert_eq!(switch.digest_backlog(0), 0);
 
     // 3. Return traffic is translated back in the data plane — no punt.
-    let t = switch.inject((return_packet(), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(return_packet(), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(ip_at(&t.final_bytes, 30), CLIENT, "return not translated");
 
     // 4. Re-learning the same flow is idempotent: the digest fires again
     //    on the next outbound packet, but nothing new is installed.
-    let t = switch.inject((outbound_packet(), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(outbound_packet(), IN_PORT))
+        .unwrap();
     assert_eq!(ip_at(&t.final_bytes, 26), PUBLIC_IP);
     assert_eq!(cp.process_digests(&mut switch, &dep).unwrap(), 0);
 
@@ -151,7 +157,9 @@ fn dynamic_nat_learns_translates_ages_and_migrates(mode: ExecMode) {
     assert!(outcome.affected_nfs.contains(&"nat".to_string()));
     assert!(outcome.migration.is_clean(), "{:?}", outcome.migration);
     assert!(outcome.migration.restored_entries > 0);
-    let t = switch.inject((return_packet(), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(return_packet(), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(
         ip_at(&t.final_bytes, 30),
@@ -179,7 +187,9 @@ fn dynamic_nat_learns_translates_ages_and_migrates(mode: ExecMode) {
         1
     );
     // The flow is gone: return traffic is no longer translated.
-    let t = switch.inject((return_packet(), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(return_packet(), IN_PORT))
+        .unwrap();
     assert_eq!(ip_at(&t.final_bytes, 30), PUBLIC_IP, "entry not evicted");
 }
 

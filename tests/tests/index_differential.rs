@@ -17,7 +17,9 @@
 
 use proptest::prelude::*;
 
-use dejavu_asic::{ExecMode, IndexKind, IndexPolicy, PipeletId, Switch, TofinoProfile};
+use dejavu_asic::{
+    ExecMode, IndexKind, IndexPolicy, InjectedPacket, PipeletId, Switch, TofinoProfile,
+};
 use dejavu_p4ir::builder::*;
 use dejavu_p4ir::table::{KeyMatch, TableEntry};
 use dejavu_p4ir::{fref, well_known, Expr, FieldRef, Program, Value};
@@ -281,7 +283,7 @@ proptest! {
                     let pkt = cls_packet(*s, *d, *t);
                     let outs: Vec<_> = switches
                         .iter_mut()
-                        .map(|(_, _, sw)| sw.inject((pkt.clone(), 0)))
+                        .map(|(_, _, sw)| sw.inject(InjectedPacket::new(pkt.clone(), 0)))
                         .collect();
                     for (i, o) in outs.iter().enumerate().skip(1) {
                         match (&outs[0], o) {

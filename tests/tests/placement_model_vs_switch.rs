@@ -8,7 +8,7 @@
 //! optimizing fiction.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::PipeletId;
+use dejavu_asic::{InjectedPacket, PipeletId};
 use dejavu_core::placement::{traverse, Placement};
 use dejavu_core::{ChainPolicy, ChainSet};
 use dejavu_integration::*;
@@ -54,7 +54,9 @@ fn model_matches_switch_for_all_3nf_placements() {
         let (mut switch, _dep) = deploy_markers(&chains, &placement)
             .unwrap_or_else(|e| panic!("deploy failed for {placement}: {e}"));
         let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
-        let t = switch.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+        let t = switch
+            .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+            .unwrap();
         assert_eq!(
             t.disposition,
             Disposition::Emitted { port: EXIT_PORT },
@@ -109,7 +111,9 @@ fn fig6_shapes_on_real_switch() {
     ]);
     for (placement, expected_recircs) in [(naive, 3usize), (optimized, 1usize)] {
         let (mut switch, _dep) = deploy_markers(&chains, &placement).unwrap();
-        let t = switch.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+        let t = switch
+            .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+            .unwrap();
         assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
         assert_eq!(t.recirculations, expected_recircs, "placement {placement}");
     }
@@ -126,11 +130,15 @@ fn multiple_chains_share_one_deployment() {
     let placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0", "n1"])]);
     let (mut switch, _dep) = deploy_markers(&chains, &placement).unwrap();
     // Chain 1 runs both in one pass.
-    let t = switch.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(t.resubmissions, 0);
     // Chain 2 needs one resubmission (n1 before n0 in slot order).
-    let t = switch.inject((encapsulated_packet(2, 0), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(encapsulated_packet(2, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(t.resubmissions, 1);
 }
@@ -143,7 +151,7 @@ fn unroutable_path_punts_to_cpu() {
     let placement = Placement::sequential(vec![(PipeletId::ingress(0), vec!["n0"])]);
     let (mut switch, _dep) = deploy_markers(&chains, &placement).unwrap();
     let t = switch
-        .inject((encapsulated_packet(99, 0), IN_PORT))
+        .inject(InjectedPacket::new(encapsulated_packet(99, 0), IN_PORT))
         .unwrap();
     assert_eq!(t.disposition, Disposition::ToCpu);
 }
@@ -164,7 +172,9 @@ fn parallel_composition_on_real_switch() {
     assert_eq!(predicted.resubmissions, 1);
 
     let (mut switch, _dep) = deploy_markers_with(&chains, &placement, Default::default()).unwrap();
-    let t = switch.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(t.resubmissions, 1, "{}", t.describe());
     assert_eq!(t.recirculations, 0);
@@ -194,7 +204,9 @@ fn parallel_egress_branch_transition_recirculates() {
     let predicted = traverse(&chains.chains[0], &placement, 0, 0, false).unwrap();
 
     let (mut switch, _dep) = deploy_markers_with(&chains, &placement, Default::default()).unwrap();
-    let t = switch.inject((encapsulated_packet(1, 0), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     assert_eq!(
         t.recirculations as u32,

@@ -3,6 +3,7 @@
 //! pipelets — keeps running.
 
 use dejavu_asic::switch::Disposition;
+use dejavu_asic::InjectedPacket;
 use dejavu_core::deploy::UpgradeError;
 use dejavu_core::sfc::{sfc_field, sfc_header_type};
 use dejavu_core::NfModule;
@@ -77,7 +78,9 @@ fn hot_swap_firewall_to_default_deny() {
     let (mut switch, mut dep) = fig9_testbed();
     // Before the upgrade: path-3 traffic flows (v1 default-permit) — use
     // path 3 so the LB is not involved.
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
     // Path-1 traffic flows through the firewall (also permit).
     // (Path 1 punts at the LB, but it passes the firewall — we check the
@@ -96,11 +99,15 @@ fn hot_swap_firewall_to_default_deny() {
     install_baseline_rules(&mut switch, &dep);
 
     // Path 1 (which traverses the firewall) is now denied by default.
-    let t = switch.inject((chain_packet(1, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(1, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Dropped, "v2 default-deny");
     // Path 3 (classifier → router) does not traverse the firewall and
     // still flows — the rest of the deployment kept working.
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 }
 
@@ -113,7 +120,9 @@ fn parser_changing_upgrade_is_refused() {
     let err = dep.upgrade_nf(&mut switch, &bad, &refs).unwrap_err();
     assert!(matches!(err, UpgradeError::ParserChanged), "got {err}");
     // The deployment still works untouched.
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
 }
 

@@ -7,6 +7,7 @@
 //! the SFC header is added by the classifier and stripped at the exit
 //! egress, and per-NF rewrites land on the wire.
 
+use dejavu_asic::InjectedPacket;
 use dejavu_integration::*;
 use dejavu_nf::load_balancer::{five_tuple_of, session_entry_for, SESSION_TABLE};
 use dejavu_ptf::{run_suite, TestCase};
@@ -180,7 +181,7 @@ fn model_predicts_switch_recirculations() {
         )
         .unwrap();
         let pkt = chain_packet(chain.path_id, VIP, 80);
-        let t = switch.inject((pkt, IN_PORT)).unwrap();
+        let t = switch.inject(InjectedPacket::new(pkt, IN_PORT)).unwrap();
         assert_eq!(
             t.recirculations as u32, predicted.recirculations,
             "chain {}: model {} vs switch {}",
@@ -198,7 +199,9 @@ fn model_predicts_switch_recirculations() {
 fn latency_reflects_recirculation_cost() {
     // One-recirculation paths should cost port-to-port + one recirc loop.
     let (mut switch, _dep) = fig9_testbed();
-    let t = switch.inject((chain_packet(3, VIP, 80), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(chain_packet(3, VIP, 80), IN_PORT))
+        .unwrap();
     let timing = dejavu_asic::TimingModel::tofino();
     assert_eq!(t.recirculations, 1);
     assert!((t.latency_ns - timing.path_with_recircs_ns(12, 1)).abs() < 1e-9);

@@ -5,7 +5,7 @@
 //! twins.
 
 use dejavu_asic::switch::Disposition;
-use dejavu_asic::PipeletId;
+use dejavu_asic::{InjectedPacket, PipeletId};
 use dejavu_core::deploy::{deploy, DeployOptions};
 use dejavu_core::placement::Placement;
 use dejavu_core::routing::RoutingConfig;
@@ -85,7 +85,7 @@ fn vxlan_terminate_then_route() {
     let tunneled = encapsulate(&inner_packet(inner_dst), 700, 0x0a00_0001, 0x0a00_0002);
     let pkt = with_sfc(&tunneled, 1);
 
-    let t = switch.inject((pkt, IN_PORT)).unwrap();
+    let t = switch.inject(InjectedPacket::new(pkt, IN_PORT)).unwrap();
     assert_eq!(
         t.disposition,
         Disposition::Emitted { port: EXIT_PORT },
@@ -154,7 +154,9 @@ fn unknown_vni_rides_encapsulated_to_router() {
     .unwrap();
 
     let tunneled = encapsulate(&inner_packet(0xc0a8_0809), 999, 0x0a00_0001, 0x0a00_0002);
-    let t = switch.inject((with_sfc(&tunneled, 1), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(with_sfc(&tunneled, 1), IN_PORT))
+        .unwrap();
     assert_eq!(
         t.disposition,
         Disposition::Emitted { port: EXIT_PORT },
@@ -222,7 +224,9 @@ fn vni_recorded_in_context_mid_chain() {
     .unwrap();
 
     let tunneled = encapsulate(&inner_packet(0xc0a8_0809), 700, 1, 2);
-    let t = switch.inject((with_sfc(&tunneled, 1), IN_PORT)).unwrap();
+    let t = switch
+        .inject(InjectedPacket::new(with_sfc(&tunneled, 1), IN_PORT))
+        .unwrap();
     assert_eq!(
         t.disposition,
         Disposition::Emitted { port: EXIT_PORT },
