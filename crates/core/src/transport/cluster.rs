@@ -589,10 +589,7 @@ impl Controller {
                             continue;
                         };
                         let seq = self.seq();
-                        self.pending
-                            .insert(seq, Pending::Learned { switch: target });
-                        self.learn_outstanding += 1;
-                        let _ = self.send_to(
+                        let sent = self.send_to(
                             target,
                             Message::Control(ControlMsg::Install {
                                 seq,
@@ -601,6 +598,15 @@ impl Controller {
                                 entry,
                             }),
                         );
+                        // Track only sends that can still produce an ack: a
+                        // dead link yields no ack, and an undrainable
+                        // learn_outstanding would park every later flush
+                        // barrier forever.
+                        if sent.is_ok() {
+                            self.pending
+                                .insert(seq, Pending::Learned { switch: target });
+                            self.learn_outstanding += 1;
+                        }
                     }
                 }
             }
@@ -878,19 +884,30 @@ impl ClusterHandle {
         packet: impl Into<InjectedPacket>,
     ) -> Result<WireTraversal, ClusterError> {
         let trace = self.inject_async(packet)?;
+        // An earlier waiter may have pulled this packet's delivery off the
+        // channel and stashed it already.
+        if let Some(pos) = self.stashed.iter().position(|d| d.trace == trace) {
+            let d = self.stashed.remove(pos);
+            return d.result.map_err(ClusterError::Remote);
+        }
         let deadline = std::time::Instant::now() + self.op_timeout;
         loop {
             let left = deadline
                 .checked_duration_since(std::time::Instant::now())
                 .ok_or(ClusterError::Timeout("packet delivery"))?;
-            let Some(d) = self.recv_delivered(left)? else {
-                return Err(ClusterError::Timeout("packet delivery"));
-            };
-            if d.trace == trace {
-                return d.result.map_err(ClusterError::Remote);
+            // Read the channel directly: the stash holds only foreign
+            // deliveries (checked above), so going through recv_delivered
+            // here would cycle pop/re-push on the stash without ever
+            // blocking on the channel.
+            match self.delivered_rx.recv_timeout(left) {
+                Ok(d) if d.trace == trace => return d.result.map_err(ClusterError::Remote),
+                // A concurrent packet finished first; keep it for its waiter.
+                Ok(d) => self.stashed.push(d),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(ClusterError::Timeout("packet delivery"))
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::Closed),
             }
-            // A concurrent packet finished first; keep it for its waiter.
-            self.stashed.push(d);
         }
     }
 

@@ -97,6 +97,10 @@ impl fmt::Display for PeerAddr {
 pub struct Endpoint {
     addr: PeerAddr,
     rx: Receiver<Vec<u8>>,
+    /// Transport-specific resources tied to this inbox's lifetime (e.g. the
+    /// TCP accept-loop shutdown handle); their `Drop` runs when the
+    /// endpoint is dropped.
+    _guard: Option<Box<dyn Send>>,
 }
 
 impl Endpoint {
@@ -104,7 +108,20 @@ impl Endpoint {
     /// Transport implementations call this; user code receives endpoints
     /// from [`Transport::bind`].
     pub fn from_parts(addr: PeerAddr, rx: Receiver<Vec<u8>>) -> Self {
-        Endpoint { addr, rx }
+        Endpoint {
+            addr,
+            rx,
+            _guard: None,
+        }
+    }
+
+    /// Attaches a resource that must not outlive the endpoint — dropping
+    /// the endpoint drops the guard, letting transports tear down listener
+    /// threads and sockets instead of leaking them for the process
+    /// lifetime.
+    pub fn with_guard(mut self, guard: Box<dyn Send>) -> Self {
+        self._guard = Some(guard);
+        self
     }
 
     /// The address peers connect to.

@@ -9,9 +9,11 @@
 //! in Nagle buffers behind data traffic.
 //!
 //! Lifecycle: reader threads exit when their socket closes or the inbox's
-//! receiver is dropped. The accept thread parks in `accept(2)` until the
-//! process exits — binding is cheap and the cluster runtime binds once per
-//! member, so no teardown protocol is needed for the simulator's lifetime.
+//! receiver is dropped. The accept thread is tied to the [`Endpoint`]: a
+//! guard attached at bind time sets a stop flag and self-connects on drop,
+//! waking `accept(2)` so the loop observes the flag, returns, and releases
+//! the listener socket — long-lived processes that spawn many clusters do
+//! not accumulate parked accept threads.
 //!
 //! [`MAX_PAYLOAD`]: super::wire::MAX_PAYLOAD
 //! [`connect`]: TcpTransport::connect
@@ -19,8 +21,10 @@
 use super::wire::{payload_len, HEADER_LEN};
 use super::{Endpoint, FrameSink, Link, PeerAddr, Transport, TransportError};
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
 use std::thread;
 
 /// Transport whose links are real TCP connections carrying the framed wire
@@ -76,6 +80,21 @@ fn pump_frames(mut stream: TcpStream, tx: Sender<Vec<u8>>) {
     }
 }
 
+/// Shuts the accept loop down with the endpoint it serves: sets the stop
+/// flag, then self-connects so the thread parked in `accept(2)` wakes up,
+/// observes the flag and drops the listener.
+struct AcceptGuard {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl Drop for AcceptGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
 struct TcpSink(TcpStream);
 
 impl FrameSink for TcpSink {
@@ -98,14 +117,20 @@ impl Transport for TcpTransport {
             .local_addr()
             .map_err(|e| TransportError::Io(e.to_string()))?;
         let (tx, rx) = channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
         thread::spawn(move || {
             for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    return; // Returning drops the listener and its port.
+                }
                 let Ok(stream) = conn else { return };
                 let tx = tx.clone();
                 thread::spawn(move || pump_frames(stream, tx));
             }
         });
-        Ok(Endpoint::from_parts(PeerAddr::Tcp(addr.to_string()), rx))
+        Ok(Endpoint::from_parts(PeerAddr::Tcp(addr.to_string()), rx)
+            .with_guard(Box::new(AcceptGuard { addr, stop })))
     }
 
     fn connect(&mut self, peer: &PeerAddr) -> Result<Link, TransportError> {
@@ -166,5 +191,26 @@ mod tests {
         }
         seqs.sort_unstable();
         assert_eq!(seqs, vec![2, 4]);
+    }
+
+    #[test]
+    fn dropping_the_endpoint_stops_the_accept_loop() {
+        let mut t = TcpTransport::new();
+        let ep = t.bind("w0").unwrap();
+        let PeerAddr::Tcp(addr) = ep.addr().clone() else {
+            unreachable!("tcp transport binds tcp addresses")
+        };
+        drop(ep);
+        // The guard wakes accept(2); once the loop exits the listener is
+        // gone and fresh connections are refused. Poll briefly — the
+        // accept thread needs a moment to observe the flag.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while TcpStream::connect(&addr).is_ok() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "accept loop still alive after endpoint drop"
+            );
+            thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
 }

@@ -16,7 +16,7 @@
 //!   for a lockstep "process digests now" call.
 
 use super::wire::{ControlMsg, DataMsg, HopSummary, Message, TelemetryMsg};
-use super::{Endpoint, Link};
+use super::{Endpoint, Link, TransportError};
 use crate::deploy::Deployment;
 use dejavu_asic::switch::Disposition;
 use dejavu_asic::{InjectedPacket, PortId, StateSnapshot, Switch};
@@ -49,7 +49,15 @@ impl SwitchWorker {
     /// inbox disconnects. Consumes the worker; its switch state lives (and
     /// dies) with the loop, reachable only through messages.
     pub fn run(mut self) {
-        while let Ok(msg) = self.inbox.recv() {
+        loop {
+            let msg = match self.inbox.recv() {
+                Ok(msg) => msg,
+                // A corrupt payload costs one frame, not the member: skip
+                // it (as the controller does) and keep serving traffic.
+                Err(TransportError::Wire(_)) => continue,
+                // Every sender gone: the cluster is tearing down.
+                Err(_) => break,
+            };
             match msg {
                 Message::Data(d) => self.on_data(d),
                 Message::Control(c) => {
@@ -106,11 +114,14 @@ impl SwitchWorker {
                 d.inter_switch_hops += 1;
                 let (link, in_port) = self.links.get_mut(&port).expect("checked above");
                 d.port = *in_port;
+                let trace = d.trace;
                 if link.send(&Message::Data(d)).is_err() {
-                    // Next hop gone: the packet is lost on the wire. Report
-                    // it so the injector is not left waiting forever.
+                    // Next hop gone: the packet is lost on the wire. Nack
+                    // its (odd) trace id so the controller routes a failed
+                    // delivery to the injector instead of leaving it
+                    // waiting forever.
                     self.send_up(TelemetryMsg::Nack {
-                        seq: 0,
+                        seq: trace,
                         error: "downstream link closed".to_string(),
                     });
                 }

@@ -215,6 +215,34 @@ fn spilled_chain_is_equivalent_over_tcp_transport() {
     assert_transport_equivalent(&mut transport, "tcp");
 }
 
+/// Regression: a sync `inject` issued while an `inject_async` flight has
+/// already been delivered must stash the foreign record once and keep
+/// reading the delivery channel — not cycle pop/re-push on the stash until
+/// the deadline and report a spurious timeout.
+#[test]
+fn sync_inject_interleaves_with_async_deliveries() {
+    let mut transport = ChannelTransport::new();
+    let mut handle = transport_cluster(&mut transport);
+    let async_trace = handle
+        .inject_async(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
+    // Let the async flight finish so its delivery is queued ahead of the
+    // sync packet's record on the channel.
+    std::thread::sleep(Duration::from_millis(200));
+    let t = handle
+        .inject(InjectedPacket::new(encapsulated_packet(1, 0), IN_PORT))
+        .unwrap();
+    assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+    // The async record was stashed for its waiter, not lost.
+    let d = handle
+        .recv_delivered(Duration::from_secs(5))
+        .unwrap()
+        .expect("stashed async delivery");
+    assert_eq!(d.trace, async_trace);
+    assert!(d.result.is_ok());
+    handle.shutdown().unwrap();
+}
+
 // ---------------------------------------------------------------------
 // Learn storm: digests drain concurrently with injection.
 // ---------------------------------------------------------------------
