@@ -501,6 +501,12 @@ struct SweepReport {
     /// exactly zero when present).
     rtc_allocs_per_packet: Option<f64>,
     flow_state: FlowStatePoint,
+    /// Hitless live migration: downtime and goodput while the
+    /// re-placement driver moves a learned NAT across switches.
+    migration: migration::MigrationPoint,
+    /// Every learned flow must still translate after the live migration,
+    /// and every packet in flight during the window must land emitted.
+    meets_zero_flow_loss_migration: bool,
 }
 
 // ---------------------------------------------------------------------
@@ -668,6 +674,278 @@ fn measure_flow_state(baseline_exact_10k_pps: f64) -> FlowStatePoint {
     }
 }
 
+// ---------------------------------------------------------------------
+// Live migration: downtime and goodput across a hitless re-placement
+// ---------------------------------------------------------------------
+
+/// Self-contained harness measuring the orchestrator's migration driver
+/// on a 3-switch channel-transport cluster: learn a batch of NAT flows,
+/// stream established traffic, run [`dejavu_core::orchestrator::migrate`]
+/// mid-stream to the placement optimal under inverted chain weights, and
+/// record the pause-to-resume downtime, the goodput over the whole
+/// stream (migration window included), and flow survival.
+mod migration {
+    use super::quick;
+    use dejavu_asic::switch::Disposition;
+    use dejavu_asic::{InjectedPacket, TofinoProfile};
+    use dejavu_core::deploy::DeployOptions;
+    use dejavu_core::multiswitch::{ClusterProblem, ClusterWiring};
+    use dejavu_core::orchestrator::{
+        migrate, ExhaustiveSearch, FleetProblem, FleetSpec, PlacementSearch,
+    };
+    use dejavu_core::placement::PlacementProblem;
+    use dejavu_core::transport::{spawn_cluster, ChannelTransport, ClusterHandle, ClusterOptions};
+    use dejavu_core::{ChainPolicy, ChainSet, NfModule};
+    use dejavu_integration::{marker_nf, EXIT_PORT, IN_PORT};
+    use dejavu_nf::nat::{
+        dynamic_nat, nat_learn_policy, nat_out_entry, NAT_FLOW_STREAM, NAT_OUT_TABLE,
+    };
+    use dejavu_nf::{classifier, router};
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    const SERVER: u32 = 0x0808_0808;
+    const PUBLIC_IP: u32 = 0xc633_6401;
+    const CLIENT: u32 = 0x0a01_0101;
+    const BASE_PORT: u16 = 52000;
+
+    #[derive(Serialize)]
+    pub struct MigrationPoint {
+        /// NAT flows learned (and expected to survive the migration).
+        pub flows_learned: usize,
+        /// Entries the driver reported moving across switches.
+        pub flows_migrated: u64,
+        /// Entries re-installed on the destination switches.
+        pub restored_entries: u64,
+        /// Packets held at ingress during the pause window.
+        pub parked_packets: u64,
+        /// Packets drained out of the fabric before state moved.
+        pub quiesced_packets: u64,
+        /// Pause-to-resume wall time of the migration itself.
+        pub migration_downtime_ns: u64,
+        /// Established-flow packets streamed around the window.
+        pub stream_packets: usize,
+        /// stream_packets / wall time from first inject to last delivery,
+        /// with the migration in the middle.
+        pub goodput_pps: f64,
+        /// Learned flows that still translate after the migration.
+        pub flows_surviving: usize,
+        /// flows_surviving == flows_learned and every streamed packet
+        /// landed emitted with the correct translation.
+        pub zero_flow_loss: bool,
+    }
+
+    fn flows() -> u16 {
+        if quick() {
+            32
+        } else {
+            256
+        }
+    }
+
+    fn outbound(src_port: u16) -> Vec<u8> {
+        dejavu_traffic::PacketBuilder::tcp()
+            .src_ip(CLIENT)
+            .dst_ip(SERVER)
+            .src_port(src_port)
+            .dst_port(80)
+            .build()
+    }
+
+    fn inbound(dst_port: u16) -> Vec<u8> {
+        dejavu_traffic::PacketBuilder::tcp()
+            .src_ip(SERVER)
+            .dst_ip(PUBLIC_IP)
+            .src_port(80)
+            .dst_port(dst_port)
+            .build()
+    }
+
+    fn ip_at(bytes: &[u8], off: usize) -> u32 {
+        u32::from_be_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+    }
+
+    /// The same placement-sensitive fleet the replacement tests use: the
+    /// NAT cannot share a pipelet with the classifier, so inverting the
+    /// chain weights genuinely moves it across switches.
+    fn fleet_problem() -> FleetProblem {
+        let chains = ChainSet::new(vec![
+            ChainPolicy::new(1, "nat_path", vec!["classifier", "nat", "router"], 1.0),
+            ChainPolicy::new(2, "mark_path", vec!["classifier", "mark_a"], 6.0),
+        ])
+        .unwrap();
+        let stages: BTreeMap<String, u32> = [
+            ("classifier".to_string(), 2),
+            ("nat".to_string(), 6),
+            ("router".to_string(), 2),
+            ("mark_a".to_string(), 2),
+        ]
+        .into_iter()
+        .collect();
+        let mut template = PlacementProblem::new(chains, stages);
+        template.pipelines = 1;
+        FleetProblem::new(ClusterProblem::new(template, 3))
+    }
+
+    fn arm(handle: &mut ClusterHandle) {
+        handle
+            .register_learn_policy("nat", NAT_FLOW_STREAM, nat_learn_policy())
+            .unwrap();
+        for (prefix, path) in [
+            ((0x0a01_0000u32, 16u16), 1u16),
+            ((0x0800_0000, 8), 1),
+            ((0x0b00_0000, 8), 2),
+        ] {
+            handle
+                .install(
+                    "classifier",
+                    classifier::CLASSIFY_TABLE,
+                    classifier::classify_entry(prefix, (0, 0), path, 100),
+                )
+                .unwrap();
+        }
+        handle
+            .install(
+                "nat",
+                NAT_OUT_TABLE,
+                nat_out_entry((0x0a01_0000, 16), PUBLIC_IP),
+            )
+            .unwrap();
+        handle
+            .install(
+                "router",
+                router::ROUTES_TABLE,
+                router::route_entry((0, 0), EXIT_PORT, 0x0200_0000_0099, 0x0200_0000_0001),
+            )
+            .unwrap();
+    }
+
+    pub fn measure() -> MigrationPoint {
+        let nfs = [
+            classifier::classifier(),
+            dynamic_nat(),
+            router::router(),
+            marker_nf("mark_a", 0),
+        ];
+        let refs: Vec<&NfModule> = nfs.iter().collect();
+        let problem = fleet_problem();
+        let wiring = ClusterWiring::default();
+        let deploy = DeployOptions {
+            entry_nf: Some("classifier".into()),
+            ..Default::default()
+        };
+        let exit_ports: BTreeMap<u16, dejavu_asic::PortId> =
+            [(1u16, EXIT_PORT), (2u16, EXIT_PORT)].into_iter().collect();
+
+        let pre = ExhaustiveSearch::default().search(&problem).unwrap();
+        // Invert the traffic matrix: the NAT chain becomes dominant and
+        // the optimum folds NAT + router back onto switch 0.
+        let shifted = problem.with_weights(&[8.0, 1.0]);
+        let post = ExhaustiveSearch::default().search(&shifted).unwrap();
+        assert_ne!(
+            pre.placement, post.placement,
+            "weight inversion must move the placement"
+        );
+
+        let mut transport = ChannelTransport::new();
+        let mut handle = spawn_cluster(
+            &refs,
+            problem.chains(),
+            &pre.placement,
+            &TofinoProfile::wedge_100b_32x(),
+            exit_ports.clone(),
+            &wiring,
+            &deploy,
+            &mut transport,
+            &ClusterOptions::default(),
+        )
+        .unwrap();
+        arm(&mut handle);
+
+        let flows = flows();
+        for f in 0..flows {
+            let t = handle
+                .inject(InjectedPacket::new(outbound(BASE_PORT + f), IN_PORT))
+                .unwrap();
+            assert_eq!(t.disposition, Disposition::Emitted { port: EXIT_PORT });
+        }
+        handle.process_digests().unwrap();
+
+        // Established-flow stream with the migration in the middle: half
+        // the packets are in the air (or already landed) when the driver
+        // pauses ingress, the other half arrives on the new placement.
+        let spec = FleetSpec {
+            nfs: &refs,
+            chains: problem.chains(),
+            profile: &TofinoProfile::wedge_100b_32x(),
+            exit_ports,
+            wiring: &wiring,
+            deploy: &deploy,
+        };
+        let stream = usize::from(flows) * 2;
+        let started = Instant::now();
+        for i in 0..stream / 2 {
+            handle
+                .inject_async(InjectedPacket::new(
+                    outbound(BASE_PORT + (i as u16 % flows)),
+                    IN_PORT,
+                ))
+                .unwrap();
+        }
+        let outcome = migrate(&mut handle, &spec, &pre.placement, &post.placement).unwrap();
+        for i in stream / 2..stream {
+            handle
+                .inject_async(InjectedPacket::new(
+                    outbound(BASE_PORT + (i as u16 % flows)),
+                    IN_PORT,
+                ))
+                .unwrap();
+        }
+        let mut clean_stream = 0usize;
+        for _ in 0..stream {
+            let d = handle
+                .recv_delivered(Duration::from_secs(60))
+                .unwrap()
+                .expect("stream delivery");
+            let t = d.result.expect("streamed packet survives the migration");
+            if t.disposition == (Disposition::Emitted { port: EXIT_PORT })
+                && ip_at(&t.final_bytes, 26) == PUBLIC_IP
+            {
+                clean_stream += 1;
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+
+        // Zero flow loss: every learned mapping still translates inbound.
+        let mut surviving = 0usize;
+        for f in 0..flows {
+            let t = handle
+                .inject(InjectedPacket::new(inbound(BASE_PORT + f), IN_PORT))
+                .unwrap();
+            if t.disposition == (Disposition::Emitted { port: EXIT_PORT })
+                && ip_at(&t.final_bytes, 30) == CLIENT
+            {
+                surviving += 1;
+            }
+        }
+        handle.shutdown().unwrap();
+
+        MigrationPoint {
+            flows_learned: usize::from(flows),
+            flows_migrated: outcome.flows_migrated,
+            restored_entries: outcome.restored_entries,
+            parked_packets: outcome.parked_packets,
+            quiesced_packets: outcome.quiesced_packets,
+            migration_downtime_ns: outcome.duration_ns,
+            stream_packets: stream,
+            goodput_pps: stream as f64 / elapsed,
+            flows_surviving: surviving,
+            zero_flow_loss: surviving == usize::from(flows) && clean_stream == stream,
+        }
+    }
+}
+
 fn bench_sweep(_c: &mut Criterion) {
     banner(
         "BENCH_dataplane",
@@ -749,6 +1027,19 @@ fn bench_sweep(_c: &mut Criterion) {
             flow_state.steady_state_ratio * 100.0
         ),
     );
+    let migration = migration::measure();
+    row(
+        &format!("live migration    {:>4} flows", migration.flows_learned),
+        "—",
+        &format!(
+            "downtime {:>8.2} ms | goodput {:>9.0} pps | {} entries moved | {} parked | zero-loss: {}",
+            migration.migration_downtime_ns as f64 / 1e6,
+            migration.goodput_pps,
+            migration.flows_migrated,
+            migration.parked_packets,
+            migration.zero_flow_loss,
+        ),
+    );
     let report = SweepReport {
         description: "packets/sec through one ingress pipelet: tree-walking reference \
                       interpreter pinned to the linear-scan index (per-packet inject, \
@@ -769,6 +1060,8 @@ fn bench_sweep(_c: &mut Criterion) {
         meets_3x_rtc_at_10k_exact: exact_10k.rtc_pps / BASELINE_BATCH_PPS_10K_EXACT >= 3.0,
         rtc_allocs_per_packet: exact_10k.allocs_per_packet,
         flow_state,
+        meets_zero_flow_loss_migration: migration.zero_flow_loss,
+        migration,
         points,
     };
     println!(

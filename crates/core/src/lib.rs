@@ -38,6 +38,10 @@
 //! * [`transport`] — the cluster runtime: per-switch workers communicating
 //!   over pluggable transports (in-memory channels or framed TCP) under an
 //!   event-driven control plane.
+//! * [`orchestrator`] — closed-loop re-placement at fleet scale: pluggable
+//!   placement search (exhaustive / annealing / swarm) over an N-chain ×
+//!   M-switch objective, telemetry-driven traffic-shift detection, and a
+//!   hitless live-migration driver over the cluster runtime.
 //! * [`ingress`] — the map of injection entry points (single packet, batch,
 //!   zero-copy buffer, run-to-completion rings, and the cluster paths).
 
@@ -54,6 +58,7 @@ pub mod lint;
 pub mod merge;
 pub mod multiswitch;
 pub mod nfmodule;
+pub mod orchestrator;
 pub mod placement;
 pub mod routing;
 pub mod sfc;

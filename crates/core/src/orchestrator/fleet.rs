@@ -1,0 +1,403 @@
+//! Fleet-scale placement model: N chains × M switches as one search
+//! problem.
+//!
+//! The single-switch machinery ([`crate::placement`]) minimizes weighted
+//! recirculations for one ASIC; the cluster layer
+//! ([`crate::multiswitch::ClusterProblem`]) adds inter-switch hops. This
+//! module packages both behind one **fleet objective** the orchestrator's
+//! metaheuristics ([`super::search`]) optimize:
+//!
+//! ```text
+//! score(P) = Σ_chains w_c · (recirc_w·R_c + resub_w·S_c + hop_w·H_c)
+//!          + pressure_w · Σ_switches (stage utilization_s)²
+//! ```
+//!
+//! The quadratic **stage-pressure** term is what makes the fleet problem
+//! more than M independent single-switch problems: it rewards spreading
+//! stage demand across members, so a traffic shift that concentrates load
+//! can actually change the optimum instead of always collapsing onto
+//! switch 0. Chain weights `w_c` are the traffic matrix the placement
+//! assumes — the quantity the [`ShiftDetector`](super::ShiftDetector)
+//! watches for drift.
+
+use crate::chain::{ChainPolicy, ChainSet};
+use crate::multiswitch::{ClusterPlacement, ClusterProblem};
+use crate::placement::{Placement, PlacementError, PlacementProblem};
+use dejavu_asic::PipeletId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One slot an NF can be assigned to: a pipelet on a cluster member.
+pub type FleetSlot = (usize, PipeletId);
+
+/// The fleet placement problem: a cluster problem (which already carries
+/// the chain set, per-NF stage demands and the recirculation / hop
+/// weights) plus the stage-pressure weight unique to the fleet objective.
+#[derive(Debug, Clone)]
+pub struct FleetProblem {
+    /// The underlying N-chain × M-switch cost model.
+    pub cluster: ClusterProblem,
+    /// Objective weight of the quadratic per-switch stage-pressure term.
+    pub pressure_weight: f64,
+}
+
+/// Scored evaluation of one fleet placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetScore {
+    /// Total on-chip recirculations across all chains (unweighted).
+    pub recirculations: u32,
+    /// Total resubmissions across all chains (unweighted).
+    pub resubmissions: u32,
+    /// Total inter-switch hops across all chains (unweighted).
+    pub inter_switch_hops: u32,
+    /// Quadratic stage-pressure term (Σ utilization²).
+    pub pressure: f64,
+    /// The full weighted objective the searches minimize.
+    pub weighted: f64,
+}
+
+impl FleetProblem {
+    /// Wraps a cluster problem with the default pressure weight.
+    pub fn new(cluster: ClusterProblem) -> Self {
+        FleetProblem {
+            cluster,
+            pressure_weight: 1.0,
+        }
+    }
+
+    /// The chain set (and its weights — the assumed traffic matrix).
+    pub fn chains(&self) -> &ChainSet {
+        &self.cluster.template.chains
+    }
+
+    /// Number of cluster members.
+    pub fn switches(&self) -> usize {
+        self.cluster.cluster_size
+    }
+
+    /// Every assignable slot, in (switch, alternating-pipelet) order.
+    pub fn slots(&self) -> Vec<FleetSlot> {
+        let pipelets = self.cluster.template.pipelets_alternating();
+        (0..self.cluster.cluster_size)
+            .flat_map(|s| pipelets.iter().map(move |p| (s, *p)))
+            .collect()
+    }
+
+    /// The NFs to place, in canonical chain order. Search assignment
+    /// vectors are indexed by this order.
+    pub fn nfs(&self) -> Vec<String> {
+        self.cluster.template.canonical_order()
+    }
+
+    /// Decodes an assignment vector (`nfs()[i]` lives in `slots()[a[i]]`)
+    /// into a cluster placement, NFs in canonical order within each
+    /// pipelet.
+    pub fn placement_of(&self, assignment: &[usize]) -> ClusterPlacement {
+        let slots = self.slots();
+        let nfs = self.nfs();
+        let mut switches: Vec<Placement> = (0..self.cluster.cluster_size)
+            .map(|_| Placement::default())
+            .collect();
+        for (i, &slot) in assignment.iter().enumerate() {
+            let (sw, pipelet) = slots[slot];
+            switches[sw]
+                .pipelets
+                .entry(pipelet)
+                .or_default()
+                .push(nfs[i].clone());
+        }
+        let mut placement = ClusterPlacement { switches };
+        for p in &mut placement.switches {
+            *p = self.cluster.template.canonicalize(std::mem::take(p));
+        }
+        placement
+    }
+
+    /// Encodes a cluster placement back into an assignment vector;
+    /// `None` when some chain NF is unplaced.
+    pub fn assignment_of(&self, placement: &ClusterPlacement) -> Option<Vec<usize>> {
+        let slots = self.slots();
+        self.nfs()
+            .iter()
+            .map(|nf| {
+                let sw = placement.switch_of(nf)?;
+                let pipelet = placement.switches[sw].location(nf)?;
+                slots.iter().position(|&s| s == (sw, pipelet))
+            })
+            .collect()
+    }
+
+    /// Fleet feasibility: every chain NF placed exactly once, every
+    /// pipelet within its stage budget, and every chain visiting switches
+    /// in non-decreasing order (the back-to-back wiring
+    /// [`build_cluster_members`](crate::multiswitch) deploys enforces
+    /// monotonicity, so a non-monotone "optimum" would be undeployable).
+    pub fn feasible(&self, placement: &ClusterPlacement) -> bool {
+        let t = &self.cluster.template;
+        for nf in t.chains.all_nfs() {
+            let hosts = placement
+                .switches
+                .iter()
+                .filter(|p| p.location(&nf).is_some())
+                .count();
+            if hosts != 1 {
+                return false;
+            }
+        }
+        for p in &placement.switches {
+            if !p.pipelets.iter().all(|(_, nfs)| t.fits(nfs)) {
+                return false;
+            }
+        }
+        for chain in &t.chains.chains {
+            let mut last = 0usize;
+            for nf in &chain.nfs {
+                let Some(sw) = placement.switch_of(nf) else {
+                    return false;
+                };
+                if sw < last {
+                    return false;
+                }
+                last = sw;
+            }
+        }
+        true
+    }
+
+    /// The quadratic stage-pressure term: Σ over switches of (stage demand
+    /// / stage capacity)². Convex, so balanced fleets score lower than
+    /// concentrated ones at equal total demand.
+    pub fn pressure(&self, placement: &ClusterPlacement) -> f64 {
+        let t = &self.cluster.template;
+        let capacity = f64::from(t.stages_per_pipelet) * (2 * t.pipelines) as f64;
+        placement
+            .switches
+            .iter()
+            .map(|p| {
+                let demand: u32 = p
+                    .pipelets
+                    .values()
+                    .map(|nfs| t.pipelet_stage_demand(nfs))
+                    .sum();
+                let util = f64::from(demand) / capacity;
+                util * util
+            })
+            .sum()
+    }
+
+    /// Evaluates the full fleet objective. Errors if a chain NF is
+    /// unplaced or a traversal diverges; callers gate on
+    /// [`feasible`](Self::feasible) first.
+    pub fn score(&self, placement: &ClusterPlacement) -> Result<FleetScore, PlacementError> {
+        let t = &self.cluster.template;
+        let mut score = FleetScore {
+            recirculations: 0,
+            resubmissions: 0,
+            inter_switch_hops: 0,
+            pressure: self.pressure(placement),
+            weighted: 0.0,
+        };
+        for chain in &t.chains.chains {
+            let c = self.cluster.chain_cost(chain, placement)?;
+            score.recirculations += c.recirculations;
+            score.resubmissions += c.resubmissions;
+            score.inter_switch_hops += c.inter_switch_hops;
+            score.weighted += chain.weight
+                * (f64::from(c.recirculations) * t.cost_model.recirc_weight
+                    + f64::from(c.resubmissions) * t.cost_model.resub_weight
+                    + f64::from(c.inter_switch_hops) * self.cluster.hop_weight);
+        }
+        score.weighted += self.pressure_weight * score.pressure;
+        Ok(score)
+    }
+
+    /// A feasible starting placement: the cluster greedy-spill heuristic
+    /// when it succeeds, otherwise a monotone first-fit sweep — NFs in a
+    /// topological order of the chain-precedence DAG, packed into slots
+    /// with a never-retreating cursor, so every chain still visits
+    /// switches in non-decreasing order.
+    pub fn seed_placement(&self) -> Result<ClusterPlacement, PlacementError> {
+        match self.cluster.greedy_spill() {
+            Ok(mut p) => {
+                for sw in &mut p.switches {
+                    *sw = self.cluster.template.canonicalize(std::mem::take(sw));
+                }
+                Ok(p)
+            }
+            Err(greedy_err) => self.monotone_first_fit().map_err(|_| greedy_err),
+        }
+    }
+
+    /// Fallback seed: topological order over chain edges, monotone cursor
+    /// over slots, first-fit within the cursor's reach.
+    fn monotone_first_fit(&self) -> Result<ClusterPlacement, PlacementError> {
+        let t = &self.cluster.template;
+        let nfs = self.nfs();
+        // Kahn's algorithm over "a precedes b in some chain" edges; ties
+        // broken by canonical index so the seed is deterministic.
+        let index: BTreeMap<&str, usize> = nfs
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut indegree = vec![0usize; nfs.len()];
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nfs.len()];
+        for chain in &t.chains.chains {
+            for pair in chain.nfs.windows(2) {
+                let (a, b) = (index[pair[0].as_str()], index[pair[1].as_str()]);
+                if !edges[a].contains(&b) {
+                    edges[a].push(b);
+                    indegree[b] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..nfs.len()).filter(|i| indegree[*i] == 0).collect();
+        let mut order = Vec::with_capacity(nfs.len());
+        while let Some(&i) = ready.iter().min() {
+            ready.retain(|j| *j != i);
+            order.push(i);
+            for &b in &edges[i] {
+                indegree[b] -= 1;
+                if indegree[b] == 0 {
+                    ready.push(b);
+                }
+            }
+        }
+        if order.len() != nfs.len() {
+            return Err(PlacementError::Infeasible(
+                "chain precedence is cyclic; no monotone placement exists".to_string(),
+            ));
+        }
+        let slots = self.slots();
+        let mut switches: Vec<Placement> = (0..self.cluster.cluster_size)
+            .map(|_| Placement::default())
+            .collect();
+        let mut cursor = 0usize;
+        for &i in &order {
+            let nf = &nfs[i];
+            let placed = (cursor..slots.len()).find(|&s| {
+                let (sw, pipelet) = slots[s];
+                let mut trial = switches[sw]
+                    .pipelets
+                    .get(&pipelet)
+                    .cloned()
+                    .unwrap_or_default();
+                trial.push(nf.clone());
+                t.fits(&trial)
+            });
+            let Some(s) = placed else {
+                return Err(PlacementError::Infeasible(format!(
+                    "monotone first-fit ran out of slots at NF {nf}"
+                )));
+            };
+            let (sw, pipelet) = slots[s];
+            switches[sw]
+                .pipelets
+                .entry(pipelet)
+                .or_default()
+                .push(nf.clone());
+            cursor = s;
+        }
+        let mut placement = ClusterPlacement { switches };
+        for p in &mut placement.switches {
+            *p = t.canonicalize(std::mem::take(p));
+        }
+        Ok(placement)
+    }
+
+    /// Returns a copy of the problem with chain weights (the assumed
+    /// traffic matrix) replaced. `weights` is indexed like
+    /// `chains().chains`; missing entries keep their old weight.
+    pub fn with_weights(&self, weights: &[f64]) -> FleetProblem {
+        let mut out = self.clone();
+        for (chain, w) in out
+            .cluster
+            .template
+            .chains
+            .chains
+            .iter_mut()
+            .zip(weights.iter())
+        {
+            chain.weight = *w;
+        }
+        out
+    }
+
+    /// The per-switch traffic shares this placement predicts under the
+    /// assumed matrix: every packet enters at member 0 and transits every
+    /// member up to the furthest one its chain visits, so switch `s`
+    /// carries the weight of every chain whose reach is ≥ `s`. Normalized
+    /// to sum to 1 — the baseline the [`ShiftDetector`](super::ShiftDetector)
+    /// compares observed per-switch packet deltas against.
+    pub fn expected_switch_shares(
+        &self,
+        placement: &ClusterPlacement,
+    ) -> Result<Vec<f64>, PlacementError> {
+        let mut shares = vec![0.0; self.cluster.cluster_size];
+        for chain in &self.chains().chains {
+            let reach = self.chain_reach(chain, placement)?;
+            for share in shares.iter_mut().take(reach + 1) {
+                *share += chain.weight;
+            }
+        }
+        let total: f64 = shares.iter().sum();
+        if total > 0.0 {
+            for s in &mut shares {
+                *s /= total;
+            }
+        }
+        Ok(shares)
+    }
+
+    /// The furthest member a chain's packets visit under `placement`.
+    pub fn chain_reach(
+        &self,
+        chain: &ChainPolicy,
+        placement: &ClusterPlacement,
+    ) -> Result<usize, PlacementError> {
+        chain
+            .nfs
+            .iter()
+            .map(|nf| {
+                placement
+                    .switch_of(nf)
+                    .ok_or_else(|| PlacementError::UnplacedNf(nf.clone()))
+            })
+            .try_fold(0usize, |acc, sw| sw.map(|sw| acc.max(sw)))
+    }
+
+    /// A reproducible synthetic fleet for scale tests and benches:
+    /// `n_chains` chains drawn as increasing subsequences of a shared NF
+    /// universe (so a monotone placement exists for every chain
+    /// simultaneously), with randomized stage demands and traffic weights.
+    pub fn synthetic(n_chains: usize, n_switches: usize, seed: u64) -> FleetProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_nfs = (3 * n_switches).max(8);
+        let names: Vec<String> = (0..n_nfs).map(|i| format!("nf{i:03}")).collect();
+        let mut stages = BTreeMap::new();
+        for n in &names {
+            stages.insert(n.clone(), rng.gen_range(1..4) as u32);
+        }
+        let mut chains = Vec::new();
+        for c in 0..n_chains {
+            let want = rng.gen_range(2..=4usize);
+            let mut idx: Vec<usize> = (0..want).map(|_| rng.gen_range(0..n_nfs)).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            let nfs: Vec<&str> = idx.iter().map(|i| names[*i].as_str()).collect();
+            let weight = rng.gen_range(5..20) as f64 / 10.0;
+            chains.push(ChainPolicy::new(
+                (c + 1) as u16,
+                format!("chain{c:03}"),
+                nfs,
+                weight,
+            ));
+        }
+        let template = PlacementProblem::new(
+            ChainSet::new(chains).expect("synthetic chains valid"),
+            stages,
+        );
+        FleetProblem::new(ClusterProblem::new(template, n_switches))
+    }
+}

@@ -1,0 +1,332 @@
+//! Pluggable placement search strategies over the fleet objective.
+//!
+//! Every strategy implements [`PlacementSearch`]: given a
+//! [`FleetProblem`], return the best feasible [`ClusterPlacement`] it can
+//! find plus its score. Three implementations cover the accuracy/scale
+//! spectrum:
+//!
+//! * [`ExhaustiveSearch`] — the oracle. Enumerates every assignment of
+//!   chain NFs to (switch, pipelet) slots; exact but capped (the space is
+//!   `slots^nfs`), so only usable on small instances and as ground truth
+//!   for the metaheuristics.
+//! * [`AnnealingSearch`] — simulated annealing (cf. the SFC placement
+//!   survey, arXiv:1910.02613): start from the greedy-spill seed, propose
+//!   single-NF reassignments or pipelet-content swaps, accept uphill moves
+//!   with Metropolis probability under a geometric cooling schedule.
+//! * [`SwarmSearch`] — discrete particle swarm (cf. arXiv:2105.05248):
+//!   a population of assignment vectors; each particle stochastically
+//!   adopts coordinates from its personal best and the global best, plus
+//!   mutation. Particle 0 starts at the greedy seed so the swarm never
+//!   does worse than greedy.
+//!
+//! All randomized strategies take an explicit `u64` seed and use
+//! [`StdRng`], so a given (problem, seed) pair reproduces bit-identical
+//! results — the orchestrator's decisions are replayable.
+
+use super::fleet::{FleetProblem, FleetScore};
+use crate::multiswitch::ClusterPlacement;
+use crate::placement::PlacementError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best feasible placement found.
+    pub placement: ClusterPlacement,
+    /// Its fleet score.
+    pub score: FleetScore,
+    /// How many candidate placements were scored (search effort).
+    pub evaluated: u64,
+}
+
+/// A placement search strategy over the fleet objective.
+pub trait PlacementSearch {
+    /// Human-readable strategy name (for reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search; errors if the instance admits no feasible
+    /// placement the strategy can find (or, for exhaustive, if the space
+    /// exceeds its cap).
+    fn search(&self, problem: &FleetProblem) -> Result<SearchOutcome, PlacementError>;
+}
+
+/// Exact enumeration of every NF→slot assignment. Oracle for small
+/// instances; errors with [`PlacementError::SearchTooLarge`] beyond
+/// `cap` candidates.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch {
+    /// Maximum number of candidate assignments to enumerate.
+    pub cap: u128,
+}
+
+impl Default for ExhaustiveSearch {
+    fn default() -> Self {
+        ExhaustiveSearch { cap: 5_000_000 }
+    }
+}
+
+impl PlacementSearch for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn search(&self, problem: &FleetProblem) -> Result<SearchOutcome, PlacementError> {
+        let nfs = problem.nfs();
+        let n_slots = problem.slots().len();
+        let candidates = (n_slots as u128)
+            .checked_pow(nfs.len() as u32)
+            .unwrap_or(u128::MAX);
+        if candidates > self.cap {
+            return Err(PlacementError::SearchTooLarge {
+                candidates,
+                cap: self.cap,
+            });
+        }
+        let mut assignment = vec![0usize; nfs.len()];
+        let mut best: Option<(ClusterPlacement, FleetScore)> = None;
+        let mut evaluated = 0u64;
+        loop {
+            let placement = problem.placement_of(&assignment);
+            if problem.feasible(&placement) {
+                evaluated += 1;
+                let score = problem.score(&placement)?;
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| score.weighted < b.weighted)
+                {
+                    best = Some((placement, score));
+                }
+            }
+            // Odometer increment over the slot radix.
+            let mut i = 0;
+            loop {
+                if i == assignment.len() {
+                    let (placement, score) = best.ok_or_else(|| {
+                        PlacementError::Infeasible(
+                            "no feasible assignment in exhaustive space".to_string(),
+                        )
+                    })?;
+                    return Ok(SearchOutcome {
+                        placement,
+                        score,
+                        evaluated,
+                    });
+                }
+                assignment[i] += 1;
+                if assignment[i] < n_slots {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Simulated annealing from the greedy-spill seed.
+#[derive(Debug, Clone)]
+pub struct AnnealingSearch {
+    /// RNG seed — same seed, same problem → same answer.
+    pub seed: u64,
+    /// Number of proposal steps.
+    pub iterations: u32,
+    /// Starting temperature (objective units).
+    pub start_temp: f64,
+    /// Final temperature; cooling is geometric between the two.
+    pub end_temp: f64,
+}
+
+impl AnnealingSearch {
+    /// A search with the default schedule.
+    pub fn new(seed: u64, iterations: u32) -> Self {
+        AnnealingSearch {
+            seed,
+            iterations,
+            start_temp: 4.0,
+            end_temp: 0.05,
+        }
+    }
+}
+
+impl PlacementSearch for AnnealingSearch {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn search(&self, problem: &FleetProblem) -> Result<SearchOutcome, PlacementError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let slots = problem.slots();
+        let seed_placement = problem.seed_placement()?;
+        let mut current = problem
+            .assignment_of(&seed_placement)
+            .ok_or_else(|| PlacementError::Infeasible("greedy seed left NFs unplaced".into()))?;
+        let mut current_score = problem.score(&seed_placement)?;
+        let mut best = current.clone();
+        let mut best_score = current_score;
+        let mut evaluated = 1u64;
+        let cooling = if self.iterations > 1 {
+            (self.end_temp / self.start_temp).powf(1.0 / f64::from(self.iterations - 1))
+        } else {
+            1.0
+        };
+        let mut temp = self.start_temp;
+        for _ in 0..self.iterations {
+            let mut candidate = current.clone();
+            if candidate.len() >= 2 && rng.gen_bool(0.3) {
+                // Swap the slots of two NFs (preserves per-slot load shape).
+                let a = rng.gen_range(0..candidate.len());
+                let b = rng.gen_range(0..candidate.len());
+                candidate.swap(a, b);
+            } else {
+                // Reassign one NF to a fresh slot.
+                let i = rng.gen_range(0..candidate.len());
+                candidate[i] = rng.gen_range(0..slots.len());
+            }
+            let placement = problem.placement_of(&candidate);
+            if !problem.feasible(&placement) {
+                temp *= cooling;
+                continue;
+            }
+            evaluated += 1;
+            let score = problem.score(&placement)?;
+            let delta = score.weighted - current_score.weighted;
+            if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+                current = candidate;
+                current_score = score;
+                if score.weighted < best_score.weighted {
+                    best = current.clone();
+                    best_score = score;
+                }
+            }
+            temp *= cooling;
+        }
+        Ok(SearchOutcome {
+            placement: problem.placement_of(&best),
+            score: best_score,
+            evaluated,
+        })
+    }
+}
+
+/// Discrete particle swarm over assignment vectors.
+#[derive(Debug, Clone)]
+pub struct SwarmSearch {
+    /// RNG seed — same seed, same problem → same answer.
+    pub seed: u64,
+    /// Population size.
+    pub particles: u32,
+    /// Update rounds.
+    pub iterations: u32,
+    /// Per-coordinate probability of adopting the personal best.
+    pub p_personal: f64,
+    /// Per-coordinate probability of adopting the global best.
+    pub p_global: f64,
+    /// Per-coordinate probability of a random mutation.
+    pub p_mutate: f64,
+}
+
+impl SwarmSearch {
+    /// A swarm with the default adoption/mutation rates.
+    pub fn new(seed: u64, particles: u32, iterations: u32) -> Self {
+        SwarmSearch {
+            seed,
+            particles,
+            iterations,
+            p_personal: 0.25,
+            p_global: 0.35,
+            p_mutate: 0.08,
+        }
+    }
+}
+
+impl PlacementSearch for SwarmSearch {
+    fn name(&self) -> &'static str {
+        "swarm"
+    }
+
+    fn search(&self, problem: &FleetProblem) -> Result<SearchOutcome, PlacementError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let slots = problem.slots();
+        let seed_placement = problem.seed_placement()?;
+        let seed_assignment = problem
+            .assignment_of(&seed_placement)
+            .ok_or_else(|| PlacementError::Infeasible("greedy seed left NFs unplaced".into()))?;
+        let seed_score = problem.score(&seed_placement)?;
+        let mut evaluated = 1u64;
+
+        // Particle state: position, personal best (assignment, score).
+        let n = seed_assignment.len();
+        let mut positions: Vec<Vec<usize>> = Vec::new();
+        let mut pbest: Vec<(Vec<usize>, Option<FleetScore>)> = Vec::new();
+        for p in 0..self.particles.max(1) {
+            let pos = if p == 0 {
+                seed_assignment.clone()
+            } else {
+                // Random restarts around the space; infeasible starts are
+                // fine — they inherit the seed as personal best.
+                (0..n).map(|_| rng.gen_range(0..slots.len())).collect()
+            };
+            let placement = problem.placement_of(&pos);
+            let score = if problem.feasible(&placement) {
+                evaluated += 1;
+                Some(problem.score(&placement)?)
+            } else {
+                None
+            };
+            pbest.push(match score {
+                Some(s) => (pos.clone(), Some(s)),
+                None => (seed_assignment.clone(), Some(seed_score)),
+            });
+            positions.push(pos);
+        }
+        let mut gbest = seed_assignment.clone();
+        let mut gbest_score = seed_score;
+        for (pos, score) in &pbest {
+            if let Some(s) = score {
+                if s.weighted < gbest_score.weighted {
+                    gbest = pos.clone();
+                    gbest_score = *s;
+                }
+            }
+        }
+
+        for _ in 0..self.iterations {
+            for p in 0..positions.len() {
+                for i in 0..n {
+                    if rng.gen_bool(self.p_personal) {
+                        positions[p][i] = pbest[p].0[i];
+                    }
+                    if rng.gen_bool(self.p_global) {
+                        positions[p][i] = gbest[i];
+                    }
+                    if rng.gen_bool(self.p_mutate) {
+                        positions[p][i] = rng.gen_range(0..slots.len());
+                    }
+                }
+                let placement = problem.placement_of(&positions[p]);
+                if !problem.feasible(&placement) {
+                    continue;
+                }
+                evaluated += 1;
+                let score = problem.score(&placement)?;
+                let improves_personal = match pbest[p].1 {
+                    Some(s) => score.weighted < s.weighted,
+                    None => true,
+                };
+                if improves_personal {
+                    pbest[p] = (positions[p].clone(), Some(score));
+                }
+                if score.weighted < gbest_score.weighted {
+                    gbest = positions[p].clone();
+                    gbest_score = score;
+                }
+            }
+        }
+        Ok(SearchOutcome {
+            placement: problem.placement_of(&gbest),
+            score: gbest_score,
+            evaluated,
+        })
+    }
+}

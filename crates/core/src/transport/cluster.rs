@@ -26,14 +26,15 @@ use super::wire::{ControlMsg, DataMsg, HopSummary, Message, TelemetryMsg};
 use super::{Link, Transport, TransportError};
 use crate::chain::ChainSet;
 use crate::control_plane::LearnPolicy;
-use crate::deploy::{DeployError, DeployOptions};
+use crate::deploy::{DeployError, DeployOptions, Deployment};
 use crate::multiswitch::{build_cluster_members, ClusterPlacement, ClusterWiring};
 use crate::nfmodule::NfModule;
 use dejavu_asic::switch::Disposition;
 use dejavu_asic::tables::Eviction;
 use dejavu_asic::telemetry::{parse_json, snapshot_from_json};
 use dejavu_asic::{
-    ExecMode, InjectedPacket, MetricsSnapshot, PipeletId, PortId, StateSnapshot, TofinoProfile,
+    ExecMode, InjectedPacket, MetricsSnapshot, PipeletId, PortId, StateSnapshot, Switch,
+    TofinoProfile,
 };
 use dejavu_p4ir::table::TableEntry;
 use std::collections::BTreeMap;
@@ -278,6 +279,30 @@ enum Request {
         stream: String,
         policy: Box<dyn LearnPolicy>,
     },
+    /// Park new ingress packets and reply once every in-flight packet has
+    /// been delivered or nacked (the migration quiesce barrier). Replies
+    /// with the number of packets that were still in flight when the pause
+    /// was requested.
+    PauseIngress {
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    /// Release parked ingress packets and resume normal injection. Replies
+    /// with the number of packets released.
+    ResumeIngress {
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    /// Stage a freshly built member on a worker's side channel and command
+    /// the swap over the wire.
+    SwapMember {
+        switch: usize,
+        member: Box<(Switch, Deployment)>,
+        reply: Sender<Result<u64, ClusterError>>,
+    },
+    /// Replace the NF → switch routing map after a re-placement.
+    Remap {
+        nf_switch: BTreeMap<String, usize>,
+        reply: Sender<Result<u64, ClusterError>>,
+    },
     Shutdown {
         reply: Sender<Result<(), ClusterError>>,
     },
@@ -343,6 +368,17 @@ struct Controller {
     installed_per_switch: Vec<usize>,
     /// A `process_digests` barrier waiting for quiescence.
     flush: Option<Sender<Result<ClusterReport, ClusterError>>>,
+    /// Ingress pause state: while `true`, new data requests are parked
+    /// instead of sent to worker 0 (the migration window).
+    paused: bool,
+    /// Packets parked while paused, released in arrival order on resume.
+    parked: Vec<DataMsg>,
+    /// Packets injected but not yet delivered or nacked.
+    in_flight: usize,
+    /// A `pause_ingress` barrier waiting for `in_flight` to drain.
+    quiesce: Option<(u64, Sender<Result<u64, ClusterError>>)>,
+    /// Per-worker side channels for staging live member swaps.
+    swap_txs: Vec<Sender<(Switch, Deployment)>>,
     /// Outstanding shutdown acks; reply once all workers said goodbye.
     bye: Option<(usize, Sender<Result<(), ClusterError>>)>,
     op_timeout: Duration,
@@ -404,9 +440,15 @@ impl Controller {
     fn on_request(&mut self, req: Request) {
         match req {
             Request::Data(d) => {
-                if self.send_to(0, Message::Data(d)).is_err() {
-                    // Worker 0 unreachable; nothing to deliver.
+                if self.paused {
+                    // Migration window: hold the packet, deliver it after
+                    // the new placement is live. The injector's trace id
+                    // stays valid — parked, not dropped.
+                    self.parked.push(d);
+                } else if self.send_to(0, Message::Data(d)).is_ok() {
+                    self.in_flight += 1;
                 }
+                // Worker 0 unreachable: nothing to deliver.
             }
             Request::Install {
                 nf,
@@ -511,6 +553,57 @@ impl Controller {
             Request::RegisterPolicy { stream, policy } => {
                 self.policies.insert(stream, policy);
             }
+            Request::PauseIngress { reply } => {
+                self.paused = true;
+                let outstanding = self.in_flight as u64;
+                if outstanding == 0 {
+                    let _ = reply.send(Ok(0));
+                } else {
+                    // Park the reply; the last delivery/nack releases it.
+                    self.quiesce = Some((outstanding, reply));
+                }
+            }
+            Request::ResumeIngress { reply } => {
+                self.paused = false;
+                let released = self.parked.len() as u64;
+                for d in std::mem::take(&mut self.parked) {
+                    if self.send_to(0, Message::Data(d)).is_ok() {
+                        self.in_flight += 1;
+                    }
+                }
+                let _ = reply.send(Ok(released));
+            }
+            Request::SwapMember {
+                switch,
+                member,
+                reply,
+            } => {
+                if switch >= self.n {
+                    let _ = reply.send(Err(ClusterError::Remote(format!(
+                        "no switch {switch} in a cluster of {}",
+                        self.n
+                    ))));
+                } else if self.swap_txs[switch].send(*member).is_err() {
+                    let _ = reply.send(Err(ClusterError::Remote(format!(
+                        "switch {switch}: side channel closed (worker gone?)"
+                    ))));
+                } else {
+                    let seq = self.seq();
+                    self.pending.insert(seq, Pending::Simple(reply));
+                    let _ = self.send_to(switch, Message::Control(ControlMsg::SwapMember { seq }));
+                }
+            }
+            Request::Remap { nf_switch, reply } => {
+                if let Some((nf, &sw)) = nf_switch.iter().find(|(_, &sw)| sw >= self.n) {
+                    let _ = reply.send(Err(ClusterError::Remote(format!(
+                        "NF {nf} mapped to switch {sw} in a cluster of {}",
+                        self.n
+                    ))));
+                } else {
+                    self.nf_switch = nf_switch;
+                    let _ = reply.send(Ok(0));
+                }
+            }
             Request::Shutdown { reply } => {
                 let mut sent = 0usize;
                 for switch in 0..self.n {
@@ -570,6 +663,7 @@ impl Controller {
                         trace: seq,
                         result: Err(error),
                     });
+                    self.on_packet_done();
                 } else {
                     self.settle(seq, Err(ClusterError::Remote(error)));
                 }
@@ -628,6 +722,7 @@ impl Controller {
                     trace: data.trace,
                     result: Ok(WireTraversal::from_delivery(disposition, data)),
                 });
+                self.on_packet_done();
             }
         }
         self.maybe_finish_flush();
@@ -751,6 +846,17 @@ impl Controller {
         }
     }
 
+    /// One in-flight packet finished (delivered or nacked mid-flight);
+    /// releases a waiting quiesce barrier when the last one lands.
+    fn on_packet_done(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if self.in_flight == 0 {
+            if let Some((outstanding, reply)) = self.quiesce.take() {
+                let _ = reply.send(Ok(outstanding));
+            }
+        }
+    }
+
     /// Completes a parked `process_digests` barrier once every learned
     /// install has been acked.
     fn maybe_finish_flush(&mut self) {
@@ -791,6 +897,7 @@ pub struct ClusterHandle {
     kind: &'static str,
     next_trace: u64,
     op_timeout: Duration,
+    options: ClusterOptions,
     workers: Vec<JoinHandle<()>>,
     controller: Option<JoinHandle<()>>,
     closed: bool,
@@ -1035,6 +1142,75 @@ impl ClusterHandle {
         self.wait(rx, "restore_state").map(|n| n as usize)
     }
 
+    // ------------------------------------------------------------------
+    // Migration verbs (the hitless re-placement window; see
+    // `crate::orchestrator::migrate` for the driver that sequences them).
+    // ------------------------------------------------------------------
+
+    /// Parks new ingress traffic and blocks until every in-flight packet
+    /// has finished its cluster flight (delivered or nacked) — the quiesce
+    /// barrier opening a migration window. Packets injected while paused
+    /// are queued, not rejected: their trace ids resolve after
+    /// [`resume_ingress`](Self::resume_ingress). Returns how many packets
+    /// were still in flight when the pause took effect.
+    pub fn pause_ingress(&mut self) -> Result<u64, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::PauseIngress { reply: tx })?;
+        self.wait(rx, "pause_ingress")
+    }
+
+    /// Releases traffic parked by [`pause_ingress`](Self::pause_ingress)
+    /// in arrival order and resumes normal injection. Returns the number
+    /// of packets released.
+    pub fn resume_ingress(&mut self) -> Result<u64, ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::ResumeIngress { reply: tx })?;
+        self.wait(rx, "resume_ingress")
+    }
+
+    /// Replaces one member's switch and deployment with a freshly built
+    /// pair, live. The spawn-time runtime options (telemetry, exec mode)
+    /// are re-applied so the new member behaves like the one it replaces.
+    /// The swap is transparent to peers — wiring, inboxes and links are
+    /// untouched — but the new member starts with empty dynamic state and
+    /// a zero clock: callers are expected to quiesce first and restore
+    /// state after (the orchestrator's migration driver sequences this).
+    pub fn swap_member(
+        &mut self,
+        switch: usize,
+        mut member_switch: Switch,
+        deployment: Deployment,
+    ) -> Result<(), ClusterError> {
+        if self.options.telemetry {
+            member_switch.set_telemetry(true);
+        }
+        if let Some(mode) = self.options.exec_mode {
+            member_switch.set_exec_mode(mode);
+        }
+        let (tx, rx) = channel();
+        self.request(Request::SwapMember {
+            switch,
+            member: Box::new((member_switch, deployment)),
+            reply: tx,
+        })?;
+        self.wait(rx, "swap_member").map(|_| ())
+    }
+
+    /// Replaces the NF → switch routing map (both the controller's copy,
+    /// which routes installs and learned entries, and this handle's copy
+    /// behind [`switch_of`](Self::switch_of)) after members were swapped
+    /// to a new placement.
+    pub fn remap_nfs(&mut self, nf_switch: BTreeMap<String, usize>) -> Result<(), ClusterError> {
+        let (tx, rx) = channel();
+        self.request(Request::Remap {
+            nf_switch: nf_switch.clone(),
+            reply: tx,
+        })?;
+        self.wait(rx, "remap_nfs")?;
+        self.nf_switch = nf_switch;
+        Ok(())
+    }
+
     /// Stops every worker and the controller. Idempotent; also invoked on
     /// drop.
     pub fn shutdown(&mut self) -> Result<(), ClusterError> {
@@ -1122,6 +1298,7 @@ pub fn spawn_cluster(
 
     // Boot the workers.
     let mut workers = Vec::with_capacity(n);
+    let mut swap_txs = Vec::with_capacity(n);
     for (i, ((mut switch, deployment), inbox)) in
         members.into_iter().zip(worker_inboxes).enumerate()
     {
@@ -1137,6 +1314,8 @@ pub fn spawn_cluster(
             let next = transport.connect(&worker_addrs[i + 1])?;
             links.insert(wiring.egress_link_port, (next, wiring.ingress_link_port));
         }
+        let (swap_tx, swap_rx) = channel();
+        swap_txs.push(swap_tx);
         let worker = super::worker::SwitchWorker {
             index: i,
             switch,
@@ -1145,6 +1324,7 @@ pub fn spawn_cluster(
             upstream,
             links,
             cable_ns: wiring.cable_ns,
+            swap_rx,
         };
         let handle = thread::Builder::new()
             .name(format!("dejavu-worker-{i}"))
@@ -1190,6 +1370,11 @@ pub fn spawn_cluster(
         digests_per_switch: vec![0; n],
         installed_per_switch: vec![0; n],
         flush: None,
+        paused: false,
+        parked: Vec::new(),
+        in_flight: 0,
+        quiesce: None,
+        swap_txs,
         bye: None,
         op_timeout: options.op_timeout,
     };
@@ -1207,6 +1392,7 @@ pub fn spawn_cluster(
         kind,
         next_trace: 1,
         op_timeout: options.op_timeout,
+        options: options.clone(),
         workers,
         controller: Some(controller),
         closed: false,

@@ -241,6 +241,17 @@ pub enum ControlMsg {
         /// (the versioned format `dejavu-state` defines).
         json: String,
     },
+    /// Swap in the member staged on the worker's in-process side channel
+    /// (see [`SwitchWorker::swap_rx`](super::worker::SwitchWorker)): the
+    /// worker replaces its switch and deployment with the staged pair and
+    /// acks. The re-placement orchestrator uses this to install a new
+    /// cluster-wide placement without restarting workers; a worker with no
+    /// staged member (e.g. a genuinely remote process, which has no side
+    /// channel) nacks instead of guessing.
+    SwapMember {
+        /// Reply correlation.
+        seq: u64,
+    },
     /// Stop the worker's event loop. Acked before the worker exits.
     Shutdown {
         /// Reply correlation.
@@ -260,6 +271,7 @@ impl ControlMsg {
             | ControlMsg::ScrapeMetrics { seq }
             | ControlMsg::SnapshotState { seq }
             | ControlMsg::RestoreState { seq, .. }
+            | ControlMsg::SwapMember { seq }
             | ControlMsg::Shutdown { seq } => *seq,
         }
     }
@@ -546,6 +558,10 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 }
                 ControlMsg::Shutdown { seq } => {
                     e.u8(8);
+                    e.u64(*seq);
+                }
+                ControlMsg::SwapMember { seq } => {
+                    e.u8(9);
                     e.u64(*seq);
                 }
             }
@@ -877,6 +893,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
                     json: d.str()?,
                 },
                 8 => ControlMsg::Shutdown { seq: d.u64()? },
+                9 => ControlMsg::SwapMember { seq: d.u64()? },
                 tag => {
                     return Err(WireError::UnknownTag {
                         class: CLASS_CONTROL,

@@ -21,6 +21,7 @@ use crate::deploy::Deployment;
 use dejavu_asic::switch::Disposition;
 use dejavu_asic::{InjectedPacket, PortId, StateSnapshot, Switch};
 use std::collections::BTreeMap;
+use std::sync::mpsc::Receiver;
 
 /// One cluster member: a switch plus the machinery to talk to its peers
 /// and its controller. Constructed by
@@ -42,6 +43,14 @@ pub struct SwitchWorker {
     pub links: BTreeMap<PortId, (Link, PortId)>,
     /// One-way cable latency added per forwarded packet, in nanoseconds.
     pub cable_ns: f64,
+    /// In-process side channel for live member replacement: the controller
+    /// stages a freshly built `(Switch, Deployment)` pair here, then sends
+    /// [`ControlMsg::SwapMember`] over the wire to make the worker adopt
+    /// it. `Switch` is not wire-serializable, so a genuinely remote worker
+    /// (no side channel sender alive) nacks the swap — live re-placement
+    /// over real process boundaries needs a program-shipping bootstrap
+    /// protocol (ROADMAP).
+    pub swap_rx: Receiver<(Switch, Deployment)>,
 }
 
 impl SwitchWorker {
@@ -236,6 +245,19 @@ impl SwitchWorker {
                         Err(e) => self.nack(seq, &e.to_string()),
                     },
                     Err(e) => self.nack(seq, &e),
+                }
+            }
+            ControlMsg::SwapMember { .. } => {
+                // The staged member was sent on the side channel before the
+                // wire command, so it is already queued (or will never
+                // arrive: nack rather than block the data path).
+                match self.swap_rx.try_recv() {
+                    Ok((switch, deployment)) => {
+                        self.switch = switch;
+                        self.deployment = deployment;
+                        self.send_up(TelemetryMsg::Ack { seq, info: 0 });
+                    }
+                    Err(_) => self.nack(seq, "no staged member to swap in"),
                 }
             }
             ControlMsg::Shutdown { .. } => {

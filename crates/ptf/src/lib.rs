@@ -361,6 +361,43 @@ impl MetricsExpectations {
         self.family_total("rtc_ring_depth", expected)
     }
 
+    /// Expects the orchestrator to have executed exactly `expected` live
+    /// migrations over the suite (`orchestrator_replans_triggered`).
+    pub fn replans_triggered(self, expected: u64) -> Self {
+        self.counter("orchestrator_replans_triggered", expected)
+    }
+
+    /// Expects exactly `expected` drifted telemetry windows to have been
+    /// suppressed by hysteresis/cooldown instead of triggering a replan
+    /// (`orchestrator_replans_skipped_hysteresis`).
+    pub fn replans_skipped_hysteresis(self, expected: u64) -> Self {
+        self.counter("orchestrator_replans_skipped_hysteresis", expected)
+    }
+
+    /// Expects exactly `expected` dynamic entries to have crossed switches
+    /// alive during orchestrated migrations (`orchestrator_flows_migrated`).
+    pub fn flows_migrated(self, expected: u64) -> Self {
+        self.counter("orchestrator_flows_migrated", expected)
+    }
+
+    /// Expects the `orchestrator_migration_duration_ns` histogram to hold
+    /// exactly `expected` samples — one per migration the orchestrator
+    /// drove — each with a nonzero downtime window.
+    pub fn migrations_timed(self, expected: u64) -> Self {
+        let label = format!("orchestrator_migration_duration_ns samples == {expected}");
+        self.check(&label, move |s| {
+            match s.histogram("orchestrator_migration_duration_ns") {
+                Some(h) if h.count == expected => Ok(()),
+                Some(h) => Err(format!(
+                    "orchestrator_migration_duration_ns: expected {expected} samples, got {}",
+                    h.count
+                )),
+                None if expected == 0 => Ok(()),
+                None => Err("orchestrator_migration_duration_ns: histogram missing".to_string()),
+            }
+        })
+    }
+
     /// Expects the summed delta of every counter starting with `prefix`
     /// (e.g. a labelled family like `packet_recirc_depth`) to equal
     /// `expected`.

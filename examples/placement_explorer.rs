@@ -1,89 +1,93 @@
-//! Placement explorer: compare placement strategies on a workload you
-//! describe on the command line.
+//! Placement explorer: compare fleet-scale search strategies on a
+//! workload you describe on the command line.
 //!
 //! ```text
-//! cargo run -p dejavu-examples --bin placement_explorer -- [n_nfs] [n_chains] [seed]
+//! cargo run -p dejavu-examples --bin placement_explorer -- [n_chains] [n_switches] [seed]
 //! ```
 //!
-//! Builds a random multi-chain workload (defaults: 6 NFs, 3 chains,
-//! seed 7), runs the naive baseline, greedy, simulated annealing, and the
-//! exhaustive optimum, and prints each placement with its weighted
-//! recirculation cost and the §4 throughput it implies.
+//! Builds a reproducible synthetic fleet (defaults: 6 chains, 2 switches,
+//! seed 7), then drives every [`PlacementSearch`] strategy — the
+//! exhaustive oracle when the space is small enough, simulated annealing,
+//! and discrete particle swarm — over the same weighted objective
+//! (recirculations + cross-switch hops + per-switch stage pressure) and
+//! prints a comparison table: score breakdown, candidates evaluated, and
+//! wall-clock time per strategy.
 
-use dejavu_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use dejavu_core::orchestrator::{
+    AnnealingSearch, ExhaustiveSearch, FleetProblem, PlacementSearch, SearchOutcome, SwarmSearch,
+};
+use std::time::Instant;
 
-fn build_problem(n_nfs: usize, n_chains: usize, seed: u64) -> PlacementProblem {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let nfs: Vec<String> = (0..n_nfs).map(|i| format!("NF{i}")).collect();
-    let mut chains = Vec::new();
-    for c in 0..n_chains {
-        let mut seq: Vec<String> = nfs.iter().filter(|_| rng.gen_bool(0.7)).cloned().collect();
-        if seq.len() < 2 {
-            seq = nfs[..2.min(nfs.len())].to_vec();
+fn show(problem: &FleetProblem, name: &str, outcome: &SearchOutcome, elapsed_ms: f64) {
+    let s = &outcome.score;
+    println!(
+        "{name:<22} {:>10.3} {:>7} {:>7} {:>6} {:>9.3} {:>10} {:>9.1}",
+        s.weighted,
+        s.recirculations,
+        s.inter_switch_hops,
+        s.resubmissions,
+        s.pressure,
+        outcome.evaluated,
+        elapsed_ms,
+    );
+    for (sw, p) in outcome.placement.switches.iter().enumerate() {
+        let nfs: Vec<String> = p
+            .pipelets
+            .iter()
+            .map(|(id, nfs)| format!("{id}:[{}]", nfs.join(", ")))
+            .collect();
+        if !nfs.is_empty() {
+            println!("    switch {sw}: {}", nfs.join("  "));
         }
-        chains.push(ChainPolicy {
-            path_id: (c + 1) as u16,
-            name: format!("chain{}", c + 1),
-            nfs: seq,
-            weight: rng.gen_range(0.1..1.0),
-        });
     }
-    let stages: BTreeMap<String, u32> = nfs
-        .iter()
-        .map(|n| (n.clone(), rng.gen_range(1..5)))
-        .collect();
-    PlacementProblem::new(ChainSet { chains }, stages)
-}
-
-fn show(name: &str, problem: &PlacementProblem, placement: &Placement) {
-    let cost = problem.cost(placement).unwrap();
-    // Worst chain's recirculation count prices the §4 throughput.
-    let worst = problem
-        .chains
-        .chains
-        .iter()
-        .map(|c| {
-            dejavu_core::placement::traverse(c, placement, 0, 0, false)
-                .map(|t| t.recirculations)
-                .unwrap_or(99)
-        })
-        .max()
-        .unwrap_or(0);
-    let throughput = dejavu_asic::feedback::effective_throughput_gbps(100.0, worst as usize);
-    println!("\n## {name}: weighted cost {cost:.2}, worst chain {worst} recirc → {throughput:.1} Gbps/100G port");
-    print!("{placement}");
+    debug_assert!(problem.feasible(&outcome.placement));
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n_nfs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let n_chains: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let n_chains: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let n_switches: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
     let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(7);
 
-    let problem = build_problem(n_nfs, n_chains, seed);
-    println!("workload (seed {seed}):");
-    for c in &problem.chains.chains {
-        println!("  {c}  (weight {:.2})", c.weight);
+    let problem = FleetProblem::synthetic(n_chains, n_switches, seed);
+    println!(
+        "fleet workload (seed {seed}): {} chains over {} switches, {} distinct NFs",
+        problem.chains().chains.len(),
+        problem.switches(),
+        problem.nfs().len(),
+    );
+    for c in &problem.chains().chains {
+        println!(
+            "  {} (weight {:.2}): {}",
+            c.name,
+            c.weight,
+            c.nfs.join(" -> ")
+        );
     }
-    println!("NF stage spans: {:?}", problem.nf_stages);
 
-    match problem.naive() {
-        Ok(p) => show("naive alternating baseline", &problem, &p),
-        Err(e) => println!("naive: {e}"),
+    println!(
+        "\n{:<22} {:>10} {:>7} {:>7} {:>6} {:>9} {:>10} {:>9}",
+        "strategy", "weighted", "recirc", "hops", "resub", "pressure", "evaluated", "ms"
+    );
+    let strategies: Vec<Box<dyn PlacementSearch>> = vec![
+        Box::new(ExhaustiveSearch::default()),
+        Box::new(AnnealingSearch::new(seed, 5000)),
+        Box::new(SwarmSearch::new(seed, 20, 120)),
+    ];
+    let mut best: Option<f64> = None;
+    for strategy in &strategies {
+        let started = Instant::now();
+        match strategy.search(&problem) {
+            Ok(outcome) => {
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                show(&problem, strategy.name(), &outcome, ms);
+                let w = outcome.score.weighted;
+                best = Some(best.map_or(w, |b: f64| b.min(w)));
+            }
+            Err(e) => println!("{:<22} {e}", strategy.name()),
+        }
     }
-    match problem.greedy() {
-        Ok(p) => show("greedy", &problem, &p),
-        Err(e) => println!("greedy: {e}"),
-    }
-    match problem.anneal(seed, 5000) {
-        Ok(p) => show("simulated annealing (5000 iters)", &problem, &p),
-        Err(e) => println!("annealing: {e}"),
-    }
-    match problem.exhaustive(1 << 24) {
-        Ok(p) => show("exhaustive optimum", &problem, &p),
-        Err(e) => println!("exhaustive: {e}"),
+    if let Some(best) = best {
+        println!("\nbest weighted objective found: {best:.3}");
     }
 }

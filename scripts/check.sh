@@ -80,12 +80,19 @@ EOF
 # the event-driven control plane deadlocked.
 timeout 120 cargo run -p dejavu-examples --bin cluster_demo
 
+# Re-placement gate: the closed-loop orchestrator must notice the traffic
+# shift, migrate the learned NAT across switches live, and lose zero
+# flows — bounded, because a hang here means the pause/quiesce barrier
+# or the migration driver deadlocked.
+timeout 120 cargo run -p dejavu-examples --bin replacement_demo
+
 # Dataplane bench gate: the table-size sweep runs end-to-end in quick
 # mode (shrunk budgets, 100k point skipped; the committed root
 # BENCH_dataplane.json is not rewritten), its artifact must carry the
-# speedup flags and a zero-allocation rtc steady state, and the committed
-# record must have the 10×-at-10k flags, the 3×-rtc flag, and the
-# zero-allocation record present and true.
+# speedup flags, a zero-allocation rtc steady state, and a hitless live
+# migration; the committed record must have the 10×-at-10k flags, the
+# 3×-rtc flag, the zero-flow-loss migration flag, and the zero-allocation
+# record present and true.
 bash scripts/bench_dataplane.sh --quick
 quick_record=target/experiments/BENCH_dataplane.json
 test -s "$quick_record" || { echo "missing $quick_record" >&2; exit 1; }
@@ -98,7 +105,12 @@ kinds = {(p["kind"], p["entries"]): p["index_kind"] for p in report["points"]}
 assert kinds[("ternary", 10_000)] in ("tuple_space", "decision_tree"), kinds
 allocs = report.get("rtc_allocs_per_packet")
 assert allocs == 0, f"rtc steady state must be allocation-free, got {allocs}"
-print("quick dataplane sweep artifact OK (rtc allocs/packet == 0)")
+assert report.get("meets_zero_flow_loss_migration") is True, \
+    "quick sweep: live migration must lose zero learned flows"
+mig = report["migration"]
+assert mig["flows_surviving"] == mig["flows_learned"], mig
+assert mig["migration_downtime_ns"] > 0, mig
+print("quick dataplane sweep artifact OK (rtc allocs/packet == 0, migration hitless)")
 EOF
 python3 - BENCH_dataplane.json <<'EOF'
 import json, sys
@@ -107,6 +119,7 @@ for flag in (
     "meets_10x_at_10k_exact",
     "meets_10x_at_10k_ternary",
     "meets_3x_rtc_at_10k_exact",
+    "meets_zero_flow_loss_migration",
 ):
     assert report.get(flag) is True, f"committed BENCH_dataplane.json: {flag} must be true"
 allocs = report.get("rtc_allocs_per_packet")

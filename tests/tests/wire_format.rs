@@ -184,6 +184,7 @@ fn control_strat() -> BoxedStrategy<ControlMsg> {
         any::<u64>().prop_map(|seq| ControlMsg::SnapshotState { seq }),
         (any::<u64>(), pipelet_strat(), string_strat())
             .prop_map(|(seq, pipelet, json)| { ControlMsg::RestoreState { seq, pipelet, json } }),
+        any::<u64>().prop_map(|seq| ControlMsg::SwapMember { seq }),
         any::<u64>().prop_map(|seq| ControlMsg::Shutdown { seq }),
     ]
     .boxed()
@@ -340,7 +341,7 @@ fn overlength_frames_are_rejected() {
 /// Unknown control/telemetry tags inside a well-formed frame are typed.
 #[test]
 fn unknown_tags_are_typed_errors() {
-    for (class, tag) in [(1u8, 9u8), (2, 8)] {
+    for (class, tag) in [(1u8, 10u8), (2, 8)] {
         let mut frame = Vec::new();
         frame.extend_from_slice(&WIRE_MAGIC.to_be_bytes());
         frame.push(WIRE_VERSION);
